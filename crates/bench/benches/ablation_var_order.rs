@@ -1,0 +1,57 @@
+//! Ablation bench: variable-elimination orders for the exact d-tree
+//! evaluation (Section IV / Section VI-B).
+//!
+//! Compares, on IQ-query lineage and on hierarchical lineage,
+//!
+//! * `MostFrequent` — the paper's fallback heuristic (choose a variable
+//!   occurring most often in the DNF),
+//! * `IqThenFrequent` — try the IQ elimination order of Lemma 6.8 first
+//!   (requires variable origins), which is what makes IQ queries tractable.
+
+use std::time::Duration;
+
+use bench::tpch_database;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtree::{exact_probability, CompileOptions, VarOrder};
+use workloads::tpch::TpchQuery;
+
+fn bench_var_order(c: &mut Criterion) {
+    let db = tpch_database(0.02, false);
+    let mut group = c.benchmark_group("ablation_var_order");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+
+    for q in [TpchQuery::IqB1, TpchQuery::Iq6, TpchQuery::B17, TpchQuery::B2] {
+        let answers = db.answers(&q);
+        let configs = [
+            (
+                "most_frequent",
+                CompileOptions {
+                    var_order: VarOrder::MostFrequent,
+                    origins: None,
+                    max_depth: None,
+                },
+            ),
+            (
+                "iq_then_frequent",
+                CompileOptions::with_origins(db.database().origins().clone()),
+            ),
+        ];
+        for (name, opts) in configs {
+            group.bench_with_input(BenchmarkId::new(name, q.name()), &answers, |b, answers| {
+                b.iter(|| {
+                    answers
+                        .iter()
+                        .map(|a| {
+                            exact_probability(&a.lineage, db.database().space(), &opts).probability
+                        })
+                        .sum::<f64>()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_var_order);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench for Figure 6 (a)/(b): tractable (hierarchical) TPC-H
+//! queries. Compares d-tree exact, d-tree relative 0.01, the Karp-Luby
+//! `aconf` baseline, and the SPROUT exact operator.
+
+use std::time::Duration;
+
+use bench::tpch_database;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdb::confidence::{confidence, ConfidenceBudget, ConfidenceMethod};
+use workloads::tpch::TpchQuery;
+
+fn bench_tractable(c: &mut Criterion) {
+    let db = tpch_database(0.01, false);
+    let budget = ConfidenceBudget { timeout: Some(Duration::from_secs(1)), max_work: None };
+    let methods = [
+        ("dtree_exact", ConfidenceMethod::DTreeExact),
+        ("dtree_rel_0.01", ConfidenceMethod::DTreeRelative(0.01)),
+        ("aconf_0.05", ConfidenceMethod::KarpLuby { epsilon: 0.05, delta: 1e-4 }),
+    ];
+
+    let mut group = c.benchmark_group("fig6_tractable_tpch");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    for query in TpchQuery::tractable() {
+        let answers = db.answers(&query);
+        for (name, method) in &methods {
+            group.bench_with_input(
+                BenchmarkId::new(*name, query.name()),
+                &answers,
+                |b, answers| {
+                    b.iter(|| {
+                        let mut total = 0.0;
+                        for a in answers {
+                            let r = confidence(
+                                &a.lineage,
+                                db.database().space(),
+                                Some(db.database().origins()),
+                                method,
+                                &budget,
+                            );
+                            total += r.estimate;
+                        }
+                        total
+                    })
+                },
+            );
+        }
+        // SPROUT operates on the query rather than on the lineage.
+        let cq = query.query();
+        group.bench_with_input(BenchmarkId::new("sprout", query.name()), &cq, |b, cq| {
+            b.iter(|| pdb::sprout::answer_confidences(cq, db.database()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tractable);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for Figure 7: the #P-hard Boolean TPC-H queries B2, B9,
+//! B20, B21 at two scale factors, d-tree approximation vs the Karp-Luby
+//! baseline.
+
+use std::time::Duration;
+
+use bench::tpch_database;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdb::confidence::{confidence, ConfidenceBudget, ConfidenceMethod};
+use workloads::tpch::TpchQuery;
+
+fn bench_hard(c: &mut Criterion) {
+    let budget = ConfidenceBudget { timeout: Some(Duration::from_secs(1)), max_work: None };
+    let methods = [
+        ("dtree_rel_0.01", ConfidenceMethod::DTreeRelative(0.01)),
+        ("dtree_rel_0.05", ConfidenceMethod::DTreeRelative(0.05)),
+        ("aconf_0.05", ConfidenceMethod::KarpLuby { epsilon: 0.05, delta: 1e-4 }),
+    ];
+
+    let mut group = c.benchmark_group("fig7_hard_tpch");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    for &sf in &[0.005_f64, 0.02] {
+        let db = tpch_database(sf, false);
+        for query in TpchQuery::hard() {
+            let lineage = db.boolean_lineage(&query);
+            for (name, method) in &methods {
+                group.bench_with_input(
+                    BenchmarkId::new(*name, format!("{}_sf{}", query.name(), sf)),
+                    &lineage,
+                    |b, lineage| {
+                        b.iter(|| {
+                            confidence(
+                                lineage,
+                                db.database().space(),
+                                Some(db.database().origins()),
+                                method,
+                                &budget,
+                            )
+                            .estimate
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hard);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for Figure 8: triangle and path-of-length-2 queries on
+//! random graphs (edge probabilities 0.3 and 0.7), d-tree vs Karp-Luby.
+
+use std::time::Duration;
+
+use bench::MotifQuery;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdb::confidence::{confidence, ConfidenceBudget, ConfidenceMethod};
+use workloads::{random_graph, RandomGraphConfig};
+
+fn bench_random_graphs(c: &mut Criterion) {
+    let budget = ConfidenceBudget { timeout: Some(Duration::from_secs(1)), max_work: None };
+    let methods = [
+        ("dtree_rel_0.01", ConfidenceMethod::DTreeRelative(0.01)),
+        ("aconf_0.05", ConfidenceMethod::KarpLuby { epsilon: 0.05, delta: 1e-4 }),
+    ];
+
+    let mut group = c.benchmark_group("fig8_random_graphs");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    for &p in &[0.3_f64, 0.7] {
+        for &n in &[8_u32, 12] {
+            let (db, graph) = random_graph(&RandomGraphConfig::uniform(n, p));
+            for query in MotifQuery::random_graph_queries() {
+                let lineage = query.lineage(&graph, (0, n - 1));
+                for (name, method) in &methods {
+                    group.bench_with_input(
+                        BenchmarkId::new(*name, format!("{}_n{}_p{}", query.label(), n, p)),
+                        &lineage,
+                        |b, lineage| {
+                            b.iter(|| {
+                                confidence(
+                                    lineage,
+                                    db.space(),
+                                    Some(db.origins()),
+                                    method,
+                                    &budget,
+                                )
+                                .estimate
+                            })
+                        },
+                    );
+                }
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_random_graphs);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for Figure 9: the motif queries (t, p2, p3, s2) on the
+//! karate-club and dolphin social networks, d-tree vs Karp-Luby at relative
+//! error 0.01.
+
+use std::time::Duration;
+
+use bench::MotifQuery;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdb::confidence::{confidence, ConfidenceBudget, ConfidenceMethod};
+use workloads::{dolphins, karate_club, SocialNetworkConfig};
+
+fn bench_social(c: &mut Criterion) {
+    let budget = ConfidenceBudget { timeout: Some(Duration::from_secs(1)), max_work: None };
+    let methods = [
+        ("dtree_rel_0.01", ConfidenceMethod::DTreeRelative(0.01)),
+        ("aconf_0.05", ConfidenceMethod::KarpLuby { epsilon: 0.05, delta: 1e-4 }),
+    ];
+    let networks = [
+        karate_club(&SocialNetworkConfig::karate_default()),
+        dolphins(&SocialNetworkConfig::dolphins_default()),
+    ];
+
+    let mut group = c.benchmark_group("fig9_social_networks");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    for network in &networks {
+        for query in MotifQuery::social_queries() {
+            let lineage = query.lineage(&network.graph, network.separation_pair());
+            for (name, method) in &methods {
+                group.bench_with_input(
+                    BenchmarkId::new(*name, format!("{}_{}", network.name, query.label())),
+                    &lineage,
+                    |b, lineage| {
+                        b.iter(|| {
+                            confidence(
+                                lineage,
+                                network.db.space(),
+                                Some(network.db.origins()),
+                                method,
+                                &budget,
+                            )
+                            .estimate
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_social);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Runs the whole evaluation (Figures 6–9) back to back with the default
+//! laptop-scale settings. Equivalent to running `repro_fig6`, `repro_fig7`,
+//! `repro_fig8`, and `repro_fig9` in sequence; accepts the same flags
+//! (`--scale`, `--timeout`, `--paper`).
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = ["repro_fig6", "repro_fig7", "repro_fig8", "repro_fig9"];
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .expect("cannot locate the build directory");
+    for bin in bins {
+        let path = exe_dir.join(bin);
+        println!("==== {bin} ====");
+        let status = if path.exists() {
+            Command::new(&path).args(&args).status()
+        } else {
+            // Fall back to cargo when the sibling binary has not been built
+            // (e.g. `cargo run --bin repro_all` without a prior full build).
+            Command::new("cargo")
+                .args(["run", "--quiet", "--release", "-p", "bench", "--bin", bin, "--"])
+                .args(&args)
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!("failed to launch {bin}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Reproduces Figure 6 of the paper: tractable TPC-H queries.
+//!
+//! * Figure 6 (a): hierarchical queries 1, 15, B1, B6, B16, B17 with tuple
+//!   probabilities in (0, 1) — `aconf(0.01)`, `d-tree(rel 0.01)`,
+//!   `d-tree(0)`, SPROUT.
+//! * Figure 6 (b): the same queries with tuple probabilities in (0, 0.01).
+//! * Figure 6 (c): the IQ (inequality-join) queries IQ B1, IQ B4, IQ 6. The
+//!   paper's SPROUT-with-inequalities operator is represented here by
+//!   `d-tree(0)` with the IQ elimination order (see EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p bench --bin repro_fig6 [a|b|c] [--scale SF]
+//! [--timeout SECONDS] [--paper]`
+
+use bench::{fig6_methods, print_table, run_sprout, run_tpch_query, tpch_database, HarnessOptions};
+use workloads::tpch::TpchQuery;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = HarnessOptions::from_args(&args);
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| ["a", "b", "c"].contains(&a.as_str()))
+        .map(|a| a.as_str())
+        .collect();
+    let which = if which.is_empty() { vec!["a", "b", "c"] } else { which };
+    let budget = opts.budget();
+
+    for part in which {
+        match part {
+            "a" | "b" => {
+                let small = part == "b";
+                let db = tpch_database(opts.tpch_scale_factor, small);
+                let title = format!(
+                    "Figure 6({part}): tractable TPC-H queries, SF {}, probabilities in {}",
+                    opts.tpch_scale_factor,
+                    if small { "(0, 0.01)" } else { "(0, 1)" }
+                );
+                let mut rows = Vec::new();
+                for q in TpchQuery::tractable() {
+                    rows.extend(run_tpch_query(
+                        &format!("6{part}"),
+                        "tpch",
+                        &db,
+                        q,
+                        &fig6_methods(),
+                        &budget,
+                    ));
+                    if let Some(sprout) = run_sprout(&format!("6{part}"), "tpch", &db, q) {
+                        rows.push(sprout);
+                    }
+                }
+                print_table(&title, &rows);
+                println!();
+            }
+            "c" => {
+                let db = tpch_database(opts.tpch_scale_factor, false);
+                let title = format!(
+                    "Figure 6(c): TPC-H conjunctive queries with inequality joins, SF {}",
+                    opts.tpch_scale_factor
+                );
+                let mut rows = Vec::new();
+                for q in TpchQuery::iq() {
+                    rows.extend(run_tpch_query("6c", "tpch", &db, q, &fig6_methods(), &budget));
+                }
+                print_table(&title, &rows);
+                println!();
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Reproduces Figure 7 of the paper: the #P-hard Boolean TPC-H queries B2,
+//! B9, B20, B21 over a scale-factor sweep, comparing `aconf` and `d-tree` at
+//! relative errors 0.01 and 0.05.
+//!
+//! Usage: `cargo run --release -p bench --bin repro_fig7 [--timeout SECONDS]
+//! [--paper]`
+//!
+//! The default sweep is {0.005, 0.01, 0.05, 0.1}; `--paper` extends it to the
+//! paper's full {0.005, 0.01, 0.05, 0.1, 0.5, 1} (slower).
+
+use bench::{fig7_methods, print_table, run_tpch_query, tpch_database, HarnessOptions};
+use workloads::tpch::TpchQuery;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = HarnessOptions::from_args(&args);
+    let budget = opts.budget();
+
+    let mut scale_factors = vec![0.005, 0.01, 0.05, 0.1];
+    if opts.paper_scale {
+        scale_factors.extend([0.5, 1.0]);
+    }
+
+    for q in TpchQuery::hard() {
+        let mut rows = Vec::new();
+        for &sf in &scale_factors {
+            let db = tpch_database(sf, false);
+            rows.extend(run_tpch_query(
+                "7",
+                &format!("tpch sf={sf}"),
+                &db,
+                q,
+                &fig7_methods(),
+                &budget,
+            ));
+        }
+        print_table(&format!("Figure 7: hard TPC-H query {}, scale-factor sweep", q.name()), &rows);
+        println!();
+    }
+}

@@ -1,0 +1,63 @@
+//! Reproduces Figure 8 of the paper: triangle and path-of-length-2 queries on
+//! random graphs.
+//!
+//! * Top/middle plots: relative error 0.01, edge probabilities 0.3 and 0.7,
+//!   graph sizes 6..40 nodes — `aconf` vs `d-tree`.
+//! * Bottom plot: absolute error 0.05, edge probabilities 0.1 and 0.01,
+//!   graph sizes 6, 10, 15 — `d-tree` only.
+//!
+//! Usage: `cargo run --release -p bench --bin repro_fig8 [relative|absolute]
+//! [--timeout SECONDS] [--paper]`
+
+use bench::{print_table, run_random_graph, HarnessOptions, MotifQuery};
+use pdb::confidence::ConfidenceMethod;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = HarnessOptions::from_args(&args);
+    let budget = opts.budget();
+    let run_relative = args.iter().any(|a| a == "relative") || !args.iter().any(|a| a == "absolute");
+    let run_absolute = args.iter().any(|a| a == "absolute") || !args.iter().any(|a| a == "relative");
+
+    // Graph sizes: the paper sweeps 6..=40; the default here uses a coarser
+    // grid so the run finishes quickly, and --paper uses the full range.
+    let sizes: Vec<u32> =
+        if opts.paper_scale { vec![6, 10, 15, 20, 25, 30, 35, 40] } else { vec![6, 10, 15, 20] };
+
+    if run_relative {
+        let methods = [
+            ConfidenceMethod::KarpLuby { epsilon: 0.01, delta: 1e-4 },
+            ConfidenceMethod::DTreeRelative(0.01),
+        ];
+        for query in MotifQuery::random_graph_queries() {
+            let mut rows = Vec::new();
+            for &p in &[0.7, 0.3] {
+                for &n in &sizes {
+                    rows.extend(run_random_graph("8", n, p, query, &methods, &budget));
+                }
+            }
+            print_table(
+                &format!("Figure 8: {} query on random graphs, relative error 0.01", query.label()),
+                &rows,
+            );
+            println!();
+        }
+    }
+
+    if run_absolute {
+        let methods = [ConfidenceMethod::DTreeAbsolute(0.05)];
+        let mut rows = Vec::new();
+        for query in MotifQuery::random_graph_queries() {
+            for &p in &[0.1, 0.01] {
+                for &n in &[6u32, 10, 15] {
+                    rows.extend(run_random_graph("8", n, p, query, &methods, &budget));
+                }
+            }
+        }
+        print_table(
+            "Figure 8 (bottom): triangle and path-2 queries, absolute error 0.05, small edge probabilities",
+            &rows,
+        );
+        println!();
+    }
+}

@@ -1,0 +1,52 @@
+//! Reproduces Figure 9 of the paper: the motif queries (t, p2, p3, s2) on the
+//! dolphin and karate-club social networks over a relative-error sweep,
+//! comparing `aconf` and `d-tree`.
+//!
+//! Usage: `cargo run --release -p bench --bin repro_fig9 [karate|dolphins]
+//! [--timeout SECONDS] [--paper]`
+
+use bench::{print_table, run_social_network, HarnessOptions, MotifQuery};
+use pdb::confidence::ConfidenceMethod;
+use workloads::{dolphins, karate_club, SocialNetwork, SocialNetworkConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = HarnessOptions::from_args(&args);
+    let budget = opts.budget();
+
+    let want_karate = args.iter().any(|a| a == "karate") || !args.iter().any(|a| a == "dolphins");
+    let want_dolphins = args.iter().any(|a| a == "dolphins") || !args.iter().any(|a| a == "karate");
+
+    // The paper sweeps relative errors 0.05 down to 0.0001.
+    let errors: Vec<f64> = if opts.paper_scale {
+        vec![0.05, 0.01, 0.005, 0.001, 0.0005, 0.0001]
+    } else {
+        vec![0.05, 0.01, 0.001]
+    };
+
+    let mut networks: Vec<SocialNetwork> = Vec::new();
+    if want_dolphins {
+        networks.push(dolphins(&SocialNetworkConfig::dolphins_default()));
+    }
+    if want_karate {
+        networks.push(karate_club(&SocialNetworkConfig::karate_default()));
+    }
+
+    for network in &networks {
+        let mut rows = Vec::new();
+        for query in MotifQuery::social_queries() {
+            for &eps in &errors {
+                let methods = [
+                    ConfidenceMethod::KarpLuby { epsilon: eps, delta: 1e-4 },
+                    ConfidenceMethod::DTreeRelative(eps),
+                ];
+                rows.extend(run_social_network("9", network, query, &methods, &budget));
+            }
+        }
+        print_table(
+            &format!("Figure 9: {} social network, relative-error sweep", network.name),
+            &rows,
+        );
+        println!();
+    }
+}

@@ -1,0 +1,431 @@
+//! Shared harness for reproducing the figures of the ICDE 2010 evaluation.
+//!
+//! The paper's evaluation (Section VII) consists of four figures:
+//!
+//! * **Figure 6 (a)/(b)** — tractable (hierarchical) TPC-H queries, tuple
+//!   probabilities in (0, 1) and (0, 0.01);
+//! * **Figure 6 (c)** — tractable TPC-H queries with inequality joins
+//!   (IQ queries);
+//! * **Figure 7** — #P-hard TPC-H queries over a scale-factor sweep;
+//! * **Figure 8** — triangle / path-of-length-2 queries on random graphs;
+//! * **Figure 9** — motif queries on the karate-club and dolphin social
+//!   networks over a relative-error sweep.
+//!
+//! Each figure has a `repro_*` binary in `src/bin/` that prints the measured
+//! series in the same layout as the paper, and a Criterion bench under
+//! `benches/`. Both are thin wrappers around the functions in this module so
+//! the measured code paths are identical.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::Duration;
+
+use events::{Dnf, ProbabilitySpace, VarOrigins};
+use pdb::confidence::{confidence, ConfidenceBudget, ConfidenceMethod, ConfidenceResult};
+use pdb::QueryAnswer;
+use workloads::tpch::{TpchConfig, TpchDatabase, TpchQuery};
+use workloads::{RandomGraphConfig, SocialNetwork};
+
+pub mod report;
+
+pub use report::{print_table, ExperimentRow};
+
+/// Harness-wide options shared by the repro binaries and the Criterion
+/// benches.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Per-(query, method) wall-clock timeout. The paper uses 300 s / 600 s;
+    /// the default here is much smaller so a full reproduction terminates in
+    /// minutes on a laptop.
+    pub timeout: Duration,
+    /// TPC-H scale factor used where the paper fixes SF 1.
+    pub tpch_scale_factor: f64,
+    /// `true` to run at the paper's full (scaled-down SF 1) sizes; set by the
+    /// `--paper` flag of the repro binaries.
+    pub paper_scale: bool,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            timeout: Duration::from_secs(10),
+            tpch_scale_factor: 0.05,
+            paper_scale: false,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Parses the common command-line flags of the repro binaries:
+    /// `--paper`, `--scale <sf>`, `--timeout <seconds>`.
+    pub fn from_args(args: &[String]) -> Self {
+        let mut opts = HarnessOptions::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--paper" => {
+                    opts.paper_scale = true;
+                    opts.tpch_scale_factor = 1.0;
+                    opts.timeout = Duration::from_secs(300);
+                }
+                "--scale" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
+                        opts.tpch_scale_factor = v;
+                        i += 1;
+                    }
+                }
+                "--timeout" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                        opts.timeout = Duration::from_secs(v);
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The budget handed to every confidence computation.
+    pub fn budget(&self) -> ConfidenceBudget {
+        ConfidenceBudget { timeout: Some(self.timeout), max_work: None }
+    }
+}
+
+/// The methods compared in Figure 6 (a)/(b): `aconf(0.01)`,
+/// `d-tree(rel 0.01)`, `d-tree(0)`. (The SPROUT exact baseline is handled
+/// separately because it operates on the query, not on the lineage.)
+pub fn fig6_methods() -> Vec<ConfidenceMethod> {
+    vec![
+        ConfidenceMethod::KarpLuby { epsilon: 0.01, delta: 1e-4 },
+        ConfidenceMethod::DTreeRelative(0.01),
+        ConfidenceMethod::DTreeExact,
+    ]
+}
+
+/// The methods compared in Figure 7 (hard queries): `aconf` and `d-tree` at
+/// relative errors 0.01 and 0.05.
+pub fn fig7_methods() -> Vec<ConfidenceMethod> {
+    vec![
+        ConfidenceMethod::KarpLuby { epsilon: 0.01, delta: 1e-4 },
+        ConfidenceMethod::KarpLuby { epsilon: 0.05, delta: 1e-4 },
+        ConfidenceMethod::DTreeRelative(0.01),
+        ConfidenceMethod::DTreeRelative(0.05),
+    ]
+}
+
+/// Runs one method on one lineage DNF and converts the outcome to a report
+/// row.
+#[allow(clippy::too_many_arguments)]
+pub fn run_method(
+    figure: &str,
+    workload: &str,
+    query: &str,
+    lineage: &Dnf,
+    space: &ProbabilitySpace,
+    origins: Option<&VarOrigins>,
+    method: &ConfidenceMethod,
+    budget: &ConfidenceBudget,
+) -> ExperimentRow {
+    let r: ConfidenceResult = confidence(lineage, space, origins, method, budget);
+    ExperimentRow {
+        figure: figure.to_owned(),
+        workload: workload.to_owned(),
+        query: query.to_owned(),
+        method: r.method.clone(),
+        seconds: r.elapsed.as_secs_f64(),
+        estimate: r.estimate,
+        lower: r.lower,
+        upper: r.upper,
+        converged: r.converged,
+        clauses: lineage.len(),
+        variables: lineage.num_vars(),
+    }
+}
+
+/// Runs a set of methods over all answers of a TPC-H query, summing the
+/// per-answer times (the paper reports the total time to compute the
+/// confidences of all answer tuples of a query).
+pub fn run_tpch_query(
+    figure: &str,
+    workload: &str,
+    db: &TpchDatabase,
+    query: TpchQuery,
+    methods: &[ConfidenceMethod],
+    budget: &ConfidenceBudget,
+) -> Vec<ExperimentRow> {
+    let answers: Vec<QueryAnswer> = db.answers(&query);
+    let space = db.database().space();
+    let origins = db.database().origins();
+    let total_clauses: usize = answers.iter().map(|a| a.lineage.len()).sum();
+    let total_vars: usize = answers
+        .iter()
+        .flat_map(|a| a.lineage.vars())
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+
+    let mut rows = Vec::new();
+    for method in methods {
+        let mut seconds = 0.0;
+        let mut converged = true;
+        let mut estimate_sum = 0.0;
+        let mut lower = f64::INFINITY;
+        let mut upper = f64::NEG_INFINITY;
+        for answer in &answers {
+            let r = confidence(&answer.lineage, space, Some(origins), method, budget);
+            seconds += r.elapsed.as_secs_f64();
+            converged &= r.converged;
+            estimate_sum += r.estimate;
+            lower = lower.min(r.lower);
+            upper = upper.max(r.upper);
+        }
+        rows.push(ExperimentRow {
+            figure: figure.to_owned(),
+            workload: workload.to_owned(),
+            query: query.name().to_owned(),
+            method: method.label(),
+            seconds,
+            // For multi-answer queries the "estimate" column reports the
+            // mean answer confidence, a compact scalar summary.
+            estimate: if answers.is_empty() { 0.0 } else { estimate_sum / answers.len() as f64 },
+            lower: if lower.is_finite() { lower } else { 0.0 },
+            upper: if upper.is_finite() { upper } else { 0.0 },
+            converged,
+            clauses: total_clauses,
+            variables: total_vars,
+        });
+    }
+    rows
+}
+
+/// Runs the SPROUT exact baseline on a TPC-H query (summing per-answer
+/// times), returning `None` when SPROUT is not applicable (non-hierarchical
+/// queries or queries with inequality predicates).
+pub fn run_sprout(
+    figure: &str,
+    workload: &str,
+    db: &TpchDatabase,
+    query: TpchQuery,
+) -> Option<ExperimentRow> {
+    let cq = query.query();
+    let start = std::time::Instant::now();
+    let confidences = pdb::sprout::answer_confidences(&cq, db.database())?;
+    let seconds = start.elapsed().as_secs_f64();
+    let n = confidences.len().max(1);
+    let mean: f64 = confidences.iter().map(|(_, p)| p).sum::<f64>() / n as f64;
+    Some(ExperimentRow {
+        figure: figure.to_owned(),
+        workload: workload.to_owned(),
+        query: query.name().to_owned(),
+        method: "SPROUT".to_owned(),
+        seconds,
+        estimate: mean,
+        lower: mean,
+        upper: mean,
+        converged: true,
+        clauses: 0,
+        variables: 0,
+    })
+}
+
+/// Builds the tuple-independent TPC-H database for a figure.
+pub fn tpch_database(scale_factor: f64, small_probabilities: bool) -> TpchDatabase {
+    let mut cfg = TpchConfig::new(scale_factor);
+    if small_probabilities {
+        cfg = cfg.with_small_probabilities();
+    }
+    TpchDatabase::generate(&cfg)
+}
+
+/// The graph motif queries evaluated on random graphs and social networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MotifQuery {
+    /// Triangle query `t`.
+    Triangle,
+    /// Path of length 2 (`p2`).
+    Path2,
+    /// Path of length 3 (`p3`).
+    Path3,
+    /// Two-degrees-of-separation query `s2` between two fixed nodes.
+    Separation2,
+}
+
+impl MotifQuery {
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MotifQuery::Triangle => "t",
+            MotifQuery::Path2 => "p2",
+            MotifQuery::Path3 => "p3",
+            MotifQuery::Separation2 => "s2",
+        }
+    }
+
+    /// The queries used in Figure 8 (random graphs).
+    pub fn random_graph_queries() -> Vec<MotifQuery> {
+        vec![MotifQuery::Triangle, MotifQuery::Path2]
+    }
+
+    /// The queries used in Figure 9 (social networks).
+    pub fn social_queries() -> Vec<MotifQuery> {
+        vec![MotifQuery::Triangle, MotifQuery::Path2, MotifQuery::Path3, MotifQuery::Separation2]
+    }
+
+    /// Constructs the query lineage over a probabilistic graph. `sep_pair`
+    /// supplies the two endpoints of the separation query.
+    pub fn lineage(&self, graph: &pdb::motif::ProbGraph, sep_pair: (u32, u32)) -> Dnf {
+        match self {
+            MotifQuery::Triangle => graph.triangle_lineage(),
+            MotifQuery::Path2 => graph.path2_lineage(),
+            MotifQuery::Path3 => graph.path3_lineage(),
+            MotifQuery::Separation2 => graph.separation2_lineage(sep_pair.0, sep_pair.1),
+        }
+    }
+}
+
+/// Runs the Figure-8 style comparison (aconf vs d-tree, relative error) for
+/// one random graph and one motif query.
+pub fn run_random_graph(
+    figure: &str,
+    nodes: u32,
+    edge_probability: f64,
+    query: MotifQuery,
+    methods: &[ConfidenceMethod],
+    budget: &ConfidenceBudget,
+) -> Vec<ExperimentRow> {
+    let (db, graph) = workloads::random_graph(&RandomGraphConfig::uniform(nodes, edge_probability));
+    let lineage = query.lineage(&graph, (0, nodes.saturating_sub(1)));
+    let workload = format!("clique n={nodes} p={edge_probability}");
+    methods
+        .iter()
+        .map(|m| {
+            run_method(
+                figure,
+                &workload,
+                query.label(),
+                &lineage,
+                db.space(),
+                Some(db.origins()),
+                m,
+                budget,
+            )
+        })
+        .collect()
+}
+
+/// Runs one motif query on a social network with the given methods.
+pub fn run_social_network(
+    figure: &str,
+    network: &SocialNetwork,
+    query: MotifQuery,
+    methods: &[ConfidenceMethod],
+    budget: &ConfidenceBudget,
+) -> Vec<ExperimentRow> {
+    let lineage = query.lineage(&network.graph, network.separation_pair());
+    methods
+        .iter()
+        .map(|m| {
+            run_method(
+                figure,
+                &network.name,
+                query.label(),
+                &lineage,
+                network.db.space(),
+                Some(network.db.origins()),
+                m,
+                budget,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::SocialNetworkConfig;
+
+    #[test]
+    fn harness_options_parse_flags() {
+        let args: Vec<String> =
+            ["--scale", "0.1", "--timeout", "3"].iter().map(|s| s.to_string()).collect();
+        let opts = HarnessOptions::from_args(&args);
+        assert!((opts.tpch_scale_factor - 0.1).abs() < 1e-12);
+        assert_eq!(opts.timeout, Duration::from_secs(3));
+        assert!(!opts.paper_scale);
+        let paper = HarnessOptions::from_args(&["--paper".to_owned()]);
+        assert!(paper.paper_scale);
+        assert!((paper.tpch_scale_factor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tpch_harness_produces_rows_for_all_methods() {
+        let db = tpch_database(0.01, false);
+        let budget = ConfidenceBudget { timeout: Some(Duration::from_secs(5)), max_work: None };
+        let rows = run_tpch_query("6a", "tpch", &db, TpchQuery::B1, &fig6_methods(), &budget);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.seconds >= 0.0);
+            assert!(r.estimate >= 0.0 && r.estimate <= 1.0);
+        }
+        // The two d-tree variants must agree tightly with each other.
+        let exact = rows.iter().find(|r| r.method == "d-tree(0)").unwrap().estimate;
+        let approx = rows.iter().find(|r| r.method.contains("rel")).unwrap().estimate;
+        assert!((exact - approx).abs() <= 0.011 * exact.max(1e-12) + 1e-9);
+    }
+
+    #[test]
+    fn sprout_runs_on_hierarchical_queries_only() {
+        let db = tpch_database(0.01, false);
+        assert!(run_sprout("6a", "tpch", &db, TpchQuery::B6).is_some());
+        assert!(run_sprout("7", "tpch", &db, TpchQuery::B9).is_none());
+        assert!(run_sprout("6c", "tpch", &db, TpchQuery::IqB1).is_none());
+    }
+
+    #[test]
+    fn sprout_agrees_with_dtree_exact() {
+        let db = tpch_database(0.01, false);
+        let budget = ConfidenceBudget::default();
+        for q in [TpchQuery::B1, TpchQuery::B16, TpchQuery::B17] {
+            let sprout = run_sprout("6a", "tpch", &db, q).unwrap();
+            let dtree =
+                run_tpch_query("6a", "tpch", &db, q, &[ConfidenceMethod::DTreeExact], &budget);
+            assert!(
+                (sprout.estimate - dtree[0].estimate).abs() < 1e-9,
+                "{}: {} vs {}",
+                q.name(),
+                sprout.estimate,
+                dtree[0].estimate
+            );
+        }
+    }
+
+    #[test]
+    fn random_graph_rows_have_consistent_estimates() {
+        let budget = ConfidenceBudget { timeout: Some(Duration::from_secs(5)), max_work: None };
+        let rows = run_random_graph(
+            "8",
+            8,
+            0.3,
+            MotifQuery::Triangle,
+            &[ConfidenceMethod::DTreeRelative(0.01), ConfidenceMethod::DTreeExact],
+            &budget,
+        );
+        assert_eq!(rows.len(), 2);
+        let exact = rows[1].estimate;
+        assert!((rows[0].estimate - exact).abs() <= 0.011 * exact + 1e-9);
+    }
+
+    #[test]
+    fn social_network_rows_cover_all_queries() {
+        let net = workloads::karate_club(&SocialNetworkConfig::karate_default());
+        let budget = ConfidenceBudget { timeout: Some(Duration::from_secs(5)), max_work: None };
+        for q in MotifQuery::social_queries() {
+            let rows =
+                run_social_network("9", &net, q, &[ConfidenceMethod::DTreeRelative(0.05)], &budget);
+            assert_eq!(rows.len(), 1);
+            assert!(rows[0].converged, "query {} did not converge", q.label());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Plain-text reporting of experiment results.
+//!
+//! Each measurement is an [`ExperimentRow`]; [`print_table`] renders a set of
+//! rows as an aligned table similar in layout to the series the paper plots,
+//! so runs of the `repro_*` binaries can be compared side by side with the
+//! figures and with `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+/// One measurement: a (figure, workload, query, method) combination together
+/// with the measured wall-clock time and the probability estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRow {
+    /// Figure identifier ("6a", "6b", "6c", "7", "8", "9").
+    pub figure: String,
+    /// Workload description (e.g. "tpch sf=0.05", "clique n=20 p=0.3",
+    /// "karate").
+    pub workload: String,
+    /// Query name (e.g. "B9", "t", "p2").
+    pub query: String,
+    /// Method label (e.g. "aconf(0.01)", "d-tree(rel 0.01)", "SPROUT").
+    pub method: String,
+    /// Wall-clock seconds spent in the confidence computation (summed over
+    /// answer tuples for multi-answer queries).
+    pub seconds: f64,
+    /// Probability estimate (mean over answers for multi-answer queries).
+    pub estimate: f64,
+    /// Lower probability bound (d-tree methods; equals the estimate
+    /// otherwise).
+    pub lower: f64,
+    /// Upper probability bound (d-tree methods; equals the estimate
+    /// otherwise).
+    pub upper: f64,
+    /// Whether the requested error guarantee was achieved within the budget.
+    pub converged: bool,
+    /// Number of clauses in the lineage DNF(s).
+    pub clauses: usize,
+    /// Number of distinct variables in the lineage DNF(s).
+    pub variables: usize,
+}
+
+impl ExperimentRow {
+    /// Formats the row's timing like the paper's plots: seconds, or
+    /// "timeout" when the method did not reach its guarantee in time.
+    pub fn time_display(&self) -> String {
+        if self.converged {
+            format!("{:.4}", self.seconds)
+        } else {
+            format!("timeout({:.1}s)", self.seconds)
+        }
+    }
+}
+
+/// Renders rows as an aligned plain-text table.
+pub fn format_table(title: &str, rows: &[ExperimentRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let header = [
+        "figure", "workload", "query", "method", "time(s)", "estimate", "lower", "upper",
+        "clauses", "vars",
+    ];
+    let mut table: Vec<Vec<String>> = vec![header.iter().map(|s| s.to_string()).collect()];
+    for r in rows {
+        table.push(vec![
+            r.figure.clone(),
+            r.workload.clone(),
+            r.query.clone(),
+            r.method.clone(),
+            r.time_display(),
+            format!("{:.6}", r.estimate),
+            format!("{:.6}", r.lower),
+            format!("{:.6}", r.upper),
+            r.clauses.to_string(),
+            r.variables.to_string(),
+        ]);
+    }
+    let widths: Vec<usize> = (0..header.len())
+        .map(|c| table.iter().map(|row| row[c].len()).max().unwrap_or(0))
+        .collect();
+    for (i, row) in table.iter().enumerate() {
+        let line: Vec<String> =
+            row.iter().zip(&widths).map(|(cell, w)| format!("{cell:<w$}")).collect();
+        let _ = writeln!(out, "{}", line.join("  "));
+        if i == 0 {
+            let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        }
+    }
+    out
+}
+
+/// Prints rows as an aligned plain-text table to stdout.
+pub fn print_table(title: &str, rows: &[ExperimentRow]) {
+    print!("{}", format_table(title, rows));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(method: &str, seconds: f64, converged: bool) -> ExperimentRow {
+        ExperimentRow {
+            figure: "7".into(),
+            workload: "tpch sf=0.05".into(),
+            query: "B9".into(),
+            method: method.into(),
+            seconds,
+            estimate: 0.42,
+            lower: 0.41,
+            upper: 0.43,
+            converged,
+            clauses: 300,
+            variables: 900,
+        }
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let rows = vec![row("d-tree(rel 0.01)", 0.0123, true), row("aconf(0.01)", 10.0, false)];
+        let s = format_table("Figure 7", &rows);
+        assert!(s.contains("Figure 7"));
+        assert!(s.contains("d-tree(rel 0.01)"));
+        assert!(s.contains("aconf(0.01)"));
+        assert!(s.contains("0.0123"));
+        assert!(s.contains("timeout(10.0s)"));
+        assert!(s.contains("B9"));
+        // Header plus separator plus two rows.
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn time_display_marks_timeouts() {
+        assert_eq!(row("x", 1.5, true).time_display(), "1.5000");
+        assert!(row("x", 1.5, false).time_display().starts_with("timeout"));
+    }
+}

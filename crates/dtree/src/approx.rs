@@ -1,0 +1,903 @@
+//! Deterministic ε-approximation of DNF probability by incremental d-tree
+//! compilation (Section V of the paper).
+//!
+//! Two refinement strategies are provided:
+//!
+//! * [`RefinementStrategy::DepthFirstClosing`] — the memory-efficient
+//!   algorithm of Section V-D: depth-first compilation that keeps only the
+//!   current root-to-leaf path, closes leaves whose worst-case contribution
+//!   can no longer violate the error bound (Lemma 5.11 / Theorem 5.12), and
+//!   stops as soon as the global bounds satisfy the sufficient condition of
+//!   Proposition 5.8.
+//! * [`RefinementStrategy::PriorityRefinement`] — the simpler algorithm also
+//!   sketched in Section V-D: materialise the partial d-tree and repeatedly
+//!   refine the open leaf with the widest bounds interval.
+
+use std::time::{Duration, Instant};
+
+use events::{product_factorization, Atom, Clause, Dnf, ProbabilitySpace};
+
+use crate::bounds::{dnf_bounds, Bounds};
+use crate::compile::CompileOptions;
+use crate::exact::exact_probability;
+use crate::order::choose_variable;
+use crate::partial::PartialDTree;
+use crate::stats::CompileStats;
+
+/// Leaf DNFs with at most this many distinct variables are evaluated exactly
+/// (their complete sub-d-tree is folded on the fly) instead of being bounded
+/// with the bucket heuristic and decomposed one step at a time. Small exact
+/// leaves produce point bounds, which both tightens the global interval and
+/// preserves the ε "slack" of Theorem 5.12 for the genuinely large leaves.
+const EXACT_LEAF_VARS: usize = 12;
+
+/// The approximation guarantee requested from the algorithm
+/// (Definition 5.7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorBound {
+    /// Absolute (additive) error: the returned estimate `p̂` satisfies
+    /// `p − ε ≤ p̂ ≤ p + ε`.
+    Absolute(f64),
+    /// Relative (multiplicative) error: the returned estimate `p̂` satisfies
+    /// `(1 − ε)·p ≤ p̂ ≤ (1 + ε)·p`.
+    Relative(f64),
+}
+
+impl ErrorBound {
+    /// The error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        match self {
+            ErrorBound::Absolute(e) | ErrorBound::Relative(e) => *e,
+        }
+    }
+
+    /// The sufficient condition of Proposition 5.8: given d-tree bounds
+    /// `[L, U]`, an ε-approximation can be read off iff
+    /// * absolute: `U − L ≤ 2ε`,
+    /// * relative: `(1 − ε)·U ≤ (1 + ε)·L`.
+    pub fn satisfied_by(&self, bounds: Bounds) -> bool {
+        match self {
+            ErrorBound::Absolute(e) => bounds.upper - bounds.lower <= 2.0 * e + 1e-15,
+            ErrorBound::Relative(e) => {
+                (1.0 - e) * bounds.upper <= (1.0 + e) * bounds.lower + 1e-15
+            }
+        }
+    }
+
+    /// An estimate guaranteed to be an ε-approximation whenever
+    /// [`ErrorBound::satisfied_by`] holds for `bounds` (Proposition 5.8):
+    /// * absolute: any value in `[U − ε, L + ε]` — we return the midpoint of
+    ///   `[L, U]`, which always lies in that interval when it is non-empty;
+    /// * relative: the midpoint of `[(1 − ε)·U, (1 + ε)·L]`.
+    ///
+    /// When the condition does not hold the bounds midpoint is returned as a
+    /// best-effort estimate (with `converged = false` in [`ApproxResult`]).
+    pub fn estimate_from(&self, bounds: Bounds) -> f64 {
+        match self {
+            ErrorBound::Absolute(_) => bounds.midpoint(),
+            ErrorBound::Relative(e) => {
+                if self.satisfied_by(bounds) {
+                    0.5 * ((1.0 - e) * bounds.upper + (1.0 + e) * bounds.lower)
+                } else {
+                    bounds.midpoint()
+                }
+            }
+        }
+    }
+}
+
+/// Strategy used to pick which part of the d-tree to refine next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefinementStrategy {
+    /// Memory-efficient depth-first compilation with leaf closing
+    /// (Section V-D). This is the algorithm evaluated in the paper.
+    #[default]
+    DepthFirstClosing,
+    /// Materialise the partial d-tree and repeatedly refine the leaf with the
+    /// widest bounds interval.
+    PriorityRefinement,
+}
+
+/// Options for the approximation algorithm.
+#[derive(Debug, Clone)]
+pub struct ApproxOptions {
+    /// The requested error guarantee.
+    pub error: ErrorBound,
+    /// Compilation options (variable order, origins, …).
+    pub compile: CompileOptions,
+    /// Refinement strategy.
+    pub strategy: RefinementStrategy,
+    /// Maximum number of decomposition steps (`None` = unlimited). When the
+    /// budget is exhausted remaining leaves are closed with their current
+    /// bounds and the result may not be converged — this implements the
+    /// "given time budget" usage mentioned in the paper's introduction.
+    pub max_steps: Option<usize>,
+    /// Wall-clock timeout (`None` = unlimited).
+    pub timeout: Option<Duration>,
+}
+
+impl ApproxOptions {
+    /// Absolute ε-approximation with default strategy and no budget.
+    pub fn absolute(epsilon: f64) -> Self {
+        ApproxOptions {
+            error: ErrorBound::Absolute(epsilon),
+            compile: CompileOptions::default(),
+            strategy: RefinementStrategy::default(),
+            max_steps: None,
+            timeout: None,
+        }
+    }
+
+    /// Relative ε-approximation with default strategy and no budget.
+    pub fn relative(epsilon: f64) -> Self {
+        ApproxOptions {
+            error: ErrorBound::Relative(epsilon),
+            compile: CompileOptions::default(),
+            strategy: RefinementStrategy::default(),
+            max_steps: None,
+            timeout: None,
+        }
+    }
+
+    /// Sets the compilation options (variable order / origins).
+    pub fn with_compile(mut self, compile: CompileOptions) -> Self {
+        self.compile = compile;
+        self
+    }
+
+    /// Sets the refinement strategy.
+    pub fn with_strategy(mut self, strategy: RefinementStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the decomposition-step budget.
+    pub fn with_max_steps(mut self, steps: usize) -> Self {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Sets the wall-clock timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+/// Result of an approximate confidence computation.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxResult {
+    /// Final lower bound on the probability.
+    pub lower: f64,
+    /// Final upper bound on the probability.
+    pub upper: f64,
+    /// The reported estimate (guaranteed to be an ε-approximation when
+    /// `converged` is `true`).
+    pub estimate: f64,
+    /// `true` when the sufficient condition of Proposition 5.8 was met.
+    pub converged: bool,
+    /// Number of decomposition steps performed.
+    pub steps: usize,
+    /// Statistics about the traversed d-tree fragments.
+    pub stats: CompileStats,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl ApproxResult {
+    /// The final bounds as a [`Bounds`] value.
+    pub fn bounds(&self) -> Bounds {
+        Bounds::new(self.lower, self.upper)
+    }
+}
+
+/// The incremental ε-approximation compiler.
+#[derive(Debug, Clone)]
+pub struct ApproxCompiler {
+    opts: ApproxOptions,
+}
+
+impl ApproxCompiler {
+    /// Creates a compiler with the given options.
+    pub fn new(opts: ApproxOptions) -> Self {
+        ApproxCompiler { opts }
+    }
+
+    /// Runs the approximation on `dnf` over `space`.
+    pub fn run(&self, dnf: &Dnf, space: &ProbabilitySpace) -> ApproxResult {
+        let start = Instant::now();
+        match self.opts.strategy {
+            RefinementStrategy::DepthFirstClosing => {
+                let mut dfs = Dfs {
+                    space,
+                    opts: &self.opts,
+                    frames: Vec::new(),
+                    stats: CompileStats::default(),
+                    steps: 0,
+                    start,
+                    budget_exhausted: false,
+                };
+                let outcome = dfs.explore(Work::Dnf(dnf.clone()), 0);
+                let bounds = match outcome {
+                    Outcome::Finished(b) => b,
+                    Outcome::StopAll(b) => b,
+                };
+                self.finish(bounds, dfs.steps, dfs.stats, start)
+            }
+            RefinementStrategy::PriorityRefinement => {
+                let mut tree = PartialDTree::new(dnf.clone(), space);
+                let mut steps = 0usize;
+                loop {
+                    let bounds = tree.bounds(space);
+                    if self.opts.error.satisfied_by(bounds) {
+                        return self.finish(bounds, steps, *tree.stats(), start);
+                    }
+                    if self.budget_exceeded(steps, start) {
+                        return self.finish(bounds, steps, *tree.stats(), start);
+                    }
+                    match tree.widest_open_leaf() {
+                        Some(leaf) => {
+                            tree.refine(leaf, space, &self.opts.compile);
+                            steps += 1;
+                        }
+                        None => {
+                            // Complete tree: bounds are exact.
+                            return self.finish(bounds, steps, *tree.stats(), start);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn budget_exceeded(&self, steps: usize, start: Instant) -> bool {
+        if let Some(max) = self.opts.max_steps {
+            if steps >= max {
+                return true;
+            }
+        }
+        if let Some(timeout) = self.opts.timeout {
+            if start.elapsed() >= timeout {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn finish(
+        &self,
+        bounds: Bounds,
+        steps: usize,
+        stats: CompileStats,
+        start: Instant,
+    ) -> ApproxResult {
+        ApproxResult {
+            lower: bounds.lower,
+            upper: bounds.upper,
+            estimate: self.opts.error.estimate_from(bounds),
+            converged: self.opts.error.satisfied_by(bounds),
+            steps,
+            stats,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+/// Work items for the depth-first exploration: either a DNF to decompose or
+/// an already-decomposed inner node whose children still need exploring.
+enum Work {
+    Dnf(Dnf),
+    Node(Op, Vec<Work>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Or,
+    And,
+    Xor,
+}
+
+enum Outcome {
+    /// The subtree finished with these (final) bounds — either exact or
+    /// closed.
+    Finished(Bounds),
+    /// The global stopping condition was met; the value is the global bounds
+    /// at that moment. Unwinds the entire exploration.
+    StopAll(Bounds),
+}
+
+/// A stack frame of the depth-first exploration: one per inner node on the
+/// current root-to-leaf path. `done` holds the final bounds of fully explored
+/// children, `pending` the quick (bucket) bounds of children not yet visited.
+struct Frame {
+    op: Op,
+    done: Vec<Bounds>,
+    pending: Vec<Bounds>,
+}
+
+impl Frame {
+    /// Lemma 5.11 restricts leaf closing to d-trees whose ⊙ nodes have at
+    /// most one non-exact child; an ⊙ frame with open (non-point) siblings
+    /// therefore forbids closing anywhere beneath it.
+    fn allows_closing(&self) -> bool {
+        self.op != Op::And
+            || (self.done.iter().all(Bounds::is_point) && self.pending.iter().all(Bounds::is_point))
+    }
+}
+
+struct Dfs<'a> {
+    space: &'a ProbabilitySpace,
+    opts: &'a ApproxOptions,
+    frames: Vec<Frame>,
+    stats: CompileStats,
+    steps: usize,
+    start: Instant,
+    budget_exhausted: bool,
+}
+
+impl<'a> Dfs<'a> {
+    /// Folds the current path's frames around `current` to obtain bounds for
+    /// the whole d-tree. With `pending_at_lower` the still-open siblings are
+    /// pinned to their lower bound (the worst case of Lemma 5.11, used for
+    /// the closing check); otherwise their full bucket intervals are used
+    /// (the stopping check of Proposition 5.8).
+    fn global_bounds(&self, current: Bounds, pending_at_lower: bool) -> Bounds {
+        let mut acc = current;
+        for frame in self.frames.iter().rev() {
+            let children: Vec<Bounds> = frame
+                .done
+                .iter()
+                .copied()
+                .chain(std::iter::once(acc))
+                .chain(frame.pending.iter().map(|b| {
+                    if pending_at_lower {
+                        Bounds::point(b.lower)
+                    } else {
+                        *b
+                    }
+                }))
+                .collect();
+            acc = match frame.op {
+                Op::Or => Bounds::combine_or(children),
+                Op::And => Bounds::combine_and(children),
+                Op::Xor => Bounds::combine_xor(children),
+            };
+        }
+        acc
+    }
+
+    fn closing_allowed(&self) -> bool {
+        self.frames.iter().all(Frame::allows_closing)
+    }
+
+    fn check_budget(&mut self) {
+        if self.budget_exhausted {
+            return;
+        }
+        if let Some(max) = self.opts.max_steps {
+            if self.steps >= max {
+                self.budget_exhausted = true;
+            }
+        }
+        if let Some(timeout) = self.opts.timeout {
+            if self.start.elapsed() >= timeout {
+                self.budget_exhausted = true;
+            }
+        }
+    }
+
+    /// Quick bounds of a work item without exploring it: bucket bounds for
+    /// DNFs, recursive combination for already-decomposed nodes.
+    fn quick_bounds(&mut self, work: &Work) -> Bounds {
+        match work {
+            Work::Dnf(dnf) => {
+                if dnf.is_empty() {
+                    Bounds::point(0.0)
+                } else if dnf.is_tautology() {
+                    Bounds::point(1.0)
+                } else if dnf.len() == 1 {
+                    Bounds::point(dnf.clauses()[0].probability(self.space))
+                } else if dnf.num_vars() <= EXACT_LEAF_VARS {
+                    Bounds::point(
+                        exact_probability(dnf, self.space, &self.opts.compile).probability,
+                    )
+                } else {
+                    self.stats.bound_evaluations += 1;
+                    dnf_bounds(dnf, self.space)
+                }
+            }
+            Work::Node(op, children) => {
+                let bounds: Vec<Bounds> = children.iter().map(|c| self.quick_bounds(c)).collect();
+                match op {
+                    Op::Or => Bounds::combine_or(bounds),
+                    Op::And => Bounds::combine_and(bounds),
+                    Op::Xor => Bounds::combine_xor(bounds),
+                }
+            }
+        }
+    }
+
+    fn explore(&mut self, work: Work, depth: usize) -> Outcome {
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        match work {
+            Work::Node(op, children) => self.explore_node(op, children, depth),
+            Work::Dnf(dnf) => self.explore_dnf(dnf, depth),
+        }
+    }
+
+    fn explore_node(&mut self, op: Op, children: Vec<Work>, depth: usize) -> Outcome {
+        let pending: Vec<Bounds> =
+            children.iter().skip(1).map(|c| self.quick_bounds(c)).collect();
+        self.frames.push(Frame { op, done: Vec::new(), pending });
+        let n = children.len();
+        for (i, child) in children.into_iter().enumerate() {
+            if i > 0 {
+                // The child about to be explored leaves the pending list.
+                let frame = self.frames.last_mut().expect("frame pushed above");
+                if !frame.pending.is_empty() {
+                    frame.pending.remove(0);
+                }
+            }
+            match self.explore(child, depth + 1) {
+                Outcome::Finished(b) => {
+                    let frame = self.frames.last_mut().expect("frame pushed above");
+                    frame.done.push(b);
+                }
+                Outcome::StopAll(b) => {
+                    self.frames.pop();
+                    return Outcome::StopAll(b);
+                }
+            }
+            let _ = n;
+        }
+        let frame = self.frames.pop().expect("frame pushed above");
+        let combined = match op {
+            Op::Or => Bounds::combine_or(frame.done),
+            Op::And => Bounds::combine_and(frame.done),
+            Op::Xor => Bounds::combine_xor(frame.done),
+        };
+        Outcome::Finished(combined)
+    }
+
+    fn explore_dnf(&mut self, dnf: Dnf, depth: usize) -> Outcome {
+        // Exact leaves: constants and single clauses.
+        if dnf.is_empty() {
+            self.stats.exact_leaves += 1;
+            return Outcome::Finished(Bounds::point(0.0));
+        }
+        if dnf.is_tautology() {
+            self.stats.exact_leaves += 1;
+            return Outcome::Finished(Bounds::point(1.0));
+        }
+        if dnf.len() == 1 {
+            self.stats.exact_leaves += 1;
+            return Outcome::Finished(Bounds::point(dnf.clauses()[0].probability(self.space)));
+        }
+        // Small leaves: fold their complete sub-d-tree on the fly. This keeps
+        // the ε slack for the large leaves and avoids paying the quadratic
+        // bucket-bound heuristic on sub-DNFs that are cheaper to just solve.
+        if dnf.num_vars() <= EXACT_LEAF_VARS {
+            self.stats.exact_leaves += 1;
+            let r = exact_probability(&dnf, self.space, &self.opts.compile);
+            self.stats.or_nodes += r.stats.or_nodes;
+            self.stats.and_nodes += r.stats.and_nodes;
+            self.stats.xor_nodes += r.stats.xor_nodes;
+            let point = Bounds::point(r.probability);
+            // The global stopping condition may already hold with this leaf
+            // resolved exactly.
+            let global = self.global_bounds(point, false);
+            if self.opts.error.satisfied_by(global) {
+                return Outcome::StopAll(global);
+            }
+            return Outcome::Finished(point);
+        }
+
+        // Quick bounds of this leaf (the `Independent` heuristic of Fig. 3).
+        self.stats.bound_evaluations += 1;
+        let current = dnf_bounds(&dnf, self.space);
+
+        // Check 1 (Proposition 5.8): can the whole computation stop now?
+        let global = self.global_bounds(current, false);
+        if self.opts.error.satisfied_by(global) {
+            return Outcome::StopAll(global);
+        }
+
+        // Check 2 (Theorem 5.12): can this leaf be closed — i.e. even in the
+        // worst case over the remaining open leaves, keeping this leaf's
+        // bucket bounds cannot break the ε-condition?
+        if self.closing_allowed() {
+            let worst = self.global_bounds(current, true);
+            if self.opts.error.satisfied_by(worst) {
+                self.stats.closed_leaves += 1;
+                return Outcome::Finished(current);
+            }
+        }
+
+        // Budget: when exhausted, close unconditionally (best effort).
+        self.check_budget();
+        if self.budget_exhausted {
+            self.stats.closed_leaves += 1;
+            return Outcome::Finished(current);
+        }
+
+        // Otherwise decompose one step and recurse.
+        self.steps += 1;
+        let node = self.decompose(dnf);
+        self.explore(node, depth)
+    }
+
+    /// One decomposition step of Figure 1, producing a [`Work::Node`] (or a
+    /// `Work::Dnf` when only subsumption removal applied).
+    fn decompose(&mut self, dnf: Dnf) -> Work {
+        // Step 1: subsumption removal.
+        let reduced = dnf.remove_subsumed();
+        self.stats.subsumed_clauses += dnf.len() - reduced.len();
+        let dnf = reduced;
+
+        if dnf.len() <= 1 || dnf.is_tautology() {
+            return Work::Dnf(dnf);
+        }
+
+        // Step 2: independent-or (⊗).
+        let components = dnf.independent_components();
+        if components.len() > 1 {
+            self.stats.or_nodes += 1;
+            return Work::Node(Op::Or, components.into_iter().map(Work::Dnf).collect());
+        }
+
+        // Step 3a: independent-and (⊙) by common-atom factoring.
+        let common = dnf.common_atoms();
+        if !common.is_empty() {
+            self.stats.and_nodes += 1;
+            let rest = dnf.strip_atoms(&common);
+            let mut children: Vec<Work> = common
+                .iter()
+                .map(|a| Work::Dnf(Dnf::singleton(Clause::singleton(*a))))
+                .collect();
+            children.push(Work::Dnf(rest));
+            return Work::Node(Op::And, children);
+        }
+
+        // Step 3b: independent-and (⊙) by relational product factorization.
+        if let Some(origins) = &self.opts.compile.origins {
+            if let Some(factors) = product_factorization(dnf.clauses(), origins) {
+                self.stats.and_nodes += 1;
+                return Work::Node(
+                    Op::And,
+                    factors.into_iter().map(|c| Work::Dnf(Dnf::from_clauses(c))).collect(),
+                );
+            }
+        }
+
+        // Step 4: Shannon expansion (⊕).
+        let var = choose_variable(&dnf, &self.opts.compile.var_order, self.opts.compile.origins.as_ref())
+            .expect("non-constant DNF mentions a variable");
+        self.stats.xor_nodes += 1;
+        let mut branches = Vec::new();
+        for (value, cofactor) in dnf.shannon_cofactors(var, self.space) {
+            self.stats.and_nodes += 1;
+            branches.push(Work::Node(
+                Op::And,
+                vec![
+                    Work::Dnf(Dnf::singleton(Clause::singleton(Atom::new(var, value)))),
+                    Work::Dnf(cofactor),
+                ],
+            ));
+        }
+        Work::Node(Op::Xor, branches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use events::VarId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn bool_space(ps: &[f64]) -> (ProbabilitySpace, Vec<VarId>) {
+        let mut s = ProbabilitySpace::new();
+        let vars = ps.iter().enumerate().map(|(i, &p)| s.add_bool(format!("x{i}"), p)).collect();
+        (s, vars)
+    }
+
+    fn example_5_2() -> (ProbabilitySpace, Dnf) {
+        let (s, vars) = bool_space(&[0.3, 0.2, 0.7, 0.8]);
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_bools(&[vars[0], vars[1]]),
+            Clause::from_bools(&[vars[0], vars[2]]),
+            Clause::from_bools(&[vars[3]]),
+        ]);
+        (s, phi)
+    }
+
+    #[test]
+    fn error_bound_conditions_match_proposition_5_8() {
+        // Example 5.9: bounds [0.842, 0.848].
+        let b = Bounds::new(0.842, 0.848);
+        assert!(ErrorBound::Absolute(0.003).satisfied_by(b));
+        assert!(ErrorBound::Absolute(0.004).satisfied_by(b));
+        assert!(!ErrorBound::Absolute(0.002).satisfied_by(b));
+        // The unique absolute 0.003-approximation is 0.845.
+        let est = ErrorBound::Absolute(0.003).estimate_from(b);
+        assert!((est - 0.845).abs() < 1e-12);
+        // Relative condition.
+        assert!(ErrorBound::Relative(0.01).satisfied_by(b));
+        assert!(!ErrorBound::Relative(0.001).satisfied_by(b));
+    }
+
+    #[test]
+    fn absolute_approximation_on_example_5_2() {
+        let (s, phi) = example_5_2();
+        let exact = phi.exact_probability_enumeration(&s);
+        for eps in [0.05, 0.01, 0.001, 1e-6] {
+            let r = ApproxCompiler::new(ApproxOptions::absolute(eps)).run(&phi, &s);
+            assert!(r.converged, "eps={eps}");
+            assert!((r.estimate - exact).abs() <= eps + 1e-12, "eps={eps} est={}", r.estimate);
+            assert!(r.lower <= exact + 1e-12 && exact <= r.upper + 1e-12);
+        }
+    }
+
+    #[test]
+    fn relative_approximation_on_example_5_2() {
+        let (s, phi) = example_5_2();
+        let exact = phi.exact_probability_enumeration(&s);
+        for eps in [0.1, 0.01, 0.001] {
+            let r = ApproxCompiler::new(ApproxOptions::relative(eps)).run(&phi, &s);
+            assert!(r.converged, "eps={eps}");
+            assert!(
+                r.estimate >= (1.0 - eps) * exact - 1e-12
+                    && r.estimate <= (1.0 + eps) * exact + 1e-12,
+                "eps={eps} est={} exact={exact}",
+                r.estimate
+            );
+        }
+    }
+
+    #[test]
+    fn priority_strategy_agrees_with_dfs() {
+        let (s, phi) = example_5_2();
+        let exact = phi.exact_probability_enumeration(&s);
+        let dfs = ApproxCompiler::new(ApproxOptions::absolute(0.005)).run(&phi, &s);
+        let pri = ApproxCompiler::new(
+            ApproxOptions::absolute(0.005).with_strategy(RefinementStrategy::PriorityRefinement),
+        )
+        .run(&phi, &s);
+        assert!(dfs.converged && pri.converged);
+        assert!((dfs.estimate - exact).abs() <= 0.005 + 1e-12);
+        assert!((pri.estimate - exact).abs() <= 0.005 + 1e-12);
+    }
+
+    #[test]
+    fn zero_error_recovers_exact_probability() {
+        let (s, phi) = example_5_2();
+        let exact = phi.exact_probability_enumeration(&s);
+        let r = ApproxCompiler::new(ApproxOptions::absolute(0.0)).run(&phi, &s);
+        assert!(r.converged);
+        assert!((r.estimate - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constants_and_degenerate_inputs() {
+        let (s, vars) = bool_space(&[0.4]);
+        let empty = Dnf::empty();
+        let r = ApproxCompiler::new(ApproxOptions::absolute(0.01)).run(&empty, &s);
+        assert!(r.converged);
+        assert_eq!(r.estimate, 0.0);
+        let taut = Dnf::tautology();
+        let r = ApproxCompiler::new(ApproxOptions::relative(0.01)).run(&taut, &s);
+        assert!(r.converged);
+        assert_eq!(r.estimate, 1.0);
+        let single = Dnf::literal(vars[0]);
+        let r = ApproxCompiler::new(ApproxOptions::absolute(0.0)).run(&single, &s);
+        assert!(r.converged);
+        assert!((r.estimate - 0.4).abs() < 1e-12);
+    }
+
+    /// Random correlated DNFs: the estimate must respect the requested error
+    /// against brute-force enumeration, for both error types and both
+    /// strategies.
+    #[test]
+    fn randomized_error_guarantees() {
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        for trial in 0..30 {
+            let nvars = rng.gen_range(3..9);
+            let probs: Vec<f64> = (0..nvars).map(|_| rng.gen_range(0.05..0.95)).collect();
+            let (s, vars) = bool_space(&probs);
+            let nclauses = rng.gen_range(2..7);
+            let clauses: Vec<Clause> = (0..nclauses)
+                .map(|_| {
+                    let width = rng.gen_range(1..4usize);
+                    Clause::from_bools(
+                        &(0..width).map(|_| vars[rng.gen_range(0..nvars)]).collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            let phi = Dnf::from_clauses(clauses);
+            if phi.is_empty() {
+                continue;
+            }
+            let exact = phi.exact_probability_enumeration(&s);
+            for (strategy, eps) in [
+                (RefinementStrategy::DepthFirstClosing, 0.01),
+                (RefinementStrategy::DepthFirstClosing, 0.1),
+                (RefinementStrategy::PriorityRefinement, 0.05),
+            ] {
+                let r = ApproxCompiler::new(
+                    ApproxOptions::absolute(eps).with_strategy(strategy),
+                )
+                .run(&phi, &s);
+                assert!(r.converged, "trial {trial}");
+                assert!(
+                    (r.estimate - exact).abs() <= eps + 1e-9,
+                    "trial {trial} strategy {strategy:?} eps {eps}: est {} exact {exact}",
+                    r.estimate
+                );
+                let rel = ApproxCompiler::new(
+                    ApproxOptions::relative(eps).with_strategy(strategy),
+                )
+                .run(&phi, &s);
+                assert!(rel.converged, "trial {trial}");
+                assert!(
+                    (rel.estimate - exact).abs() <= eps * exact + 1e-9,
+                    "trial {trial}: rel est {} exact {exact}",
+                    rel.estimate
+                );
+            }
+        }
+    }
+
+    /// With a generous error the algorithm should stop early — fewer
+    /// decomposition steps than with a tight error.
+    #[test]
+    fn looser_errors_take_fewer_steps() {
+        // A chain DNF that needs genuine work.
+        let probs: Vec<f64> = (0..14).map(|i| 0.2 + 0.04 * i as f64).collect();
+        let (s, vars) = bool_space(&probs);
+        let phi = Dnf::from_clauses(
+            (0..13).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])).collect::<Vec<_>>(),
+        );
+        let loose = ApproxCompiler::new(ApproxOptions::absolute(0.2)).run(&phi, &s);
+        let tight = ApproxCompiler::new(ApproxOptions::absolute(1e-4)).run(&phi, &s);
+        assert!(loose.converged && tight.converged);
+        assert!(
+            loose.steps <= tight.steps,
+            "loose {} steps vs tight {} steps",
+            loose.steps,
+            tight.steps
+        );
+        let exact = phi.exact_probability_enumeration(&s);
+        assert!((loose.estimate - exact).abs() <= 0.2 + 1e-9);
+        assert!((tight.estimate - exact).abs() <= 1e-4 + 1e-9);
+    }
+
+    #[test]
+    fn step_budget_limits_work_but_keeps_sound_bounds() {
+        let probs: Vec<f64> = (0..16).map(|i| 0.2 + 0.04 * i as f64).collect();
+        let (s, vars) = bool_space(&probs);
+        let phi = Dnf::from_clauses(
+            (0..15).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])).collect::<Vec<_>>(),
+        );
+        let exact = phi.exact_probability_enumeration(&s);
+        let r = ApproxCompiler::new(ApproxOptions::absolute(1e-9).with_max_steps(3)).run(&phi, &s);
+        assert!(r.steps <= 4);
+        // Bounds stay sound even without convergence.
+        assert!(r.lower <= exact + 1e-9 && exact <= r.upper + 1e-9);
+        // The leaf-closing statistics reflect the forced closures.
+        assert!(r.stats.closed_leaves > 0 || r.converged);
+    }
+
+    #[test]
+    fn timeout_is_respected() {
+        let probs: Vec<f64> = (0..18).map(|i| 0.2 + 0.03 * i as f64).collect();
+        let (s, vars) = bool_space(&probs);
+        let phi = Dnf::from_clauses(
+            (0..17).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])).collect::<Vec<_>>(),
+        );
+        let r = ApproxCompiler::new(
+            ApproxOptions::absolute(0.0).with_timeout(Duration::from_millis(0)),
+        )
+        .run(&phi, &s);
+        // With a zero timeout the first leaf is closed immediately; the
+        // result is the bucket bounds of the whole DNF.
+        let exact = phi.exact_probability_enumeration(&s);
+        assert!(r.lower <= exact + 1e-9 && exact <= r.upper + 1e-9);
+    }
+
+    /// Example 5.13: the closing decision at Φ2 of the Figure-4 d-tree.
+    /// We reproduce it directly through the `Frame`/`global_bounds`
+    /// machinery.
+    #[test]
+    fn example_5_13_closing_decision() {
+        let (s, _) = bool_space(&[0.5]);
+        let opts = ApproxOptions::absolute(0.012);
+        let dfs = Dfs {
+            space: &s,
+            opts: &opts,
+            frames: vec![
+                Frame {
+                    op: Op::Or,
+                    // Φ1 is closed with bounds [0.1, 0.11].
+                    done: vec![Bounds::new(0.1, 0.11)],
+                    pending: vec![],
+                },
+                Frame {
+                    op: Op::Xor,
+                    done: vec![],
+                    // Φ3 is open with bucket bounds [0.35, 0.38].
+                    pending: vec![Bounds::new(0.35, 0.38)],
+                },
+                Frame {
+                    op: Op::And,
+                    // {x = 1} with exact probability 0.5.
+                    done: vec![Bounds::point(0.5)],
+                    pending: vec![],
+                },
+            ],
+            stats: CompileStats::default(),
+            steps: 0,
+            start: Instant::now(),
+            budget_exhausted: false,
+        };
+        let phi2 = Bounds::new(0.4, 0.44);
+        // Check (1): with all leaves at their current bounds the condition
+        // fails (U − L = 0.049 > 0.024).
+        let stop = dfs.global_bounds(phi2, false);
+        assert!((stop.lower - 0.595).abs() < 1e-9);
+        assert!((stop.upper - 0.644).abs() < 1e-9);
+        assert!(!opts.error.satisfied_by(stop));
+        // Check (2): pinning the open leaf Φ3 to its lower bound gives
+        // U' − L = 0.0223 ≤ 0.024, so Φ2 may be closed.
+        let close = dfs.global_bounds(phi2, true);
+        assert!((close.lower - 0.595).abs() < 1e-9);
+        assert!((close.upper - 0.6173).abs() < 1e-9, "upper = {}", close.upper);
+        assert!(opts.error.satisfied_by(close));
+        assert!(dfs.closing_allowed());
+    }
+
+    #[test]
+    fn closing_is_disallowed_under_wide_and_frames() {
+        let (s, _) = bool_space(&[0.5]);
+        let opts = ApproxOptions::absolute(0.01);
+        let dfs = Dfs {
+            space: &s,
+            opts: &opts,
+            frames: vec![Frame {
+                op: Op::And,
+                done: vec![],
+                pending: vec![Bounds::new(0.3, 0.6)],
+            }],
+            stats: CompileStats::default(),
+            steps: 0,
+            start: Instant::now(),
+            budget_exhausted: false,
+        };
+        assert!(!dfs.closing_allowed());
+    }
+
+    /// Hierarchical-style lineage with origins: approximation with error 0
+    /// equals the exact result and uses no Shannon expansion.
+    #[test]
+    fn origins_enable_factorized_approximation() {
+        use events::VarOrigins;
+        let (s, vars) = bool_space(&[0.3, 0.4, 0.5, 0.6]);
+        let (r1, r2, s1, s2) = (vars[0], vars[1], vars[2], vars[3]);
+        let mut origins = VarOrigins::new();
+        for (v, g) in [(r1, 0), (r2, 0), (s1, 1), (s2, 1)] {
+            origins.set(v, g);
+        }
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_bools(&[r1, s1]),
+            Clause::from_bools(&[r1, s2]),
+            Clause::from_bools(&[r2, s1]),
+            Clause::from_bools(&[r2, s2]),
+        ]);
+        let opts = ApproxOptions::absolute(0.0)
+            .with_compile(CompileOptions::with_origins(origins));
+        let r = ApproxCompiler::new(opts).run(&phi, &s);
+        assert!(r.converged);
+        let exact = phi.exact_probability_enumeration(&s);
+        assert!((r.estimate - exact).abs() < 1e-9);
+        assert_eq!(r.stats.xor_nodes, 0);
+    }
+}

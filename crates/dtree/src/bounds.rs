@@ -1,0 +1,454 @@
+//! Probability bounds: the `[lower, upper]` interval abstraction and the
+//! bucket heuristic of Figure 3 that computes bounds for a DNF leaf without
+//! refining it.
+
+use events::{Dnf, ProbabilitySpace, VarId};
+use std::collections::BTreeSet;
+
+/// A closed interval `[lower, upper]` bracketing a probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds {
+    /// Lower bound (inclusive).
+    pub lower: f64,
+    /// Upper bound (inclusive).
+    pub upper: f64,
+}
+
+impl Bounds {
+    /// A point interval `[p, p]` for an exactly known probability.
+    #[inline]
+    pub fn point(p: f64) -> Self {
+        Bounds { lower: p, upper: p }
+    }
+
+    /// The interval `[0, 1]` (no information).
+    #[inline]
+    pub fn vacuous() -> Self {
+        Bounds { lower: 0.0, upper: 1.0 }
+    }
+
+    /// Constructs a bounds interval, clamping both ends to `[0, 1]` and
+    /// ensuring `lower ≤ upper`.
+    pub fn new(lower: f64, upper: f64) -> Self {
+        let lower = lower.clamp(0.0, 1.0);
+        let upper = upper.clamp(0.0, 1.0);
+        Bounds { lower: lower.min(upper), upper: lower.max(upper) }
+    }
+
+    /// Width of the interval.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// `true` if the interval is (numerically) a single point.
+    #[inline]
+    pub fn is_point(&self) -> bool {
+        self.width() <= f64::EPSILON
+    }
+
+    /// The midpoint of the interval.
+    #[inline]
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lower + self.upper)
+    }
+
+    /// `true` if `p` lies within the interval (with a small tolerance for
+    /// floating-point rounding).
+    pub fn contains(&self, p: f64) -> bool {
+        p >= self.lower - 1e-12 && p <= self.upper + 1e-12
+    }
+
+    /// Combines children bounds of an independent-or (⊗) node:
+    /// `P = 1 - Π (1 - Pᵢ)`, applied separately to lower and upper bounds
+    /// (the formula is monotone in each argument).
+    pub fn combine_or<I: IntoIterator<Item = Bounds>>(children: I) -> Bounds {
+        let mut lo_prod = 1.0;
+        let mut hi_prod = 1.0;
+        for b in children {
+            lo_prod *= 1.0 - b.lower;
+            hi_prod *= 1.0 - b.upper;
+        }
+        Bounds::new(1.0 - lo_prod, 1.0 - hi_prod)
+    }
+
+    /// Combines children bounds of an independent-and (⊙) node:
+    /// `P = Π Pᵢ`.
+    pub fn combine_and<I: IntoIterator<Item = Bounds>>(children: I) -> Bounds {
+        let mut lo = 1.0;
+        let mut hi = 1.0;
+        for b in children {
+            lo *= b.lower;
+            hi *= b.upper;
+        }
+        Bounds::new(lo, hi)
+    }
+
+    /// Combines children bounds of an exclusive-or (⊕) node:
+    /// `P = Σ Pᵢ` (children are mutually exclusive), clamped to 1.
+    pub fn combine_xor<I: IntoIterator<Item = Bounds>>(children: I) -> Bounds {
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        for b in children {
+            lo += b.lower;
+            hi += b.upper;
+        }
+        Bounds::new(lo.min(1.0), hi.min(1.0))
+    }
+}
+
+/// Computes lower and upper bounds on the probability of a DNF using the
+/// bucket heuristic of Figure 3 (`Independent`), strengthened for monotone
+/// DNFs by the independent-union upper bound (see
+/// [`independent_or_upper_bound`]):
+///
+/// 1. Partition the clauses into buckets of pairwise independent clauses
+///    (greedy first-fit, so each bucket is maximal when it is created).
+/// 2. The exact probability of a bucket is `1 - Π (1 - P(clause))`.
+/// 3. The lower bound is the maximum bucket probability, the upper bound the
+///    (clamped) sum of bucket probabilities.
+/// 4. When every variable occurs with a single domain value throughout the
+///    DNF (always the case for tuple-independent query lineage), the upper
+///    bound is additionally capped by `1 - Π (1 - P(clause))` over *all*
+///    clauses, which is sound by the Harris/FKG inequality because all clause
+///    events are then monotone increasing in the independent atomic events.
+///
+/// Clauses are considered in descending order of marginal probability, the
+/// refinement the paper reports to improve the lower bound (Example 5.2).
+/// Runs in time quadratic in the number of clauses.
+pub fn dnf_bounds(dnf: &Dnf, space: &ProbabilitySpace) -> Bounds {
+    if dnf.is_empty() {
+        return Bounds::point(0.0);
+    }
+    if dnf.is_tautology() {
+        return Bounds::point(1.0);
+    }
+    let order: Vec<usize> = dnf
+        .clauses_by_probability_desc(space)
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
+    let mut bounds = bucket_bounds(dnf, space, &order);
+    if let Some(fkg_upper) = independent_or_upper_bound(dnf, space) {
+        bounds = Bounds::new(bounds.lower.min(fkg_upper), bounds.upper.min(fkg_upper));
+    }
+    bounds
+}
+
+/// The bucket heuristic exactly as written in Figure 3 of the paper (with the
+/// descending-probability ordering), without the monotone-DNF upper-bound
+/// strengthening applied by [`dnf_bounds`]. Exposed for the heuristic
+/// ablation benchmarks.
+pub fn dnf_bounds_fig3(dnf: &Dnf, space: &ProbabilitySpace) -> Bounds {
+    dnf_bounds_sorted(dnf, space, true)
+}
+
+/// The independent-union upper bound for **monotone** DNFs:
+/// `P(Φ) ≤ 1 - Π_clauses (1 - P(clause))`.
+///
+/// A DNF is monotone here when every variable occurs with a single domain
+/// value throughout the formula (e.g. purely positive Boolean lineage from
+/// tuple-independent tables). Each clause is then a monotone increasing
+/// function of the independent atomic events, so by the Harris/FKG
+/// inequality the clause negations are positively associated:
+/// `P(⋀ ¬cᵢ) ≥ Π P(¬cᵢ)`, i.e. `P(⋁ cᵢ) ≤ 1 - Π (1 - P(cᵢ))`.
+///
+/// Returns `None` when the DNF is not monotone in this sense (some variable
+/// occurs with two different values, as can happen with
+/// block-independent-disjoint lineage), in which case the bound would be
+/// unsound and must not be used.
+pub fn independent_or_upper_bound(dnf: &Dnf, space: &ProbabilitySpace) -> Option<f64> {
+    use std::collections::BTreeMap;
+    let mut seen: BTreeMap<VarId, u32> = BTreeMap::new();
+    for clause in dnf.clauses() {
+        for atom in clause.atoms() {
+            match seen.get(&atom.var) {
+                Some(&v) if v != atom.value => return None,
+                Some(_) => {}
+                None => {
+                    seen.insert(atom.var, atom.value);
+                }
+            }
+        }
+    }
+    let mut complement = 1.0;
+    for clause in dnf.clauses() {
+        complement *= 1.0 - clause.probability(space);
+    }
+    Some(1.0 - complement)
+}
+
+/// Like [`dnf_bounds`] but processing the clauses in their given order (no
+/// sorting). Exposed so benchmarks can quantify the effect of the
+/// descending-probability refinement (Example 5.2 shows it can tighten both
+/// bounds substantially).
+pub fn dnf_bounds_sorted(dnf: &Dnf, space: &ProbabilitySpace, sort_descending: bool) -> Bounds {
+    if dnf.is_empty() {
+        return Bounds::point(0.0);
+    }
+    if dnf.is_tautology() {
+        return Bounds::point(1.0);
+    }
+    let order: Vec<usize> = if sort_descending {
+        dnf.clauses_by_probability_desc(space).into_iter().map(|(i, _)| i).collect()
+    } else {
+        (0..dnf.len()).collect()
+    };
+    bucket_bounds(dnf, space, &order)
+}
+
+fn bucket_bounds(dnf: &Dnf, space: &ProbabilitySpace, order: &[usize]) -> Bounds {
+    struct Bucket {
+        vars: BTreeSet<VarId>,
+        prob: f64,
+    }
+    let clauses = dnf.clauses();
+    let mut buckets: Vec<Bucket> = Vec::new();
+    for &i in order {
+        let clause = &clauses[i];
+        let cvars: Vec<VarId> = clause.vars().collect();
+        let p = clause.probability(space);
+        // First-fit: place the clause into the first bucket it is independent
+        // of (no shared variable).
+        let slot = buckets.iter().position(|b| cvars.iter().all(|v| !b.vars.contains(v)));
+        match slot {
+            Some(idx) => {
+                let b = &mut buckets[idx];
+                b.vars.extend(cvars);
+                b.prob = 1.0 - (1.0 - b.prob) * (1.0 - p);
+            }
+            None => {
+                buckets.push(Bucket { vars: cvars.into_iter().collect(), prob: p });
+            }
+        }
+    }
+    let lower = buckets.iter().map(|b| b.prob).fold(0.0f64, f64::max);
+    let upper: f64 = buckets.iter().map(|b| b.prob).sum();
+    Bounds::new(lower, upper.min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use events::Clause;
+
+    fn bool_space(ps: &[f64]) -> (ProbabilitySpace, Vec<VarId>) {
+        let mut s = ProbabilitySpace::new();
+        let vars = ps.iter().enumerate().map(|(i, &p)| s.add_bool(format!("x{i}"), p)).collect();
+        (s, vars)
+    }
+
+    #[test]
+    fn bounds_constructor_clamps_and_orders() {
+        let b = Bounds::new(1.4, -0.2);
+        assert_eq!(b.lower, 0.0);
+        assert_eq!(b.upper, 1.0);
+        let b = Bounds::new(0.7, 0.3);
+        assert_eq!(b.lower, 0.3);
+        assert_eq!(b.upper, 0.7);
+        assert!(Bounds::point(0.5).is_point());
+        assert!((Bounds::new(0.2, 0.6).midpoint() - 0.4).abs() < 1e-12);
+        assert!(Bounds::new(0.2, 0.6).contains(0.2));
+        assert!(!Bounds::new(0.2, 0.6).contains(0.7));
+        assert_eq!(Bounds::vacuous().width(), 1.0);
+    }
+
+    #[test]
+    fn combine_or_matches_independent_union() {
+        let b = Bounds::combine_or(vec![Bounds::point(0.3), Bounds::point(0.5)]);
+        assert!((b.lower - 0.65).abs() < 1e-12);
+        assert!((b.upper - 0.65).abs() < 1e-12);
+        // Interval version is monotone.
+        let b = Bounds::combine_or(vec![Bounds::new(0.1, 0.2), Bounds::new(0.3, 0.5)]);
+        assert!((b.lower - (1.0 - 0.9 * 0.7)).abs() < 1e-12);
+        assert!((b.upper - (1.0 - 0.8 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combine_and_multiplies() {
+        let b = Bounds::combine_and(vec![Bounds::new(0.5, 0.6), Bounds::new(0.4, 0.5)]);
+        assert!((b.lower - 0.2).abs() < 1e-12);
+        assert!((b.upper - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combine_xor_sums_and_clamps() {
+        let b = Bounds::combine_xor(vec![Bounds::new(0.5, 0.6), Bounds::new(0.3, 0.35)]);
+        assert!((b.lower - 0.8).abs() < 1e-12);
+        assert!((b.upper - 0.95).abs() < 1e-12);
+        let b = Bounds::combine_xor(vec![Bounds::point(0.7), Bounds::point(0.8)]);
+        assert_eq!(b.upper, 1.0);
+        assert_eq!(b.lower, 1.0);
+    }
+
+    #[test]
+    fn empty_combinations_are_identities() {
+        assert_eq!(Bounds::combine_or(Vec::new()), Bounds::point(0.0));
+        assert_eq!(Bounds::combine_and(Vec::new()), Bounds::point(1.0));
+        assert_eq!(Bounds::combine_xor(Vec::new()), Bounds::point(0.0));
+    }
+
+    /// Example 5.2 from the paper: with the descending-probability ordering
+    /// the first bucket is {c2, c3} with probability 0.842, which becomes the
+    /// lower bound; the second bucket is {c1} with probability 0.06, so the
+    /// upper bound of the algorithm written in Figure 3 is
+    /// 0.842 + 0.06 = 0.902. (The paper's prose states 0.848 for the upper
+    /// bound, which is not reproducible from Figure 3; we follow Figure 3.)
+    /// The default [`dnf_bounds`] additionally applies the monotone-DNF
+    /// independent-union cap, 1 − 0.94·0.79·0.2 = 0.85148, which is tighter.
+    /// The exact probability 0.8456 is bracketed in all cases.
+    #[test]
+    fn example_5_2_bucket_bounds() {
+        let (s, vars) = bool_space(&[0.3, 0.2, 0.7, 0.8]);
+        let (x, y, z, v) = (vars[0], vars[1], vars[2], vars[3]);
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_bools(&[x, y]),
+            Clause::from_bools(&[x, z]),
+            Clause::from_bools(&[v]),
+        ]);
+        let exact = phi.exact_probability_enumeration(&s);
+        let fig3 = dnf_bounds_fig3(&phi, &s);
+        assert!((fig3.lower - 0.842).abs() < 1e-9, "lower = {}", fig3.lower);
+        assert!((fig3.upper - 0.902).abs() < 1e-9, "upper = {}", fig3.upper);
+        assert!(fig3.contains(exact));
+        let b = dnf_bounds(&phi, &s);
+        assert!((b.lower - 0.842).abs() < 1e-9, "lower = {}", b.lower);
+        assert!((b.upper - 0.85148).abs() < 1e-4, "upper = {}", b.upper);
+        assert!(b.contains(exact));
+    }
+
+    /// Without sorting, the first-fit partitioning of Example 5.2 yields the
+    /// looser bounds [0.812, 1.0] reported in the paper.
+    #[test]
+    fn example_5_2_unsorted_bounds_are_looser() {
+        let (s, vars) = bool_space(&[0.3, 0.2, 0.7, 0.8]);
+        let (x, y, z, v) = (vars[0], vars[1], vars[2], vars[3]);
+        let phi_clauses = vec![
+            Clause::from_bools(&[x, y]),
+            Clause::from_bools(&[x, z]),
+            Clause::from_bools(&[v]),
+        ];
+        let phi = Dnf::from_clauses(phi_clauses);
+        let sorted = dnf_bounds_sorted(&phi, &s, true);
+        let unsorted = dnf_bounds_sorted(&phi, &s, false);
+        let exact = phi.exact_probability_enumeration(&s);
+        assert!(sorted.contains(exact));
+        assert!(unsorted.contains(exact));
+        assert!(sorted.width() <= unsorted.width() + 1e-12);
+        // Note: `Dnf::from_clauses` sorts clauses structurally, so the
+        // "unsorted" order is the structural order, not necessarily the
+        // insertion order; the bounds are still valid and generally looser.
+    }
+
+    #[test]
+    fn bounds_of_constants() {
+        let (s, _) = bool_space(&[0.5]);
+        assert_eq!(dnf_bounds(&Dnf::empty(), &s), Bounds::point(0.0));
+        assert_eq!(dnf_bounds(&Dnf::tautology(), &s), Bounds::point(1.0));
+    }
+
+    #[test]
+    fn single_clause_bounds_are_exact() {
+        let (s, vars) = bool_space(&[0.3, 0.6]);
+        let phi = Dnf::from_clauses(vec![Clause::from_bools(&[vars[0], vars[1]])]);
+        let b = dnf_bounds(&phi, &s);
+        assert!(b.is_point());
+        assert!((b.lower - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_clauses_bounds_are_exact() {
+        // All clauses pairwise independent: one bucket, exact probability.
+        let (s, vars) = bool_space(&[0.3, 0.6, 0.2]);
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_bools(&[vars[0]]),
+            Clause::from_bools(&[vars[1]]),
+            Clause::from_bools(&[vars[2]]),
+        ]);
+        let b = dnf_bounds(&phi, &s);
+        let exact = phi.exact_probability_enumeration(&s);
+        assert!(b.is_point());
+        assert!((b.lower - exact).abs() < 1e-12);
+    }
+
+    /// The monotone-DNF upper bound must bracket the exact probability and
+    /// tighten the Figure-3 bound when clauses are positively correlated.
+    #[test]
+    fn independent_or_upper_bound_is_sound_and_tighter() {
+        let (s, vars) = bool_space(&[0.5, 0.4, 0.3, 0.6, 0.7]);
+        // A "hard pattern" DNF R(X), S(X,Y), T(Y): clauses share variables so
+        // the bucket sum saturates at 1 while the FKG bound stays below it.
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_bools(&[vars[0], vars[1]]),
+            Clause::from_bools(&[vars[0], vars[2]]),
+            Clause::from_bools(&[vars[3], vars[1]]),
+            Clause::from_bools(&[vars[3], vars[2]]),
+            Clause::from_bools(&[vars[4], vars[1]]),
+            Clause::from_bools(&[vars[4], vars[2]]),
+        ]);
+        let exact = phi.exact_probability_enumeration(&s);
+        let fig3 = dnf_bounds_fig3(&phi, &s);
+        let improved = dnf_bounds(&phi, &s);
+        let fkg = independent_or_upper_bound(&phi, &s).expect("monotone DNF");
+        assert!(exact <= fkg + 1e-12, "FKG bound {fkg} below exact {exact}");
+        assert!(improved.contains(exact));
+        assert!(fig3.contains(exact));
+        assert!(improved.upper <= fig3.upper + 1e-12);
+        assert!(improved.upper < 1.0 - 1e-9, "improved upper should not saturate at 1");
+    }
+
+    /// The FKG upper bound is refused for non-monotone DNFs (a variable used
+    /// with two different domain values), where it would be unsound.
+    #[test]
+    fn independent_or_upper_bound_rejects_mixed_values() {
+        use events::Atom;
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_discrete("x", vec![0.5, 0.5]);
+        let y = s.add_discrete("y", vec![0.5, 0.5]);
+        // (x=0 ∧ y=0) ∨ (x=1 ∧ y=1): mutually exclusive clauses; the
+        // independent-union bound 1 - (1-0.25)² = 0.4375 would *understate*
+        // the true probability 0.5.
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_atoms([Atom::new(x, 0), Atom::new(y, 0)]),
+            Clause::from_atoms([Atom::new(x, 1), Atom::new(y, 1)]),
+        ]);
+        assert_eq!(independent_or_upper_bound(&phi, &s), None);
+        let exact = phi.exact_probability_enumeration(&s);
+        assert!(dnf_bounds(&phi, &s).contains(exact));
+    }
+
+    #[test]
+    fn fig3_alias_matches_sorted_bounds() {
+        let (s, vars) = bool_space(&[0.3, 0.2, 0.7, 0.8]);
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_bools(&[vars[0], vars[1]]),
+            Clause::from_bools(&[vars[0], vars[2]]),
+            Clause::from_bools(&[vars[3]]),
+        ]);
+        assert_eq!(dnf_bounds_fig3(&phi, &s), dnf_bounds_sorted(&phi, &s, true));
+    }
+
+    #[test]
+    fn bounds_always_bracket_exact_probability() {
+        // A few hand-picked correlated DNFs.
+        let (s, vars) = bool_space(&[0.5, 0.4, 0.3, 0.2, 0.9]);
+        let cases = vec![
+            vec![
+                Clause::from_bools(&[vars[0], vars[1]]),
+                Clause::from_bools(&[vars[1], vars[2]]),
+                Clause::from_bools(&[vars[2], vars[3]]),
+            ],
+            vec![
+                Clause::from_bools(&[vars[0], vars[1], vars[2]]),
+                Clause::from_bools(&[vars[0], vars[3]]),
+                Clause::from_bools(&[vars[4]]),
+            ],
+        ];
+        for clauses in cases {
+            let phi = Dnf::from_clauses(clauses);
+            let b = dnf_bounds(&phi, &s);
+            let exact = phi.exact_probability_enumeration(&s);
+            assert!(b.contains(exact), "bounds {b:?} exact {exact}");
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! The d-tree data structure (Definition 4.2).
+
+use std::fmt;
+
+use events::{Dnf, ProbabilitySpace};
+
+use crate::bounds::{dnf_bounds, Bounds};
+use crate::stats::CompileStats;
+
+/// A (partial) decomposition tree for a DNF formula.
+///
+/// A d-tree is a formula built from the three "easy" connectives over DNF
+/// leaves:
+///
+/// * `⊗` ([`DTree::IndepOr`]) — disjunction of pairwise *independent*
+///   sub-formulas, with `P = 1 − Π (1 − Pᵢ)`,
+/// * `⊙` ([`DTree::IndepAnd`]) — conjunction of pairwise *independent*
+///   sub-formulas, with `P = Π Pᵢ`,
+/// * `⊕` ([`DTree::ExclOr`]) — disjunction of pairwise *inconsistent*
+///   (mutually exclusive) sub-formulas, with `P = Σ Pᵢ`.
+///
+/// A d-tree is **complete** when every leaf DNF is a single clause (or a
+/// constant); the probability of a complete d-tree is computable in one
+/// bottom-up pass ([`DTree::exact_probability`], Proposition 4.3). A partial
+/// d-tree still yields probability *bounds* by propagating leaf bounds
+/// through the monotone combination formulas ([`DTree::bounds`],
+/// Proposition 5.4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DTree {
+    /// A leaf holding a (not yet decomposed) DNF.
+    Leaf(Dnf),
+    /// Independent-or (⊗) over pairwise independent children.
+    IndepOr(Vec<DTree>),
+    /// Independent-and (⊙) over pairwise independent children.
+    IndepAnd(Vec<DTree>),
+    /// Exclusive-or (⊕) over pairwise mutually exclusive children (the
+    /// branches of a Shannon expansion).
+    ExclOr(Vec<DTree>),
+}
+
+impl DTree {
+    /// A leaf for a single clause DNF.
+    pub fn leaf(dnf: Dnf) -> Self {
+        DTree::Leaf(dnf)
+    }
+
+    /// `true` if every leaf is a singleton clause or a constant, i.e. the
+    /// d-tree is complete and its probability can be computed exactly in one
+    /// pass.
+    pub fn is_complete(&self) -> bool {
+        match self {
+            DTree::Leaf(dnf) => dnf.len() <= 1 || dnf.is_tautology(),
+            DTree::IndepOr(cs) | DTree::IndepAnd(cs) | DTree::ExclOr(cs) => {
+                cs.iter().all(|c| c.is_complete())
+            }
+        }
+    }
+
+    /// Number of nodes in the d-tree (inner nodes and leaves).
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            DTree::Leaf(_) => 1,
+            DTree::IndepOr(cs) | DTree::IndepAnd(cs) | DTree::ExclOr(cs) => {
+                1 + cs.iter().map(|c| c.num_nodes()).sum::<usize>()
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        match self {
+            DTree::Leaf(_) => 1,
+            DTree::IndepOr(cs) | DTree::IndepAnd(cs) | DTree::ExclOr(cs) => {
+                cs.iter().map(|c| c.num_leaves()).sum()
+            }
+        }
+    }
+
+    /// Height of the d-tree (a single leaf has height 0).
+    pub fn height(&self) -> usize {
+        match self {
+            DTree::Leaf(_) => 0,
+            DTree::IndepOr(cs) | DTree::IndepAnd(cs) | DTree::ExclOr(cs) => {
+                1 + cs.iter().map(|c| c.height()).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Collects node-type statistics for this d-tree.
+    pub fn stats(&self) -> CompileStats {
+        let mut stats = CompileStats::default();
+        self.collect_stats(&mut stats, 0);
+        stats
+    }
+
+    fn collect_stats(&self, stats: &mut CompileStats, depth: usize) {
+        stats.max_depth = stats.max_depth.max(depth);
+        match self {
+            DTree::Leaf(dnf) => {
+                if dnf.len() <= 1 || dnf.is_tautology() {
+                    stats.exact_leaves += 1;
+                } else {
+                    stats.closed_leaves += 1;
+                }
+            }
+            DTree::IndepOr(cs) => {
+                stats.or_nodes += 1;
+                for c in cs {
+                    c.collect_stats(stats, depth + 1);
+                }
+            }
+            DTree::IndepAnd(cs) => {
+                stats.and_nodes += 1;
+                for c in cs {
+                    c.collect_stats(stats, depth + 1);
+                }
+            }
+            DTree::ExclOr(cs) => {
+                stats.xor_nodes += 1;
+                for c in cs {
+                    c.collect_stats(stats, depth + 1);
+                }
+            }
+        }
+    }
+
+    /// Exact probability of a **complete** d-tree (Proposition 4.3): one
+    /// bottom-up pass with the ⊗/⊙/⊕ combination formulas, looking up clause
+    /// probabilities at the leaves.
+    ///
+    /// Returns `None` if the d-tree is not complete (some leaf holds more
+    /// than one clause), because leaf probabilities would then be unknown.
+    pub fn exact_probability(&self, space: &ProbabilitySpace) -> Option<f64> {
+        match self {
+            DTree::Leaf(dnf) => {
+                if dnf.is_empty() {
+                    Some(0.0)
+                } else if dnf.is_tautology() {
+                    Some(1.0)
+                } else if dnf.len() == 1 {
+                    Some(dnf.clauses()[0].probability(space))
+                } else {
+                    None
+                }
+            }
+            DTree::IndepOr(cs) => {
+                let mut prod = 1.0;
+                for c in cs {
+                    prod *= 1.0 - c.exact_probability(space)?;
+                }
+                Some(1.0 - prod)
+            }
+            DTree::IndepAnd(cs) => {
+                let mut prod = 1.0;
+                for c in cs {
+                    prod *= c.exact_probability(space)?;
+                }
+                Some(prod)
+            }
+            DTree::ExclOr(cs) => {
+                let mut sum = 0.0;
+                for c in cs {
+                    sum += c.exact_probability(space)?;
+                }
+                Some(sum.min(1.0))
+            }
+        }
+    }
+
+    /// Lower and upper bounds on the probability of the (partial) d-tree
+    /// (Proposition 5.4): each leaf contributes its bucket bounds
+    /// ([`dnf_bounds`]) and bounds propagate through the monotone combination
+    /// formulas of the inner nodes.
+    pub fn bounds(&self, space: &ProbabilitySpace) -> Bounds {
+        match self {
+            DTree::Leaf(dnf) => dnf_bounds(dnf, space),
+            DTree::IndepOr(cs) => Bounds::combine_or(cs.iter().map(|c| c.bounds(space))),
+            DTree::IndepAnd(cs) => Bounds::combine_and(cs.iter().map(|c| c.bounds(space))),
+            DTree::ExclOr(cs) => Bounds::combine_xor(cs.iter().map(|c| c.bounds(space))),
+        }
+    }
+
+    /// Bounds of the d-tree when every leaf is pinned to a caller-supplied
+    /// interval; used by tests and by the closing analysis of Section V-D.
+    pub fn bounds_with(&self, leaf_bounds: &dyn Fn(&Dnf) -> Bounds) -> Bounds {
+        match self {
+            DTree::Leaf(dnf) => leaf_bounds(dnf),
+            DTree::IndepOr(cs) => {
+                Bounds::combine_or(cs.iter().map(|c| c.bounds_with(leaf_bounds)))
+            }
+            DTree::IndepAnd(cs) => {
+                Bounds::combine_and(cs.iter().map(|c| c.bounds_with(leaf_bounds)))
+            }
+            DTree::ExclOr(cs) => {
+                Bounds::combine_xor(cs.iter().map(|c| c.bounds_with(leaf_bounds)))
+            }
+        }
+    }
+
+    /// Iterates over the leaf DNFs of the d-tree (depth-first, left to right).
+    pub fn leaves(&self) -> Vec<&Dnf> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<&'a Dnf>) {
+        match self {
+            DTree::Leaf(dnf) => out.push(dnf),
+            DTree::IndepOr(cs) | DTree::IndepAnd(cs) | DTree::ExclOr(cs) => {
+                for c in cs {
+                    c.collect_leaves(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for DTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DTree::Leaf(dnf) => write!(f, "[{dnf}]"),
+            DTree::IndepOr(cs) => write_children(f, "⊗", cs),
+            DTree::IndepAnd(cs) => write_children(f, "⊙", cs),
+            DTree::ExclOr(cs) => write_children(f, "⊕", cs),
+        }
+    }
+}
+
+fn write_children(f: &mut fmt::Formatter<'_>, op: &str, cs: &[DTree]) -> fmt::Result {
+    write!(f, "{op}(")?;
+    for (i, c) in cs.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{c}")?;
+    }
+    write!(f, ")")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use events::{Atom, Clause, VarId};
+
+    fn bool_space(ps: &[f64]) -> (ProbabilitySpace, Vec<VarId>) {
+        let mut s = ProbabilitySpace::new();
+        let vars = ps.iter().enumerate().map(|(i, &p)| s.add_bool(format!("x{i}"), p)).collect();
+        (s, vars)
+    }
+
+    /// Build the d-tree of Figure 4 with explicit leaf DNFs, then check the
+    /// bound propagation of Example 5.5 using pinned leaf bounds.
+    #[test]
+    fn example_5_5_bound_propagation() {
+        let (_, vars) = bool_space(&[0.5; 4]);
+        let phi1 = Dnf::literal(vars[0]);
+        let x = Dnf::literal(vars[1]);
+        let phi2 = Dnf::literal(vars[2]);
+        let phi3 = Dnf::literal(vars[3]);
+        let tree = DTree::IndepOr(vec![
+            DTree::Leaf(phi1.clone()),
+            DTree::ExclOr(vec![
+                DTree::IndepAnd(vec![DTree::Leaf(x.clone()), DTree::Leaf(phi2.clone())]),
+                DTree::Leaf(phi3.clone()),
+            ]),
+        ]);
+        let bounds = tree.bounds_with(&|leaf: &Dnf| {
+            if *leaf == phi1 {
+                Bounds::new(0.1, 0.11)
+            } else if *leaf == x {
+                Bounds::point(0.5)
+            } else if *leaf == phi2 {
+                Bounds::new(0.4, 0.44)
+            } else {
+                Bounds::new(0.35, 0.38)
+            }
+        });
+        assert!((bounds.lower - 0.595).abs() < 1e-9, "lower = {}", bounds.lower);
+        assert!((bounds.upper - 0.644).abs() < 1e-9, "upper = {}", bounds.upper);
+    }
+
+    /// The complete d-tree of Figure 2 evaluates exactly in one pass.
+    #[test]
+    fn figure_2_complete_dtree_probability() {
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_discrete("x", vec![0.5, 0.2, 0.3]); // values 0,1,2
+        let y = s.add_bool("y", 0.4);
+        let z = s.add_bool("z", 0.6);
+        let u = s.add_discrete("u", vec![0.3, 0.3, 0.4]);
+        let v = s.add_bool("v", 0.7);
+        // Φ = {x=1} ∨ {x=2, y} ∨ {x=2, z} ∨ {u=1, v} ∨ {u=2}
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_atoms(vec![Atom::new(x, 1)]),
+            Clause::from_atoms(vec![Atom::new(x, 2), Atom::pos(y)]),
+            Clause::from_atoms(vec![Atom::new(x, 2), Atom::pos(z)]),
+            Clause::from_atoms(vec![Atom::new(u, 1), Atom::pos(v)]),
+            Clause::from_atoms(vec![Atom::new(u, 2)]),
+        ]);
+        // Hand-built d-tree mirroring Figure 2.
+        let tree = DTree::IndepOr(vec![
+            DTree::ExclOr(vec![
+                DTree::Leaf(Dnf::singleton(Clause::from_atoms(vec![Atom::new(x, 1)]))),
+                DTree::IndepAnd(vec![
+                    DTree::Leaf(Dnf::singleton(Clause::from_atoms(vec![Atom::new(x, 2)]))),
+                    DTree::IndepOr(vec![
+                        DTree::Leaf(Dnf::literal(y)),
+                        DTree::Leaf(Dnf::literal(z)),
+                    ]),
+                ]),
+            ]),
+            DTree::ExclOr(vec![
+                DTree::IndepAnd(vec![
+                    DTree::Leaf(Dnf::singleton(Clause::from_atoms(vec![Atom::new(u, 1)]))),
+                    DTree::Leaf(Dnf::literal(v)),
+                ]),
+                DTree::Leaf(Dnf::singleton(Clause::from_atoms(vec![Atom::new(u, 2)]))),
+            ]),
+        ]);
+        assert!(tree.is_complete());
+        let p_tree = tree.exact_probability(&s).unwrap();
+        let p_exact = phi.exact_probability_enumeration(&s);
+        assert!((p_tree - p_exact).abs() < 1e-12, "tree {p_tree} exact {p_exact}");
+    }
+
+    #[test]
+    fn incomplete_dtree_has_no_exact_probability_but_has_bounds() {
+        let (s, vars) = bool_space(&[0.5, 0.4, 0.3]);
+        let big_leaf = Dnf::from_clauses(vec![
+            Clause::from_bools(&[vars[0], vars[1]]),
+            Clause::from_bools(&[vars[1], vars[2]]),
+        ]);
+        let tree = DTree::Leaf(big_leaf.clone());
+        assert!(!tree.is_complete());
+        assert!(tree.exact_probability(&s).is_none());
+        let b = tree.bounds(&s);
+        assert!(b.contains(big_leaf.exact_probability_enumeration(&s)));
+    }
+
+    #[test]
+    fn structural_statistics() {
+        let (_, vars) = bool_space(&[0.5; 4]);
+        let tree = DTree::IndepOr(vec![
+            DTree::Leaf(Dnf::literal(vars[0])),
+            DTree::IndepAnd(vec![
+                DTree::Leaf(Dnf::literal(vars[1])),
+                DTree::Leaf(Dnf::literal(vars[2])),
+            ]),
+            DTree::ExclOr(vec![DTree::Leaf(Dnf::literal(vars[3]))]),
+        ]);
+        assert_eq!(tree.num_nodes(), 7);
+        assert_eq!(tree.num_leaves(), 4);
+        assert_eq!(tree.height(), 2);
+        let stats = tree.stats();
+        assert_eq!(stats.or_nodes, 1);
+        assert_eq!(stats.and_nodes, 1);
+        assert_eq!(stats.xor_nodes, 1);
+        assert_eq!(stats.exact_leaves, 4);
+        assert_eq!(stats.max_depth, 2);
+        assert_eq!(tree.leaves().len(), 4);
+    }
+
+    #[test]
+    fn display_shows_operators() {
+        let (_, vars) = bool_space(&[0.5, 0.5]);
+        let tree = DTree::IndepOr(vec![
+            DTree::Leaf(Dnf::literal(vars[0])),
+            DTree::Leaf(Dnf::literal(vars[1])),
+        ]);
+        let s = tree.to_string();
+        assert!(s.contains('⊗'));
+    }
+
+    #[test]
+    fn constants_evaluate() {
+        let (s, _) = bool_space(&[0.5]);
+        assert_eq!(DTree::Leaf(Dnf::empty()).exact_probability(&s), Some(0.0));
+        assert_eq!(DTree::Leaf(Dnf::tautology()).exact_probability(&s), Some(1.0));
+    }
+}

@@ -1,0 +1,322 @@
+//! Materialised partial d-trees with incremental leaf refinement.
+//!
+//! This module implements the first (simpler) incremental algorithm sketched
+//! in Section V-D: keep the partially compiled d-tree in memory, repeatedly
+//! pick the open leaf with the widest bounds interval, refine it by one
+//! decomposition step, and re-check the ε-approximation condition on the
+//! root bounds. The memory-efficient depth-first variant with leaf closing
+//! lives in [`crate::approx`].
+
+use events::{product_factorization, Atom, Clause, Dnf, ProbabilitySpace};
+
+use crate::bounds::{dnf_bounds, Bounds};
+use crate::compile::CompileOptions;
+use crate::order::choose_variable;
+use crate::stats::CompileStats;
+
+/// Identifier of a node inside a [`PartialDTree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PartialNodeId(usize);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Or,
+    And,
+    Xor,
+}
+
+#[derive(Debug, Clone)]
+enum PNode {
+    /// An unrefined leaf holding a DNF and its cached bucket bounds. `exact`
+    /// marks leaves whose bounds are a point (constants / single clauses).
+    Leaf { dnf: Dnf, bounds: Bounds, exact: bool },
+    /// An inner decomposition node.
+    Inner { op: Op, children: Vec<PartialNodeId> },
+}
+
+/// A partially compiled d-tree stored in an arena, supporting incremental
+/// refinement of its leaves.
+#[derive(Debug, Clone)]
+pub struct PartialDTree {
+    nodes: Vec<PNode>,
+    root: PartialNodeId,
+    stats: CompileStats,
+}
+
+impl PartialDTree {
+    /// Creates a partial d-tree consisting of a single leaf for `dnf`.
+    pub fn new(dnf: Dnf, space: &ProbabilitySpace) -> Self {
+        let mut tree = PartialDTree {
+            nodes: Vec::new(),
+            root: PartialNodeId(0),
+            stats: CompileStats::default(),
+        };
+        let root = tree.push_leaf(dnf, space);
+        tree.root = root;
+        tree
+    }
+
+    fn push_leaf(&mut self, dnf: Dnf, space: &ProbabilitySpace) -> PartialNodeId {
+        let (bounds, exact) = leaf_bounds(&dnf, space, &mut self.stats);
+        let id = PartialNodeId(self.nodes.len());
+        self.nodes.push(PNode::Leaf { dnf, bounds, exact });
+        id
+    }
+
+    fn push_exact_leaf(&mut self, dnf: Dnf, p: f64) -> PartialNodeId {
+        let id = PartialNodeId(self.nodes.len());
+        self.nodes.push(PNode::Leaf { dnf, bounds: Bounds::point(p), exact: true });
+        id
+    }
+
+    /// Compilation statistics accumulated so far.
+    pub fn stats(&self) -> &CompileStats {
+        &self.stats
+    }
+
+    /// Number of nodes in the arena.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current bounds of the whole tree (Proposition 5.4), computed bottom-up
+    /// from the cached leaf bounds.
+    pub fn bounds(&self, space: &ProbabilitySpace) -> Bounds {
+        let _ = space; // leaf bounds are cached; parameter kept for symmetry
+        self.node_bounds(self.root)
+    }
+
+    fn node_bounds(&self, id: PartialNodeId) -> Bounds {
+        match &self.nodes[id.0] {
+            PNode::Leaf { bounds, .. } => *bounds,
+            PNode::Inner { op, children } => {
+                let child_bounds = children.iter().map(|&c| self.node_bounds(c));
+                match op {
+                    Op::Or => Bounds::combine_or(child_bounds),
+                    Op::And => Bounds::combine_and(child_bounds),
+                    Op::Xor => Bounds::combine_xor(child_bounds),
+                }
+            }
+        }
+    }
+
+    /// Returns the open (non-exact) leaf with the widest bounds interval, or
+    /// `None` if every leaf is exact (the tree is complete).
+    pub fn widest_open_leaf(&self) -> Option<PartialNodeId> {
+        let mut best: Option<(PartialNodeId, f64)> = None;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let PNode::Leaf { bounds, exact, .. } = node {
+                if *exact {
+                    continue;
+                }
+                let w = bounds.width();
+                if best.map(|(_, bw)| w > bw).unwrap_or(true) {
+                    best = Some((PartialNodeId(i), w));
+                }
+            }
+        }
+        best.map(|(id, _)| id)
+    }
+
+    /// `true` when every leaf is exact, i.e. the d-tree is complete.
+    pub fn is_complete(&self) -> bool {
+        self.nodes.iter().all(|n| match n {
+            PNode::Leaf { exact, .. } => *exact,
+            PNode::Inner { .. } => true,
+        })
+    }
+
+    /// Refines the given leaf by one decomposition step of Figure 1 (replacing
+    /// the leaf with an inner node over new leaves). Returns `false` if the
+    /// node is already exact or is not a leaf.
+    pub fn refine(
+        &mut self,
+        id: PartialNodeId,
+        space: &ProbabilitySpace,
+        opts: &CompileOptions,
+    ) -> bool {
+        let (dnf, exact) = match &self.nodes[id.0] {
+            PNode::Leaf { dnf, exact, .. } => (dnf.clone(), *exact),
+            PNode::Inner { .. } => return false,
+        };
+        if exact {
+            return false;
+        }
+
+        // Step 1: subsumption removal.
+        let reduced = dnf.remove_subsumed();
+        self.stats.subsumed_clauses += dnf.len() - reduced.len();
+        let dnf = reduced;
+
+        if dnf.len() <= 1 || dnf.is_tautology() {
+            let p = if dnf.is_empty() {
+                0.0
+            } else if dnf.is_tautology() {
+                1.0
+            } else {
+                dnf.clauses()[0].probability(space)
+            };
+            self.stats.exact_leaves += 1;
+            self.nodes[id.0] = PNode::Leaf { dnf, bounds: Bounds::point(p), exact: true };
+            return true;
+        }
+
+        // Step 2: independent-or.
+        let components = dnf.independent_components();
+        if components.len() > 1 {
+            self.stats.or_nodes += 1;
+            let children: Vec<PartialNodeId> =
+                components.into_iter().map(|c| self.push_leaf(c, space)).collect();
+            self.nodes[id.0] = PNode::Inner { op: Op::Or, children };
+            return true;
+        }
+
+        // Step 3a: common-atom factoring.
+        let common = dnf.common_atoms();
+        if !common.is_empty() {
+            self.stats.and_nodes += 1;
+            self.stats.exact_leaves += common.len();
+            let rest = dnf.strip_atoms(&common);
+            let mut children: Vec<PartialNodeId> = common
+                .iter()
+                .map(|a| {
+                    self.push_exact_leaf(
+                        Dnf::singleton(Clause::singleton(*a)),
+                        space.atom_prob(*a),
+                    )
+                })
+                .collect();
+            children.push(self.push_leaf(rest, space));
+            self.nodes[id.0] = PNode::Inner { op: Op::And, children };
+            return true;
+        }
+
+        // Step 3b: relational product factorization.
+        if let Some(origins) = &opts.origins {
+            if let Some(factors) = product_factorization(dnf.clauses(), origins) {
+                self.stats.and_nodes += 1;
+                let children: Vec<PartialNodeId> = factors
+                    .into_iter()
+                    .map(|clauses| self.push_leaf(Dnf::from_clauses(clauses), space))
+                    .collect();
+                self.nodes[id.0] = PNode::Inner { op: Op::And, children };
+                return true;
+            }
+        }
+
+        // Step 4: Shannon expansion.
+        let var = choose_variable(&dnf, &opts.var_order, opts.origins.as_ref())
+            .expect("non-constant DNF mentions a variable");
+        self.stats.xor_nodes += 1;
+        let mut branches = Vec::new();
+        for (value, cofactor) in dnf.shannon_cofactors(var, space) {
+            self.stats.and_nodes += 1;
+            self.stats.exact_leaves += 1;
+            let atom_leaf = self.push_exact_leaf(
+                Dnf::singleton(Clause::singleton(Atom::new(var, value))),
+                space.prob(var, value),
+            );
+            let cof_leaf = self.push_leaf(cofactor, space);
+            let branch = PartialNodeId(self.nodes.len());
+            self.nodes.push(PNode::Inner { op: Op::And, children: vec![atom_leaf, cof_leaf] });
+            branches.push(branch);
+        }
+        self.nodes[id.0] = PNode::Inner { op: Op::Xor, children: branches };
+        true
+    }
+}
+
+fn leaf_bounds(dnf: &Dnf, space: &ProbabilitySpace, stats: &mut CompileStats) -> (Bounds, bool) {
+    if dnf.is_empty() {
+        return (Bounds::point(0.0), true);
+    }
+    if dnf.is_tautology() {
+        return (Bounds::point(1.0), true);
+    }
+    if dnf.len() == 1 {
+        return (Bounds::point(dnf.clauses()[0].probability(space)), true);
+    }
+    stats.bound_evaluations += 1;
+    (dnf_bounds(dnf, space), false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use events::VarId;
+
+    fn bool_space(ps: &[f64]) -> (ProbabilitySpace, Vec<VarId>) {
+        let mut s = ProbabilitySpace::new();
+        let vars = ps.iter().enumerate().map(|(i, &p)| s.add_bool(format!("x{i}"), p)).collect();
+        (s, vars)
+    }
+
+    fn chain_dnf(vars: &[VarId]) -> Dnf {
+        Dnf::from_clauses(
+            (0..vars.len() - 1).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])),
+        )
+    }
+
+    #[test]
+    fn refinement_tightens_bounds_until_exact() {
+        let (s, vars) = bool_space(&[0.5, 0.4, 0.3, 0.6, 0.7]);
+        let phi = chain_dnf(&vars);
+        let exact = phi.exact_probability_enumeration(&s);
+        let mut tree = PartialDTree::new(phi, &s);
+        let mut prev_width = tree.bounds(&s).width();
+        assert!(tree.bounds(&s).contains(exact));
+        let mut iterations = 0;
+        while let Some(leaf) = tree.widest_open_leaf() {
+            assert!(tree.refine(leaf, &s, &CompileOptions::default()));
+            let b = tree.bounds(&s);
+            assert!(b.contains(exact), "bounds {b:?} lost exact {exact}");
+            iterations += 1;
+            assert!(iterations < 1000, "refinement did not terminate");
+            prev_width = prev_width.max(b.width());
+        }
+        assert!(tree.is_complete());
+        let final_bounds = tree.bounds(&s);
+        assert!(final_bounds.is_point());
+        assert!((final_bounds.lower - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refine_on_exact_leaf_is_noop() {
+        let (s, vars) = bool_space(&[0.5, 0.5]);
+        let phi = Dnf::from_clauses(vec![Clause::from_bools(&[vars[0], vars[1]])]);
+        let mut tree = PartialDTree::new(phi, &s);
+        assert!(tree.is_complete());
+        assert_eq!(tree.widest_open_leaf(), None);
+        let root = PartialNodeId(0);
+        assert!(!tree.refine(root, &s, &CompileOptions::default()));
+    }
+
+    #[test]
+    fn stats_track_decompositions() {
+        let (s, vars) = bool_space(&[0.5, 0.4, 0.3, 0.6]);
+        // Two independent pairs: one ⊗ refinement then exact single clauses.
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_bools(&[vars[0], vars[1]]),
+            Clause::from_bools(&[vars[2], vars[3]]),
+        ]);
+        let mut tree = PartialDTree::new(phi, &s);
+        let leaf = tree.widest_open_leaf().unwrap();
+        tree.refine(leaf, &s, &CompileOptions::default());
+        assert_eq!(tree.stats().or_nodes, 1);
+        assert!(tree.is_complete());
+        assert!(tree.num_nodes() >= 3);
+    }
+
+    #[test]
+    fn bounds_of_fresh_tree_match_bucket_heuristic() {
+        let (s, vars) = bool_space(&[0.3, 0.2, 0.7, 0.8]);
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_bools(&[vars[0], vars[1]]),
+            Clause::from_bools(&[vars[0], vars[2]]),
+            Clause::from_bools(&[vars[3]]),
+        ]);
+        let tree = PartialDTree::new(phi.clone(), &s);
+        let expected = dnf_bounds(&phi, &s);
+        assert_eq!(tree.bounds(&s), expected);
+    }
+}

@@ -1,0 +1,98 @@
+//! Compilation statistics, mirroring the trace statistics the paper reports
+//! in Section VII (node counts by type, subsumed clauses, ⊗-node fraction).
+
+/// Counters collected while compiling or approximating a DNF.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompileStats {
+    /// Number of independent-or (⊗) nodes constructed.
+    pub or_nodes: usize,
+    /// Number of independent-and (⊙) nodes constructed.
+    pub and_nodes: usize,
+    /// Number of exclusive-or (⊕, Shannon expansion) nodes constructed.
+    pub xor_nodes: usize,
+    /// Number of leaves whose exact probability was computed (singleton
+    /// clauses or constants).
+    pub exact_leaves: usize,
+    /// Number of leaves *closed* with their bucket bounds instead of being
+    /// refined to completion (Section V-D).
+    pub closed_leaves: usize,
+    /// Number of clauses removed by subsumption across all decomposition
+    /// steps.
+    pub subsumed_clauses: usize,
+    /// Maximum recursion depth reached.
+    pub max_depth: usize,
+    /// Number of bucket-bound computations (leaf bound evaluations).
+    pub bound_evaluations: usize,
+}
+
+impl CompileStats {
+    /// Total number of inner nodes constructed.
+    pub fn inner_nodes(&self) -> usize {
+        self.or_nodes + self.and_nodes + self.xor_nodes
+    }
+
+    /// Total number of nodes (inner nodes plus leaves).
+    pub fn total_nodes(&self) -> usize {
+        self.inner_nodes() + self.exact_leaves + self.closed_leaves
+    }
+
+    /// Fraction of inner nodes that are ⊗ nodes (the paper reports ~90% for
+    /// tractable queries).
+    pub fn or_node_fraction(&self) -> f64 {
+        if self.inner_nodes() == 0 {
+            0.0
+        } else {
+            self.or_nodes as f64 / self.inner_nodes() as f64
+        }
+    }
+
+    /// Merges another set of counters into this one (keeping the max depth).
+    pub fn merge(&mut self, other: &CompileStats) {
+        self.or_nodes += other.or_nodes;
+        self.and_nodes += other.and_nodes;
+        self.xor_nodes += other.xor_nodes;
+        self.exact_leaves += other.exact_leaves;
+        self.closed_leaves += other.closed_leaves;
+        self.subsumed_clauses += other.subsumed_clauses;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.bound_evaluations += other.bound_evaluations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let s = CompileStats {
+            or_nodes: 9,
+            and_nodes: 1,
+            xor_nodes: 0,
+            exact_leaves: 5,
+            closed_leaves: 2,
+            subsumed_clauses: 3,
+            max_depth: 4,
+            bound_evaluations: 7,
+        };
+        assert_eq!(s.inner_nodes(), 10);
+        assert_eq!(s.total_nodes(), 17);
+        assert!((s.or_node_fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_fraction() {
+        assert_eq!(CompileStats::default().or_node_fraction(), 0.0);
+        assert_eq!(CompileStats::default().total_nodes(), 0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_keeps_max_depth() {
+        let mut a = CompileStats { or_nodes: 1, max_depth: 3, ..Default::default() };
+        let b = CompileStats { or_nodes: 2, xor_nodes: 5, max_depth: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.or_nodes, 3);
+        assert_eq!(a.xor_nodes, 5);
+        assert_eq!(a.max_depth, 3);
+    }
+}

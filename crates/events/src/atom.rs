@@ -1,0 +1,135 @@
+//! Atomic events `x = a` over discrete random variables.
+
+use std::fmt;
+
+/// Domain value used for the Boolean literal `x = false`.
+pub const FALSE_VALUE: u32 = 0;
+/// Domain value used for the Boolean literal `x = true` (the paper's shortcut
+/// `x` for `x = true`).
+pub const TRUE_VALUE: u32 = 1;
+
+/// Identifier of a random variable inside a [`crate::ProbabilitySpace`].
+///
+/// `VarId` is a thin newtype around `u32`: probabilistic databases routinely
+/// create one variable per input tuple, so millions of variables must stay
+/// cheap to store, hash, and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The numeric index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<u32> for VarId {
+    fn from(v: u32) -> Self {
+        VarId(v)
+    }
+}
+
+/// An atomic event `x = a`: a random variable bound to one of its domain
+/// values.
+///
+/// For Boolean variables the paper writes `x` for `x = true` and `¬x` for
+/// `x = false`; use [`Atom::pos`] and [`Atom::neg`] for those shortcuts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom {
+    /// The random variable.
+    pub var: VarId,
+    /// The domain value the variable is bound to.
+    pub value: u32,
+}
+
+impl Atom {
+    /// Creates the atomic event `var = value`.
+    #[inline]
+    pub fn new(var: VarId, value: u32) -> Self {
+        Atom { var, value }
+    }
+
+    /// The positive Boolean literal `x` (i.e. `x = true`).
+    #[inline]
+    pub fn pos(var: VarId) -> Self {
+        Atom { var, value: TRUE_VALUE }
+    }
+
+    /// The negative Boolean literal `¬x` (i.e. `x = false`).
+    #[inline]
+    pub fn neg(var: VarId) -> Self {
+        Atom { var, value: FALSE_VALUE }
+    }
+
+    /// Returns `true` if the two atoms bind the *same variable* to
+    /// *different values*, i.e. their conjunction is inconsistent.
+    #[inline]
+    pub fn conflicts_with(&self, other: &Atom) -> bool {
+        self.var == other.var && self.value != other.value
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.value {
+            TRUE_VALUE => write!(f, "{}", self.var),
+            FALSE_VALUE => write!(f, "¬{}", self.var),
+            v => write!(f, "{}={}", self.var, v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_id_roundtrip() {
+        let v: VarId = 42u32.into();
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.to_string(), "x42");
+    }
+
+    #[test]
+    fn atom_constructors() {
+        let x = VarId(3);
+        assert_eq!(Atom::pos(x), Atom::new(x, TRUE_VALUE));
+        assert_eq!(Atom::neg(x), Atom::new(x, FALSE_VALUE));
+        assert_eq!(Atom::new(x, 5).value, 5);
+    }
+
+    #[test]
+    fn atom_conflicts() {
+        let x = VarId(0);
+        let y = VarId(1);
+        assert!(Atom::pos(x).conflicts_with(&Atom::neg(x)));
+        assert!(!Atom::pos(x).conflicts_with(&Atom::pos(x)));
+        assert!(!Atom::pos(x).conflicts_with(&Atom::pos(y)));
+        assert!(!Atom::pos(x).conflicts_with(&Atom::neg(y)));
+        assert!(Atom::new(x, 2).conflicts_with(&Atom::new(x, 3)));
+    }
+
+    #[test]
+    fn atom_display_uses_paper_shortcuts() {
+        let x = VarId(1);
+        assert_eq!(Atom::pos(x).to_string(), "x1");
+        assert_eq!(Atom::neg(x).to_string(), "¬x1");
+        assert_eq!(Atom::new(x, 4).to_string(), "x1=4");
+    }
+
+    #[test]
+    fn atom_ordering_is_by_var_then_value() {
+        let a = Atom::new(VarId(1), 0);
+        let b = Atom::new(VarId(1), 1);
+        let c = Atom::new(VarId(2), 0);
+        assert!(a < b);
+        assert!(b < c);
+    }
+}

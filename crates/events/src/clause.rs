@@ -1,0 +1,325 @@
+//! Clauses: conjunctions of atomic events.
+
+use std::fmt;
+
+use crate::{Atom, ProbabilitySpace, VarId};
+
+/// A conjunction of atomic events `(x1 = a1) ∧ … ∧ (xn = an)`.
+///
+/// Atoms are kept sorted by variable id (and value) and deduplicated, so a
+/// clause behaves like the *set* of atomic formulas the paper works with. A
+/// clause may be *inconsistent* (contain two atoms binding the same variable
+/// to different values); inconsistent clauses have probability zero and are
+/// dropped by [`crate::Dnf`] normalisation.
+///
+/// The empty clause is the constant `true` and has probability 1.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Clause {
+    atoms: Vec<Atom>,
+}
+
+impl Clause {
+    /// The empty clause (constant `true`).
+    pub fn empty() -> Self {
+        Clause { atoms: Vec::new() }
+    }
+
+    /// Builds a clause from an iterator of atoms, sorting and deduplicating.
+    pub fn from_atoms<I: IntoIterator<Item = Atom>>(atoms: I) -> Self {
+        let mut atoms: Vec<Atom> = atoms.into_iter().collect();
+        atoms.sort_unstable();
+        atoms.dedup();
+        Clause { atoms }
+    }
+
+    /// Builds a clause of positive Boolean literals, one per variable.
+    ///
+    /// This is the common case for lineage of positive queries on
+    /// tuple-independent databases.
+    pub fn from_bools(vars: &[VarId]) -> Self {
+        Clause::from_atoms(vars.iter().copied().map(Atom::pos))
+    }
+
+    /// A clause consisting of a single atom.
+    pub fn singleton(atom: Atom) -> Self {
+        Clause { atoms: vec![atom] }
+    }
+
+    /// Number of atoms in the clause.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// `true` for the empty clause (constant `true`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The atoms of the clause in sorted order.
+    #[inline]
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Iterates over the variables mentioned by the clause (in sorted order,
+    /// possibly with repetitions if the clause is inconsistent).
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.atoms.iter().map(|a| a.var)
+    }
+
+    /// Returns `true` if the clause mentions `var`.
+    pub fn mentions(&self, var: VarId) -> bool {
+        self.atoms.iter().any(|a| a.var == var)
+    }
+
+    /// Returns the value the clause binds `var` to, if any.
+    ///
+    /// If the clause is inconsistent on `var` the first binding is returned.
+    pub fn value_of(&self, var: VarId) -> Option<u32> {
+        self.atoms.iter().find(|a| a.var == var).map(|a| a.value)
+    }
+
+    /// A clause is consistent iff it does not bind the same variable to two
+    /// different values.
+    pub fn is_consistent(&self) -> bool {
+        self.atoms.windows(2).all(|w| !w[0].conflicts_with(&w[1]))
+    }
+
+    /// Returns `true` if adding `atom` to the clause would keep it consistent.
+    pub fn consistent_with(&self, atom: Atom) -> bool {
+        match self.value_of(atom.var) {
+            Some(v) => v == atom.value,
+            None => true,
+        }
+    }
+
+    /// Conjunction of two clauses. The result may be inconsistent.
+    pub fn and(&self, other: &Clause) -> Clause {
+        let mut atoms = Vec::with_capacity(self.atoms.len() + other.atoms.len());
+        atoms.extend_from_slice(&self.atoms);
+        atoms.extend_from_slice(&other.atoms);
+        Clause::from_atoms(atoms)
+    }
+
+    /// Adds a single atom to the clause (returning a new clause).
+    pub fn with_atom(&self, atom: Atom) -> Clause {
+        self.and(&Clause::singleton(atom))
+    }
+
+    /// Two clauses are independent iff they share no variable.
+    ///
+    /// Both atom lists are sorted by variable, so this is a linear merge.
+    pub fn independent_of(&self, other: &Clause) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.atoms.len() && j < other.atoms.len() {
+            match self.atoms[i].var.cmp(&other.atoms[j].var) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if `self` subsumes `other`, i.e. `self ⊆ other` as atom
+    /// sets (so `other ⇒ self` and `other` is redundant in a DNF containing
+    /// `self`).
+    pub fn subsumes(&self, other: &Clause) -> bool {
+        if self.atoms.len() > other.atoms.len() {
+            return false;
+        }
+        // Sorted-merge subset test.
+        let (mut i, mut j) = (0, 0);
+        while i < self.atoms.len() && j < other.atoms.len() {
+            match self.atoms[i].cmp(&other.atoms[j]) {
+                std::cmp::Ordering::Less => return false,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        i == self.atoms.len()
+    }
+
+    /// Probability of the clause: the product of the probabilities of its
+    /// atoms, or 0 if the clause is inconsistent, or 1 if it is empty.
+    pub fn probability(&self, space: &ProbabilitySpace) -> f64 {
+        if !self.is_consistent() {
+            return 0.0;
+        }
+        self.atoms.iter().map(|a| space.atom_prob(*a)).product()
+    }
+
+    /// Restricts the clause under the assignment `var = value` (Shannon
+    /// expansion step):
+    ///
+    /// * `None` if the clause conflicts with the assignment (it is dropped
+    ///   from the cofactor),
+    /// * `Some(clause)` with the atom on `var` removed otherwise.
+    pub fn restrict(&self, var: VarId, value: u32) -> Option<Clause> {
+        match self.value_of(var) {
+            Some(v) if v != value => None,
+            Some(_) => Some(Clause {
+                atoms: self.atoms.iter().copied().filter(|a| a.var != var).collect(),
+            }),
+            None => Some(self.clone()),
+        }
+    }
+
+    /// Removes all atoms over the given (sorted-irrelevant) variable set,
+    /// returning the remaining clause. Used by product factorization.
+    pub fn project_out(&self, vars: &dyn Fn(VarId) -> bool) -> Clause {
+        Clause { atoms: self.atoms.iter().copied().filter(|a| !vars(a.var)).collect() }
+    }
+
+    /// Keeps only atoms over variables selected by the predicate.
+    pub fn project_onto(&self, vars: &dyn Fn(VarId) -> bool) -> Clause {
+        Clause { atoms: self.atoms.iter().copied().filter(|a| vars(a.var)).collect() }
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TRUE_VALUE;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let c = Clause::from_atoms(vec![Atom::pos(v(2)), Atom::pos(v(1)), Atom::pos(v(2))]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.atoms()[0].var, v(1));
+        assert_eq!(c.atoms()[1].var, v(2));
+    }
+
+    #[test]
+    fn empty_clause_is_true() {
+        let c = Clause::empty();
+        assert!(c.is_empty());
+        assert!(c.is_consistent());
+        let space = ProbabilitySpace::new();
+        assert_eq!(c.probability(&space), 1.0);
+        assert_eq!(c.to_string(), "⊤");
+    }
+
+    #[test]
+    fn consistency_detection() {
+        let consistent = Clause::from_atoms(vec![Atom::pos(v(0)), Atom::neg(v(1))]);
+        assert!(consistent.is_consistent());
+        let inconsistent = Clause::from_atoms(vec![Atom::pos(v(0)), Atom::neg(v(0))]);
+        assert!(!inconsistent.is_consistent());
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_bool("x", 0.5);
+        let bad = Clause::from_atoms(vec![Atom::pos(x), Atom::neg(x)]);
+        assert_eq!(bad.probability(&s), 0.0);
+    }
+
+    #[test]
+    fn consistent_with_atom() {
+        let c = Clause::from_atoms(vec![Atom::pos(v(0))]);
+        assert!(c.consistent_with(Atom::pos(v(0))));
+        assert!(!c.consistent_with(Atom::neg(v(0))));
+        assert!(c.consistent_with(Atom::neg(v(1))));
+    }
+
+    #[test]
+    fn probability_is_product_of_atom_probabilities() {
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_bool("x", 0.3);
+        let y = s.add_bool("y", 0.2);
+        let c = Clause::from_bools(&[x, y]);
+        assert!((c.probability(&s) - 0.06).abs() < 1e-12);
+        let c2 = Clause::from_atoms(vec![Atom::pos(x), Atom::neg(y)]);
+        assert!((c2.probability(&s) - 0.3 * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independence_checks_variable_overlap() {
+        let a = Clause::from_bools(&[v(0), v(1)]);
+        let b = Clause::from_bools(&[v(2), v(3)]);
+        let c = Clause::from_bools(&[v(1), v(2)]);
+        assert!(a.independent_of(&b));
+        assert!(b.independent_of(&a));
+        assert!(!a.independent_of(&c));
+        assert!(!c.independent_of(&b));
+        // A clause is never independent of itself unless it is empty.
+        assert!(!a.independent_of(&a));
+        assert!(Clause::empty().independent_of(&a));
+    }
+
+    #[test]
+    fn subsumption_is_subset_of_atoms() {
+        let small = Clause::from_bools(&[v(0)]);
+        let big = Clause::from_bools(&[v(0), v(1)]);
+        let other = Clause::from_bools(&[v(1), v(2)]);
+        assert!(small.subsumes(&big));
+        assert!(!big.subsumes(&small));
+        assert!(small.subsumes(&small));
+        assert!(!small.subsumes(&other));
+        assert!(Clause::empty().subsumes(&small));
+        // Same variable, different value: no subsumption.
+        let neg = Clause::from_atoms(vec![Atom::neg(v(0))]);
+        assert!(!small.subsumes(&neg));
+    }
+
+    #[test]
+    fn restrict_implements_shannon_cofactor() {
+        // Clause x0 ∧ x1 restricted on x0=true drops the x0 atom.
+        let c = Clause::from_bools(&[v(0), v(1)]);
+        let r = c.restrict(v(0), TRUE_VALUE).unwrap();
+        assert_eq!(r, Clause::from_bools(&[v(1)]));
+        // Restricted on x0=false the clause conflicts and is dropped.
+        assert!(c.restrict(v(0), 0).is_none());
+        // Restricting on a variable not mentioned leaves the clause unchanged.
+        let r = c.restrict(v(7), 1).unwrap();
+        assert_eq!(r, c);
+    }
+
+    #[test]
+    fn projections_split_a_clause() {
+        let c = Clause::from_bools(&[v(0), v(1), v(2)]);
+        let left = c.project_onto(&|x: VarId| x.0 <= 1);
+        let right = c.project_out(&|x: VarId| x.0 <= 1);
+        assert_eq!(left, Clause::from_bools(&[v(0), v(1)]));
+        assert_eq!(right, Clause::from_bools(&[v(2)]));
+        assert_eq!(left.and(&right), c);
+    }
+
+    #[test]
+    fn value_of_and_mentions() {
+        let c = Clause::from_atoms(vec![Atom::new(v(3), 2), Atom::pos(v(5))]);
+        assert_eq!(c.value_of(v(3)), Some(2));
+        assert_eq!(c.value_of(v(5)), Some(1));
+        assert_eq!(c.value_of(v(4)), None);
+        assert!(c.mentions(v(3)));
+        assert!(!c.mentions(v(4)));
+    }
+
+    #[test]
+    fn display_joins_atoms_with_and() {
+        let c = Clause::from_atoms(vec![Atom::pos(v(1)), Atom::neg(v(2))]);
+        assert_eq!(c.to_string(), "x1 ∧ ¬x2");
+    }
+}

@@ -1,0 +1,595 @@
+//! DNF formulas: disjunctions of clauses, the lineage representation that
+//! positive relational algebra produces on probabilistic databases.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::partition::{connected_components, UnionFind};
+use crate::{Atom, Clause, ProbabilitySpace, VarId};
+
+/// A DNF formula: a set of [`Clause`]s interpreted as their disjunction.
+///
+/// The paper (Section III) represents a DNF as a set of sets of atomic
+/// formulas; `Dnf` mirrors that: inconsistent clauses are dropped on
+/// construction and duplicate clauses are removed. The empty DNF is the
+/// constant `false`; a DNF containing the empty clause is the constant `true`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dnf {
+    clauses: Vec<Clause>,
+}
+
+impl Dnf {
+    /// The empty DNF (constant `false`).
+    pub fn empty() -> Self {
+        Dnf { clauses: Vec::new() }
+    }
+
+    /// The constant `true` DNF (a single empty clause).
+    pub fn tautology() -> Self {
+        Dnf { clauses: vec![Clause::empty()] }
+    }
+
+    /// Builds a DNF from clauses, dropping inconsistent clauses and duplicate
+    /// clauses.
+    pub fn from_clauses<I: IntoIterator<Item = Clause>>(clauses: I) -> Self {
+        let mut cs: Vec<Clause> = clauses.into_iter().filter(|c| c.is_consistent()).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        Dnf { clauses: cs }
+    }
+
+    /// A DNF with a single clause.
+    pub fn singleton(clause: Clause) -> Self {
+        Dnf::from_clauses(std::iter::once(clause))
+    }
+
+    /// A DNF consisting of a single positive Boolean literal.
+    pub fn literal(var: VarId) -> Self {
+        Dnf::singleton(Clause::from_bools(&[var]))
+    }
+
+    /// Number of clauses.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// `true` for the empty DNF (constant `false`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// `true` if the DNF contains the empty clause, i.e. it is the constant
+    /// `true`.
+    pub fn is_tautology(&self) -> bool {
+        self.clauses.iter().any(|c| c.is_empty())
+    }
+
+    /// `true` if every clause is a singleton atom.
+    pub fn all_singletons(&self) -> bool {
+        self.clauses.iter().all(|c| c.len() == 1)
+    }
+
+    /// The clauses of the DNF.
+    #[inline]
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Consumes the DNF, returning its clauses.
+    pub fn into_clauses(self) -> Vec<Clause> {
+        self.clauses
+    }
+
+    /// The set of variables occurring in the DNF.
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        self.clauses.iter().flat_map(|c| c.vars()).collect()
+    }
+
+    /// Number of distinct variables in the DNF.
+    pub fn num_vars(&self) -> usize {
+        self.vars().len()
+    }
+
+    /// Total number of atoms across all clauses (the "size" of the DNF used by
+    /// the paper's complexity statements).
+    pub fn size(&self) -> usize {
+        self.clauses.iter().map(|c| c.len()).sum()
+    }
+
+    /// Counts, for each variable, the number of clauses it occurs in.
+    pub fn occurrence_counts(&self) -> BTreeMap<VarId, usize> {
+        let mut counts = BTreeMap::new();
+        for c in &self.clauses {
+            for v in c.vars() {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Returns a variable occurring in the largest number of clauses, the
+    /// paper's fallback choice for Shannon expansion ("we choose a variable
+    /// that occurs most frequently in the DNF").
+    pub fn most_frequent_var(&self) -> Option<VarId> {
+        let counts = self.occurrence_counts();
+        counts.into_iter().max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0))).map(|(v, _)| v)
+    }
+
+    /// Disjunction of two DNFs (set union of clauses).
+    pub fn or(&self, other: &Dnf) -> Dnf {
+        Dnf::from_clauses(self.clauses.iter().chain(other.clauses.iter()).cloned())
+    }
+
+    /// Conjunction of two DNFs (pairwise clause conjunction, distributing ∧
+    /// over ∨). Inconsistent combinations are dropped.
+    pub fn and(&self, other: &Dnf) -> Dnf {
+        let mut out = Vec::with_capacity(self.clauses.len() * other.clauses.len());
+        for a in &self.clauses {
+            for b in &other.clauses {
+                out.push(a.and(b));
+            }
+        }
+        Dnf::from_clauses(out)
+    }
+
+    /// Removes subsumed clauses: if `s ⊂ t` then `t` is redundant and removed
+    /// (step 1 of the compilation algorithm in Figure 1 of the paper).
+    ///
+    /// Runs in `O(n² · m)` for `n` clauses of width `m`; the width is bounded
+    /// by the number of joined relations for query lineage, so this is cheap
+    /// in practice.
+    pub fn remove_subsumed(&self) -> Dnf {
+        // Fast path: clauses are deduplicated, so equal-length clauses can
+        // never strictly subsume each other. Lineage of a fixed join query
+        // has uniform clause width, making this the common case.
+        let uniform_width = self
+            .clauses
+            .first()
+            .map(|c| self.clauses.iter().all(|d| d.len() == c.len()))
+            .unwrap_or(true);
+        if uniform_width {
+            return self.clone();
+        }
+        let mut keep = vec![true; self.clauses.len()];
+        for i in 0..self.clauses.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..self.clauses.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                // clauses[i] subsumes clauses[j] (i is a subset of j): drop j.
+                // Ties (equal clauses) cannot occur because construction
+                // deduplicates.
+                if self.clauses[i].subsumes(&self.clauses[j]) {
+                    keep[j] = false;
+                }
+            }
+        }
+        Dnf {
+            clauses: self
+                .clauses
+                .iter()
+                .zip(keep)
+                .filter_map(|(c, k)| if k { Some(c.clone()) } else { None })
+                .collect(),
+        }
+    }
+
+    /// Number of clauses that would be removed by [`Dnf::remove_subsumed`].
+    pub fn count_subsumed(&self) -> usize {
+        self.len() - self.remove_subsumed().len()
+    }
+
+    /// The cofactor `Φ|x=a` of the Shannon expansion (Section IV): clauses
+    /// conflicting with `x = a` are dropped and the atom `x = a` is removed
+    /// from the remaining clauses.
+    pub fn cofactor(&self, var: VarId, value: u32) -> Dnf {
+        Dnf::from_clauses(self.clauses.iter().filter_map(|c| c.restrict(var, value)))
+    }
+
+    /// Restricts the DNF under a full assignment of `var`, i.e. returns the
+    /// cofactors for every domain value that yields a non-empty DNF, as
+    /// `(value, cofactor)` pairs.
+    pub fn shannon_cofactors(&self, var: VarId, space: &ProbabilitySpace) -> Vec<(u32, Dnf)> {
+        let mut out = Vec::new();
+        for value in 0..space.domain_size(var) {
+            let cof = self.cofactor(var, value);
+            if !cof.is_empty() {
+                out.push((value, cof));
+            }
+        }
+        out
+    }
+
+    /// Partitions the clauses into independent groups: the connected
+    /// components of the variable co-occurrence graph (the independent-or
+    /// decomposition ⊗ of the paper, computed with union-find instead of the
+    /// paper's Tarjan formulation — both are linear up to α(n)).
+    ///
+    /// Returns one `Dnf` per component. A single component means no ⊗
+    /// decomposition applies.
+    pub fn independent_components(&self) -> Vec<Dnf> {
+        if self.clauses.len() <= 1 {
+            return vec![self.clone()];
+        }
+        let groups = connected_components(&self.clauses);
+        if groups.len() <= 1 {
+            return vec![self.clone()];
+        }
+        groups
+            .into_iter()
+            .map(|idxs| Dnf {
+                clauses: idxs.into_iter().map(|i| self.clauses[i].clone()).collect(),
+            })
+            .collect()
+    }
+
+    /// Checks whether two DNFs are independent (share no variable).
+    pub fn independent_of(&self, other: &Dnf) -> bool {
+        let mine = self.vars();
+        other.vars().is_disjoint(&mine)
+    }
+
+    /// Groups clauses by the value they assign to `var`; clauses not
+    /// mentioning `var` are returned separately.
+    ///
+    /// This is the raw material of the Shannon expansion in Figure 1: the
+    /// cofactor for `x = a` is the union of the group for `a` (with the atom
+    /// removed) and the unconstrained remainder `T`.
+    pub fn group_by_var(&self, var: VarId) -> (BTreeMap<u32, Vec<Clause>>, Vec<Clause>) {
+        let mut groups: BTreeMap<u32, Vec<Clause>> = BTreeMap::new();
+        let mut rest = Vec::new();
+        for c in &self.clauses {
+            match c.value_of(var) {
+                Some(v) => groups.entry(v).or_default().push(c.clone()),
+                None => rest.push(c.clone()),
+            }
+        }
+        (groups, rest)
+    }
+
+    /// Evaluates the DNF under a complete valuation given as a function from
+    /// variables to values.
+    pub fn eval(&self, valuation: &dyn Fn(VarId) -> u32) -> bool {
+        self.clauses
+            .iter()
+            .any(|c| c.atoms().iter().all(|a| valuation(a.var) == a.value))
+    }
+
+    /// Exact probability by brute-force enumeration of the possible worlds
+    /// over the variables of the DNF.
+    ///
+    /// Exponential in the number of variables — this is the reference
+    /// semantics used in tests, not an algorithm to run on real lineage.
+    pub fn exact_probability_enumeration(&self, space: &ProbabilitySpace) -> f64 {
+        crate::world::enumerate_probability(self, space)
+    }
+
+    /// Sum of clause marginal probabilities (used both as a trivial upper
+    /// bound and as the normalising constant of the Karp-Luby estimator).
+    pub fn clause_probability_sum(&self, space: &ProbabilitySpace) -> f64 {
+        self.clauses.iter().map(|c| c.probability(space)).sum()
+    }
+
+    /// Returns clauses sorted descending by marginal probability, the order
+    /// the paper's bucket heuristic uses to improve the lower bound
+    /// (Section V-A).
+    pub fn clauses_by_probability_desc(&self, space: &ProbabilitySpace) -> Vec<(usize, f64)> {
+        let mut with_p: Vec<(usize, f64)> =
+            self.clauses.iter().enumerate().map(|(i, c)| (i, c.probability(space))).collect();
+        with_p.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        with_p
+    }
+
+    /// Returns the set of atoms shared by *every* clause of the DNF.
+    ///
+    /// Such atoms can be factored out with an independent-and (⊙) node:
+    /// `Φ ≡ (a1 ∧ … ∧ ak) ⊙ Φ'` where `Φ'` is the DNF with those atoms
+    /// removed. (A variable occurring in every clause with the same value
+    /// cannot occur anywhere else, so the two factors are independent.)
+    pub fn common_atoms(&self) -> Vec<Atom> {
+        let Some(first) = self.clauses.first() else { return Vec::new() };
+        first
+            .atoms()
+            .iter()
+            .copied()
+            .filter(|a| self.clauses.iter().all(|c| c.value_of(a.var) == Some(a.value)))
+            // A shared variable bound to *different* values in different
+            // clauses must not be factored out.
+            .filter(|a| self.clauses.iter().all(|c| !c.atoms().iter().any(|b| b.conflicts_with(a))))
+            .collect()
+    }
+
+    /// Removes the given atoms from every clause (used together with
+    /// [`Dnf::common_atoms`]).
+    pub fn strip_atoms(&self, atoms: &[Atom]) -> Dnf {
+        let vars: BTreeSet<VarId> = atoms.iter().map(|a| a.var).collect();
+        Dnf::from_clauses(
+            self.clauses.iter().map(|c| c.project_out(&|v: VarId| vars.contains(&v))),
+        )
+    }
+
+    /// Builds the union-find structure over the DNF's variables where
+    /// variables co-occurring in a clause are merged. Exposed for reuse by
+    /// callers that need the component structure itself.
+    pub fn variable_union_find(&self) -> UnionFind<VarId> {
+        let mut uf = UnionFind::new();
+        for c in &self.clauses {
+            let vars: Vec<VarId> = c.vars().collect();
+            for w in vars.windows(2) {
+                uf.union(w[0], w[1]);
+            }
+            if let Some(&first) = vars.first() {
+                uf.insert(first);
+            }
+        }
+        uf
+    }
+}
+
+impl fmt::Display for Dnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊥");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            if c.len() > 1 {
+                write!(f, "({c})")?;
+            } else {
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Clause> for Dnf {
+    fn from_iter<T: IntoIterator<Item = Clause>>(iter: T) -> Self {
+        Dnf::from_clauses(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Atom, TRUE_VALUE};
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn space_with_bools(ps: &[f64]) -> (ProbabilitySpace, Vec<VarId>) {
+        let mut s = ProbabilitySpace::new();
+        let vars = ps.iter().enumerate().map(|(i, &p)| s.add_bool(format!("x{i}"), p)).collect();
+        (s, vars)
+    }
+
+    #[test]
+    fn construction_drops_inconsistent_and_duplicate_clauses() {
+        let bad = Clause::from_atoms(vec![Atom::pos(v(0)), Atom::neg(v(0))]);
+        let good = Clause::from_bools(&[v(1)]);
+        let dnf = Dnf::from_clauses(vec![bad, good.clone(), good.clone()]);
+        assert_eq!(dnf.len(), 1);
+        assert_eq!(dnf.clauses()[0], good);
+    }
+
+    #[test]
+    fn constants() {
+        assert!(Dnf::empty().is_empty());
+        assert!(!Dnf::empty().is_tautology());
+        assert!(Dnf::tautology().is_tautology());
+        let (s, _) = space_with_bools(&[]);
+        assert_eq!(Dnf::empty().exact_probability_enumeration(&s), 0.0);
+        assert_eq!(Dnf::tautology().exact_probability_enumeration(&s), 1.0);
+    }
+
+    #[test]
+    fn example_5_2_exact_probability() {
+        // Φ = (x ∧ y) ∨ (x ∧ z) ∨ v with P(x)=0.3, P(y)=0.2, P(z)=0.7, P(v)=0.8.
+        let (s, vars) = space_with_bools(&[0.3, 0.2, 0.7, 0.8]);
+        let (x, y, z, vv) = (vars[0], vars[1], vars[2], vars[3]);
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_bools(&[x, y]),
+            Clause::from_bools(&[x, z]),
+            Clause::from_bools(&[vv]),
+        ]);
+        let p = phi.exact_probability_enumeration(&s);
+        assert!((p - 0.8456).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn subsumption_removal_matches_figure_1_step_1() {
+        // {x} subsumes {x, y}; {u, v} is untouched.
+        let dnf = Dnf::from_clauses(vec![
+            Clause::from_bools(&[v(0)]),
+            Clause::from_bools(&[v(0), v(1)]),
+            Clause::from_bools(&[v(2), v(3)]),
+        ]);
+        let reduced = dnf.remove_subsumed();
+        assert_eq!(reduced.len(), 2);
+        assert_eq!(dnf.count_subsumed(), 1);
+        // Subsumption preserves semantics.
+        let (s, _) = space_with_bools(&[0.5, 0.5, 0.5, 0.5]);
+        assert!(
+            (dnf.exact_probability_enumeration(&s) - reduced.exact_probability_enumeration(&s))
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn cofactor_matches_shannon_expansion_definition() {
+        // Φ = {x=1} ∨ {x=2, y} over a ternary variable x.
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_discrete("x", vec![0.2, 0.3, 0.5]);
+        let y = s.add_bool("y", 0.4);
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_atoms(vec![Atom::new(x, 1)]),
+            Clause::from_atoms(vec![Atom::new(x, 2), Atom::pos(y)]),
+        ]);
+        // Φ|x=1 = {∅} (tautology), Φ|x=2 = {y}, Φ|x=0 = ∅.
+        assert!(phi.cofactor(x, 1).is_tautology());
+        assert_eq!(phi.cofactor(x, 2), Dnf::literal(y));
+        assert!(phi.cofactor(x, 0).is_empty());
+        let cofs = phi.shannon_cofactors(x, &s);
+        assert_eq!(cofs.len(), 2);
+        assert_eq!(cofs[0].0, 1);
+        assert_eq!(cofs[1].0, 2);
+    }
+
+    #[test]
+    fn cofactor_keeps_unconstrained_clauses() {
+        let (_, vars) = space_with_bools(&[0.5, 0.5, 0.5]);
+        let (x, y, z) = (vars[0], vars[1], vars[2]);
+        let phi = Dnf::from_clauses(vec![Clause::from_bools(&[x, y]), Clause::from_bools(&[z])]);
+        let cof = phi.cofactor(x, TRUE_VALUE);
+        assert_eq!(cof, Dnf::from_clauses(vec![Clause::from_bools(&[y]), Clause::from_bools(&[z])]));
+    }
+
+    #[test]
+    fn independent_components_splits_disjoint_variable_sets() {
+        let (_, vars) = space_with_bools(&[0.5; 6]);
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_bools(&[vars[0], vars[1]]),
+            Clause::from_bools(&[vars[1], vars[2]]),
+            Clause::from_bools(&[vars[3]]),
+            Clause::from_bools(&[vars[4], vars[5]]),
+        ]);
+        let comps = phi.independent_components();
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = comps.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 4);
+        // Components are pairwise independent.
+        for i in 0..comps.len() {
+            for j in 0..comps.len() {
+                if i != j {
+                    assert!(comps[i].independent_of(&comps[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn independent_components_single_component() {
+        let (_, vars) = space_with_bools(&[0.5; 3]);
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_bools(&[vars[0], vars[1]]),
+            Clause::from_bools(&[vars[1], vars[2]]),
+        ]);
+        assert_eq!(phi.independent_components().len(), 1);
+    }
+
+    #[test]
+    fn most_frequent_var_breaks_ties_deterministically() {
+        let (_, vars) = space_with_bools(&[0.5; 3]);
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_bools(&[vars[0], vars[1]]),
+            Clause::from_bools(&[vars[0], vars[2]]),
+            Clause::from_bools(&[vars[2]]),
+        ]);
+        // vars[0] and vars[2] both occur twice; the smaller id wins.
+        assert_eq!(phi.most_frequent_var(), Some(vars[0]));
+        assert_eq!(Dnf::empty().most_frequent_var(), None);
+    }
+
+    #[test]
+    fn common_atoms_factoring_is_sound() {
+        let (s, vars) = space_with_bools(&[0.3, 0.5, 0.6, 0.9]);
+        let (a, b, c, d) = (vars[0], vars[1], vars[2], vars[3]);
+        // Φ = a∧b∧c ∨ a∧b∧d : common atoms {a, b}.
+        let phi =
+            Dnf::from_clauses(vec![Clause::from_bools(&[a, b, c]), Clause::from_bools(&[a, b, d])]);
+        let common = phi.common_atoms();
+        assert_eq!(common, vec![Atom::pos(a), Atom::pos(b)]);
+        let rest = phi.strip_atoms(&common);
+        assert_eq!(rest, Dnf::from_clauses(vec![Clause::from_bools(&[c]), Clause::from_bools(&[d])]));
+        // P(Φ) = P(a)·P(b)·P(c ∨ d)
+        let expected = 0.3 * 0.5 * (1.0 - (1.0 - 0.6) * (1.0 - 0.9));
+        assert!((phi.exact_probability_enumeration(&s) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn common_atoms_ignores_conflicting_bindings() {
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_discrete("x", vec![0.25, 0.25, 0.5]);
+        let y = s.add_bool("y", 0.5);
+        let z = s.add_bool("z", 0.5);
+        // x occurs in every clause but with different values: cannot factor.
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_atoms(vec![Atom::new(x, 1), Atom::pos(y)]),
+            Clause::from_atoms(vec![Atom::new(x, 2), Atom::pos(z)]),
+        ]);
+        assert!(phi.common_atoms().is_empty());
+    }
+
+    #[test]
+    fn and_or_composition_match_semantics() {
+        let (s, vars) = space_with_bools(&[0.4, 0.7, 0.2]);
+        let a = Dnf::literal(vars[0]);
+        let b = Dnf::literal(vars[1]);
+        let c = Dnf::literal(vars[2]);
+        let ab_or_c = a.and(&b).or(&c);
+        let expected = {
+            let pab = 0.4 * 0.7;
+            pab + 0.2 - pab * 0.2
+        };
+        assert!((ab_or_c.exact_probability_enumeration(&s) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_by_var_partitions_clauses() {
+        let (_, vars) = space_with_bools(&[0.5; 3]);
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_bools(&[vars[0], vars[1]]),
+            Clause::from_bools(&[vars[0], vars[2]]),
+            Clause::from_bools(&[vars[2]]),
+        ]);
+        let (groups, rest) = phi.group_by_var(vars[0]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[&TRUE_VALUE].len(), 2);
+        assert_eq!(rest.len(), 1);
+    }
+
+    #[test]
+    fn eval_under_valuation() {
+        let (_, vars) = space_with_bools(&[0.5, 0.5]);
+        let phi = Dnf::from_clauses(vec![Clause::from_bools(&[vars[0], vars[1]])]);
+        assert!(phi.eval(&|_| TRUE_VALUE));
+        assert!(!phi.eval(&|v: VarId| if v == vars[0] { 0 } else { 1 }));
+        assert!(!Dnf::empty().eval(&|_| 1));
+        assert!(Dnf::tautology().eval(&|_| 0));
+    }
+
+    #[test]
+    fn size_and_occurrence_statistics() {
+        let (_, vars) = space_with_bools(&[0.5; 3]);
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_bools(&[vars[0], vars[1]]),
+            Clause::from_bools(&[vars[0], vars[2]]),
+        ]);
+        assert_eq!(phi.size(), 4);
+        assert_eq!(phi.num_vars(), 3);
+        let counts = phi.occurrence_counts();
+        assert_eq!(counts[&vars[0]], 2);
+        assert_eq!(counts[&vars[1]], 1);
+    }
+
+    #[test]
+    fn display_renders_disjunction() {
+        let (_, vars) = space_with_bools(&[0.5, 0.5]);
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_bools(&[vars[0], vars[1]]),
+            Clause::from_bools(&[vars[0]]),
+        ]);
+        let s = phi.to_string();
+        assert!(s.contains('∨'));
+        assert_eq!(Dnf::empty().to_string(), "⊥");
+    }
+}

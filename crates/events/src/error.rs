@@ -1,0 +1,72 @@
+//! Error type shared by the event-algebra crate.
+
+use std::fmt;
+
+/// Errors raised when constructing or manipulating events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventError {
+    /// A probability was outside the open interval `(0, 1]` or a distribution
+    /// did not sum to one.
+    InvalidProbability(String),
+    /// A variable id referenced a variable that does not exist in the
+    /// [`crate::ProbabilitySpace`].
+    UnknownVariable(u32),
+    /// A domain value was outside the variable's domain.
+    ValueOutOfDomain {
+        /// The offending variable.
+        var: u32,
+        /// The offending value.
+        value: u32,
+        /// The size of the variable's domain.
+        domain_size: u32,
+    },
+    /// An operation that requires a consistent clause was given an
+    /// inconsistent one (two atoms binding the same variable to different
+    /// values).
+    InconsistentClause(String),
+    /// A structural precondition was violated (e.g. a factorization check
+    /// failed where a product was required).
+    Structure(String),
+}
+
+impl fmt::Display for EventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventError::InvalidProbability(msg) => write!(f, "invalid probability: {msg}"),
+            EventError::UnknownVariable(v) => write!(f, "unknown variable id {v}"),
+            EventError::ValueOutOfDomain { var, value, domain_size } => write!(
+                f,
+                "value {value} out of domain for variable {var} (domain size {domain_size})"
+            ),
+            EventError::InconsistentClause(msg) => write!(f, "inconsistent clause: {msg}"),
+            EventError::Structure(msg) => write!(f, "structural error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EventError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = EventError::InvalidProbability("p = 1.5".into());
+        assert!(e.to_string().contains("1.5"));
+        let e = EventError::UnknownVariable(7);
+        assert!(e.to_string().contains('7'));
+        let e = EventError::ValueOutOfDomain { var: 1, value: 9, domain_size: 2 };
+        assert!(e.to_string().contains("out of domain"));
+        let e = EventError::InconsistentClause("x=1 and x=2".into());
+        assert!(e.to_string().contains("inconsistent"));
+        let e = EventError::Structure("not a product".into());
+        assert!(e.to_string().contains("structural"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&EventError::UnknownVariable(0));
+    }
+}

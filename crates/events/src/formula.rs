@@ -1,0 +1,335 @@
+//! Arbitrary positive ∧/∨ formulas and read-once (one-occurrence-form)
+//! evaluation.
+//!
+//! The paper's tractability results (Section VI-B) hinge on the observation
+//! that lineage of hierarchical queries is factorizable into *one-occurrence
+//! form* (1OF), where every variable occurs exactly once; the probability of a
+//! 1OF formula is computable in linear time. [`Formula`] provides the nested
+//! ∧/∨ representation, conversion to DNF, and the linear-time probability
+//! computation for read-once formulas.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{Atom, Clause, Dnf, ProbabilitySpace, VarId};
+
+/// A positive propositional formula over atomic events, with explicit ∧/∨
+/// structure (not necessarily in DNF).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Formula {
+    /// An atomic event `x = a`.
+    Atom(Atom),
+    /// Conjunction of sub-formulas (empty conjunction is `true`).
+    And(Vec<Formula>),
+    /// Disjunction of sub-formulas (empty disjunction is `false`).
+    Or(Vec<Formula>),
+}
+
+impl Formula {
+    /// The constant `true` (empty conjunction).
+    pub fn top() -> Self {
+        Formula::And(Vec::new())
+    }
+
+    /// The constant `false` (empty disjunction).
+    pub fn bottom() -> Self {
+        Formula::Or(Vec::new())
+    }
+
+    /// A positive Boolean literal.
+    pub fn var(v: VarId) -> Self {
+        Formula::Atom(Atom::pos(v))
+    }
+
+    /// A negative Boolean literal (`x = false`).
+    pub fn not_var(v: VarId) -> Self {
+        Formula::Atom(Atom::neg(v))
+    }
+
+    /// Conjunction of two formulas.
+    pub fn and(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::And(mut a), Formula::And(b)) => {
+                a.extend(b);
+                Formula::And(a)
+            }
+            (Formula::And(mut a), f) => {
+                a.push(f);
+                Formula::And(a)
+            }
+            (f, Formula::And(mut b)) => {
+                b.insert(0, f);
+                Formula::And(b)
+            }
+            (a, b) => Formula::And(vec![a, b]),
+        }
+    }
+
+    /// Disjunction of two formulas.
+    pub fn or(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::Or(mut a), Formula::Or(b)) => {
+                a.extend(b);
+                Formula::Or(a)
+            }
+            (Formula::Or(mut a), f) => {
+                a.push(f);
+                Formula::Or(a)
+            }
+            (f, Formula::Or(mut b)) => {
+                b.insert(0, f);
+                Formula::Or(b)
+            }
+            (a, b) => Formula::Or(vec![a, b]),
+        }
+    }
+
+    /// Conjunction of many formulas.
+    pub fn and_all<I: IntoIterator<Item = Formula>>(fs: I) -> Formula {
+        Formula::And(fs.into_iter().collect())
+    }
+
+    /// Disjunction of many formulas.
+    pub fn or_all<I: IntoIterator<Item = Formula>>(fs: I) -> Formula {
+        Formula::Or(fs.into_iter().collect())
+    }
+
+    /// The set of variables mentioned by the formula.
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<VarId>) {
+        match self {
+            Formula::Atom(a) => {
+                out.insert(a.var);
+            }
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Counts variable occurrences; the formula is *read-once* (in
+    /// one-occurrence form) iff every variable occurs exactly once.
+    pub fn is_read_once(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        self.read_once_rec(&mut seen)
+    }
+
+    fn read_once_rec(&self, seen: &mut BTreeSet<VarId>) -> bool {
+        match self {
+            Formula::Atom(a) => seen.insert(a.var),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(|f| f.read_once_rec(seen)),
+        }
+    }
+
+    /// Evaluates the formula under a complete valuation.
+    pub fn eval(&self, valuation: &dyn Fn(VarId) -> u32) -> bool {
+        match self {
+            Formula::Atom(a) => valuation(a.var) == a.value,
+            Formula::And(fs) => fs.iter().all(|f| f.eval(valuation)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval(valuation)),
+        }
+    }
+
+    /// Exact probability of a *read-once* formula, computed in linear time by
+    /// structural recursion: independent-and multiplies, independent-or
+    /// combines as `1 - Π (1 - p)`.
+    ///
+    /// Returns `None` if the formula is not read-once — the recursion would
+    /// not be sound because subformulas of an ∧/∨ node must be independent.
+    pub fn read_once_probability(&self, space: &ProbabilitySpace) -> Option<f64> {
+        if !self.is_read_once() {
+            return None;
+        }
+        Some(self.read_once_probability_unchecked(space))
+    }
+
+    fn read_once_probability_unchecked(&self, space: &ProbabilitySpace) -> f64 {
+        match self {
+            Formula::Atom(a) => space.atom_prob(*a),
+            Formula::And(fs) => {
+                fs.iter().map(|f| f.read_once_probability_unchecked(space)).product()
+            }
+            Formula::Or(fs) => {
+                1.0 - fs
+                    .iter()
+                    .map(|f| 1.0 - f.read_once_probability_unchecked(space))
+                    .product::<f64>()
+            }
+        }
+    }
+
+    /// Converts the formula to DNF by distributing ∧ over ∨. The result can be
+    /// exponentially larger than the input.
+    pub fn to_dnf(&self) -> Dnf {
+        match self {
+            Formula::Atom(a) => Dnf::singleton(Clause::singleton(*a)),
+            Formula::Or(fs) => {
+                let mut out = Dnf::empty();
+                for f in fs {
+                    out = out.or(&f.to_dnf());
+                }
+                out
+            }
+            Formula::And(fs) => {
+                let mut out = Dnf::tautology();
+                for f in fs {
+                    out = out.and(&f.to_dnf());
+                }
+                out
+            }
+        }
+    }
+
+    /// Number of atom occurrences in the formula.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::Atom(_) => 1,
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().map(|f| f.size()).sum(),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::And(fs) => {
+                if fs.is_empty() {
+                    return write!(f, "⊤");
+                }
+                write!(f, "(")?;
+                for (i, sub) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{sub}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                if fs.is_empty() {
+                    return write!(f, "⊥");
+                }
+                write!(f, "(")?;
+                for (i, sub) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{sub}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bool_space(ps: &[f64]) -> (ProbabilitySpace, Vec<VarId>) {
+        let mut s = ProbabilitySpace::new();
+        let vars = ps.iter().enumerate().map(|(i, &p)| s.add_bool(format!("x{i}"), p)).collect();
+        (s, vars)
+    }
+
+    #[test]
+    fn constants_and_constructors() {
+        assert_eq!(Formula::top().size(), 0);
+        assert_eq!(Formula::bottom().size(), 0);
+        let (_, vars) = bool_space(&[0.5]);
+        let f = Formula::var(vars[0]);
+        assert_eq!(f.size(), 1);
+        assert_eq!(f.vars().len(), 1);
+    }
+
+    #[test]
+    fn and_or_flatten_nested_nodes() {
+        let (_, vars) = bool_space(&[0.5; 4]);
+        let f = Formula::var(vars[0])
+            .and(Formula::var(vars[1]))
+            .and(Formula::var(vars[2]))
+            .or(Formula::var(vars[3]));
+        // ((x0 ∧ x1 ∧ x2) ∨ x3)
+        match &f {
+            Formula::Or(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected Or, got {other:?}"),
+        }
+        assert_eq!(f.size(), 4);
+    }
+
+    #[test]
+    fn read_once_detection() {
+        let (_, vars) = bool_space(&[0.5; 3]);
+        let ro = Formula::var(vars[0]).and(Formula::var(vars[1]).or(Formula::var(vars[2])));
+        assert!(ro.is_read_once());
+        let not_ro = Formula::var(vars[0]).and(Formula::var(vars[0]).or(Formula::var(vars[1])));
+        assert!(!not_ro.is_read_once());
+    }
+
+    #[test]
+    fn read_once_probability_matches_enumeration() {
+        // x ∧ (y ∨ z) ∨ v factored form from Remark 5.3.
+        let (s, vars) = bool_space(&[0.3, 0.2, 0.7, 0.8]);
+        let (x, y, z, v) = (vars[0], vars[1], vars[2], vars[3]);
+        let f = Formula::var(x).and(Formula::var(y).or(Formula::var(z))).or(Formula::var(v));
+        assert!(f.is_read_once());
+        let p = f.read_once_probability(&s).unwrap();
+        let dnf = f.to_dnf();
+        let exact = dnf.exact_probability_enumeration(&s);
+        assert!((p - exact).abs() < 1e-12);
+        assert!((p - 0.8456).abs() < 1e-12);
+    }
+
+    #[test]
+    fn read_once_probability_rejects_shared_variables() {
+        let (s, vars) = bool_space(&[0.5, 0.5]);
+        let f = Formula::var(vars[0]).and(Formula::var(vars[0]).or(Formula::var(vars[1])));
+        assert!(f.read_once_probability(&s).is_none());
+    }
+
+    #[test]
+    fn to_dnf_distributes_and_over_or() {
+        let (s, vars) = bool_space(&[0.2, 0.3, 0.4, 0.5]);
+        let f = (Formula::var(vars[0]).or(Formula::var(vars[1])))
+            .and(Formula::var(vars[2]).or(Formula::var(vars[3])));
+        let dnf = f.to_dnf();
+        assert_eq!(dnf.len(), 4);
+        // Semantics preserved.
+        let valuation = |v: VarId| if v == vars[0] || v == vars[2] { 1 } else { 0 };
+        assert_eq!(f.eval(&valuation), dnf.eval(&valuation));
+        let p_dnf = dnf.exact_probability_enumeration(&s);
+        let p_ro = f.read_once_probability(&s).unwrap();
+        assert!((p_dnf - p_ro).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_handles_constants() {
+        assert!(Formula::top().eval(&|_| 0));
+        assert!(!Formula::bottom().eval(&|_| 0));
+    }
+
+    #[test]
+    fn display_renders_structure() {
+        let (_, vars) = bool_space(&[0.5, 0.5]);
+        let f = Formula::var(vars[0]).and(Formula::not_var(vars[1]));
+        let s = f.to_string();
+        assert!(s.contains('∧'));
+        assert!(s.contains('¬'));
+        assert_eq!(Formula::top().to_string(), "⊤");
+        assert_eq!(Formula::bottom().to_string(), "⊥");
+    }
+
+    #[test]
+    fn to_dnf_of_constants() {
+        assert!(Formula::bottom().to_dnf().is_empty());
+        assert!(Formula::top().to_dnf().is_tautology());
+    }
+}

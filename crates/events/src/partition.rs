@@ -1,0 +1,483 @@
+//! Structural analyses of clause sets: union-find, independence partitioning
+//! (connected components of the variable co-occurrence graph) and product
+//! factorization (the independent-and decomposition of column-aligned DNFs).
+
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::Hash;
+
+use crate::{Clause, VarId};
+
+/// A generic union-find (disjoint-set) structure over hashable keys.
+///
+/// Used for the independent-or decomposition: variables co-occurring in a
+/// clause are merged, and each resulting set is an independent component of
+/// the DNF. The paper phrases this as computing connected components with
+/// Tarjan's algorithm; union-find with path compression gives the same
+/// components in near-linear time.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind<K: Eq + Hash + Ord + Copy> {
+    parent: BTreeMap<K, K>,
+    rank: BTreeMap<K, u32>,
+    components: usize,
+}
+
+impl<K: Eq + Hash + Ord + Copy> UnionFind<K> {
+    /// Creates an empty union-find.
+    pub fn new() -> Self {
+        UnionFind { parent: BTreeMap::new(), rank: BTreeMap::new(), components: 0 }
+    }
+
+    /// Inserts a key as its own singleton set (no-op if already present).
+    pub fn insert(&mut self, k: K) {
+        if let Entry::Vacant(e) = self.parent.entry(k) {
+            e.insert(k);
+            self.rank.insert(k, 0);
+            self.components += 1;
+        }
+    }
+
+    /// Finds the representative of `k`'s set, inserting `k` if needed.
+    pub fn find(&mut self, k: K) -> K {
+        self.insert(k);
+        let mut root = k;
+        while self.parent[&root] != root {
+            root = self.parent[&root];
+        }
+        // Path compression.
+        let mut cur = k;
+        while self.parent[&cur] != root {
+            let next = self.parent[&cur];
+            self.parent.insert(cur, root);
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`.
+    pub fn union(&mut self, a: K, b: K) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        self.components -= 1;
+        let (ra_rank, rb_rank) = (self.rank[&ra], self.rank[&rb]);
+        if ra_rank < rb_rank {
+            self.parent.insert(ra, rb);
+        } else if ra_rank > rb_rank {
+            self.parent.insert(rb, ra);
+        } else {
+            self.parent.insert(rb, ra);
+            *self.rank.get_mut(&ra).expect("rank exists for inserted key") += 1;
+        }
+    }
+
+    /// `true` if `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: K, b: K) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets currently tracked.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Number of keys tracked.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` if no key has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Groups all keys by their representative.
+    pub fn groups(&mut self) -> Vec<Vec<K>> {
+        let keys: Vec<K> = self.parent.keys().copied().collect();
+        let mut by_root: BTreeMap<K, Vec<K>> = BTreeMap::new();
+        for k in keys {
+            let r = self.find(k);
+            by_root.entry(r).or_default().push(k);
+        }
+        by_root.into_values().collect()
+    }
+}
+
+/// Partitions the clauses (given by index) into independent groups: two
+/// clauses belong to the same group iff they are connected through shared
+/// variables. This is the independent-or (⊗) partitioning of the paper.
+pub fn connected_components(clauses: &[Clause]) -> Vec<Vec<usize>> {
+    let mut var_to_first_clause: BTreeMap<VarId, usize> = BTreeMap::new();
+    let mut uf: UnionFind<usize> = UnionFind::new();
+    for (i, c) in clauses.iter().enumerate() {
+        uf.insert(i);
+        for v in c.vars() {
+            match var_to_first_clause.entry(v) {
+                Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+                Entry::Occupied(e) => uf.union(i, *e.get()),
+            }
+        }
+    }
+    let mut by_root: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for i in 0..clauses.len() {
+        let r = uf.find(i);
+        by_root.entry(r).or_default().push(i);
+    }
+    by_root.into_values().collect()
+}
+
+/// Labels mapping each variable to the "origin group" it belongs to — for
+/// query lineage, the input relation (or query subgoal) the variable's tuple
+/// came from. Origin information drives both the independent-and product
+/// factorization and the tractable variable-elimination orders of Section VI.
+#[derive(Debug, Clone, Default)]
+pub struct VarOrigins {
+    origin: BTreeMap<VarId, u32>,
+}
+
+impl VarOrigins {
+    /// Creates an empty origin map.
+    pub fn new() -> Self {
+        VarOrigins { origin: BTreeMap::new() }
+    }
+
+    /// Records that `var` originates from group `group` (e.g. relation id).
+    pub fn set(&mut self, var: VarId, group: u32) {
+        self.origin.insert(var, group);
+    }
+
+    /// The origin group of `var`, if known.
+    pub fn get(&self, var: VarId) -> Option<u32> {
+        self.origin.get(&var).copied()
+    }
+
+    /// Number of variables with a recorded origin.
+    pub fn len(&self) -> usize {
+        self.origin.len()
+    }
+
+    /// `true` if no origin is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.origin.is_empty()
+    }
+
+    /// The set of distinct origin groups mentioned by the given clause set.
+    pub fn groups_of(&self, clauses: &[Clause]) -> BTreeSet<u32> {
+        clauses
+            .iter()
+            .flat_map(|c| c.vars())
+            .filter_map(|v| self.get(v))
+            .collect()
+    }
+}
+
+/// Attempts the *independent-and* (⊙) product factorization of a clause set
+/// whose variables carry origin labels.
+///
+/// The lineage of a conjunctive query has one variable per subgoal in each
+/// clause; a partition `{G1, …, Gk}` of the subgoals factorizes the DNF iff
+/// the clause set equals the cartesian product of its projections onto each
+/// `Gi`. This function:
+///
+/// 1. groups origins that must stay together (pairwise product test),
+/// 2. verifies the candidate factorization by checking
+///    `|Φ| = Π |π_{Gi}(Φ)|` and membership of every recombined clause,
+/// 3. returns the projected factor DNFs (as clause vectors) on success.
+///
+/// Returns `None` when no factorization into ≥ 2 factors exists (or cannot be
+/// verified) — the caller then falls back to Shannon expansion.
+pub fn product_factorization(
+    clauses: &[Clause],
+    origins: &VarOrigins,
+) -> Option<Vec<Vec<Clause>>> {
+    if clauses.len() < 2 {
+        return None;
+    }
+    // Collect the origin groups present; every clause must mention each group
+    // at most... (projection may be empty for some clause, which breaks the
+    // aligned-product structure, so require full alignment).
+    let all_groups: Vec<u32> = {
+        let set = origins.groups_of(clauses);
+        if set.len() < 2 {
+            return None;
+        }
+        set.into_iter().collect()
+    };
+    // Any variable without a known origin disables the factorization.
+    for c in clauses {
+        for v in c.vars() {
+            origins.get(v)?;
+        }
+    }
+
+    // Projection of a clause onto an origin group.
+    let project = |c: &Clause, g: u32| -> Clause {
+        c.project_onto(&|v: VarId| origins.get(v) == Some(g))
+    };
+
+    // Pairwise merging: groups g and h must stay in the same factor if the
+    // projection of the clause set onto {g, h} is not the product of the
+    // projections onto {g} and {h}.
+    let mut uf: UnionFind<u32> = UnionFind::new();
+    for &g in &all_groups {
+        uf.insert(g);
+    }
+    for i in 0..all_groups.len() {
+        for j in (i + 1)..all_groups.len() {
+            let (g, h) = (all_groups[i], all_groups[j]);
+            let mut proj_g: BTreeSet<Clause> = BTreeSet::new();
+            let mut proj_h: BTreeSet<Clause> = BTreeSet::new();
+            let mut proj_gh: BTreeSet<(Clause, Clause)> = BTreeSet::new();
+            for c in clauses {
+                let cg = project(c, g);
+                let ch = project(c, h);
+                proj_g.insert(cg.clone());
+                proj_h.insert(ch.clone());
+                proj_gh.insert((cg, ch));
+            }
+            if proj_gh.len() != proj_g.len() * proj_h.len() {
+                uf.union(g, h);
+            }
+        }
+    }
+    let factors: Vec<Vec<u32>> = uf.groups();
+    if factors.len() < 2 {
+        return None;
+    }
+
+    // Build the projected factor clause sets and verify the product.
+    let mut factor_clauses: Vec<Vec<Clause>> = Vec::with_capacity(factors.len());
+    for group in &factors {
+        let group_set: BTreeSet<u32> = group.iter().copied().collect();
+        let mut seen: BTreeSet<Clause> = BTreeSet::new();
+        for c in clauses {
+            let proj = c.project_onto(&|v: VarId| {
+                origins.get(v).map(|g| group_set.contains(&g)).unwrap_or(false)
+            });
+            seen.insert(proj);
+        }
+        // An empty projection in a factor means some clause has no variable
+        // from this factor; the aligned-product structure does not hold.
+        if seen.iter().any(|c| c.is_empty()) {
+            return None;
+        }
+        factor_clauses.push(seen.into_iter().collect());
+    }
+
+    // Verify |Φ| = Π |π_Gi(Φ)| …
+    let product_size: usize = factor_clauses.iter().map(|f| f.len()).product();
+    if product_size != clauses.len() {
+        return None;
+    }
+    // … and that every original clause is the conjunction of its projections
+    // (which holds by construction since projections partition each clause's
+    // atoms) and every recombination is an original clause. Because sizes
+    // match and recombinations of projections of original clauses include all
+    // original clauses, it suffices to check that the original clause set,
+    // viewed as a set, has the full product size (no duplicates collapse).
+    let original: BTreeSet<&Clause> = clauses.iter().collect();
+    if original.len() != clauses.len() {
+        return None;
+    }
+    Some(factor_clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clause, Dnf, ProbabilitySpace};
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn union_find_basic() {
+        let mut uf: UnionFind<u32> = UnionFind::new();
+        uf.insert(1);
+        uf.insert(2);
+        uf.insert(3);
+        assert_eq!(uf.num_components(), 3);
+        uf.union(1, 2);
+        assert_eq!(uf.num_components(), 2);
+        assert!(uf.same_set(1, 2));
+        assert!(!uf.same_set(1, 3));
+        uf.union(2, 3);
+        assert_eq!(uf.num_components(), 1);
+        assert!(uf.same_set(1, 3));
+        assert_eq!(uf.len(), 3);
+    }
+
+    #[test]
+    fn union_find_auto_inserts_on_find() {
+        let mut uf: UnionFind<u32> = UnionFind::new();
+        assert!(uf.is_empty());
+        assert_eq!(uf.find(7), 7);
+        assert_eq!(uf.num_components(), 1);
+    }
+
+    #[test]
+    fn union_find_groups() {
+        let mut uf: UnionFind<u32> = UnionFind::new();
+        for i in 0..6 {
+            uf.insert(i);
+        }
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(3, 4);
+        let groups = uf.groups();
+        assert_eq!(groups.len(), 3);
+        let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn connected_components_of_clauses() {
+        let clauses = vec![
+            Clause::from_bools(&[v(0), v(1)]),
+            Clause::from_bools(&[v(1), v(2)]),
+            Clause::from_bools(&[v(3)]),
+            Clause::from_bools(&[v(4), v(5)]),
+            Clause::from_bools(&[v(5)]),
+        ];
+        let comps = connected_components(&clauses);
+        assert_eq!(comps.len(), 3);
+        // Component containing clause 0 also contains clause 1.
+        let comp0 = comps.iter().find(|c| c.contains(&0)).unwrap();
+        assert!(comp0.contains(&1));
+        let comp3 = comps.iter().find(|c| c.contains(&3)).unwrap();
+        assert!(comp3.contains(&4));
+    }
+
+    #[test]
+    fn connected_components_all_connected() {
+        let clauses = vec![
+            Clause::from_bools(&[v(0), v(1)]),
+            Clause::from_bools(&[v(1), v(2)]),
+            Clause::from_bools(&[v(2), v(0)]),
+        ];
+        assert_eq!(connected_components(&clauses).len(), 1);
+    }
+
+    #[test]
+    fn connected_components_empty_clause_is_isolated() {
+        let clauses = vec![Clause::empty(), Clause::from_bools(&[v(0)])];
+        assert_eq!(connected_components(&clauses).len(), 2);
+    }
+
+    #[test]
+    fn var_origins_store_and_lookup() {
+        let mut o = VarOrigins::new();
+        assert!(o.is_empty());
+        o.set(v(0), 10);
+        o.set(v(1), 11);
+        assert_eq!(o.len(), 2);
+        assert_eq!(o.get(v(0)), Some(10));
+        assert_eq!(o.get(v(2)), None);
+        let groups = o.groups_of(&[Clause::from_bools(&[v(0), v(1)])]);
+        assert_eq!(groups.len(), 2);
+    }
+
+    /// Lineage of q():-R(A),S(A,B): R joined with S on A. For R = {r1, r2},
+    /// S = {s1(a1,b1), s2(a1,b2), s3(a2,b1)} the lineage of the Boolean query
+    /// is r1·s1 ∨ r1·s2 ∨ r2·s3, which factorizes per connected component but
+    /// not as one global product; whereas the lineage r1·s1 ∨ r1·s2 ∨ r2·s1 ∨
+    /// r2·s2 (full cross product) factorizes as (r1 ∨ r2) ⊙ (s1 ∨ s2).
+    #[test]
+    fn product_factorization_detects_cross_product() {
+        let r1 = v(0);
+        let r2 = v(1);
+        let s1 = v(2);
+        let s2 = v(3);
+        let mut origins = VarOrigins::new();
+        origins.set(r1, 0);
+        origins.set(r2, 0);
+        origins.set(s1, 1);
+        origins.set(s2, 1);
+        let clauses = vec![
+            Clause::from_bools(&[r1, s1]),
+            Clause::from_bools(&[r1, s2]),
+            Clause::from_bools(&[r2, s1]),
+            Clause::from_bools(&[r2, s2]),
+        ];
+        let factors = product_factorization(&clauses, &origins).expect("is a product");
+        assert_eq!(factors.len(), 2);
+        let sizes: Vec<usize> = factors.iter().map(|f| f.len()).collect();
+        assert_eq!(sizes, vec![2, 2]);
+        // Semantics check: P(product) = P(factor1) * P(factor2).
+        let mut space = ProbabilitySpace::new();
+        let pr: Vec<_> = (0..4).map(|i| space.add_bool(format!("v{i}"), 0.1 * (i as f64 + 1.0))).collect();
+        assert_eq!(pr[0], r1);
+        let whole = Dnf::from_clauses(clauses.clone());
+        let f1 = Dnf::from_clauses(factors[0].clone());
+        let f2 = Dnf::from_clauses(factors[1].clone());
+        let p_whole = whole.exact_probability_enumeration(&space);
+        let p_product = f1.exact_probability_enumeration(&space) * f2.exact_probability_enumeration(&space);
+        assert!((p_whole - p_product).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_factorization_rejects_non_product() {
+        let r1 = v(0);
+        let r2 = v(1);
+        let s1 = v(2);
+        let s2 = v(3);
+        let s3 = v(4);
+        let mut origins = VarOrigins::new();
+        for (var, g) in [(r1, 0), (r2, 0), (s1, 1), (s2, 1), (s3, 1)] {
+            origins.set(var, g);
+        }
+        // r1 pairs with {s1, s2} but r2 pairs only with s3: not a product.
+        let clauses = vec![
+            Clause::from_bools(&[r1, s1]),
+            Clause::from_bools(&[r1, s2]),
+            Clause::from_bools(&[r2, s3]),
+        ];
+        assert!(product_factorization(&clauses, &origins).is_none());
+    }
+
+    #[test]
+    fn product_factorization_requires_origins() {
+        let clauses = vec![Clause::from_bools(&[v(0), v(2)]), Clause::from_bools(&[v(1), v(2)])];
+        let origins = VarOrigins::new();
+        assert!(product_factorization(&clauses, &origins).is_none());
+    }
+
+    #[test]
+    fn product_factorization_single_group_returns_none() {
+        let mut origins = VarOrigins::new();
+        origins.set(v(0), 0);
+        origins.set(v(1), 0);
+        let clauses = vec![Clause::from_bools(&[v(0)]), Clause::from_bools(&[v(1)])];
+        assert!(product_factorization(&clauses, &origins).is_none());
+    }
+
+    #[test]
+    fn product_factorization_three_way() {
+        // (a1 ∨ a2) ⊙ (b1) ⊙ (c1 ∨ c2): 2*1*2 = 4 clauses.
+        let a1 = v(0);
+        let a2 = v(1);
+        let b1 = v(2);
+        let c1 = v(3);
+        let c2 = v(4);
+        let mut origins = VarOrigins::new();
+        for (var, g) in [(a1, 0), (a2, 0), (b1, 1), (c1, 2), (c2, 2)] {
+            origins.set(var, g);
+        }
+        let mut clauses = Vec::new();
+        for a in [a1, a2] {
+            for c in [c1, c2] {
+                clauses.push(Clause::from_bools(&[a, b1, c]));
+            }
+        }
+        let factors = product_factorization(&clauses, &origins).expect("three-way product");
+        assert_eq!(factors.len(), 3);
+        let mut sizes: Vec<usize> = factors.iter().map(|f| f.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 2]);
+    }
+}

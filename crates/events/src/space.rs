@@ -1,0 +1,261 @@
+//! Probability spaces: finite sets of independent discrete random variables.
+
+use crate::{Atom, EventError, Result, VarId, FALSE_VALUE, TRUE_VALUE};
+
+/// Metadata stored for each random variable in a [`ProbabilitySpace`].
+#[derive(Debug, Clone)]
+pub struct VariableInfo {
+    /// Human-readable name (used only in diagnostics and `Display` output).
+    pub name: String,
+    /// Probability of each domain value; `distribution.len()` is the domain
+    /// size and the entries sum to 1 (up to floating-point rounding).
+    pub distribution: Vec<f64>,
+}
+
+impl VariableInfo {
+    /// Domain size of the variable.
+    #[inline]
+    pub fn domain_size(&self) -> u32 {
+        self.distribution.len() as u32
+    }
+}
+
+/// A finite probability distribution defined by a set of independent random
+/// variables with finite domains (Section III of the paper).
+///
+/// Tuple-independent probabilistic databases create one *Boolean* variable per
+/// tuple; block-independent-disjoint (BID) tables create one *multi-valued*
+/// variable per block whose domain values select among the block's mutually
+/// exclusive alternatives.
+#[derive(Debug, Clone, Default)]
+pub struct ProbabilitySpace {
+    vars: Vec<VariableInfo>,
+}
+
+impl ProbabilitySpace {
+    /// Creates an empty probability space.
+    pub fn new() -> Self {
+        ProbabilitySpace { vars: Vec::new() }
+    }
+
+    /// Creates an empty probability space with capacity for `n` variables.
+    pub fn with_capacity(n: usize) -> Self {
+        ProbabilitySpace { vars: Vec::with_capacity(n) }
+    }
+
+    /// Number of variables in the space.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// `true` if the space holds no variables.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Adds a Boolean random variable that is `true` with probability
+    /// `p_true`, returning its id.
+    ///
+    /// Domain value [`TRUE_VALUE`] gets probability `p_true` and
+    /// [`FALSE_VALUE`] gets `1 - p_true`.
+    ///
+    /// # Panics
+    /// Panics if `p_true` is not within `(0, 1)` exclusive of 0 but inclusive
+    /// of 1 being disallowed too — use [`ProbabilitySpace::try_add_bool`] for a
+    /// fallible variant. Probabilities of exactly 0 or 1 are rejected because
+    /// the paper requires `P(x = a) ∈ (0, 1]` with a full-support distribution;
+    /// a certain tuple should simply carry no variable.
+    pub fn add_bool(&mut self, name: impl Into<String>, p_true: f64) -> VarId {
+        self.try_add_bool(name, p_true).expect("invalid Boolean probability")
+    }
+
+    /// Fallible variant of [`ProbabilitySpace::add_bool`].
+    pub fn try_add_bool(&mut self, name: impl Into<String>, p_true: f64) -> Result<VarId> {
+        if !(p_true > 0.0 && p_true < 1.0) || !p_true.is_finite() {
+            return Err(EventError::InvalidProbability(format!(
+                "Boolean variable probability must lie in (0,1), got {p_true}"
+            )));
+        }
+        Ok(self.push(VariableInfo {
+            name: name.into(),
+            distribution: vec![1.0 - p_true, p_true],
+        }))
+    }
+
+    /// Adds a multi-valued random variable with the given distribution over
+    /// domain values `0..distribution.len()`, returning its id.
+    ///
+    /// The distribution must have at least two entries, every entry must be in
+    /// `(0, 1]`, and the entries must sum to 1 within `1e-9`.
+    pub fn try_add_discrete(
+        &mut self,
+        name: impl Into<String>,
+        distribution: Vec<f64>,
+    ) -> Result<VarId> {
+        if distribution.len() < 2 {
+            return Err(EventError::InvalidProbability(
+                "a discrete variable needs at least two domain values".into(),
+            ));
+        }
+        let mut sum = 0.0;
+        for &p in &distribution {
+            if !(p > 0.0 && p <= 1.0) || !p.is_finite() {
+                return Err(EventError::InvalidProbability(format!(
+                    "domain value probability must lie in (0,1], got {p}"
+                )));
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(EventError::InvalidProbability(format!(
+                "distribution must sum to 1, got {sum}"
+            )));
+        }
+        Ok(self.push(VariableInfo { name: name.into(), distribution }))
+    }
+
+    /// Panicking variant of [`ProbabilitySpace::try_add_discrete`].
+    pub fn add_discrete(&mut self, name: impl Into<String>, distribution: Vec<f64>) -> VarId {
+        self.try_add_discrete(name, distribution).expect("invalid discrete distribution")
+    }
+
+    fn push(&mut self, info: VariableInfo) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(info);
+        id
+    }
+
+    /// Returns the metadata of a variable, or an error if the id is unknown.
+    pub fn info(&self, var: VarId) -> Result<&VariableInfo> {
+        self.vars.get(var.index()).ok_or(EventError::UnknownVariable(var.0))
+    }
+
+    /// Domain size of `var`.
+    ///
+    /// # Panics
+    /// Panics if the variable does not exist.
+    #[inline]
+    pub fn domain_size(&self, var: VarId) -> u32 {
+        self.vars[var.index()].domain_size()
+    }
+
+    /// Probability `P(var = value)`.
+    ///
+    /// # Panics
+    /// Panics if the variable does not exist or the value is out of range.
+    #[inline]
+    pub fn prob(&self, var: VarId, value: u32) -> f64 {
+        self.vars[var.index()].distribution[value as usize]
+    }
+
+    /// Probability of an atomic event.
+    #[inline]
+    pub fn atom_prob(&self, atom: Atom) -> f64 {
+        self.prob(atom.var, atom.value)
+    }
+
+    /// Checked probability lookup for an atomic event.
+    pub fn try_atom_prob(&self, atom: Atom) -> Result<f64> {
+        let info = self.info(atom.var)?;
+        info.distribution.get(atom.value as usize).copied().ok_or(EventError::ValueOutOfDomain {
+            var: atom.var.0,
+            value: atom.value,
+            domain_size: info.domain_size(),
+        })
+    }
+
+    /// Probability that a Boolean variable is true.
+    #[inline]
+    pub fn prob_true(&self, var: VarId) -> f64 {
+        self.prob(var, TRUE_VALUE)
+    }
+
+    /// Probability that a Boolean variable is false.
+    #[inline]
+    pub fn prob_false(&self, var: VarId) -> f64 {
+        self.prob(var, FALSE_VALUE)
+    }
+
+    /// Iterates over all variable ids in the space.
+    pub fn var_ids(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.vars.len() as u32).map(VarId)
+    }
+
+    /// Iterates over `(VarId, &VariableInfo)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &VariableInfo)> {
+        self.vars.iter().enumerate().map(|(i, info)| (VarId(i as u32), info))
+    }
+
+    /// Validates that an atom references an existing variable and an in-domain
+    /// value.
+    pub fn validate_atom(&self, atom: Atom) -> Result<()> {
+        self.try_atom_prob(atom).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_bool_assigns_probabilities() {
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_bool("x", 0.3);
+        assert_eq!(s.num_vars(), 1);
+        assert!((s.prob_true(x) - 0.3).abs() < 1e-12);
+        assert!((s.prob_false(x) - 0.7).abs() < 1e-12);
+        assert_eq!(s.domain_size(x), 2);
+    }
+
+    #[test]
+    fn add_bool_rejects_degenerate_probabilities() {
+        let mut s = ProbabilitySpace::new();
+        assert!(s.try_add_bool("a", 0.0).is_err());
+        assert!(s.try_add_bool("b", 1.0).is_err());
+        assert!(s.try_add_bool("c", -0.5).is_err());
+        assert!(s.try_add_bool("d", 1.5).is_err());
+        assert!(s.try_add_bool("e", f64::NAN).is_err());
+        assert_eq!(s.num_vars(), 0);
+    }
+
+    #[test]
+    fn add_discrete_validates_distribution() {
+        let mut s = ProbabilitySpace::new();
+        assert!(s.try_add_discrete("x", vec![1.0]).is_err());
+        assert!(s.try_add_discrete("x", vec![0.5, 0.6]).is_err());
+        assert!(s.try_add_discrete("x", vec![0.5, 0.0, 0.5]).is_err());
+        let x = s.try_add_discrete("x", vec![0.2, 0.3, 0.5]).unwrap();
+        assert_eq!(s.domain_size(x), 3);
+        assert!((s.prob(x, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atom_prob_and_validation() {
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_bool("x", 0.25);
+        assert!((s.atom_prob(Atom::pos(x)) - 0.25).abs() < 1e-12);
+        assert!((s.atom_prob(Atom::neg(x)) - 0.75).abs() < 1e-12);
+        assert!(s.validate_atom(Atom::pos(x)).is_ok());
+        assert!(matches!(
+            s.validate_atom(Atom::new(x, 7)),
+            Err(EventError::ValueOutOfDomain { .. })
+        ));
+        assert!(matches!(
+            s.validate_atom(Atom::pos(VarId(99))),
+            Err(EventError::UnknownVariable(99))
+        ));
+    }
+
+    #[test]
+    fn iteration_order_matches_insertion() {
+        let mut s = ProbabilitySpace::new();
+        let a = s.add_bool("a", 0.1);
+        let b = s.add_bool("b", 0.2);
+        let ids: Vec<_> = s.var_ids().collect();
+        assert_eq!(ids, vec![a, b]);
+        let names: Vec<_> = s.iter().map(|(_, i)| i.name.clone()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Possible worlds: complete valuations of the random variables and the
+//! brute-force reference semantics of probability.
+
+use std::collections::BTreeMap;
+
+use crate::{Dnf, ProbabilitySpace, VarId};
+
+/// A complete assignment of domain values to a set of random variables — one
+/// possible world of the probability space restricted to those variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Valuation {
+    assignment: BTreeMap<VarId, u32>,
+}
+
+impl Valuation {
+    /// Creates an empty valuation.
+    pub fn new() -> Self {
+        Valuation { assignment: BTreeMap::new() }
+    }
+
+    /// Creates a valuation from `(variable, value)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (VarId, u32)>>(pairs: I) -> Self {
+        Valuation { assignment: pairs.into_iter().collect() }
+    }
+
+    /// Assigns `value` to `var` (overwriting any previous assignment).
+    pub fn assign(&mut self, var: VarId, value: u32) {
+        self.assignment.insert(var, value);
+    }
+
+    /// The value assigned to `var`, if any.
+    pub fn value(&self, var: VarId) -> Option<u32> {
+        self.assignment.get(&var).copied()
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// `true` if no variable is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Probability of this world: the product of the marginals of the
+    /// assigned values (variables are independent).
+    pub fn probability(&self, space: &ProbabilitySpace) -> f64 {
+        self.assignment.iter().map(|(&v, &a)| space.prob(v, a)).product()
+    }
+
+    /// Evaluates whether the valuation satisfies the DNF. Variables of the DNF
+    /// that are not assigned make the clause unsatisfied (the valuation is
+    /// expected to cover all variables of the formula).
+    pub fn satisfies(&self, dnf: &Dnf) -> bool {
+        dnf.clauses().iter().any(|c| {
+            c.atoms().iter().all(|a| self.value(a.var) == Some(a.value))
+        })
+    }
+
+    /// Iterates over the `(variable, value)` pairs of the valuation.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, u32)> + '_ {
+        self.assignment.iter().map(|(&v, &a)| (v, a))
+    }
+}
+
+impl Default for Valuation {
+    fn default() -> Self {
+        Valuation::new()
+    }
+}
+
+/// Enumerates all possible worlds over the given variables, calling `visit`
+/// with each world and its probability.
+///
+/// The number of worlds is the product of the domain sizes — exponential.
+/// This is the reference semantics used by the test-suite; algorithms under
+/// test must agree with it on small instances.
+pub fn enumerate_worlds<F: FnMut(&Valuation, f64)>(
+    vars: &[VarId],
+    space: &ProbabilitySpace,
+    mut visit: F,
+) {
+    let mut valuation = Valuation::new();
+    fn rec<F: FnMut(&Valuation, f64)>(
+        vars: &[VarId],
+        idx: usize,
+        space: &ProbabilitySpace,
+        valuation: &mut Valuation,
+        prob: f64,
+        visit: &mut F,
+    ) {
+        if idx == vars.len() {
+            visit(valuation, prob);
+            return;
+        }
+        let var = vars[idx];
+        for value in 0..space.domain_size(var) {
+            valuation.assign(var, value);
+            rec(vars, idx + 1, space, valuation, prob * space.prob(var, value), visit);
+        }
+        // No need to un-assign: the next iteration overwrites, and the caller
+        // sees a fully-assigned valuation only at the leaves.
+    }
+    rec(vars, 0, space, &mut valuation, 1.0, &mut visit);
+}
+
+/// Exact probability of a DNF by brute-force enumeration of the worlds over
+/// the DNF's variables.
+pub(crate) fn enumerate_probability(dnf: &Dnf, space: &ProbabilitySpace) -> f64 {
+    if dnf.is_empty() {
+        return 0.0;
+    }
+    if dnf.is_tautology() {
+        return 1.0;
+    }
+    let vars: Vec<VarId> = dnf.vars().into_iter().collect();
+    let mut total = 0.0;
+    enumerate_worlds(&vars, space, |world, p| {
+        if world.satisfies(dnf) {
+            total += p;
+        }
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clause, TRUE_VALUE};
+
+    #[test]
+    fn valuation_assignment_and_probability() {
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_bool("x", 0.3);
+        let y = s.add_bool("y", 0.6);
+        let mut w = Valuation::new();
+        assert!(w.is_empty());
+        w.assign(x, TRUE_VALUE);
+        w.assign(y, 0);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.value(x), Some(1));
+        assert_eq!(w.value(y), Some(0));
+        assert!((w.probability(&s) - 0.3 * 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn valuation_satisfaction() {
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_bool("x", 0.3);
+        let y = s.add_bool("y", 0.6);
+        let phi = Dnf::from_clauses(vec![Clause::from_bools(&[x, y])]);
+        let w = Valuation::from_pairs(vec![(x, 1), (y, 1)]);
+        assert!(w.satisfies(&phi));
+        let w2 = Valuation::from_pairs(vec![(x, 1), (y, 0)]);
+        assert!(!w2.satisfies(&phi));
+        // Unassigned variable: clause unsatisfied.
+        let w3 = Valuation::from_pairs(vec![(x, 1)]);
+        assert!(!w3.satisfies(&phi));
+    }
+
+    #[test]
+    fn enumeration_visits_all_worlds_with_total_probability_one() {
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_bool("x", 0.3);
+        let y = s.add_discrete("y", vec![0.2, 0.3, 0.5]);
+        let mut count = 0;
+        let mut total = 0.0;
+        enumerate_worlds(&[x, y], &s, |_, p| {
+            count += 1;
+            total += p;
+        });
+        assert_eq!(count, 6);
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumeration_probability_of_simple_formulas() {
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_bool("x", 0.3);
+        let y = s.add_bool("y", 0.6);
+        // x ∨ y
+        let or = Dnf::from_clauses(vec![Clause::from_bools(&[x]), Clause::from_bools(&[y])]);
+        assert!((or.exact_probability_enumeration(&s) - (0.3 + 0.6 - 0.18)).abs() < 1e-12);
+        // x ∧ y
+        let and = Dnf::from_clauses(vec![Clause::from_bools(&[x, y])]);
+        assert!((and.exact_probability_enumeration(&s) - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example_4_1_probability() {
+        // (x ∨ y) ∧ ((z ∧ u) ∨ (¬z ∧ v)) from Example 4.1.
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_bool("x", 0.4);
+        let y = s.add_bool("y", 0.5);
+        let z = s.add_bool("z", 0.6);
+        let u = s.add_bool("u", 0.7);
+        let v = s.add_bool("v", 0.8);
+        let left = Dnf::from_clauses(vec![Clause::from_bools(&[x]), Clause::from_bools(&[y])]);
+        let right = Dnf::from_clauses(vec![
+            Clause::from_bools(&[z, u]),
+            Clause::from_atoms(vec![crate::Atom::neg(z), crate::Atom::pos(v)]),
+        ]);
+        let phi = left.and(&right);
+        let expected = (1.0 - (1.0 - 0.4) * (1.0 - 0.5)) * (0.6 * 0.7 + 0.4 * 0.8);
+        assert!((phi.exact_probability_enumeration(&s) - expected).abs() < 1e-12);
+    }
+}

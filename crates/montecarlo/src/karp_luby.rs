@@ -1,0 +1,349 @@
+//! The Karp-Luby(-Madras) unbiased estimator for the probability of a DNF
+//! over independent discrete random variables.
+//!
+//! The classic coverage estimator for the union probability `p = P(⋃ cᵢ)`
+//! works as follows. Let `U = Σᵢ P(cᵢ)` (the sum of clause marginals, an
+//! upper bound on `p`):
+//!
+//! 1. pick a clause `cᵢ` with probability `P(cᵢ)/U`,
+//! 2. sample a possible world `w` from the distribution conditioned on
+//!    `w ⊨ cᵢ` (clause variables pinned, all others sampled from their
+//!    marginals),
+//! 3. return `U · X(w, i)` where `X` is either
+//!    * the **zero-one** estimate `1[i = min{j : w ⊨ cⱼ}]`, or
+//!    * the **fractional** estimate `1 / |{j : w ⊨ cⱼ}|` (the smaller-variance
+//!      variant from Vazirani's book that MayBMS' `aconf` uses and that the
+//!      paper adopts).
+//!
+//! Both are unbiased: the expectation of the returned value is exactly `p`.
+
+use events::{Clause, Dnf, ProbabilitySpace, Valuation, VarId};
+use rand::Rng;
+
+/// Which unbiased estimate to compute from a sampled world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EstimatorVariant {
+    /// The fractional ("importance-weighted coverage") estimate
+    /// `U / |{j : w ⊨ cⱼ}|`; lower variance, used by default (and by the
+    /// paper's `aconf`).
+    #[default]
+    Fractional,
+    /// The classic zero-one estimate `U · 1[i = min{j : w ⊨ cⱼ}]`.
+    ZeroOne,
+}
+
+/// A prepared Karp-Luby estimator for a fixed DNF.
+///
+/// Preparation pre-computes clause probabilities, their cumulative
+/// distribution (for clause sampling), and the variable set of the DNF, so
+/// that each call to [`KarpLubyEstimator::sample`] costs one world sample
+/// plus one satisfaction scan over the clauses.
+#[derive(Debug, Clone)]
+pub struct KarpLubyEstimator {
+    clauses: Vec<Clause>,
+    clause_probs: Vec<f64>,
+    cumulative: Vec<f64>,
+    total_weight: f64,
+    vars: Vec<VarId>,
+    variant: EstimatorVariant,
+}
+
+impl KarpLubyEstimator {
+    /// Prepares the estimator for `dnf` with the default (fractional)
+    /// variant.
+    pub fn new(dnf: &Dnf, space: &ProbabilitySpace) -> Self {
+        Self::with_variant(dnf, space, EstimatorVariant::default())
+    }
+
+    /// Prepares the estimator with an explicit variant.
+    pub fn with_variant(dnf: &Dnf, space: &ProbabilitySpace, variant: EstimatorVariant) -> Self {
+        let clauses: Vec<Clause> = dnf.clauses().to_vec();
+        let clause_probs: Vec<f64> = clauses.iter().map(|c| c.probability(space)).collect();
+        let mut cumulative = Vec::with_capacity(clause_probs.len());
+        let mut acc = 0.0;
+        for &p in &clause_probs {
+            acc += p;
+            cumulative.push(acc);
+        }
+        let vars: Vec<VarId> = dnf.vars().into_iter().collect();
+        KarpLubyEstimator {
+            clauses,
+            clause_probs,
+            cumulative,
+            total_weight: acc,
+            vars,
+            variant,
+        }
+    }
+
+    /// The normalising constant `U = Σ P(cᵢ)` (an upper bound on the DNF
+    /// probability).
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Number of clauses of the prepared DNF.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// `true` if the DNF is trivially false (no clauses) or trivially true
+    /// (contains the empty clause); such inputs need no sampling.
+    pub fn trivial_probability(&self) -> Option<f64> {
+        if self.clauses.is_empty() {
+            return Some(0.0);
+        }
+        if self.clauses.iter().any(|c| c.is_empty()) {
+            return Some(1.0);
+        }
+        None
+    }
+
+    /// Draws one unbiased estimate of the DNF probability (a value in
+    /// `[0, U]` whose expectation is the exact probability).
+    pub fn sample<R: Rng + ?Sized>(&self, space: &ProbabilitySpace, rng: &mut R) -> f64 {
+        self.total_weight * self.sample_normalized(space, rng)
+    }
+
+    /// Draws one *normalised* estimate in `[0, 1]` whose expectation is
+    /// `p / U`; this is the form consumed by the stopping rules of the DKLR
+    /// algorithm.
+    pub fn sample_normalized<R: Rng + ?Sized>(
+        &self,
+        space: &ProbabilitySpace,
+        rng: &mut R,
+    ) -> f64 {
+        if let Some(p) = self.trivial_probability() {
+            // For trivial inputs the normalised estimate is p/U when U > 0 or
+            // simply p (0 or 1) otherwise.
+            return if self.total_weight > 0.0 { p / self.total_weight } else { p };
+        }
+        // 1. Sample a clause index proportionally to its probability.
+        let idx = self.sample_clause_index(rng);
+        // 2. Sample a world conditioned on that clause being satisfied.
+        let world = self.sample_conditioned_world(idx, space, rng);
+        // 3. Count the satisfied clauses / find the minimum satisfied index.
+        match self.variant {
+            EstimatorVariant::Fractional => {
+                let count = self.count_satisfied(&world);
+                debug_assert!(count >= 1, "conditioned world must satisfy the chosen clause");
+                1.0 / count as f64
+            }
+            EstimatorVariant::ZeroOne => {
+                let min_sat = self.min_satisfied(&world);
+                if min_sat == Some(idx) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    fn sample_clause_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let target = rng.gen_range(0.0..self.total_weight);
+        // Binary search over the cumulative distribution.
+        match self
+            .cumulative
+            .binary_search_by(|probe| probe.partial_cmp(&target).expect("finite probabilities"))
+        {
+            Ok(i) => (i + 1).min(self.clauses.len() - 1),
+            Err(i) => i.min(self.clauses.len() - 1),
+        }
+    }
+
+    fn sample_conditioned_world<R: Rng + ?Sized>(
+        &self,
+        clause_idx: usize,
+        space: &ProbabilitySpace,
+        rng: &mut R,
+    ) -> Valuation {
+        let clause = &self.clauses[clause_idx];
+        let mut world = Valuation::new();
+        // Pin the clause's variables.
+        for atom in clause.atoms() {
+            world.assign(atom.var, atom.value);
+        }
+        // Sample every other variable of the DNF from its marginal.
+        for &v in &self.vars {
+            if world.value(v).is_some() {
+                continue;
+            }
+            world.assign(v, sample_value(space, v, rng));
+        }
+        world
+    }
+
+    fn count_satisfied(&self, world: &Valuation) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| c.atoms().iter().all(|a| world.value(a.var) == Some(a.value)))
+            .count()
+    }
+
+    fn min_satisfied(&self, world: &Valuation) -> Option<usize> {
+        self.clauses
+            .iter()
+            .position(|c| c.atoms().iter().all(|a| world.value(a.var) == Some(a.value)))
+    }
+
+    /// Average of `n` independent estimates — the plain (non-adaptive)
+    /// Karp-Luby-Madras estimator.
+    pub fn estimate_with_samples<R: Rng + ?Sized>(
+        &self,
+        space: &ProbabilitySpace,
+        rng: &mut R,
+        n: usize,
+    ) -> f64 {
+        if let Some(p) = self.trivial_probability() {
+            return p;
+        }
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: f64 = (0..n).map(|_| self.sample_normalized(space, rng)).sum();
+        self.total_weight * sum / n as f64
+    }
+
+    /// Access to the per-clause marginal probabilities (used by tests).
+    pub fn clause_probabilities(&self) -> &[f64] {
+        &self.clause_probs
+    }
+}
+
+fn sample_value<R: Rng + ?Sized>(space: &ProbabilitySpace, var: VarId, rng: &mut R) -> u32 {
+    let domain = space.domain_size(var);
+    let mut target = rng.gen_range(0.0..1.0);
+    for value in 0..domain {
+        let p = space.prob(var, value);
+        if target < p {
+            return value;
+        }
+        target -= p;
+    }
+    domain - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use events::Clause;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bool_space(ps: &[f64]) -> (ProbabilitySpace, Vec<VarId>) {
+        let mut s = ProbabilitySpace::new();
+        let vars = ps.iter().enumerate().map(|(i, &p)| s.add_bool(format!("x{i}"), p)).collect();
+        (s, vars)
+    }
+
+    fn example_dnf() -> (ProbabilitySpace, Dnf) {
+        let (s, vars) = bool_space(&[0.3, 0.2, 0.7, 0.8]);
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_bools(&[vars[0], vars[1]]),
+            Clause::from_bools(&[vars[0], vars[2]]),
+            Clause::from_bools(&[vars[3]]),
+        ]);
+        (s, phi)
+    }
+
+    #[test]
+    fn total_weight_is_sum_of_clause_probabilities() {
+        let (s, phi) = example_dnf();
+        let est = KarpLubyEstimator::new(&phi, &s);
+        assert!((est.total_weight() - (0.06 + 0.21 + 0.8)).abs() < 1e-12);
+        assert_eq!(est.num_clauses(), 3);
+        assert_eq!(est.clause_probabilities().len(), 3);
+    }
+
+    #[test]
+    fn trivial_inputs_are_detected() {
+        let (s, _) = bool_space(&[0.5]);
+        let est = KarpLubyEstimator::new(&Dnf::empty(), &s);
+        assert_eq!(est.trivial_probability(), Some(0.0));
+        let est = KarpLubyEstimator::new(&Dnf::tautology(), &s);
+        assert_eq!(est.trivial_probability(), Some(1.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(est.estimate_with_samples(&s, &mut rng, 10), 1.0);
+    }
+
+    #[test]
+    fn fractional_estimator_converges_to_exact_probability() {
+        let (s, phi) = example_dnf();
+        let exact = phi.exact_probability_enumeration(&s);
+        let est = KarpLubyEstimator::new(&phi, &s);
+        let mut rng = StdRng::seed_from_u64(42);
+        let approx = est.estimate_with_samples(&s, &mut rng, 40_000);
+        assert!(
+            (approx - exact).abs() < 0.01,
+            "Karp-Luby fractional estimate {approx} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn zero_one_estimator_converges_to_exact_probability() {
+        let (s, phi) = example_dnf();
+        let exact = phi.exact_probability_enumeration(&s);
+        let est = KarpLubyEstimator::with_variant(&phi, &s, EstimatorVariant::ZeroOne);
+        let mut rng = StdRng::seed_from_u64(7);
+        let approx = est.estimate_with_samples(&s, &mut rng, 60_000);
+        assert!(
+            (approx - exact).abs() < 0.015,
+            "Karp-Luby zero-one estimate {approx} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn normalized_samples_are_within_unit_interval() {
+        let (s, phi) = example_dnf();
+        let est = KarpLubyEstimator::new(&phi, &s);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = est.sample_normalized(&s, &mut rng);
+            assert!((0.0..=1.0).contains(&x), "normalised sample {x} outside [0,1]");
+        }
+    }
+
+    #[test]
+    fn estimator_handles_small_probabilities() {
+        // All clause probabilities tiny: the estimator remains unbiased and
+        // the relative structure is preserved (this is where naive sampling
+        // fails but Karp-Luby keeps working).
+        let (s, vars) = bool_space(&[0.001, 0.002, 0.001, 0.004]);
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_bools(&[vars[0], vars[1]]),
+            Clause::from_bools(&[vars[2], vars[3]]),
+        ]);
+        let exact = phi.exact_probability_enumeration(&s);
+        let est = KarpLubyEstimator::new(&phi, &s);
+        let mut rng = StdRng::seed_from_u64(11);
+        let approx = est.estimate_with_samples(&s, &mut rng, 50_000);
+        assert!(exact > 0.0);
+        let rel_err = (approx - exact).abs() / exact;
+        assert!(rel_err < 0.05, "relative error {rel_err} too large ({approx} vs {exact})");
+    }
+
+    #[test]
+    fn multivalued_variables_are_sampled_correctly() {
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_discrete("x", vec![0.2, 0.3, 0.5]);
+        let y = s.add_bool("y", 0.4);
+        let phi = Dnf::from_clauses(vec![
+            Clause::from_atoms(vec![events::Atom::new(x, 1), events::Atom::pos(y)]),
+            Clause::from_atoms(vec![events::Atom::new(x, 2)]),
+        ]);
+        let exact = phi.exact_probability_enumeration(&s);
+        let est = KarpLubyEstimator::new(&phi, &s);
+        let mut rng = StdRng::seed_from_u64(23);
+        let approx = est.estimate_with_samples(&s, &mut rng, 40_000);
+        assert!((approx - exact).abs() < 0.01, "{approx} vs {exact}");
+    }
+
+    #[test]
+    fn zero_samples_return_zero() {
+        let (s, phi) = example_dnf();
+        let est = KarpLubyEstimator::new(&phi, &s);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(est.estimate_with_samples(&s, &mut rng, 0), 0.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Unified confidence-computation front-end.
+//!
+//! The paper compares several algorithms for computing the probability of an
+//! answer tuple's lineage DNF; this module dispatches a lineage to the chosen
+//! algorithm and returns a uniform result structure, which is what the
+//! examples and the benchmark harness use.
+
+use std::time::Duration;
+
+use dtree::{
+    exact_probability, ApproxCompiler, ApproxOptions, CompileOptions, ErrorBound, VarOrder,
+};
+use events::{Dnf, ProbabilitySpace, VarOrigins};
+use montecarlo::{aconf, naive_monte_carlo, McOptions, NaiveOptions};
+
+/// The confidence-computation algorithm to run on a lineage DNF.
+#[derive(Debug, Clone)]
+pub enum ConfidenceMethod {
+    /// The d-tree exact evaluation ("d-tree(error 0)" in the paper's plots).
+    DTreeExact,
+    /// The d-tree deterministic approximation with an absolute error bound.
+    DTreeAbsolute(f64),
+    /// The d-tree deterministic approximation with a relative error bound.
+    DTreeRelative(f64),
+    /// The Karp-Luby / DKLR Monte-Carlo baseline (`aconf(ε)`, δ = 0.0001).
+    KarpLuby {
+        /// Relative error ε.
+        epsilon: f64,
+        /// Failure probability δ.
+        delta: f64,
+    },
+    /// Naive possible-world sampling with an additive error bound.
+    NaiveMonteCarlo {
+        /// Additive error ε.
+        epsilon: f64,
+    },
+}
+
+impl ConfidenceMethod {
+    /// Short display name used in benchmark tables.
+    pub fn label(&self) -> String {
+        match self {
+            ConfidenceMethod::DTreeExact => "d-tree(0)".to_owned(),
+            ConfidenceMethod::DTreeAbsolute(e) => format!("d-tree(abs {e})"),
+            ConfidenceMethod::DTreeRelative(e) => format!("d-tree(rel {e})"),
+            ConfidenceMethod::KarpLuby { epsilon, .. } => format!("aconf({epsilon})"),
+            ConfidenceMethod::NaiveMonteCarlo { epsilon } => format!("naive({epsilon})"),
+        }
+    }
+}
+
+/// Uniform result of a confidence computation.
+#[derive(Debug, Clone)]
+pub struct ConfidenceResult {
+    /// The probability estimate.
+    pub estimate: f64,
+    /// Lower bound (equal to the estimate for exact/Monte-Carlo methods).
+    pub lower: f64,
+    /// Upper bound (equal to the estimate for exact/Monte-Carlo methods).
+    pub upper: f64,
+    /// Whether the requested guarantee was met within the budget.
+    pub converged: bool,
+    /// Wall-clock time spent inside the algorithm.
+    pub elapsed: Duration,
+    /// Method label (for reports).
+    pub method: String,
+}
+
+/// Budgets applied to any method (mainly used by the benchmark harness so a
+/// slow baseline cannot stall a whole experiment).
+#[derive(Debug, Clone, Default)]
+pub struct ConfidenceBudget {
+    /// Wall-clock timeout.
+    pub timeout: Option<Duration>,
+    /// Maximum decomposition steps (d-tree) or samples (Monte-Carlo).
+    pub max_work: Option<u64>,
+}
+
+/// Computes the confidence of a lineage DNF with the chosen method.
+///
+/// `origins` (variable → relation labels) enables the relational
+/// factorizations and tractable elimination orders for the d-tree methods;
+/// pass `None` when unavailable.
+pub fn confidence(
+    lineage: &Dnf,
+    space: &ProbabilitySpace,
+    origins: Option<&VarOrigins>,
+    method: &ConfidenceMethod,
+    budget: &ConfidenceBudget,
+) -> ConfidenceResult {
+    let compile_opts = match origins {
+        Some(o) => CompileOptions::with_origins(o.clone()),
+        None => CompileOptions { var_order: VarOrder::MostFrequent, origins: None, max_depth: None },
+    };
+    match method {
+        ConfidenceMethod::DTreeExact => {
+            let start = std::time::Instant::now();
+            let r = exact_probability(lineage, space, &compile_opts);
+            ConfidenceResult {
+                estimate: r.probability,
+                lower: r.probability,
+                upper: r.probability,
+                converged: true,
+                elapsed: start.elapsed(),
+                method: method.label(),
+            }
+        }
+        ConfidenceMethod::DTreeAbsolute(eps) | ConfidenceMethod::DTreeRelative(eps) => {
+            let error = match method {
+                ConfidenceMethod::DTreeAbsolute(_) => ErrorBound::Absolute(*eps),
+                _ => ErrorBound::Relative(*eps),
+            };
+            let mut opts = ApproxOptions {
+                error,
+                compile: compile_opts,
+                strategy: Default::default(),
+                max_steps: budget.max_work.map(|w| w as usize),
+                timeout: budget.timeout,
+            };
+            if budget.timeout.is_none() && budget.max_work.is_none() {
+                opts.max_steps = None;
+            }
+            let r = ApproxCompiler::new(opts).run(lineage, space);
+            ConfidenceResult {
+                estimate: r.estimate,
+                lower: r.lower,
+                upper: r.upper,
+                converged: r.converged,
+                elapsed: r.elapsed,
+                method: method.label(),
+            }
+        }
+        ConfidenceMethod::KarpLuby { epsilon, delta } => {
+            let mut opts = McOptions::new(*epsilon).with_delta(*delta);
+            if let Some(t) = budget.timeout {
+                opts = opts.with_timeout(t);
+            }
+            if let Some(w) = budget.max_work {
+                opts = opts.with_max_samples(w);
+            }
+            let r = aconf(lineage, space, &opts);
+            ConfidenceResult {
+                estimate: r.estimate,
+                lower: r.estimate,
+                upper: r.estimate,
+                converged: r.converged,
+                elapsed: r.elapsed,
+                method: method.label(),
+            }
+        }
+        ConfidenceMethod::NaiveMonteCarlo { epsilon } => {
+            let mut opts = NaiveOptions::new(*epsilon);
+            if let Some(t) = budget.timeout {
+                opts.timeout = Some(t);
+            }
+            if let Some(w) = budget.max_work {
+                opts = opts.with_samples(w);
+            }
+            let r = naive_monte_carlo(lineage, space, &opts);
+            ConfidenceResult {
+                estimate: r.estimate,
+                lower: r.estimate,
+                upper: r.estimate,
+                converged: r.converged,
+                elapsed: r.elapsed,
+                method: method.label(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::value::Value;
+
+    fn sample_lineage() -> (Database, Dnf) {
+        let mut db = Database::new();
+        db.add_tuple_independent_table(
+            "R",
+            &["a"],
+            vec![(vec![Value::Int(1)], 0.3), (vec![Value::Int(2)], 0.4)],
+        );
+        db.add_tuple_independent_table(
+            "S",
+            &["a", "b"],
+            vec![
+                (vec![Value::Int(1), Value::Int(10)], 0.5),
+                (vec![Value::Int(1), Value::Int(20)], 0.6),
+                (vec![Value::Int(2), Value::Int(10)], 0.7),
+            ],
+        );
+        let q = crate::ConjunctiveQuery::new("q")
+            .with_subgoal("R", vec![crate::Term::var("A")])
+            .with_subgoal("S", vec![crate::Term::var("A"), crate::Term::var("B")]);
+        let lineage = q.evaluate(&db)[0].lineage.clone();
+        (db, lineage)
+    }
+
+    #[test]
+    fn all_methods_agree_on_a_small_lineage() {
+        let (db, lineage) = sample_lineage();
+        let exact = lineage.exact_probability_enumeration(db.space());
+        let budget = ConfidenceBudget::default();
+        let methods = vec![
+            ConfidenceMethod::DTreeExact,
+            ConfidenceMethod::DTreeAbsolute(0.01),
+            ConfidenceMethod::DTreeRelative(0.01),
+            ConfidenceMethod::KarpLuby { epsilon: 0.05, delta: 0.01 },
+            ConfidenceMethod::NaiveMonteCarlo { epsilon: 0.02 },
+        ];
+        for m in methods {
+            let r = confidence(&lineage, db.space(), Some(db.origins()), &m, &budget);
+            assert!(
+                (r.estimate - exact).abs() < 0.06,
+                "{} estimate {} vs exact {exact}",
+                r.method,
+                r.estimate
+            );
+            assert!(!r.method.is_empty());
+        }
+    }
+
+    #[test]
+    fn dtree_methods_report_bounds() {
+        let (db, lineage) = sample_lineage();
+        let exact = lineage.exact_probability_enumeration(db.space());
+        let r = confidence(
+            &lineage,
+            db.space(),
+            Some(db.origins()),
+            &ConfidenceMethod::DTreeAbsolute(0.001),
+            &ConfidenceBudget::default(),
+        );
+        assert!(r.converged);
+        assert!(r.lower <= exact + 1e-9 && exact <= r.upper + 1e-9);
+        assert!((r.estimate - exact).abs() <= 0.001 + 1e-9);
+    }
+
+    #[test]
+    fn budget_is_forwarded() {
+        let (db, lineage) = sample_lineage();
+        let budget = ConfidenceBudget { timeout: None, max_work: Some(1) };
+        let r = confidence(
+            &lineage,
+            db.space(),
+            None,
+            &ConfidenceMethod::KarpLuby { epsilon: 1e-4, delta: 1e-4 },
+            &budget,
+        );
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(ConfidenceMethod::DTreeExact.label(), "d-tree(0)");
+        assert!(ConfidenceMethod::DTreeRelative(0.01).label().contains("rel"));
+        assert!(ConfidenceMethod::KarpLuby { epsilon: 0.01, delta: 1e-4 }
+            .label()
+            .contains("aconf"));
+        assert!(ConfidenceMethod::NaiveMonteCarlo { epsilon: 0.1 }.label().contains("naive"));
+        assert!(ConfidenceMethod::DTreeAbsolute(0.5).label().contains("abs"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Probabilistic databases: collections of tuple-independent and
+//! block-independent-disjoint tables over one shared probability space.
+
+use std::collections::BTreeMap;
+
+use events::{Atom, Clause, Dnf, ProbabilitySpace, VarId, VarOrigins};
+
+use crate::relation::{AnnotatedTuple, Relation, Schema};
+use crate::value::Value;
+
+/// A probabilistic database (Section VI-A of the paper, Figure 5).
+///
+/// * **Tuple-independent tables**: every tuple carries its own Boolean
+///   variable and occurs in a world independently of all other tuples.
+/// * **Block-independent-disjoint (BID) tables**: tuples are grouped in
+///   blocks of mutually exclusive alternatives; one multi-valued variable per
+///   block selects the alternative (or none).
+/// * **Deterministic tables**: tuples present in every world (constant-true
+///   lineage).
+///
+/// All tables share one [`ProbabilitySpace`], and each variable is labelled
+/// with the table it originates from ([`Database::origins`]) — the metadata
+/// that powers the independent-and factorization and the tractable
+/// elimination orders of the d-tree algorithms.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    space: ProbabilitySpace,
+    tables: BTreeMap<String, Relation>,
+    table_ids: BTreeMap<String, u32>,
+    origins: VarOrigins,
+    next_table_id: u32,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// The shared probability space.
+    pub fn space(&self) -> &ProbabilitySpace {
+        &self.space
+    }
+
+    /// Variable origin labels (variable → table id).
+    pub fn origins(&self) -> &VarOrigins {
+        &self.origins
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Option<&Relation> {
+        self.tables.get(name)
+    }
+
+    /// Numeric id assigned to a table (used as the variable-origin group).
+    pub fn table_id(&self, name: &str) -> Option<u32> {
+        self.table_ids.get(name).copied()
+    }
+
+    /// Total number of tuples across all tables.
+    pub fn total_tuples(&self) -> usize {
+        self.tables.values().map(|r| r.len()).sum()
+    }
+
+    fn register_table(&mut self, name: &str) -> u32 {
+        let id = self.next_table_id;
+        self.table_ids.insert(name.to_owned(), id);
+        self.next_table_id += 1;
+        id
+    }
+
+    /// Adds a tuple-independent table: each row `(values, probability)` gets
+    /// its own Boolean variable. Probabilities must lie in `(0, 1)`; rows
+    /// with probability `>= 1` are stored as deterministic (constant-true
+    /// lineage) which keeps generators simple.
+    pub fn add_tuple_independent_table(
+        &mut self,
+        name: &str,
+        columns: &[&str],
+        rows: Vec<(Vec<Value>, f64)>,
+    ) -> Vec<Option<VarId>> {
+        let table_id = self.register_table(name);
+        let mut rel = Relation::empty(Schema::new(name, columns));
+        let mut vars = Vec::with_capacity(rows.len());
+        for (i, (values, p)) in rows.into_iter().enumerate() {
+            let lineage = if p >= 1.0 {
+                vars.push(None);
+                Dnf::tautology()
+            } else {
+                let v = self.space.add_bool(format!("{name}#{i}"), p);
+                self.origins.set(v, table_id);
+                vars.push(Some(v));
+                Dnf::literal(v)
+            };
+            rel.push(AnnotatedTuple::new(values, lineage));
+        }
+        self.tables.insert(name.to_owned(), rel);
+        vars
+    }
+
+    /// Adds a deterministic table (all tuples certain).
+    pub fn add_deterministic_table(
+        &mut self,
+        name: &str,
+        columns: &[&str],
+        rows: Vec<Vec<Value>>,
+    ) {
+        self.register_table(name);
+        let mut rel = Relation::empty(Schema::new(name, columns));
+        for values in rows {
+            rel.push(AnnotatedTuple::new(values, Dnf::tautology()));
+        }
+        self.tables.insert(name.to_owned(), rel);
+    }
+
+    /// Adds a block-independent-disjoint table. Each block is a list of
+    /// mutually exclusive alternatives `(values, probability)`; if the block
+    /// probabilities sum to less than 1, the remaining mass is assigned to
+    /// "no alternative present". One multi-valued variable is created per
+    /// block (with domain value 0 reserved for "none" when needed).
+    ///
+    /// Returns the block variables.
+    pub fn add_bid_table(
+        &mut self,
+        name: &str,
+        columns: &[&str],
+        blocks: Vec<Vec<(Vec<Value>, f64)>>,
+    ) -> Vec<VarId> {
+        let table_id = self.register_table(name);
+        let mut rel = Relation::empty(Schema::new(name, columns));
+        let mut block_vars = Vec::with_capacity(blocks.len());
+        for (b, alternatives) in blocks.into_iter().enumerate() {
+            assert!(!alternatives.is_empty(), "BID block must have at least one alternative");
+            let total: f64 = alternatives.iter().map(|(_, p)| p).sum();
+            assert!(total <= 1.0 + 1e-9, "BID block probabilities must sum to at most 1");
+            let leftover = (1.0 - total).max(0.0);
+            // Domain: value 0 = "none" (if leftover > 0), then one value per
+            // alternative.
+            let mut distribution = Vec::new();
+            let has_none = leftover > 1e-12;
+            if has_none {
+                distribution.push(leftover);
+            }
+            distribution.extend(alternatives.iter().map(|(_, p)| *p));
+            let var = if distribution.len() == 1 {
+                // Degenerate single certain alternative: deterministic tuple.
+                None
+            } else {
+                let v = self.space.add_discrete(format!("{name}@{b}"), distribution);
+                self.origins.set(v, table_id);
+                Some(v)
+            };
+            if let Some(v) = var {
+                block_vars.push(v);
+            }
+            for (i, (values, _)) in alternatives.into_iter().enumerate() {
+                let lineage = match var {
+                    Some(v) => {
+                        let offset = if has_none { 1 } else { 0 };
+                        Dnf::singleton(Clause::singleton(Atom::new(v, (i + offset) as u32)))
+                    }
+                    None => Dnf::tautology(),
+                };
+                rel.push(AnnotatedTuple::new(values, lineage));
+            }
+        }
+        self.tables.insert(name.to_owned(), rel);
+        block_vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_independent_table_creates_one_variable_per_row() {
+        let mut db = Database::new();
+        let vars = db.add_tuple_independent_table(
+            "E",
+            &["u", "v"],
+            vec![
+                (vec![Value::Int(5), Value::Int(7)], 0.9),
+                (vec![Value::Int(5), Value::Int(11)], 0.8),
+            ],
+        );
+        assert_eq!(vars.len(), 2);
+        assert!(vars.iter().all(Option::is_some));
+        assert_eq!(db.space().num_vars(), 2);
+        let table = db.table("E").unwrap();
+        assert_eq!(table.len(), 2);
+        assert!((table.tuples[0].probability(db.space()) - 0.9).abs() < 1e-12);
+        assert_eq!(db.origins().get(vars[0].unwrap()), db.table_id("E"));
+    }
+
+    #[test]
+    fn certain_rows_become_deterministic() {
+        let mut db = Database::new();
+        let vars = db.add_tuple_independent_table(
+            "R",
+            &["a"],
+            vec![(vec![Value::Int(1)], 1.0), (vec![Value::Int(2)], 0.5)],
+        );
+        assert_eq!(vars[0], None);
+        assert!(vars[1].is_some());
+        let table = db.table("R").unwrap();
+        assert!(table.tuples[0].lineage.is_tautology());
+    }
+
+    #[test]
+    fn deterministic_table_has_constant_lineage() {
+        let mut db = Database::new();
+        db.add_deterministic_table("N", &["id", "name"], vec![vec![Value::Int(1), Value::str("eu")]]);
+        let t = db.table("N").unwrap();
+        assert!(t.tuples[0].lineage.is_tautology());
+        assert_eq!(db.space().num_vars(), 0);
+    }
+
+    #[test]
+    fn bid_table_builds_mutually_exclusive_alternatives() {
+        let mut db = Database::new();
+        // One block with two alternatives 0.3 / 0.5 (0.2 mass on "none").
+        let vars = db.add_bid_table(
+            "E",
+            &["u", "v", "present"],
+            vec![vec![
+                (vec![Value::Int(5), Value::Int(7), Value::Int(1)], 0.3),
+                (vec![Value::Int(5), Value::Int(7), Value::Int(0)], 0.5),
+            ]],
+        );
+        assert_eq!(vars.len(), 1);
+        let var = vars[0];
+        assert_eq!(db.space().domain_size(var), 3);
+        let t = db.table("E").unwrap();
+        let p1 = t.tuples[0].probability(db.space());
+        let p2 = t.tuples[1].probability(db.space());
+        assert!((p1 - 0.3).abs() < 1e-9);
+        assert!((p2 - 0.5).abs() < 1e-9);
+        // Mutually exclusive: conjunction of the two lineages is inconsistent.
+        let both = t.tuples[0].lineage.and(&t.tuples[1].lineage);
+        assert!(both.is_empty());
+    }
+
+    #[test]
+    fn bid_block_with_full_mass_has_no_none_value() {
+        let mut db = Database::new();
+        let vars = db.add_bid_table(
+            "E",
+            &["x"],
+            vec![vec![(vec![Value::Int(0)], 0.4), (vec![Value::Int(1)], 0.6)]],
+        );
+        assert_eq!(db.space().domain_size(vars[0]), 2);
+        let t = db.table("E").unwrap();
+        let total: f64 = t.tuples.iter().map(|tp| tp.probability(db.space())).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_bookkeeping() {
+        let mut db = Database::new();
+        db.add_deterministic_table("A", &["x"], vec![]);
+        db.add_deterministic_table("B", &["y"], vec![vec![Value::Int(1)]]);
+        assert_eq!(db.table_names(), vec!["A", "B"]);
+        assert_eq!(db.total_tuples(), 1);
+        assert!(db.table("C").is_none());
+        assert_ne!(db.table_id("A"), db.table_id("B"));
+    }
+}

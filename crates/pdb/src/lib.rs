@@ -1,0 +1,41 @@
+//! A probabilistic database substrate for confidence computation.
+//!
+//! The d-tree algorithm of the paper operates on *lineage* DNFs produced by
+//! evaluating positive relational algebra queries on probabilistic databases.
+//! This crate provides that substrate:
+//!
+//! * [`Value`], [`Schema`], [`Relation`] — relational data annotated with
+//!   lineage formulas,
+//! * [`Database`] — a collection of **tuple-independent** and
+//!   **block-independent-disjoint (BID)** tables sharing one
+//!   [`events::ProbabilitySpace`] (Figure 5 of the paper),
+//! * [`algebra`] — positive relational algebra operators (select, project,
+//!   join, union) that combine lineage with ∧ / ∨,
+//! * [`ConjunctiveQuery`] — conjunctive queries with inequality predicates,
+//!   a hash-join evaluator that returns one lineage DNF per answer tuple, the
+//!   hierarchical-query test of Dalvi-Suciu (Definition 6.1), and the
+//!   max-one / IQ classification of Olteanu-Huang (Definitions 6.5/6.6),
+//! * [`sprout`] — the SPROUT-style exact confidence computation for
+//!   hierarchical queries (the exact baseline of Section VII),
+//! * [`motif`] — direct lineage constructors for the graph motif queries of
+//!   the evaluation (triangle, path-2, path-3, two-degrees separation),
+//! * [`confidence`] — a unified front-end dispatching to d-tree exact,
+//!   d-tree approximation, SPROUT, Karp-Luby (`aconf`), or naive sampling.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algebra;
+pub mod confidence;
+pub mod motif;
+pub mod sprout;
+
+mod database;
+mod query;
+mod relation;
+mod value;
+
+pub use database::Database;
+pub use query::{ConjunctiveQuery, IneqOp, Predicate, QueryAnswer, SubGoal, Term};
+pub use relation::{AnnotatedTuple, Relation, Schema};
+pub use value::Value;

@@ -1,0 +1,534 @@
+//! Graph motif queries over probabilistic edge relations.
+//!
+//! The random-graph and social-network experiments of the paper (Section
+//! VII-B) ask for the probability that an undirected probabilistic graph
+//! contains a triangle, a path of length 2 or 3, or that two given nodes are
+//! within two degrees of separation. These are self-join-heavy conjunctive
+//! queries whose lineage this module constructs directly from the edge table,
+//! which is both faster and clearer than going through the generic
+//! relational-algebra engine.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use events::{Clause, Dnf};
+
+use crate::relation::Relation;
+
+/// An undirected probabilistic graph: each present-able edge carries the
+/// lineage formula under which it exists (a single Boolean variable for
+/// tuple-independent edge tables; an atom over a block variable for BID
+/// tables).
+///
+/// When the graph is built from a **block-independent-disjoint** edge table
+/// (Figure 5 (b) of the paper: both the "present" and the "absent"
+/// alternative of every edge are represented), the graph additionally knows
+/// the *absence lineage* of each edge, which makes queries involving the
+/// absence of an edge — such as "within two but not one degrees of
+/// separation" (Figure 5 (d)) — expressible as positive DNFs over the block
+/// variables.
+#[derive(Debug, Clone, Default)]
+pub struct ProbGraph {
+    edges: BTreeMap<(u32, u32), Dnf>,
+    absences: BTreeMap<(u32, u32), Dnf>,
+    nodes: BTreeSet<u32>,
+}
+
+impl ProbGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        ProbGraph::default()
+    }
+
+    /// Builds a graph from an edge relation whose first two columns are the
+    /// integer endpoints. Each tuple contributes its lineage to the edge
+    /// (disjoined if the same edge appears twice).
+    pub fn from_edge_relation(rel: &Relation) -> Self {
+        let mut g = ProbGraph::new();
+        for t in &rel.tuples {
+            let (Some(u), Some(v)) = (t.values[0].as_int(), t.values[1].as_int()) else {
+                continue;
+            };
+            g.add_edge(u as u32, v as u32, t.lineage.clone());
+        }
+        g
+    }
+
+    /// Builds a graph from a block-independent-disjoint edge relation of
+    /// schema `(u, v, present)` à la Figure 5 (b): rows with `present = 1`
+    /// contribute to the edge's presence lineage, rows with `present = 0` to
+    /// its absence lineage (both are positive atoms over the block variable).
+    pub fn from_bid_edge_relation(rel: &Relation) -> Self {
+        let mut g = ProbGraph::new();
+        for t in &rel.tuples {
+            let (Some(u), Some(v), Some(present)) =
+                (t.values[0].as_int(), t.values[1].as_int(), t.values[2].as_int())
+            else {
+                continue;
+            };
+            if present != 0 {
+                g.add_edge(u as u32, v as u32, t.lineage.clone());
+            } else {
+                g.add_edge_absence(u as u32, v as u32, t.lineage.clone());
+            }
+        }
+        g
+    }
+
+    /// Adds (or extends) an undirected edge with the given lineage.
+    pub fn add_edge(&mut self, u: u32, v: u32, lineage: Dnf) {
+        if u == v {
+            return; // self-loops carry no motif information here
+        }
+        let key = (u.min(v), u.max(v));
+        self.nodes.insert(u);
+        self.nodes.insert(v);
+        self.edges
+            .entry(key)
+            .and_modify(|l| *l = l.or(&lineage))
+            .or_insert(lineage);
+    }
+
+    /// Records the lineage under which the edge `(u, v)` is *absent* (only
+    /// meaningful for BID edge tables, where absence is a first-class
+    /// alternative rather than a negation).
+    pub fn add_edge_absence(&mut self, u: u32, v: u32, lineage: Dnf) {
+        if u == v {
+            return;
+        }
+        let key = (u.min(v), u.max(v));
+        self.nodes.insert(u);
+        self.nodes.insert(v);
+        self.absences
+            .entry(key)
+            .and_modify(|l| *l = l.or(&lineage))
+            .or_insert(lineage);
+    }
+
+    /// Lineage under which the edge `(u, v)` is absent. For edges that cannot
+    /// exist at all the absence is certain and `⊤` (a tautology) is returned;
+    /// for tuple-independent graphs (no absence information) `None` is
+    /// returned for possible edges.
+    pub fn edge_absence_lineage(&self, u: u32, v: u32) -> Option<Dnf> {
+        let key = (u.min(v), u.max(v));
+        if let Some(l) = self.absences.get(&key) {
+            return Some(l.clone());
+        }
+        if self.edges.contains_key(&key) {
+            None
+        } else {
+            Some(Dnf::tautology())
+        }
+    }
+
+    /// Number of (possible) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of nodes incident to at least one possible edge.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The nodes of the graph.
+    pub fn nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Lineage of an edge, if the edge can exist.
+    pub fn edge_lineage(&self, u: u32, v: u32) -> Option<&Dnf> {
+        self.edges.get(&(u.min(v), u.max(v)))
+    }
+
+    /// Adjacency list: for each node, its possible neighbours.
+    fn adjacency(&self) -> BTreeMap<u32, Vec<u32>> {
+        let mut adj: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for &(u, v) in self.edges.keys() {
+            adj.entry(u).or_default().push(v);
+            adj.entry(v).or_default().push(u);
+        }
+        adj
+    }
+
+    fn conjoin(&self, edges: &[(u32, u32)]) -> Dnf {
+        let mut acc = Dnf::tautology();
+        for &(u, v) in edges {
+            let lineage = self
+                .edge_lineage(u, v)
+                .expect("conjoin called only on existing edges");
+            acc = acc.and(lineage);
+        }
+        acc
+    }
+
+    /// Lineage of the Boolean query "the graph contains a triangle" (query
+    /// `t` of the experiments): the disjunction over all node triples
+    /// `u < v < w` whose three edges can all exist of the conjunction of the
+    /// three edge lineages.
+    pub fn triangle_lineage(&self) -> Dnf {
+        let adj = self.adjacency();
+        let mut clauses: Vec<Clause> = Vec::new();
+        let mut result = Dnf::empty();
+        for &(u, v) in self.edges.keys() {
+            // w ranges over common neighbours of u and v larger than v to
+            // avoid duplicates.
+            let (Some(nu), Some(nv)) = (adj.get(&u), adj.get(&v)) else { continue };
+            let nv_set: BTreeSet<u32> = nv.iter().copied().collect();
+            for &w in nu {
+                if w > v && nv_set.contains(&w) {
+                    let lineage =
+                        self.conjoin(&[(u, v), (v, w), (u, w)]);
+                    clauses.extend(lineage.into_clauses());
+                }
+            }
+        }
+        result = result.or(&Dnf::from_clauses(clauses));
+        result
+    }
+
+    /// Lineage of the Boolean query "the graph contains a (simple) path of
+    /// length 2", i.e. three distinct nodes `a - b - c` with both edges
+    /// possible (query `p2`).
+    pub fn path2_lineage(&self) -> Dnf {
+        let adj = self.adjacency();
+        let mut clauses: Vec<Clause> = Vec::new();
+        for (&b, neighbours) in &adj {
+            for i in 0..neighbours.len() {
+                for j in (i + 1)..neighbours.len() {
+                    let (a, c) = (neighbours[i], neighbours[j]);
+                    if a == c || a == b || c == b {
+                        continue;
+                    }
+                    let lineage = self.conjoin(&[(a, b), (b, c)]);
+                    clauses.extend(lineage.into_clauses());
+                }
+            }
+        }
+        Dnf::from_clauses(clauses)
+    }
+
+    /// Lineage of the Boolean query "the graph contains a simple path of
+    /// length 3" (four distinct nodes, three edges; query `p3`).
+    pub fn path3_lineage(&self) -> Dnf {
+        let adj = self.adjacency();
+        let mut clauses: Vec<Clause> = Vec::new();
+        // Enumerate middle edges (b, c) and extend with a ∈ N(b), d ∈ N(c).
+        for &(b, c) in self.edges.keys() {
+            let (Some(nb), Some(nc)) = (adj.get(&b), adj.get(&c)) else { continue };
+            for &a in nb {
+                if a == c || a == b {
+                    continue;
+                }
+                for &d in nc {
+                    if d == a || d == b || d == c {
+                        continue;
+                    }
+                    // Each simple path of length 3 has a unique middle edge,
+                    // and with (b, c) fixed the end nodes a and d attach to
+                    // distinct endpoints, so every path is generated exactly
+                    // once (duplicates would need edges that are not on the
+                    // path).
+                    let lineage = self.conjoin(&[(a, b), (b, c), (c, d)]);
+                    clauses.extend(lineage.into_clauses());
+                }
+            }
+        }
+        Dnf::from_clauses(clauses)
+    }
+
+    /// Lineage of the query "node `t` is within two, **but not one**, degrees
+    /// of separation from node `s`" (the second query of Section VI-A, whose
+    /// answers are shown in Figure 5 (d)): the direct edge `(s, t)` is absent
+    /// and some 2-path `s - m - t` is present.
+    ///
+    /// Requires absence information (a BID edge table); returns `None` when
+    /// the graph was built from a tuple-independent edge table and the direct
+    /// edge can exist (its absence is then not expressible as a positive
+    /// DNF).
+    pub fn within2_not1_lineage(&self, s: u32, t: u32) -> Option<Dnf> {
+        if s == t {
+            return Some(Dnf::empty());
+        }
+        let absent = self.edge_absence_lineage(s, t)?;
+        let adj = self.adjacency();
+        let mut clauses: Vec<Clause> = Vec::new();
+        if let (Some(ns), Some(nt)) = (adj.get(&s), adj.get(&t)) {
+            let nt_set: BTreeSet<u32> = nt.iter().copied().collect();
+            for &m in ns {
+                if m != s && m != t && nt_set.contains(&m) {
+                    clauses.extend(self.conjoin(&[(s, m), (m, t)]).into_clauses());
+                }
+            }
+        }
+        let two_paths = Dnf::from_clauses(clauses);
+        Some(absent.and(&two_paths))
+    }
+
+    /// All nodes within two but not one degrees of separation from `s`, with
+    /// their lineage — the full answer relation of Figure 5 (d). Nodes whose
+    /// lineage is unsatisfiable (empty DNF) are omitted.
+    pub fn within2_not1_answers(&self, s: u32) -> Vec<(u32, Dnf)> {
+        let mut out = Vec::new();
+        for t in self.nodes.iter().copied() {
+            if t == s {
+                continue;
+            }
+            if let Some(lineage) = self.within2_not1_lineage(s, t) {
+                if !lineage.is_empty() {
+                    out.push((t, lineage));
+                }
+            }
+        }
+        out
+    }
+
+    /// Lineage of the Boolean "separation" query `s2`: nodes `s` and `t` are
+    /// within at most two degrees of separation (directly connected, or
+    /// connected through one intermediate node).
+    pub fn separation2_lineage(&self, s: u32, t: u32) -> Dnf {
+        if s == t {
+            return Dnf::tautology();
+        }
+        let adj = self.adjacency();
+        let mut clauses: Vec<Clause> = Vec::new();
+        if self.edge_lineage(s, t).is_some() {
+            clauses.extend(self.conjoin(&[(s, t)]).into_clauses());
+        }
+        if let (Some(ns), Some(nt)) = (adj.get(&s), adj.get(&t)) {
+            let nt_set: BTreeSet<u32> = nt.iter().copied().collect();
+            for &m in ns {
+                if m != s && m != t && nt_set.contains(&m) {
+                    clauses.extend(self.conjoin(&[(s, m), (m, t)]).into_clauses());
+                }
+            }
+        }
+        Dnf::from_clauses(clauses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::value::Value;
+    use events::ProbabilitySpace;
+
+    /// The Figure-5 social network (six possible edges over nodes
+    /// 5, 6, 7, 11, 17).
+    fn figure_5_graph() -> (Database, ProbGraph) {
+        let mut db = Database::new();
+        db.add_tuple_independent_table(
+            "E",
+            &["u", "v"],
+            vec![
+                (vec![Value::Int(5), Value::Int(7)], 0.9),
+                (vec![Value::Int(5), Value::Int(11)], 0.8),
+                (vec![Value::Int(6), Value::Int(7)], 0.1),
+                (vec![Value::Int(6), Value::Int(11)], 0.9),
+                (vec![Value::Int(6), Value::Int(17)], 0.5),
+                (vec![Value::Int(7), Value::Int(17)], 0.2),
+            ],
+        );
+        let g = ProbGraph::from_edge_relation(db.table("E").unwrap());
+        (db, g)
+    }
+
+    #[test]
+    fn graph_construction() {
+        let (_, g) = figure_5_graph();
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.num_nodes(), 5);
+        assert!(g.edge_lineage(7, 5).is_some());
+        assert!(g.edge_lineage(5, 17).is_none());
+    }
+
+    #[test]
+    fn self_loops_and_duplicate_edges() {
+        let mut space = ProbabilitySpace::new();
+        let x = space.add_bool("x", 0.5);
+        let y = space.add_bool("y", 0.5);
+        let mut g = ProbGraph::new();
+        g.add_edge(1, 1, Dnf::literal(x));
+        assert_eq!(g.num_edges(), 0);
+        g.add_edge(1, 2, Dnf::literal(x));
+        g.add_edge(2, 1, Dnf::literal(y));
+        assert_eq!(g.num_edges(), 1);
+        // Duplicate edge lineages are disjoined.
+        assert_eq!(g.edge_lineage(1, 2).unwrap().len(), 2);
+    }
+
+    /// Figure 5 (c): the only triangle is 6-7-17 via e3 ∧ e5 ∧ e6.
+    #[test]
+    fn triangle_lineage_matches_figure_5c() {
+        let (db, g) = figure_5_graph();
+        let tri = g.triangle_lineage();
+        assert_eq!(tri.len(), 1);
+        assert_eq!(tri.clauses()[0].len(), 3);
+        let p = tri.exact_probability_enumeration(db.space());
+        assert!((p - 0.1 * 0.5 * 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path2_lineage_counts_cherries() {
+        let (db, g) = figure_5_graph();
+        let p2 = g.path2_lineage();
+        // Cherries (paths of length 2) centred at each node:
+        //  5: (7,11)                                   -> 1
+        //  6: (7,11), (7,17), (11,17)                  -> 3
+        //  7: (5,6), (5,17), (6,17)                    -> 3
+        // 11: (5,6)                                    -> 1
+        // 17: (6,7)                                    -> 1
+        assert_eq!(p2.len(), 9);
+        let p = p2.exact_probability_enumeration(db.space());
+        assert!(p > 0.0 && p < 1.0);
+    }
+
+    #[test]
+    fn path3_lineage_is_sound_and_complete_on_a_path_graph() {
+        // A simple path graph 1-2-3-4: exactly one path of length 3.
+        let mut space = ProbabilitySpace::new();
+        let e12 = space.add_bool("e12", 0.5);
+        let e23 = space.add_bool("e23", 0.6);
+        let e34 = space.add_bool("e34", 0.7);
+        let mut g = ProbGraph::new();
+        g.add_edge(1, 2, Dnf::literal(e12));
+        g.add_edge(2, 3, Dnf::literal(e23));
+        g.add_edge(3, 4, Dnf::literal(e34));
+        let p3 = g.path3_lineage();
+        assert_eq!(p3.len(), 1);
+        assert_eq!(p3.clauses()[0].len(), 3);
+        let p = p3.exact_probability_enumeration(&space);
+        assert!((p - 0.5 * 0.6 * 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path3_on_figure_5_graph_brackets_probability() {
+        let (db, g) = figure_5_graph();
+        let p3 = g.path3_lineage();
+        assert!(!p3.is_empty());
+        // Every clause has exactly three edge variables and uses 4 distinct
+        // nodes (simple paths).
+        for c in p3.clauses() {
+            assert_eq!(c.len(), 3);
+        }
+        let p = p3.exact_probability_enumeration(db.space());
+        assert!(p > 0.0 && p < 1.0);
+    }
+
+    #[test]
+    fn separation2_lineage() {
+        let (db, g) = figure_5_graph();
+        // Nodes 5 and 17: not directly connected; common neighbour 7 only
+        // (5-7-17); 5-11-17 impossible since edge (11,17) does not exist.
+        let s2 = g.separation2_lineage(5, 17);
+        assert_eq!(s2.len(), 1);
+        let p = s2.exact_probability_enumeration(db.space());
+        assert!((p - 0.9 * 0.2).abs() < 1e-9);
+        // Directly connected nodes include the single-edge clause.
+        let s2_direct = g.separation2_lineage(5, 7);
+        assert!(s2_direct.clauses().iter().any(|c| c.len() == 1));
+        // Same node: separation 0.
+        assert!(g.separation2_lineage(5, 5).is_tautology());
+        // Nodes with no 2-hop connection: empty lineage.
+        let s2_none = g.separation2_lineage(11, 17);
+        let p_none = s2_none.exact_probability_enumeration(db.space());
+        // 11 and 17 share the common neighbour 6, so there is a path.
+        assert!(p_none > 0.0);
+    }
+
+    /// The BID representation of the Figure-5 network: every edge has a
+    /// "present" and an "absent" alternative (Figure 5 (b)).
+    fn figure_5_bid_graph() -> (Database, ProbGraph) {
+        let mut db = Database::new();
+        let edges: [((i64, i64), f64); 6] = [
+            ((5, 7), 0.9),
+            ((5, 11), 0.8),
+            ((6, 7), 0.1),
+            ((6, 11), 0.9),
+            ((6, 17), 0.5),
+            ((7, 17), 0.2),
+        ];
+        let blocks = edges
+            .iter()
+            .map(|&((u, v), p)| {
+                vec![
+                    (vec![Value::Int(u), Value::Int(v), Value::Int(1)], p),
+                    (vec![Value::Int(u), Value::Int(v), Value::Int(0)], 1.0 - p),
+                ]
+            })
+            .collect();
+        db.add_bid_table("E", &["u", "v", "present"], blocks);
+        let g = ProbGraph::from_bid_edge_relation(db.table("E").unwrap());
+        (db, g)
+    }
+
+    /// Figure 5 (d): nodes within two but not one degrees of separation from
+    /// node 7 are 6, 11, and 17, with the lineages given in the paper.
+    #[test]
+    fn within_two_but_not_one_matches_figure_5d() {
+        let (db, g) = figure_5_bid_graph();
+        let answers = g.within2_not1_answers(7);
+        let nodes: Vec<u32> = answers.iter().map(|(n, _)| *n).collect();
+        assert_eq!(nodes, vec![6, 11, 17]);
+
+        let p = |dnf: &Dnf| dnf.exact_probability_enumeration(db.space());
+        let by_node: std::collections::BTreeMap<u32, Dnf> = answers.into_iter().collect();
+
+        // Node 6: e5 ∧ e6 ∧ ¬e3  →  0.5 · 0.2 · (1 − 0.1).
+        assert!((p(&by_node[&6]) - 0.5 * 0.2 * 0.9).abs() < 1e-9);
+        // Node 11: (e1 ∧ e2) ∨ (e3 ∧ e4)  →  P = 1 − (1 − 0.72)(1 − 0.09).
+        let expected_11 = 1.0 - (1.0 - 0.9 * 0.8) * (1.0 - 0.1 * 0.9);
+        assert!((p(&by_node[&11]) - expected_11).abs() < 1e-9);
+        // Node 17: e3 ∧ e5 ∧ ¬e6  →  0.1 · 0.5 · (1 − 0.2).
+        assert!((p(&by_node[&17]) - 0.1 * 0.5 * 0.8).abs() < 1e-9);
+
+        // The lineages are positive DNFs over block variables, so the d-tree
+        // pipeline applies unchanged.
+        for lineage in by_node.values() {
+            let d = dtree_probability(lineage, &db);
+            assert!((d - p(lineage)).abs() < 1e-9);
+        }
+    }
+
+    fn dtree_probability(lineage: &Dnf, db: &Database) -> f64 {
+        dtree::exact_probability(lineage, db.space(), &dtree::CompileOptions::default())
+            .probability
+    }
+
+    /// Without absence information (tuple-independent edges) the
+    /// within-2-not-1 query is only answerable for node pairs whose direct
+    /// edge cannot exist.
+    #[test]
+    fn within_two_but_not_one_requires_bid_edges() {
+        let (_, g) = figure_5_graph();
+        // 5 and 7 are directly connected: absence is not expressible.
+        assert!(g.within2_not1_lineage(5, 7).is_none());
+        // 5 and 17 are not directly connectable: the answer is just the
+        // 2-path lineage.
+        let l = g.within2_not1_lineage(5, 17).expect("no direct edge possible");
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn bid_graph_presence_and_absence_are_mutually_exclusive() {
+        let (db, g) = figure_5_bid_graph();
+        let present = g.edge_lineage(5, 7).unwrap();
+        let absent = g.edge_absence_lineage(5, 7).unwrap();
+        assert!(present.and(&absent).is_empty(), "present ∧ absent must be inconsistent");
+        let p_present = present.exact_probability_enumeration(db.space());
+        let p_absent = absent.exact_probability_enumeration(db.space());
+        assert!((p_present + p_absent - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_free_graph_has_empty_triangle_lineage() {
+        let mut space = ProbabilitySpace::new();
+        let a = space.add_bool("a", 0.5);
+        let b = space.add_bool("b", 0.5);
+        let mut g = ProbGraph::new();
+        g.add_edge(1, 2, Dnf::literal(a));
+        g.add_edge(2, 3, Dnf::literal(b));
+        assert!(g.triangle_lineage().is_empty());
+        assert_eq!(g.triangle_lineage().exact_probability_enumeration(&space), 0.0);
+    }
+}

@@ -1,0 +1,621 @@
+//! Conjunctive queries with inequality predicates, their evaluation to
+//! lineage DNFs, and the structural classifications (hierarchical, IQ) that
+//! govern tractability (Section VI of the paper).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use events::{Clause, Dnf};
+
+use crate::database::Database;
+use crate::value::Value;
+
+/// A term in a subgoal: a query variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Term {
+    /// A named query variable.
+    Var(String),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// Shorthand for a variable term.
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(name.into())
+    }
+
+    /// Shorthand for a constant term.
+    pub fn constant(v: impl Into<Value>) -> Self {
+        Term::Const(v.into())
+    }
+}
+
+/// A query subgoal `R(t1, …, tk)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubGoal {
+    /// Name of the relation in the [`Database`].
+    pub relation: String,
+    /// Positional terms.
+    pub terms: Vec<Term>,
+}
+
+/// Comparison operators allowed in inequality predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IneqOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!=`
+    Neq,
+}
+
+impl IneqOp {
+    fn eval(&self, l: &Value, r: &Value) -> bool {
+        match self {
+            IneqOp::Lt => l < r,
+            IneqOp::Le => l <= r,
+            IneqOp::Gt => l > r,
+            IneqOp::Ge => l >= r,
+            IneqOp::Neq => l != r,
+        }
+    }
+}
+
+/// An inequality predicate between a query variable and either another query
+/// variable or a constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Left-hand query variable.
+    pub left: String,
+    /// Comparison operator.
+    pub op: IneqOp,
+    /// Right-hand operand.
+    pub right: Operand,
+}
+
+/// Right-hand operand of a [`Predicate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A query variable.
+    Var(String),
+    /// A constant.
+    Const(Value),
+}
+
+/// One answer tuple of a query: its head values and lineage DNF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// Values of the head variables (empty for Boolean queries).
+    pub head: Vec<Value>,
+    /// The lineage formula of the answer.
+    pub lineage: Dnf,
+}
+
+/// A conjunctive query with optional inequality predicates:
+/// `Q(head) :- R1(t̄1), …, Rn(t̄n), predicates`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConjunctiveQuery {
+    /// Query name (used in reports).
+    pub name: String,
+    /// Head (distinguished) variables.
+    pub head: Vec<String>,
+    /// Subgoals.
+    pub subgoals: Vec<SubGoal>,
+    /// Inequality predicates.
+    pub predicates: Vec<Predicate>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates an empty (Boolean, no-subgoal) query with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ConjunctiveQuery {
+            name: name.into(),
+            head: Vec::new(),
+            subgoals: Vec::new(),
+            predicates: Vec::new(),
+        }
+    }
+
+    /// Adds head variables.
+    pub fn with_head(mut self, vars: &[&str]) -> Self {
+        self.head.extend(vars.iter().map(|v| (*v).to_owned()));
+        self
+    }
+
+    /// Adds a subgoal.
+    pub fn with_subgoal(mut self, relation: &str, terms: Vec<Term>) -> Self {
+        self.subgoals.push(SubGoal { relation: relation.to_owned(), terms });
+        self
+    }
+
+    /// Adds an inequality predicate between two query variables.
+    pub fn with_var_predicate(mut self, left: &str, op: IneqOp, right: &str) -> Self {
+        self.predicates.push(Predicate {
+            left: left.to_owned(),
+            op,
+            right: Operand::Var(right.to_owned()),
+        });
+        self
+    }
+
+    /// Adds an inequality predicate between a query variable and a constant.
+    pub fn with_const_predicate(mut self, left: &str, op: IneqOp, right: impl Into<Value>) -> Self {
+        self.predicates.push(Predicate {
+            left: left.to_owned(),
+            op,
+            right: Operand::Const(right.into()),
+        });
+        self
+    }
+
+    /// `true` when the query has no head variables (a Boolean query).
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// All query variables mentioned in subgoals.
+    pub fn variables(&self) -> BTreeSet<String> {
+        self.subgoals
+            .iter()
+            .flat_map(|sg| sg.terms.iter())
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(v.clone()),
+                Term::Const(_) => None,
+            })
+            .collect()
+    }
+
+    /// Indices of the subgoals mentioning a variable.
+    pub fn subgoals_of(&self, var: &str) -> BTreeSet<usize> {
+        self.subgoals
+            .iter()
+            .enumerate()
+            .filter(|(_, sg)| {
+                sg.terms.iter().any(|t| matches!(t, Term::Var(v) if v == var))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// `true` when two subgoals reference the same relation.
+    pub fn has_self_join(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        self.subgoals.iter().any(|sg| !seen.insert(sg.relation.clone()))
+    }
+
+    /// The hierarchical-query test of Definition 6.1 (Dalvi-Suciu): for any
+    /// two *non-head* query variables, their subgoal sets are either disjoint
+    /// or one contains the other. Hierarchical queries without self-joins are
+    /// exactly the tractable conjunctive queries on tuple-independent
+    /// databases.
+    pub fn is_hierarchical(&self) -> bool {
+        let head: BTreeSet<&str> = self.head.iter().map(|s| s.as_str()).collect();
+        let vars: Vec<String> =
+            self.variables().into_iter().filter(|v| !head.contains(v.as_str())).collect();
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                let a = self.subgoals_of(&vars[i]);
+                let b = self.subgoals_of(&vars[j]);
+                let disjoint = a.is_disjoint(&b);
+                let contained = a.is_subset(&b) || b.is_subset(&a);
+                if !disjoint && !contained {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The IQ-query test of Definitions 6.5/6.6 (Olteanu-Huang): subgoals
+    /// range over *distinct* relations, their non-head variable sets are
+    /// pairwise disjoint (no equi-joins), and the inequality predicates have
+    /// the *max-one* property — at most one variable per subgoal occurs in
+    /// inequalities with variables of other subgoals.
+    pub fn is_iq(&self) -> bool {
+        if self.has_self_join() {
+            return false;
+        }
+        let head: BTreeSet<&str> = self.head.iter().map(|s| s.as_str()).collect();
+        // Per-subgoal non-head variable sets must be pairwise disjoint.
+        let sets: Vec<BTreeSet<String>> = self
+            .subgoals
+            .iter()
+            .map(|sg| {
+                sg.terms
+                    .iter()
+                    .filter_map(|t| match t {
+                        Term::Var(v) if !head.contains(v.as_str()) => Some(v.clone()),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        for i in 0..sets.len() {
+            for j in (i + 1)..sets.len() {
+                if !sets[i].is_disjoint(&sets[j]) {
+                    return false;
+                }
+            }
+        }
+        // Max-one property: for each subgoal, at most one of its variables
+        // appears in cross-subgoal inequality predicates.
+        let subgoal_of = |v: &str| sets.iter().position(|s| s.contains(v));
+        let mut cross_vars: Vec<BTreeSet<String>> = vec![BTreeSet::new(); sets.len()];
+        for p in &self.predicates {
+            let Operand::Var(rv) = &p.right else { continue };
+            let (Some(li), Some(ri)) = (subgoal_of(&p.left), subgoal_of(rv)) else {
+                continue;
+            };
+            if li != ri {
+                cross_vars[li].insert(p.left.clone());
+                cross_vars[ri].insert(rv.clone());
+            }
+        }
+        cross_vars.iter().all(|s| s.len() <= 1)
+    }
+
+    /// Evaluates the query on a database, returning one [`QueryAnswer`] per
+    /// distinct head-value combination (a single answer with empty head for
+    /// Boolean queries, provided at least one satisfying assignment exists).
+    ///
+    /// The evaluator performs a left-to-right multiway hash join: for each
+    /// subgoal an index is built on the positions bound by earlier subgoals
+    /// or constants, and inequality predicates are applied as soon as both
+    /// operands are bound. The lineage of an answer is the disjunction over
+    /// satisfying assignments of the conjunction of the matched tuples'
+    /// lineages — exactly the DNF whose probability is the answer confidence.
+    pub fn evaluate(&self, db: &Database) -> Vec<QueryAnswer> {
+        // A partial assignment: variable bindings plus the conjunction of the
+        // lineages of the tuples matched so far (kept as a clause list since
+        // base-table lineages are single clauses; general DNFs distribute).
+        struct Partial {
+            bindings: BTreeMap<String, Value>,
+            lineage: Dnf,
+        }
+
+        let mut partials = vec![Partial { bindings: BTreeMap::new(), lineage: Dnf::tautology() }];
+        let mut bound: BTreeSet<String> = BTreeSet::new();
+        let mut applied_preds: Vec<bool> = vec![false; self.predicates.len()];
+
+        for sg in &self.subgoals {
+            let Some(rel) = db.table(&sg.relation) else {
+                return Vec::new();
+            };
+            // Positions whose value is determined before scanning this
+            // subgoal: constants and already-bound variables.
+            let key_positions: Vec<usize> = sg
+                .terms
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound.contains(v),
+                })
+                .map(|(i, _)| i)
+                .collect();
+            // Hash index of the subgoal's tuples on those positions.
+            let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            for (ti, tuple) in rel.tuples.iter().enumerate() {
+                let key: Vec<Value> =
+                    key_positions.iter().map(|&p| tuple.values[p].clone()).collect();
+                index.entry(key).or_default().push(ti);
+            }
+
+            let mut next = Vec::new();
+            for partial in &partials {
+                let key: Vec<Value> = key_positions
+                    .iter()
+                    .map(|&p| match &sg.terms[p] {
+                        Term::Const(c) => c.clone(),
+                        Term::Var(v) => partial.bindings[v].clone(),
+                    })
+                    .collect();
+                let Some(candidates) = index.get(&key) else { continue };
+                'tuples: for &ti in candidates {
+                    let tuple = &rel.tuples[ti];
+                    let mut bindings = partial.bindings.clone();
+                    for (pos, term) in sg.terms.iter().enumerate() {
+                        if key_positions.contains(&pos) {
+                            continue;
+                        }
+                        match term {
+                            Term::Const(c) => {
+                                if &tuple.values[pos] != c {
+                                    continue 'tuples;
+                                }
+                            }
+                            Term::Var(v) => match bindings.get(v) {
+                                Some(existing) => {
+                                    if existing != &tuple.values[pos] {
+                                        continue 'tuples;
+                                    }
+                                }
+                                None => {
+                                    bindings.insert(v.clone(), tuple.values[pos].clone());
+                                }
+                            },
+                        }
+                    }
+                    next.push(Partial {
+                        bindings,
+                        lineage: partial.lineage.and(&tuple.lineage),
+                    });
+                }
+            }
+            partials = next;
+            for t in &sg.terms {
+                if let Term::Var(v) = t {
+                    bound.insert(v.clone());
+                }
+            }
+            // Apply every predicate whose operands are now bound.
+            for (pi, pred) in self.predicates.iter().enumerate() {
+                if applied_preds[pi] {
+                    continue;
+                }
+                let right_bound = match &pred.right {
+                    Operand::Var(v) => bound.contains(v),
+                    Operand::Const(_) => true,
+                };
+                if bound.contains(&pred.left) && right_bound {
+                    applied_preds[pi] = true;
+                    partials.retain(|p| {
+                        let l = &p.bindings[&pred.left];
+                        let r = match &pred.right {
+                            Operand::Var(v) => p.bindings[v].clone(),
+                            Operand::Const(c) => c.clone(),
+                        };
+                        pred.op.eval(l, &r)
+                    });
+                }
+            }
+        }
+
+        // Group by head values and disjoin lineages.
+        let mut grouped: BTreeMap<Vec<Value>, Vec<Clause>> = BTreeMap::new();
+        for partial in partials {
+            let head: Vec<Value> =
+                self.head.iter().map(|v| partial.bindings[v].clone()).collect();
+            grouped.entry(head).or_default().extend(partial.lineage.into_clauses());
+        }
+        grouped
+            .into_iter()
+            .map(|(head, clauses)| QueryAnswer { head, lineage: Dnf::from_clauses(clauses) })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure-5 social-network edge table.
+    fn figure_5_database() -> Database {
+        let mut db = Database::new();
+        db.add_tuple_independent_table(
+            "E",
+            &["u", "v"],
+            vec![
+                (vec![Value::Int(5), Value::Int(7)], 0.9),
+                (vec![Value::Int(5), Value::Int(11)], 0.8),
+                (vec![Value::Int(6), Value::Int(7)], 0.1),
+                (vec![Value::Int(6), Value::Int(11)], 0.9),
+                (vec![Value::Int(6), Value::Int(17)], 0.5),
+                (vec![Value::Int(7), Value::Int(17)], 0.2),
+            ],
+        );
+        db
+    }
+
+    fn rst_database() -> Database {
+        let mut db = Database::new();
+        db.add_tuple_independent_table(
+            "R",
+            &["a"],
+            vec![(vec![Value::Int(1)], 0.3), (vec![Value::Int(2)], 0.4)],
+        );
+        db.add_tuple_independent_table(
+            "S",
+            &["a", "b"],
+            vec![
+                (vec![Value::Int(1), Value::Int(10)], 0.5),
+                (vec![Value::Int(1), Value::Int(20)], 0.6),
+                (vec![Value::Int(2), Value::Int(10)], 0.7),
+            ],
+        );
+        db.add_tuple_independent_table(
+            "T",
+            &["b"],
+            vec![(vec![Value::Int(10)], 0.8), (vec![Value::Int(20)], 0.9)],
+        );
+        db
+    }
+
+    #[test]
+    fn builder_and_classification() {
+        // q1():-R1(A,B), R2(A,C) — hierarchical (Example 6.2).
+        let q1 = ConjunctiveQuery::new("q1")
+            .with_subgoal("R1", vec![Term::var("A"), Term::var("B")])
+            .with_subgoal("R2", vec![Term::var("A"), Term::var("C")]);
+        assert!(q1.is_boolean());
+        assert!(q1.is_hierarchical());
+        assert!(!q1.has_self_join());
+
+        // The prototypical hard query R(X),S(X,Y),T(Y) is non-hierarchical.
+        let hard = ConjunctiveQuery::new("hard")
+            .with_subgoal("R", vec![Term::var("X")])
+            .with_subgoal("S", vec![Term::var("X"), Term::var("Y")])
+            .with_subgoal("T", vec![Term::var("Y")]);
+        assert!(!hard.is_hierarchical());
+
+        // q2(D):-R1(A,B,C), R2(A,B), R3(A,D) — hierarchical (Example 6.2).
+        let q2 = ConjunctiveQuery::new("q2")
+            .with_head(&["D"])
+            .with_subgoal("R1", vec![Term::var("A"), Term::var("B"), Term::var("C")])
+            .with_subgoal("R2", vec![Term::var("A"), Term::var("B")])
+            .with_subgoal("R3", vec![Term::var("A"), Term::var("D")]);
+        assert!(!q2.is_boolean());
+        assert!(q2.is_hierarchical());
+    }
+
+    #[test]
+    fn iq_classification_follows_example_6_7() {
+        // q1():-R(E,F), T(D), T'(G,H), E < D < H.
+        let q1 = ConjunctiveQuery::new("iq1")
+            .with_subgoal("R", vec![Term::var("E"), Term::var("F")])
+            .with_subgoal("T", vec![Term::var("D")])
+            .with_subgoal("Tp", vec![Term::var("G"), Term::var("H")])
+            .with_var_predicate("E", IneqOp::Lt, "D")
+            .with_var_predicate("D", IneqOp::Lt, "H");
+        assert!(q1.is_iq());
+
+        // q3():-R(A), T(D) — trivially IQ (no predicates).
+        let q3 = ConjunctiveQuery::new("iq3")
+            .with_subgoal("R", vec![Term::var("A")])
+            .with_subgoal("T", vec![Term::var("D")]);
+        assert!(q3.is_iq());
+
+        // A query with an equi-join between subgoals is not IQ.
+        let eq = ConjunctiveQuery::new("eq")
+            .with_subgoal("R", vec![Term::var("A")])
+            .with_subgoal("S", vec![Term::var("A")]);
+        assert!(!eq.is_iq());
+
+        // Violating max-one: two variables of R occur in cross-subgoal
+        // inequalities.
+        let not_max_one = ConjunctiveQuery::new("nm1")
+            .with_subgoal("R", vec![Term::var("E"), Term::var("F")])
+            .with_subgoal("T", vec![Term::var("D")])
+            .with_var_predicate("E", IneqOp::Lt, "D")
+            .with_var_predicate("F", IneqOp::Lt, "D");
+        assert!(!not_max_one.is_iq());
+
+        // Self-joins are excluded.
+        let selfjoin = ConjunctiveQuery::new("sj")
+            .with_subgoal("E", vec![Term::var("A"), Term::var("B")])
+            .with_subgoal("E", vec![Term::var("B"), Term::var("C")]);
+        assert!(!selfjoin.is_iq());
+        assert!(selfjoin.has_self_join());
+    }
+
+    #[test]
+    fn boolean_query_lineage_matches_possible_worlds() {
+        // q():-R(A), S(A,B), T(B) on the small R/S/T database.
+        let db = rst_database();
+        let q = ConjunctiveQuery::new("hard")
+            .with_subgoal("R", vec![Term::var("A")])
+            .with_subgoal("S", vec![Term::var("A"), Term::var("B")])
+            .with_subgoal("T", vec![Term::var("B")]);
+        let answers = q.evaluate(&db);
+        assert_eq!(answers.len(), 1);
+        let lineage = &answers[0].lineage;
+        // Three satisfying assignments: (1,10), (1,20), (2,10).
+        assert_eq!(lineage.len(), 3);
+        assert!(lineage.clauses().iter().all(|c| c.len() == 3));
+        // Compare against a manual possible-world computation.
+        let p = lineage.exact_probability_enumeration(db.space());
+        assert!(p > 0.0 && p < 1.0);
+    }
+
+    #[test]
+    fn head_variables_group_answers() {
+        // q(A) :- R(A), S(A,B): one answer per R-value with S partners.
+        let db = rst_database();
+        let q = ConjunctiveQuery::new("per_a")
+            .with_head(&["A"])
+            .with_subgoal("R", vec![Term::var("A")])
+            .with_subgoal("S", vec![Term::var("A"), Term::var("B")]);
+        let mut answers = q.evaluate(&db);
+        answers.sort_by(|a, b| a.head.cmp(&b.head));
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[0].head, vec![Value::Int(1)]);
+        // A = 1 joins with two S tuples: lineage has two clauses.
+        assert_eq!(answers[0].lineage.len(), 2);
+        assert_eq!(answers[1].head, vec![Value::Int(2)]);
+        assert_eq!(answers[1].lineage.len(), 1);
+    }
+
+    #[test]
+    fn constants_restrict_matches() {
+        let db = rst_database();
+        let q = ConjunctiveQuery::new("const")
+            .with_subgoal("S", vec![Term::constant(1), Term::var("B")]);
+        let answers = q.evaluate(&db);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].lineage.len(), 2);
+    }
+
+    #[test]
+    fn inequality_predicates_filter_assignments() {
+        let db = rst_database();
+        // q():-S(A,B), T(C), B < C : S-values B ∈ {10,20}, T-values C ∈ {10,20}.
+        let q = ConjunctiveQuery::new("ineq")
+            .with_subgoal("S", vec![Term::var("A"), Term::var("B")])
+            .with_subgoal("T", vec![Term::var("C")])
+            .with_var_predicate("B", IneqOp::Lt, "C");
+        assert!(q.is_iq());
+        let answers = q.evaluate(&db);
+        assert_eq!(answers.len(), 1);
+        // Only pairs with B=10, C=20 survive: S(1,10) and S(2,10) with T(20).
+        assert_eq!(answers[0].lineage.len(), 2);
+    }
+
+    #[test]
+    fn constant_predicates_and_empty_results() {
+        let db = rst_database();
+        let q = ConjunctiveQuery::new("none")
+            .with_subgoal("T", vec![Term::var("B")])
+            .with_const_predicate("B", IneqOp::Gt, 100);
+        assert!(q.evaluate(&db).is_empty());
+        let q = ConjunctiveQuery::new("some")
+            .with_subgoal("T", vec![Term::var("B")])
+            .with_const_predicate("B", IneqOp::Ge, 20);
+        let answers = q.evaluate(&db);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].lineage.len(), 1);
+    }
+
+    #[test]
+    fn missing_relation_yields_no_answers() {
+        let db = rst_database();
+        let q = ConjunctiveQuery::new("missing")
+            .with_subgoal("UNKNOWN", vec![Term::var("X")]);
+        assert!(q.evaluate(&db).is_empty());
+    }
+
+    #[test]
+    fn triangle_query_on_figure_5_graph() {
+        // Triangle via a three-way self-join with ordering predicates, as in
+        // Section VI-A: select conf() from E n1, E n2, E n3 where
+        // n1.v = n2.u and n2.v = n3.v and n1.u = n3.u and n1.u < n2.u and n2.u < n3.v.
+        let db = figure_5_database();
+        let q = ConjunctiveQuery::new("triangle")
+            .with_subgoal("E", vec![Term::var("A"), Term::var("B")])
+            .with_subgoal("E", vec![Term::var("B"), Term::var("C")])
+            .with_subgoal("E", vec![Term::var("A"), Term::var("C")])
+            .with_var_predicate("A", IneqOp::Lt, "B")
+            .with_var_predicate("B", IneqOp::Lt, "C");
+        let answers = q.evaluate(&db);
+        assert_eq!(answers.len(), 1);
+        let lineage = &answers[0].lineage;
+        // Figure 5 (c): the only triangle is over edges e3 ∧ e5 ∧ e6.
+        assert_eq!(lineage.len(), 1);
+        assert_eq!(lineage.clauses()[0].len(), 3);
+        let p = lineage.exact_probability_enumeration(db.space());
+        assert!((p - 0.1 * 0.5 * 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_variable_within_subgoal() {
+        // q():-E(X,X) — self-loops only; the Figure-5 graph has none.
+        let db = figure_5_database();
+        let q = ConjunctiveQuery::new("loop")
+            .with_subgoal("E", vec![Term::var("X"), Term::var("X")]);
+        assert!(q.evaluate(&db).is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Lineage-annotated relations.
+
+use std::fmt;
+
+use events::{Dnf, ProbabilitySpace};
+
+use crate::value::Value;
+
+/// A relation schema: a name and ordered column names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Relation name.
+    pub name: String,
+    /// Column names, in positional order.
+    pub columns: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema.
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
+        Schema { name: name.into(), columns: columns.iter().map(|c| (*c).to_owned()).collect() }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+}
+
+/// A tuple annotated with its lineage formula.
+///
+/// In a c-table view, the tuple is present in exactly the possible worlds
+/// that satisfy `lineage`. Base-table tuples carry a single-literal lineage
+/// (tuple-independent tables) or a single atom over a block variable (BID
+/// tables); deterministic tuples carry the constant-true lineage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedTuple {
+    /// The attribute values.
+    pub values: Vec<Value>,
+    /// The lineage DNF.
+    pub lineage: Dnf,
+}
+
+impl AnnotatedTuple {
+    /// Creates an annotated tuple.
+    pub fn new(values: Vec<Value>, lineage: Dnf) -> Self {
+        AnnotatedTuple { values, lineage }
+    }
+
+    /// Marginal probability of the tuple (probability of its lineage) —
+    /// computed by enumeration, so only intended for base tuples / tests.
+    pub fn probability(&self, space: &ProbabilitySpace) -> f64 {
+        self.lineage.exact_probability_enumeration(space)
+    }
+}
+
+/// A lineage-annotated relation: the output (or input) of positive relational
+/// algebra on a probabilistic database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    /// The relation schema.
+    pub schema: Schema,
+    /// The annotated tuples.
+    pub tuples: Vec<AnnotatedTuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation { schema, tuples: Vec::new() }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` if the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Appends a tuple, checking arity.
+    ///
+    /// # Panics
+    /// Panics if the tuple arity does not match the schema.
+    pub fn push(&mut self, tuple: AnnotatedTuple) {
+        assert_eq!(
+            tuple.values.len(),
+            self.schema.arity(),
+            "tuple arity {} does not match schema {} of arity {}",
+            tuple.values.len(),
+            self.schema.name,
+            self.schema.arity()
+        );
+        self.tuples.push(tuple);
+    }
+
+    /// Lineage of the *Boolean* query "this relation is non-empty": the
+    /// disjunction of all tuple lineages. This is the DNF whose probability
+    /// is the confidence of a Boolean query answer.
+    pub fn boolean_lineage(&self) -> Dnf {
+        let mut out = Dnf::empty();
+        for t in &self.tuples {
+            out = out.or(&t.lineage);
+        }
+        out
+    }
+
+    /// Iterates over `(values, lineage)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &AnnotatedTuple> {
+        self.tuples.iter()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}({})", self.schema.name, self.schema.columns.join(", "))?;
+        for t in &self.tuples {
+            let vals: Vec<String> = t.values.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "  ({})  φ = {}", vals.join(", "), t.lineage)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use events::Clause;
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new("E", &["u", "v"]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.column_index("v"), Some(1));
+        assert_eq!(s.column_index("w"), None);
+    }
+
+    #[test]
+    fn push_checks_arity() {
+        let mut r = Relation::empty(Schema::new("R", &["a"]));
+        r.push(AnnotatedTuple::new(vec![Value::Int(1)], Dnf::tautology()));
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn push_rejects_wrong_arity() {
+        let mut r = Relation::empty(Schema::new("R", &["a", "b"]));
+        r.push(AnnotatedTuple::new(vec![Value::Int(1)], Dnf::tautology()));
+    }
+
+    #[test]
+    fn boolean_lineage_is_disjunction() {
+        let mut space = ProbabilitySpace::new();
+        let x = space.add_bool("x", 0.5);
+        let y = space.add_bool("y", 0.5);
+        let mut r = Relation::empty(Schema::new("R", &["a"]));
+        r.push(AnnotatedTuple::new(vec![Value::Int(1)], Dnf::literal(x)));
+        r.push(AnnotatedTuple::new(vec![Value::Int(2)], Dnf::literal(y)));
+        let lin = r.boolean_lineage();
+        assert_eq!(lin.len(), 2);
+        assert!(lin.clauses().contains(&Clause::from_bools(&[x])));
+    }
+
+    #[test]
+    fn tuple_probability_uses_lineage() {
+        let mut space = ProbabilitySpace::new();
+        let x = space.add_bool("x", 0.25);
+        let t = AnnotatedTuple::new(vec![Value::Int(1)], Dnf::literal(x));
+        assert!((t.probability(&space) - 0.25).abs() < 1e-12);
+        let det = AnnotatedTuple::new(vec![Value::Int(1)], Dnf::tautology());
+        assert_eq!(det.probability(&space), 1.0);
+    }
+
+    #[test]
+    fn display_contains_schema_and_lineage() {
+        let mut space = ProbabilitySpace::new();
+        let x = space.add_bool("x", 0.5);
+        let mut r = Relation::empty(Schema::new("E", &["u", "v"]));
+        r.push(AnnotatedTuple::new(vec![Value::Int(5), Value::Int(7)], Dnf::literal(x)));
+        let s = r.to_string();
+        assert!(s.contains("E(u, v)"));
+        assert!(s.contains("φ"));
+    }
+}

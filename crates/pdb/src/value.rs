@@ -1,0 +1,105 @@
+//! Attribute values stored in probabilistic relations.
+
+use std::fmt;
+
+/// A relational attribute value.
+///
+/// The evaluation workloads of the paper (TPC-H, graphs, social networks)
+/// only need integers and strings; a small closed enum keeps joins and
+/// hashing fast.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A 64-bit integer.
+    Int(i64),
+    /// An owned string.
+    Str(String),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Returns the integer payload, if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(7i32), Value::Int(7));
+        assert_eq!(Value::from("a"), Value::Str("a".into()));
+        assert_eq!(Value::str("b"), Value::Str("b".into()));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_str(), None);
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn ordering_within_variants() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::str("a") < Value::str("b"));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::str("eu").to_string(), "eu");
+    }
+}

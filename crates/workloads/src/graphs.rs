@@ -1,0 +1,194 @@
+//! Random probabilistic graphs (Section VII-B).
+//!
+//! "An undirected random graph with n nodes is a probabilistic database in
+//! which the possible worlds are the subgraphs of the n-clique": every one of
+//! the `n·(n−1)/2` edges is present independently with probability `p`.
+
+use pdb::motif::ProbGraph;
+use pdb::{Database, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a random probabilistic graph.
+#[derive(Debug, Clone)]
+pub struct RandomGraphConfig {
+    /// Number of nodes (the graph is the probabilistic n-clique).
+    pub nodes: u32,
+    /// Membership probability of every edge.
+    pub edge_probability: f64,
+    /// When `Some((lo, hi))`, edge probabilities are drawn uniformly from
+    /// `[lo, hi)` instead of being constant (used to study skew).
+    pub probability_range: Option<(f64, f64)>,
+    /// RNG seed for the probability draw (only used with
+    /// `probability_range`).
+    pub seed: u64,
+}
+
+impl RandomGraphConfig {
+    /// Uniform-probability configuration (the setting of Figure 8).
+    pub fn uniform(nodes: u32, edge_probability: f64) -> Self {
+        RandomGraphConfig { nodes, edge_probability, probability_range: None, seed: 0 }
+    }
+
+    /// Configuration with per-edge probabilities drawn from a range.
+    pub fn with_range(nodes: u32, lo: f64, hi: f64, seed: u64) -> Self {
+        RandomGraphConfig {
+            nodes,
+            edge_probability: 0.5,
+            probability_range: Some((lo, hi)),
+            seed,
+        }
+    }
+
+    /// Number of possible edges.
+    pub fn num_edges(&self) -> usize {
+        let n = self.nodes as usize;
+        n * (n - 1) / 2
+    }
+}
+
+/// Generates the random graph as a probabilistic database with one
+/// tuple-independent edge table `E(u, v)`, plus the corresponding
+/// [`ProbGraph`] for motif-lineage construction.
+pub fn random_graph(config: &RandomGraphConfig) -> (Database, ProbGraph) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rows = Vec::with_capacity(config.num_edges());
+    for u in 0..config.nodes {
+        for v in (u + 1)..config.nodes {
+            let p = match config.probability_range {
+                Some((lo, hi)) => rng.gen_range(lo..hi),
+                None => config.edge_probability,
+            };
+            // Clamp away from the degenerate endpoints required by the
+            // probability-space constructor.
+            let p = p.clamp(1e-6, 1.0 - 1e-6);
+            rows.push((vec![Value::Int(u as i64), Value::Int(v as i64)], p));
+        }
+    }
+    let mut db = Database::new();
+    db.add_tuple_independent_table("E", &["u", "v"], rows);
+    let graph = ProbGraph::from_edge_relation(db.table("E").expect("edge table just added"));
+    (db, graph)
+}
+
+/// Generates the same random graph as [`random_graph`] but as a
+/// **block-independent-disjoint** edge table (Figure 5 (b) of the paper):
+/// every edge block carries both a "present" alternative (probability `p`)
+/// and an "absent" alternative (probability `1 − p`). This representation
+/// makes queries about the *absence* of edges — e.g. "within two but not one
+/// degrees of separation" — expressible as positive DNFs over the block
+/// variables.
+pub fn random_bid_graph(config: &RandomGraphConfig) -> (Database, ProbGraph) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut blocks = Vec::with_capacity(config.num_edges());
+    for u in 0..config.nodes {
+        for v in (u + 1)..config.nodes {
+            let p = match config.probability_range {
+                Some((lo, hi)) => rng.gen_range(lo..hi),
+                None => config.edge_probability,
+            };
+            let p = p.clamp(1e-6, 1.0 - 1e-6);
+            blocks.push(vec![
+                (vec![Value::Int(u as i64), Value::Int(v as i64), Value::Int(1)], p),
+                (vec![Value::Int(u as i64), Value::Int(v as i64), Value::Int(0)], 1.0 - p),
+            ]);
+        }
+    }
+    let mut db = Database::new();
+    db.add_bid_table("E", &["u", "v", "present"], blocks);
+    let graph = ProbGraph::from_bid_edge_relation(db.table("E").expect("edge table just added"));
+    (db, graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_structure() {
+        let (db, g) = random_graph(&RandomGraphConfig::uniform(6, 0.3));
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(db.table("E").unwrap().len(), 15);
+        assert_eq!(db.space().num_vars(), 15);
+        // All edges share the same probability.
+        for t in db.table("E").unwrap().iter() {
+            assert!((t.probability(db.space()) - 0.3).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_scale_forty_nodes_has_780_edges() {
+        let cfg = RandomGraphConfig::uniform(40, 0.5);
+        assert_eq!(cfg.num_edges(), 780);
+        let (_, g) = random_graph(&cfg);
+        assert_eq!(g.num_edges(), 780);
+    }
+
+    #[test]
+    fn probability_range_is_respected_and_reproducible() {
+        let cfg = RandomGraphConfig::with_range(8, 0.2, 0.4, 7);
+        let (db1, _) = random_graph(&cfg);
+        let (db2, _) = random_graph(&cfg);
+        for (t1, t2) in db1.table("E").unwrap().iter().zip(db2.table("E").unwrap().iter()) {
+            let p1 = t1.probability(db1.space());
+            let p2 = t2.probability(db2.space());
+            assert!((p1 - p2).abs() < 1e-12, "generator must be deterministic");
+            assert!((0.2..0.4).contains(&p1));
+        }
+    }
+
+    #[test]
+    fn bid_graph_matches_tuple_independent_graph_on_positive_queries() {
+        // The triangle probability must be identical whether the edge table
+        // is tuple-independent or block-independent-disjoint.
+        let cfg = RandomGraphConfig::uniform(5, 0.35);
+        let (db_ti, g_ti) = random_graph(&cfg);
+        let (db_bid, g_bid) = random_bid_graph(&cfg);
+        assert_eq!(g_ti.num_edges(), g_bid.num_edges());
+        let p_ti = g_ti.triangle_lineage().exact_probability_enumeration(db_ti.space());
+        let p_bid = g_bid.triangle_lineage().exact_probability_enumeration(db_bid.space());
+        assert!((p_ti - p_bid).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bid_graph_supports_within_two_not_one() {
+        let (db, g) = random_bid_graph(&RandomGraphConfig::uniform(5, 0.4));
+        // Every pair has answers defined (absence is representable).
+        let lineage = g.within2_not1_lineage(0, 4).expect("BID graph has absence lineage");
+        let p = lineage.exact_probability_enumeration(db.space());
+        assert!((0.0..=1.0).contains(&p));
+        // Consistency with the d-tree pipeline.
+        let d = dtree::exact_probability(&lineage, db.space(), &dtree::CompileOptions::default());
+        assert!((d.probability - p).abs() < 1e-9);
+        // The within-2-not-1 event implies the within-2 event.
+        let s2 = g.separation2_lineage(0, 4).exact_probability_enumeration(db.space());
+        assert!(p <= s2 + 1e-9);
+    }
+
+    #[test]
+    fn triangle_lineage_size_matches_combinatorics() {
+        // Every triple of nodes is a potential triangle in the clique:
+        // C(6, 3) = 20 clauses of width 3.
+        let (_, g) = random_graph(&RandomGraphConfig::uniform(6, 0.5));
+        let tri = g.triangle_lineage();
+        assert_eq!(tri.len(), 20);
+        assert!(tri.clauses().iter().all(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn triangle_probability_agrees_with_enumeration_on_small_graphs() {
+        let (db, g) = random_graph(&RandomGraphConfig::uniform(4, 0.4));
+        let tri = g.triangle_lineage();
+        // 4 nodes: C(4,3) = 4 potential triangles over 6 edges.
+        assert_eq!(tri.len(), 4);
+        let p_exact = tri.exact_probability_enumeration(db.space());
+        let p_dtree = dtree::exact_probability(
+            &tri,
+            db.space(),
+            &dtree::CompileOptions::default(),
+        )
+        .probability;
+        assert!((p_exact - p_dtree).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,28 @@
+//! Workload generators for the ICDE 2010 evaluation.
+//!
+//! Three families of probabilistic databases are used in the paper's
+//! experiments (Section VII):
+//!
+//! * [`tpch`] — a tuple-independent TPC-H-style database generator together
+//!   with the evaluated query suite: the tractable (hierarchical) queries,
+//!   the IQ inequality queries, and the #P-hard Boolean queries.
+//! * [`graphs`] — random graphs: every edge of the n-clique is present
+//!   independently with a configurable probability.
+//! * [`social`] — the two social networks: Zachary's karate club (exact
+//!   34-node, 78-edge graph from the literature) and a dolphin social network
+//!   (62 nodes; generated with the published size and density since the
+//!   original edge list is not reproduced in the paper — see DESIGN.md).
+//!
+//! All generators are deterministic given a seed, so experiments are
+//! reproducible.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod graphs;
+pub mod social;
+pub mod tpch;
+
+pub use graphs::{random_bid_graph, random_graph, RandomGraphConfig};
+pub use social::{dolphins, karate_club, SocialNetwork, SocialNetworkConfig};
+pub use tpch::{QueryClass, TpchConfig, TpchDatabase, TpchQuery};

@@ -1,0 +1,55 @@
+//! Anytime use of the incremental d-tree compiler.
+//!
+//! The paper's introduction notes that, being incremental, the algorithm "is
+//! also useful under a given time budget": you can stop the compilation at
+//! any point and read off sound lower and upper bounds for the probability.
+//! This example runs the d-tree approximation on a #P-hard TPC-H lineage
+//! under increasing step budgets and shows how the bounds tighten — and how
+//! the guaranteed error shrinks — as more decomposition steps are allowed.
+//!
+//! Run with `cargo run --release --example anytime_budget`.
+
+use dtree_approx::dtree::{ApproxCompiler, ApproxOptions, CompileOptions, ErrorBound};
+use dtree_approx::workloads::tpch::{TpchConfig, TpchDatabase, TpchQuery};
+
+fn main() {
+    let db = TpchDatabase::generate(&TpchConfig::new(0.05));
+    let lineage = db.boolean_lineage(&TpchQuery::B9);
+    println!(
+        "hard query B9 at SF 0.05: {} clauses over {} variables",
+        lineage.len(),
+        lineage.num_vars()
+    );
+    println!();
+    println!(
+        "{:>10}  {:>10}  {:>10}  {:>10}  {:>12}  {:>10}",
+        "steps", "lower", "upper", "width", "time (s)", "converged"
+    );
+
+    for budget in [10usize, 100, 1_000, 10_000, 50_000] {
+        let opts = ApproxOptions {
+            error: ErrorBound::Relative(0.01),
+            compile: CompileOptions::with_origins(db.database().origins().clone()),
+            strategy: Default::default(),
+            max_steps: Some(budget),
+            timeout: None,
+        };
+        let r = ApproxCompiler::new(opts).run(&lineage, db.database().space());
+        println!(
+            "{:>10}  {:>10.4}  {:>10.4}  {:>10.4}  {:>12.3}  {:>10}",
+            budget,
+            r.lower,
+            r.upper,
+            r.upper - r.lower,
+            r.elapsed.as_secs_f64(),
+            r.converged
+        );
+    }
+
+    println!();
+    println!("The interval [lower, upper] is sound at every budget (Proposition 5.4);");
+    println!("the algorithm reports convergence once the interval satisfies the");
+    println!("ε-condition of Proposition 5.8. On instances in the hard region a tight");
+    println!("relative guarantee may require a large budget — but a useful estimate");
+    println!("with certified bounds is available after a handful of steps.");
+}

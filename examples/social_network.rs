@@ -1,0 +1,151 @@
+//! The social-network scenario of Section VI-A (Figure 5) and Section VII-B
+//! (Figure 9): motif queries on probabilistic friendship graphs.
+//!
+//! The example first reproduces the six-edge network of Figure 5 and the
+//! triangle query of Section VI-A, then runs the four motif queries of the
+//! evaluation (t, p2, p3, s2) on Zachary's karate club, comparing the d-tree
+//! approximation against the Karp-Luby `aconf` baseline.
+//!
+//! Run with `cargo run --release --example social_network`.
+
+use std::time::Duration;
+
+use dtree_approx::pdb::confidence::{confidence, ConfidenceBudget, ConfidenceMethod};
+use dtree_approx::pdb::motif::ProbGraph;
+use dtree_approx::pdb::{Database, Value};
+use dtree_approx::workloads::{karate_club, SocialNetworkConfig};
+
+fn main() {
+    figure_5_network();
+    figure_5_bid_network();
+    karate_motifs();
+}
+
+/// The network of Figure 5: six possible friendship edges over the nodes
+/// {5, 6, 7, 11, 17} with the probabilities given in the paper.
+fn figure_5_network() {
+    println!("=== Figure 5: a small probabilistic social network ===");
+    let mut db = Database::new();
+    db.add_tuple_independent_table(
+        "E",
+        &["u", "v"],
+        vec![
+            (vec![Value::Int(5), Value::Int(7)], 0.9),
+            (vec![Value::Int(5), Value::Int(11)], 0.8),
+            (vec![Value::Int(6), Value::Int(7)], 0.1),
+            (vec![Value::Int(6), Value::Int(11)], 0.9),
+            (vec![Value::Int(6), Value::Int(17)], 0.5),
+            (vec![Value::Int(7), Value::Int(17)], 0.2),
+        ],
+    );
+    let graph = ProbGraph::from_edge_relation(db.table("E").unwrap());
+
+    // "The probability that there is a triangle (a 3-clique of friends) in
+    // this graph" — Figure 5 (c): the only triangle is 6-7-17.
+    let triangle = graph.triangle_lineage();
+    let p = confidence(
+        &triangle,
+        db.space(),
+        Some(db.origins()),
+        &ConfidenceMethod::DTreeExact,
+        &ConfidenceBudget::default(),
+    );
+    println!("triangle lineage: {} clause(s) over {} variables", triangle.len(), triangle.num_vars());
+    println!("P(triangle)     = {:.4}  (e3 ∧ e5 ∧ e6 = 0.1 · 0.5 · 0.2 = 0.01)", p.estimate);
+
+    // Nodes within two, but not one, degrees of separation from node 17.
+    for node in [5, 11] {
+        let s2 = graph.separation2_lineage(node, 17);
+        let p = confidence(
+            &s2,
+            db.space(),
+            Some(db.origins()),
+            &ConfidenceMethod::DTreeExact,
+            &ConfidenceBudget::default(),
+        );
+        println!("P(separation ≤ 2 between {node} and 17) = {:.4}", p.estimate);
+    }
+    println!();
+}
+
+/// The same network in its block-independent-disjoint representation
+/// (Figure 5 (b)), which also stores the "edge absent" alternative of every
+/// edge, and the query of Figure 5 (d): nodes within two, but not one,
+/// degrees of separation from node 7.
+fn figure_5_bid_network() {
+    println!("=== Figure 5 (b)/(d): BID representation and edge-absence queries ===");
+    let mut db = Database::new();
+    let edges: [((i64, i64), f64); 6] = [
+        ((5, 7), 0.9),
+        ((5, 11), 0.8),
+        ((6, 7), 0.1),
+        ((6, 11), 0.9),
+        ((6, 17), 0.5),
+        ((7, 17), 0.2),
+    ];
+    let blocks = edges
+        .iter()
+        .map(|&((u, v), p)| {
+            vec![
+                (vec![Value::Int(u), Value::Int(v), Value::Int(1)], p),
+                (vec![Value::Int(u), Value::Int(v), Value::Int(0)], 1.0 - p),
+            ]
+        })
+        .collect();
+    db.add_bid_table("E", &["u", "v", "present"], blocks);
+    let graph = ProbGraph::from_bid_edge_relation(db.table("E").unwrap());
+
+    println!("nodes within two, but not one, degrees of separation from node 7:");
+    for (node, lineage) in graph.within2_not1_answers(7) {
+        let r = confidence(
+            &lineage,
+            db.space(),
+            Some(db.origins()),
+            &ConfidenceMethod::DTreeExact,
+            &ConfidenceBudget::default(),
+        );
+        println!(
+            "  node {node:>2}: {} clause(s), confidence = {:.4}",
+            lineage.len(),
+            r.estimate
+        );
+    }
+    println!();
+}
+
+/// The Figure-9 workload on Zachary's karate club.
+fn karate_motifs() {
+    println!("=== Zachary's karate club: motif queries (Figure 9) ===");
+    let net = karate_club(&SocialNetworkConfig::karate_default());
+    println!(
+        "network: {} nodes, {} probabilistic edges",
+        net.num_nodes,
+        net.graph.num_edges()
+    );
+    let budget = ConfidenceBudget { timeout: Some(Duration::from_secs(20)), max_work: None };
+    let (s, t) = net.separation_pair();
+
+    let queries: Vec<(&str, dtree_approx::events::Dnf)> = vec![
+        ("triangle (t)", net.graph.triangle_lineage()),
+        ("path of length 2 (p2)", net.graph.path2_lineage()),
+        ("path of length 3 (p3)", net.graph.path3_lineage()),
+        (
+            "two degrees of separation (s2)",
+            net.graph.separation2_lineage(s, t),
+        ),
+    ];
+
+    for (name, lineage) in queries {
+        println!("-- {name}: {} clauses, {} variables", lineage.len(), lineage.num_vars());
+        for method in [
+            ConfidenceMethod::DTreeRelative(0.01),
+            ConfidenceMethod::KarpLuby { epsilon: 0.01, delta: 1e-4 },
+        ] {
+            let r = confidence(&lineage, net.db.space(), Some(net.db.origins()), &method, &budget);
+            println!(
+                "   {:<18} estimate = {:.6}   time = {:>8.4}s   converged = {}",
+                r.method, r.estimate, r.elapsed.as_secs_f64(), r.converged
+            );
+        }
+    }
+}

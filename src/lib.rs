@@ -1,0 +1,55 @@
+//! # dtree-approx
+//!
+//! A reproduction of *Olteanu, Huang, Koch — "Approximate Confidence
+//! Computation in Probabilistic Databases", ICDE 2010*, as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace crates so downstream users (and
+//! the examples and integration tests at the repository root) can depend on a
+//! single crate:
+//!
+//! * [`events`] — propositional event algebra: random variables, atoms,
+//!   clauses, DNFs, possible-world semantics (Section III of the paper).
+//! * [`dtree`] — the paper's contribution: compilation of DNFs into d-trees,
+//!   probability bounds, and the deterministic ε-approximation algorithm
+//!   (Sections IV and V).
+//! * [`montecarlo`] — the Karp-Luby / Dagum-Karp-Luby-Ross `aconf` baseline
+//!   and a naive possible-world sampler (Section II, Section VII.1).
+//! * [`pdb`] — the probabilistic-database substrate: tuple-independent and
+//!   BID tables, positive relational algebra with lineage, conjunctive
+//!   queries, the hierarchical / IQ classification, the SPROUT exact
+//!   baseline, and graph motif queries (Section VI).
+//! * [`workloads`] — the evaluation's data generators: tuple-independent
+//!   TPC-H, random graphs, and the karate-club / dolphin social networks
+//!   (Section VII).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dtree_approx::events::{Clause, Dnf, ProbabilitySpace};
+//! use dtree_approx::dtree::{ApproxCompiler, ApproxOptions};
+//!
+//! // Φ = (x ∧ y) ∨ (x ∧ z) ∨ v  — Example 5.2 of the paper.
+//! let mut space = ProbabilitySpace::new();
+//! let x = space.add_bool("x", 0.3);
+//! let y = space.add_bool("y", 0.2);
+//! let z = space.add_bool("z", 0.7);
+//! let v = space.add_bool("v", 0.8);
+//! let phi = Dnf::from_clauses(vec![
+//!     Clause::from_bools(&[x, y]),
+//!     Clause::from_bools(&[x, z]),
+//!     Clause::from_bools(&[v]),
+//! ]);
+//!
+//! let result = ApproxCompiler::new(ApproxOptions::absolute(0.001)).run(&phi, &space);
+//! assert!(result.converged);
+//! assert!((result.estimate - 0.8456).abs() <= 0.001);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use dtree;
+pub use events;
+pub use montecarlo;
+pub use pdb;
+pub use workloads;

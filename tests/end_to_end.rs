@@ -1,0 +1,225 @@
+//! End-to-end integration tests: query evaluation on probabilistic databases
+//! → lineage DNFs → confidence computation, across every algorithm in the
+//! workspace (d-tree exact, d-tree ε-approximation, SPROUT, Karp-Luby,
+//! naive Monte Carlo), checked against brute-force possible-world
+//! enumeration on instances small enough to enumerate.
+
+use dtree_approx::dtree::{exact_probability, ApproxCompiler, ApproxOptions, CompileOptions};
+use dtree_approx::montecarlo::{aconf, McOptions};
+use dtree_approx::pdb::confidence::{confidence, ConfidenceBudget, ConfidenceMethod};
+use dtree_approx::pdb::{sprout, ConjunctiveQuery, Database, Term, Value};
+use dtree_approx::workloads::tpch::{TpchConfig, TpchDatabase, TpchQuery};
+use dtree_approx::workloads::{karate_club, random_graph, RandomGraphConfig, SocialNetworkConfig};
+
+/// Builds the Figure-5 social-network database (6 probabilistic edges).
+fn figure5_db() -> Database {
+    let mut db = Database::new();
+    db.add_tuple_independent_table(
+        "E",
+        &["u", "v"],
+        vec![
+            (vec![Value::Int(5), Value::Int(7)], 0.9),
+            (vec![Value::Int(5), Value::Int(11)], 0.8),
+            (vec![Value::Int(6), Value::Int(7)], 0.1),
+            (vec![Value::Int(6), Value::Int(11)], 0.9),
+            (vec![Value::Int(6), Value::Int(17)], 0.5),
+            (vec![Value::Int(7), Value::Int(17)], 0.2),
+        ],
+    );
+    db
+}
+
+/// The triangle query of Section VI-A written as a conjunctive query with a
+/// three-way self-join over the edge table; its single answer's probability
+/// must equal 0.1 · 0.5 · 0.2 (Figure 5 (c)).
+#[test]
+fn triangle_query_on_figure5_matches_paper() {
+    let db = figure5_db();
+    let q = ConjunctiveQuery::new("triangle")
+        .with_subgoal("E", vec![Term::var("A"), Term::var("B")])
+        .with_subgoal("E", vec![Term::var("B"), Term::var("C")])
+        .with_subgoal("E", vec![Term::var("A"), Term::var("C")]);
+    let answers = q.evaluate(&db);
+    assert_eq!(answers.len(), 1, "Boolean query has one answer");
+    let lineage = &answers[0].lineage;
+    let exact = lineage.exact_probability_enumeration(db.space());
+    assert!((exact - 0.1 * 0.5 * 0.2).abs() < 1e-12);
+    let d = exact_probability(lineage, db.space(), &CompileOptions::default());
+    assert!((d.probability - exact).abs() < 1e-12);
+}
+
+/// Every confidence method agrees (within its guarantee) with brute-force
+/// enumeration on a small join lineage.
+#[test]
+fn all_methods_agree_with_enumeration_on_small_join() {
+    let mut db = Database::new();
+    db.add_tuple_independent_table(
+        "R",
+        &["a", "b"],
+        vec![
+            (vec![Value::Int(1), Value::Int(10)], 0.4),
+            (vec![Value::Int(2), Value::Int(10)], 0.6),
+            (vec![Value::Int(3), Value::Int(20)], 0.7),
+        ],
+    );
+    db.add_tuple_independent_table(
+        "S",
+        &["b", "c"],
+        vec![
+            (vec![Value::Int(10), Value::Int(100)], 0.5),
+            (vec![Value::Int(20), Value::Int(100)], 0.3),
+            (vec![Value::Int(20), Value::Int(200)], 0.9),
+        ],
+    );
+    // The prototypical hard pattern R(A, B), S(B, C).
+    let q = ConjunctiveQuery::new("hard-pattern")
+        .with_subgoal("R", vec![Term::var("A"), Term::var("B")])
+        .with_subgoal("S", vec![Term::var("B"), Term::var("C")]);
+    let lineage = &q.evaluate(&db)[0].lineage;
+    let exact = lineage.exact_probability_enumeration(db.space());
+
+    let budget = ConfidenceBudget::default();
+    let methods = [
+        (ConfidenceMethod::DTreeExact, 1e-9),
+        (ConfidenceMethod::DTreeAbsolute(0.01), 0.01),
+        (ConfidenceMethod::DTreeRelative(0.01), 0.01 * exact),
+        (ConfidenceMethod::KarpLuby { epsilon: 0.02, delta: 1e-4 }, 0.05),
+        (ConfidenceMethod::NaiveMonteCarlo { epsilon: 0.02 }, 0.06),
+    ];
+    for (method, tolerance) in methods {
+        let r = confidence(lineage, db.space(), Some(db.origins()), &method, &budget);
+        assert!(
+            (r.estimate - exact).abs() <= tolerance + 1e-9,
+            "{}: estimate {} vs exact {exact}",
+            r.method,
+            r.estimate
+        );
+    }
+}
+
+/// SPROUT, the d-tree on lineage, and enumeration agree on every answer of a
+/// non-Boolean hierarchical query.
+#[test]
+fn sprout_matches_dtree_per_answer() {
+    let mut db = Database::new();
+    db.add_tuple_independent_table(
+        "orders",
+        &["ok", "ck"],
+        vec![
+            (vec![Value::Int(1), Value::Int(100)], 0.5),
+            (vec![Value::Int(2), Value::Int(100)], 0.8),
+            (vec![Value::Int(3), Value::Int(200)], 0.4),
+        ],
+    );
+    db.add_tuple_independent_table(
+        "lineitem",
+        &["ok", "qty"],
+        vec![
+            (vec![Value::Int(1), Value::Int(7)], 0.3),
+            (vec![Value::Int(1), Value::Int(9)], 0.6),
+            (vec![Value::Int(2), Value::Int(7)], 0.2),
+            (vec![Value::Int(3), Value::Int(5)], 0.9),
+        ],
+    );
+    // q(C) :- orders(O, C), lineitem(O, Q) — hierarchical, grouped by customer.
+    let q = ConjunctiveQuery::new("per-customer")
+        .with_head(&["C"])
+        .with_subgoal("orders", vec![Term::var("O"), Term::var("C")])
+        .with_subgoal("lineitem", vec![Term::var("O"), Term::var("Q")]);
+    assert!(q.is_hierarchical());
+
+    let sprout_answers = sprout::answer_confidences(&q, &db).expect("hierarchical");
+    let dtree_answers = q.evaluate(&db);
+    assert_eq!(sprout_answers.len(), dtree_answers.len());
+    for answer in &dtree_answers {
+        let enumerated = answer.lineage.exact_probability_enumeration(db.space());
+        let d = exact_probability(&answer.lineage, db.space(), &CompileOptions::default());
+        let (_, sprout_p) = sprout_answers
+            .iter()
+            .find(|(head, _)| head == &answer.head)
+            .expect("same answer set");
+        assert!((d.probability - enumerated).abs() < 1e-9);
+        assert!((sprout_p - enumerated).abs() < 1e-9, "answer {:?}", answer.head);
+    }
+}
+
+/// The whole TPC-H pipeline at a micro scale: every query of the suite is
+/// evaluated, and the d-tree relative approximation lies within its bound of
+/// the d-tree exact value.
+#[test]
+fn tpch_pipeline_relative_error_holds_for_all_queries() {
+    let db = TpchDatabase::generate(&TpchConfig::new(0.01));
+    let budget = ConfidenceBudget::default();
+    for query in TpchQuery::all() {
+        for answer in db.answers(&query) {
+            let exact = confidence(
+                &answer.lineage,
+                db.database().space(),
+                Some(db.database().origins()),
+                &ConfidenceMethod::DTreeExact,
+                &budget,
+            )
+            .estimate;
+            let approx = confidence(
+                &answer.lineage,
+                db.database().space(),
+                Some(db.database().origins()),
+                &ConfidenceMethod::DTreeRelative(0.05),
+                &budget,
+            );
+            assert!(approx.converged, "{} did not converge", query.name());
+            assert!(
+                (approx.estimate - exact).abs() <= 0.05 * exact + 1e-9,
+                "{}: approx {} vs exact {}",
+                query.name(),
+                approx.estimate,
+                exact
+            );
+        }
+    }
+}
+
+/// Graph workloads end to end: the triangle probability on a small random
+/// graph and on the karate club is consistent between the d-tree and the
+/// Karp-Luby estimator.
+#[test]
+fn graph_workloads_consistent_between_dtree_and_karp_luby() {
+    let (db, graph) = random_graph(&RandomGraphConfig::uniform(7, 0.4));
+    let lineage = graph.triangle_lineage();
+    let exact = exact_probability(&lineage, db.space(), &CompileOptions::default()).probability;
+    let mc = aconf(&lineage, db.space(), &McOptions::new(0.02).with_seed(7));
+    assert!(mc.converged);
+    assert!((mc.estimate - exact).abs() <= 0.05 * exact + 0.01);
+
+    let net = karate_club(&SocialNetworkConfig::karate_default());
+    let tri = net.graph.triangle_lineage();
+    let approx = ApproxCompiler::new(ApproxOptions::relative(0.01)).run(&tri, net.db.space());
+    assert!(approx.converged);
+    let mc = aconf(&tri, net.db.space(), &McOptions::new(0.05).with_seed(11));
+    assert!(mc.converged);
+    assert!(
+        (approx.estimate - mc.estimate).abs() <= 0.1 * approx.estimate + 0.02,
+        "d-tree {} vs aconf {}",
+        approx.estimate,
+        mc.estimate
+    );
+}
+
+/// Lineage produced through the generic relational-algebra operators matches
+/// the conjunctive-query evaluator.
+#[test]
+fn algebra_and_conjunctive_query_produce_equivalent_lineage() {
+    use dtree_approx::pdb::algebra;
+    let db = figure5_db();
+    let e = db.table("E").unwrap();
+    // Path of length 2 via algebra: E(a, b) ⋈ E(b, c) projected to ().
+    let joined = algebra::join(e, e, &[(1, 0)], "p2");
+    let q = ConjunctiveQuery::new("p2")
+        .with_subgoal("E", vec![Term::var("A"), Term::var("B")])
+        .with_subgoal("E", vec![Term::var("B"), Term::var("C")]);
+    let answers = q.evaluate(&db);
+    assert_eq!(answers.len(), 1);
+    let via_query = answers[0].lineage.exact_probability_enumeration(db.space());
+    let via_algebra = joined.boolean_lineage().exact_probability_enumeration(db.space());
+    assert!((via_query - via_algebra).abs() < 1e-12);
+}

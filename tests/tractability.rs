@@ -1,0 +1,213 @@
+//! Integration tests for the tractability results of Section VI: the d-tree
+//! compilation of lineage produced by hierarchical queries, by the
+//! functional-S hard pattern of Theorem 6.4, and by IQ queries must stay
+//! polynomial — measured here as node counts growing roughly linearly /
+//! quadratically with the input, never exponentially.
+
+use dtree_approx::dtree::{exact_probability, CompileOptions};
+use dtree_approx::events::Dnf;
+use dtree_approx::pdb::{ConjunctiveQuery, Database, IneqOp, Term, Value};
+use dtree_approx::workloads::tpch::{TpchConfig, TpchDatabase, TpchQuery};
+
+/// Builds a two-table database realising the hierarchical query
+/// q() :- R(X), S(X, Y) with `n` R-tuples and `m` S-tuples per R-tuple.
+fn hierarchical_db(n: i64, m: i64) -> (Database, ConjunctiveQuery) {
+    let mut db = Database::new();
+    let r_rows = (0..n).map(|i| (vec![Value::Int(i)], 0.4)).collect();
+    db.add_tuple_independent_table("R", &["x"], r_rows);
+    let mut s_rows = Vec::new();
+    for i in 0..n {
+        for j in 0..m {
+            s_rows.push((vec![Value::Int(i), Value::Int(j)], 0.6));
+        }
+    }
+    db.add_tuple_independent_table("S", &["x", "y"], s_rows);
+    let q = ConjunctiveQuery::new("hier")
+        .with_subgoal("R", vec![Term::var("X")])
+        .with_subgoal("S", vec![Term::var("X"), Term::var("Y")]);
+    (db, q)
+}
+
+/// For hierarchical lineage the d-tree (with origin metadata) must be linear
+/// in the number of clauses: doubling the data roughly doubles the node
+/// count, and the count stays far below the exponential worst case.
+#[test]
+fn hierarchical_lineage_compiles_to_linear_dtrees() {
+    let mut counts = Vec::new();
+    for &n in &[5i64, 10, 20, 40] {
+        let (db, q) = hierarchical_db(n, 3);
+        assert!(q.is_hierarchical());
+        let lineage = &q.evaluate(&db)[0].lineage;
+        let result = exact_probability(
+            lineage,
+            db.space(),
+            &CompileOptions::with_origins(db.origins().clone()),
+        );
+        counts.push((lineage.len(), result.stats.inner_nodes()));
+    }
+    for window in counts.windows(2) {
+        let (clauses_a, nodes_a) = window[0];
+        let (clauses_b, nodes_b) = window[1];
+        assert!(clauses_b > clauses_a);
+        // Polynomial (in fact near-linear) growth: allow a generous factor of
+        // 4 per doubling, which an exponential tree would blow through.
+        assert!(
+            nodes_b <= nodes_a * 4 + 8,
+            "node growth {nodes_a} -> {nodes_b} is super-linear"
+        );
+    }
+    // Absolute sanity: the largest instance stays tiny.
+    let (clauses, nodes) = *counts.last().unwrap();
+    assert!(nodes <= 6 * clauses + 10, "{nodes} nodes for {clauses} clauses");
+}
+
+/// Theorem 6.4: the hard pattern R(X), S(X, Y), T(Y) becomes tractable when
+/// the bipartite graph of S is functional (here: S maps each X to exactly one
+/// Y). The d-tree must stay linear.
+#[test]
+fn functional_s_hard_pattern_is_tractable() {
+    let mut counts = Vec::new();
+    for &n in &[8i64, 16, 32] {
+        let mut db = Database::new();
+        db.add_tuple_independent_table(
+            "R",
+            &["x"],
+            (0..n).map(|i| (vec![Value::Int(i)], 0.3)).collect(),
+        );
+        // Functional S: each x maps to exactly one y = x mod 4.
+        db.add_tuple_independent_table(
+            "S",
+            &["x", "y"],
+            (0..n).map(|i| (vec![Value::Int(i), Value::Int(i % 4)], 0.5)).collect(),
+        );
+        db.add_tuple_independent_table(
+            "T",
+            &["y"],
+            (0..4).map(|j| (vec![Value::Int(j)], 0.7)).collect(),
+        );
+        let q = ConjunctiveQuery::new("rst")
+            .with_subgoal("R", vec![Term::var("X")])
+            .with_subgoal("S", vec![Term::var("X"), Term::var("Y")])
+            .with_subgoal("T", vec![Term::var("Y")]);
+        assert!(!q.is_hierarchical(), "R-S-T is the canonical non-hierarchical pattern");
+        let lineage = &q.evaluate(&db)[0].lineage;
+        let enumerated = if lineage.num_vars() <= 20 {
+            Some(lineage.exact_probability_enumeration(db.space()))
+        } else {
+            None
+        };
+        let result = exact_probability(
+            lineage,
+            db.space(),
+            &CompileOptions::with_origins(db.origins().clone()),
+        );
+        if let Some(p) = enumerated {
+            assert!((result.probability - p).abs() < 1e-9);
+        }
+        counts.push((lineage.len(), result.stats.inner_nodes()));
+    }
+    for window in counts.windows(2) {
+        let (_, nodes_a) = window[0];
+        let (_, nodes_b) = window[1];
+        assert!(nodes_b <= nodes_a * 4 + 16, "super-polynomial growth {nodes_a} -> {nodes_b}");
+    }
+}
+
+/// IQ lineage (inequality join, Lemma 6.8): the d-tree with the IQ
+/// elimination order must stay polynomial — the paper proves at most one
+/// ⊕-node per literal (Theorem 6.9).
+#[test]
+fn iq_lineage_stays_polynomial() {
+    let mut counts = Vec::new();
+    for &n in &[6i64, 12, 24] {
+        let mut db = Database::new();
+        db.add_tuple_independent_table(
+            "R",
+            &["a"],
+            (0..n).map(|i| (vec![Value::Int(i)], 0.3)).collect(),
+        );
+        db.add_tuple_independent_table(
+            "S",
+            &["b"],
+            (0..n).map(|j| (vec![Value::Int(j)], 0.6)).collect(),
+        );
+        // q() :- R(A), S(B), A < B — the prototypical IQ query.
+        let q = ConjunctiveQuery::new("iq")
+            .with_subgoal("R", vec![Term::var("A")])
+            .with_subgoal("S", vec![Term::var("B")])
+            .with_var_predicate("A", IneqOp::Lt, "B");
+        assert!(q.is_iq());
+        let lineage = &q.evaluate(&db)[0].lineage;
+        let result = exact_probability(
+            lineage,
+            db.space(),
+            &CompileOptions::with_origins(db.origins().clone()),
+        );
+        if lineage.num_vars() <= 20 {
+            let p = lineage.exact_probability_enumeration(db.space());
+            assert!((result.probability - p).abs() < 1e-9);
+        }
+        counts.push((lineage.num_vars(), result.stats.inner_nodes()));
+    }
+    // Node count must grow polynomially with the number of literals — allow a
+    // quadratic envelope, which still rejects exponential growth.
+    for &(vars, nodes) in &counts {
+        assert!(nodes <= vars * vars + 4 * vars + 8, "{nodes} nodes for {vars} variables");
+    }
+}
+
+/// The TPC-H tractable queries (the Figure-6 set) all produce lineage whose
+/// exact d-tree evaluation stays small — the end-to-end version of
+/// Section VI-B.
+#[test]
+fn tpch_tractable_queries_have_small_dtrees() {
+    let db = TpchDatabase::generate(&TpchConfig::new(0.02));
+    for query in TpchQuery::tractable() {
+        for answer in db.answers(&query) {
+            let result = exact_probability(
+                &answer.lineage,
+                db.database().space(),
+                &CompileOptions::with_origins(db.database().origins().clone()),
+            );
+            let clauses = answer.lineage.len().max(1);
+            assert!(
+                result.stats.inner_nodes() <= 8 * clauses + 16,
+                "query {}: {} nodes for {} clauses",
+                query.name(),
+                result.stats.inner_nodes(),
+                clauses
+            );
+        }
+    }
+}
+
+/// Read-once (1OF) formulas compile into d-trees with only ⊗ / ⊙ inner nodes
+/// (Proposition 6.3): no Shannon expansion is required.
+#[test]
+fn read_once_lineage_needs_no_shannon_expansion() {
+    let mut db = Database::new();
+    db.add_tuple_independent_table(
+        "R",
+        &["x"],
+        (0..6).map(|i| (vec![Value::Int(i)], 0.2 + 0.1 * (i % 5) as f64)).collect(),
+    );
+    db.add_tuple_independent_table(
+        "S",
+        &["x", "y"],
+        (0..6)
+            .flat_map(|i| (0..2).map(move |j| (vec![Value::Int(i), Value::Int(j)], 0.5)))
+            .collect(),
+    );
+    let q = ConjunctiveQuery::new("hier")
+        .with_subgoal("R", vec![Term::var("X")])
+        .with_subgoal("S", vec![Term::var("X"), Term::var("Y")]);
+    let lineage: Dnf = q.evaluate(&db)[0].lineage.clone();
+    let result = exact_probability(
+        &lineage,
+        db.space(),
+        &CompileOptions::with_origins(db.origins().clone()),
+    );
+    assert_eq!(result.stats.xor_nodes, 0, "hierarchical lineage must avoid Shannon expansion");
+    let enumerated = lineage.exact_probability_enumeration(db.space());
+    assert!((result.probability - enumerated).abs() < 1e-9);
+}
