@@ -32,10 +32,7 @@ fn bench_var_order(c: &mut Criterion) {
                     max_depth: None,
                 },
             ),
-            (
-                "iq_then_frequent",
-                CompileOptions::with_origins(db.database().origins().clone()),
-            ),
+            ("iq_then_frequent", CompileOptions::with_origins(db.database().origins().clone())),
         ];
         for (name, opts) in configs {
             group.bench_with_input(BenchmarkId::new(name, q.name()), &answers, |b, answers| {

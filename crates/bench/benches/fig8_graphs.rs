@@ -29,14 +29,8 @@ fn bench_random_graphs(c: &mut Criterion) {
                         &lineage,
                         |b, lineage| {
                             b.iter(|| {
-                                confidence(
-                                    lineage,
-                                    db.space(),
-                                    Some(db.origins()),
-                                    method,
-                                    &budget,
-                                )
-                                .estimate
+                                confidence(lineage, db.space(), Some(db.origins()), method, &budget)
+                                    .estimate
                             })
                         },
                     );

@@ -27,7 +27,9 @@ fn main() {
             lineage.len(),
             lineage.num_vars()
         );
-        for error in [ErrorBound::Relative(0.05), ErrorBound::Relative(0.01), ErrorBound::Absolute(0.01)] {
+        for error in
+            [ErrorBound::Relative(0.05), ErrorBound::Relative(0.01), ErrorBound::Absolute(0.01)]
+        {
             for max_steps in [10usize, 100, 1_000, 10_000, 100_000] {
                 let approx_opts = ApproxOptions {
                     error,

@@ -17,11 +17,8 @@ use workloads::tpch::TpchQuery;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = HarnessOptions::from_args(&args);
-    let which: Vec<&str> = args
-        .iter()
-        .filter(|a| ["a", "b", "c"].contains(&a.as_str()))
-        .map(|a| a.as_str())
-        .collect();
+    let which: Vec<&str> =
+        args.iter().filter(|a| ["a", "b", "c"].contains(&a.as_str())).map(|a| a.as_str()).collect();
     let which = if which.is_empty() { vec!["a", "b", "c"] } else { which };
     let budget = opts.budget();
 

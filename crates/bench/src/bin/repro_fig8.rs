@@ -16,8 +16,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = HarnessOptions::from_args(&args);
     let budget = opts.budget();
-    let run_relative = args.iter().any(|a| a == "relative") || !args.iter().any(|a| a == "absolute");
-    let run_absolute = args.iter().any(|a| a == "absolute") || !args.iter().any(|a| a == "relative");
+    let run_relative =
+        args.iter().any(|a| a == "relative") || !args.iter().any(|a| a == "absolute");
+    let run_absolute =
+        args.iter().any(|a| a == "absolute") || !args.iter().any(|a| a == "relative");
 
     // Graph sizes: the paper sweeps 6..=40; the default here uses a coarser
     // grid so the run finishes quickly, and --paper uses the full range.

@@ -82,7 +82,8 @@ pub fn format_table(title: &str, rows: &[ExperimentRow]) -> String {
             row.iter().zip(&widths).map(|(cell, w)| format!("{cell:<w$}")).collect();
         let _ = writeln!(out, "{}", line.join("  "));
         if i == 0 {
-            let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+            let _ =
+                writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
         }
     }
     out

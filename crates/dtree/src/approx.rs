@@ -58,9 +58,7 @@ impl ErrorBound {
     pub fn satisfied_by(&self, bounds: Bounds) -> bool {
         match self {
             ErrorBound::Absolute(e) => bounds.upper - bounds.lower <= 2.0 * e + 1e-15,
-            ErrorBound::Relative(e) => {
-                (1.0 - e) * bounds.upper <= (1.0 + e) * bounds.lower + 1e-15
-            }
+            ErrorBound::Relative(e) => (1.0 - e) * bounds.upper <= (1.0 + e) * bounds.lower + 1e-15,
         }
     }
 
@@ -426,8 +424,7 @@ impl<'a> Dfs<'a> {
     }
 
     fn explore_node(&mut self, op: Op, children: Vec<Work>, depth: usize) -> Outcome {
-        let pending: Vec<Bounds> =
-            children.iter().skip(1).map(|c| self.quick_bounds(c)).collect();
+        let pending: Vec<Bounds> = children.iter().skip(1).map(|c| self.quick_bounds(c)).collect();
         self.frames.push(Frame { op, done: Vec::new(), pending });
         let n = children.len();
         for (i, child) in children.into_iter().enumerate() {
@@ -550,10 +547,8 @@ impl<'a> Dfs<'a> {
         if !common.is_empty() {
             self.stats.and_nodes += 1;
             let rest = dnf.strip_atoms(&common);
-            let mut children: Vec<Work> = common
-                .iter()
-                .map(|a| Work::Dnf(Dnf::singleton(Clause::singleton(*a))))
-                .collect();
+            let mut children: Vec<Work> =
+                common.iter().map(|a| Work::Dnf(Dnf::singleton(Clause::singleton(*a)))).collect();
             children.push(Work::Dnf(rest));
             return Work::Node(Op::And, children);
         }
@@ -570,8 +565,9 @@ impl<'a> Dfs<'a> {
         }
 
         // Step 4: Shannon expansion (⊕).
-        let var = choose_variable(&dnf, &self.opts.compile.var_order, self.opts.compile.origins.as_ref())
-            .expect("non-constant DNF mentions a variable");
+        let var =
+            choose_variable(&dnf, &self.opts.compile.var_order, self.opts.compile.origins.as_ref())
+                .expect("non-constant DNF mentions a variable");
         self.stats.xor_nodes += 1;
         let mut branches = Vec::new();
         for (value, cofactor) in dnf.shannon_cofactors(var, self.space) {
@@ -723,20 +719,16 @@ mod tests {
                 (RefinementStrategy::DepthFirstClosing, 0.1),
                 (RefinementStrategy::PriorityRefinement, 0.05),
             ] {
-                let r = ApproxCompiler::new(
-                    ApproxOptions::absolute(eps).with_strategy(strategy),
-                )
-                .run(&phi, &s);
+                let r = ApproxCompiler::new(ApproxOptions::absolute(eps).with_strategy(strategy))
+                    .run(&phi, &s);
                 assert!(r.converged, "trial {trial}");
                 assert!(
                     (r.estimate - exact).abs() <= eps + 1e-9,
                     "trial {trial} strategy {strategy:?} eps {eps}: est {} exact {exact}",
                     r.estimate
                 );
-                let rel = ApproxCompiler::new(
-                    ApproxOptions::relative(eps).with_strategy(strategy),
-                )
-                .run(&phi, &s);
+                let rel = ApproxCompiler::new(ApproxOptions::relative(eps).with_strategy(strategy))
+                    .run(&phi, &s);
                 assert!(rel.converged, "trial {trial}");
                 assert!(
                     (rel.estimate - exact).abs() <= eps * exact + 1e-9,
@@ -862,11 +854,7 @@ mod tests {
         let dfs = Dfs {
             space: &s,
             opts: &opts,
-            frames: vec![Frame {
-                op: Op::And,
-                done: vec![],
-                pending: vec![Bounds::new(0.3, 0.6)],
-            }],
+            frames: vec![Frame { op: Op::And, done: vec![], pending: vec![Bounds::new(0.3, 0.6)] }],
             stats: CompileStats::default(),
             steps: 0,
             start: Instant::now(),
@@ -892,8 +880,7 @@ mod tests {
             Clause::from_bools(&[r2, s1]),
             Clause::from_bools(&[r2, s2]),
         ]);
-        let opts = ApproxOptions::absolute(0.0)
-            .with_compile(CompileOptions::with_origins(origins));
+        let opts = ApproxOptions::absolute(0.0).with_compile(CompileOptions::with_origins(origins));
         let r = ApproxCompiler::new(opts).run(&phi, &s);
         assert!(r.converged);
         let exact = phi.exact_probability_enumeration(&s);

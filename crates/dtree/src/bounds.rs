@@ -123,11 +123,8 @@ pub fn dnf_bounds(dnf: &Dnf, space: &ProbabilitySpace) -> Bounds {
     if dnf.is_tautology() {
         return Bounds::point(1.0);
     }
-    let order: Vec<usize> = dnf
-        .clauses_by_probability_desc(space)
-        .into_iter()
-        .map(|(i, _)| i)
-        .collect();
+    let order: Vec<usize> =
+        dnf.clauses_by_probability_desc(space).into_iter().map(|(i, _)| i).collect();
     let mut bounds = bucket_bounds(dnf, space, &order);
     if let Some(fkg_upper) = independent_or_upper_bound(dnf, space) {
         bounds = Bounds::new(bounds.lower.min(fkg_upper), bounds.upper.min(fkg_upper));

@@ -117,10 +117,7 @@ fn compile_rec(
     if components.len() > 1 {
         stats.or_nodes += 1;
         return DTree::IndepOr(
-            components
-                .iter()
-                .map(|c| compile_rec(c, space, opts, stats, depth + 1))
-                .collect(),
+            components.iter().map(|c| compile_rec(c, space, opts, stats, depth + 1)).collect(),
         );
     }
 
@@ -131,10 +128,8 @@ fn compile_rec(
         let rest = dnf.strip_atoms(&common);
         stats.and_nodes += 1;
         stats.exact_leaves += common.len();
-        let mut children: Vec<DTree> = common
-            .iter()
-            .map(|a| DTree::Leaf(Dnf::singleton(Clause::singleton(*a))))
-            .collect();
+        let mut children: Vec<DTree> =
+            common.iter().map(|a| DTree::Leaf(Dnf::singleton(Clause::singleton(*a)))).collect();
         children.push(compile_rec(&rest, space, opts, stats, depth + 1));
         return DTree::IndepAnd(children);
     }
@@ -187,10 +182,7 @@ mod tests {
         assert!(tree.is_complete(), "tree not complete: {tree}");
         let p_tree = tree.exact_probability(space).expect("complete tree evaluates");
         let p_exact = dnf.exact_probability_enumeration(space);
-        assert!(
-            (p_tree - p_exact).abs() < 1e-9,
-            "tree {p_tree} != exact {p_exact} for {dnf}"
-        );
+        assert!((p_tree - p_exact).abs() < 1e-9, "tree {p_tree} != exact {p_exact} for {dnf}");
         // Bounds of a complete tree must also bracket (and essentially pin)
         // the exact probability.
         let b = tree.bounds(space);

@@ -150,7 +150,10 @@ mod tests {
     #[test]
     fn constants() {
         let (s, _) = bool_space(&[0.5]);
-        assert_eq!(exact_probability(&Dnf::empty(), &s, &CompileOptions::default()).probability, 0.0);
+        assert_eq!(
+            exact_probability(&Dnf::empty(), &s, &CompileOptions::default()).probability,
+            0.0
+        );
         assert_eq!(
             exact_probability(&Dnf::tautology(), &s, &CompileOptions::default()).probability,
             1.0

@@ -185,15 +185,11 @@ impl DTree {
     pub fn bounds_with(&self, leaf_bounds: &dyn Fn(&Dnf) -> Bounds) -> Bounds {
         match self {
             DTree::Leaf(dnf) => leaf_bounds(dnf),
-            DTree::IndepOr(cs) => {
-                Bounds::combine_or(cs.iter().map(|c| c.bounds_with(leaf_bounds)))
-            }
+            DTree::IndepOr(cs) => Bounds::combine_or(cs.iter().map(|c| c.bounds_with(leaf_bounds))),
             DTree::IndepAnd(cs) => {
                 Bounds::combine_and(cs.iter().map(|c| c.bounds_with(leaf_bounds)))
             }
-            DTree::ExclOr(cs) => {
-                Bounds::combine_xor(cs.iter().map(|c| c.bounds_with(leaf_bounds)))
-            }
+            DTree::ExclOr(cs) => Bounds::combine_xor(cs.iter().map(|c| c.bounds_with(leaf_bounds))),
         }
     }
 

@@ -31,20 +31,16 @@ pub enum VarOrder {
 /// strategy, using origin labels when provided.
 ///
 /// Returns `None` only when the DNF mentions no variable at all.
-pub fn choose_variable(
-    dnf: &Dnf,
-    order: &VarOrder,
-    origins: Option<&VarOrigins>,
-) -> Option<VarId> {
+pub fn choose_variable(dnf: &Dnf, order: &VarOrder, origins: Option<&VarOrigins>) -> Option<VarId> {
     match order {
         VarOrder::MostFrequent => dnf.most_frequent_var(),
         VarOrder::Fixed(vars) => {
             let present = dnf.vars();
             vars.iter().copied().find(|v| present.contains(v)).or_else(|| dnf.most_frequent_var())
         }
-        VarOrder::IqThenFrequent => origins
-            .and_then(|o| choose_iq_variable(dnf, o))
-            .or_else(|| dnf.most_frequent_var()),
+        VarOrder::IqThenFrequent => {
+            origins.and_then(|o| choose_iq_variable(dnf, o)).or_else(|| dnf.most_frequent_var())
+        }
     }
 }
 
@@ -136,10 +132,7 @@ mod tests {
         // vars[0] is absent, vars[2] present.
         assert_eq!(choose_variable(&dnf, &order, None), Some(vars[2]));
         // Empty fixed list falls back to most frequent.
-        assert_eq!(
-            choose_variable(&dnf, &VarOrder::Fixed(vec![]), None),
-            dnf.most_frequent_var()
-        );
+        assert_eq!(choose_variable(&dnf, &VarOrder::Fixed(vec![]), None), dnf.most_frequent_var());
     }
 
     /// Lineage of q():-R(X), S(Y), X < Y on R = {x1, x2}, S = {y1, y2} with
@@ -160,10 +153,7 @@ mod tests {
             Clause::from_bools(&[x2, y2]),
         ]);
         assert_eq!(choose_iq_variable(&dnf, &origins), Some(x1));
-        assert_eq!(
-            choose_variable(&dnf, &VarOrder::IqThenFrequent, Some(&origins)),
-            Some(x1)
-        );
+        assert_eq!(choose_variable(&dnf, &VarOrder::IqThenFrequent, Some(&origins)), Some(x1));
     }
 
     /// Lineage of the hard pattern R(X),S(X,Y),T(Y) on a complete bipartite

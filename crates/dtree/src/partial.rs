@@ -180,10 +180,7 @@ impl PartialDTree {
             let mut children: Vec<PartialNodeId> = common
                 .iter()
                 .map(|a| {
-                    self.push_exact_leaf(
-                        Dnf::singleton(Clause::singleton(*a)),
-                        space.atom_prob(*a),
-                    )
+                    self.push_exact_leaf(Dnf::singleton(Clause::singleton(*a)), space.atom_prob(*a))
                 })
                 .collect();
             children.push(self.push_leaf(rest, space));
@@ -252,9 +249,7 @@ mod tests {
     }
 
     fn chain_dnf(vars: &[VarId]) -> Dnf {
-        Dnf::from_clauses(
-            (0..vars.len() - 1).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])),
-        )
+        Dnf::from_clauses((0..vars.len() - 1).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])))
     }
 
     #[test]

@@ -157,14 +157,14 @@ impl Dnf {
             if !keep[i] {
                 continue;
             }
-            for j in 0..self.clauses.len() {
+            for (j, clause) in self.clauses.iter().enumerate() {
                 if i == j || !keep[j] {
                     continue;
                 }
                 // clauses[i] subsumes clauses[j] (i is a subset of j): drop j.
                 // Ties (equal clauses) cannot occur because construction
                 // deduplicates.
-                if self.clauses[i].subsumes(&self.clauses[j]) {
+                if self.clauses[i].subsumes(clause) {
                     keep[j] = false;
                 }
             }
@@ -255,9 +255,7 @@ impl Dnf {
     /// Evaluates the DNF under a complete valuation given as a function from
     /// variables to values.
     pub fn eval(&self, valuation: &dyn Fn(VarId) -> u32) -> bool {
-        self.clauses
-            .iter()
-            .any(|c| c.atoms().iter().all(|a| valuation(a.var) == a.value))
+        self.clauses.iter().any(|c| c.atoms().iter().all(|a| valuation(a.var) == a.value))
     }
 
     /// Exact probability by brute-force enumeration of the possible worlds
@@ -308,9 +306,7 @@ impl Dnf {
     /// [`Dnf::common_atoms`]).
     pub fn strip_atoms(&self, atoms: &[Atom]) -> Dnf {
         let vars: BTreeSet<VarId> = atoms.iter().map(|a| a.var).collect();
-        Dnf::from_clauses(
-            self.clauses.iter().map(|c| c.project_out(&|v: VarId| vars.contains(&v))),
-        )
+        Dnf::from_clauses(self.clauses.iter().map(|c| c.project_out(&|v: VarId| vars.contains(&v))))
     }
 
     /// Builds the union-find structure over the DNF's variables where
@@ -450,7 +446,10 @@ mod tests {
         let (x, y, z) = (vars[0], vars[1], vars[2]);
         let phi = Dnf::from_clauses(vec![Clause::from_bools(&[x, y]), Clause::from_bools(&[z])]);
         let cof = phi.cofactor(x, TRUE_VALUE);
-        assert_eq!(cof, Dnf::from_clauses(vec![Clause::from_bools(&[y]), Clause::from_bools(&[z])]));
+        assert_eq!(
+            cof,
+            Dnf::from_clauses(vec![Clause::from_bools(&[y]), Clause::from_bools(&[z])])
+        );
     }
 
     #[test]
@@ -509,7 +508,10 @@ mod tests {
         let common = phi.common_atoms();
         assert_eq!(common, vec![Atom::pos(a), Atom::pos(b)]);
         let rest = phi.strip_atoms(&common);
-        assert_eq!(rest, Dnf::from_clauses(vec![Clause::from_bools(&[c]), Clause::from_bools(&[d])]));
+        assert_eq!(
+            rest,
+            Dnf::from_clauses(vec![Clause::from_bools(&[c]), Clause::from_bools(&[d])])
+        );
         // P(Φ) = P(a)·P(b)·P(c ∨ d)
         let expected = 0.3 * 0.5 * (1.0 - (1.0 - 0.6) * (1.0 - 0.9));
         assert!((phi.exact_probability_enumeration(&s) - expected).abs() < 1e-12);

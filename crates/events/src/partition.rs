@@ -167,11 +167,7 @@ impl VarOrigins {
 
     /// The set of distinct origin groups mentioned by the given clause set.
     pub fn groups_of(&self, clauses: &[Clause]) -> BTreeSet<u32> {
-        clauses
-            .iter()
-            .flat_map(|c| c.vars())
-            .filter_map(|v| self.get(v))
-            .collect()
+        clauses.iter().flat_map(|c| c.vars()).filter_map(|v| self.get(v)).collect()
     }
 }
 
@@ -190,10 +186,7 @@ impl VarOrigins {
 ///
 /// Returns `None` when no factorization into ≥ 2 factors exists (or cannot be
 /// verified) — the caller then falls back to Shannon expansion.
-pub fn product_factorization(
-    clauses: &[Clause],
-    origins: &VarOrigins,
-) -> Option<Vec<Vec<Clause>>> {
+pub fn product_factorization(clauses: &[Clause], origins: &VarOrigins) -> Option<Vec<Vec<Clause>>> {
     if clauses.len() < 2 {
         return None;
     }
@@ -215,9 +208,8 @@ pub fn product_factorization(
     }
 
     // Projection of a clause onto an origin group.
-    let project = |c: &Clause, g: u32| -> Clause {
-        c.project_onto(&|v: VarId| origins.get(v) == Some(g))
-    };
+    let project =
+        |c: &Clause, g: u32| -> Clause { c.project_onto(&|v: VarId| origins.get(v) == Some(g)) };
 
     // Pairwise merging: groups g and h must stay in the same factor if the
     // projection of the clause set onto {g, h} is not the product of the
@@ -410,13 +402,15 @@ mod tests {
         assert_eq!(sizes, vec![2, 2]);
         // Semantics check: P(product) = P(factor1) * P(factor2).
         let mut space = ProbabilitySpace::new();
-        let pr: Vec<_> = (0..4).map(|i| space.add_bool(format!("v{i}"), 0.1 * (i as f64 + 1.0))).collect();
+        let pr: Vec<_> =
+            (0..4).map(|i| space.add_bool(format!("v{i}"), 0.1 * (i as f64 + 1.0))).collect();
         assert_eq!(pr[0], r1);
         let whole = Dnf::from_clauses(clauses.clone());
         let f1 = Dnf::from_clauses(factors[0].clone());
         let f2 = Dnf::from_clauses(factors[1].clone());
         let p_whole = whole.exact_probability_enumeration(&space);
-        let p_product = f1.exact_probability_enumeration(&space) * f2.exact_probability_enumeration(&space);
+        let p_product =
+            f1.exact_probability_enumeration(&space) * f2.exact_probability_enumeration(&space);
         assert!((p_whole - p_product).abs() < 1e-12);
     }
 

@@ -73,15 +73,12 @@ impl ProbabilitySpace {
 
     /// Fallible variant of [`ProbabilitySpace::add_bool`].
     pub fn try_add_bool(&mut self, name: impl Into<String>, p_true: f64) -> Result<VarId> {
-        if !(p_true > 0.0 && p_true < 1.0) || !p_true.is_finite() {
+        if !(p_true > 0.0 && p_true < 1.0 && p_true.is_finite()) {
             return Err(EventError::InvalidProbability(format!(
                 "Boolean variable probability must lie in (0,1), got {p_true}"
             )));
         }
-        Ok(self.push(VariableInfo {
-            name: name.into(),
-            distribution: vec![1.0 - p_true, p_true],
-        }))
+        Ok(self.push(VariableInfo { name: name.into(), distribution: vec![1.0 - p_true, p_true] }))
     }
 
     /// Adds a multi-valued random variable with the given distribution over
@@ -101,7 +98,7 @@ impl ProbabilitySpace {
         }
         let mut sum = 0.0;
         for &p in &distribution {
-            if !(p > 0.0 && p <= 1.0) || !p.is_finite() {
+            if !(p > 0.0 && p <= 1.0 && p.is_finite()) {
                 return Err(EventError::InvalidProbability(format!(
                     "domain value probability must lie in (0,1], got {p}"
                 )));

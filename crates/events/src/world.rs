@@ -53,9 +53,7 @@ impl Valuation {
     /// that are not assigned make the clause unsatisfied (the valuation is
     /// expected to cover all variables of the formula).
     pub fn satisfies(&self, dnf: &Dnf) -> bool {
-        dnf.clauses().iter().any(|c| {
-            c.atoms().iter().all(|a| self.value(a.var) == Some(a.value))
-        })
+        dnf.clauses().iter().any(|c| c.atoms().iter().all(|a| self.value(a.var) == Some(a.value)))
     }
 
     /// Iterates over the `(variable, value)` pairs of the valuation.

@@ -18,8 +18,11 @@ fn arb_space_and_dnf(
         );
         (probs, clauses).prop_map(|(probs, clause_specs)| {
             let mut space = ProbabilitySpace::new();
-            let vars: Vec<VarId> =
-                probs.iter().enumerate().map(|(i, &p)| space.add_bool(format!("x{i}"), p)).collect();
+            let vars: Vec<VarId> = probs
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| space.add_bool(format!("x{i}"), p))
+                .collect();
             let clauses = clause_specs.into_iter().map(|atoms| {
                 Clause::from_atoms(atoms.into_iter().map(|(vi, positive)| {
                     if positive {

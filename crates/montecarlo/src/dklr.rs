@@ -146,10 +146,7 @@ impl Budget {
 impl DklrEstimator {
     /// Prepares the estimator.
     pub fn new(dnf: &Dnf, space: &ProbabilitySpace, opts: McOptions) -> Self {
-        DklrEstimator {
-            kl: KarpLubyEstimator::with_variant(dnf, space, opts.variant),
-            opts,
-        }
+        DklrEstimator { kl: KarpLubyEstimator::with_variant(dnf, space, opts.variant), opts }
     }
 
     /// Runs the three-phase DKLR schedule.

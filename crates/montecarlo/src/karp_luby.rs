@@ -66,14 +66,7 @@ impl KarpLubyEstimator {
             cumulative.push(acc);
         }
         let vars: Vec<VarId> = dnf.vars().into_iter().collect();
-        KarpLubyEstimator {
-            clauses,
-            clause_probs,
-            cumulative,
-            total_weight: acc,
-            vars,
-            variant,
-        }
+        KarpLubyEstimator { clauses, clause_probs, cumulative, total_weight: acc, vars, variant }
     }
 
     /// The normalising constant `U = Σ P(cᵢ)` (an upper bound on the DNF
@@ -108,11 +101,7 @@ impl KarpLubyEstimator {
     /// Draws one *normalised* estimate in `[0, 1]` whose expectation is
     /// `p / U`; this is the form consumed by the stopping rules of the DKLR
     /// algorithm.
-    pub fn sample_normalized<R: Rng + ?Sized>(
-        &self,
-        space: &ProbabilitySpace,
-        rng: &mut R,
-    ) -> f64 {
+    pub fn sample_normalized<R: Rng + ?Sized>(&self, space: &ProbabilitySpace, rng: &mut R) -> f64 {
         if let Some(p) = self.trivial_probability() {
             // For trivial inputs the normalised estimate is p/U when U > 0 or
             // simply p (0 or 1) otherwise.

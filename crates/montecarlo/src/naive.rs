@@ -168,7 +168,8 @@ mod tests {
         let (s, vars) = bool_space(&[0.001, 0.001]);
         let phi = Dnf::from_clauses(vec![Clause::from_bools(&[vars[0], vars[1]])]);
         let exact = phi.exact_probability_enumeration(&s); // 1e-6
-        let r = naive_monte_carlo(&phi, &s, &NaiveOptions::new(0.01).with_samples(1000).with_seed(2));
+        let r =
+            naive_monte_carlo(&phi, &s, &NaiveOptions::new(0.01).with_samples(1000).with_seed(2));
         // Additive error fine, relative error terrible.
         assert!((r.estimate - exact).abs() <= 0.01);
         assert!(r.estimate == 0.0 || (r.estimate - exact).abs() / exact > 10.0);

@@ -4,7 +4,9 @@
 //! budgets must be honoured.
 
 use events::{Clause, Dnf, ProbabilitySpace};
-use montecarlo::{aconf, naive_monte_carlo, EstimatorVariant, KarpLubyEstimator, McOptions, NaiveOptions};
+use montecarlo::{
+    aconf, naive_monte_carlo, EstimatorVariant, KarpLubyEstimator, McOptions, NaiveOptions,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -185,11 +185,7 @@ mod tests {
         // Union with itself: same tuples, lineage unchanged (φ ∨ φ = φ).
         assert_eq!(u.len(), e.len());
         let p_before: f64 = e.tuples[0].probability(db.space());
-        let t = u
-            .tuples
-            .iter()
-            .find(|t| t.values == vec![Value::Int(5), Value::Int(7)])
-            .unwrap();
+        let t = u.tuples.iter().find(|t| t.values == vec![Value::Int(5), Value::Int(7)]).unwrap();
         assert!((t.probability(db.space()) - p_before).abs() < 1e-12);
     }
 

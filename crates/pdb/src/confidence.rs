@@ -90,7 +90,9 @@ pub fn confidence(
 ) -> ConfidenceResult {
     let compile_opts = match origins {
         Some(o) => CompileOptions::with_origins(o.clone()),
-        None => CompileOptions { var_order: VarOrder::MostFrequent, origins: None, max_depth: None },
+        None => {
+            CompileOptions { var_order: VarOrder::MostFrequent, origins: None, max_depth: None }
+        }
     };
     match method {
         ConfidenceMethod::DTreeExact => {

@@ -104,12 +104,7 @@ impl Database {
     }
 
     /// Adds a deterministic table (all tuples certain).
-    pub fn add_deterministic_table(
-        &mut self,
-        name: &str,
-        columns: &[&str],
-        rows: Vec<Vec<Value>>,
-    ) {
+    pub fn add_deterministic_table(&mut self, name: &str, columns: &[&str], rows: Vec<Vec<Value>>) {
         self.register_table(name);
         let mut rel = Relation::empty(Schema::new(name, columns));
         for values in rows {
@@ -215,7 +210,11 @@ mod tests {
     #[test]
     fn deterministic_table_has_constant_lineage() {
         let mut db = Database::new();
-        db.add_deterministic_table("N", &["id", "name"], vec![vec![Value::Int(1), Value::str("eu")]]);
+        db.add_deterministic_table(
+            "N",
+            &["id", "name"],
+            vec![vec![Value::Int(1), Value::str("eu")]],
+        );
         let t = db.table("N").unwrap();
         assert!(t.tuples[0].lineage.is_tautology());
         assert_eq!(db.space().num_vars(), 0);

@@ -82,10 +82,7 @@ impl ProbGraph {
         let key = (u.min(v), u.max(v));
         self.nodes.insert(u);
         self.nodes.insert(v);
-        self.edges
-            .entry(key)
-            .and_modify(|l| *l = l.or(&lineage))
-            .or_insert(lineage);
+        self.edges.entry(key).and_modify(|l| *l = l.or(&lineage)).or_insert(lineage);
     }
 
     /// Records the lineage under which the edge `(u, v)` is *absent* (only
@@ -98,10 +95,7 @@ impl ProbGraph {
         let key = (u.min(v), u.max(v));
         self.nodes.insert(u);
         self.nodes.insert(v);
-        self.absences
-            .entry(key)
-            .and_modify(|l| *l = l.or(&lineage))
-            .or_insert(lineage);
+        self.absences.entry(key).and_modify(|l| *l = l.or(&lineage)).or_insert(lineage);
     }
 
     /// Lineage under which the edge `(u, v)` is absent. For edges that cannot
@@ -153,9 +147,7 @@ impl ProbGraph {
     fn conjoin(&self, edges: &[(u32, u32)]) -> Dnf {
         let mut acc = Dnf::tautology();
         for &(u, v) in edges {
-            let lineage = self
-                .edge_lineage(u, v)
-                .expect("conjoin called only on existing edges");
+            let lineage = self.edge_lineage(u, v).expect("conjoin called only on existing edges");
             acc = acc.and(lineage);
         }
         acc
@@ -176,8 +168,7 @@ impl ProbGraph {
             let nv_set: BTreeSet<u32> = nv.iter().copied().collect();
             for &w in nu {
                 if w > v && nv_set.contains(&w) {
-                    let lineage =
-                        self.conjoin(&[(u, v), (v, w), (u, w)]);
+                    let lineage = self.conjoin(&[(u, v), (v, w), (u, w)]);
                     clauses.extend(lineage.into_clauses());
                 }
             }
@@ -491,8 +482,7 @@ mod tests {
     }
 
     fn dtree_probability(lineage: &Dnf, db: &Database) -> f64 {
-        dtree::exact_probability(lineage, db.space(), &dtree::CompileOptions::default())
-            .probability
+        dtree::exact_probability(lineage, db.space(), &dtree::CompileOptions::default()).probability
     }
 
     /// Without absence information (tuple-independent edges) the

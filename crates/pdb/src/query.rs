@@ -175,9 +175,7 @@ impl ConjunctiveQuery {
         self.subgoals
             .iter()
             .enumerate()
-            .filter(|(_, sg)| {
-                sg.terms.iter().any(|t| matches!(t, Term::Var(v) if v == var))
-            })
+            .filter(|(_, sg)| sg.terms.iter().any(|t| matches!(t, Term::Var(v) if v == var)))
             .map(|(i, _)| i)
             .collect()
     }
@@ -341,10 +339,7 @@ impl ConjunctiveQuery {
                             },
                         }
                     }
-                    next.push(Partial {
-                        bindings,
-                        lineage: partial.lineage.and(&tuple.lineage),
-                    });
+                    next.push(Partial { bindings, lineage: partial.lineage.and(&tuple.lineage) });
                 }
             }
             partials = next;
@@ -379,8 +374,7 @@ impl ConjunctiveQuery {
         // Group by head values and disjoin lineages.
         let mut grouped: BTreeMap<Vec<Value>, Vec<Clause>> = BTreeMap::new();
         for partial in partials {
-            let head: Vec<Value> =
-                self.head.iter().map(|v| partial.bindings[v].clone()).collect();
+            let head: Vec<Value> = self.head.iter().map(|v| partial.bindings[v].clone()).collect();
             grouped.entry(head).or_default().extend(partial.lineage.into_clauses());
         }
         grouped
@@ -583,8 +577,7 @@ mod tests {
     #[test]
     fn missing_relation_yields_no_answers() {
         let db = rst_database();
-        let q = ConjunctiveQuery::new("missing")
-            .with_subgoal("UNKNOWN", vec![Term::var("X")]);
+        let q = ConjunctiveQuery::new("missing").with_subgoal("UNKNOWN", vec![Term::var("X")]);
         assert!(q.evaluate(&db).is_empty());
     }
 
@@ -614,8 +607,8 @@ mod tests {
     fn repeated_variable_within_subgoal() {
         // q():-E(X,X) — self-loops only; the Figure-5 graph has none.
         let db = figure_5_database();
-        let q = ConjunctiveQuery::new("loop")
-            .with_subgoal("E", vec![Term::var("X"), Term::var("X")]);
+        let q =
+            ConjunctiveQuery::new("loop").with_subgoal("E", vec![Term::var("X"), Term::var("X")]);
         assert!(q.evaluate(&db).is_empty());
     }
 }

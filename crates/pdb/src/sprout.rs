@@ -62,12 +62,8 @@ pub fn answer_confidences(
     let answers = query.evaluate(db);
     let mut out = Vec::with_capacity(answers.len());
     for answer in answers {
-        let bindings: BTreeMap<String, Value> = query
-            .head
-            .iter()
-            .cloned()
-            .zip(answer.head.iter().cloned())
-            .collect();
+        let bindings: BTreeMap<String, Value> =
+            query.head.iter().cloned().zip(answer.head.iter().cloned()).collect();
         let p = evaluate(&query.subgoals, &bindings, db)?;
         out.push((answer.head, p));
     }
@@ -160,10 +156,7 @@ fn single_subgoal_probability(
 
 /// Partitions subgoal indices into groups connected through shared unbound
 /// variables.
-fn independent_groups(
-    subgoals: &[SubGoal],
-    bindings: &BTreeMap<String, Value>,
-) -> Vec<Vec<usize>> {
+fn independent_groups(subgoals: &[SubGoal], bindings: &BTreeMap<String, Value>) -> Vec<Vec<usize>> {
     let mut uf: UnionFind<usize> = UnionFind::new();
     let mut var_owner: BTreeMap<String, usize> = BTreeMap::new();
     for (i, sg) in subgoals.iter().enumerate() {
@@ -192,10 +185,7 @@ fn independent_groups(
 
 /// Finds a variable occurring (unbound) in all subgoals — the root of the
 /// hierarchy at this recursion level.
-fn find_root_variable(
-    subgoals: &[SubGoal],
-    bindings: &BTreeMap<String, Value>,
-) -> Option<String> {
+fn find_root_variable(subgoals: &[SubGoal], bindings: &BTreeMap<String, Value>) -> Option<String> {
     let mut candidates: Option<BTreeSet<String>> = None;
     for sg in subgoals {
         let vars: BTreeSet<String> = sg

@@ -149,7 +149,7 @@ proptest! {
             let assignment: std::collections::BTreeMap<_, _> = vars
                 .iter()
                 .enumerate()
-                .map(|(i, &v)| (v, (((mask >> i) & 1))))
+                .map(|(i, &v)| (v, (mask >> i) & 1))
                 .collect();
             let mut weight = 1.0;
             for (&v, &val) in &assignment {

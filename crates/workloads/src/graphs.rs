@@ -32,12 +32,7 @@ impl RandomGraphConfig {
 
     /// Configuration with per-edge probabilities drawn from a range.
     pub fn with_range(nodes: u32, lo: f64, hi: f64, seed: u64) -> Self {
-        RandomGraphConfig {
-            nodes,
-            edge_probability: 0.5,
-            probability_range: Some((lo, hi)),
-            seed,
-        }
+        RandomGraphConfig { nodes, edge_probability: 0.5, probability_range: Some((lo, hi)), seed }
     }
 
     /// Number of possible edges.
@@ -183,12 +178,8 @@ mod tests {
         // 4 nodes: C(4,3) = 4 potential triangles over 6 edges.
         assert_eq!(tri.len(), 4);
         let p_exact = tri.exact_probability_enumeration(db.space());
-        let p_dtree = dtree::exact_probability(
-            &tri,
-            db.space(),
-            &dtree::CompileOptions::default(),
-        )
-        .probability;
+        let p_dtree = dtree::exact_probability(&tri, db.space(), &dtree::CompileOptions::default())
+            .probability;
         assert!((p_exact - p_dtree).abs() < 1e-9);
     }
 }

@@ -76,10 +76,7 @@ fn example_5_2_bounds() {
         "Figure-3 bucket bounds       : [{:.4}, {:.4}]  (lower bound matches the paper's 0.842)",
         fig3.lower, fig3.upper
     );
-    println!(
-        "with monotone-DNF upper cap  : [{:.4}, {:.4}]",
-        improved.lower, improved.upper
-    );
+    println!("with monotone-DNF upper cap  : [{:.4}, {:.4}]", improved.lower, improved.upper);
 
     // With these bounds, 0.845 is an absolute 0.003-approximation
     // (Example 5.9).
@@ -99,12 +96,12 @@ fn example_5_2_bounds() {
 fn incremental_approximation() {
     println!("=== Incremental ε-approximation ===");
     let mut space = ProbabilitySpace::new();
-    let vars: Vec<_> = (0..30).map(|i| space.add_bool(format!("t{i}"), 0.05 + 0.03 * (i as f64 % 10.0))).collect();
+    let vars: Vec<_> =
+        (0..30).map(|i| space.add_bool(format!("t{i}"), 0.05 + 0.03 * (i as f64 % 10.0))).collect();
     // A join-like DNF: clauses pair a "fact" variable with a shared
     // "dimension" variable, like lineage of a two-way join.
-    let clauses: Vec<Clause> = (0..25)
-        .map(|i| Clause::from_bools(&[vars[i % 10], vars[10 + (i % 20)]]))
-        .collect();
+    let clauses: Vec<Clause> =
+        (0..25).map(|i| Clause::from_bools(&[vars[i % 10], vars[10 + (i % 20)]])).collect();
     let phi = Dnf::from_clauses(clauses);
     let exact = exact_probability(&phi, &space, &CompileOptions::default()).probability;
 

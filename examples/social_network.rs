@@ -50,7 +50,11 @@ fn figure_5_network() {
         &ConfidenceMethod::DTreeExact,
         &ConfidenceBudget::default(),
     );
-    println!("triangle lineage: {} clause(s) over {} variables", triangle.len(), triangle.num_vars());
+    println!(
+        "triangle lineage: {} clause(s) over {} variables",
+        triangle.len(),
+        triangle.num_vars()
+    );
     println!("P(triangle)     = {:.4}  (e3 ∧ e5 ∧ e6 = 0.1 · 0.5 · 0.2 = 0.01)", p.estimate);
 
     // Nodes within two, but not one, degrees of separation from node 17.
@@ -104,11 +108,7 @@ fn figure_5_bid_network() {
             &ConfidenceMethod::DTreeExact,
             &ConfidenceBudget::default(),
         );
-        println!(
-            "  node {node:>2}: {} clause(s), confidence = {:.4}",
-            lineage.len(),
-            r.estimate
-        );
+        println!("  node {node:>2}: {} clause(s), confidence = {:.4}", lineage.len(), r.estimate);
     }
     println!();
 }
@@ -117,11 +117,7 @@ fn figure_5_bid_network() {
 fn karate_motifs() {
     println!("=== Zachary's karate club: motif queries (Figure 9) ===");
     let net = karate_club(&SocialNetworkConfig::karate_default());
-    println!(
-        "network: {} nodes, {} probabilistic edges",
-        net.num_nodes,
-        net.graph.num_edges()
-    );
+    println!("network: {} nodes, {} probabilistic edges", net.num_nodes, net.graph.num_edges());
     let budget = ConfidenceBudget { timeout: Some(Duration::from_secs(20)), max_work: None };
     let (s, t) = net.separation_pair();
 
@@ -129,10 +125,7 @@ fn karate_motifs() {
         ("triangle (t)", net.graph.triangle_lineage()),
         ("path of length 2 (p2)", net.graph.path2_lineage()),
         ("path of length 3 (p3)", net.graph.path3_lineage()),
-        (
-            "two degrees of separation (s2)",
-            net.graph.separation2_lineage(s, t),
-        ),
+        ("two degrees of separation (s2)", net.graph.separation2_lineage(s, t)),
     ];
 
     for (name, lineage) in queries {
@@ -144,7 +137,10 @@ fn karate_motifs() {
             let r = confidence(&lineage, net.db.space(), Some(net.db.origins()), &method, &budget);
             println!(
                 "   {:<18} estimate = {:.6}   time = {:>8.4}s   converged = {}",
-                r.method, r.estimate, r.elapsed.as_secs_f64(), r.converged
+                r.method,
+                r.estimate,
+                r.elapsed.as_secs_f64(),
+                r.converged
             );
         }
     }

@@ -41,7 +41,13 @@ fn main() {
         .expect("B17 is hierarchical without self-joins");
     println!("SPROUT exact           : {sprout_p:.6}");
     for method in [ConfidenceMethod::DTreeExact, ConfidenceMethod::DTreeRelative(0.01)] {
-        let r = confidence(&lineage, db.database().space(), Some(db.database().origins()), &method, &budget);
+        let r = confidence(
+            &lineage,
+            db.database().space(),
+            Some(db.database().origins()),
+            &method,
+            &budget,
+        );
         println!("{:<22} : {:.6}  ({:.4}s)", r.method, r.estimate, r.elapsed.as_secs_f64());
     }
     println!();
@@ -56,10 +62,21 @@ fn main() {
         ConfidenceMethod::DTreeRelative(0.05),
         ConfidenceMethod::KarpLuby { epsilon: 0.05, delta: 1e-4 },
     ] {
-        let r = confidence(&lineage, db.database().space(), Some(db.database().origins()), &method, &budget);
+        let r = confidence(
+            &lineage,
+            db.database().space(),
+            Some(db.database().origins()),
+            &method,
+            &budget,
+        );
         println!(
             "{:<22} : {:.6}  bounds [{:.6}, {:.6}]  ({:.4}s, converged: {})",
-            r.method, r.estimate, r.lower, r.upper, r.elapsed.as_secs_f64(), r.converged
+            r.method,
+            r.estimate,
+            r.lower,
+            r.upper,
+            r.elapsed.as_secs_f64(),
+            r.converged
         );
     }
     println!();

@@ -1,0 +1,239 @@
+//! A minimal, offline, API-compatible stand-in for the [`criterion`] crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the `criterion` dev-dependency pinned in the workspace manifest resolves
+//! to this shim. It implements the surface the `bench` crate's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`] /
+//! [`BenchmarkGroup::measurement_time`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId::new`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a plain warm-up + timed-iterations loop reporting the mean
+//! and min/max wall-clock time per iteration — no outlier analysis, HTML
+//! reports, or statistical machinery. Timings print to stdout in a
+//! `group/function/value  time: [..]` layout close enough to criterion's for
+//! eyeballing and grepping.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a computed value.
+///
+/// Uses a volatile-free best-effort approach (`std::hint::black_box`), which
+/// on current rustc is a true optimisation barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing loop handed to the closure of [`BenchmarkGroup::bench_with_input`].
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per invocation, until either
+    /// `sample_size` samples have been collected or the measurement budget
+    /// is exhausted (always at least one sample).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (also primes caches the first sample would otherwise pay
+        // for).
+        black_box(routine());
+        let budget_start = Instant::now();
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+            if budget_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples_ns: Vec::new(),
+        };
+        routine(&mut bencher, input);
+        let samples = &bencher.samples_ns;
+        if samples.is_empty() {
+            println!("{}/{id}  (no samples recorded)", self.name);
+            return self;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{}/{id}  time: [{} {} {}]  ({} samples)",
+            self.name,
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max),
+            samples.len(),
+        );
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Finishes the group. (Reporting happens per-benchmark; this exists for
+    /// API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Applies command-line configuration.
+    ///
+    /// The shim accepts and ignores the arguments cargo-bench passes
+    /// (`--bench`, filters, etc.), so `cargo bench` drives these binaries the
+    /// same way it drives real criterion harnesses.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            criterion: self,
+        }
+    }
+
+    /// Prints the run summary. Called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        println!("criterion-shim: {} benchmark(s) measured", self.benchmarks_run);
+    }
+}
+
+/// Bundles benchmark functions into a single runner function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Generates the `main` function for a bench target, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(10);
+        group.measurement_time(Duration::from_millis(50));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_records() {
+        benches();
+    }
+
+    #[test]
+    fn id_renders_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("dtree_exact", "q1").to_string(), "dtree_exact/q1");
+    }
+}

@@ -1,0 +1,326 @@
+//! A minimal, offline, API-compatible stand-in for the [`rand`] crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the `rand` dependency pinned in the workspace manifest resolves to this
+//! shim. It implements exactly the surface the workspace uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic 64-bit generator (xoshiro256++,
+//!   seeded via SplitMix64),
+//! * [`SeedableRng::seed_from_u64`] and [`SeedableRng::from_entropy`],
+//! * [`Rng::gen_range`] over half-open and inclusive integer and float
+//!   ranges.
+//!
+//! The generator is *not* cryptographically secure; it is a statistical
+//! PRNG suitable for Monte-Carlo estimation and reproducible workload
+//! generation, which is all the workspace asks of it.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing random value generation, automatically implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Generates a random value uniformly distributed in `range`.
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (stretched via SplitMix64).
+    fn seed_from_u64(state: u64) -> Self;
+
+    /// Creates a generator from environmental entropy (the system clock and
+    /// an address-space probe — this shim has no OS entropy source).
+    fn from_entropy() -> Self {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        let probe = Box::new(0u8);
+        let addr = core::ptr::from_ref(&*probe) as u64;
+        Self::seed_from_u64(t ^ addr.rotate_left(32))
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard generator: xoshiro256++.
+    ///
+    /// Deterministic for a given seed, 256 bits of state, passes the usual
+    /// statistical batteries. Not cryptographically secure (the real
+    /// `rand::rngs::StdRng` is ChaCha12; nothing in this workspace relies on
+    /// that).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = Self::splitmix64(&mut state);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Samples uniformly from `[low, high)` (`inclusive == false`) or
+    /// `[low, high]` (`inclusive == true`).
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                // Two's-complement wrapping in u128 gives the correct span for
+                // every 8..64-bit integer type, signed or unsigned.
+                let span = (high as u128)
+                    .wrapping_sub(low as u128)
+                    .wrapping_add(if inclusive { 1 } else { 0 })
+                    & (u64::MAX as u128);
+                if span == 0 {
+                    // Either a singleton half-open range or the full 2^64-wide
+                    // inclusive range; in the latter case every draw is valid.
+                    if inclusive {
+                        return low.wrapping_add(rng.next_u64() as $ty);
+                    }
+                    return low;
+                }
+                if span == 1 {
+                    return low;
+                }
+                let span = span as u64;
+                // Debiased modulo via rejection: accept draws below the
+                // largest multiple of `span`.
+                let zone = u64::MAX - (u64::MAX % span + 1) % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return low.wrapping_add((v % span) as $ty);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self {
+        if low == high {
+            return low;
+        }
+        // 53 uniform mantissa bits: [0, 1) for half-open ranges, [0, 1] for
+        // inclusive ones.
+        let bits = (rng.next_u64() >> 11) as f64;
+        let unit =
+            if inclusive { bits / ((1u64 << 53) - 1) as f64 } else { bits / (1u64 << 53) as f64 };
+        let v = low + (high - low) * unit;
+        // `low + (high-low)*unit` can round onto (or, inclusive, past) `high`;
+        // clamp sign-correctly instead of bit-twiddling.
+        if inclusive {
+            v.min(high)
+        } else if v >= high {
+            high.next_down().max(low)
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self {
+        if low == high {
+            return low;
+        }
+        let bits = (rng.next_u32() >> 8) as f32;
+        let unit =
+            if inclusive { bits / ((1u32 << 24) - 1) as f32 } else { bits / (1u32 << 24) as f32 };
+        let v = low + (high - low) * unit;
+        if inclusive {
+            v.min(high)
+        } else if v >= high {
+            high.next_down().max(low)
+        } else {
+            v
+        }
+    }
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_uniform(rng, start, end, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn int_range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..9usize);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(0..=5i64);
+            assert!((0..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(0.05..0.95);
+            assert!((0.05..0.95).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn singleton_ranges() {
+        let mut rng = StdRng::seed_from_u64(17);
+        assert_eq!(rng.gen_range(4..5usize), 4);
+        assert_eq!(rng.gen_range(4..=4usize), 4);
+        assert_eq!(rng.gen_range(0.5..=0.5f64), 0.5);
+    }
+
+    #[test]
+    fn inclusive_float_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0.25..=0.75f64);
+            assert!((0.25..=0.75).contains(&v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn negative_float_ranges() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1.0..0.0f64);
+            assert!((-1.0..0.0).contains(&v), "v={v}");
+            let w = rng.gen_range(-2.0..=-1.0f64);
+            assert!((-2.0..=-1.0).contains(&w), "w={w}");
+            let x: f32 = rng.gen_range(-1.0..0.0f32);
+            assert!((-1.0..0.0).contains(&x), "x={x}");
+        }
+    }
+}

@@ -25,7 +25,8 @@ fn small_dnf() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>)> {
 
 fn build(ps: &[f64], clause_vars: &[Vec<usize>]) -> (ProbabilitySpace, Dnf) {
     let mut space = ProbabilitySpace::new();
-    let vars: Vec<_> = ps.iter().enumerate().map(|(i, &p)| space.add_bool(format!("v{i}"), p)).collect();
+    let vars: Vec<_> =
+        ps.iter().enumerate().map(|(i, &p)| space.add_bool(format!("v{i}"), p)).collect();
     let clauses: Vec<Clause> = clause_vars
         .iter()
         .map(|c| Clause::from_bools(&c.iter().map(|&i| vars[i]).collect::<Vec<_>>()))

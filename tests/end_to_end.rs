@@ -134,10 +134,8 @@ fn sprout_matches_dtree_per_answer() {
     for answer in &dtree_answers {
         let enumerated = answer.lineage.exact_probability_enumeration(db.space());
         let d = exact_probability(&answer.lineage, db.space(), &CompileOptions::default());
-        let (_, sprout_p) = sprout_answers
-            .iter()
-            .find(|(head, _)| head == &answer.head)
-            .expect("same answer set");
+        let (_, sprout_p) =
+            sprout_answers.iter().find(|(head, _)| head == &answer.head).expect("same answer set");
         assert!((d.probability - enumerated).abs() < 1e-9);
         assert!((sprout_p - enumerated).abs() < 1e-9, "answer {:?}", answer.head);
     }

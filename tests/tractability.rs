@@ -51,10 +51,7 @@ fn hierarchical_lineage_compiles_to_linear_dtrees() {
         assert!(clauses_b > clauses_a);
         // Polynomial (in fact near-linear) growth: allow a generous factor of
         // 4 per doubling, which an exponential tree would blow through.
-        assert!(
-            nodes_b <= nodes_a * 4 + 8,
-            "node growth {nodes_a} -> {nodes_b} is super-linear"
-        );
+        assert!(nodes_b <= nodes_a * 4 + 8, "node growth {nodes_a} -> {nodes_b} is super-linear");
     }
     // Absolute sanity: the largest instance stays tiny.
     let (clauses, nodes) = *counts.last().unwrap();

@@ -1,0 +1,146 @@
+//! Workspace smoke test: the three confidence engines — the d-tree
+//! ε-approximation, the naive possible-world sampler, and the Karp-Luby /
+//! DKLR `aconf` estimator — must agree with exact enumeration (and hence
+//! with each other) within their respective error guarantees on small
+//! random DNFs.
+//!
+//! This is the cross-engine consistency check the CI pipeline leans on: if
+//! any one of the three pipelines (deterministic d-tree compilation,
+//! additive Monte-Carlo, relative Monte-Carlo) regresses, the engines stop
+//! agreeing and this test fails.
+
+use dtree_approx::dtree::{ApproxCompiler, ApproxOptions};
+use dtree_approx::events::{Atom, Clause, Dnf, ProbabilitySpace, VarId};
+use dtree_approx::montecarlo::{aconf, naive_monte_carlo, McOptions, NaiveOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random instance: a probability space with `nvars` Boolean
+/// variables (probabilities bounded away from 0 and 1) and a DNF of
+/// `nclauses` clauses over it, with a sprinkling of negative atoms.
+fn random_instance(seed: u64) -> (ProbabilitySpace, Dnf) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nvars = rng.gen_range(3..8usize);
+    let mut space = ProbabilitySpace::new();
+    let vars: Vec<VarId> =
+        (0..nvars).map(|i| space.add_bool(format!("x{i}"), rng.gen_range(0.1..0.9))).collect();
+    let nclauses = rng.gen_range(2..6usize);
+    let clauses = (0..nclauses).map(|_| {
+        let width = rng.gen_range(1..4usize);
+        Clause::from_atoms((0..width).map(|_| {
+            let var = vars[rng.gen_range(0..nvars)];
+            if rng.gen_range(0..4u32) == 0 {
+                Atom::neg(var)
+            } else {
+                Atom::pos(var)
+            }
+        }))
+    });
+    (space, Dnf::from_clauses(clauses))
+}
+
+/// The absolute error the d-tree approximation is asked for.
+const DTREE_EPS: f64 = 1e-3;
+/// The additive error of the naive sampler (Hoeffding bound, δ = 1e-3).
+const NAIVE_EPS: f64 = 0.04;
+/// The relative error of `aconf` (DKLR, δ = 1e-3).
+const ACONF_EPS: f64 = 0.08;
+
+#[test]
+fn three_engines_agree_on_small_random_dnfs() {
+    for seed in 0..30u64 {
+        let (space, dnf) = random_instance(seed);
+        let exact = dnf.exact_probability_enumeration(&space);
+
+        // Engine 1: deterministic d-tree ε-approximation. The guarantee is
+        // hard, so the tolerance is exactly ε (plus float slack).
+        let dtree = ApproxCompiler::new(ApproxOptions::absolute(DTREE_EPS)).run(&dnf, &space);
+        assert!(dtree.converged, "seed {seed}: d-tree compilation did not converge");
+        assert!(
+            (dtree.estimate - exact).abs() <= DTREE_EPS + 1e-9,
+            "seed {seed}: d-tree estimate {} vs exact {exact}",
+            dtree.estimate
+        );
+        assert!(
+            dtree.lower <= exact + 1e-9 && exact <= dtree.upper + 1e-9,
+            "seed {seed}: exact {exact} outside d-tree bounds [{}, {}]",
+            dtree.lower,
+            dtree.upper
+        );
+
+        // Engine 2: naive possible-world sampling, an additive (ε, δ)
+        // guarantee. Fixed seeds keep the run deterministic; the tolerance
+        // doubles ε so the 1e-3 failure probability per case cannot flake.
+        let naive = naive_monte_carlo(
+            &dnf,
+            &space,
+            &NaiveOptions::new(NAIVE_EPS).with_delta(1e-3).with_seed(seed ^ 0xD7),
+        );
+        assert!(
+            (naive.estimate - exact).abs() <= 2.0 * NAIVE_EPS,
+            "seed {seed}: naive estimate {} vs exact {exact}",
+            naive.estimate
+        );
+
+        // Engine 3: Karp-Luby under the DKLR stopping rule, a relative
+        // (ε, δ) guarantee. Same doubling of the tolerance.
+        if !dnf.is_empty() {
+            let kl = aconf(
+                &dnf,
+                &space,
+                &McOptions::new(ACONF_EPS).with_delta(1e-3).with_seed(seed ^ 0x5EED),
+            );
+            assert!(kl.converged, "seed {seed}: aconf did not converge");
+            assert!(
+                (kl.estimate - exact).abs() <= 2.0 * ACONF_EPS * exact.max(f64::MIN_POSITIVE),
+                "seed {seed}: aconf estimate {} vs exact {exact}",
+                kl.estimate
+            );
+
+            // Pairwise agreement follows from the per-engine guarantees;
+            // assert it anyway so a systematically biased pair cannot hide
+            // behind a loose exact-value check.
+            assert!(
+                (dtree.estimate - kl.estimate).abs()
+                    <= DTREE_EPS + 2.0 * ACONF_EPS * exact.max(f64::MIN_POSITIVE) + 1e-9,
+                "seed {seed}: d-tree {} and aconf {} disagree",
+                dtree.estimate,
+                kl.estimate
+            );
+        }
+        assert!(
+            (dtree.estimate - naive.estimate).abs() <= DTREE_EPS + 2.0 * NAIVE_EPS + 1e-9,
+            "seed {seed}: d-tree {} and naive {} disagree",
+            dtree.estimate,
+            naive.estimate
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_example_5_2() {
+    // Φ = (x ∧ y) ∨ (x ∧ z) ∨ v with the paper's probabilities; P(Φ) = 0.8456.
+    let mut space = ProbabilitySpace::new();
+    let x = space.add_bool("x", 0.3);
+    let y = space.add_bool("y", 0.2);
+    let z = space.add_bool("z", 0.7);
+    let v = space.add_bool("v", 0.8);
+    let phi = Dnf::from_clauses(vec![
+        Clause::from_bools(&[x, y]),
+        Clause::from_bools(&[x, z]),
+        Clause::from_bools(&[v]),
+    ]);
+
+    let exact = phi.exact_probability_enumeration(&space);
+    assert!((exact - 0.8456).abs() < 1e-12);
+
+    let dtree = ApproxCompiler::new(ApproxOptions::absolute(1e-4)).run(&phi, &space);
+    assert!(dtree.converged && (dtree.estimate - exact).abs() <= 1e-4);
+
+    let naive =
+        naive_monte_carlo(&phi, &space, &NaiveOptions::new(0.02).with_delta(1e-4).with_seed(1));
+    assert!((naive.estimate - exact).abs() <= 0.04);
+
+    let kl = aconf(&phi, &space, &McOptions::new(0.02).with_delta(1e-4).with_seed(2));
+    assert!(kl.converged && (kl.estimate - exact).abs() <= 0.04 * exact);
+}
