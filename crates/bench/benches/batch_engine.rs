@@ -1,0 +1,137 @@
+//! Criterion bench for the batched [`ConfidenceEngine`]: whole-query
+//! confidence computation (all answer tuples) batched with a shared
+//! sub-formula cache and parallel lineage evaluation, against the
+//! one-at-a-time `confidence()` loop the harness used before.
+//!
+//! Workloads (d-tree absolute ε = 0.01 throughout):
+//!
+//! * `fig9_motifs` — the four Figure-9 motif lineages (t, p2, p3, s2) on
+//!   Zachary's karate club, batched per network. The per-lineage costs are
+//!   wildly uneven (p3 dominates), so the parallel engine approaches
+//!   max-instead-of-sum on multi-core machines.
+//! * `fig9_s2_relation` — the full answer relation of the two-degrees query
+//!   `s2(X, Y)` on the karate club: one lineage per ordered node pair.
+//!   Symmetric answers have identical lineage, so the shared cache serves
+//!   half the batch from memory.
+//! * `graph_s2_relation` — the same relation on a denser uniform random
+//!   graph (n = 24, p = 0.4), where per-lineage work is big enough for the
+//!   cache to show a clear single-thread win.
+//! * `tpch_iq6` — the TPC-H IQ6 inequality-join query, one lineage per
+//!   quantity group.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use events::Dnf;
+use pdb::confidence::{confidence, ConfidenceBudget, ConfidenceMethod};
+use pdb::{ConfidenceEngine, Database};
+use workloads::tpch::{TpchConfig, TpchDatabase, TpchQuery};
+use workloads::{karate_club, random_graph, RandomGraphConfig, SocialNetworkConfig};
+
+const METHOD: ConfidenceMethod = ConfidenceMethod::DTreeAbsolute(0.01);
+
+/// All non-empty lineages of the `s2(X, Y)` answer relation (ordered pairs).
+fn s2_relation(graph: &pdb::motif::ProbGraph, n: u32) -> Vec<Dnf> {
+    let mut lineages = Vec::new();
+    for s in 0..n {
+        for t in 0..n {
+            if s != t {
+                let l = graph.separation2_lineage(s, t);
+                if !l.is_empty() {
+                    lineages.push(l);
+                }
+            }
+        }
+    }
+    lineages
+}
+
+fn bench_batch_engine(c: &mut Criterion) {
+    let budget = ConfidenceBudget { timeout: Some(Duration::from_secs(10)), max_work: None };
+
+    let net = karate_club(&SocialNetworkConfig::karate_default());
+    let (s, t) = net.separation_pair();
+    let motif_lineages = vec![
+        net.graph.triangle_lineage(),
+        net.graph.path2_lineage(),
+        net.graph.path3_lineage(),
+        net.graph.separation2_lineage(s, t),
+    ];
+    let karate_s2 = s2_relation(&net.graph, net.num_nodes);
+
+    let (rand_db, rand_graph) = random_graph(&RandomGraphConfig::uniform(24, 0.4));
+    let rand_s2 = s2_relation(&rand_graph, 24);
+
+    let tpch = TpchDatabase::generate(&TpchConfig::new(0.05));
+    let tpch_lineages: Vec<Dnf> =
+        tpch.answers(&TpchQuery::Iq6).into_iter().map(|a| a.lineage).collect();
+
+    let batches: Vec<(&str, &Database, Vec<Dnf>)> = vec![
+        ("fig9_motifs", &net.db, motif_lineages),
+        ("fig9_s2_relation", &net.db, karate_s2),
+        ("graph_s2_relation", &rand_db, rand_s2),
+        ("tpch_iq6", tpch.database(), tpch_lineages),
+    ];
+
+    let mut group = c.benchmark_group("batch_engine");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for (name, db, lineages) in &batches {
+        let space = db.space();
+        let origins = db.origins();
+
+        // Baseline: the pre-engine harness loop, one confidence() per
+        // lineage, no sharing.
+        group.bench_with_input(
+            BenchmarkId::new("per_lineage_loop", name),
+            lineages,
+            |b, lineages| {
+                b.iter(|| {
+                    lineages
+                        .iter()
+                        .map(|l| confidence(l, space, Some(origins), &METHOD, &budget).estimate)
+                        .sum::<f64>()
+                })
+            },
+        );
+
+        // Batched, sequential: isolates the shared-cache effect.
+        group.bench_with_input(
+            BenchmarkId::new("engine_1_thread", name),
+            lineages,
+            |b, lineages| {
+                let engine =
+                    ConfidenceEngine::new(METHOD).with_budget(budget.clone()).with_threads(1);
+                b.iter(|| {
+                    engine
+                        .confidence_batch(lineages, space, Some(origins))
+                        .results
+                        .iter()
+                        .map(|r| r.estimate)
+                        .sum::<f64>()
+                })
+            },
+        );
+
+        // Batched, parallel: cache sharing plus one thread per CPU.
+        group.bench_with_input(
+            BenchmarkId::new("engine_parallel", name),
+            lineages,
+            |b, lineages| {
+                let engine = ConfidenceEngine::new(METHOD).with_budget(budget.clone());
+                b.iter(|| {
+                    engine
+                        .confidence_batch(lineages, space, Some(origins))
+                        .results
+                        .iter()
+                        .map(|r| r.estimate)
+                        .sum::<f64>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_engine);
+criterion_main!(benches);

@@ -23,7 +23,7 @@ use std::time::Duration;
 
 use events::{Dnf, ProbabilitySpace, VarOrigins};
 use pdb::confidence::{confidence, ConfidenceBudget, ConfidenceMethod, ConfidenceResult};
-use pdb::QueryAnswer;
+use pdb::{ConfidenceEngine, QueryAnswer};
 use workloads::tpch::{TpchConfig, TpchDatabase, TpchQuery};
 use workloads::{RandomGraphConfig, SocialNetwork};
 
@@ -145,9 +145,10 @@ pub fn run_method(
     }
 }
 
-/// Runs a set of methods over all answers of a TPC-H query, summing the
-/// per-answer times (the paper reports the total time to compute the
-/// confidences of all answer tuples of a query).
+/// Runs a set of methods over all answers of a TPC-H query through the
+/// batched [`ConfidenceEngine`] (shared sub-formula cache, batch-wide
+/// deadline), summing the per-answer times (the paper reports the total time
+/// to compute the confidences of all answer tuples of a query).
 pub fn run_tpch_query(
     figure: &str,
     workload: &str,
@@ -165,16 +166,24 @@ pub fn run_tpch_query(
         .flat_map(|a| a.lineage.vars())
         .collect::<std::collections::BTreeSet<_>>()
         .len();
+    let lineages: Vec<&Dnf> = answers.iter().map(|a| &a.lineage).collect();
 
     let mut rows = Vec::new();
     for method in methods {
+        // Single-threaded on purpose: the figure harness reports the summed
+        // per-answer algorithm time, which must stay comparable to the
+        // paper's sequential measurement (parallel items would inflate each
+        // other's `elapsed` through contention). The engine's shared cache
+        // and duplicate detection still apply.
+        let engine =
+            ConfidenceEngine::new(method.clone()).with_budget(budget.clone()).with_threads(1);
+        let batch = engine.confidence_batch(&lineages, space, Some(origins));
         let mut seconds = 0.0;
         let mut converged = true;
         let mut estimate_sum = 0.0;
         let mut lower = f64::INFINITY;
         let mut upper = f64::NEG_INFINITY;
-        for answer in &answers {
-            let r = confidence(&answer.lineage, space, Some(origins), method, budget);
+        for r in &batch.results {
             seconds += r.elapsed.as_secs_f64();
             converged &= r.converged;
             estimate_sum += r.estimate;

@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 use events::{product_factorization, Atom, Clause, Dnf, ProbabilitySpace};
 
 use crate::bounds::{dnf_bounds, Bounds};
+use crate::cache::{Memo, SubformulaCache};
 use crate::compile::CompileOptions;
 use crate::exact::exact_probability;
 use crate::order::choose_variable;
@@ -203,6 +204,36 @@ impl ApproxCompiler {
 
     /// Runs the approximation on `dnf` over `space`.
     pub fn run(&self, dnf: &Dnf, space: &ProbabilitySpace) -> ApproxResult {
+        self.run_impl(dnf, space, None)
+    }
+
+    /// Like [`ApproxCompiler::run`], but with a shared [`SubformulaCache`]
+    /// layered behind the per-run memo, so exact leaf probabilities and
+    /// bucket bounds are reused across the lineages of a batch.
+    ///
+    /// The cache must only ever be used with a single probability space (all
+    /// memoized quantities depend on it). Reusing cached values is
+    /// bit-identical to recomputing them — the producers are deterministic —
+    /// so `run_cached` returns exactly what [`ApproxCompiler::run`] would,
+    /// only faster. The cache is consulted by the
+    /// [`RefinementStrategy::DepthFirstClosing`] strategy;
+    /// [`RefinementStrategy::PriorityRefinement`] materialises its own
+    /// partial tree and ignores it.
+    pub fn run_cached(
+        &self,
+        dnf: &Dnf,
+        space: &ProbabilitySpace,
+        cache: &SubformulaCache,
+    ) -> ApproxResult {
+        self.run_impl(dnf, space, Some(cache))
+    }
+
+    fn run_impl(
+        &self,
+        dnf: &Dnf,
+        space: &ProbabilitySpace,
+        cache: Option<&SubformulaCache>,
+    ) -> ApproxResult {
         let start = Instant::now();
         match self.opts.strategy {
             RefinementStrategy::DepthFirstClosing => {
@@ -214,6 +245,7 @@ impl ApproxCompiler {
                     steps: 0,
                     start,
                     budget_exhausted: false,
+                    memo: Memo::with_shared(cache),
                 };
                 let outcome = dfs.explore(Work::Dnf(dnf.clone()), 0);
                 let bounds = match outcome {
@@ -331,9 +363,41 @@ struct Dfs<'a> {
     steps: usize,
     start: Instant,
     budget_exhausted: bool,
+    memo: Memo<'a>,
 }
 
 impl<'a> Dfs<'a> {
+    /// Exact probability of a small leaf, memoized so the same sub-DNF is
+    /// never folded twice — neither when `quick_bounds` sees it as a pending
+    /// child and `explore_dnf` later visits it, nor across the lineages of a
+    /// batch when a shared cache is attached.
+    fn memo_exact(&mut self, dnf: &Dnf) -> f64 {
+        let key = dnf.canonical_hash();
+        if let Some(p) = self.memo.get_exact(key) {
+            self.stats.exact_cache_hits += 1;
+            return p;
+        }
+        let r = exact_probability(dnf, self.space, &self.opts.compile);
+        self.stats.exact_evaluations += 1;
+        self.stats.or_nodes += r.stats.or_nodes;
+        self.stats.and_nodes += r.stats.and_nodes;
+        self.stats.xor_nodes += r.stats.xor_nodes;
+        self.memo.put_exact(key, r.probability);
+        r.probability
+    }
+
+    /// Bucket bounds of an open leaf, memoized like [`Dfs::memo_exact`].
+    fn memo_bounds(&mut self, dnf: &Dnf) -> Bounds {
+        let key = dnf.canonical_hash();
+        if let Some(b) = self.memo.get_bounds(key) {
+            self.stats.bound_cache_hits += 1;
+            return b;
+        }
+        let b = dnf_bounds(dnf, self.space);
+        self.stats.bound_evaluations += 1;
+        self.memo.put_bounds(key, b);
+        b
+    }
     /// Folds the current path's frames around `current` to obtain bounds for
     /// the whole d-tree. With `pending_at_lower` the still-open siblings are
     /// pinned to their lower bound (the worst case of Lemma 5.11, used for
@@ -396,12 +460,9 @@ impl<'a> Dfs<'a> {
                 } else if dnf.len() == 1 {
                     Bounds::point(dnf.clauses()[0].probability(self.space))
                 } else if dnf.num_vars() <= EXACT_LEAF_VARS {
-                    Bounds::point(
-                        exact_probability(dnf, self.space, &self.opts.compile).probability,
-                    )
+                    Bounds::point(self.memo_exact(dnf))
                 } else {
-                    self.stats.bound_evaluations += 1;
-                    dnf_bounds(dnf, self.space)
+                    self.memo_bounds(dnf)
                 }
             }
             Work::Node(op, children) => {
@@ -426,7 +487,6 @@ impl<'a> Dfs<'a> {
     fn explore_node(&mut self, op: Op, children: Vec<Work>, depth: usize) -> Outcome {
         let pending: Vec<Bounds> = children.iter().skip(1).map(|c| self.quick_bounds(c)).collect();
         self.frames.push(Frame { op, done: Vec::new(), pending });
-        let n = children.len();
         for (i, child) in children.into_iter().enumerate() {
             if i > 0 {
                 // The child about to be explored leaves the pending list.
@@ -445,7 +505,6 @@ impl<'a> Dfs<'a> {
                     return Outcome::StopAll(b);
                 }
             }
-            let _ = n;
         }
         let frame = self.frames.pop().expect("frame pushed above");
         let combined = match op {
@@ -475,11 +534,7 @@ impl<'a> Dfs<'a> {
         // bucket-bound heuristic on sub-DNFs that are cheaper to just solve.
         if dnf.num_vars() <= EXACT_LEAF_VARS {
             self.stats.exact_leaves += 1;
-            let r = exact_probability(&dnf, self.space, &self.opts.compile);
-            self.stats.or_nodes += r.stats.or_nodes;
-            self.stats.and_nodes += r.stats.and_nodes;
-            self.stats.xor_nodes += r.stats.xor_nodes;
-            let point = Bounds::point(r.probability);
+            let point = Bounds::point(self.memo_exact(&dnf));
             // The global stopping condition may already hold with this leaf
             // resolved exactly.
             let global = self.global_bounds(point, false);
@@ -489,9 +544,10 @@ impl<'a> Dfs<'a> {
             return Outcome::Finished(point);
         }
 
-        // Quick bounds of this leaf (the `Independent` heuristic of Fig. 3).
-        self.stats.bound_evaluations += 1;
-        let current = dnf_bounds(&dnf, self.space);
+        // Quick bounds of this leaf (the `Independent` heuristic of Fig. 3);
+        // when the leaf was already bounded as a pending child the memo
+        // returns the same bounds without recomputation.
+        let current = self.memo_bounds(&dnf);
 
         // Check 1 (Proposition 5.8): can the whole computation stop now?
         let global = self.global_bounds(current, false);
@@ -830,6 +886,7 @@ mod tests {
             steps: 0,
             start: Instant::now(),
             budget_exhausted: false,
+            memo: Memo::default(),
         };
         let phi2 = Bounds::new(0.4, 0.44);
         // Check (1): with all leaves at their current bounds the condition
@@ -859,8 +916,68 @@ mod tests {
             steps: 0,
             start: Instant::now(),
             budget_exhausted: false,
+            memo: Memo::default(),
         };
         assert!(!dfs.closing_allowed());
+    }
+
+    /// The known double-evaluation is gone: a small leaf whose exact
+    /// probability is computed for the pending-child quick bounds is *not*
+    /// recomputed when the leaf is explored — the second request is a memo
+    /// hit, observable in [`CompileStats`].
+    #[test]
+    fn small_leaves_are_evaluated_exactly_once_per_run() {
+        // A chain over 30 variables: too large for the exact-leaf fast path
+        // at the root, so the DFS decomposes and produces ⊕/⊙ nodes whose
+        // pending children are bounded by `quick_bounds` (exactly the
+        // situation where small leaves used to be folded twice).
+        let probs: Vec<f64> = (0..30).map(|i| 0.15 + 0.02 * (i as f64 % 20.0)).collect();
+        let (s, vars) = bool_space(&probs);
+        let phi = Dnf::from_clauses(
+            (0..29).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])).collect::<Vec<_>>(),
+        );
+        let r = ApproxCompiler::new(ApproxOptions::absolute(1e-6)).run(&phi, &s);
+        assert!(r.converged);
+        let exact = exact_probability(&phi, &s, &CompileOptions::default()).probability;
+        assert!((r.estimate - exact).abs() <= 1e-6 + 1e-12);
+        // Every small leaf visited both as a pending child and as an explored
+        // node hits the memo the second time; at least one evaluation
+        // happened, and no request beyond the first per distinct leaf
+        // recomputed anything.
+        assert!(r.stats.exact_cache_hits > 0, "stats: {:?}", r.stats);
+        assert!(r.stats.exact_evaluations > 0);
+    }
+
+    /// A shared cache across runs: the second run of the same formula gets
+    /// its sub-results from the cache and returns bit-identical output.
+    #[test]
+    fn shared_cache_reuses_results_across_runs_bit_identically() {
+        let probs: Vec<f64> = (0..26).map(|i| 0.2 + 0.025 * (i as f64 % 16.0)).collect();
+        let (s, vars) = bool_space(&probs);
+        let phi = Dnf::from_clauses(
+            (0..25).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])).collect::<Vec<_>>(),
+        );
+        // Overlapping second lineage: shares a long sub-chain with `phi`.
+        let psi = Dnf::from_clauses(
+            (0..20).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])).collect::<Vec<_>>(),
+        );
+        let compiler = ApproxCompiler::new(ApproxOptions::absolute(1e-4));
+        let cache = SubformulaCache::new();
+        let uncached_phi = compiler.run(&phi, &s);
+        let uncached_psi = compiler.run(&psi, &s);
+        let cached_phi = compiler.run_cached(&phi, &s, &cache);
+        let cached_psi = compiler.run_cached(&psi, &s, &cache);
+        // A repeated run of the same lineage is served from the cache …
+        let cached_phi2 = compiler.run_cached(&phi, &s, &cache);
+        // … and all cached runs agree with the uncached ones to the bit.
+        assert_eq!(uncached_phi.estimate.to_bits(), cached_phi.estimate.to_bits());
+        assert_eq!(uncached_phi.lower.to_bits(), cached_phi.lower.to_bits());
+        assert_eq!(uncached_phi.upper.to_bits(), cached_phi.upper.to_bits());
+        assert_eq!(uncached_phi.estimate.to_bits(), cached_phi2.estimate.to_bits());
+        assert_eq!(uncached_psi.estimate.to_bits(), cached_psi.estimate.to_bits());
+        // The cache holds entries and was actually consulted.
+        assert!(!cache.is_empty());
+        assert!(cache.stats().hits > 0, "cache stats: {:?}", cache.stats());
     }
 
     /// Hierarchical-style lineage with origins: approximation with error 0

@@ -1,0 +1,287 @@
+//! Shared, thread-safe memoization of sub-formula results.
+//!
+//! The d-tree decomposition of the lineages of one query's answer tuples
+//! keeps encountering the same sub-DNFs — both *within* a single DFS run
+//! (a pending child is bounded by [`crate::approx`]'s `quick_bounds` and
+//! later explored, which used to recompute the same exact probability) and
+//! *across* lineages of a batch (answer tuples of the same query overlap
+//! heavily in their lineage).
+//!
+//! [`SubformulaCache`] memoizes the two expensive per-sub-DNF quantities:
+//!
+//! * the **exact probability** of small leaves (and, through
+//!   [`crate::exact_probability_cached`], of arbitrary sub-DNFs), and
+//! * the **bucket bounds** of open leaves ([`crate::dnf_bounds`]).
+//!
+//! Entries are keyed by [`events::DnfHash`], the canonical fingerprint of a
+//! normalised DNF. Both quantities are pure functions of
+//! `(formula, probability space)`, and a cache instance must only ever be
+//! used with **one** [`events::ProbabilitySpace`] — this is why the batch
+//! engine creates a fresh cache per batch. Within that contract, reusing a
+//! cached value is *bit-identical* to recomputing it: all producers are
+//! deterministic, so caching never changes a result, only the work done.
+//!
+//! The map is sharded, each shard behind its own [`RwLock`], so the parallel
+//! batch engine can probe and fill the cache from many threads with little
+//! contention. Hit/miss counters are atomic and can be snapshotted with
+//! [`SubformulaCache::stats`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use events::DnfHash;
+
+use crate::bounds::Bounds;
+
+/// Number of independently locked shards. A small power of two is enough:
+/// the critical sections are single hash-map probes.
+const SHARDS: usize = 16;
+
+/// One memo entry: whichever of the two quantities have been computed so far
+/// for a sub-formula.
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheEntry {
+    exact: Option<f64>,
+    bounds: Option<Bounds>,
+}
+
+/// A thread-safe memo table for exact leaf probabilities and bucket bounds,
+/// keyed by canonical DNF hash. See the [module documentation](self).
+#[derive(Debug, Default)]
+pub struct SubformulaCache {
+    shards: [RwLock<HashMap<DnfHash, CacheEntry>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A point-in-time snapshot of cache effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of lookups that found a stored value.
+    pub hits: u64,
+    /// Number of lookups that found nothing.
+    pub misses: u64,
+    /// Number of distinct sub-formulas currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl SubformulaCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SubformulaCache::default()
+    }
+
+    #[inline]
+    fn shard(&self, key: DnfHash) -> &RwLock<HashMap<DnfHash, CacheEntry>> {
+        &self.shards[key.shard(SHARDS)]
+    }
+
+    /// Looks up the exact probability stored for `key`, if any.
+    pub fn lookup_exact(&self, key: DnfHash) -> Option<f64> {
+        let found =
+            self.shard(key).read().expect("cache shard poisoned").get(&key).and_then(|e| e.exact);
+        self.count(found.is_some());
+        found
+    }
+
+    /// Stores the exact probability of the sub-formula identified by `key`.
+    pub fn store_exact(&self, key: DnfHash, probability: f64) {
+        let mut shard = self.shard(key).write().expect("cache shard poisoned");
+        shard.entry(key).or_default().exact = Some(probability);
+    }
+
+    /// Looks up the bucket bounds stored for `key`, if any.
+    pub fn lookup_bounds(&self, key: DnfHash) -> Option<Bounds> {
+        let found =
+            self.shard(key).read().expect("cache shard poisoned").get(&key).and_then(|e| e.bounds);
+        self.count(found.is_some());
+        found
+    }
+
+    /// Stores the bucket bounds of the sub-formula identified by `key`.
+    pub fn store_bounds(&self, key: DnfHash, bounds: Bounds) {
+        let mut shard = self.shard(key).write().expect("cache shard poisoned");
+        shard.entry(key).or_default().bounds = Some(bounds);
+    }
+
+    #[inline]
+    fn count(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of distinct sub-formulas stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().expect("cache shard poisoned").len()).sum()
+    }
+
+    /// `true` when nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshots the hit/miss counters and entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+/// Per-run memo used by the DFS approximation: a private (lock-free) map in
+/// front of an optional shared [`SubformulaCache`].
+///
+/// The private layer guarantees that *within one run* every sub-formula is
+/// evaluated at most once even when no shared cache is attached; the shared
+/// layer extends that guarantee across the lineages of a batch.
+#[derive(Debug, Default)]
+pub(crate) struct Memo<'c> {
+    exact: HashMap<DnfHash, f64>,
+    bounds: HashMap<DnfHash, Bounds>,
+    shared: Option<&'c SubformulaCache>,
+}
+
+impl<'c> Memo<'c> {
+    pub(crate) fn with_shared(shared: Option<&'c SubformulaCache>) -> Self {
+        Memo { exact: HashMap::new(), bounds: HashMap::new(), shared }
+    }
+
+    /// Returns the memoized exact probability for `key`, consulting the
+    /// private then the shared layer.
+    pub(crate) fn get_exact(&mut self, key: DnfHash) -> Option<f64> {
+        if let Some(&p) = self.exact.get(&key) {
+            return Some(p);
+        }
+        let p = self.shared?.lookup_exact(key)?;
+        self.exact.insert(key, p);
+        Some(p)
+    }
+
+    /// Records an exact probability in both layers.
+    pub(crate) fn put_exact(&mut self, key: DnfHash, probability: f64) {
+        self.exact.insert(key, probability);
+        if let Some(shared) = self.shared {
+            shared.store_exact(key, probability);
+        }
+    }
+
+    /// Returns the memoized bucket bounds for `key`.
+    pub(crate) fn get_bounds(&mut self, key: DnfHash) -> Option<Bounds> {
+        if let Some(&b) = self.bounds.get(&key) {
+            return Some(b);
+        }
+        let b = self.shared?.lookup_bounds(key)?;
+        self.bounds.insert(key, b);
+        Some(b)
+    }
+
+    /// Records bucket bounds in both layers.
+    pub(crate) fn put_bounds(&mut self, key: DnfHash, bounds: Bounds) {
+        self.bounds.insert(key, bounds);
+        if let Some(shared) = self.shared {
+            shared.store_bounds(key, bounds);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use events::{Dnf, VarId};
+
+    fn key(i: u32) -> DnfHash {
+        Dnf::literal(VarId(i)).canonical_hash()
+    }
+
+    #[test]
+    fn store_and_lookup_roundtrip() {
+        let cache = SubformulaCache::new();
+        let k = key(1);
+        assert_eq!(cache.lookup_exact(k), None);
+        cache.store_exact(k, 0.25);
+        assert_eq!(cache.lookup_exact(k), Some(0.25));
+        assert_eq!(cache.lookup_bounds(k), None);
+        cache.store_bounds(k, Bounds::new(0.1, 0.4));
+        let b = cache.lookup_bounds(k).unwrap();
+        assert_eq!((b.lower, b.upper), (0.1, 0.4));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let cache = SubformulaCache::new();
+        let k = key(2);
+        let _ = cache.lookup_exact(k); // miss (entry absent)
+        cache.store_exact(k, 0.5);
+        let _ = cache.lookup_exact(k); // hit
+        let _ = cache.lookup_bounds(k); // miss (entry present, bounds absent)
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.entries, 1);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_fill_is_consistent() {
+        let cache = SubformulaCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..100u32 {
+                        let k = key(i);
+                        cache.store_exact(k, f64::from(i) / 100.0);
+                        let _ = cache.lookup_exact(k);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 100);
+        for i in 0..100u32 {
+            assert_eq!(cache.lookup_exact(key(i)), Some(f64::from(i) / 100.0));
+        }
+    }
+
+    #[test]
+    fn memo_prefers_private_layer_and_fills_shared() {
+        let shared = SubformulaCache::new();
+        let mut memo = Memo::with_shared(Some(&shared));
+        let k = key(9);
+        assert_eq!(memo.get_exact(k), None);
+        memo.put_exact(k, 0.75);
+        assert_eq!(memo.get_exact(k), Some(0.75));
+        // The shared layer saw the store.
+        assert_eq!(shared.lookup_exact(k), Some(0.75));
+        // A fresh memo over the same shared cache hits through it.
+        let mut memo2 = Memo::with_shared(Some(&shared));
+        assert_eq!(memo2.get_exact(k), Some(0.75));
+    }
+
+    #[test]
+    fn memo_without_shared_layer_is_private() {
+        let mut memo = Memo::with_shared(None);
+        let k = key(3);
+        assert_eq!(memo.get_bounds(k), None);
+        memo.put_bounds(k, Bounds::point(0.3));
+        assert!(memo.get_bounds(k).unwrap().is_point());
+    }
+}

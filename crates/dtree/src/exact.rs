@@ -10,6 +10,7 @@
 
 use events::{product_factorization, Dnf, ProbabilitySpace};
 
+use crate::cache::SubformulaCache;
 use crate::compile::CompileOptions;
 use crate::order::choose_variable;
 use crate::stats::CompileStats;
@@ -31,7 +32,26 @@ pub fn exact_probability(
     opts: &CompileOptions,
 ) -> ExactResult {
     let mut stats = CompileStats::default();
-    let probability = exact_rec(dnf, space, opts, &mut stats, 0);
+    let probability = exact_rec(dnf, space, opts, &mut stats, 0, None);
+    ExactResult { probability, stats }
+}
+
+/// Like [`exact_probability`], but memoizing every non-trivial sub-DNF's
+/// probability in a shared [`SubformulaCache`], so repeated sub-formulas —
+/// within one lineage or across the lineages of a batch — are computed once.
+///
+/// The cache must only be used with a single probability space. Because the
+/// evaluation is deterministic, a cached value is bit-identical to what the
+/// uncached recursion would compute, so `exact_probability_cached` returns
+/// exactly the probability [`exact_probability`] would.
+pub fn exact_probability_cached(
+    dnf: &Dnf,
+    space: &ProbabilitySpace,
+    opts: &CompileOptions,
+    cache: &SubformulaCache,
+) -> ExactResult {
+    let mut stats = CompileStats::default();
+    let probability = exact_rec(dnf, space, opts, &mut stats, 0, Some(cache));
     ExactResult { probability, stats }
 }
 
@@ -41,6 +61,33 @@ fn exact_rec(
     opts: &CompileOptions,
     stats: &mut CompileStats,
     depth: usize,
+    cache: Option<&SubformulaCache>,
+) -> f64 {
+    // Memoize non-trivial sub-DNFs (constants and single clauses are cheaper
+    // to recompute than to hash).
+    if let Some(c) = cache {
+        if dnf.len() >= 2 {
+            let key = dnf.canonical_hash();
+            if let Some(p) = c.lookup_exact(key) {
+                stats.exact_cache_hits += 1;
+                return p;
+            }
+            let p = exact_step(dnf, space, opts, stats, depth, cache);
+            stats.exact_evaluations += 1;
+            c.store_exact(key, p);
+            return p;
+        }
+    }
+    exact_step(dnf, space, opts, stats, depth, cache)
+}
+
+fn exact_step(
+    dnf: &Dnf,
+    space: &ProbabilitySpace,
+    opts: &CompileOptions,
+    stats: &mut CompileStats,
+    depth: usize,
+    cache: Option<&SubformulaCache>,
 ) -> f64 {
     stats.max_depth = stats.max_depth.max(depth);
 
@@ -70,7 +117,7 @@ fn exact_rec(
         stats.or_nodes += 1;
         let mut prod = 1.0;
         for c in &components {
-            prod *= 1.0 - exact_rec(c, space, opts, stats, depth + 1);
+            prod *= 1.0 - exact_rec(c, space, opts, stats, depth + 1, cache);
         }
         return 1.0 - prod;
     }
@@ -82,7 +129,7 @@ fn exact_rec(
         stats.exact_leaves += common.len();
         let factored: f64 = common.iter().map(|a| space.atom_prob(*a)).product();
         let rest = dnf.strip_atoms(&common);
-        return factored * exact_rec(&rest, space, opts, stats, depth + 1);
+        return factored * exact_rec(&rest, space, opts, stats, depth + 1, cache);
     }
 
     // Step 3b: independent-and (⊙) by relational product factorization.
@@ -91,7 +138,8 @@ fn exact_rec(
             stats.and_nodes += 1;
             let mut prod = 1.0;
             for clauses in factors {
-                prod *= exact_rec(&Dnf::from_clauses(clauses), space, opts, stats, depth + 1);
+                prod *=
+                    exact_rec(&Dnf::from_clauses(clauses), space, opts, stats, depth + 1, cache);
             }
             return prod;
         }
@@ -105,7 +153,8 @@ fn exact_rec(
     for (value, cofactor) in dnf.shannon_cofactors(var, space) {
         stats.and_nodes += 1;
         stats.exact_leaves += 1;
-        total += space.prob(var, value) * exact_rec(&cofactor, space, opts, stats, depth + 1);
+        total +=
+            space.prob(var, value) * exact_rec(&cofactor, space, opts, stats, depth + 1, cache);
     }
     total.min(1.0)
 }

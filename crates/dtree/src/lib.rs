@@ -19,6 +19,11 @@
 //!   without materialising it ([`exact_probability`]), which is polynomial
 //!   for all known tractable conjunctive queries without self-joins
 //!   (Section VI) when the lineage carries variable-origin metadata.
+//! * **Shared sub-formula memoization** ([`SubformulaCache`]): a thread-safe
+//!   memo of exact leaf probabilities and bucket bounds keyed by canonical
+//!   DNF hash, reused both within one approximation run and across the
+//!   lineages of a batch ([`ApproxCompiler::run_cached`],
+//!   [`exact_probability_cached`]).
 //!
 //! # Quick example
 //!
@@ -52,6 +57,7 @@
 
 mod approx;
 mod bounds;
+mod cache;
 mod compile;
 mod exact;
 mod node;
@@ -63,8 +69,9 @@ pub use approx::{ApproxCompiler, ApproxOptions, ApproxResult, ErrorBound, Refine
 pub use bounds::{
     dnf_bounds, dnf_bounds_fig3, dnf_bounds_sorted, independent_or_upper_bound, Bounds,
 };
+pub use cache::{CacheStats, SubformulaCache};
 pub use compile::{compile, CompileOptions};
-pub use exact::{exact_probability, ExactResult};
+pub use exact::{exact_probability, exact_probability_cached, ExactResult};
 pub use node::DTree;
 pub use order::{choose_iq_variable, choose_variable, VarOrder};
 pub use partial::{PartialDTree, PartialNodeId};

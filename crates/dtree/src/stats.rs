@@ -21,8 +21,20 @@ pub struct CompileStats {
     pub subsumed_clauses: usize,
     /// Maximum recursion depth reached.
     pub max_depth: usize,
-    /// Number of bucket-bound computations (leaf bound evaluations).
+    /// Number of bucket-bound computations (leaf bound evaluations) actually
+    /// performed (memo misses).
     pub bound_evaluations: usize,
+    /// Number of exact sub-formula evaluations actually performed (memo
+    /// misses). During a DFS approximation this counts the small leaves whose
+    /// complete sub-d-tree was folded; during cached exact evaluation it
+    /// counts the memoized decomposition nodes that had to be computed.
+    pub exact_evaluations: usize,
+    /// Number of exact sub-formula results served from the memo instead of
+    /// being recomputed.
+    pub exact_cache_hits: usize,
+    /// Number of bucket-bound results served from the memo instead of being
+    /// recomputed.
+    pub bound_cache_hits: usize,
 }
 
 impl CompileStats {
@@ -56,6 +68,9 @@ impl CompileStats {
         self.subsumed_clauses += other.subsumed_clauses;
         self.max_depth = self.max_depth.max(other.max_depth);
         self.bound_evaluations += other.bound_evaluations;
+        self.exact_evaluations += other.exact_evaluations;
+        self.exact_cache_hits += other.exact_cache_hits;
+        self.bound_cache_hits += other.bound_cache_hits;
     }
 }
 
@@ -74,6 +89,7 @@ mod tests {
             subsumed_clauses: 3,
             max_depth: 4,
             bound_evaluations: 7,
+            ..Default::default()
         };
         assert_eq!(s.inner_nodes(), 10);
         assert_eq!(s.total_nodes(), 17);

@@ -346,6 +346,12 @@ impl fmt::Display for Dnf {
     }
 }
 
+impl AsRef<Dnf> for Dnf {
+    fn as_ref(&self) -> &Dnf {
+        self
+    }
+}
+
 impl FromIterator<Clause> for Dnf {
     fn from_iter<T: IntoIterator<Item = Clause>>(iter: T) -> Self {
         Dnf::from_clauses(iter)

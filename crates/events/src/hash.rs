@@ -1,0 +1,178 @@
+//! Canonical hashing of DNF formulas.
+//!
+//! Answer tuples of the same query share large parts of their lineage: the
+//! d-tree decomposition of two overlapping lineages keeps producing the same
+//! sub-DNFs, whose exact probabilities and bucket bounds are expensive to
+//! recompute. To memoize those results across decomposition steps — and
+//! across *lineages* inside one batch — sub-formulas need a cheap, canonical
+//! identity.
+//!
+//! [`DnfHash`] provides that identity as a 128-bit fingerprint:
+//!
+//! * **Canonical** — [`crate::Dnf`] normalises on construction (clauses are
+//!   sorted and deduplicated, atoms inside a clause are sorted), so two DNFs
+//!   representing the same set of clauses hash identically no matter how they
+//!   were built.
+//! * **Collision-resistant in practice** — two independent 64-bit
+//!   accumulators are mixed with a SplitMix64-style finalizer per atom and
+//!   per clause boundary. For the workload sizes this repository targets
+//!   (up to millions of distinct sub-formulas per batch) the collision
+//!   probability of the combined 128-bit digest is negligible; callers that
+//!   need certainty can keep the formula alongside the key and verify on
+//!   lookup.
+//! * **Cheap** — one pass over the atoms, no allocation.
+//!
+//! The hash identifies the *formula only*. Derived quantities such as
+//! probabilities are additionally a function of the
+//! [`crate::ProbabilitySpace`]; caches keyed by `DnfHash` must therefore not
+//! be shared across different spaces.
+
+use crate::Dnf;
+
+/// A canonical 128-bit fingerprint of a [`Dnf`].
+///
+/// Equal DNFs (same normalised clause set) always produce equal hashes;
+/// unequal DNFs produce equal hashes only with negligible probability. See
+/// the [module documentation](self) for the guarantees and caveats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DnfHash {
+    hi: u64,
+    lo: u64,
+}
+
+/// SplitMix64 finalizer: a cheap full-avalanche mixing function.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Marker mixed in at every clause boundary so that clause structure is part
+/// of the digest (`{x, y}` and `{x}, {y}` must not collide trivially).
+const CLAUSE_SEP: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl DnfHash {
+    /// Computes the canonical hash of a DNF.
+    ///
+    /// Exposed as [`Dnf::canonical_hash`]; this associated function is the
+    /// implementation.
+    pub fn of(dnf: &Dnf) -> DnfHash {
+        // Two accumulators with different seeds give 128 independent bits.
+        let mut hi: u64 = 0x8000_0000_0000_001b ^ dnf.len() as u64;
+        let mut lo: u64 = 0x5bf0_3635_dcf3_e5ab ^ (dnf.len() as u64).rotate_left(17);
+        for clause in dnf.clauses() {
+            hi = mix(hi ^ CLAUSE_SEP);
+            lo = mix(lo ^ CLAUSE_SEP.rotate_left(31));
+            for atom in clause.atoms() {
+                let packed = ((atom.var.0 as u64) << 32) | atom.value as u64;
+                hi = mix(hi ^ packed);
+                lo = mix(lo ^ packed.rotate_left(13) ^ 0xd6e8_feb8_6659_fd93);
+            }
+        }
+        DnfHash { hi, lo }
+    }
+
+    /// The fingerprint as a single 128-bit integer.
+    #[inline]
+    pub fn to_u128(self) -> u128 {
+        ((self.hi as u128) << 64) | self.lo as u128
+    }
+
+    /// Maps the hash onto one of `n` shards (used by sharded caches).
+    #[inline]
+    pub fn shard(self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.lo as usize) % n
+    }
+}
+
+impl Dnf {
+    /// The canonical 128-bit fingerprint of this DNF; see [`DnfHash`].
+    pub fn canonical_hash(&self) -> DnfHash {
+        DnfHash::of(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Atom, Clause, VarId};
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn equal_dnfs_hash_equal_regardless_of_construction_order() {
+        let a =
+            Dnf::from_clauses(vec![Clause::from_bools(&[v(0), v(1)]), Clause::from_bools(&[v(2)])]);
+        let b =
+            Dnf::from_clauses(vec![Clause::from_bools(&[v(2)]), Clause::from_bools(&[v(1), v(0)])]);
+        assert_eq!(a, b);
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+    }
+
+    #[test]
+    fn different_dnfs_hash_differently() {
+        let base = Dnf::from_clauses(vec![Clause::from_bools(&[v(0), v(1)])]);
+        let variants = vec![
+            Dnf::empty(),
+            Dnf::tautology(),
+            Dnf::literal(v(0)),
+            Dnf::literal(v(1)),
+            // Same variables, different clause structure.
+            Dnf::from_clauses(vec![Clause::from_bools(&[v(0)]), Clause::from_bools(&[v(1)])]),
+            // Same variables, different value binding.
+            Dnf::from_clauses(vec![Clause::from_atoms(vec![Atom::pos(v(0)), Atom::neg(v(1))])]),
+        ];
+        let mut seen = vec![base.canonical_hash()];
+        for d in &variants {
+            let h = d.canonical_hash();
+            assert!(!seen.contains(&h), "collision for {d}");
+            seen.push(h);
+        }
+    }
+
+    #[test]
+    fn hash_is_stable_across_clones() {
+        let d =
+            Dnf::from_clauses(vec![Clause::from_bools(&[v(3), v(7)]), Clause::from_bools(&[v(1)])]);
+        assert_eq!(d.canonical_hash(), d.clone().canonical_hash());
+    }
+
+    #[test]
+    fn shard_is_in_range() {
+        for i in 0..50u32 {
+            let d = Dnf::literal(v(i));
+            assert!(d.canonical_hash().shard(16) < 16);
+        }
+    }
+
+    #[test]
+    fn many_random_like_dnfs_have_no_pairwise_collisions() {
+        // Deterministic pseudo-random battery: 2000 distinct structured DNFs.
+        let mut hashes = std::collections::HashSet::new();
+        let mut count = 0usize;
+        for i in 0..20u32 {
+            for j in 0..10u32 {
+                for k in 0..10u32 {
+                    let d = Dnf::from_clauses(vec![
+                        Clause::from_bools(&[v(i), v(100 + j)]),
+                        Clause::from_bools(&[v(200 + k)]),
+                    ]);
+                    assert!(
+                        hashes.insert(d.canonical_hash().to_u128()),
+                        "collision at {i},{j},{k}"
+                    );
+                    count += 1;
+                }
+            }
+        }
+        assert_eq!(count, 2000);
+        assert_eq!(hashes.len(), 2000);
+    }
+}

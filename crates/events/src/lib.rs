@@ -16,6 +16,9 @@
 //! * independence partitioning (connected components of the variable
 //!   co-occurrence graph) and product factorization, the structural analyses
 //!   the d-tree compiler builds on,
+//! * [`DnfHash`] — a canonical 128-bit fingerprint of a DNF, the key under
+//!   which sub-formula probabilities and bounds are memoized across the
+//!   lineages of a query batch,
 //! * [`Formula`] — arbitrary positive ∧/∨ formulas and read-once (1OF)
 //!   evaluation.
 //!
@@ -48,6 +51,7 @@ mod clause;
 mod dnf;
 mod error;
 mod formula;
+mod hash;
 mod partition;
 mod space;
 mod world;
@@ -57,6 +61,7 @@ pub use clause::Clause;
 pub use dnf::Dnf;
 pub use error::EventError;
 pub use formula::Formula;
+pub use hash::DnfHash;
 pub use partition::{connected_components, product_factorization, UnionFind, VarOrigins};
 pub use space::{ProbabilitySpace, VariableInfo};
 pub use world::{enumerate_worlds, Valuation};

@@ -134,20 +134,24 @@ pub fn connected_components(clauses: &[Clause]) -> Vec<Vec<usize>> {
 /// query lineage, the input relation (or query subgoal) the variable's tuple
 /// came from. Origin information drives both the independent-and product
 /// factorization and the tractable variable-elimination orders of Section VI.
+/// Cloning is cheap: the map is behind an [`std::sync::Arc`] that is only
+/// copied on write, so per-lineage front-ends can clone the origins into
+/// their compile options without paying for the whole map — millions of
+/// variables would otherwise make every confidence call `O(database)`.
 #[derive(Debug, Clone, Default)]
 pub struct VarOrigins {
-    origin: BTreeMap<VarId, u32>,
+    origin: std::sync::Arc<BTreeMap<VarId, u32>>,
 }
 
 impl VarOrigins {
     /// Creates an empty origin map.
     pub fn new() -> Self {
-        VarOrigins { origin: BTreeMap::new() }
+        VarOrigins::default()
     }
 
     /// Records that `var` originates from group `group` (e.g. relation id).
     pub fn set(&mut self, var: VarId, group: u32) {
-        self.origin.insert(var, group);
+        std::sync::Arc::make_mut(&mut self.origin).insert(var, group);
     }
 
     /// The origin group of `var`, if known.

@@ -8,7 +8,8 @@
 use std::time::Duration;
 
 use dtree::{
-    exact_probability, ApproxCompiler, ApproxOptions, CompileOptions, ErrorBound, VarOrder,
+    exact_probability, exact_probability_cached, ApproxCompiler, ApproxOptions, CompileOptions,
+    ErrorBound, SubformulaCache, VarOrder,
 };
 use events::{Dnf, ProbabilitySpace, VarOrigins};
 use montecarlo::{aconf, naive_monte_carlo, McOptions, NaiveOptions};
@@ -54,9 +55,15 @@ impl ConfidenceMethod {
 pub struct ConfidenceResult {
     /// The probability estimate.
     pub estimate: f64,
-    /// Lower bound (equal to the estimate for exact/Monte-Carlo methods).
+    /// Lower bound on the probability. For d-tree methods this is a *sound*
+    /// bound (the true probability always lies in `[lower, upper]`); for
+    /// Monte-Carlo methods it is the lower end of the method's (ε, δ)
+    /// confidence interval, which contains the true probability with
+    /// probability at least `1 − δ` when `converged` is `true`. Exact methods
+    /// report `lower == estimate == upper`.
     pub lower: f64,
-    /// Upper bound (equal to the estimate for exact/Monte-Carlo methods).
+    /// Upper bound on the probability; see [`ConfidenceResult::lower`] for
+    /// the per-method semantics.
     pub upper: f64,
     /// Whether the requested guarantee was met within the budget.
     pub converged: bool,
@@ -66,8 +73,12 @@ pub struct ConfidenceResult {
     pub method: String,
 }
 
-/// Budgets applied to any method (mainly used by the benchmark harness so a
-/// slow baseline cannot stall a whole experiment).
+/// Budgets applied to any method — including [`ConfidenceMethod::DTreeExact`],
+/// which is routed through the ε = 0 approximation path when a budget is set
+/// so that truncation yields sound partial bounds with `converged = false`
+/// instead of stalling. Mainly used by the benchmark harness and the batch
+/// engine so a slow baseline or a single hard lineage cannot stall a whole
+/// experiment.
 #[derive(Debug, Clone, Default)]
 pub struct ConfidenceBudget {
     /// Wall-clock timeout.
@@ -88,6 +99,29 @@ pub fn confidence(
     method: &ConfidenceMethod,
     budget: &ConfidenceBudget,
 ) -> ConfidenceResult {
+    confidence_with(lineage, space, origins, method, budget, None, None)
+}
+
+/// [`confidence`] with the two knobs the batch engine needs: a deterministic
+/// RNG seed for the Monte-Carlo methods and a shared [`SubformulaCache`] for
+/// the d-tree methods.
+///
+/// * `seed` — when `Some`, Karp-Luby and naive sampling are seeded with it
+///   (making the call reproducible); when `None` they seed from entropy as
+///   [`confidence`] does. The d-tree methods are deterministic and ignore it.
+/// * `cache` — when `Some`, the d-tree methods memoize exact sub-formula
+///   probabilities and bucket bounds in it. The cache must only be used with
+///   a single probability space; within that contract results are
+///   bit-identical to the uncached call.
+pub fn confidence_with(
+    lineage: &Dnf,
+    space: &ProbabilitySpace,
+    origins: Option<&VarOrigins>,
+    method: &ConfidenceMethod,
+    budget: &ConfidenceBudget,
+    seed: Option<u64>,
+    cache: Option<&SubformulaCache>,
+) -> ConfidenceResult {
     let compile_opts = match origins {
         Some(o) => CompileOptions::with_origins(o.clone()),
         None => {
@@ -96,15 +130,48 @@ pub fn confidence(
     };
     match method {
         ConfidenceMethod::DTreeExact => {
-            let start = std::time::Instant::now();
-            let r = exact_probability(lineage, space, &compile_opts);
-            ConfidenceResult {
-                estimate: r.probability,
-                lower: r.probability,
-                upper: r.probability,
-                converged: true,
-                elapsed: start.elapsed(),
-                method: method.label(),
+            if budget.timeout.is_none() && budget.max_work.is_none() {
+                // No budget: plain exact evaluation (no leaf bounds computed;
+                // the paper notes this can be faster than ε-approximation).
+                let start = std::time::Instant::now();
+                let r = match cache {
+                    Some(c) => exact_probability_cached(lineage, space, &compile_opts, c),
+                    None => exact_probability(lineage, space, &compile_opts),
+                };
+                ConfidenceResult {
+                    estimate: r.probability,
+                    lower: r.probability,
+                    upper: r.probability,
+                    converged: true,
+                    elapsed: start.elapsed(),
+                    method: method.label(),
+                }
+            } else {
+                // Budgeted: route through the approximation compiler with
+                // ε = 0 so the step/time budget actually applies and a hard
+                // lineage cannot stall a batch. On truncation the result
+                // carries the (still sound) partial bounds and
+                // `converged = false`.
+                let opts = ApproxOptions {
+                    error: ErrorBound::Absolute(0.0),
+                    compile: compile_opts,
+                    strategy: Default::default(),
+                    max_steps: budget.max_work.map(|w| w as usize),
+                    timeout: budget.timeout,
+                };
+                let compiler = ApproxCompiler::new(opts);
+                let r = match cache {
+                    Some(c) => compiler.run_cached(lineage, space, c),
+                    None => compiler.run(lineage, space),
+                };
+                ConfidenceResult {
+                    estimate: r.estimate,
+                    lower: r.lower,
+                    upper: r.upper,
+                    converged: r.converged,
+                    elapsed: r.elapsed,
+                    method: method.label(),
+                }
             }
         }
         ConfidenceMethod::DTreeAbsolute(eps) | ConfidenceMethod::DTreeRelative(eps) => {
@@ -112,17 +179,18 @@ pub fn confidence(
                 ConfidenceMethod::DTreeAbsolute(_) => ErrorBound::Absolute(*eps),
                 _ => ErrorBound::Relative(*eps),
             };
-            let mut opts = ApproxOptions {
+            let opts = ApproxOptions {
                 error,
                 compile: compile_opts,
                 strategy: Default::default(),
                 max_steps: budget.max_work.map(|w| w as usize),
                 timeout: budget.timeout,
             };
-            if budget.timeout.is_none() && budget.max_work.is_none() {
-                opts.max_steps = None;
-            }
-            let r = ApproxCompiler::new(opts).run(lineage, space);
+            let compiler = ApproxCompiler::new(opts);
+            let r = match cache {
+                Some(c) => compiler.run_cached(lineage, space, c),
+                None => compiler.run(lineage, space),
+            };
             ConfidenceResult {
                 estimate: r.estimate,
                 lower: r.lower,
@@ -140,11 +208,19 @@ pub fn confidence(
             if let Some(w) = budget.max_work {
                 opts = opts.with_max_samples(w);
             }
+            if let Some(s) = seed {
+                opts = opts.with_seed(s);
+            }
             let r = aconf(lineage, space, &opts);
+            // The (ε, δ) guarantee is relative: p̂ ∈ [(1−ε)p, (1+ε)p] with
+            // probability ≥ 1 − δ, hence p ∈ [p̂/(1+ε), p̂/(1−ε)].
+            let eps = epsilon.max(0.0);
+            let lower = (r.estimate / (1.0 + eps)).clamp(0.0, 1.0);
+            let upper = if eps < 1.0 { (r.estimate / (1.0 - eps)).clamp(0.0, 1.0) } else { 1.0 };
             ConfidenceResult {
                 estimate: r.estimate,
-                lower: r.estimate,
-                upper: r.estimate,
+                lower,
+                upper,
                 converged: r.converged,
                 elapsed: r.elapsed,
                 method: method.label(),
@@ -158,11 +234,16 @@ pub fn confidence(
             if let Some(w) = budget.max_work {
                 opts = opts.with_samples(w);
             }
+            if let Some(s) = seed {
+                opts = opts.with_seed(s);
+            }
             let r = naive_monte_carlo(lineage, space, &opts);
+            // Additive (ε, δ) guarantee: p ∈ [p̂ − ε, p̂ + ε] with
+            // probability ≥ 1 − δ.
             ConfidenceResult {
                 estimate: r.estimate,
-                lower: r.estimate,
-                upper: r.estimate,
+                lower: (r.estimate - epsilon).clamp(0.0, 1.0),
+                upper: (r.estimate + epsilon).clamp(0.0, 1.0),
                 converged: r.converged,
                 elapsed: r.elapsed,
                 method: method.label(),
@@ -252,6 +333,101 @@ mod tests {
             &budget,
         );
         assert!(!r.converged);
+    }
+
+    /// A chain DNF over more variables than the approximation's exact-leaf
+    /// threshold, so a budgeted run genuinely has to decompose.
+    fn hard_lineage() -> (events::ProbabilitySpace, Dnf) {
+        let mut s = events::ProbabilitySpace::new();
+        let vars: Vec<_> =
+            (0..18).map(|i| s.add_bool(format!("x{i}"), 0.2 + 0.03 * i as f64)).collect();
+        let phi = Dnf::from_clauses(
+            (0..17)
+                .map(|i| events::Clause::from_bools(&[vars[i], vars[i + 1]]))
+                .collect::<Vec<_>>(),
+        );
+        (s, phi)
+    }
+
+    #[test]
+    fn dtree_exact_respects_budget() {
+        let (s, phi) = hard_lineage();
+        // One decomposition step cannot finish this chain: the run must be
+        // truncated, report sound bounds, and flag non-convergence instead of
+        // silently ignoring the budget.
+        let budget = ConfidenceBudget { timeout: None, max_work: Some(1) };
+        let r = confidence(&phi, &s, None, &ConfidenceMethod::DTreeExact, &budget);
+        assert!(!r.converged, "a 1-step budget must truncate: {r:?}");
+        let exact = phi.exact_probability_enumeration(&s);
+        assert!(r.lower <= exact + 1e-9 && exact <= r.upper + 1e-9);
+        // Without a budget the same method converges to the exact value.
+        let full =
+            confidence(&phi, &s, None, &ConfidenceMethod::DTreeExact, &ConfidenceBudget::default());
+        assert!(full.converged);
+        assert!((full.estimate - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monte_carlo_methods_report_interval_bounds() {
+        let (db, lineage) = sample_lineage();
+        let exact = lineage.exact_probability_enumeration(db.space());
+        let budget = ConfidenceBudget::default();
+        let kl = ConfidenceMethod::KarpLuby { epsilon: 0.1, delta: 0.01 };
+        let r = confidence(&lineage, db.space(), None, &kl, &budget);
+        // Relative (ε, δ) interval: strictly wider than a point, bracketing
+        // the estimate, inside [0, 1].
+        assert!(r.lower < r.estimate && r.estimate < r.upper, "{r:?}");
+        assert!((0.0..=1.0).contains(&r.lower) && (0.0..=1.0).contains(&r.upper));
+        assert!((r.lower - r.estimate / 1.1).abs() < 1e-12);
+        assert!((r.upper - r.estimate / 0.9).abs() < 1e-12 || r.upper == 1.0);
+        assert!(r.lower <= exact + 0.2, "interval should be near the true value");
+        let naive = ConfidenceMethod::NaiveMonteCarlo { epsilon: 0.05 };
+        let r = confidence(&lineage, db.space(), None, &naive, &budget);
+        // Additive (ε, δ) interval: estimate ± ε clamped to [0, 1].
+        assert!((r.upper - r.lower) <= 0.1 + 1e-12);
+        assert!(r.lower <= r.estimate && r.estimate <= r.upper);
+        assert!((0.0..=1.0).contains(&r.lower) && (0.0..=1.0).contains(&r.upper));
+    }
+
+    #[test]
+    fn seeded_monte_carlo_is_reproducible() {
+        let (db, lineage) = sample_lineage();
+        let budget = ConfidenceBudget::default();
+        let m = ConfidenceMethod::KarpLuby { epsilon: 0.05, delta: 0.01 };
+        let a = confidence_with(&lineage, db.space(), None, &m, &budget, Some(42), None);
+        let b = confidence_with(&lineage, db.space(), None, &m, &budget, Some(42), None);
+        assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        let m = ConfidenceMethod::NaiveMonteCarlo { epsilon: 0.05 };
+        let a = confidence_with(&lineage, db.space(), None, &m, &budget, Some(7), None);
+        let b = confidence_with(&lineage, db.space(), None, &m, &budget, Some(7), None);
+        assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+    }
+
+    #[test]
+    fn cached_confidence_is_bit_identical_to_uncached() {
+        let (db, lineage) = sample_lineage();
+        let budget = ConfidenceBudget::default();
+        let cache = SubformulaCache::new();
+        for m in [
+            ConfidenceMethod::DTreeExact,
+            ConfidenceMethod::DTreeAbsolute(0.01),
+            ConfidenceMethod::DTreeRelative(0.01),
+        ] {
+            let plain = confidence(&lineage, db.space(), Some(db.origins()), &m, &budget);
+            let cached = confidence_with(
+                &lineage,
+                db.space(),
+                Some(db.origins()),
+                &m,
+                &budget,
+                None,
+                Some(&cache),
+            );
+            assert_eq!(plain.estimate.to_bits(), cached.estimate.to_bits(), "{}", plain.method);
+            assert_eq!(plain.lower.to_bits(), cached.lower.to_bits());
+            assert_eq!(plain.upper.to_bits(), cached.upper.to_bits());
+            assert_eq!(plain.converged, cached.converged);
+        }
     }
 
     #[test]

@@ -1,0 +1,454 @@
+//! Batched confidence computation: the [`ConfidenceEngine`].
+//!
+//! The paper's d-tree approximation (Section V) is meant to answer *whole
+//! queries* — every answer tuple's lineage — under one budget. The
+//! per-lineage [`crate::confidence::confidence`] front-end cannot exploit
+//! that: it re-derives options per call, computes every sub-formula from
+//! scratch, and applies budgets per lineage, so one hard lineage can eat the
+//! whole experiment's time.
+//!
+//! [`ConfidenceEngine::confidence_batch`] fixes all three at once:
+//!
+//! * **Shared deadline** — the batch's [`ConfidenceBudget::timeout`] is
+//!   converted into one absolute deadline; every lineage gets whatever time
+//!   remains, so the batch as a whole terminates on schedule and stragglers
+//!   return sound partial bounds with `converged = false`.
+//! * **Parallelism** — lineages are distributed over a scoped thread pool
+//!   ([`std::thread::scope`], no extra dependencies) with work stealing via
+//!   an atomic cursor.
+//! * **Shared memoization** — answer tuples of the same query overlap heavily
+//!   in their lineage sub-formulas; a per-batch, thread-safe
+//!   [`SubformulaCache`] lets every d-tree run reuse exact leaf probabilities
+//!   and bucket bounds computed by any other run in the batch. Because all
+//!   producers are deterministic, cached results are *bit-identical* to what
+//!   the per-lineage front-end computes.
+//!
+//! Reproducibility: the Monte-Carlo methods seed from entropy by default.
+//! Give the engine a base seed with [`ConfidenceEngine::with_seed`] and every
+//! lineage `i` gets the deterministic per-item seed
+//! [`ConfidenceEngine::item_seed`]`(base, i)`, independent of thread
+//! scheduling, so batches are reproducible and comparable with seeded
+//! per-lineage calls.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dtree::{CacheStats, SubformulaCache};
+use events::{Dnf, ProbabilitySpace, VarOrigins};
+
+use crate::confidence::{confidence_with, ConfidenceBudget, ConfidenceMethod, ConfidenceResult};
+
+/// Result of a batched confidence computation.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-lineage results, in input order.
+    pub results: Vec<ConfidenceResult>,
+    /// Wall-clock time for the whole batch (not the sum of per-item times —
+    /// with `n` threads this is roughly the sum divided by `n`).
+    pub wall: Duration,
+    /// Effectiveness counters of the shared sub-formula cache (all zeros when
+    /// the cache was disabled).
+    pub cache: CacheStats,
+}
+
+impl BatchResult {
+    /// `true` when every lineage met its guarantee within the budget.
+    pub fn all_converged(&self) -> bool {
+        self.results.iter().all(|r| r.converged)
+    }
+
+    /// Sum of the per-item algorithm times (the quantity the paper reports
+    /// for multi-answer queries).
+    pub fn total_compute(&self) -> Duration {
+        self.results.iter().map(|r| r.elapsed).sum()
+    }
+}
+
+/// Computes the confidences of a whole query result — all answer tuples'
+/// lineages — in one call. See the [module documentation](self).
+#[derive(Debug, Clone)]
+pub struct ConfidenceEngine {
+    method: ConfidenceMethod,
+    budget: ConfidenceBudget,
+    threads: Option<usize>,
+    seed: Option<u64>,
+    share_cache: bool,
+}
+
+impl ConfidenceEngine {
+    /// An engine for the given method with no budget, automatic parallelism,
+    /// entropy-seeded Monte-Carlo, and the shared cache enabled.
+    pub fn new(method: ConfidenceMethod) -> Self {
+        ConfidenceEngine {
+            method,
+            budget: ConfidenceBudget::default(),
+            threads: None,
+            seed: None,
+            share_cache: true,
+        }
+    }
+
+    /// Sets the per-batch budget. The `timeout` is a *shared deadline*: it
+    /// bounds the whole batch, not each lineage. `max_work` still applies per
+    /// lineage (it bounds decomposition steps / samples, which are per-run
+    /// quantities).
+    pub fn with_budget(mut self, budget: ConfidenceBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Fixes the number of worker threads (default: one per available CPU,
+    /// capped by the batch size). `1` forces sequential evaluation.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Sets a base seed making the Monte-Carlo methods reproducible: lineage
+    /// `i` is evaluated with [`ConfidenceEngine::item_seed`]`(seed, i)`.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Disables the shared sub-formula cache (useful for measuring its
+    /// effect; results are identical either way).
+    pub fn without_cache(mut self) -> Self {
+        self.share_cache = false;
+        self
+    }
+
+    /// The deterministic per-item seed derived from a base seed, independent
+    /// of thread scheduling (SplitMix64 over `base ⊕ index`).
+    pub fn item_seed(base: u64, index: usize) -> u64 {
+        let mut x = base ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    /// Computes the confidence of every lineage in `lineages` (accepts
+    /// `&[Dnf]` as well as `&[&Dnf]`) over one shared probability space.
+    ///
+    /// Results come back in input order. With no timeout set the results are
+    /// bit-identical to calling [`crate::confidence::confidence`] (or, for
+    /// seeded engines, [`confidence_with`] with the matching item seed) on
+    /// each lineage — batching changes the work done, never the answers.
+    ///
+    /// For the deterministic d-tree methods, *duplicate* lineages in the
+    /// batch (common in answer relations with symmetries, and in user
+    /// traffic repeating the same query) are detected up front by canonical
+    /// hash (verified by structural equality) and evaluated once; the
+    /// duplicate receives a copy of the result with `elapsed` zeroed (no
+    /// work ran for it), identical in every value-bearing field.
+    pub fn confidence_batch<L: AsRef<Dnf> + Sync>(
+        &self,
+        lineages: &[L],
+        space: &ProbabilitySpace,
+        origins: Option<&VarOrigins>,
+    ) -> BatchResult {
+        let start = Instant::now();
+        let deadline = self.budget.timeout.map(|t| start + t);
+        let cache = if self.share_cache { Some(SubformulaCache::new()) } else { None };
+
+        // `representative[i]` is the first index holding a lineage identical
+        // to `lineages[i]`; only representatives are evaluated. Monte-Carlo
+        // methods keep their per-item seeds, so every item stays its own
+        // representative there.
+        let deterministic = matches!(
+            self.method,
+            ConfidenceMethod::DTreeExact
+                | ConfidenceMethod::DTreeAbsolute(_)
+                | ConfidenceMethod::DTreeRelative(_)
+        );
+        let mut representative: Vec<usize> = (0..lineages.len()).collect();
+        let mut work: Vec<usize> = Vec::with_capacity(lineages.len());
+        if deterministic {
+            let mut seen: HashMap<events::DnfHash, usize> = HashMap::new();
+            for (i, lineage) in lineages.iter().enumerate() {
+                let rep = *seen.entry(lineage.as_ref().canonical_hash()).or_insert(i);
+                // Guard against the (negligible but possible) hash collision:
+                // alias only structurally equal lineages.
+                if rep != i && lineages[rep].as_ref() == lineage.as_ref() {
+                    representative[i] = rep;
+                } else {
+                    work.push(i);
+                }
+            }
+        } else {
+            work.extend(0..lineages.len());
+        }
+
+        let threads = self
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+            .min(work.len().max(1));
+
+        let mut slots: Vec<Option<ConfidenceResult>> = vec![None; lineages.len()];
+        if threads <= 1 {
+            for &i in &work {
+                slots[i] = Some(self.run_item(
+                    lineages[i].as_ref(),
+                    space,
+                    origins,
+                    i,
+                    deadline,
+                    cache.as_ref(),
+                ));
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let out = Mutex::new(&mut slots);
+            let work = &work;
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let w = cursor.fetch_add(1, Ordering::Relaxed);
+                        if w >= work.len() {
+                            break;
+                        }
+                        let i = work[w];
+                        let r = self.run_item(
+                            lineages[i].as_ref(),
+                            space,
+                            origins,
+                            i,
+                            deadline,
+                            cache.as_ref(),
+                        );
+                        out.lock().expect("result slots poisoned")[i] = Some(r);
+                    });
+                }
+            });
+        }
+
+        // Replicate representative results onto their duplicates. The copy
+        // carries zero `elapsed`: no work ran for the duplicate, and summed
+        // timing metrics (`total_compute`, the bench harness) must not count
+        // the representative's time twice.
+        for i in 0..lineages.len() {
+            if slots[i].is_none() {
+                let mut r = slots[representative[i]].clone().expect("representative evaluated");
+                r.elapsed = Duration::ZERO;
+                slots[i] = Some(r);
+            }
+        }
+
+        BatchResult {
+            results: slots.into_iter().map(|r| r.expect("every slot filled")).collect(),
+            wall: start.elapsed(),
+            cache: cache.as_ref().map(SubformulaCache::stats).unwrap_or_default(),
+        }
+    }
+
+    fn run_item(
+        &self,
+        lineage: &Dnf,
+        space: &ProbabilitySpace,
+        origins: Option<&VarOrigins>,
+        index: usize,
+        deadline: Option<Instant>,
+        cache: Option<&SubformulaCache>,
+    ) -> ConfidenceResult {
+        // Whatever time remains until the shared deadline is this item's
+        // timeout; past the deadline it collapses to zero, which makes the
+        // d-tree methods close leaves immediately (sound best-effort bounds)
+        // and the Monte-Carlo methods return their running mean.
+        let item_budget = match deadline {
+            Some(d) => ConfidenceBudget {
+                timeout: Some(d.saturating_duration_since(Instant::now())),
+                max_work: self.budget.max_work,
+            },
+            None => ConfidenceBudget { timeout: None, max_work: self.budget.max_work },
+        };
+        let seed = self.seed.map(|base| Self::item_seed(base, index));
+        confidence_with(lineage, space, origins, &self.method, &item_budget, seed, cache)
+    }
+}
+
+/// Convenience wrapper: one batched call with default engine settings
+/// (automatic parallelism, shared cache, entropy-seeded Monte-Carlo).
+pub fn confidence_batch<L: AsRef<Dnf> + Sync>(
+    lineages: &[L],
+    space: &ProbabilitySpace,
+    origins: Option<&VarOrigins>,
+    method: &ConfidenceMethod,
+    budget: &ConfidenceBudget,
+) -> Vec<ConfidenceResult> {
+    ConfidenceEngine::new(method.clone())
+        .with_budget(budget.clone())
+        .confidence_batch(lineages, space, origins)
+        .results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::confidence;
+    use crate::database::Database;
+    use crate::value::Value;
+    use crate::{ConjunctiveQuery, Term};
+
+    /// A join query with several answer tuples whose lineages overlap.
+    fn answers_db() -> (Database, Vec<Dnf>) {
+        let mut db = Database::new();
+        db.add_tuple_independent_table(
+            "R",
+            &["a"],
+            (0..4).map(|i| (vec![Value::Int(i)], 0.2 + 0.1 * i as f64)).collect(),
+        );
+        db.add_tuple_independent_table(
+            "S",
+            &["a", "b"],
+            (0..4)
+                .flat_map(|a| (0..3).map(move |b| (vec![Value::Int(a), Value::Int(b)], 0.5)))
+                .collect(),
+        );
+        let q = ConjunctiveQuery::new("q")
+            .with_subgoal("R", vec![Term::var("A")])
+            .with_subgoal("S", vec![Term::var("A"), Term::var("B")]);
+        let lineages = q.evaluate(&db).into_iter().map(|a| a.lineage).collect();
+        (db, lineages)
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let (db, _) = answers_db();
+        let engine = ConfidenceEngine::new(ConfidenceMethod::DTreeExact);
+        let out = engine.confidence_batch::<Dnf>(&[], db.space(), None);
+        assert!(out.results.is_empty());
+        assert!(out.all_converged());
+    }
+
+    #[test]
+    fn batch_matches_per_lineage_calls_bitwise() {
+        let (db, lineages) = answers_db();
+        let budget = ConfidenceBudget::default();
+        for method in [
+            ConfidenceMethod::DTreeExact,
+            ConfidenceMethod::DTreeAbsolute(0.01),
+            ConfidenceMethod::DTreeRelative(0.01),
+        ] {
+            let engine = ConfidenceEngine::new(method.clone()).with_threads(2);
+            let batch = engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
+            assert_eq!(batch.results.len(), lineages.len());
+            for (lineage, got) in lineages.iter().zip(&batch.results) {
+                let want = confidence(lineage, db.space(), Some(db.origins()), &method, &budget);
+                assert_eq!(want.estimate.to_bits(), got.estimate.to_bits(), "{}", want.method);
+                assert_eq!(want.lower.to_bits(), got.lower.to_bits());
+                assert_eq!(want.upper.to_bits(), got.upper.to_bits());
+                assert_eq!(want.converged, got.converged);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_batches_are_reproducible_across_thread_counts() {
+        let (db, lineages) = answers_db();
+        let method = ConfidenceMethod::KarpLuby { epsilon: 0.1, delta: 0.01 };
+        let sequential = ConfidenceEngine::new(method.clone())
+            .with_seed(0xfeed)
+            .with_threads(1)
+            .confidence_batch(&lineages, db.space(), None);
+        let parallel = ConfidenceEngine::new(method)
+            .with_seed(0xfeed)
+            .with_threads(4)
+            .confidence_batch(&lineages, db.space(), None);
+        for (a, b) in sequential.results.iter().zip(&parallel.results) {
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        }
+    }
+
+    #[test]
+    fn cache_on_and_off_agree() {
+        let (db, lineages) = answers_db();
+        let method = ConfidenceMethod::DTreeAbsolute(0.001);
+        let with_cache = ConfidenceEngine::new(method.clone()).confidence_batch(
+            &lineages,
+            db.space(),
+            Some(db.origins()),
+        );
+        let without = ConfidenceEngine::new(method).without_cache().confidence_batch(
+            &lineages,
+            db.space(),
+            Some(db.origins()),
+        );
+        assert_eq!(without.cache, CacheStats::default());
+        for (a, b) in with_cache.results.iter().zip(&without.results) {
+            assert!((a.estimate - b.estimate).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shared_deadline_bounds_the_whole_batch() {
+        // Hard chain lineages that cannot finish exactly in a few
+        // milliseconds each.
+        let mut s = ProbabilitySpace::new();
+        let vars: Vec<_> =
+            (0..40).map(|i| s.add_bool(format!("x{i}"), 0.2 + 0.015 * i as f64)).collect();
+        let lineages: Vec<Dnf> = (0..6)
+            .map(|k| {
+                Dnf::from_clauses(
+                    (0..30)
+                        .map(|i| {
+                            events::Clause::from_bools(&[vars[i + (k % 8)], vars[i + (k % 8) + 1]])
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let engine = ConfidenceEngine::new(ConfidenceMethod::DTreeExact)
+            .with_budget(ConfidenceBudget {
+                timeout: Some(Duration::from_millis(30)),
+                max_work: None,
+            })
+            .with_threads(2);
+        let t0 = Instant::now();
+        let out = engine.confidence_batch(&lineages, &s, None);
+        assert_eq!(out.results.len(), lineages.len());
+        // Generous slack for slow CI machines: the point is that the batch
+        // does not take ~6 × the per-item worst case.
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn duplicate_lineages_are_deduplicated_without_changing_results() {
+        let (db, mut lineages) = answers_db();
+        // Duplicate every lineage (like a symmetric answer relation would).
+        let copies: Vec<Dnf> = lineages.clone();
+        lineages.extend(copies);
+        let method = ConfidenceMethod::DTreeAbsolute(0.01);
+        let engine = ConfidenceEngine::new(method.clone()).with_threads(2);
+        let batch = engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
+        let half = lineages.len() / 2;
+        for (i, (lineage, got)) in lineages.iter().zip(&batch.results).take(half).enumerate() {
+            // The duplicate's result is bit-identical to its original …
+            assert_eq!(got.estimate.to_bits(), batch.results[half + i].estimate.to_bits());
+            // … and both match the per-lineage front-end.
+            let want = confidence(
+                lineage,
+                db.space(),
+                Some(db.origins()),
+                &method,
+                &ConfidenceBudget::default(),
+            );
+            assert_eq!(want.estimate.to_bits(), got.estimate.to_bits());
+        }
+    }
+
+    #[test]
+    fn item_seed_is_deterministic_and_spreads() {
+        let a = ConfidenceEngine::item_seed(1, 0);
+        let b = ConfidenceEngine::item_seed(1, 0);
+        assert_eq!(a, b);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100 {
+            seen.insert(ConfidenceEngine::item_seed(42, i));
+        }
+        assert_eq!(seen.len(), 100);
+    }
+}

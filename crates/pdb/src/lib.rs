@@ -20,13 +20,17 @@
 //! * [`motif`] — direct lineage constructors for the graph motif queries of
 //!   the evaluation (triangle, path-2, path-3, two-degrees separation),
 //! * [`confidence`] — a unified front-end dispatching to d-tree exact,
-//!   d-tree approximation, SPROUT, Karp-Luby (`aconf`), or naive sampling.
+//!   d-tree approximation, SPROUT, Karp-Luby (`aconf`), or naive sampling,
+//! * [`engine`] — the batched [`ConfidenceEngine`]: all answer tuples of a
+//!   query in one call, parallel across lineages, with a shared sub-formula
+//!   cache and one batch-wide deadline.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod algebra;
 pub mod confidence;
+pub mod engine;
 pub mod motif;
 pub mod sprout;
 
@@ -36,6 +40,7 @@ mod relation;
 mod value;
 
 pub use database::Database;
+pub use engine::{BatchResult, ConfidenceEngine};
 pub use query::{ConjunctiveQuery, IneqOp, Predicate, QueryAnswer, SubGoal, Term};
 pub use relation::{AnnotatedTuple, Relation, Schema};
 pub use value::Value;

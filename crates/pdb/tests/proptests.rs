@@ -164,3 +164,106 @@ proptest! {
         prop_assert!((total - exact).abs() < 1e-9);
     }
 }
+
+/// A batch of random *correlated* DNFs: clauses drawn over one shared
+/// variable pool, so lineages overlap in sub-formulas like the answer tuples
+/// of one query do.
+#[derive(Debug, Clone)]
+struct DnfBatchSpec {
+    probs: Vec<f64>,
+    /// One DNF per entry: clauses given as variable-index lists.
+    dnfs: Vec<Vec<Vec<usize>>>,
+}
+
+fn dnf_batch() -> impl Strategy<Value = DnfBatchSpec> {
+    let probs = prop::collection::vec(0.05f64..0.95, 6..14);
+    probs.prop_flat_map(|probs| {
+        let nvars = probs.len();
+        let clause = prop::collection::vec(0..nvars, 1..4);
+        let dnf = prop::collection::vec(clause, 1..8);
+        let dnfs = prop::collection::vec(dnf, 2..6);
+        (Just(probs), dnfs).prop_map(|(probs, dnfs)| DnfBatchSpec { probs, dnfs })
+    })
+}
+
+fn build_batch(spec: &DnfBatchSpec) -> (events::ProbabilitySpace, Vec<events::Dnf>) {
+    let mut space = events::ProbabilitySpace::new();
+    let vars: Vec<_> =
+        spec.probs.iter().enumerate().map(|(i, &p)| space.add_bool(format!("x{i}"), p)).collect();
+    let dnfs = spec
+        .dnfs
+        .iter()
+        .map(|clauses| {
+            events::Dnf::from_clauses(
+                clauses
+                    .iter()
+                    .map(|c| {
+                        events::Clause::from_bools(&c.iter().map(|&i| vars[i]).collect::<Vec<_>>())
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    (space, dnfs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The batched engine with the shared cache agrees with the cache-off
+    /// engine (and with brute-force enumeration) to 1e-12 on random
+    /// correlated DNF batches, for both d-tree approximation flavours.
+    #[test]
+    fn batch_cache_on_off_agree(spec in dnf_batch()) {
+        use pdb::confidence::ConfidenceMethod;
+        use pdb::ConfidenceEngine;
+        let (space, dnfs) = build_batch(&spec);
+        for method in [
+            ConfidenceMethod::DTreeAbsolute(0.001),
+            ConfidenceMethod::DTreeRelative(0.01),
+            ConfidenceMethod::DTreeExact,
+        ] {
+            let cached = ConfidenceEngine::new(method.clone())
+                .with_threads(2)
+                .confidence_batch(&dnfs, &space, None);
+            let plain = ConfidenceEngine::new(method)
+                .without_cache()
+                .with_threads(1)
+                .confidence_batch(&dnfs, &space, None);
+            for (dnf, (a, b)) in dnfs.iter().zip(cached.results.iter().zip(&plain.results)) {
+                prop_assert!((a.estimate - b.estimate).abs() < 1e-12,
+                    "{}: cached {} vs plain {}", a.method, a.estimate, b.estimate);
+                // Sound bounds against enumeration.
+                let exact = dnf.exact_probability_enumeration(&space);
+                prop_assert!(a.lower <= exact + 1e-9 && exact <= a.upper + 1e-9);
+            }
+        }
+    }
+
+    /// A batch deadline is respected: even with many lineages and a
+    /// microscopic budget, the whole batch terminates promptly and every
+    /// result carries sound bounds.
+    #[test]
+    fn batch_deadline_is_respected(spec in dnf_batch()) {
+        use pdb::confidence::{ConfidenceBudget, ConfidenceMethod};
+        use pdb::ConfidenceEngine;
+        let (space, dnfs) = build_batch(&spec);
+        let engine = ConfidenceEngine::new(ConfidenceMethod::DTreeAbsolute(1e-9))
+            .with_budget(ConfidenceBudget {
+                timeout: Some(std::time::Duration::from_millis(1)),
+                max_work: Some(4),
+            })
+            .with_threads(2);
+        let t0 = std::time::Instant::now();
+        let out = engine.confidence_batch(&dnfs, &space, None);
+        // Coarse wall bound (CI slack): the budget machinery must cut work
+        // short instead of refining every lineage to 1e-9.
+        prop_assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+        prop_assert_eq!(out.results.len(), dnfs.len());
+        for (dnf, r) in dnfs.iter().zip(&out.results) {
+            let exact = dnf.exact_probability_enumeration(&space);
+            prop_assert!(r.lower <= exact + 1e-9 && exact <= r.upper + 1e-9,
+                "bounds [{}, {}] vs exact {}", r.lower, r.upper, exact);
+        }
+    }
+}

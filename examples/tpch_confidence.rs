@@ -16,7 +16,7 @@
 use std::time::Duration;
 
 use dtree_approx::pdb::confidence::{confidence, ConfidenceBudget, ConfidenceMethod};
-use dtree_approx::pdb::sprout;
+use dtree_approx::pdb::{sprout, ConfidenceEngine};
 use dtree_approx::workloads::tpch::{TpchConfig, TpchDatabase, TpchQuery};
 
 fn main() {
@@ -83,17 +83,16 @@ fn main() {
 
     // ------------------------------------------------------------------ 3.
     println!("=== IQ query IQ 6 (inequality join, grouped by quantity) ===");
+    println!("computing ALL answer confidences in one batched engine call");
     let q = TpchQuery::Iq6;
     let answers = db.answers(&q);
     println!("{} answer tuples", answers.len());
-    for answer in answers.iter().take(5) {
-        let r = confidence(
-            &answer.lineage,
-            db.database().space(),
-            Some(db.database().origins()),
-            &ConfidenceMethod::DTreeRelative(0.01),
-            &budget,
-        );
+    let lineages: Vec<&dtree_approx::events::Dnf> = answers.iter().map(|a| &a.lineage).collect();
+    let engine =
+        ConfidenceEngine::new(ConfidenceMethod::DTreeRelative(0.01)).with_budget(budget.clone());
+    let batch =
+        engine.confidence_batch(&lineages, db.database().space(), Some(db.database().origins()));
+    for (answer, r) in answers.iter().zip(&batch.results).take(5) {
         println!(
             "  qty = {:>3}   {} clauses   confidence ≈ {:.6}   ({:.4}s)",
             answer.head[0],
@@ -105,4 +104,12 @@ fn main() {
     if answers.len() > 5 {
         println!("  … and {} more answers", answers.len() - 5);
     }
+    println!(
+        "batch: {:.4}s wall for {} answers ({:.4}s summed compute), cache {} hits / {} misses",
+        batch.wall.as_secs_f64(),
+        batch.results.len(),
+        batch.total_compute().as_secs_f64(),
+        batch.cache.hits,
+        batch.cache.misses
+    );
 }
