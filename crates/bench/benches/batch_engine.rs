@@ -26,25 +26,9 @@ use events::Dnf;
 use pdb::confidence::{confidence, ConfidenceBudget, ConfidenceMethod};
 use pdb::{ConfidenceEngine, Database};
 use workloads::tpch::{TpchConfig, TpchDatabase, TpchQuery};
-use workloads::{karate_club, random_graph, RandomGraphConfig, SocialNetworkConfig};
+use workloads::{karate_club, random_graph, s2_relation, RandomGraphConfig, SocialNetworkConfig};
 
 const METHOD: ConfidenceMethod = ConfidenceMethod::DTreeAbsolute(0.01);
-
-/// All non-empty lineages of the `s2(X, Y)` answer relation (ordered pairs).
-fn s2_relation(graph: &pdb::motif::ProbGraph, n: u32) -> Vec<Dnf> {
-    let mut lineages = Vec::new();
-    for s in 0..n {
-        for t in 0..n {
-            if s != t {
-                let l = graph.separation2_lineage(s, t);
-                if !l.is_empty() {
-                    lineages.push(l);
-                }
-            }
-        }
-    }
-    lineages
-}
 
 fn bench_batch_engine(c: &mut Criterion) {
     let budget = ConfidenceBudget { timeout: Some(Duration::from_secs(10)), max_work: None };

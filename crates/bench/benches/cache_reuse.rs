@@ -1,0 +1,117 @@
+//! Criterion bench for **cross-batch** cache reuse: production traffic
+//! repeats whole queries, so the second batch of the same query should be
+//! served largely from a long-lived [`SubformulaCache`] attached with
+//! [`ConfidenceEngine::with_shared_cache`].
+//!
+//! Series per workload:
+//!
+//! * `cold` — every iteration starts from a fresh shared cache, i.e. the
+//!   first batch of a query the system has never seen (this matches the
+//!   default per-batch cache mode).
+//! * `warm` — one long-lived cache, pre-warmed by a full batch before
+//!   timing, so every iteration is the steady-state repeated batch. The
+//!   acceptance target is warm ≥ 1.3× faster than cold.
+//! * `warm_bounded` — the same, but the cache is capped well below the
+//!   workload's footprint, so the clock eviction policy churns on every
+//!   batch; this bounds the cost of running memory-capped.
+//!
+//! Results are bit-identical across all series (asserted at startup).
+//!
+//! Workloads: the `s2(X, Y)` answer relation on a uniform random graph (the
+//! fig8 shape, big overlapping lineages) with the d-tree absolute
+//! approximation, and the same relation under d-tree exact evaluation, whose
+//! warm batches collapse to one top-level cache hit per lineage.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtree::SubformulaCache;
+use pdb::confidence::{ConfidenceBudget, ConfidenceMethod};
+use pdb::ConfidenceEngine;
+use workloads::{random_graph, s2_relation, RandomGraphConfig};
+
+fn bench_cache_reuse(c: &mut Criterion) {
+    let budget = ConfidenceBudget { timeout: Some(Duration::from_secs(10)), max_work: None };
+    let (db, graph) = random_graph(&RandomGraphConfig::uniform(20, 0.4));
+    let lineages = s2_relation(&graph, 20);
+    let space = db.space();
+    let origins = db.origins();
+
+    let methods: Vec<(&str, ConfidenceMethod)> = vec![
+        ("graph_s2_abs0.01", ConfidenceMethod::DTreeAbsolute(0.01)),
+        ("graph_s2_exact", ConfidenceMethod::DTreeExact),
+    ];
+
+    let mut group = c.benchmark_group("cache_reuse");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for (name, method) in &methods {
+        // Sanity: warm results are bit-identical to cache-off results.
+        let plain = ConfidenceEngine::new(method.clone())
+            .with_budget(budget.clone())
+            .without_cache()
+            .confidence_batch(&lineages, space, Some(origins));
+        let warm_check = Arc::new(SubformulaCache::new());
+        let warm_engine = ConfidenceEngine::new(method.clone())
+            .with_budget(budget.clone())
+            .with_shared_cache(Arc::clone(&warm_check));
+        let _ = warm_engine.confidence_batch(&lineages, space, Some(origins));
+        let repeat = warm_engine.confidence_batch(&lineages, space, Some(origins));
+        assert!(repeat.cache.hits > 0, "warm batch must hit: {:?}", repeat.cache);
+        for (a, b) in plain.results.iter().zip(&repeat.results) {
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        }
+
+        // Cold: a fresh shared cache per iteration (first-ever batch).
+        group.bench_with_input(BenchmarkId::new("cold", name), &lineages, |b, lineages| {
+            b.iter(|| {
+                let engine = ConfidenceEngine::new(method.clone())
+                    .with_budget(budget.clone())
+                    .with_shared_cache(Arc::new(SubformulaCache::new()));
+                engine
+                    .confidence_batch(lineages, space, Some(origins))
+                    .results
+                    .iter()
+                    .map(|r| r.estimate)
+                    .sum::<f64>()
+            })
+        });
+
+        // Warm: steady-state repeated batch over one long-lived cache.
+        group.bench_with_input(BenchmarkId::new("warm", name), &lineages, |b, lineages| {
+            let engine = ConfidenceEngine::new(method.clone())
+                .with_budget(budget.clone())
+                .with_shared_cache(Arc::new(SubformulaCache::new()));
+            let _ = engine.confidence_batch(lineages, space, Some(origins));
+            b.iter(|| {
+                engine
+                    .confidence_batch(lineages, space, Some(origins))
+                    .results
+                    .iter()
+                    .map(|r| r.estimate)
+                    .sum::<f64>()
+            })
+        });
+
+        // Warm but memory-capped: constant eviction churn.
+        group.bench_with_input(BenchmarkId::new("warm_bounded", name), &lineages, |b, lineages| {
+            let engine = ConfidenceEngine::new(method.clone())
+                .with_budget(budget.clone())
+                .with_shared_cache(Arc::new(SubformulaCache::with_capacity(512)));
+            let _ = engine.confidence_batch(lineages, space, Some(origins));
+            b.iter(|| {
+                engine
+                    .confidence_batch(lineages, space, Some(origins))
+                    .results
+                    .iter()
+                    .map(|r| r.estimate)
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_reuse);
+criterion_main!(benches);

@@ -13,6 +13,7 @@
 //!   sketched in Section V-D: materialise the partial d-tree and repeatedly
 //!   refine the open leaf with the widest bounds interval.
 
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use events::{product_factorization, Atom, Clause, Dnf, ProbabilitySpace};
@@ -211,8 +212,10 @@ impl ApproxCompiler {
     /// layered behind the per-run memo, so exact leaf probabilities and
     /// bucket bounds are reused across the lineages of a batch.
     ///
-    /// The cache must only ever be used with a single probability space (all
-    /// memoized quantities depend on it). Reusing cached values is
+    /// Cache entries are scoped to `space.generation()` — entries computed
+    /// under another generation (a different or since-mutated space) are
+    /// treated as misses, so one long-lived cache can be shared across
+    /// batches and database changes. Reusing cached values is
     /// bit-identical to recomputing them — the producers are deterministic —
     /// so `run_cached` returns exactly what [`ApproxCompiler::run`] would,
     /// only faster. The cache is consulted by the
@@ -245,7 +248,7 @@ impl ApproxCompiler {
                     steps: 0,
                     start,
                     budget_exhausted: false,
-                    memo: Memo::with_shared(cache),
+                    memo: Memo::with_shared(cache, space.generation()),
                 };
                 let outcome = dfs.explore(Work::Dnf(dnf.clone()), 0);
                 let bounds = match outcome {
@@ -338,11 +341,14 @@ enum Outcome {
 
 /// A stack frame of the depth-first exploration: one per inner node on the
 /// current root-to-leaf path. `done` holds the final bounds of fully explored
-/// children, `pending` the quick (bucket) bounds of children not yet visited.
+/// children, `pending` the quick (bucket) bounds of children not yet visited
+/// (a deque: the front is popped as each child starts exploration, which must
+/// stay O(1) — ⊗/⊙ nodes can be very wide, e.g. one child per independent
+/// component).
 struct Frame {
     op: Op,
     done: Vec<Bounds>,
-    pending: Vec<Bounds>,
+    pending: VecDeque<Bounds>,
 }
 
 impl Frame {
@@ -485,15 +491,14 @@ impl<'a> Dfs<'a> {
     }
 
     fn explore_node(&mut self, op: Op, children: Vec<Work>, depth: usize) -> Outcome {
-        let pending: Vec<Bounds> = children.iter().skip(1).map(|c| self.quick_bounds(c)).collect();
+        let pending: VecDeque<Bounds> =
+            children.iter().skip(1).map(|c| self.quick_bounds(c)).collect();
         self.frames.push(Frame { op, done: Vec::new(), pending });
         for (i, child) in children.into_iter().enumerate() {
             if i > 0 {
                 // The child about to be explored leaves the pending list.
                 let frame = self.frames.last_mut().expect("frame pushed above");
-                if !frame.pending.is_empty() {
-                    frame.pending.remove(0);
-                }
+                frame.pending.pop_front();
             }
             match self.explore(child, depth + 1) {
                 Outcome::Finished(b) => {
@@ -867,19 +872,19 @@ mod tests {
                     op: Op::Or,
                     // Φ1 is closed with bounds [0.1, 0.11].
                     done: vec![Bounds::new(0.1, 0.11)],
-                    pending: vec![],
+                    pending: VecDeque::new(),
                 },
                 Frame {
                     op: Op::Xor,
                     done: vec![],
                     // Φ3 is open with bucket bounds [0.35, 0.38].
-                    pending: vec![Bounds::new(0.35, 0.38)],
+                    pending: VecDeque::from(vec![Bounds::new(0.35, 0.38)]),
                 },
                 Frame {
                     op: Op::And,
                     // {x = 1} with exact probability 0.5.
                     done: vec![Bounds::point(0.5)],
-                    pending: vec![],
+                    pending: VecDeque::new(),
                 },
             ],
             stats: CompileStats::default(),
@@ -911,7 +916,11 @@ mod tests {
         let dfs = Dfs {
             space: &s,
             opts: &opts,
-            frames: vec![Frame { op: Op::And, done: vec![], pending: vec![Bounds::new(0.3, 0.6)] }],
+            frames: vec![Frame {
+                op: Op::And,
+                done: vec![],
+                pending: VecDeque::from(vec![Bounds::new(0.3, 0.6)]),
+            }],
             stats: CompileStats::default(),
             steps: 0,
             start: Instant::now(),

@@ -3,9 +3,10 @@
 //! The d-tree decomposition of the lineages of one query's answer tuples
 //! keeps encountering the same sub-DNFs — both *within* a single DFS run
 //! (a pending child is bounded by [`crate::approx`]'s `quick_bounds` and
-//! later explored, which used to recompute the same exact probability) and
+//! later explored, which used to recompute the same exact probability),
 //! *across* lineages of a batch (answer tuples of the same query overlap
-//! heavily in their lineage).
+//! heavily in their lineage), and *across batches* (production traffic
+//! repeats whole queries).
 //!
 //! [`SubformulaCache`] memoizes the two expensive per-sub-DNF quantities:
 //!
@@ -15,53 +16,154 @@
 //!
 //! Entries are keyed by [`events::DnfHash`], the canonical fingerprint of a
 //! normalised DNF. Both quantities are pure functions of
-//! `(formula, probability space)`, and a cache instance must only ever be
-//! used with **one** [`events::ProbabilitySpace`] — this is why the batch
-//! engine creates a fresh cache per batch. Within that contract, reusing a
-//! cached value is *bit-identical* to recomputing it: all producers are
-//! deterministic, so caching never changes a result, only the work done.
+//! `(formula, probability space)`, so each entry is additionally tagged with
+//! the **generation** of the [`events::ProbabilitySpace`]
+//! ([`events::ProbabilitySpace::generation`]) it was computed under, and
+//! lookups validate the tag: when the space mutates (its generation changes),
+//! every previous entry silently becomes a miss and is overwritten on the
+//! next store. This is what makes the cache safe to keep alive *across*
+//! batches and database changes — a stale value can never leak. Each entry
+//! holds the value of one generation at a time, so a cache warms best with
+//! one live space at a time; feeding it several spaces concurrently stays
+//! correct but lets formulas with identical hashes overwrite each other.
+//! Within that contract, reusing a cached value is *bit-identical* to
+//! recomputing it: all producers are deterministic, so caching never changes
+//! a result, only the work done.
+//!
+//! A long-lived cache must also be bounded: [`SubformulaCache::with_capacity`]
+//! creates a cache with a total entry budget, enforced per shard by a CLOCK
+//! (second-chance LRU-approximation) eviction policy — lookups set a
+//! reference bit under the shared read lock, inserts over budget sweep the
+//! clock hand past recently used entries and replace the first unreferenced
+//! one. [`SubformulaCache::new`] stays unbounded, which is what the batch
+//! engine uses for its default per-batch cache.
 //!
 //! The map is sharded, each shard behind its own [`RwLock`], so the parallel
 //! batch engine can probe and fill the cache from many threads with little
-//! contention. Hit/miss counters are atomic and can be snapshotted with
-//! [`SubformulaCache::stats`].
+//! contention. Hit/miss/stale/eviction counters are atomic and can be
+//! snapshotted with [`SubformulaCache::stats`].
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::RwLock;
 
 use events::DnfHash;
 
 use crate::bounds::Bounds;
 
-/// Number of independently locked shards. A small power of two is enough:
-/// the critical sections are single hash-map probes.
-const SHARDS: usize = 16;
+/// Maximum number of independently locked shards. A small power of two is
+/// enough: the critical sections are single hash-map probes. Bounded caches
+/// with a budget smaller than this use fewer shards so that the per-shard
+/// budgets sum exactly to the configured total.
+const MAX_SHARDS: usize = 16;
 
 /// One memo entry: whichever of the two quantities have been computed so far
-/// for a sub-formula.
-#[derive(Debug, Clone, Copy, Default)]
+/// for a sub-formula, tagged with the space generation they are valid for and
+/// the CLOCK reference bit.
+#[derive(Debug)]
 struct CacheEntry {
     exact: Option<f64>,
     bounds: Option<Bounds>,
+    generation: u64,
+    /// Set on every valid lookup (under the shard's read lock); cleared by
+    /// the clock hand when the shard is over budget. An entry is only evicted
+    /// after a full hand pass finds its bit still clear.
+    referenced: AtomicBool,
+}
+
+impl CacheEntry {
+    fn fresh(generation: u64) -> Self {
+        CacheEntry { exact: None, bounds: None, generation, referenced: AtomicBool::new(true) }
+    }
+}
+
+/// One lock domain of the cache: a hash map plus the CLOCK ring/hand that
+/// bounds it. Every key in `ring` is in `map` and vice versa.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<DnfHash, CacheEntry>,
+    ring: Vec<DnfHash>,
+    hand: usize,
+    /// Entry budget of this shard; `None` = unbounded.
+    budget: Option<usize>,
+}
+
+impl Shard {
+    /// Inserts a value for an absent `key`, evicting one entry CLOCK-style
+    /// when the shard is at budget. Returns `true` if an eviction happened.
+    fn insert_new(&mut self, key: DnfHash, entry: CacheEntry) -> bool {
+        match self.budget {
+            Some(0) => false, // zero-capacity cache stores nothing
+            None => {
+                // Unbounded shard: eviction never runs, so don't maintain the
+                // clock ring (it would duplicate every key for nothing).
+                self.map.insert(key, entry);
+                false
+            }
+            Some(budget) if self.map.len() >= budget => {
+                // Second-chance sweep: clear reference bits until an entry
+                // that has not been touched since the last pass comes under
+                // the hand, then reuse its ring slot.
+                loop {
+                    let candidate = self.ring[self.hand];
+                    let referenced = match self.map.get_mut(&candidate) {
+                        Some(e) => std::mem::replace(e.referenced.get_mut(), false),
+                        None => false,
+                    };
+                    if referenced {
+                        self.hand = (self.hand + 1) % self.ring.len();
+                    } else {
+                        self.map.remove(&candidate);
+                        self.ring[self.hand] = key;
+                        self.hand = (self.hand + 1) % self.ring.len();
+                        self.map.insert(key, entry);
+                        return true;
+                    }
+                }
+            }
+            _ => {
+                self.ring.push(key);
+                self.map.insert(key, entry);
+                false
+            }
+        }
+    }
 }
 
 /// A thread-safe memo table for exact leaf probabilities and bucket bounds,
-/// keyed by canonical DNF hash. See the [module documentation](self).
-#[derive(Debug, Default)]
+/// keyed by canonical DNF hash and scoped to a probability-space generation.
+/// See the [module documentation](self).
+#[derive(Debug)]
 pub struct SubformulaCache {
-    shards: [RwLock<HashMap<DnfHash, CacheEntry>>; SHARDS],
+    shards: Vec<RwLock<Shard>>,
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    stale: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for SubformulaCache {
+    fn default() -> Self {
+        SubformulaCache::new()
+    }
 }
 
 /// A point-in-time snapshot of cache effectiveness counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Number of lookups that found a stored value.
+    /// Number of lookups that found a stored value of the current generation.
     pub hits: u64,
-    /// Number of lookups that found nothing.
+    /// Number of lookups that found nothing usable (including stale entries).
     pub misses: u64,
+    /// Number of lookups that found an entry of an outdated generation
+    /// (counted in `misses` as well). A burst of these right after a database
+    /// mutation is expected; sustained stale traffic means some caller keeps
+    /// using an old space.
+    pub stale: u64,
+    /// Number of entries evicted by the CLOCK policy to stay within the
+    /// configured budget (always 0 for unbounded caches).
+    pub evictions: u64,
     /// Number of distinct sub-formulas currently stored.
     pub entries: usize,
 }
@@ -76,45 +178,136 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// The counter deltas accumulated since an `earlier` snapshot of the same
+    /// cache (`entries` is reported as-of `self`, not as a delta). This is
+    /// how the batch engine reports per-batch effectiveness of a long-lived
+    /// shared cache.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            stale: self.stale.saturating_sub(earlier.stale),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            entries: self.entries,
+        }
+    }
 }
 
 impl SubformulaCache {
-    /// Creates an empty cache.
+    /// Creates an empty, **unbounded** cache (the batch engine's default
+    /// per-batch mode, where the batch's lifetime bounds the memory).
     pub fn new() -> Self {
-        SubformulaCache::default()
+        Self::build(MAX_SHARDS, None)
+    }
+
+    /// Creates an empty cache bounded to at most `capacity` entries in total,
+    /// enforced per shard with CLOCK (second-chance) eviction. This is the
+    /// right constructor for a long-lived cache shared across batches via
+    /// [`std::sync::Arc`]; see the [module documentation](self).
+    pub fn with_capacity(capacity: usize) -> Self {
+        // Shard budgets must sum exactly to `capacity`; small caches use
+        // fewer shards so every shard keeps a few clock slots (a budget of 1
+        // degenerates CLOCK into evict-on-every-insert).
+        let shards = (capacity / 4).clamp(1, MAX_SHARDS);
+        Self::build(shards, Some(capacity))
+    }
+
+    fn build(num_shards: usize, capacity: Option<usize>) -> Self {
+        let shards = (0..num_shards)
+            .map(|i| {
+                let budget = capacity.map(|c| c / num_shards + usize::from(i < c % num_shards));
+                RwLock::new(Shard { budget, ..Shard::default() })
+            })
+            .collect();
+        SubformulaCache {
+            shards,
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured total entry budget (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     #[inline]
-    fn shard(&self, key: DnfHash) -> &RwLock<HashMap<DnfHash, CacheEntry>> {
-        &self.shards[key.shard(SHARDS)]
+    fn shard(&self, key: DnfHash) -> &RwLock<Shard> {
+        &self.shards[key.shard(self.shards.len())]
     }
 
-    /// Looks up the exact probability stored for `key`, if any.
-    pub fn lookup_exact(&self, key: DnfHash) -> Option<f64> {
-        let found =
-            self.shard(key).read().expect("cache shard poisoned").get(&key).and_then(|e| e.exact);
+    /// Shared lookup logic: probe the entry for `key`, validate its
+    /// generation, extract a field, and maintain the counters.
+    fn lookup<T>(
+        &self,
+        key: DnfHash,
+        generation: u64,
+        field: impl Fn(&CacheEntry) -> Option<T>,
+    ) -> Option<T> {
+        let shard = self.shard(key).read().expect("cache shard poisoned");
+        let found = match shard.map.get(&key) {
+            Some(e) if e.generation == generation => {
+                let v = field(e);
+                if v.is_some() {
+                    e.referenced.store(true, Ordering::Relaxed);
+                }
+                v
+            }
+            Some(_) => {
+                self.stale.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => None,
+        };
+        drop(shard);
         self.count(found.is_some());
         found
     }
 
-    /// Stores the exact probability of the sub-formula identified by `key`.
-    pub fn store_exact(&self, key: DnfHash, probability: f64) {
+    /// Shared store logic: update the entry for `key` in place when its
+    /// generation matches, replace it wholesale when it is stale, insert
+    /// (evicting if at budget) when absent.
+    fn store(&self, key: DnfHash, generation: u64, apply: impl Fn(&mut CacheEntry)) {
         let mut shard = self.shard(key).write().expect("cache shard poisoned");
-        shard.entry(key).or_default().exact = Some(probability);
+        if let Some(e) = shard.map.get_mut(&key) {
+            if e.generation != generation {
+                *e = CacheEntry::fresh(generation);
+            }
+            apply(e);
+            *e.referenced.get_mut() = true;
+            return;
+        }
+        let mut entry = CacheEntry::fresh(generation);
+        apply(&mut entry);
+        if shard.insert_new(key, entry) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
-    /// Looks up the bucket bounds stored for `key`, if any.
-    pub fn lookup_bounds(&self, key: DnfHash) -> Option<Bounds> {
-        let found =
-            self.shard(key).read().expect("cache shard poisoned").get(&key).and_then(|e| e.bounds);
-        self.count(found.is_some());
-        found
+    /// Looks up the exact probability stored for `key` under `generation`.
+    pub fn lookup_exact(&self, key: DnfHash, generation: u64) -> Option<f64> {
+        self.lookup(key, generation, |e| e.exact)
     }
 
-    /// Stores the bucket bounds of the sub-formula identified by `key`.
-    pub fn store_bounds(&self, key: DnfHash, bounds: Bounds) {
-        let mut shard = self.shard(key).write().expect("cache shard poisoned");
-        shard.entry(key).or_default().bounds = Some(bounds);
+    /// Stores the exact probability of the sub-formula identified by `key`,
+    /// computed under the given space `generation`.
+    pub fn store_exact(&self, key: DnfHash, generation: u64, probability: f64) {
+        self.store(key, generation, |e| e.exact = Some(probability));
+    }
+
+    /// Looks up the bucket bounds stored for `key` under `generation`.
+    pub fn lookup_bounds(&self, key: DnfHash, generation: u64) -> Option<Bounds> {
+        self.lookup(key, generation, |e| e.bounds)
+    }
+
+    /// Stores the bucket bounds of the sub-formula identified by `key`,
+    /// computed under the given space `generation`.
+    pub fn store_bounds(&self, key: DnfHash, generation: u64, bounds: Bounds) {
+        self.store(key, generation, |e| e.bounds = Some(bounds));
     }
 
     #[inline]
@@ -126,9 +319,9 @@ impl SubformulaCache {
         }
     }
 
-    /// Number of distinct sub-formulas stored.
+    /// Number of distinct sub-formulas stored (across all generations).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().expect("cache shard poisoned").len()).sum()
+        self.shards.iter().map(|s| s.read().expect("cache shard poisoned").map.len()).sum()
     }
 
     /// `true` when nothing has been stored yet.
@@ -136,32 +329,48 @@ impl SubformulaCache {
         self.len() == 0
     }
 
-    /// Snapshots the hit/miss counters and entry count.
+    /// Drops every entry (counters are kept; eviction counters do not change
+    /// — `clear` is bookkeeping, not policy).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.write().expect("cache shard poisoned");
+            shard.map.clear();
+            shard.ring.clear();
+            shard.hand = 0;
+        }
+    }
+
+    /// Snapshots the effectiveness counters and entry count.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            stale: self.stale.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.len(),
         }
     }
 }
 
 /// Per-run memo used by the DFS approximation: a private (lock-free) map in
-/// front of an optional shared [`SubformulaCache`].
+/// front of an optional shared [`SubformulaCache`], pinned to the generation
+/// of the space the run evaluates against.
 ///
 /// The private layer guarantees that *within one run* every sub-formula is
 /// evaluated at most once even when no shared cache is attached; the shared
-/// layer extends that guarantee across the lineages of a batch.
+/// layer extends that guarantee across the lineages of a batch and, for a
+/// long-lived cache, across batches.
 #[derive(Debug, Default)]
 pub(crate) struct Memo<'c> {
     exact: HashMap<DnfHash, f64>,
     bounds: HashMap<DnfHash, Bounds>,
     shared: Option<&'c SubformulaCache>,
+    generation: u64,
 }
 
 impl<'c> Memo<'c> {
-    pub(crate) fn with_shared(shared: Option<&'c SubformulaCache>) -> Self {
-        Memo { exact: HashMap::new(), bounds: HashMap::new(), shared }
+    pub(crate) fn with_shared(shared: Option<&'c SubformulaCache>, generation: u64) -> Self {
+        Memo { exact: HashMap::new(), bounds: HashMap::new(), shared, generation }
     }
 
     /// Returns the memoized exact probability for `key`, consulting the
@@ -170,7 +379,7 @@ impl<'c> Memo<'c> {
         if let Some(&p) = self.exact.get(&key) {
             return Some(p);
         }
-        let p = self.shared?.lookup_exact(key)?;
+        let p = self.shared?.lookup_exact(key, self.generation)?;
         self.exact.insert(key, p);
         Some(p)
     }
@@ -179,7 +388,7 @@ impl<'c> Memo<'c> {
     pub(crate) fn put_exact(&mut self, key: DnfHash, probability: f64) {
         self.exact.insert(key, probability);
         if let Some(shared) = self.shared {
-            shared.store_exact(key, probability);
+            shared.store_exact(key, self.generation, probability);
         }
     }
 
@@ -188,7 +397,7 @@ impl<'c> Memo<'c> {
         if let Some(&b) = self.bounds.get(&key) {
             return Some(b);
         }
-        let b = self.shared?.lookup_bounds(key)?;
+        let b = self.shared?.lookup_bounds(key, self.generation)?;
         self.bounds.insert(key, b);
         Some(b)
     }
@@ -197,7 +406,7 @@ impl<'c> Memo<'c> {
     pub(crate) fn put_bounds(&mut self, key: DnfHash, bounds: Bounds) {
         self.bounds.insert(key, bounds);
         if let Some(shared) = self.shared {
-            shared.store_bounds(key, bounds);
+            shared.store_bounds(key, self.generation, bounds);
         }
     }
 }
@@ -211,33 +420,136 @@ mod tests {
         Dnf::literal(VarId(i)).canonical_hash()
     }
 
+    const GEN: u64 = 7;
+
     #[test]
     fn store_and_lookup_roundtrip() {
         let cache = SubformulaCache::new();
         let k = key(1);
-        assert_eq!(cache.lookup_exact(k), None);
-        cache.store_exact(k, 0.25);
-        assert_eq!(cache.lookup_exact(k), Some(0.25));
-        assert_eq!(cache.lookup_bounds(k), None);
-        cache.store_bounds(k, Bounds::new(0.1, 0.4));
-        let b = cache.lookup_bounds(k).unwrap();
+        assert_eq!(cache.lookup_exact(k, GEN), None);
+        cache.store_exact(k, GEN, 0.25);
+        assert_eq!(cache.lookup_exact(k, GEN), Some(0.25));
+        assert_eq!(cache.lookup_bounds(k, GEN), None);
+        cache.store_bounds(k, GEN, Bounds::new(0.1, 0.4));
+        let b = cache.lookup_bounds(k, GEN).unwrap();
         assert_eq!((b.lower, b.upper), (0.1, 0.4));
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.capacity(), None);
     }
 
     #[test]
     fn stats_count_hits_and_misses() {
         let cache = SubformulaCache::new();
         let k = key(2);
-        let _ = cache.lookup_exact(k); // miss (entry absent)
-        cache.store_exact(k, 0.5);
-        let _ = cache.lookup_exact(k); // hit
-        let _ = cache.lookup_bounds(k); // miss (entry present, bounds absent)
+        let _ = cache.lookup_exact(k, GEN); // miss (entry absent)
+        cache.store_exact(k, GEN, 0.5);
+        let _ = cache.lookup_exact(k, GEN); // hit
+        let _ = cache.lookup_bounds(k, GEN); // miss (entry present, bounds absent)
         let s = cache.stats();
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 2);
+        assert_eq!(s.stale, 0);
+        assert_eq!(s.evictions, 0);
         assert_eq!(s.entries, 1);
         assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_generations_never_leak() {
+        let cache = SubformulaCache::new();
+        let k = key(3);
+        cache.store_exact(k, GEN, 0.25);
+        // A lookup under a newer generation misses and is counted as stale.
+        assert_eq!(cache.lookup_exact(k, GEN + 1), None);
+        assert_eq!(cache.stats().stale, 1);
+        // Storing under the new generation replaces the whole entry …
+        cache.store_bounds(k, GEN + 1, Bounds::new(0.2, 0.3));
+        assert_eq!(cache.len(), 1);
+        // … so the old generation's exact value is gone, not resurrected.
+        assert_eq!(cache.lookup_exact(k, GEN + 1), None);
+        assert_eq!(cache.lookup_exact(k, GEN), None);
+        assert!(cache.lookup_bounds(k, GEN + 1).is_some());
+    }
+
+    #[test]
+    fn bounded_cache_respects_budget_and_counts_evictions() {
+        let budget = 10;
+        let cache = SubformulaCache::with_capacity(budget);
+        assert_eq!(cache.capacity(), Some(budget));
+        for i in 0..100u32 {
+            cache.store_exact(key(i), GEN, f64::from(i));
+            assert!(cache.len() <= budget, "len {} over budget", cache.len());
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, budget);
+        assert_eq!(s.evictions, 90);
+        // The budget also holds exactly when capacity < number of shards.
+        let tiny = SubformulaCache::with_capacity(3);
+        for i in 0..50u32 {
+            tiny.store_exact(key(i), GEN, 0.5);
+        }
+        assert_eq!(tiny.len(), 3);
+        // Degenerate zero-capacity cache stores nothing and never panics.
+        let none = SubformulaCache::with_capacity(0);
+        none.store_exact(key(1), GEN, 0.5);
+        assert_eq!(none.len(), 0);
+        assert_eq!(none.lookup_exact(key(1), GEN), None);
+    }
+
+    #[test]
+    fn clock_eviction_prefers_untouched_entries() {
+        // Capacity 4 gives a single shard, so the clock order is
+        // deterministic.
+        let cache = SubformulaCache::with_capacity(4);
+        for i in 0..4u32 {
+            cache.store_exact(key(i), GEN, f64::from(i));
+        }
+        // Touch entries 0..3 except 2; the sweep clears everyone's bit once,
+        // then evicts the first entry it finds unreferenced on the second
+        // pass — which is entry 0 … but entry 0 was *looked up*, so its bit
+        // is set and survives the first pass. After one full clearing pass
+        // the hand is back at 0 with all bits clear; 0 is evicted.
+        let _ = cache.lookup_exact(key(0), GEN);
+        let _ = cache.lookup_exact(key(1), GEN);
+        let _ = cache.lookup_exact(key(3), GEN);
+        cache.store_exact(key(10), GEN, 10.0);
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().evictions, 1);
+        // The new key is present.
+        assert_eq!(cache.lookup_exact(key(10), GEN), Some(10.0));
+        // A second insert now evicts an entry whose bit was cleared by the
+        // first sweep — the recently stored key(10) (bit set on store)
+        // survives.
+        cache.store_exact(key(11), GEN, 11.0);
+        assert_eq!(cache.lookup_exact(key(10), GEN), Some(10.0));
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let cache = SubformulaCache::with_capacity(8);
+        for i in 0..8u32 {
+            cache.store_exact(key(i), GEN, 0.5);
+        }
+        cache.clear();
+        assert!(cache.is_empty());
+        // The cache stays usable after clearing.
+        cache.store_exact(key(1), GEN, 0.5);
+        assert_eq!(cache.lookup_exact(key(1), GEN), Some(0.5));
+    }
+
+    #[test]
+    fn stats_since_reports_deltas() {
+        let cache = SubformulaCache::new();
+        cache.store_exact(key(1), GEN, 0.5);
+        let _ = cache.lookup_exact(key(1), GEN);
+        let before = cache.stats();
+        let _ = cache.lookup_exact(key(1), GEN);
+        let _ = cache.lookup_exact(key(2), GEN);
+        let delta = cache.stats().since(&before);
+        assert_eq!(delta.hits, 1);
+        assert_eq!(delta.misses, 1);
+        assert_eq!(delta.entries, 1);
     }
 
     #[test]
@@ -249,36 +561,58 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..100u32 {
                         let k = key(i);
-                        cache.store_exact(k, f64::from(i) / 100.0);
-                        let _ = cache.lookup_exact(k);
+                        cache.store_exact(k, GEN, f64::from(i) / 100.0);
+                        let _ = cache.lookup_exact(k, GEN);
                     }
                 });
             }
         });
         assert_eq!(cache.len(), 100);
         for i in 0..100u32 {
-            assert_eq!(cache.lookup_exact(key(i)), Some(f64::from(i) / 100.0));
+            assert_eq!(cache.lookup_exact(key(i), GEN), Some(f64::from(i) / 100.0));
         }
+    }
+
+    #[test]
+    fn concurrent_fill_of_bounded_cache_keeps_budget() {
+        let cache = SubformulaCache::with_capacity(32);
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..200u32 {
+                        let k = key(t * 1000 + i);
+                        cache.store_exact(k, GEN, 0.5);
+                        let _ = cache.lookup_exact(k, GEN);
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 32, "len {} over budget", cache.len());
+        assert!(cache.stats().evictions > 0);
     }
 
     #[test]
     fn memo_prefers_private_layer_and_fills_shared() {
         let shared = SubformulaCache::new();
-        let mut memo = Memo::with_shared(Some(&shared));
+        let mut memo = Memo::with_shared(Some(&shared), GEN);
         let k = key(9);
         assert_eq!(memo.get_exact(k), None);
         memo.put_exact(k, 0.75);
         assert_eq!(memo.get_exact(k), Some(0.75));
         // The shared layer saw the store.
-        assert_eq!(shared.lookup_exact(k), Some(0.75));
+        assert_eq!(shared.lookup_exact(k, GEN), Some(0.75));
         // A fresh memo over the same shared cache hits through it.
-        let mut memo2 = Memo::with_shared(Some(&shared));
+        let mut memo2 = Memo::with_shared(Some(&shared), GEN);
         assert_eq!(memo2.get_exact(k), Some(0.75));
+        // A memo pinned to a newer generation misses: the entry is stale.
+        let mut memo3 = Memo::with_shared(Some(&shared), GEN + 1);
+        assert_eq!(memo3.get_exact(k), None);
     }
 
     #[test]
     fn memo_without_shared_layer_is_private() {
-        let mut memo = Memo::with_shared(None);
+        let mut memo = Memo::with_shared(None, GEN);
         let k = key(3);
         assert_eq!(memo.get_bounds(k), None);
         memo.put_bounds(k, Bounds::point(0.3));

@@ -40,10 +40,13 @@ pub fn exact_probability(
 /// probability in a shared [`SubformulaCache`], so repeated sub-formulas —
 /// within one lineage or across the lineages of a batch — are computed once.
 ///
-/// The cache must only be used with a single probability space. Because the
-/// evaluation is deterministic, a cached value is bit-identical to what the
-/// uncached recursion would compute, so `exact_probability_cached` returns
-/// exactly the probability [`exact_probability`] would.
+/// Cache entries are scoped to `space.generation()`: values computed under a
+/// different generation are ignored, so one long-lived cache can serve many
+/// spaces and survive database mutations without ever leaking a stale value.
+/// Because the evaluation is deterministic, a cached value is bit-identical
+/// to what the uncached recursion would compute, so
+/// `exact_probability_cached` returns exactly the probability
+/// [`exact_probability`] would.
 pub fn exact_probability_cached(
     dnf: &Dnf,
     space: &ProbabilitySpace,
@@ -68,13 +71,14 @@ fn exact_rec(
     if let Some(c) = cache {
         if dnf.len() >= 2 {
             let key = dnf.canonical_hash();
-            if let Some(p) = c.lookup_exact(key) {
+            let generation = space.generation();
+            if let Some(p) = c.lookup_exact(key, generation) {
                 stats.exact_cache_hits += 1;
                 return p;
             }
             let p = exact_step(dnf, space, opts, stats, depth, cache);
             stats.exact_evaluations += 1;
-            c.store_exact(key, p);
+            c.store_exact(key, generation, p);
             return p;
         }
     }

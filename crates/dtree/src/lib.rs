@@ -21,9 +21,10 @@
 //!   (Section VI) when the lineage carries variable-origin metadata.
 //! * **Shared sub-formula memoization** ([`SubformulaCache`]): a thread-safe
 //!   memo of exact leaf probabilities and bucket bounds keyed by canonical
-//!   DNF hash, reused both within one approximation run and across the
-//!   lineages of a batch ([`ApproxCompiler::run_cached`],
-//!   [`exact_probability_cached`]).
+//!   DNF hash, reused within one approximation run, across the lineages of a
+//!   batch, and — scoped to a probability-space generation and bounded by
+//!   CLOCK/LRU eviction — across whole batches
+//!   ([`ApproxCompiler::run_cached`], [`exact_probability_cached`]).
 //!
 //! # Quick example
 //!

@@ -1,6 +1,20 @@
 //! Probability spaces: finite sets of independent discrete random variables.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::{Atom, EventError, Result, VarId, FALSE_VALUE, TRUE_VALUE};
+
+/// Process-wide source of generation fingerprints. Every mutation of any
+/// [`ProbabilitySpace`] draws a fresh value, so generations are monotonically
+/// increasing *and* globally unique: two spaces (other than clones of each
+/// other, whose contents are identical) never share a generation, which lets
+/// caches keyed by generation validate entries without knowing which space
+/// produced them.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Metadata stored for each random variable in a [`ProbabilitySpace`].
 #[derive(Debug, Clone)]
@@ -27,20 +41,52 @@ impl VariableInfo {
 /// tuple; block-independent-disjoint (BID) tables create one *multi-valued*
 /// variable per block whose domain values select among the block's mutually
 /// exclusive alternatives.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ProbabilitySpace {
     vars: Vec<VariableInfo>,
+    generation: u64,
+}
+
+impl Default for ProbabilitySpace {
+    fn default() -> Self {
+        ProbabilitySpace::new()
+    }
 }
 
 impl ProbabilitySpace {
     /// Creates an empty probability space.
     pub fn new() -> Self {
-        ProbabilitySpace { vars: Vec::new() }
+        ProbabilitySpace { vars: Vec::new(), generation: fresh_generation() }
     }
 
     /// Creates an empty probability space with capacity for `n` variables.
     pub fn with_capacity(n: usize) -> Self {
-        ProbabilitySpace { vars: Vec::with_capacity(n) }
+        ProbabilitySpace { vars: Vec::with_capacity(n), generation: fresh_generation() }
+    }
+
+    /// The space's **generation fingerprint**: a monotonically increasing,
+    /// globally unique value that changes on every mutation of the space
+    /// (adding a variable, or an explicit [`ProbabilitySpace::invalidate`]).
+    ///
+    /// Derived quantities such as sub-formula probabilities are pure
+    /// functions of `(formula, space)`; a cache that tags each entry with the
+    /// generation it was computed under and validates the tag on lookup can
+    /// therefore be shared across batches — and across spaces — without ever
+    /// serving a stale value: any change to the space retires all of its
+    /// previous entries at once. Clones share their origin's generation (and
+    /// its cache entries, which is sound because their contents are
+    /// identical) until either side mutates.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Forces a new generation, retiring every cache entry computed under the
+    /// current one. Mutating methods call this automatically; callers only
+    /// need it to invalidate caches after out-of-band changes (e.g. a
+    /// database layer rebuilding tables around the space).
+    pub fn invalidate(&mut self) {
+        self.generation = fresh_generation();
     }
 
     /// Number of variables in the space.
@@ -121,6 +167,7 @@ impl ProbabilitySpace {
     fn push(&mut self, info: VariableInfo) -> VarId {
         let id = VarId(self.vars.len() as u32);
         self.vars.push(info);
+        self.invalidate();
         id
     }
 
@@ -243,6 +290,35 @@ mod tests {
             s.validate_atom(Atom::pos(VarId(99))),
             Err(EventError::UnknownVariable(99))
         ));
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let mut s = ProbabilitySpace::new();
+        let g0 = s.generation();
+        s.add_bool("x", 0.5);
+        let g1 = s.generation();
+        assert!(g1 > g0, "adding a variable must advance the generation");
+        s.add_discrete("y", vec![0.2, 0.8]);
+        let g2 = s.generation();
+        assert!(g2 > g1);
+        s.invalidate();
+        assert!(s.generation() > g2, "explicit invalidation must advance the generation");
+        // Failed mutations leave the generation untouched.
+        let g3 = s.generation();
+        assert!(s.try_add_bool("bad", 2.0).is_err());
+        assert_eq!(s.generation(), g3);
+    }
+
+    #[test]
+    fn distinct_spaces_have_distinct_generations_but_clones_share() {
+        let a = ProbabilitySpace::new();
+        let b = ProbabilitySpace::new();
+        assert_ne!(a.generation(), b.generation());
+        let mut c = a.clone();
+        assert_eq!(a.generation(), c.generation());
+        c.add_bool("x", 0.5);
+        assert_ne!(a.generation(), c.generation());
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub struct ConfidenceResult {
     /// bound (the true probability always lies in `[lower, upper]`); for
     /// Monte-Carlo methods it is the lower end of the method's (ε, δ)
     /// confidence interval, which contains the true probability with
-    /// probability at least `1 − δ` when `converged` is `true`. Exact methods
+    /// probability at least `1 − δ` when `converged` is `true`; a Monte-Carlo
+    /// run truncated by the budget (`converged == false`) has no such
+    /// guarantee and reports the vacuous interval `[0, 1]`. Exact methods
     /// report `lower == estimate == upper`.
     pub lower: f64,
     /// Upper bound on the probability; see [`ConfidenceResult::lower`] for
@@ -110,9 +112,10 @@ pub fn confidence(
 ///   (making the call reproducible); when `None` they seed from entropy as
 ///   [`confidence`] does. The d-tree methods are deterministic and ignore it.
 /// * `cache` — when `Some`, the d-tree methods memoize exact sub-formula
-///   probabilities and bucket bounds in it. The cache must only be used with
-///   a single probability space; within that contract results are
-///   bit-identical to the uncached call.
+///   probabilities and bucket bounds in it. Entries are scoped to
+///   `space.generation()`, so one long-lived cache can serve many spaces and
+///   survive database mutations; results are bit-identical to the uncached
+///   call either way.
 pub fn confidence_with(
     lineage: &Dnf,
     space: &ProbabilitySpace,
@@ -213,10 +216,19 @@ pub fn confidence_with(
             }
             let r = aconf(lineage, space, &opts);
             // The (ε, δ) guarantee is relative: p̂ ∈ [(1−ε)p, (1+ε)p] with
-            // probability ≥ 1 − δ, hence p ∈ [p̂/(1+ε), p̂/(1−ε)].
-            let eps = epsilon.max(0.0);
-            let lower = (r.estimate / (1.0 + eps)).clamp(0.0, 1.0);
-            let upper = if eps < 1.0 { (r.estimate / (1.0 - eps)).clamp(0.0, 1.0) } else { 1.0 };
+            // probability ≥ 1 − δ, hence p ∈ [p̂/(1+ε), p̂/(1−ε)] — but only
+            // when the DKLR stopping rule actually ran to completion. A run
+            // truncated by the budget drew too few samples for any such
+            // guarantee, so the only honest interval is the vacuous [0, 1].
+            let (lower, upper) = if r.converged {
+                let eps = epsilon.max(0.0);
+                let lower = (r.estimate / (1.0 + eps)).clamp(0.0, 1.0);
+                let upper =
+                    if eps < 1.0 { (r.estimate / (1.0 - eps)).clamp(0.0, 1.0) } else { 1.0 };
+                (lower, upper)
+            } else {
+                (0.0, 1.0)
+            };
             ConfidenceResult {
                 estimate: r.estimate,
                 lower,
@@ -231,20 +243,35 @@ pub fn confidence_with(
             if let Some(t) = budget.timeout {
                 opts.timeout = Some(t);
             }
+            // `max_work` is a *cap*, not a target: `with_samples` overrides
+            // the Hoeffding-mandated count outright, so pass the minimum of
+            // the two — a budget above the requirement must not inflate the
+            // work, a budget below it truncates.
+            let required = opts.hoeffding_samples();
             if let Some(w) = budget.max_work {
-                opts = opts.with_samples(w);
+                opts = opts.with_samples(w.min(required));
             }
             if let Some(s) = seed {
                 opts = opts.with_seed(s);
             }
             let r = naive_monte_carlo(lineage, space, &opts);
             // Additive (ε, δ) guarantee: p ∈ [p̂ − ε, p̂ + ε] with
-            // probability ≥ 1 − δ.
+            // probability ≥ 1 − δ — earned only when the Hoeffding count was
+            // actually drawn (trivial formulas are exact without sampling).
+            // A truncated run (budget or timeout) has no such guarantee and
+            // reports the vacuous (but sound) [0, 1].
+            let trivial = lineage.is_empty() || lineage.is_tautology();
+            let earned = trivial || (r.converged && r.samples >= required);
+            let (lower, upper) = if earned {
+                ((r.estimate - epsilon).clamp(0.0, 1.0), (r.estimate + epsilon).clamp(0.0, 1.0))
+            } else {
+                (0.0, 1.0)
+            };
             ConfidenceResult {
                 estimate: r.estimate,
-                lower: (r.estimate - epsilon).clamp(0.0, 1.0),
-                upper: (r.estimate + epsilon).clamp(0.0, 1.0),
-                converged: r.converged,
+                lower,
+                upper,
+                converged: earned,
                 elapsed: r.elapsed,
                 method: method.label(),
             }
@@ -387,6 +414,35 @@ mod tests {
         assert!((r.upper - r.lower) <= 0.1 + 1e-12);
         assert!(r.lower <= r.estimate && r.estimate <= r.upper);
         assert!((0.0..=1.0).contains(&r.lower) && (0.0..=1.0).contains(&r.upper));
+    }
+
+    /// Regression test: a Monte-Carlo run truncated by the budget has *not*
+    /// earned its (ε, δ) interval — with a handful of samples the interval
+    /// `p̂/(1±ε)` (or `p̂ ± ε`) around a noisy mean routinely excludes the
+    /// true probability. A non-converged run must report the vacuous [0, 1].
+    #[test]
+    fn truncated_monte_carlo_reports_vacuous_interval() {
+        let (db, lineage) = sample_lineage();
+        let budget = ConfidenceBudget { timeout: None, max_work: Some(2) };
+        let kl = ConfidenceMethod::KarpLuby { epsilon: 1e-4, delta: 1e-4 };
+        let r = confidence(&lineage, db.space(), None, &kl, &budget);
+        assert!(!r.converged, "2 samples cannot satisfy ε = 1e-4: {r:?}");
+        assert_eq!(r.lower, 0.0, "truncated KL must not claim a lower bound: {r:?}");
+        assert_eq!(r.upper, 1.0, "truncated KL must not claim an upper bound: {r:?}");
+        let naive = ConfidenceMethod::NaiveMonteCarlo { epsilon: 1e-4 };
+        let r = confidence(&lineage, db.space(), None, &naive, &budget);
+        assert!(!r.converged);
+        assert_eq!((r.lower, r.upper), (0.0, 1.0), "truncated naive run: {r:?}");
+        // Converged runs keep their genuine (ε, δ) interval.
+        let r = confidence(
+            &lineage,
+            db.space(),
+            None,
+            &ConfidenceMethod::KarpLuby { epsilon: 0.1, delta: 0.01 },
+            &ConfidenceBudget::default(),
+        );
+        assert!(r.converged);
+        assert!(r.lower > 0.0 && r.upper < 1.0, "{r:?}");
     }
 
     #[test]

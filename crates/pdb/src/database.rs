@@ -42,6 +42,28 @@ impl Database {
         &self.space
     }
 
+    /// The generation fingerprint of the database's probability space
+    /// (see [`ProbabilitySpace::generation`]).
+    ///
+    /// Every mutating method of `Database` advances the generation, which
+    /// retires all sub-formula cache entries computed against the previous
+    /// state — this is the invalidation hook that makes a long-lived
+    /// [`dtree::SubformulaCache`] safe to share across batches: after any
+    /// database change, cached probabilities from before the change can never
+    /// be served again.
+    pub fn generation(&self) -> u64 {
+        self.space.generation()
+    }
+
+    /// Explicitly advances the generation, invalidating every sub-formula
+    /// cache entry computed against the current state. Mutating methods call
+    /// this implicitly; it only needs to be called by hand after out-of-band
+    /// changes (e.g. mutating a [`Relation`] obtained through interior
+    /// access in an extension).
+    pub fn invalidate_caches(&mut self) {
+        self.space.invalidate();
+    }
+
     /// Variable origin labels (variable → table id).
     pub fn origins(&self) -> &VarOrigins {
         &self.origins
@@ -71,6 +93,11 @@ impl Database {
         let id = self.next_table_id;
         self.table_ids.insert(name.to_owned(), id);
         self.next_table_id += 1;
+        // Any table registration is a database mutation: advance the
+        // generation even when the new table adds no variables (deterministic
+        // tables), so the invariant "every Database mutation bumps the
+        // generation" holds unconditionally.
+        self.space.invalidate();
         id
     }
 
@@ -257,6 +284,25 @@ mod tests {
         let t = db.table("E").unwrap();
         let total: f64 = t.tuples.iter().map(|tp| tp.probability(db.space())).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mutations_advance_the_generation() {
+        let mut db = Database::new();
+        let g0 = db.generation();
+        db.add_tuple_independent_table("R", &["a"], vec![(vec![Value::Int(1)], 0.5)]);
+        let g1 = db.generation();
+        assert!(g1 > g0);
+        // Deterministic tables add no variables but still count as mutations.
+        db.add_deterministic_table("D", &["x"], vec![vec![Value::Int(1)]]);
+        let g2 = db.generation();
+        assert!(g2 > g1);
+        db.add_bid_table("B", &["x"], vec![vec![(vec![Value::Int(0)], 0.4)]]);
+        let g3 = db.generation();
+        assert!(g3 > g2);
+        db.invalidate_caches();
+        assert!(db.generation() > g3);
+        assert_eq!(db.generation(), db.space().generation());
     }
 
     #[test]

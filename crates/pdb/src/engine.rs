@@ -32,7 +32,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dtree::{CacheStats, SubformulaCache};
@@ -48,8 +48,16 @@ pub struct BatchResult {
     /// Wall-clock time for the whole batch (not the sum of per-item times —
     /// with `n` threads this is roughly the sum divided by `n`).
     pub wall: Duration,
-    /// Effectiveness counters of the shared sub-formula cache (all zeros when
-    /// the cache was disabled).
+    /// Effectiveness counters of the sub-formula cache **for this batch**
+    /// (all zeros when the cache was disabled). For a long-lived cache
+    /// attached with [`ConfidenceEngine::with_shared_cache`] the hit, miss,
+    /// stale, and eviction counters are deltas over the batch, while
+    /// `entries` is the cache's size after the batch. The deltas are
+    /// before/after snapshots of the cache's global counters: when *other*
+    /// batches run concurrently against the same `Arc`, their traffic lands
+    /// in whichever overlapping snapshot windows observe it, so per-batch
+    /// attribution is only exact for non-overlapping batches (results are
+    /// unaffected either way).
     pub cache: CacheStats,
 }
 
@@ -75,11 +83,12 @@ pub struct ConfidenceEngine {
     threads: Option<usize>,
     seed: Option<u64>,
     share_cache: bool,
+    shared_cache: Option<Arc<SubformulaCache>>,
 }
 
 impl ConfidenceEngine {
     /// An engine for the given method with no budget, automatic parallelism,
-    /// entropy-seeded Monte-Carlo, and the shared cache enabled.
+    /// entropy-seeded Monte-Carlo, and a per-batch shared cache enabled.
     pub fn new(method: ConfidenceMethod) -> Self {
         ConfidenceEngine {
             method,
@@ -87,6 +96,7 @@ impl ConfidenceEngine {
             threads: None,
             seed: None,
             share_cache: true,
+            shared_cache: None,
         }
     }
 
@@ -113,10 +123,35 @@ impl ConfidenceEngine {
         self
     }
 
-    /// Disables the shared sub-formula cache (useful for measuring its
-    /// effect; results are identical either way).
+    /// Attaches an externally owned, long-lived sub-formula cache, shared
+    /// across every batch this engine (and any other engine holding the same
+    /// [`Arc`]) runs. This is the **cross-batch** mode for production traffic
+    /// that repeats queries: the second batch of a repeated query starts with
+    /// every exact leaf probability and bucket bound already warm.
+    ///
+    /// Entries are validated against the probability space's
+    /// [`generation`](events::ProbabilitySpace::generation), so the cache
+    /// survives database mutations: stale entries turn into misses and are
+    /// overwritten, never served. Each sub-formula entry holds the value of
+    /// one generation at a time, so the intended pattern is one *live* space
+    /// per cache — interleaving batches from several spaces stays correct
+    /// but makes spaces whose sub-formulas share hashes overwrite each
+    /// other's entries, running those keys cold. Build the cache with
+    /// [`SubformulaCache::with_capacity`] to bound its memory; eviction
+    /// churn never changes results, only hit rates — cached and uncached
+    /// runs are bit-identical.
+    pub fn with_shared_cache(mut self, cache: Arc<SubformulaCache>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// Disables sub-formula caching entirely — both the default per-batch
+    /// cache and any cache attached with
+    /// [`ConfidenceEngine::with_shared_cache`] (useful for measuring the
+    /// cache's effect; results are identical either way).
     pub fn without_cache(mut self) -> Self {
         self.share_cache = false;
+        self.shared_cache = None;
         self
     }
 
@@ -153,7 +188,17 @@ impl ConfidenceEngine {
     ) -> BatchResult {
         let start = Instant::now();
         let deadline = self.budget.timeout.map(|t| start + t);
-        let cache = if self.share_cache { Some(SubformulaCache::new()) } else { None };
+        // Cache selection: an attached long-lived cache wins; otherwise a
+        // fresh per-batch cache (the default), or nothing. Stats are reported
+        // as deltas so a long-lived cache's history does not drown the
+        // current batch's hit rate.
+        let per_batch = if self.share_cache && self.shared_cache.is_none() {
+            Some(SubformulaCache::new())
+        } else {
+            None
+        };
+        let cache: Option<&SubformulaCache> = self.shared_cache.as_deref().or(per_batch.as_ref());
+        let cache_before = cache.map(SubformulaCache::stats).unwrap_or_default();
 
         // `representative[i]` is the first index holding a lineage identical
         // to `lineages[i]`; only representatives are evaluated. Monte-Carlo
@@ -191,14 +236,8 @@ impl ConfidenceEngine {
         let mut slots: Vec<Option<ConfidenceResult>> = vec![None; lineages.len()];
         if threads <= 1 {
             for &i in &work {
-                slots[i] = Some(self.run_item(
-                    lineages[i].as_ref(),
-                    space,
-                    origins,
-                    i,
-                    deadline,
-                    cache.as_ref(),
-                ));
+                slots[i] =
+                    Some(self.run_item(lineages[i].as_ref(), space, origins, i, deadline, cache));
             }
         } else {
             let cursor = AtomicUsize::new(0);
@@ -212,14 +251,8 @@ impl ConfidenceEngine {
                             break;
                         }
                         let i = work[w];
-                        let r = self.run_item(
-                            lineages[i].as_ref(),
-                            space,
-                            origins,
-                            i,
-                            deadline,
-                            cache.as_ref(),
-                        );
+                        let r =
+                            self.run_item(lineages[i].as_ref(), space, origins, i, deadline, cache);
                         out.lock().expect("result slots poisoned")[i] = Some(r);
                     });
                 }
@@ -241,7 +274,7 @@ impl ConfidenceEngine {
         BatchResult {
             results: slots.into_iter().map(|r| r.expect("every slot filled")).collect(),
             wall: start.elapsed(),
-            cache: cache.as_ref().map(SubformulaCache::stats).unwrap_or_default(),
+            cache: cache.map(|c| c.stats().since(&cache_before)).unwrap_or_default(),
         }
     }
 
@@ -255,14 +288,41 @@ impl ConfidenceEngine {
         cache: Option<&SubformulaCache>,
     ) -> ConfidenceResult {
         // Whatever time remains until the shared deadline is this item's
-        // timeout; past the deadline it collapses to zero, which makes the
-        // d-tree methods close leaves immediately (sound best-effort bounds)
-        // and the Monte-Carlo methods return their running mean.
+        // timeout. Items that start *after* the deadline short-circuit to an
+        // immediate non-converged result with the vacuous (but sound)
+        // interval [0, 1]: handing them a zero timeout instead would still
+        // pay the full per-item setup — DNF preparation and, for the
+        // Monte-Carlo methods, the whole DKLR estimation block — once per
+        // straggler, so a tight deadline over a large batch would overrun by
+        // the sum of those setup costs.
         let item_budget = match deadline {
-            Some(d) => ConfidenceBudget {
-                timeout: Some(d.saturating_duration_since(Instant::now())),
-                max_work: self.budget.max_work,
-            },
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    // Constant lineages are knowable in O(1) even now —
+                    // don't replace an exact answer with a vacuous one.
+                    if lineage.is_tautology() || lineage.is_empty() {
+                        let p = if lineage.is_tautology() { 1.0 } else { 0.0 };
+                        return ConfidenceResult {
+                            estimate: p,
+                            lower: p,
+                            upper: p,
+                            converged: true,
+                            elapsed: Duration::ZERO,
+                            method: self.method.label(),
+                        };
+                    }
+                    return ConfidenceResult {
+                        estimate: 0.5,
+                        lower: 0.0,
+                        upper: 1.0,
+                        converged: false,
+                        elapsed: Duration::ZERO,
+                        method: self.method.label(),
+                    };
+                }
+                ConfidenceBudget { timeout: Some(remaining), max_work: self.budget.max_work }
+            }
             None => ConfidenceBudget { timeout: None, max_work: self.budget.max_work },
         };
         let seed = self.seed.map(|base| Self::item_seed(base, index));
@@ -438,6 +498,87 @@ mod tests {
             );
             assert_eq!(want.estimate.to_bits(), got.estimate.to_bits());
         }
+    }
+
+    #[test]
+    fn shared_cache_survives_batches_and_stays_bit_identical() {
+        let (db, lineages) = answers_db();
+        let method = ConfidenceMethod::DTreeAbsolute(0.001);
+        let baseline = ConfidenceEngine::new(method.clone()).without_cache().confidence_batch(
+            &lineages,
+            db.space(),
+            Some(db.origins()),
+        );
+        let cache = Arc::new(SubformulaCache::with_capacity(4096));
+        let engine = ConfidenceEngine::new(method).with_shared_cache(Arc::clone(&cache));
+        let cold = engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
+        let warm = engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
+        // The warm batch is served from the cross-batch cache …
+        assert!(warm.cache.hits > 0, "warm batch saw no hits: {:?}", warm.cache);
+        assert!(
+            warm.cache.hit_rate() > cold.cache.hit_rate(),
+            "warm {:?} vs cold {:?}",
+            warm.cache,
+            cold.cache
+        );
+        // … and every result, cold or warm, is bit-identical to the uncached
+        // baseline.
+        for batch in [&cold, &warm] {
+            for (want, got) in baseline.results.iter().zip(&batch.results) {
+                assert_eq!(want.estimate.to_bits(), got.estimate.to_bits());
+                assert_eq!(want.lower.to_bits(), got.lower.to_bits());
+                assert_eq!(want.upper.to_bits(), got.upper.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn database_mutation_invalidates_shared_cache_without_stale_answers() {
+        let (mut db, lineages) = answers_db();
+        let method = ConfidenceMethod::DTreeAbsolute(0.001);
+        let cache = Arc::new(SubformulaCache::new());
+        let engine = ConfidenceEngine::new(method).with_shared_cache(Arc::clone(&cache));
+        let before = engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
+        // Mutate the database: the generation advances, so the warm entries
+        // are retired. The old lineages' probabilities are untouched (the new
+        // table only adds fresh independent variables), so results must stay
+        // bit-identical — served by recomputation, not by stale entries.
+        db.add_tuple_independent_table("T", &["z"], vec![(vec![Value::Int(0)], 0.5)]);
+        let after = engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
+        assert!(after.cache.stale > 0, "expected stale lookups: {:?}", after.cache);
+        for (a, b) in before.results.iter().zip(&after.results) {
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+            assert_eq!(a.lower.to_bits(), b.lower.to_bits());
+            assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+        }
+    }
+
+    /// Batch-level promptness of the short-circuit lives in
+    /// `tests/cache_reuse.rs`; this covers the item-level contract: past the
+    /// deadline, constant lineages keep their exact O(1) answers while
+    /// everything else gets the vacuous non-converged interval.
+    #[test]
+    fn past_deadline_items_keep_trivial_lineages_exact() {
+        let (db, mut lineages) = answers_db();
+        let n_real = lineages.len();
+        lineages.push(Dnf::tautology());
+        lineages.push(Dnf::empty());
+        let engine =
+            ConfidenceEngine::new(ConfidenceMethod::KarpLuby { epsilon: 0.01, delta: 0.01 })
+                .with_budget(ConfidenceBudget { timeout: Some(Duration::ZERO), max_work: None })
+                .with_threads(2);
+        let out = engine.confidence_batch(&lineages, db.space(), None);
+        for r in &out.results[..n_real] {
+            assert!(!r.converged);
+            assert_eq!((r.lower, r.upper), (0.0, 1.0));
+            assert_eq!(r.elapsed, Duration::ZERO);
+        }
+        let taut = &out.results[n_real];
+        assert!(taut.converged);
+        assert_eq!((taut.estimate, taut.lower, taut.upper), (1.0, 1.0, 1.0));
+        let empty = &out.results[n_real + 1];
+        assert!(empty.converged);
+        assert_eq!((empty.estimate, empty.lower, empty.upper), (0.0, 0.0, 0.0));
     }
 
     #[test]

@@ -23,7 +23,8 @@
 //!   d-tree approximation, SPROUT, Karp-Luby (`aconf`), or naive sampling,
 //! * [`engine`] — the batched [`ConfidenceEngine`]: all answer tuples of a
 //!   query in one call, parallel across lineages, with a shared sub-formula
-//!   cache and one batch-wide deadline.
+//!   cache (per-batch by default, or long-lived across batches via
+//!   [`ConfidenceEngine::with_shared_cache`]) and one batch-wide deadline.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -240,6 +240,76 @@ proptest! {
         }
     }
 
+    /// Cross-batch reuse under eviction churn: a warm second batch over a
+    /// *tiny* shared cache (entry budget small enough to force constant
+    /// evictions) returns results bit-identical to a cold cache-off run, the
+    /// cache never exceeds its budget, and a repeat of the same batch sees
+    /// hits.
+    #[test]
+    fn warm_cross_batch_results_survive_eviction_churn(spec in dnf_batch()) {
+        use std::sync::Arc;
+        use dtree::SubformulaCache;
+        use pdb::confidence::ConfidenceMethod;
+        use pdb::ConfidenceEngine;
+        let (space, dnfs) = build_batch(&spec);
+        for method in [ConfidenceMethod::DTreeAbsolute(0.0005), ConfidenceMethod::DTreeExact] {
+            let plain = ConfidenceEngine::new(method.clone())
+                .without_cache()
+                .with_threads(1)
+                .confidence_batch(&dnfs, &space, None);
+            let budget = 4usize;
+            let cache = Arc::new(SubformulaCache::with_capacity(budget));
+            let engine = ConfidenceEngine::new(method)
+                .with_shared_cache(Arc::clone(&cache))
+                .with_threads(2);
+            for round in 0..3 {
+                let warm = engine.confidence_batch(&dnfs, &space, None);
+                prop_assert!(cache.len() <= budget,
+                    "round {round}: {} entries over budget {budget}", cache.len());
+                for (a, b) in warm.results.iter().zip(&plain.results) {
+                    prop_assert_eq!(a.estimate.to_bits(), b.estimate.to_bits(),
+                        "round {}: {} vs {}", round, a.estimate, b.estimate);
+                    prop_assert_eq!(a.lower.to_bits(), b.lower.to_bits());
+                    prop_assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+                    prop_assert_eq!(a.converged, b.converged);
+                }
+            }
+        }
+    }
+
+    /// Generation invalidation: mutating the probability space between
+    /// batches retires all warm entries — the next batch recomputes (stale
+    /// lookups, no panics) and still returns results bit-identical to a
+    /// cache-off run, never a stale answer.
+    #[test]
+    fn generation_bump_invalidates_without_stale_answers(spec in dnf_batch()) {
+        use std::sync::Arc;
+        use dtree::SubformulaCache;
+        use pdb::confidence::ConfidenceMethod;
+        use pdb::ConfidenceEngine;
+        let (mut space, dnfs) = build_batch(&spec);
+        let method = ConfidenceMethod::DTreeAbsolute(0.0005);
+        let cache = Arc::new(SubformulaCache::new());
+        let engine = ConfidenceEngine::new(method.clone())
+            .with_shared_cache(Arc::clone(&cache))
+            .with_threads(2);
+        let before = engine.confidence_batch(&dnfs, &space, None);
+        // Mutate the space: the new variable leaves the old lineages'
+        // probabilities untouched but advances the generation.
+        space.add_bool("fresh", 0.5);
+        let after = engine.confidence_batch(&dnfs, &space, None);
+        prop_assert!(after.cache.hits == 0 || after.cache.stale > 0,
+            "warm entries served across a generation bump: {:?}", after.cache);
+        let plain = ConfidenceEngine::new(method)
+            .without_cache()
+            .with_threads(1)
+            .confidence_batch(&dnfs, &space, None);
+        for ((a, b), c) in after.results.iter().zip(&before.results).zip(&plain.results) {
+            prop_assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+            prop_assert_eq!(a.estimate.to_bits(), c.estimate.to_bits());
+        }
+    }
+
     /// A batch deadline is respected: even with many lineages and a
     /// microscopic budget, the whole batch terminates promptly and every
     /// result carries sound bounds.

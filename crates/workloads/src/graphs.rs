@@ -4,6 +4,7 @@
 //! which the possible worlds are the subgraphs of the n-clique": every one of
 //! the `n·(n−1)/2` edges is present independently with probability `p`.
 
+use events::Dnf;
 use pdb::motif::ProbGraph;
 use pdb::{Database, Value};
 use rand::rngs::StdRng;
@@ -40,6 +41,25 @@ impl RandomGraphConfig {
         let n = self.nodes as usize;
         n * (n - 1) / 2
     }
+}
+
+/// All non-empty lineages of the two-degrees-of-separation answer relation
+/// `s2(X, Y)` over the ordered node pairs of a graph with `n` nodes — the
+/// whole-query batch the fig8-style benchmarks and the batch-engine tests
+/// evaluate.
+pub fn s2_relation(graph: &ProbGraph, n: u32) -> Vec<Dnf> {
+    let mut lineages = Vec::new();
+    for s in 0..n {
+        for t in 0..n {
+            if s != t {
+                let l = graph.separation2_lineage(s, t);
+                if !l.is_empty() {
+                    lineages.push(l);
+                }
+            }
+        }
+    }
+    lineages
 }
 
 /// Generates the random graph as a probabilistic database with one

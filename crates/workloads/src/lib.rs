@@ -23,6 +23,6 @@ pub mod graphs;
 pub mod social;
 pub mod tpch;
 
-pub use graphs::{random_bid_graph, random_graph, RandomGraphConfig};
+pub use graphs::{random_bid_graph, random_graph, s2_relation, RandomGraphConfig};
 pub use social::{dolphins, karate_club, SocialNetwork, SocialNetworkConfig};
 pub use tpch::{QueryClass, TpchConfig, TpchDatabase, TpchQuery};

@@ -12,8 +12,11 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
+use std::sync::Arc;
+
 use dtree_approx::dtree::{
     compile, dnf_bounds_sorted, exact_probability, ApproxCompiler, ApproxOptions, CompileOptions,
+    SubformulaCache,
 };
 use dtree_approx::events::{Atom, Clause, Dnf, ProbabilitySpace};
 use dtree_approx::pdb::confidence::ConfidenceMethod;
@@ -165,5 +168,32 @@ fn batched_engine() {
         batch.results.len(),
         batch.all_converged(),
         batch.cache.entries
+    );
+
+    // Cross-batch reuse: production traffic repeats queries, so attach a
+    // long-lived cache (Arc-shared, generation-scoped, size-bounded) and run
+    // the same batch twice — the second batch is served warm. This doubles
+    // as the CI smoke check for the shared-cache path.
+    // Single-threaded so the printed hit rates stay deterministic (parallel
+    // workers race benignly on who computes a shared sub-formula first).
+    let cache = Arc::new(SubformulaCache::with_capacity(1 << 16));
+    let shared_engine = ConfidenceEngine::new(ConfidenceMethod::DTreeAbsolute(0.001))
+        .with_shared_cache(Arc::clone(&cache))
+        .with_threads(1);
+    let first = shared_engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
+    let second = shared_engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
+    assert!(
+        second.cache.hits > 0 && second.cache.hit_rate() > first.cache.hit_rate(),
+        "repeated batch must be served from the shared cache: cold {:?} vs warm {:?}",
+        first.cache,
+        second.cache
+    );
+    for (a, b) in batch.results.iter().zip(&second.results) {
+        assert_eq!(a.estimate.to_bits(), b.estimate.to_bits(), "warm results must be identical");
+    }
+    println!(
+        "repeated batch: warm hit rate {:.0}% (cold {:.0}%), identical results",
+        100.0 * second.cache.hit_rate(),
+        100.0 * first.cache.hit_rate()
     );
 }

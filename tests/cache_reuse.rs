@@ -1,0 +1,121 @@
+//! Cross-batch cache reuse: a long-lived, generation-scoped, size-bounded
+//! [`SubformulaCache`] shared across [`ConfidenceEngine`] batches must change
+//! the work done, never the answers — warm batches are bit-identical to cold
+//! ones, eviction churn and database mutations included. Also pins down the
+//! `explore_node` scheduling fix (O(1) pending-child pop) on the fig8
+//! random-graph workload, whose s2 lineages produce the wide ⊗/⊙ nodes the
+//! old `Vec::remove(0)` was quadratic on.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dtree_approx::dtree::{exact_probability, CompileOptions, SubformulaCache};
+use dtree_approx::pdb::confidence::{ConfidenceBudget, ConfidenceMethod};
+use dtree_approx::pdb::ConfidenceEngine;
+use dtree_approx::workloads::{random_graph, s2_relation, RandomGraphConfig};
+
+/// The fig8 workload: every s2 lineage of a random graph, evaluated by the
+/// depth-first d-tree approximation (which exercises `explore_node`'s wide
+/// pending lists), must match the exact d-tree evaluation within ε and keep
+/// sound bounds — the pending-child scheduling fix changes work, not results.
+#[test]
+fn fig8_random_graph_results_are_unchanged_by_scheduling() {
+    let (db, graph) = random_graph(&RandomGraphConfig::uniform(10, 0.4));
+    let lineages = s2_relation(&graph, 10);
+    assert!(!lineages.is_empty());
+    let eps = 0.01;
+    let engine = ConfidenceEngine::new(ConfidenceMethod::DTreeAbsolute(eps)).with_threads(2);
+    let batch = engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
+    for (lineage, r) in lineages.iter().zip(&batch.results) {
+        let exact = exact_probability(
+            lineage,
+            db.space(),
+            &CompileOptions::with_origins(db.origins().clone()),
+        )
+        .probability;
+        assert!(r.converged, "unbudgeted approximation must converge");
+        assert!(
+            (r.estimate - exact).abs() <= eps + 1e-9,
+            "estimate {} vs exact {exact}",
+            r.estimate
+        );
+        assert!(r.lower <= exact + 1e-9 && exact <= r.upper + 1e-9);
+    }
+}
+
+/// The acceptance contract of the cross-batch cache: results are
+/// bit-identical cache-on/cache-off, across repeated batches, and across
+/// generations; eviction keeps the cache at or under its entry budget; and a
+/// warm repeat of the same batch actually hits.
+#[test]
+fn cross_batch_cache_is_bit_identical_bounded_and_warm() {
+    let (mut db, graph) = random_graph(&RandomGraphConfig::with_range(9, 0.2, 0.8, 7));
+    let lineages = s2_relation(&graph, 9);
+    assert!(!lineages.is_empty());
+    let method = ConfidenceMethod::DTreeAbsolute(0.001);
+
+    let baseline = ConfidenceEngine::new(method.clone()).without_cache().confidence_batch(
+        &lineages,
+        db.space(),
+        Some(db.origins()),
+    );
+
+    for capacity in [8, 256, 65_536] {
+        let cache = Arc::new(SubformulaCache::with_capacity(capacity));
+        let engine = ConfidenceEngine::new(method.clone()).with_shared_cache(Arc::clone(&cache));
+        let cold = engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
+        let warm = engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
+        assert!(cache.len() <= capacity, "{} entries over budget {capacity}", cache.len());
+        // A tiny budget may churn every entry away between batches — the
+        // contract there is correctness within bounds, not warmth. A budget
+        // comfortably holding the workload must actually serve the repeat.
+        if capacity >= 65_536 {
+            assert!(warm.cache.hits > 0, "warm batch saw no hits at capacity {capacity}");
+        }
+        for batch in [&cold, &warm] {
+            for (want, got) in baseline.results.iter().zip(&batch.results) {
+                assert_eq!(want.estimate.to_bits(), got.estimate.to_bits());
+                assert_eq!(want.lower.to_bits(), got.lower.to_bits());
+                assert_eq!(want.upper.to_bits(), got.upper.to_bits());
+                assert_eq!(want.converged, got.converged);
+            }
+        }
+    }
+
+    // Across generations: mutating the database retires the warm entries but
+    // leaves the old lineages' answers untouched — recomputed, not stale.
+    let cache = Arc::new(SubformulaCache::with_capacity(65_536));
+    let engine = ConfidenceEngine::new(method).with_shared_cache(Arc::clone(&cache));
+    let g0 = db.generation();
+    let _warmup = engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
+    db.add_tuple_independent_table(
+        "Extra",
+        &["x"],
+        vec![(vec![dtree_approx::pdb::Value::Int(0)], 0.5)],
+    );
+    assert!(db.generation() > g0);
+    let after = engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
+    assert!(after.cache.stale > 0, "generation bump must retire warm entries: {:?}", after.cache);
+    for (want, got) in baseline.results.iter().zip(&after.results) {
+        assert_eq!(want.estimate.to_bits(), got.estimate.to_bits());
+    }
+}
+
+/// Monte-Carlo batches under an already-expired shared deadline return
+/// promptly with the vacuous-but-sound interval, instead of paying the DKLR
+/// setup once per straggler.
+#[test]
+fn expired_deadline_batch_returns_promptly() {
+    let (db, graph) = random_graph(&RandomGraphConfig::uniform(12, 0.4));
+    let lineages = s2_relation(&graph, 12);
+    let engine = ConfidenceEngine::new(ConfidenceMethod::KarpLuby { epsilon: 0.01, delta: 0.001 })
+        .with_budget(ConfidenceBudget { timeout: Some(Duration::ZERO), max_work: None })
+        .with_threads(2);
+    let t0 = std::time::Instant::now();
+    let out = engine.confidence_batch(&lineages, db.space(), None);
+    assert!(t0.elapsed() < Duration::from_secs(2), "batch overran: {:?}", t0.elapsed());
+    for r in &out.results {
+        assert!(!r.converged);
+        assert_eq!((r.lower, r.upper), (0.0, 1.0));
+    }
+}
