@@ -1,0 +1,179 @@
+//! Criterion bench for the sharded confidence cluster (`crates/cluster`).
+//!
+//! Two questions, matching the acceptance criteria of the cluster work:
+//!
+//! 1. **Does hardness-aware scheduling help under a tight deadline?** On a
+//!    skewed `hardness_mix` batch with a deadline far below the stragglers'
+//!    needs, hardest-first scheduling must converge at least as many items
+//!    as naive input order (and on multicore hosts typically more, because
+//!    stragglers start while parallel capacity is free). This comparison is
+//!    deadline-bound, so it is run *once* at startup (not under criterion
+//!    timing) and reported to stdout plus machine-readably to
+//!    `BENCH_cluster.json` as `(name, p50 time, converged fraction)` rows.
+//!
+//! 2. **Does sharding cost anything when it is not needed?** The
+//!    `warm_cache` series time a repeated batch (fig8 `s2` answer relation,
+//!    warm external cache) through one shard versus several. Single-shard
+//!    must stay within noise of the unsharded engine, and multi-shard must
+//!    not regress it by more than the scheduling overhead (items are
+//!    cache-warm, so this measures pure cluster machinery).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cluster::{ClusterEngine, SchedulePolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtree::SubformulaCache;
+use pdb::confidence::{ConfidenceBudget, ConfidenceMethod};
+use pdb::ConfidenceEngine;
+use workloads::{hardness_mix, random_graph, s2_relation, HardnessMixConfig, RandomGraphConfig};
+
+/// The tight-deadline scheduling experiment (untimed by criterion; the
+/// deadline itself bounds the wall clock).
+///
+/// Three schedules over the same skewed batch and the same shared deadline:
+///
+/// * `naive-engine` — the flat pre-cluster baseline: the unsharded engine's
+///   input-order schedule, where every item's timeout is the full remaining
+///   time, so the first straggler encountered eats the whole budget and the
+///   tail starves;
+/// * `cluster/input-order` — the cluster's slicing and rounds, naive order;
+/// * `cluster/hardest-first` — the full hardness-aware schedule.
+fn scheduling_experiment() {
+    let cfg = HardnessMixConfig::new(12, 4);
+    let (space, lineages) = hardness_mix(&cfg);
+    let tight = Duration::from_millis(120);
+    let budget = ConfidenceBudget { timeout: Some(tight), max_work: None };
+    let mut records = Vec::new();
+    let mut summary: Vec<(&str, usize)> = Vec::new();
+    println!("== tight-deadline scheduling ({} items, {:?} budget) ==", lineages.len(), tight);
+
+    let mut report = |label: &'static str, samples: Vec<(f64, bool)>, extra: String| {
+        let converged = samples.iter().filter(|&&(_, c)| c).count();
+        println!("  {label:<21} converged {converged}/{} {extra}", samples.len());
+        summary.push((label, converged));
+        if let Some(r) =
+            bench::BenchRecord::from_samples(format!("cluster/tight-deadline/{label}"), &samples)
+        {
+            records.push(r);
+        }
+    };
+
+    let naive = ConfidenceEngine::new(ConfidenceMethod::DTreeExact)
+        .with_threads(2)
+        .with_budget(budget.clone())
+        .confidence_batch(&lineages, &space, None);
+    report(
+        "naive-engine",
+        naive.results.iter().map(|r| (r.elapsed.as_secs_f64(), r.converged)).collect(),
+        String::new(),
+    );
+
+    for (label, policy) in [
+        ("input-order", SchedulePolicy::InputOrder),
+        ("hardest-first", SchedulePolicy::HardestFirst),
+    ] {
+        let out = ClusterEngine::new(ConfidenceMethod::DTreeExact)
+            .with_shards(2)
+            .with_policy(policy)
+            .with_budget(budget.clone())
+            .confidence_batch(&lineages, &space, None);
+        report(
+            label,
+            out.results.iter().map(|r| (r.elapsed.as_secs_f64(), r.converged)).collect(),
+            format!("(rounds {}, stolen {})", out.rounds, out.total_stolen()),
+        );
+    }
+
+    let naive_count = summary[0].1;
+    let hardest_count = summary[2].1;
+    assert!(
+        hardest_count >= naive_count,
+        "hardest-first ({hardest_count}) must not converge fewer items than the naive \
+         flat-engine order ({naive_count})"
+    );
+    // Write the trajectory rows at the workspace root (stable regardless of
+    // the invoking directory), where they are committed as perf history.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_cluster.json");
+    if let Err(e) = bench::write_json(&path, &records) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+fn bench_cluster_scaling(c: &mut Criterion) {
+    scheduling_experiment();
+
+    // Warm-cache scaling series: the same repeated batch through the
+    // unsharded engine and through 1/2/4 shards, all sharing one warm
+    // external cache per series.
+    let (db, graph) = random_graph(&RandomGraphConfig::uniform(20, 0.4));
+    let lineages = s2_relation(&graph, 20);
+    let space = db.space();
+    let origins = db.origins();
+    let method = ConfidenceMethod::DTreeAbsolute(0.01);
+    let budget = ConfidenceBudget { timeout: Some(Duration::from_secs(10)), max_work: None };
+
+    // Sanity: sharded warm results are bit-identical to the unsharded warm
+    // results.
+    let check_cache = Arc::new(SubformulaCache::new());
+    let single = ConfidenceEngine::new(method.clone())
+        .with_budget(budget.clone())
+        .with_shared_cache(Arc::clone(&check_cache))
+        .confidence_batch(&lineages, space, Some(origins));
+    let sharded = ClusterEngine::new(method.clone())
+        .with_shards(4)
+        .with_budget(budget.clone())
+        .with_shared_cache(Arc::clone(&check_cache))
+        .confidence_batch(&lineages, space, Some(origins));
+    for (a, b) in single.results.iter().zip(&sharded.results) {
+        assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+    }
+
+    let mut group = c.benchmark_group("cluster_scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    // Baseline: the unsharded engine over a warm cache.
+    let engine_cache = Arc::new(SubformulaCache::new());
+    let engine = ConfidenceEngine::new(method.clone())
+        .with_budget(budget.clone())
+        .with_shared_cache(Arc::clone(&engine_cache));
+    let _ = engine.confidence_batch(&lineages, space, Some(origins));
+    group.bench_with_input(BenchmarkId::new("warm", "engine"), &lineages, |b, lineages| {
+        b.iter(|| {
+            engine
+                .confidence_batch(lineages, space, Some(origins))
+                .results
+                .iter()
+                .map(|r| r.estimate)
+                .sum::<f64>()
+        })
+    });
+
+    for shards in [1usize, 2, 4] {
+        let cache = Arc::new(SubformulaCache::new());
+        let cluster = ClusterEngine::new(method.clone())
+            .with_shards(shards)
+            .with_budget(budget.clone())
+            .with_shared_cache(Arc::clone(&cache));
+        let _ = cluster.confidence_batch(&lineages, space, Some(origins));
+        group.bench_with_input(
+            BenchmarkId::new("warm", format!("cluster_{shards}shard")),
+            &lineages,
+            |b, lineages| {
+                b.iter(|| {
+                    cluster
+                        .confidence_batch(lineages, space, Some(origins))
+                        .results
+                        .iter()
+                        .map(|r| r.estimate)
+                        .sum::<f64>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_scaling);
+criterion_main!(benches);

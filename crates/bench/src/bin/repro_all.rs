@@ -1,7 +1,10 @@
 //! Runs the whole evaluation (Figures 6–9) back to back with the default
 //! laptop-scale settings. Equivalent to running `repro_fig6`, `repro_fig7`,
 //! `repro_fig8`, and `repro_fig9` in sequence; accepts the same flags
-//! (`--scale`, `--timeout`, `--paper`).
+//! (`--scale`, `--timeout`, `--paper`, `--json PATH`). With `--json`, every
+//! figure *appends* its `BenchRecord` rows to the same file, so one run
+//! produces one machine-readable perf-trajectory sample (delete the file
+//! first for a fresh one).
 
 use std::process::Command;
 

@@ -9,7 +9,7 @@
 //!   `d-tree(0)` with the IQ elimination order (see EXPERIMENTS.md).
 //!
 //! Usage: `cargo run --release -p bench --bin repro_fig6 [a|b|c] [--scale SF]
-//! [--timeout SECONDS] [--paper]`
+//! [--timeout SECONDS] [--paper] [--json PATH]`
 
 use bench::{fig6_methods, print_table, run_sprout, run_tpch_query, tpch_database, HarnessOptions};
 use workloads::tpch::TpchQuery;
@@ -47,6 +47,7 @@ fn main() {
                     }
                 }
                 print_table(&title, &rows);
+                opts.emit_json(&rows);
                 println!();
             }
             "c" => {
@@ -60,6 +61,7 @@ fn main() {
                     rows.extend(run_tpch_query("6c", "tpch", &db, q, &fig6_methods(), &budget));
                 }
                 print_table(&title, &rows);
+                opts.emit_json(&rows);
                 println!();
             }
             _ => unreachable!(),

@@ -3,7 +3,7 @@
 //! relative errors 0.01 and 0.05.
 //!
 //! Usage: `cargo run --release -p bench --bin repro_fig7 [--timeout SECONDS]
-//! [--paper]`
+//! [--paper] [--json PATH]`
 //!
 //! The default sweep is {0.005, 0.01, 0.05, 0.1}; `--paper` extends it to the
 //! paper's full {0.005, 0.01, 0.05, 0.1, 0.5, 1} (slower).
@@ -35,6 +35,7 @@ fn main() {
             ));
         }
         print_table(&format!("Figure 7: hard TPC-H query {}, scale-factor sweep", q.name()), &rows);
+        opts.emit_json(&rows);
         println!();
     }
 }

@@ -7,7 +7,7 @@
 //!   graph sizes 6, 10, 15 — `d-tree` only.
 //!
 //! Usage: `cargo run --release -p bench --bin repro_fig8 [relative|absolute]
-//! [--timeout SECONDS] [--paper]`
+//! [--timeout SECONDS] [--paper] [--json PATH]`
 
 use bench::{print_table, run_random_graph, HarnessOptions, MotifQuery};
 use pdb::confidence::ConfidenceMethod;
@@ -42,6 +42,7 @@ fn main() {
                 &format!("Figure 8: {} query on random graphs, relative error 0.01", query.label()),
                 &rows,
             );
+            opts.emit_json(&rows);
             println!();
         }
     }
@@ -60,6 +61,7 @@ fn main() {
             "Figure 8 (bottom): triangle and path-2 queries, absolute error 0.05, small edge probabilities",
             &rows,
         );
+        opts.emit_json(&rows);
         println!();
     }
 }

@@ -3,7 +3,7 @@
 //! comparing `aconf` and `d-tree`.
 //!
 //! Usage: `cargo run --release -p bench --bin repro_fig9 [karate|dolphins]
-//! [--timeout SECONDS] [--paper]`
+//! [--timeout SECONDS] [--paper] [--json PATH]`
 
 use bench::{print_table, run_social_network, HarnessOptions, MotifQuery};
 use pdb::confidence::ConfidenceMethod;
@@ -47,6 +47,7 @@ fn main() {
             &format!("Figure 9: {} social network, relative-error sweep", network.name),
             &rows,
         );
+        opts.emit_json(&rows);
         println!();
     }
 }

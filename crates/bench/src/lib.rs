@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use events::{Dnf, ProbabilitySpace, VarOrigins};
@@ -29,7 +30,9 @@ use workloads::{RandomGraphConfig, SocialNetwork};
 
 pub mod report;
 
-pub use report::{print_table, ExperimentRow};
+pub use report::{
+    append_json, print_table, records_from_rows, write_json, BenchRecord, ExperimentRow,
+};
 
 /// Harness-wide options shared by the repro binaries and the Criterion
 /// benches.
@@ -44,6 +47,10 @@ pub struct HarnessOptions {
     /// `true` to run at the paper's full (scaled-down SF 1) sizes; set by the
     /// `--paper` flag of the repro binaries.
     pub paper_scale: bool,
+    /// When `Some`, the repro binaries also *append* machine-readable
+    /// [`BenchRecord`] JSON lines to this path (the `BENCH_*.json`
+    /// perf-trajectory format); set by `--json <path>`.
+    pub json: Option<PathBuf>,
 }
 
 impl Default for HarnessOptions {
@@ -52,13 +59,14 @@ impl Default for HarnessOptions {
             timeout: Duration::from_secs(10),
             tpch_scale_factor: 0.05,
             paper_scale: false,
+            json: None,
         }
     }
 }
 
 impl HarnessOptions {
     /// Parses the common command-line flags of the repro binaries:
-    /// `--paper`, `--scale <sf>`, `--timeout <seconds>`.
+    /// `--paper`, `--scale <sf>`, `--timeout <seconds>`, `--json <path>`.
     pub fn from_args(args: &[String]) -> Self {
         let mut opts = HarnessOptions::default();
         let mut i = 0;
@@ -81,6 +89,14 @@ impl HarnessOptions {
                         i += 1;
                     }
                 }
+                "--json" => {
+                    // Like --scale/--timeout, only consume a plausible value:
+                    // `--json --paper` must not swallow the --paper flag.
+                    if let Some(p) = args.get(i + 1).filter(|p| !p.starts_with("--")) {
+                        opts.json = Some(PathBuf::from(p));
+                        i += 1;
+                    }
+                }
                 _ => {}
             }
             i += 1;
@@ -91,6 +107,16 @@ impl HarnessOptions {
     /// The budget handed to every confidence computation.
     pub fn budget(&self) -> ConfidenceBudget {
         ConfidenceBudget { timeout: Some(self.timeout), max_work: None }
+    }
+
+    /// Folds `rows` into per-series records and appends them to the `--json`
+    /// file, if one was requested. IO errors are reported to stderr, not
+    /// panicked on: a broken trajectory file must not kill a long repro run.
+    pub fn emit_json(&self, rows: &[ExperimentRow]) {
+        let Some(path) = &self.json else { return };
+        if let Err(e) = append_json(path, &records_from_rows(rows)) {
+            eprintln!("warning: could not append bench records to {}: {e}", path.display());
+        }
     }
 }
 
@@ -116,32 +142,45 @@ pub fn fig7_methods() -> Vec<ConfidenceMethod> {
     ]
 }
 
+/// What [`run_method`] measures: one lineage of one (figure, workload,
+/// query) cell, borrowed from the caller. Bundling these removes the
+/// eight-positional-argument call sites the harness used to have.
+#[derive(Debug, Clone, Copy)]
+pub struct MethodRun<'a> {
+    /// Figure identifier ("6a" … "9").
+    pub figure: &'a str,
+    /// Workload description (e.g. "tpch sf=0.05", "karate").
+    pub workload: &'a str,
+    /// Query name (e.g. "B9", "t", "p2").
+    pub query: &'a str,
+    /// The lineage DNF under measurement.
+    pub lineage: &'a Dnf,
+    /// The probability space the lineage is evaluated over.
+    pub space: &'a ProbabilitySpace,
+    /// Variable-origin metadata enabling the relational elimination orders.
+    pub origins: Option<&'a VarOrigins>,
+}
+
 /// Runs one method on one lineage DNF and converts the outcome to a report
 /// row.
-#[allow(clippy::too_many_arguments)]
 pub fn run_method(
-    figure: &str,
-    workload: &str,
-    query: &str,
-    lineage: &Dnf,
-    space: &ProbabilitySpace,
-    origins: Option<&VarOrigins>,
+    run: &MethodRun<'_>,
     method: &ConfidenceMethod,
     budget: &ConfidenceBudget,
 ) -> ExperimentRow {
-    let r: ConfidenceResult = confidence(lineage, space, origins, method, budget);
+    let r: ConfidenceResult = confidence(run.lineage, run.space, run.origins, method, budget);
     ExperimentRow {
-        figure: figure.to_owned(),
-        workload: workload.to_owned(),
-        query: query.to_owned(),
+        figure: run.figure.to_owned(),
+        workload: run.workload.to_owned(),
+        query: run.query.to_owned(),
         method: r.method.clone(),
         seconds: r.elapsed.as_secs_f64(),
         estimate: r.estimate,
         lower: r.lower,
         upper: r.upper,
         converged: r.converged,
-        clauses: lineage.len(),
-        variables: lineage.num_vars(),
+        clauses: run.lineage.len(),
+        variables: run.lineage.num_vars(),
     }
 }
 
@@ -307,21 +346,15 @@ pub fn run_random_graph(
     let (db, graph) = workloads::random_graph(&RandomGraphConfig::uniform(nodes, edge_probability));
     let lineage = query.lineage(&graph, (0, nodes.saturating_sub(1)));
     let workload = format!("clique n={nodes} p={edge_probability}");
-    methods
-        .iter()
-        .map(|m| {
-            run_method(
-                figure,
-                &workload,
-                query.label(),
-                &lineage,
-                db.space(),
-                Some(db.origins()),
-                m,
-                budget,
-            )
-        })
-        .collect()
+    let run = MethodRun {
+        figure,
+        workload: &workload,
+        query: query.label(),
+        lineage: &lineage,
+        space: db.space(),
+        origins: Some(db.origins()),
+    };
+    methods.iter().map(|m| run_method(&run, m, budget)).collect()
 }
 
 /// Runs one motif query on a social network with the given methods.
@@ -333,21 +366,15 @@ pub fn run_social_network(
     budget: &ConfidenceBudget,
 ) -> Vec<ExperimentRow> {
     let lineage = query.lineage(&network.graph, network.separation_pair());
-    methods
-        .iter()
-        .map(|m| {
-            run_method(
-                figure,
-                &network.name,
-                query.label(),
-                &lineage,
-                network.db.space(),
-                Some(network.db.origins()),
-                m,
-                budget,
-            )
-        })
-        .collect()
+    let run = MethodRun {
+        figure,
+        workload: &network.name,
+        query: query.label(),
+        lineage: &lineage,
+        space: network.db.space(),
+        origins: Some(network.db.origins()),
+    };
+    methods.iter().map(|m| run_method(&run, m, budget)).collect()
 }
 
 #[cfg(test)]
@@ -363,9 +390,40 @@ mod tests {
         assert!((opts.tpch_scale_factor - 0.1).abs() < 1e-12);
         assert_eq!(opts.timeout, Duration::from_secs(3));
         assert!(!opts.paper_scale);
+        assert_eq!(opts.json, None);
         let paper = HarnessOptions::from_args(&["--paper".to_owned()]);
         assert!(paper.paper_scale);
         assert!((paper.tpch_scale_factor - 1.0).abs() < 1e-12);
+        let json = HarnessOptions::from_args(&["--json".to_owned(), "BENCH_x.json".to_owned()]);
+        assert_eq!(json.json, Some(PathBuf::from("BENCH_x.json")));
+    }
+
+    #[test]
+    fn emit_json_appends_series_records() {
+        let dir = std::env::temp_dir().join(format!("bench_emit_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_emit.json");
+        let opts = HarnessOptions { json: Some(path.clone()), ..Default::default() };
+        let (db, graph) = workloads::random_graph(&RandomGraphConfig::uniform(6, 0.4));
+        let lineage = MotifQuery::Triangle.lineage(&graph, (0, 5));
+        let run = MethodRun {
+            figure: "8",
+            workload: "clique n=6",
+            query: "t",
+            lineage: &lineage,
+            space: db.space(),
+            origins: Some(db.origins()),
+        };
+        let budget = ConfidenceBudget { timeout: Some(Duration::from_secs(5)), max_work: None };
+        let rows = vec![run_method(&run, &ConfidenceMethod::DTreeExact, &budget)];
+        opts.emit_json(&rows);
+        opts.emit_json(&rows);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        assert!(content.contains("\"name\":\"fig8/t/d-tree(0)\""), "{content}");
+        std::fs::remove_dir_all(&dir).unwrap();
+        // No path configured: a silent no-op.
+        HarnessOptions::default().emit_json(&rows);
     }
 
     #[test]

@@ -1,11 +1,21 @@
-//! Plain-text reporting of experiment results.
+//! Plain-text and machine-readable reporting of experiment results.
 //!
 //! Each measurement is an [`ExperimentRow`]; [`print_table`] renders a set of
 //! rows as an aligned table similar in layout to the series the paper plots,
 //! so runs of the `repro_*` binaries can be compared side by side with the
 //! figures and with `EXPERIMENTS.md`.
+//!
+//! For tracking the performance trajectory across commits, the same rows can
+//! be folded into [`BenchRecord`]s — `(name, p50 seconds, converged
+//! fraction)` triples — and written as JSON lines ([`append_json`] /
+//! [`write_json`], the `BENCH_*.json` files). The `repro_*` binaries emit
+//! them under the `--json <path>` flag; the `cluster_scaling` criterion
+//! bench writes `BENCH_cluster.json` directly. JSON is hand-rolled (the
+//! build environment is offline; no serde), with full string escaping.
 
 use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
 
 /// One measurement: a (figure, workload, query, method) combination together
 /// with the measured wall-clock time and the probability estimate.
@@ -94,6 +104,135 @@ pub fn print_table(title: &str, rows: &[ExperimentRow]) {
     print!("{}", format_table(title, rows));
 }
 
+/// One machine-readable benchmark record: a named series with its median
+/// time and the fraction of runs that met their guarantee. This is the row
+/// format of the `BENCH_*.json` perf-trajectory files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Series name, e.g. `fig7/B9/d-tree(rel 0.01)` or
+    /// `cluster/tight-deadline/hardest-first`.
+    pub name: String,
+    /// Median wall-clock seconds over the record's samples.
+    pub p50_seconds: f64,
+    /// Fraction of samples that converged within their budget, in `[0, 1]`.
+    pub converged_fraction: f64,
+    /// Number of samples folded into this record.
+    pub samples: usize,
+}
+
+impl BenchRecord {
+    /// Builds a record from raw samples of `(seconds, converged)` pairs.
+    /// Returns `None` for an empty sample set (an empty record would report
+    /// a fake p50 of 0).
+    pub fn from_samples(name: impl Into<String>, samples: &[(f64, bool)]) -> Option<BenchRecord> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut seconds: Vec<f64> = samples.iter().map(|&(s, _)| s).collect();
+        seconds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let p50 = seconds[seconds.len() / 2];
+        let converged = samples.iter().filter(|&&(_, c)| c).count();
+        Some(BenchRecord {
+            name: name.into(),
+            p50_seconds: p50,
+            converged_fraction: converged as f64 / samples.len() as f64,
+            samples: samples.len(),
+        })
+    }
+
+    /// The record as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"p50_seconds\":{},\"converged_fraction\":{},\"samples\":{}}}",
+            json_string(&self.name),
+            json_number(self.p50_seconds),
+            json_number(self.converged_fraction),
+            self.samples
+        )
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON number (JSON has no NaN/Infinity; clamp those
+/// to null-safe 0, which can only arise from degenerate inputs).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// Folds experiment rows into per-series records, grouped by
+/// `(figure, query, method)` — one record per plotted series, with the p50
+/// taken across the sweep (workloads / scale factors) of that series.
+/// Group order follows first appearance in `rows`.
+pub fn records_from_rows(rows: &[ExperimentRow]) -> Vec<BenchRecord> {
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: std::collections::HashMap<String, Vec<(f64, bool)>> =
+        std::collections::HashMap::new();
+    for r in rows {
+        let name = format!("fig{}/{}/{}", r.figure, r.query, r.method);
+        groups
+            .entry(name.clone())
+            .or_insert_with(|| {
+                order.push(name);
+                Vec::new()
+            })
+            .push((r.seconds, r.converged));
+    }
+    order
+        .into_iter()
+        .filter_map(|name| {
+            let samples = groups.get(&name)?;
+            BenchRecord::from_samples(name, samples)
+        })
+        .collect()
+}
+
+/// Renders records as JSON lines (one object per line).
+pub fn format_json(records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let _ = writeln!(out, "{}", r.to_json());
+    }
+    out
+}
+
+/// Writes records to `path` as JSON lines, replacing any existing file.
+pub fn write_json(path: &Path, records: &[BenchRecord]) -> std::io::Result<()> {
+    std::fs::write(path, format_json(records))
+}
+
+/// Appends records to `path` as JSON lines, creating the file if needed.
+/// This is what the `repro_*` binaries use under `--json`, so one shared
+/// file accumulates every figure of a `repro_all` run; delete the file to
+/// start a fresh trajectory sample.
+pub fn append_json(path: &Path, records: &[BenchRecord]) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(format_json(records).as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +271,58 @@ mod tests {
     fn time_display_marks_timeouts() {
         assert_eq!(row("x", 1.5, true).time_display(), "1.5000");
         assert!(row("x", 1.5, false).time_display().starts_with("timeout"));
+    }
+
+    #[test]
+    fn records_group_by_series_with_p50_and_converged_fraction() {
+        let mut a = row("d-tree(rel 0.01)", 1.0, true);
+        a.workload = "sf=0.01".into();
+        let mut b = row("d-tree(rel 0.01)", 3.0, true);
+        b.workload = "sf=0.05".into();
+        let mut c = row("d-tree(rel 0.01)", 9.0, false);
+        c.workload = "sf=0.1".into();
+        let d = row("aconf(0.01)", 2.0, false);
+        let records = records_from_rows(&[a, b, c, d]);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "fig7/B9/d-tree(rel 0.01)");
+        assert_eq!(records[0].samples, 3);
+        assert!((records[0].p50_seconds - 3.0).abs() < 1e-12, "median of 1,3,9");
+        assert!((records[0].converged_fraction - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(records[1].name, "fig7/B9/aconf(0.01)");
+        assert_eq!(records[1].converged_fraction, 0.0);
+    }
+
+    #[test]
+    fn json_lines_are_escaped_and_parseable_shaped() {
+        let r = BenchRecord {
+            name: "odd \"name\"\\with\nescapes".into(),
+            p50_seconds: 0.25,
+            converged_fraction: 1.0,
+            samples: 4,
+        };
+        let line = r.to_json();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\\\"name\\\""));
+        assert!(line.contains("\\n"));
+        assert!(line.contains("\"p50_seconds\":0.25"));
+        assert!(!line.contains('\n'), "one record stays on one line");
+        assert!(BenchRecord::from_samples("empty", &[]).is_none());
+    }
+
+    #[test]
+    fn write_and_append_json_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("bench_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let records = records_from_rows(&[row("d-tree(0)", 1.0, true)]);
+        write_json(&path, &records).unwrap();
+        append_json(&path, &records).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2, "append adds a second line");
+        for line in content.lines() {
+            assert!(line.contains("\"name\":\"fig7/B9/d-tree(0)\""));
+            assert!(line.contains("\"converged_fraction\":1"));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,302 @@
+//! Structural hardness estimation for lineage DNFs.
+//!
+//! Under a shared deadline, *which lineage is refined first* dominates result
+//! quality (the anytime-approximation literature; see ROADMAP). Scheduling
+//! needs a hardness signal that is far cheaper than compiling the lineage:
+//! the [`HardnessEstimator`] scores a [`Dnf`] from structural features alone
+//! — clause/variable counts, maximum clause width, duplicate-atom density —
+//! in one linear pass, and *calibrates* those scores against the
+//! [`CompileStats::work`] counters that finished runs export, so the ordering
+//! improves as the cluster observes real workloads.
+
+use std::sync::Mutex;
+
+use dtree::CompileStats;
+use events::Dnf;
+
+/// Cheap structural features of a lineage DNF, extractable in one pass
+/// without compiling it.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LineageFeatures {
+    /// Number of clauses.
+    pub clauses: usize,
+    /// Number of distinct variables.
+    pub variables: usize,
+    /// Total number of atoms across all clauses (the DNF "size").
+    pub atoms: usize,
+    /// Width of the widest clause.
+    pub max_width: usize,
+    /// Fraction of atom occurrences that repeat an already-seen variable:
+    /// `1 − variables / atoms` (0 for the empty DNF). High density means
+    /// variables are shared across clauses, which is what forces Shannon
+    /// expansions — the decomposition's exponential case.
+    pub duplicate_density: f64,
+}
+
+impl LineageFeatures {
+    /// Extracts the features of a DNF in `O(size log size)` (one pass plus a
+    /// sort-dedup for the distinct-variable count — cheaper than the
+    /// tree-set the `Dnf` accessors build, and this runs for every item of
+    /// every batch).
+    pub fn of(lineage: &Dnf) -> Self {
+        let clauses = lineage.len();
+        let mut max_width = 0;
+        let mut vars: Vec<u32> = Vec::with_capacity(lineage.size());
+        for clause in lineage.clauses() {
+            max_width = max_width.max(clause.len());
+            vars.extend(clause.vars().map(|v| v.0));
+        }
+        let atoms = vars.len();
+        vars.sort_unstable();
+        vars.dedup();
+        let variables = vars.len();
+        let duplicate_density =
+            if atoms == 0 { 0.0 } else { 1.0 - variables as f64 / atoms as f64 };
+        LineageFeatures { clauses, variables, atoms, max_width, duplicate_density }
+    }
+
+    /// The uncalibrated structural score: monotone in every feature that
+    /// makes d-tree decomposition expensive. Independent clauses decompose in
+    /// near-linear time, so the base cost is the atom count; shared variables
+    /// force Shannon expansions whose cost compounds with the number of
+    /// entangled variables, modelled by the `duplicate_density · variables`
+    /// term; wide clauses weaken the bucket bounds (more refinement steps),
+    /// contributing the `max_width` factor.
+    pub fn raw_score(&self) -> f64 {
+        if self.clauses == 0 {
+            return 0.0;
+        }
+        let entangled = 1.0 + self.duplicate_density * self.variables as f64;
+        self.atoms as f64 * entangled * (1.0 + self.max_width as f64).ln()
+    }
+
+    /// Bucket index used for calibration: lineages of similar size share a
+    /// correction factor (log₂ of the atom count, capped — not wrapped, so a
+    /// huge lineage can never alias into a tiny lineage's bucket and corrupt
+    /// its factor).
+    fn bucket(&self) -> usize {
+        ((usize::BITS - self.atoms.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+const NUM_BUCKETS: usize = 24;
+
+/// Exponentially weighted calibration state for one size bucket.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    /// EWMA of `observed_work / raw_score` for lineages in this bucket.
+    factor: f64,
+    /// Number of observations folded in (saturating; drives the EWMA gain).
+    observations: u64,
+}
+
+impl Default for Bucket {
+    fn default() -> Self {
+        Bucket { factor: 1.0, observations: 0 }
+    }
+}
+
+/// Scores lineage hardness from structural features, calibrated online
+/// against observed [`CompileStats::work`] counters.
+///
+/// Thread-safe: shard workers [`observe`](HardnessEstimator::observe)
+/// concurrently while the router [`score`](HardnessEstimator::score)s the
+/// next batch. Scores are only used for *ordering and balancing* — they
+/// never affect computed probabilities — so a stale factor costs schedule
+/// quality, not correctness.
+#[derive(Debug, Default)]
+pub struct HardnessEstimator {
+    buckets: Mutex<[Bucket; NUM_BUCKETS]>,
+}
+
+impl HardnessEstimator {
+    /// A fresh estimator with neutral calibration (factor 1 everywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scores a lineage: higher means expected-harder. Deterministic given
+    /// the same calibration state.
+    pub fn score(&self, lineage: &Dnf) -> f64 {
+        self.score_features(&LineageFeatures::of(lineage))
+    }
+
+    /// [`score`](HardnessEstimator::score) when the caller already extracted
+    /// the features.
+    pub fn score_features(&self, features: &LineageFeatures) -> f64 {
+        let raw = features.raw_score();
+        if raw == 0.0 {
+            return 0.0;
+        }
+        let factor =
+            self.buckets.lock().expect("estimator poisoned")[features.bucket()].factor.max(0.0);
+        raw * factor
+    }
+
+    /// Folds the observed decomposition effort of one finished run into the
+    /// calibration state. `stats` is the run's exported [`CompileStats`]
+    /// (d-tree methods only; Monte-Carlo runs export none and are simply not
+    /// observed).
+    ///
+    /// Runs that were mostly served from a warm sub-formula cache are
+    /// skipped: [`CompileStats::work`] deliberately excludes memo hits, so a
+    /// hard lineage re-run warm reports near-zero work — folding that in
+    /// would drive the bucket's factor toward zero and make genuinely hard
+    /// *cold* lineages score easy, inverting the schedule right when a
+    /// mutation runs the cache cold.
+    pub fn observe(&self, features: &LineageFeatures, stats: &CompileStats) {
+        let raw = features.raw_score();
+        let work = stats.work();
+        if raw <= 0.0 || work == 0 {
+            return;
+        }
+        let hits = stats.exact_cache_hits + stats.bound_cache_hits;
+        if hits > work {
+            return;
+        }
+        let ratio = work as f64 / raw;
+        let mut buckets = self.buckets.lock().expect("estimator poisoned");
+        let b = &mut buckets[features.bucket()];
+        // EWMA with a gain that starts at 1 (adopt the first observation
+        // outright) and settles to 1/16 (track drift without jitter).
+        let gain = 1.0 / (b.observations.min(15) + 1) as f64;
+        b.factor += gain * (ratio - b.factor);
+        b.observations = b.observations.saturating_add(1);
+    }
+
+    /// Total number of observations folded into the calibration state.
+    pub fn observations(&self) -> u64 {
+        self.buckets.lock().expect("estimator poisoned").iter().map(|b| b.observations).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use events::{Clause, ProbabilitySpace};
+
+    /// A chain DNF {x_i, x_{i+1}} of `n` clauses over fresh variables.
+    fn chain(space: &mut ProbabilitySpace, n: usize, tag: &str) -> Dnf {
+        let vars: Vec<_> = (0..=n)
+            .map(|i| space.add_bool(format!("{tag}{i}"), 0.3 + 0.01 * (i % 7) as f64))
+            .collect();
+        Dnf::from_clauses((0..n).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])))
+    }
+
+    #[test]
+    fn features_of_a_chain() {
+        let mut s = ProbabilitySpace::new();
+        let phi = chain(&mut s, 10, "x");
+        let f = LineageFeatures::of(&phi);
+        assert_eq!(f.clauses, 10);
+        assert_eq!(f.variables, 11);
+        assert_eq!(f.atoms, 20);
+        assert_eq!(f.max_width, 2);
+        assert!((f.duplicate_density - (1.0 - 11.0 / 20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_lineages_score_zero() {
+        let est = HardnessEstimator::new();
+        assert_eq!(est.score(&Dnf::empty()), 0.0);
+        let f = LineageFeatures::of(&Dnf::tautology());
+        // A tautology has one empty clause: zero atoms, zero raw score.
+        assert_eq!(f.atoms, 0);
+        assert_eq!(est.score(&Dnf::tautology()), 0.0);
+    }
+
+    #[test]
+    fn longer_chains_score_harder() {
+        let mut s = ProbabilitySpace::new();
+        let easy = chain(&mut s, 3, "e");
+        let hard = chain(&mut s, 30, "h");
+        let est = HardnessEstimator::new();
+        assert!(est.score(&hard) > est.score(&easy));
+    }
+
+    #[test]
+    fn shared_variables_score_harder_than_independent_clauses() {
+        let mut s = ProbabilitySpace::new();
+        let shared: Vec<_> = (0..8).map(|i| s.add_bool(format!("s{i}"), 0.4)).collect();
+        // Same clause count and width; one DNF reuses variables across
+        // clauses (Shannon expansions), the other is fully independent.
+        let entangled = Dnf::from_clauses(
+            (0..12).map(|i| Clause::from_bools(&[shared[i % 8], shared[(i + 3) % 8]])),
+        );
+        let fresh: Vec<_> = (0..24).map(|i| s.add_bool(format!("f{i}"), 0.4)).collect();
+        let independent = Dnf::from_clauses(
+            (0..12).map(|i| Clause::from_bools(&[fresh[2 * i], fresh[2 * i + 1]])),
+        );
+        let est = HardnessEstimator::new();
+        assert!(est.score(&entangled) > est.score(&independent));
+    }
+
+    #[test]
+    fn observation_calibrates_the_bucket() {
+        let mut s = ProbabilitySpace::new();
+        let phi = chain(&mut s, 10, "x");
+        let f = LineageFeatures::of(&phi);
+        let est = HardnessEstimator::new();
+        let before = est.score_features(&f);
+        // Report work far above the raw score: the factor must rise.
+        let stats = CompileStats { or_nodes: 10_000, ..Default::default() };
+        est.observe(&f, &stats);
+        let after = est.score_features(&f);
+        assert!(after > before, "calibration must scale the score up: {before} -> {after}");
+        assert_eq!(est.observations(), 1);
+        // Lineages in a different size bucket are unaffected.
+        let other = chain(&mut s, 300, "y");
+        let est2 = HardnessEstimator::new();
+        assert_eq!(est.score(&other), est2.score(&other));
+    }
+
+    #[test]
+    fn warm_cache_dominated_runs_do_not_miscalibrate() {
+        let mut s = ProbabilitySpace::new();
+        let f = LineageFeatures::of(&chain(&mut s, 10, "x"));
+        let est = HardnessEstimator::new();
+        let before = est.score_features(&f);
+        // A warm re-run: almost everything served from the memo, tiny work.
+        let warm = CompileStats {
+            exact_evaluations: 1,
+            exact_cache_hits: 500,
+            bound_cache_hits: 200,
+            ..Default::default()
+        };
+        est.observe(&f, &warm);
+        assert_eq!(est.observations(), 0, "cache-dominated runs must be ignored");
+        assert_eq!(est.score_features(&f).to_bits(), before.to_bits());
+        // A cold run with incidental hits still calibrates.
+        let cold = CompileStats {
+            or_nodes: 400,
+            exact_evaluations: 100,
+            exact_cache_hits: 30,
+            ..Default::default()
+        };
+        est.observe(&f, &cold);
+        assert_eq!(est.observations(), 1);
+    }
+
+    #[test]
+    fn huge_lineages_cap_into_the_top_bucket_instead_of_wrapping() {
+        // atoms ≥ 2^23 would wrap to bucket 0/1 under a modulo scheme and
+        // corrupt the calibration of near-trivial lineages; the cap keeps
+        // them in the top bucket.
+        let huge = LineageFeatures {
+            clauses: 1 << 22,
+            variables: 1 << 22,
+            atoms: 1 << 24,
+            max_width: 3,
+            duplicate_density: 0.5,
+        };
+        assert_eq!(huge.bucket(), NUM_BUCKETS - 1);
+        let mut s = ProbabilitySpace::new();
+        let tiny = LineageFeatures::of(&chain(&mut s, 1, "t"));
+        assert!(tiny.bucket() < 4);
+        // Observing the huge lineage leaves the tiny lineage's score alone.
+        let est = HardnessEstimator::new();
+        let before = est.score_features(&tiny);
+        est.observe(&huge, &CompileStats { or_nodes: 1 << 30, ..Default::default() });
+        assert_eq!(est.score_features(&tiny).to_bits(), before.to_bits());
+    }
+}

@@ -1,0 +1,630 @@
+//! A sharded, hardness-aware, deadline-aware confidence cluster on top of
+//! [`pdb::ConfidenceEngine`].
+//!
+//! A single [`ConfidenceEngine`] batch parallelises across the lineages of
+//! one query on one flat thread pool. This crate scales that out and makes
+//! it *schedule-aware*:
+//!
+//! * a [`HardnessEstimator`] scores every lineage from cheap structural
+//!   features — clause/variable counts, max clause width, duplicate-atom
+//!   density — without compiling it, and calibrates those scores online
+//!   against the [`dtree::CompileStats::work`] counters finished runs
+//!   export;
+//! * a [`ShardRouter`] partitions the answer tuples across `N` shard
+//!   engines through a pluggable [`Partitioner`] (hash routing for cache
+//!   affinity, size-balanced LPT packing for skewed batches);
+//! * a deadline-aware [scheduler](SchedulePolicy) turns the per-batch
+//!   timeout into one cluster-wide deadline, runs each shard hardest-first,
+//!   slices the remaining time proportionally so a tight deadline degrades
+//!   uniformly instead of starving the tail, and work-steals straggler
+//!   items across shards;
+//! * a [`ClusterBatchResult`] merges the per-shard outcomes with per-shard
+//!   cache, stealing, and convergence stats.
+//!
+//! **Sharding never changes answers.** For the deterministic d-tree methods
+//! the cluster is bit-identical to [`ConfidenceEngine::confidence_batch`];
+//! for the Monte-Carlo methods it is reproducible under a fixed seed
+//! because every item's RNG seed derives from its *input index*
+//! ([`ConfidenceEngine::item_seed`]), independent of shard assignment,
+//! stealing, or thread interleaving.
+//!
+//! ```
+//! use cluster::ClusterEngine;
+//! use events::{Clause, Dnf, ProbabilitySpace};
+//! use pdb::confidence::ConfidenceMethod;
+//! use pdb::ConfidenceEngine;
+//!
+//! let mut space = ProbabilitySpace::new();
+//! let vars: Vec<_> = (0..12).map(|i| space.add_bool(format!("x{i}"), 0.3)).collect();
+//! let lineages: Vec<Dnf> = (0..6)
+//!     .map(|k| {
+//!         Dnf::from_clauses((0..5).map(|i| Clause::from_bools(&[vars[(i + k) % 12], vars[(i + k + 1) % 12]])))
+//!     })
+//!     .collect();
+//!
+//! let cluster = ClusterEngine::new(ConfidenceMethod::DTreeAbsolute(0.01)).with_shards(3);
+//! let out = cluster.confidence_batch(&lineages, &space, None);
+//!
+//! // Bit-identical to the unsharded engine.
+//! let single = ConfidenceEngine::new(ConfidenceMethod::DTreeAbsolute(0.01))
+//!     .confidence_batch(&lineages, &space, None);
+//! for (a, b) in out.results.iter().zip(&single.results) {
+//!     assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod hardness;
+mod router;
+mod scheduler;
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dtree::{CacheStats, SubformulaCache};
+use events::{Dnf, ProbabilitySpace, VarOrigins};
+use pdb::confidence::{ConfidenceBudget, ConfidenceMethod, ConfidenceResult};
+use pdb::{BatchResult, ConfidenceEngine};
+
+pub use hardness::{HardnessEstimator, LineageFeatures};
+pub use router::{HashPartitioner, Partitioner, RouteItem, ShardRouter, SizeBalancedPartitioner};
+pub use scheduler::SchedulePolicy;
+
+/// How the shard engines share (or don't share) a sub-formula cache.
+#[derive(Debug, Clone, Default)]
+pub enum CacheTopology {
+    /// One cache shared by every shard, created fresh per batch (default).
+    /// Maximises cross-shard reuse on overlapping lineages; the cache's own
+    /// internal sharding keeps contention low.
+    #[default]
+    Shared,
+    /// One private cache per shard, created fresh per batch. No cross-shard
+    /// traffic at all; pair with [`HashPartitioner`] so repeated lineages
+    /// keep landing on the shard that already computed them.
+    PerShard,
+    /// No caching (for measuring the cache's effect; results are identical
+    /// either way).
+    Disabled,
+    /// A caller-owned, long-lived cache shared by every shard across
+    /// batches (the cross-batch mode of
+    /// [`ConfidenceEngine::with_shared_cache`]).
+    External(Arc<SubformulaCache>),
+}
+
+/// Per-shard outcome summary inside a [`ClusterBatchResult`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Items the router originally assigned to this shard.
+    pub assigned: usize,
+    /// Item executions this shard's worker performed (≥ its share of
+    /// `assigned` items; refinement rounds re-execute stragglers).
+    pub executed: usize,
+    /// Executions this worker *stole* from other shards' queues.
+    pub stolen: usize,
+    /// Sum of the per-item algorithm times this worker spent.
+    pub compute: Duration,
+    /// Cache-effectiveness deltas for this shard's private cache. All zeros
+    /// under the [`CacheTopology::Shared`] / [`CacheTopology::External`]
+    /// topologies, where traffic is attributed cluster-wide in
+    /// [`ClusterBatchResult::cache`] instead.
+    pub cache: CacheStats,
+}
+
+/// Result of a sharded batch: the merge of every shard's work.
+#[derive(Debug, Clone)]
+pub struct ClusterBatchResult {
+    /// Per-lineage results in input order — exactly what
+    /// [`ConfidenceEngine::confidence_batch`] would return for the same
+    /// batch (bit-identical for deterministic methods, seed-reproducible
+    /// for Monte-Carlo ones).
+    pub results: Vec<ConfidenceResult>,
+    /// Wall-clock time for the whole cluster batch.
+    pub wall: Duration,
+    /// Per-shard execution and cache stats.
+    pub shards: Vec<ShardStats>,
+    /// Cluster-wide cache-effectiveness deltas for this batch (summed over
+    /// every cache the topology created or borrowed).
+    pub cache: CacheStats,
+    /// Number of scheduling rounds run (1 unless a deadline forced
+    /// refinement rounds).
+    pub rounds: usize,
+}
+
+impl ClusterBatchResult {
+    /// `true` when every lineage met its guarantee within the budget.
+    pub fn all_converged(&self) -> bool {
+        self.results.iter().all(|r| r.converged)
+    }
+
+    /// Number of lineages that met their guarantee.
+    pub fn converged_count(&self) -> usize {
+        self.results.iter().filter(|r| r.converged).count()
+    }
+
+    /// Sum of the per-item algorithm times across all shards.
+    pub fn total_compute(&self) -> Duration {
+        self.shards.iter().map(|s| s.compute).sum()
+    }
+
+    /// Total number of cross-shard steals in the batch.
+    pub fn total_stolen(&self) -> usize {
+        self.shards.iter().map(|s| s.stolen).sum()
+    }
+
+    /// Flattens the cluster result into the unsharded engine's
+    /// [`BatchResult`] shape (results + wall + merged cache), for callers
+    /// written against the single-engine API.
+    pub fn into_batch_result(self) -> BatchResult {
+        BatchResult { results: self.results, wall: self.wall, cache: self.cache }
+    }
+}
+
+/// Sums cache-stat deltas across shards (`entries` sums too: distinct caches
+/// hold distinct entry sets; a shared cache is counted once by the caller).
+fn merge_cache_stats(deltas: impl IntoIterator<Item = CacheStats>) -> CacheStats {
+    let mut out = CacheStats::default();
+    for d in deltas {
+        out.hits += d.hits;
+        out.misses += d.misses;
+        out.stale += d.stale;
+        out.evictions += d.evictions;
+        out.entries += d.entries;
+    }
+    out
+}
+
+/// A sharded, deadline-aware confidence service above
+/// [`pdb::ConfidenceEngine`]. See the [crate docs](self) for the moving
+/// parts and guarantees, and [`ClusterEngine::confidence_batch`] for the
+/// lifecycle of one batch.
+#[derive(Clone)]
+pub struct ClusterEngine {
+    method: ConfidenceMethod,
+    budget: ConfidenceBudget,
+    shards: usize,
+    seed: Option<u64>,
+    policy: SchedulePolicy,
+    partitioner: Arc<dyn Partitioner>,
+    topology: CacheTopology,
+    estimator: Arc<HardnessEstimator>,
+    max_rounds: usize,
+}
+
+impl std::fmt::Debug for ClusterEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterEngine")
+            .field("method", &self.method)
+            .field("budget", &self.budget)
+            .field("shards", &self.shards)
+            .field("seed", &self.seed)
+            .field("policy", &self.policy)
+            .field("partitioner", &self.partitioner.name())
+            .field("max_rounds", &self.max_rounds)
+            .finish()
+    }
+}
+
+impl ClusterEngine {
+    /// A cluster for the given method: 2 shards, hash routing,
+    /// hardest-first scheduling, one shared per-batch cache, no budget,
+    /// entropy-seeded Monte-Carlo, and a fresh (uncalibrated) hardness
+    /// estimator.
+    pub fn new(method: ConfidenceMethod) -> Self {
+        ClusterEngine {
+            method,
+            budget: ConfidenceBudget::default(),
+            shards: 2,
+            seed: None,
+            policy: SchedulePolicy::default(),
+            partitioner: Arc::new(HashPartitioner),
+            topology: CacheTopology::default(),
+            estimator: Arc::new(HardnessEstimator::new()),
+            max_rounds: 4,
+        }
+    }
+
+    /// Sets the number of shards (clamped to ≥ 1; a degenerate 0 must not
+    /// produce a zero-worker cluster that computes nothing).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the per-batch budget. `timeout` becomes the *cluster-wide*
+    /// deadline shared by every shard; `max_work` still applies per item.
+    pub fn with_budget(mut self, budget: ConfidenceBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the base seed making Monte-Carlo methods reproducible,
+    /// independent of shard assignment and stealing (per-item seeds derive
+    /// from the *input index*).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the within-shard scheduling order (default:
+    /// [`SchedulePolicy::HardestFirst`]).
+    pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the partitioning policy (default: [`HashPartitioner`]).
+    pub fn with_partitioner(mut self, partitioner: Arc<dyn Partitioner>) -> Self {
+        self.partitioner = partitioner;
+        self
+    }
+
+    /// Sets the cache topology (default: [`CacheTopology::Shared`]).
+    pub fn with_cache_topology(mut self, topology: CacheTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Attaches a caller-owned, long-lived cache shared by all shards
+    /// across batches (shorthand for
+    /// [`CacheTopology::External`]).
+    pub fn with_shared_cache(self, cache: Arc<SubformulaCache>) -> Self {
+        self.with_cache_topology(CacheTopology::External(cache))
+    }
+
+    /// Disables sub-formula caching (shorthand for
+    /// [`CacheTopology::Disabled`]).
+    pub fn without_cache(self) -> Self {
+        self.with_cache_topology(CacheTopology::Disabled)
+    }
+
+    /// Shares a hardness estimator with other engines (and keeps its
+    /// calibration across batches). The default estimator is private to the
+    /// engine and starts uncalibrated.
+    pub fn with_estimator(mut self, estimator: Arc<HardnessEstimator>) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Caps the number of refinement rounds a deadline may trigger
+    /// (clamped to ≥ 1; default 4). Rounds re-run non-converged items with
+    /// the time that remains, so more rounds only matter for tight
+    /// deadlines over mixed-hardness batches.
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds.max(1);
+        self
+    }
+
+    /// The cluster's hardness estimator (e.g. to pre-calibrate it or share
+    /// it with another engine).
+    pub fn estimator(&self) -> &Arc<HardnessEstimator> {
+        &self.estimator
+    }
+
+    /// The effective shard count (≥ 1).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Computes the confidences of a whole answer relation across the
+    /// cluster's shards. Results come back in input order; see the
+    /// [crate docs](self) for the identity guarantees versus
+    /// [`ConfidenceEngine::confidence_batch`].
+    ///
+    /// Lifecycle of one batch: deduplicate identical lineages (deterministic
+    /// methods only, exactly like the unsharded engine — the duplicate gets
+    /// a copy of its representative's result with `elapsed` zeroed) → score
+    /// every lineage (cheap structural features × calibrated correction) →
+    /// route items to shards ([`Partitioner`]) → order each shard queue
+    /// ([`SchedulePolicy`]) → run one stealing worker per shard against the
+    /// cluster-wide deadline, slicing the remaining time proportionally →
+    /// if time remains, re-run stragglers in refinement rounds → merge
+    /// per-shard stats.
+    pub fn confidence_batch<L: AsRef<Dnf> + Sync>(
+        &self,
+        lineages: &[L],
+        space: &ProbabilitySpace,
+        origins: Option<&VarOrigins>,
+    ) -> ClusterBatchResult {
+        let start = Instant::now();
+        let deadline = self.budget.timeout.map(|t| start + t);
+        let lineages: Vec<&Dnf> = lineages.iter().map(AsRef::as_ref).collect();
+
+        // Duplicate detection via the engine's own helper, so both sides of
+        // the bit-identity contract deduplicate identically: answer
+        // relations with symmetries (s2(x, y) = s2(y, x)) and repeated user
+        // queries produce identical lineages; deterministic methods evaluate
+        // one representative. Monte-Carlo items keep their per-index seeds,
+        // so every item stays its own representative there.
+        let (representative, work) = pdb::dedup_lineages(&self.method, &lineages);
+
+        // Score and route (representatives only — duplicates are neither
+        // scheduled nor observed, so their features are never read).
+        let mut features: Vec<LineageFeatures> = vec![LineageFeatures::default(); lineages.len()];
+        let mut scores: Vec<f64> = vec![0.0; lineages.len()];
+        for &i in &work {
+            features[i] = LineageFeatures::of(lineages[i]);
+            scores[i] = self.estimator.score_features(&features[i]);
+        }
+        let shards = self.shards;
+        let queues: Vec<Vec<usize>> = if shards == 1 {
+            // Nothing to route: skip per-lineage fingerprinting so the
+            // 1-shard cluster stays close to the plain engine on warm,
+            // cache-hit-dominated batches.
+            vec![work.clone()]
+        } else {
+            let items: Vec<RouteItem<'_>> = work
+                .iter()
+                .map(|&index| RouteItem {
+                    index,
+                    lineage: lineages[index],
+                    hash: lineages[index].canonical_hash(),
+                    score: scores[index],
+                })
+                .collect();
+            ShardRouter::new(self.partitioner.as_ref(), shards).route(&items)
+        };
+
+        // Cache topology: per-batch shared, per-batch per-shard, external,
+        // or none. `owned` keeps per-batch caches alive for the run.
+        let (owned, per_shard): (Vec<Arc<SubformulaCache>>, Vec<Option<usize>>) =
+            match &self.topology {
+                CacheTopology::Shared => {
+                    (vec![Arc::new(SubformulaCache::new())], vec![Some(0); shards])
+                }
+                CacheTopology::PerShard => (
+                    (0..shards).map(|_| Arc::new(SubformulaCache::new())).collect(),
+                    (0..shards).map(Some).collect(),
+                ),
+                CacheTopology::External(c) => (vec![Arc::clone(c)], vec![Some(0); shards]),
+                CacheTopology::Disabled => (Vec::new(), vec![None; shards]),
+            };
+        let cache_refs: Vec<Option<&SubformulaCache>> =
+            per_shard.iter().map(|slot| slot.map(|k| owned[k].as_ref())).collect();
+        let before: Vec<CacheStats> = owned.iter().map(|c| c.stats()).collect();
+
+        // The per-item engine: the cluster scheduler owns the deadline, so
+        // the shard engines run with `timeout = None` and get per-item
+        // deadlines through `compute_item`.
+        let mut engine = ConfidenceEngine::new(self.method.clone())
+            .with_budget(ConfidenceBudget { timeout: None, max_work: self.budget.max_work })
+            .with_threads(1);
+        if let Some(seed) = self.seed {
+            engine = engine.with_seed(seed);
+        }
+
+        let ctx = scheduler::RunContext {
+            lineages: &lineages,
+            space,
+            origins,
+            features: &features,
+            scores: &scores,
+            engine: &engine,
+            estimator: &self.estimator,
+            caches: &cache_refs,
+            policy: self.policy,
+            deadline,
+            max_rounds: self.max_rounds,
+        };
+        let outcome = scheduler::execute(&ctx, queues);
+
+        let after: Vec<CacheStats> = owned.iter().map(|c| c.stats()).collect();
+        let deltas: Vec<CacheStats> = after.iter().zip(&before).map(|(a, b)| a.since(b)).collect();
+        let shard_stats: Vec<ShardStats> = outcome
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(shard, acc)| ShardStats {
+                shard,
+                assigned: acc.assigned,
+                executed: acc.executed,
+                stolen: acc.stolen,
+                compute: acc.compute,
+                cache: match self.topology {
+                    CacheTopology::PerShard => deltas.get(shard).cloned().unwrap_or_default(),
+                    _ => CacheStats::default(),
+                },
+            })
+            .collect();
+
+        // Replicate representative results onto their duplicates, with
+        // `elapsed` zeroed: no work ran for the duplicate (same contract as
+        // the unsharded engine).
+        let mut slots = outcome.results;
+        for i in 0..lineages.len() {
+            if slots[i].is_none() {
+                let mut r = slots[representative[i]]
+                    .clone()
+                    .expect("representative evaluated before duplicate fill");
+                r.elapsed = Duration::ZERO;
+                slots[i] = Some(r);
+            }
+        }
+
+        ClusterBatchResult {
+            results: slots.into_iter().map(|r| r.expect("scheduler fills every slot")).collect(),
+            wall: start.elapsed(),
+            shards: shard_stats,
+            cache: merge_cache_stats(deltas),
+            rounds: outcome.rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use events::Clause;
+
+    fn mixed_batch() -> (ProbabilitySpace, Vec<Dnf>) {
+        let mut space = ProbabilitySpace::new();
+        let mut lineages = Vec::new();
+        for k in 0..8 {
+            let len = if k % 2 == 0 { 2 } else { 6 };
+            let vars: Vec<_> = (0..=len)
+                .map(|i| space.add_bool(format!("v{k}_{i}"), 0.2 + 0.05 * (i % 5) as f64))
+                .collect();
+            lineages.push(Dnf::from_clauses(
+                (0..len).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])),
+            ));
+        }
+        (space, lineages)
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let cluster = ClusterEngine::new(ConfidenceMethod::DTreeExact).with_shards(3);
+        let out = cluster.confidence_batch::<Dnf>(&[], &ProbabilitySpace::new(), None);
+        assert!(out.results.is_empty());
+        assert!(out.all_converged());
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn cluster_matches_single_engine_bitwise_for_deterministic_methods() {
+        let (space, lineages) = mixed_batch();
+        for method in [
+            ConfidenceMethod::DTreeExact,
+            ConfidenceMethod::DTreeAbsolute(0.01),
+            ConfidenceMethod::DTreeRelative(0.01),
+        ] {
+            let single =
+                ConfidenceEngine::new(method.clone()).confidence_batch(&lineages, &space, None);
+            for shards in [1, 2, 5] {
+                let out = ClusterEngine::new(method.clone())
+                    .with_shards(shards)
+                    .confidence_batch(&lineages, &space, None);
+                assert_eq!(out.results.len(), lineages.len());
+                for (want, got) in single.results.iter().zip(&out.results) {
+                    assert_eq!(want.estimate.to_bits(), got.estimate.to_bits());
+                    assert_eq!(want.lower.to_bits(), got.lower.to_bits());
+                    assert_eq!(want.upper.to_bits(), got.upper.to_bits());
+                    assert_eq!(want.converged, got.converged);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_monte_carlo_is_reproducible_across_shard_counts_and_policies() {
+        let (space, lineages) = mixed_batch();
+        let method = ConfidenceMethod::KarpLuby { epsilon: 0.2, delta: 0.05 };
+        let single = ConfidenceEngine::new(method.clone())
+            .with_seed(0xc1a5)
+            .confidence_batch(&lineages, &space, None);
+        for (shards, policy) in [
+            (1, SchedulePolicy::HardestFirst),
+            (3, SchedulePolicy::HardestFirst),
+            (3, SchedulePolicy::InputOrder),
+        ] {
+            let out = ClusterEngine::new(method.clone())
+                .with_seed(0xc1a5)
+                .with_shards(shards)
+                .with_policy(policy)
+                .confidence_batch(&lineages, &space, None);
+            for (want, got) in single.results.iter().zip(&out.results) {
+                assert_eq!(want.estimate.to_bits(), got.estimate.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let (space, lineages) = mixed_batch();
+        let cluster = ClusterEngine::new(ConfidenceMethod::DTreeExact).with_shards(0);
+        assert_eq!(cluster.shards(), 1);
+        let out = cluster.confidence_batch(&lineages, &space, None);
+        assert_eq!(out.results.len(), lineages.len());
+        assert!(out.all_converged());
+        assert_eq!(out.shards.len(), 1);
+    }
+
+    #[test]
+    fn cache_topologies_agree_and_report_stats() {
+        let (space, lineages) = mixed_batch();
+        let method = ConfidenceMethod::DTreeAbsolute(0.001);
+        let baseline = ClusterEngine::new(method.clone())
+            .without_cache()
+            .confidence_batch(&lineages, &space, None);
+        assert_eq!(baseline.cache, CacheStats::default());
+        for topology in [CacheTopology::Shared, CacheTopology::PerShard] {
+            let out = ClusterEngine::new(method.clone())
+                .with_shards(3)
+                .with_cache_topology(topology)
+                .confidence_batch(&lineages, &space, None);
+            for (want, got) in baseline.results.iter().zip(&out.results) {
+                assert_eq!(want.estimate.to_bits(), got.estimate.to_bits());
+            }
+            assert!(
+                out.cache.hits + out.cache.misses > 0,
+                "an enabled cache must see traffic: {:?}",
+                out.cache
+            );
+        }
+        // External cache: warm across batches.
+        let external = Arc::new(SubformulaCache::new());
+        let engine = ClusterEngine::new(method).with_shared_cache(Arc::clone(&external));
+        let cold = engine.confidence_batch(&lineages, &space, None);
+        let warm = engine.confidence_batch(&lineages, &space, None);
+        assert!(warm.cache.hit_rate() > cold.cache.hit_rate());
+        for (want, got) in baseline.results.iter().zip(&warm.results) {
+            assert_eq!(want.estimate.to_bits(), got.estimate.to_bits());
+        }
+    }
+
+    #[test]
+    fn size_balanced_partitioner_spreads_work() {
+        let (space, lineages) = mixed_batch();
+        let out = ClusterEngine::new(ConfidenceMethod::DTreeExact)
+            .with_shards(4)
+            .with_partitioner(Arc::new(SizeBalancedPartitioner))
+            .confidence_batch(&lineages, &space, None);
+        assert!(out.all_converged());
+        let assigned: Vec<usize> = out.shards.iter().map(|s| s.assigned).collect();
+        assert_eq!(assigned.iter().sum::<usize>(), lineages.len());
+        assert!(assigned.iter().all(|&a| a >= 1), "LPT should use all shards: {assigned:?}");
+    }
+
+    #[test]
+    fn estimator_calibrates_from_batch_observations() {
+        let (space, lineages) = mixed_batch();
+        let cluster = ClusterEngine::new(ConfidenceMethod::DTreeExact).with_shards(2);
+        assert_eq!(cluster.estimator().observations(), 0);
+        cluster.confidence_batch(&lineages, &space, None);
+        assert!(
+            cluster.estimator().observations() >= lineages.len() as u64,
+            "every d-tree item should calibrate the estimator"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_returns_promptly_and_soundly() {
+        let (space, lineages) = mixed_batch();
+        let cluster = ClusterEngine::new(ConfidenceMethod::DTreeRelative(0.001))
+            .with_shards(2)
+            .with_budget(ConfidenceBudget { timeout: Some(Duration::ZERO), max_work: None });
+        let t0 = Instant::now();
+        let out = cluster.confidence_batch(&lineages, &space, None);
+        assert!(t0.elapsed() < Duration::from_secs(2));
+        assert_eq!(out.results.len(), lineages.len());
+        for r in &out.results {
+            assert!(!r.converged);
+            assert!((0.0..=1.0).contains(&r.lower) && (0.0..=1.0).contains(&r.upper));
+        }
+    }
+
+    #[test]
+    fn into_batch_result_flattens() {
+        let (space, lineages) = mixed_batch();
+        let out = ClusterEngine::new(ConfidenceMethod::DTreeExact)
+            .confidence_batch(&lineages, &space, None);
+        let n = out.results.len();
+        let cache = out.cache;
+        let batch = out.into_batch_result();
+        assert_eq!(batch.results.len(), n);
+        assert_eq!(batch.cache, cache);
+    }
+}

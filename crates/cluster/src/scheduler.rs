@@ -1,0 +1,386 @@
+//! The deadline-aware cluster scheduler: hardness-ordered shard queues,
+//! proportional time slices, cross-shard work stealing, and refinement
+//! rounds.
+//!
+//! # Why not "each item gets whatever time remains"?
+//!
+//! That is what a single [`pdb::ConfidenceEngine`] batch does, and it has a
+//! failure mode under tight deadlines: whichever hard lineage runs first
+//! consumes the entire remaining budget, and every item scheduled after it
+//! short-circuits to a vacuous result — the tail starves. The cluster
+//! scheduler instead degrades *uniformly*:
+//!
+//! 1. **Slices.** Each item's timeout is its proportional share of the time
+//!    remaining: `remaining × workers / items_not_yet_started`, capped at
+//!    `remaining`. Easy items converge well inside their slice and donate
+//!    the leftover to everyone after them; hard items are truncated at the
+//!    slice boundary instead of at the cluster deadline.
+//! 2. **Hardest-first.** Within each shard, items run in descending
+//!    estimated-hardness order, so the items that need the most refinement
+//!    start while the budget — and the parallel capacity of the other
+//!    shards — is still available, instead of surfacing as stragglers at
+//!    the deadline.
+//! 3. **Work stealing.** A shard whose queue drains steals the *tail* (the
+//!    estimated-easiest pending item) of the fullest other shard, so a
+//!    mis-partitioned batch still finishes together instead of one shard
+//!    idling while another is buried.
+//! 4. **Rounds.** If the deadline has not passed once every item has run,
+//!    non-converged items are re-enqueued (hardest-first) and re-run with
+//!    the now-larger slices; with a shared sub-formula cache the re-run
+//!    resumes mostly warm. Rounds stop at the deadline, at
+//!    [`max_rounds`](crate::ClusterEngine::with_max_rounds), or when
+//!    everything converged.
+//!
+//! With no deadline at all, none of this machinery engages: every item runs
+//! exactly once with an unbounded timeout, which is how the cluster stays
+//! bit-identical to the unsharded engine.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dtree::SubformulaCache;
+use events::{Dnf, ProbabilitySpace, VarOrigins};
+use pdb::confidence::ConfidenceResult;
+use pdb::ConfidenceEngine;
+
+use crate::hardness::{HardnessEstimator, LineageFeatures};
+
+/// The order in which a shard works through its queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Descending estimated hardness (ties by input index). The default:
+    /// hard lineages start while budget and parallel capacity remain.
+    #[default]
+    HardestFirst,
+    /// The input order of the batch, as a plain engine would process it.
+    /// Mainly useful as the baseline when measuring what hardness-aware
+    /// ordering buys.
+    InputOrder,
+}
+
+impl SchedulePolicy {
+    /// Orders a queue of item indices in place according to the policy.
+    pub(crate) fn order(&self, queue: &mut [usize], scores: &[f64]) {
+        match self {
+            SchedulePolicy::HardestFirst => {
+                queue.sort_by(|&a, &b| {
+                    scores[b]
+                        .partial_cmp(&scores[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+            }
+            SchedulePolicy::InputOrder => queue.sort_unstable(),
+        }
+    }
+}
+
+/// Everything one scheduling run needs, borrowed from the cluster engine.
+pub(crate) struct RunContext<'a> {
+    pub lineages: &'a [&'a Dnf],
+    pub space: &'a ProbabilitySpace,
+    pub origins: Option<&'a VarOrigins>,
+    pub features: &'a [LineageFeatures],
+    pub scores: &'a [f64],
+    pub engine: &'a ConfidenceEngine,
+    pub estimator: &'a HardnessEstimator,
+    /// Per-shard cache handles (`None` = caching disabled for that shard).
+    pub caches: &'a [Option<&'a SubformulaCache>],
+    pub policy: SchedulePolicy,
+    pub deadline: Option<Instant>,
+    pub max_rounds: usize,
+}
+
+/// Mutable per-shard counters accumulated over all rounds.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ShardAccum {
+    pub assigned: usize,
+    pub executed: usize,
+    pub stolen: usize,
+    pub compute: Duration,
+}
+
+/// Outcome of the scheduling run.
+pub(crate) struct ScheduleOutcome {
+    pub results: Vec<Option<ConfidenceResult>>,
+    pub shards: Vec<ShardAccum>,
+    pub rounds: usize,
+}
+
+/// `true` when `new` should replace `old` as an item's reported result:
+/// convergence wins, then tighter bounds. A converged result is never
+/// replaced, so deterministic methods report the round-1 result untouched.
+fn improves(new: &ConfidenceResult, old: &ConfidenceResult) -> bool {
+    if old.converged {
+        return false;
+    }
+    if new.converged {
+        return true;
+    }
+    (new.upper - new.lower) < (old.upper - old.lower)
+}
+
+/// Runs the whole schedule: rounds of stealing workers over shard queues.
+pub(crate) fn execute(ctx: &RunContext<'_>, queues: Vec<Vec<usize>>) -> ScheduleOutcome {
+    let shards = queues.len().max(1);
+    let mut accums: Vec<ShardAccum> =
+        queues.iter().map(|q| ShardAccum { assigned: q.len(), ..Default::default() }).collect();
+    accums.resize(shards, ShardAccum::default());
+    let mut results: Vec<Option<ConfidenceResult>> = vec![None; ctx.lineages.len()];
+
+    // `home[i]` is the shard item `i` was originally routed to; refinement
+    // rounds re-enqueue an item at its home shard so per-shard caches stay
+    // warm for it. Items outside every queue (deduplicated copies) are not
+    // scheduled and must not be picked up by refinement rounds either.
+    let mut home: Vec<Option<usize>> = vec![None; ctx.lineages.len()];
+    for (shard, queue) in queues.iter().enumerate() {
+        for &i in queue {
+            home[i] = Some(shard);
+        }
+    }
+
+    let mut pending = queues;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        for queue in &mut pending {
+            ctx.policy.order(queue, ctx.scores);
+        }
+        run_round(ctx, &pending, &mut results, &mut accums);
+
+        let Some(deadline) = ctx.deadline else { break };
+        if rounds >= ctx.max_rounds || Instant::now() >= deadline {
+            break;
+        }
+        let mut unfinished: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        let mut any = false;
+        for (i, slot) in results.iter().enumerate() {
+            let Some(shard) = home[i] else { continue };
+            if !slot.as_ref().map(|r| r.converged).unwrap_or(false) {
+                unfinished[shard].push(i);
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        pending = unfinished;
+    }
+
+    ScheduleOutcome { results, shards: accums, rounds }
+}
+
+/// One pass over the pending queues: one stealing worker per shard.
+fn run_round(
+    ctx: &RunContext<'_>,
+    pending: &[Vec<usize>],
+    results: &mut [Option<ConfidenceResult>],
+    accums: &mut [ShardAccum],
+) {
+    let total: usize = pending.iter().map(Vec::len).sum();
+    if total == 0 {
+        return;
+    }
+    let shards = pending.len();
+    // One worker per shard; a worker whose queue is empty from the start
+    // immediately turns into a stealer, so capacity is never parked.
+    let workers = shards.min(total);
+    if workers == 1 {
+        // Single worker: no stealing, no threads, no lock traffic — keeps
+        // the 1-shard cluster within spitting distance of the plain engine.
+        let mut left = total;
+        for (shard, queue) in pending.iter().enumerate() {
+            for &i in queue {
+                let item_deadline = slice_deadline(ctx.deadline, left.max(1), 1);
+                left -= 1;
+                let r = run_one(ctx, i, shard, item_deadline);
+                accums[shard].executed += 1;
+                accums[shard].compute += r.elapsed;
+                match &results[i] {
+                    Some(old) if !improves(&r, old) => {}
+                    _ => results[i] = Some(r),
+                }
+            }
+        }
+        return;
+    }
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        pending.iter().map(|q| Mutex::new(q.iter().copied().collect())).collect();
+    let unstarted = AtomicUsize::new(total);
+    let out: Mutex<&mut [Option<ConfidenceResult>]> = Mutex::new(results);
+    let accum_cells: Vec<Mutex<&mut ShardAccum>> = accums.iter_mut().map(Mutex::new).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let unstarted = &unstarted;
+            let out = &out;
+            let accum_cells = &accum_cells;
+            scope.spawn(move || {
+                let mut local = ShardAccum::default();
+                loop {
+                    let popped = pop_or_steal(queues, w);
+                    let Some((i, stolen)) = popped else { break };
+                    // The share computation counts this item as still
+                    // unstarted (it has not consumed time yet), so decrement
+                    // after computing the slice denominator.
+                    let left = unstarted.load(Ordering::Relaxed).max(1);
+                    let item_deadline = slice_deadline(ctx.deadline, left, workers);
+                    unstarted.fetch_sub(1, Ordering::Relaxed);
+
+                    let r = run_one(ctx, i, w, item_deadline);
+                    local.executed += 1;
+                    local.stolen += usize::from(stolen);
+                    local.compute += r.elapsed;
+                    let mut slots = out.lock().expect("result slots poisoned");
+                    match &slots[i] {
+                        Some(old) if !improves(&r, old) => {}
+                        _ => slots[i] = Some(r),
+                    }
+                }
+                let mut acc = accum_cells[w].lock().expect("accum poisoned");
+                acc.executed += local.executed;
+                acc.stolen += local.stolen;
+                acc.compute += local.compute;
+            });
+        }
+    });
+}
+
+/// Computes one item through the engine hook (the cache is the executing
+/// shard's) and feeds its exported stats back into the hardness estimator.
+fn run_one(
+    ctx: &RunContext<'_>,
+    i: usize,
+    shard: usize,
+    item_deadline: Option<Instant>,
+) -> ConfidenceResult {
+    let r = ctx.engine.compute_item(
+        ctx.lineages[i],
+        ctx.space,
+        ctx.origins,
+        i,
+        item_deadline,
+        ctx.caches[shard],
+    );
+    if let Some(stats) = &r.stats {
+        ctx.estimator.observe(&ctx.features[i], stats);
+    }
+    r
+}
+
+/// The per-item deadline: now plus this item's proportional share of the
+/// remaining time (`remaining × workers / unstarted`, capped at `remaining`).
+fn slice_deadline(deadline: Option<Instant>, unstarted: usize, workers: usize) -> Option<Instant> {
+    let deadline = deadline?;
+    let now = Instant::now();
+    let remaining = deadline.saturating_duration_since(now);
+    if remaining.is_zero() {
+        // Past the deadline: hand the expired instant through so the engine
+        // short-circuits the item.
+        return Some(deadline);
+    }
+    let slice = remaining
+        .checked_mul(workers.min(unstarted) as u32)
+        .map(|d| d / unstarted as u32)
+        .unwrap_or(remaining)
+        .min(remaining);
+    Some(now + slice)
+}
+
+/// Pops the front of the worker's own queue, or steals the *back* (the
+/// estimated-easiest pending item under hardest-first ordering) of the
+/// longest other queue. Returns `(item, was_stolen)`.
+fn pop_or_steal(queues: &[Mutex<VecDeque<usize>>], own: usize) -> Option<(usize, bool)> {
+    if let Some(i) = queues[own].lock().expect("queue poisoned").pop_front() {
+        return Some((i, false));
+    }
+    loop {
+        // Snapshot queue lengths without holding more than one lock at a
+        // time, then try to steal from the fullest victim.
+        let victim = queues
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| s != own)
+            .map(|(s, q)| (s, q.lock().expect("queue poisoned").len()))
+            .filter(|&(_, len)| len > 0)
+            .max_by_key(|&(_, len)| len)
+            .map(|(s, _)| s)?;
+        if let Some(i) = queues[victim].lock().expect("queue poisoned").pop_back() {
+            return Some((i, true));
+        }
+        // Raced with another stealer; rescan.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(converged: bool, lower: f64, upper: f64) -> ConfidenceResult {
+        ConfidenceResult {
+            estimate: (lower + upper) / 2.0,
+            lower,
+            upper,
+            converged,
+            elapsed: Duration::ZERO,
+            method: "test".into(),
+            stats: None,
+        }
+    }
+
+    #[test]
+    fn improves_prefers_convergence_then_tighter_bounds() {
+        assert!(improves(&result(true, 0.4, 0.4), &result(false, 0.0, 1.0)));
+        assert!(!improves(&result(false, 0.0, 1.0), &result(true, 0.4, 0.4)));
+        assert!(!improves(&result(true, 0.4, 0.4), &result(true, 0.2, 0.9)));
+        assert!(improves(&result(false, 0.3, 0.6), &result(false, 0.0, 1.0)));
+        assert!(!improves(&result(false, 0.0, 1.0), &result(false, 0.3, 0.6)));
+    }
+
+    #[test]
+    fn hardest_first_orders_by_score_then_index() {
+        let scores = vec![1.0, 5.0, 5.0, 0.5];
+        let mut queue = vec![3, 2, 0, 1];
+        SchedulePolicy::HardestFirst.order(&mut queue, &scores);
+        assert_eq!(queue, vec![1, 2, 0, 3]);
+        SchedulePolicy::InputOrder.order(&mut queue, &scores);
+        assert_eq!(queue, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn slices_are_proportional_and_capped() {
+        let now = Instant::now();
+        let deadline = now + Duration::from_secs(10);
+        // 1 worker, 10 unstarted items: ~a tenth of the remaining time each.
+        let d = slice_deadline(Some(deadline), 10, 1).unwrap();
+        let slice = d.saturating_duration_since(now);
+        assert!(slice <= Duration::from_millis(1100), "slice {slice:?}");
+        assert!(slice >= Duration::from_millis(900), "slice {slice:?}");
+        // Last item: the full remaining time.
+        let d = slice_deadline(Some(deadline), 1, 1).unwrap();
+        assert!(d.saturating_duration_since(now) >= Duration::from_millis(9900));
+        // More workers than items never over-allocates past the deadline.
+        let d = slice_deadline(Some(deadline), 2, 8).unwrap();
+        assert!(d <= deadline);
+        // No deadline, no slicing.
+        assert!(slice_deadline(None, 5, 2).is_none());
+    }
+
+    #[test]
+    fn stealing_drains_the_fullest_queue_from_the_back() {
+        let queues: Vec<Mutex<VecDeque<usize>>> = vec![
+            Mutex::new(VecDeque::new()),
+            Mutex::new(VecDeque::from(vec![1, 2])),
+            Mutex::new(VecDeque::from(vec![3, 4, 5])),
+        ];
+        assert_eq!(pop_or_steal(&queues, 0), Some((5, true)));
+        assert_eq!(pop_or_steal(&queues, 0), Some((4, true)));
+        assert_eq!(pop_or_steal(&queues, 0), Some((2, true)));
+        assert_eq!(pop_or_steal(&queues, 1), Some((1, false)));
+        assert_eq!(pop_or_steal(&queues, 1), Some((3, true)));
+        assert_eq!(pop_or_steal(&queues, 1), None);
+    }
+}

@@ -58,6 +58,19 @@ impl CompileStats {
         }
     }
 
+    /// A single scalar measure of the decomposition effort this run paid:
+    /// nodes constructed plus leaf/bound evaluations actually performed
+    /// (memo hits are free and excluded). Hardness estimators use this as
+    /// the observed cost when calibrating structural predictions against
+    /// real runs; it is deterministic, unlike wall-clock time.
+    pub fn work(&self) -> usize {
+        self.inner_nodes()
+            + self.exact_leaves
+            + self.closed_leaves
+            + self.bound_evaluations
+            + self.exact_evaluations
+    }
+
     /// Merges another set of counters into this one (keeping the max depth).
     pub fn merge(&mut self, other: &CompileStats) {
         self.or_nodes += other.or_nodes;
@@ -94,6 +107,19 @@ mod tests {
         assert_eq!(s.inner_nodes(), 10);
         assert_eq!(s.total_nodes(), 17);
         assert!((s.or_node_fraction() - 0.9).abs() < 1e-12);
+        // work = inner nodes + leaves + evaluations (hits excluded).
+        assert_eq!(s.work(), 10 + 5 + 2 + 7);
+    }
+
+    #[test]
+    fn work_excludes_cache_hits() {
+        let s = CompileStats {
+            exact_evaluations: 3,
+            exact_cache_hits: 100,
+            bound_cache_hits: 50,
+            ..Default::default()
+        };
+        assert_eq!(s.work(), 3);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use dtree::{
     exact_probability, exact_probability_cached, ApproxCompiler, ApproxOptions, CompileOptions,
-    ErrorBound, SubformulaCache, VarOrder,
+    CompileStats, ErrorBound, SubformulaCache, VarOrder,
 };
 use events::{Dnf, ProbabilitySpace, VarOrigins};
 use montecarlo::{aconf, naive_monte_carlo, McOptions, NaiveOptions};
@@ -38,6 +38,19 @@ pub enum ConfidenceMethod {
 }
 
 impl ConfidenceMethod {
+    /// `true` for the d-tree methods, whose results are a pure function of
+    /// `(lineage, space)` — the precondition for duplicate-lineage
+    /// deduplication and bit-identical caching. The Monte-Carlo methods are
+    /// excluded: they carry per-item seeds, so every item must run.
+    pub fn is_deterministic(&self) -> bool {
+        matches!(
+            self,
+            ConfidenceMethod::DTreeExact
+                | ConfidenceMethod::DTreeAbsolute(_)
+                | ConfidenceMethod::DTreeRelative(_)
+        )
+    }
+
     /// Short display name used in benchmark tables.
     pub fn label(&self) -> String {
         match self {
@@ -73,6 +86,12 @@ pub struct ConfidenceResult {
     pub elapsed: Duration,
     /// Method label (for reports).
     pub method: String,
+    /// Decomposition statistics of the run, exposed for cost models and
+    /// hardness estimators (e.g. `cluster::HardnessEstimator` calibrates its
+    /// structural scores against [`CompileStats::work`]). `Some` for the
+    /// d-tree methods, `None` for the Monte-Carlo methods (which do no
+    /// decomposition) and for items short-circuited past a deadline.
+    pub stats: Option<CompileStats>,
 }
 
 /// Budgets applied to any method — including [`ConfidenceMethod::DTreeExact`],
@@ -148,6 +167,7 @@ pub fn confidence_with(
                     converged: true,
                     elapsed: start.elapsed(),
                     method: method.label(),
+                    stats: Some(r.stats),
                 }
             } else {
                 // Budgeted: route through the approximation compiler with
@@ -174,6 +194,7 @@ pub fn confidence_with(
                     converged: r.converged,
                     elapsed: r.elapsed,
                     method: method.label(),
+                    stats: Some(r.stats),
                 }
             }
         }
@@ -201,6 +222,7 @@ pub fn confidence_with(
                 converged: r.converged,
                 elapsed: r.elapsed,
                 method: method.label(),
+                stats: Some(r.stats),
             }
         }
         ConfidenceMethod::KarpLuby { epsilon, delta } => {
@@ -236,6 +258,7 @@ pub fn confidence_with(
                 converged: r.converged,
                 elapsed: r.elapsed,
                 method: method.label(),
+                stats: None,
             }
         }
         ConfidenceMethod::NaiveMonteCarlo { epsilon } => {
@@ -274,6 +297,7 @@ pub fn confidence_with(
                 converged: earned,
                 elapsed: r.elapsed,
                 method: method.label(),
+                stats: None,
             }
         }
     }

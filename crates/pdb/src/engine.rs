@@ -204,29 +204,7 @@ impl ConfidenceEngine {
         // to `lineages[i]`; only representatives are evaluated. Monte-Carlo
         // methods keep their per-item seeds, so every item stays its own
         // representative there.
-        let deterministic = matches!(
-            self.method,
-            ConfidenceMethod::DTreeExact
-                | ConfidenceMethod::DTreeAbsolute(_)
-                | ConfidenceMethod::DTreeRelative(_)
-        );
-        let mut representative: Vec<usize> = (0..lineages.len()).collect();
-        let mut work: Vec<usize> = Vec::with_capacity(lineages.len());
-        if deterministic {
-            let mut seen: HashMap<events::DnfHash, usize> = HashMap::new();
-            for (i, lineage) in lineages.iter().enumerate() {
-                let rep = *seen.entry(lineage.as_ref().canonical_hash()).or_insert(i);
-                // Guard against the (negligible but possible) hash collision:
-                // alias only structurally equal lineages.
-                if rep != i && lineages[rep].as_ref() == lineage.as_ref() {
-                    representative[i] = rep;
-                } else {
-                    work.push(i);
-                }
-            }
-        } else {
-            work.extend(0..lineages.len());
-        }
+        let (representative, work) = dedup_lineages(&self.method, lineages);
 
         let threads = self
             .threads
@@ -236,8 +214,14 @@ impl ConfidenceEngine {
         let mut slots: Vec<Option<ConfidenceResult>> = vec![None; lineages.len()];
         if threads <= 1 {
             for &i in &work {
-                slots[i] =
-                    Some(self.run_item(lineages[i].as_ref(), space, origins, i, deadline, cache));
+                slots[i] = Some(self.compute_item(
+                    lineages[i].as_ref(),
+                    space,
+                    origins,
+                    i,
+                    deadline,
+                    cache,
+                ));
             }
         } else {
             let cursor = AtomicUsize::new(0);
@@ -251,8 +235,14 @@ impl ConfidenceEngine {
                             break;
                         }
                         let i = work[w];
-                        let r =
-                            self.run_item(lineages[i].as_ref(), space, origins, i, deadline, cache);
+                        let r = self.compute_item(
+                            lineages[i].as_ref(),
+                            space,
+                            origins,
+                            i,
+                            deadline,
+                            cache,
+                        );
                         out.lock().expect("result slots poisoned")[i] = Some(r);
                     });
                 }
@@ -278,7 +268,22 @@ impl ConfidenceEngine {
         }
     }
 
-    fn run_item(
+    /// Computes one batch item exactly as [`ConfidenceEngine::confidence_batch`]
+    /// does internally: the remaining time until `deadline` becomes the item's
+    /// timeout (items starting past the deadline short-circuit to an immediate
+    /// non-converged result), `index` derives the per-item Monte-Carlo seed
+    /// from the engine's base seed, and `cache` supplies the sub-formula memo.
+    ///
+    /// This is the per-item hook for schedulers layered *above* the engine
+    /// (e.g. the `cluster` crate's sharded, deadline-aware scheduler), which
+    /// need to pick their own item order, per-item deadlines, and cache
+    /// topology while keeping results bit-identical to a plain batch: calling
+    /// this with the same index, an unexpired deadline, and any cache yields
+    /// the same value-bearing fields as [`ConfidenceEngine::confidence_batch`]
+    /// for deterministic methods, and the same seeded estimates for
+    /// Monte-Carlo ones. The engine's own `timeout` is ignored here —
+    /// `deadline` replaces it; `max_work` still applies per item.
+    pub fn compute_item(
         &self,
         lineage: &Dnf,
         space: &ProbabilitySpace,
@@ -310,6 +315,7 @@ impl ConfidenceEngine {
                             converged: true,
                             elapsed: Duration::ZERO,
                             method: self.method.label(),
+                            stats: None,
                         };
                     }
                     return ConfidenceResult {
@@ -319,6 +325,7 @@ impl ConfidenceEngine {
                         converged: false,
                         elapsed: Duration::ZERO,
                         method: self.method.label(),
+                        stats: None,
                     };
                 }
                 ConfidenceBudget { timeout: Some(remaining), max_work: self.budget.max_work }
@@ -328,6 +335,41 @@ impl ConfidenceEngine {
         let seed = self.seed.map(|base| Self::item_seed(base, index));
         confidence_with(lineage, space, origins, &self.method, &item_budget, seed, cache)
     }
+}
+
+/// Detects duplicate lineages in a batch (common in answer relations with
+/// symmetries, and in user traffic repeating the same query) by canonical
+/// hash, verified by structural equality so a hash collision can never alias
+/// two different formulas.
+///
+/// Returns `(representative, work)`: `representative[i]` is the first index
+/// holding a lineage identical to `lineages[i]`, and `work` lists the
+/// representatives — the items actually worth evaluating — in input order.
+/// For non-deterministic methods ([`ConfidenceMethod::is_deterministic`])
+/// the identity mapping comes back — every item carries its own seed and
+/// must run. Shared by [`ConfidenceEngine::confidence_batch`] and
+/// cluster-level schedulers so both sides of the bit-identity contract
+/// deduplicate identically.
+pub fn dedup_lineages<L: AsRef<Dnf>>(
+    method: &ConfidenceMethod,
+    lineages: &[L],
+) -> (Vec<usize>, Vec<usize>) {
+    let mut representative: Vec<usize> = (0..lineages.len()).collect();
+    let mut work: Vec<usize> = Vec::with_capacity(lineages.len());
+    if !method.is_deterministic() {
+        work.extend(0..lineages.len());
+        return (representative, work);
+    }
+    let mut seen: HashMap<events::DnfHash, usize> = HashMap::new();
+    for (i, lineage) in lineages.iter().enumerate() {
+        let rep = *seen.entry(lineage.as_ref().canonical_hash()).or_insert(i);
+        if rep != i && lineages[rep].as_ref() == lineage.as_ref() {
+            representative[i] = rep;
+        } else {
+            work.push(i);
+        }
+    }
+    (representative, work)
 }
 
 /// Convenience wrapper: one batched call with default engine settings
@@ -579,6 +621,43 @@ mod tests {
         let empty = &out.results[n_real + 1];
         assert!(empty.converged);
         assert_eq!((empty.estimate, empty.lower, empty.upper), (0.0, 0.0, 0.0));
+    }
+
+    /// Degenerate thread counts must be clamped to ≥ 1, not spawn a
+    /// zero-thread scope that would never fill any result slot.
+    #[test]
+    fn with_threads_zero_is_clamped_to_sequential() {
+        let (db, lineages) = answers_db();
+        let engine = ConfidenceEngine::new(ConfidenceMethod::DTreeExact).with_threads(0);
+        assert_eq!(engine.threads, Some(1));
+        let out = engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
+        assert_eq!(out.results.len(), lineages.len());
+        assert!(out.all_converged());
+        // … and the clamped engine matches an explicitly sequential one.
+        let sequential = ConfidenceEngine::new(ConfidenceMethod::DTreeExact)
+            .with_threads(1)
+            .confidence_batch(&lineages, db.space(), Some(db.origins()));
+        for (a, b) in out.results.iter().zip(&sequential.results) {
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        }
+    }
+
+    /// The per-item hook used by cluster-level schedulers returns the same
+    /// value-bearing fields as the batch path, and d-tree items expose their
+    /// `CompileStats` for hardness calibration.
+    #[test]
+    fn compute_item_matches_batch_and_exposes_stats() {
+        let (db, lineages) = answers_db();
+        let engine = ConfidenceEngine::new(ConfidenceMethod::DTreeAbsolute(0.01));
+        let batch = engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
+        for (i, lineage) in lineages.iter().enumerate() {
+            let item = engine.compute_item(lineage, db.space(), Some(db.origins()), i, None, None);
+            assert_eq!(item.estimate.to_bits(), batch.results[i].estimate.to_bits());
+            assert_eq!(item.lower.to_bits(), batch.results[i].lower.to_bits());
+            assert_eq!(item.upper.to_bits(), batch.results[i].upper.to_bits());
+            let stats = item.stats.expect("d-tree items expose CompileStats");
+            assert!(stats.work() > 0, "a non-trivial lineage must report work: {stats:?}");
+        }
     }
 
     #[test]

@@ -41,7 +41,7 @@ mod relation;
 mod value;
 
 pub use database::Database;
-pub use engine::{BatchResult, ConfidenceEngine};
+pub use engine::{dedup_lineages, BatchResult, ConfidenceEngine};
 pub use query::{ConjunctiveQuery, IneqOp, Predicate, QueryAnswer, SubGoal, Term};
 pub use relation::{AnnotatedTuple, Relation, Schema};
 pub use value::Value;

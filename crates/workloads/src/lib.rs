@@ -20,9 +20,11 @@
 #![forbid(unsafe_code)]
 
 pub mod graphs;
+pub mod mixes;
 pub mod social;
 pub mod tpch;
 
 pub use graphs::{random_bid_graph, random_graph, s2_relation, RandomGraphConfig};
+pub use mixes::{hardness_mix, HardnessMixConfig};
 pub use social::{dolphins, karate_club, SocialNetwork, SocialNetworkConfig};
 pub use tpch::{QueryClass, TpchConfig, TpchDatabase, TpchQuery};

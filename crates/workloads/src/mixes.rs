@@ -1,0 +1,145 @@
+//! Mixed-hardness lineage batches for exercising deadline-aware schedulers.
+//!
+//! The fig7-style hard workloads (B9 and friends) produce answer relations
+//! whose lineages are *uniformly* hard; scheduler experiments additionally
+//! need batches where hardness is *skewed* — a few #P-hard stragglers among
+//! many near-trivial lineages — because that is where lineage *order* under
+//! a shared deadline changes what converges. [`hardness_mix`] generates such
+//! a batch with controllable sizes: easy items are short clause chains
+//! (near-linear to decompose), hard items are dense random CNF-free DNFs
+//! whose variables are shared across clauses, forcing deep Shannon
+//! expansions exactly like the paper's hard TPC-H lineages.
+
+use events::{Clause, Dnf, ProbabilitySpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`hardness_mix`].
+#[derive(Debug, Clone)]
+pub struct HardnessMixConfig {
+    /// Number of easy lineages.
+    pub easy: usize,
+    /// Number of hard lineages.
+    pub hard: usize,
+    /// Clause count of each easy lineage (chain of 2-atom clauses).
+    pub easy_clauses: usize,
+    /// Clause count of each hard lineage (random 3-atom clauses over a
+    /// shared variable pool).
+    pub hard_clauses: usize,
+    /// Variable-pool size of each hard lineage; smaller pools share
+    /// variables more densely and are harder.
+    pub hard_vars: usize,
+    /// RNG seed (the batch is fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl HardnessMixConfig {
+    /// A skewed batch: `easy` near-trivial chains plus `hard` dense
+    /// stragglers, with defaults sized so one hard item costs 5–6 orders of
+    /// magnitude more than one easy item under exact d-tree evaluation
+    /// (hundreds of milliseconds versus microseconds on 2025 hardware).
+    pub fn new(easy: usize, hard: usize) -> Self {
+        HardnessMixConfig { easy, hard, easy_clauses: 3, hard_clauses: 60, hard_vars: 48, seed: 7 }
+    }
+}
+
+/// Generates the batch. Lineages are interleaved (hard items are spread
+/// through the input order, as answer-tuple enumeration would produce them),
+/// each over its own fresh variables so per-item costs are independent.
+pub fn hardness_mix(config: &HardnessMixConfig) -> (ProbabilitySpace, Vec<Dnf>) {
+    let mut space = ProbabilitySpace::new();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let total = config.easy + config.hard;
+    let mut lineages = Vec::with_capacity(total);
+    let mut hard_left = config.hard;
+    let mut easy_left = config.easy;
+    for k in 0..total {
+        // Spread hard items evenly through the input order.
+        let emit_hard = hard_left > 0
+            && (easy_left == 0
+                || (k * config.hard.max(1)) / total.max(1) + 1 > config.hard - hard_left);
+        if emit_hard {
+            hard_left -= 1;
+            lineages.push(hard_lineage(&mut space, &mut rng, config, k));
+        } else {
+            easy_left -= 1;
+            lineages.push(easy_lineage(&mut space, config, k));
+        }
+    }
+    (space, lineages)
+}
+
+/// A short chain `{x_0 x_1} ∨ {x_1 x_2} ∨ …`: decomposes in near-linear
+/// time.
+fn easy_lineage(space: &mut ProbabilitySpace, config: &HardnessMixConfig, k: usize) -> Dnf {
+    let n = config.easy_clauses.max(1);
+    let vars: Vec<_> = (0..=n)
+        .map(|i| space.add_bool(format!("e{k}_{i}"), 0.15 + 0.05 * ((i + k) % 7) as f64))
+        .collect();
+    Dnf::from_clauses((0..n).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])))
+}
+
+/// A dense random DNF: `hard_clauses` 3-atom clauses over a pool of
+/// `hard_vars` variables. Every variable occurs in several clauses, so no
+/// independent-or/and split applies and the d-tree must Shannon-expand
+/// deeply — the same structure that makes the fig7 TPC-H lineages #P-hard.
+fn hard_lineage(
+    space: &mut ProbabilitySpace,
+    rng: &mut StdRng,
+    config: &HardnessMixConfig,
+    k: usize,
+) -> Dnf {
+    let pool: Vec<_> = (0..config.hard_vars.max(4))
+        .map(|i| space.add_bool(format!("h{k}_{i}"), 0.25 + 0.02 * (i % 10) as f64))
+        .collect();
+    let mut clauses = Vec::with_capacity(config.hard_clauses);
+    while clauses.len() < config.hard_clauses {
+        let a = rng.gen_range(0..pool.len());
+        let mut b = rng.gen_range(0..pool.len());
+        while b == a {
+            b = rng.gen_range(0..pool.len());
+        }
+        let mut c = rng.gen_range(0..pool.len());
+        while c == a || c == b {
+            c = rng.gen_range(0..pool.len());
+        }
+        clauses.push(Clause::from_bools(&[pool[a], pool[b], pool[c]]));
+    }
+    Dnf::from_clauses(clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_has_requested_shape_and_is_deterministic() {
+        let cfg = HardnessMixConfig::new(6, 3);
+        let (_s, lineages) = hardness_mix(&cfg);
+        assert_eq!(lineages.len(), 9);
+        let hard = lineages.iter().filter(|l| l.len() > cfg.easy_clauses).count();
+        assert_eq!(hard, 3, "3 hard lineages expected");
+        // Hard items are spread, not clumped at one end.
+        let positions: Vec<usize> = lineages
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.len() > cfg.easy_clauses)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(positions.first().copied().unwrap_or(0) < 4, "{positions:?}");
+        assert!(positions.last().copied().unwrap_or(0) >= 6, "{positions:?}");
+        // Deterministic given the seed.
+        let (_s2, again) = hardness_mix(&cfg);
+        assert_eq!(lineages, again);
+    }
+
+    #[test]
+    fn lineages_are_variable_disjoint() {
+        let (_s, lineages) = hardness_mix(&HardnessMixConfig::new(4, 2));
+        for (i, a) in lineages.iter().enumerate() {
+            for b in &lineages[i + 1..] {
+                assert!(a.vars().is_disjoint(&b.vars()));
+            }
+        }
+    }
+}

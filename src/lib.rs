@@ -18,9 +18,13 @@
 //!   BID tables, positive relational algebra with lineage, conjunctive
 //!   queries, the hierarchical / IQ classification, the SPROUT exact
 //!   baseline, and graph motif queries (Section VI).
+//! * [`cluster`] — the sharded, hardness-aware confidence cluster above
+//!   `pdb::ConfidenceEngine`: structural hardness estimation, pluggable
+//!   shard partitioning, and a deadline-aware work-stealing scheduler.
 //! * [`workloads`] — the evaluation's data generators: tuple-independent
-//!   TPC-H, random graphs, and the karate-club / dolphin social networks
-//!   (Section VII).
+//!   TPC-H, random graphs, the karate-club / dolphin social networks
+//!   (Section VII), and the mixed-hardness batches used to exercise the
+//!   cluster scheduler.
 //!
 //! # Quickstart
 //!
@@ -48,6 +52,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use cluster;
 pub use dtree;
 pub use events;
 pub use montecarlo;

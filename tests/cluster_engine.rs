@@ -1,0 +1,156 @@
+//! Cross-checks of the sharded [`ClusterEngine`] against the unsharded
+//! [`ConfidenceEngine`] on the paper's answer relations: sharding (routing,
+//! scheduling, stealing, cache topology) must change the work distribution,
+//! never the answers.
+//!
+//! * fig8 shape: the `s2(X, Y)` answer relation on a uniform random graph;
+//! * fig9 shape: motif lineages on the karate-club social network.
+
+use std::sync::Arc;
+
+use cluster::{
+    CacheTopology, ClusterEngine, HashPartitioner, Partitioner, RouteItem, SizeBalancedPartitioner,
+};
+use dtree_approx::events::Dnf;
+use dtree_approx::pdb::confidence::ConfidenceMethod;
+use dtree_approx::pdb::{ConfidenceEngine, Database};
+use dtree_approx::workloads::{
+    karate_club, random_graph, s2_relation, RandomGraphConfig, SocialNetworkConfig,
+};
+
+fn all_methods() -> Vec<ConfidenceMethod> {
+    vec![
+        ConfidenceMethod::DTreeExact,
+        ConfidenceMethod::DTreeAbsolute(0.01),
+        ConfidenceMethod::DTreeRelative(0.01),
+        ConfidenceMethod::KarpLuby { epsilon: 0.1, delta: 0.01 },
+        ConfidenceMethod::NaiveMonteCarlo { epsilon: 0.1 },
+    ]
+}
+
+/// Asserts that the cluster reproduces the unsharded batch engine bit for
+/// bit for every method: deterministic methods exactly, Monte-Carlo methods
+/// under the shared fixed seed.
+fn assert_cluster_matches_engine(db: &Database, lineages: &[Dnf], workload: &str) {
+    const SEED: u64 = 0x5ca1_ab1e;
+    for method in all_methods() {
+        let single = ConfidenceEngine::new(method.clone()).with_seed(SEED).confidence_batch(
+            lineages,
+            db.space(),
+            Some(db.origins()),
+        );
+        for shards in [1, 3] {
+            let out = ClusterEngine::new(method.clone())
+                .with_seed(SEED)
+                .with_shards(shards)
+                .confidence_batch(lineages, db.space(), Some(db.origins()));
+            assert_eq!(out.results.len(), lineages.len());
+            for (i, (want, got)) in single.results.iter().zip(&out.results).enumerate() {
+                assert_eq!(
+                    want.estimate.to_bits(),
+                    got.estimate.to_bits(),
+                    "{workload} item {i} method {} shards {shards}: {} vs {}",
+                    want.method,
+                    want.estimate,
+                    got.estimate
+                );
+                assert_eq!(want.lower.to_bits(), got.lower.to_bits());
+                assert_eq!(want.upper.to_bits(), got.upper.to_bits());
+                assert_eq!(want.converged, got.converged);
+            }
+        }
+    }
+}
+
+#[test]
+fn fig8_random_graph_s2_relation_matches_engine_for_every_method() {
+    let (db, graph) = random_graph(&RandomGraphConfig::uniform(8, 0.3));
+    let mut lineages = s2_relation(&graph, 8);
+    // Keep the suite fast in debug builds; the batch stays a real answer
+    // relation with overlapping lineages.
+    lineages.truncate(18);
+    assert!(!lineages.is_empty());
+    assert_cluster_matches_engine(&db, &lineages, "fig8-s2");
+}
+
+#[test]
+fn fig9_karate_motifs_match_engine_for_every_method() {
+    let net = karate_club(&SocialNetworkConfig::karate_default());
+    let (hub, _) = net.separation_pair();
+    let mut lineages: Vec<Dnf> =
+        net.graph.within2_not1_answers(hub).into_iter().map(|(_, l)| l).collect();
+    // A few s2 lineages between distant nodes make the batch
+    // hardness-skewed, like the fig9 series the paper reports.
+    let n = net.num_nodes;
+    lineages.extend((0..3).map(|k| net.graph.separation2_lineage(k, n - 1 - k)));
+    lineages.truncate(16);
+    assert!(!lineages.is_empty());
+    assert_cluster_matches_engine(&net.db, &lineages, "fig9-karate");
+}
+
+#[test]
+fn partitioners_and_cache_topologies_agree_on_fig8() {
+    let (db, graph) = random_graph(&RandomGraphConfig::uniform(8, 0.35));
+    let mut lineages = s2_relation(&graph, 8);
+    lineages.truncate(24);
+    let method = ConfidenceMethod::DTreeAbsolute(0.001);
+    let baseline = ConfidenceEngine::new(method.clone()).without_cache().confidence_batch(
+        &lineages,
+        db.space(),
+        Some(db.origins()),
+    );
+    let partitioners: Vec<Arc<dyn Partitioner>> =
+        vec![Arc::new(HashPartitioner), Arc::new(SizeBalancedPartitioner)];
+    for partitioner in partitioners {
+        for topology in [
+            CacheTopology::Shared,
+            CacheTopology::PerShard,
+            CacheTopology::Disabled,
+            CacheTopology::External(Arc::new(dtree_approx::dtree::SubformulaCache::with_capacity(
+                1 << 12,
+            ))),
+        ] {
+            let out = ClusterEngine::new(method.clone())
+                .with_shards(3)
+                .with_partitioner(Arc::clone(&partitioner))
+                .with_cache_topology(topology)
+                .confidence_batch(&lineages, db.space(), Some(db.origins()));
+            for (want, got) in baseline.results.iter().zip(&out.results) {
+                assert_eq!(want.estimate.to_bits(), got.estimate.to_bits());
+                assert_eq!(want.lower.to_bits(), got.lower.to_bits());
+                assert_eq!(want.upper.to_bits(), got.upper.to_bits());
+            }
+        }
+    }
+}
+
+/// The custom-partitioner extension point: a deliberately terrible policy
+/// (everything on shard 0, including out-of-range answers) still computes
+/// every item correctly — assignment can only shift work around.
+#[test]
+fn misbehaving_custom_partitioner_cannot_lose_items() {
+    #[derive(Debug)]
+    struct Lopsided;
+    impl Partitioner for Lopsided {
+        fn partition(&self, items: &[RouteItem<'_>], shards: usize) -> Vec<usize> {
+            // Half the items get an out-of-range shard on purpose.
+            items.iter().map(|it| if it.index % 2 == 0 { 0 } else { shards + 7 }).collect()
+        }
+        fn name(&self) -> &'static str {
+            "lopsided"
+        }
+    }
+    let (db, graph) = random_graph(&RandomGraphConfig::uniform(8, 0.4));
+    let lineages = s2_relation(&graph, 8);
+    let method = ConfidenceMethod::DTreeExact;
+    let single =
+        ConfidenceEngine::new(method.clone()).confidence_batch(&lineages, db.space(), None);
+    let out = ClusterEngine::new(method)
+        .with_shards(3)
+        .with_partitioner(Arc::new(Lopsided))
+        .confidence_batch(&lineages, db.space(), None);
+    assert_eq!(out.results.len(), lineages.len());
+    for (want, got) in single.results.iter().zip(&out.results) {
+        assert_eq!(want.estimate.to_bits(), got.estimate.to_bits());
+    }
+}
