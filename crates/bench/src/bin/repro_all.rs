@@ -4,7 +4,9 @@
 //! (`--scale`, `--timeout`, `--paper`, `--json PATH`). With `--json`, every
 //! figure *appends* its `BenchRecord` rows to the same file, so one run
 //! produces one machine-readable perf-trajectory sample (delete the file
-//! first for a fresh one).
+//! first for a fresh one) — and the arena-vs-legacy decomposition comparison
+//! additionally appends its records to `BENCH_decomp.json` next to the
+//! given path, extending that trajectory per run.
 
 use std::process::Command;
 
@@ -32,6 +34,25 @@ fn main() {
             Ok(s) if s.success() => {}
             Ok(s) => eprintln!("{bin} exited with {s}"),
             Err(e) => eprintln!("failed to launch {bin}: {e}"),
+        }
+    }
+
+    // With --json, also run the arena-vs-legacy decomposition comparison and
+    // append its records to BENCH_decomp.json in the directory of the
+    // requested trajectory file (the repo root in the committed layout).
+    let opts = bench::HarnessOptions::from_args(&args);
+    if let Some(json) = &opts.json {
+        println!("==== decomposition ====");
+        let records = bench::decomposition_records(false, None);
+        let path = json
+            .parent()
+            .map(|d| d.join("BENCH_decomp.json"))
+            .unwrap_or_else(|| std::path::PathBuf::from("BENCH_decomp.json"));
+        match bench::append_json(&path, &records) {
+            Ok(()) => {
+                println!("appended {} decomposition records to {}", records.len(), path.display())
+            }
+            Err(e) => eprintln!("warning: could not append to {}: {e}", path.display()),
         }
     }
 }

@@ -28,8 +28,10 @@ use pdb::{ConfidenceEngine, QueryAnswer};
 use workloads::tpch::{TpchConfig, TpchDatabase, TpchQuery};
 use workloads::{RandomGraphConfig, SocialNetwork};
 
+pub mod decomposition;
 pub mod report;
 
+pub use decomposition::{decomposition_records, fig8_end_to_end, DecompositionReport};
 pub use report::{
     append_json, print_table, records_from_rows, write_json, BenchRecord, ExperimentRow,
 };

@@ -12,17 +12,26 @@
 //! * [`RefinementStrategy::PriorityRefinement`] — the simpler algorithm also
 //!   sketched in Section V-D: materialise the partial d-tree and repeatedly
 //!   refine the open leaf with the widest bounds interval.
+//!
+//! The depth-first compiler runs on [`DnfView`]s over a [`LineageArena`]:
+//! the input lineage is interned once, and every decomposition step — Shannon
+//! cofactors, component splits, subsumption removal, common-atom factoring —
+//! is index manipulation over the pooled clauses, with the memo keyed by the
+//! views' incremental fingerprints. The results are bit-identical to the
+//! pre-arena owned-`Dnf` compiler (preserved as
+//! [`crate::reference::approx_reference`] for differential testing and as the
+//! `decomposition` bench baseline).
 
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
-use events::{product_factorization, Atom, Clause, Dnf, ProbabilitySpace};
+use events::ProbabilitySpace;
+use events::{product_factorization_by, Atom, Dnf, DnfRef, DnfView, LineageArena};
 
-use crate::bounds::{dnf_bounds, Bounds};
+use crate::bounds::{dnf_bounds_ref, Bounds};
 use crate::cache::{Memo, SubformulaCache};
 use crate::compile::CompileOptions;
-use crate::exact::exact_probability;
-use crate::order::choose_variable;
+use crate::order::choose_variable_ref;
 use crate::partial::PartialDTree;
 use crate::stats::CompileStats;
 
@@ -205,79 +214,117 @@ impl ApproxCompiler {
 
     /// Runs the approximation on `dnf` over `space`.
     pub fn run(&self, dnf: &Dnf, space: &ProbabilitySpace) -> ApproxResult {
-        self.run_impl(dnf, space, None)
+        self.run_owned(dnf, space, None)
+    }
+
+    fn run_owned(
+        &self,
+        dnf: &Dnf,
+        space: &ProbabilitySpace,
+        cache: Option<&SubformulaCache>,
+    ) -> ApproxResult {
+        let mut arena = LineageArena::with_capacity(dnf.len(), 4);
+        let root = arena.intern(dnf);
+        match self.opts.strategy {
+            RefinementStrategy::DepthFirstClosing => self.run_dfs(&mut arena, root, space, cache),
+            RefinementStrategy::PriorityRefinement => {
+                self.run_priority(PartialDTree::from_parts(arena, root, space), space)
+            }
+        }
     }
 
     /// Like [`ApproxCompiler::run`], but with a shared [`SubformulaCache`]
     /// layered behind the per-run memo, so exact leaf probabilities and
     /// bucket bounds are reused across the lineages of a batch.
     ///
-    /// Cache entries are scoped to `space.generation()` — entries computed
-    /// under another generation (a different or since-mutated space) are
-    /// treated as misses, so one long-lived cache can be shared across
-    /// batches and database changes. Reusing cached values is
-    /// bit-identical to recomputing them — the producers are deterministic —
-    /// so `run_cached` returns exactly what [`ApproxCompiler::run`] would,
-    /// only faster. The cache is consulted by the
-    /// [`RefinementStrategy::DepthFirstClosing`] strategy;
-    /// [`RefinementStrategy::PriorityRefinement`] materialises its own
-    /// partial tree and ignores it.
+    /// Cache entries are tagged with `space.generation()` and the
+    /// variable-count watermark their formula requires — they survive
+    /// append-only growth of the space and are retired by genuine in-place
+    /// changes, so one long-lived cache can be shared across batches and
+    /// database inserts. Reusing cached values is bit-identical to
+    /// recomputing them — the producers are deterministic — so `run_cached`
+    /// returns exactly what [`ApproxCompiler::run`] would, only faster. The
+    /// cache is consulted by the [`RefinementStrategy::DepthFirstClosing`]
+    /// strategy; [`RefinementStrategy::PriorityRefinement`] materialises its
+    /// own partial tree and ignores it.
     pub fn run_cached(
         &self,
         dnf: &Dnf,
         space: &ProbabilitySpace,
         cache: &SubformulaCache,
     ) -> ApproxResult {
-        self.run_impl(dnf, space, Some(cache))
+        self.run_owned(dnf, space, Some(cache))
     }
 
-    fn run_impl(
+    /// Runs the approximation on an already-interned view — the zero-copy
+    /// entry point for callers that hold an arena (the batch engine interns
+    /// each lineage once and evaluates everything against it). Bit-identical
+    /// to [`ApproxCompiler::run`] / [`ApproxCompiler::run_cached`] on the
+    /// materialised formula.
+    pub fn run_view(
         &self,
-        dnf: &Dnf,
+        arena: &mut LineageArena,
+        view: &DnfView,
+        space: &ProbabilitySpace,
+        cache: Option<&SubformulaCache>,
+    ) -> ApproxResult {
+        match self.opts.strategy {
+            RefinementStrategy::DepthFirstClosing => {
+                self.run_dfs(arena, view.clone(), space, cache)
+            }
+            RefinementStrategy::PriorityRefinement => {
+                // The priority tree owns its arena; re-intern the view once.
+                self.run_priority(PartialDTree::new(&view.to_dnf(arena), space), space)
+            }
+        }
+    }
+
+    fn run_dfs(
+        &self,
+        arena: &mut LineageArena,
+        root: DnfView,
         space: &ProbabilitySpace,
         cache: Option<&SubformulaCache>,
     ) -> ApproxResult {
         let start = Instant::now();
-        match self.opts.strategy {
-            RefinementStrategy::DepthFirstClosing => {
-                let mut dfs = Dfs {
-                    space,
-                    opts: &self.opts,
-                    frames: Vec::new(),
-                    stats: CompileStats::default(),
-                    steps: 0,
-                    start,
-                    budget_exhausted: false,
-                    memo: Memo::with_shared(cache, space.generation()),
-                };
-                let outcome = dfs.explore(Work::Dnf(dnf.clone()), 0);
-                let bounds = match outcome {
-                    Outcome::Finished(b) => b,
-                    Outcome::StopAll(b) => b,
-                };
-                self.finish(bounds, dfs.steps, dfs.stats, start)
+        let mut dfs = Dfs {
+            arena,
+            space,
+            opts: &self.opts,
+            frames: Vec::new(),
+            stats: CompileStats::default(),
+            steps: 0,
+            start,
+            budget_exhausted: false,
+            memo: Memo::with_shared(cache, space.generation(), space.watermark()),
+        };
+        let outcome = dfs.explore(Work::View(root), 0);
+        let bounds = match outcome {
+            Outcome::Finished(b) => b,
+            Outcome::StopAll(b) => b,
+        };
+        self.finish(bounds, dfs.steps, dfs.stats, start)
+    }
+
+    fn run_priority(&self, mut tree: PartialDTree, space: &ProbabilitySpace) -> ApproxResult {
+        let start = Instant::now();
+        let mut steps = 0usize;
+        loop {
+            let bounds = tree.bounds(space);
+            if self.opts.error.satisfied_by(bounds) {
+                return self.finish(bounds, steps, *tree.stats(), start);
             }
-            RefinementStrategy::PriorityRefinement => {
-                let mut tree = PartialDTree::new(dnf.clone(), space);
-                let mut steps = 0usize;
-                loop {
-                    let bounds = tree.bounds(space);
-                    if self.opts.error.satisfied_by(bounds) {
-                        return self.finish(bounds, steps, *tree.stats(), start);
-                    }
-                    if self.budget_exceeded(steps, start) {
-                        return self.finish(bounds, steps, *tree.stats(), start);
-                    }
-                    match tree.widest_open_leaf() {
-                        Some(leaf) => {
-                            tree.refine(leaf, space, &self.opts.compile);
-                            steps += 1;
-                        }
-                        None => {
-                            // Complete tree: bounds are exact.
-                            return self.finish(bounds, steps, *tree.stats(), start);
-                        }
-                    }
+            if self.budget_exceeded(steps, start) {
+                return self.finish(bounds, steps, *tree.stats(), start);
+            }
+            match tree.widest_open_leaf() {
+                Some(leaf) => {
+                    tree.refine(leaf, space, &self.opts.compile);
+                    steps += 1;
+                }
+                None => {
+                    // Complete tree: bounds are exact.
+                    return self.finish(bounds, steps, *tree.stats(), start);
                 }
             }
         }
@@ -316,10 +363,13 @@ impl ApproxCompiler {
     }
 }
 
-/// Work items for the depth-first exploration: either a DNF to decompose or
-/// an already-decomposed inner node whose children still need exploring.
+/// Work items for the depth-first exploration: a sub-formula view to
+/// decompose, a single factored-out atom (an exact singleton leaf — no need
+/// to intern a one-clause formula for it), or an already-decomposed inner
+/// node whose children still need exploring.
 enum Work {
-    Dnf(Dnf),
+    View(DnfView),
+    Atom(Atom),
     Node(Op, Vec<Work>),
 }
 
@@ -362,6 +412,7 @@ impl Frame {
 }
 
 struct Dfs<'a> {
+    arena: &'a mut LineageArena,
     space: &'a ProbabilitySpace,
     opts: &'a ApproxOptions,
     frames: Vec<Frame>,
@@ -372,38 +423,42 @@ struct Dfs<'a> {
     memo: Memo<'a>,
 }
 
-impl<'a> Dfs<'a> {
+impl Dfs<'_> {
     /// Exact probability of a small leaf, memoized so the same sub-DNF is
     /// never folded twice — neither when `quick_bounds` sees it as a pending
-    /// child and `explore_dnf` later visits it, nor across the lineages of a
-    /// batch when a shared cache is attached.
-    fn memo_exact(&mut self, dnf: &Dnf) -> f64 {
-        let key = dnf.canonical_hash();
+    /// child and `explore_view` later visits it, nor across the lineages of a
+    /// batch when a shared cache is attached. The memo key is the view's
+    /// incremental fingerprint — an O(clauses) combine of interned per-clause
+    /// fingerprints, not a re-walk of every atom.
+    fn memo_exact(&mut self, view: &DnfView) -> f64 {
+        let key = view.hash(self.arena);
         if let Some(p) = self.memo.get_exact(key) {
             self.stats.exact_cache_hits += 1;
             return p;
         }
-        let r = exact_probability(dnf, self.space, &self.opts.compile);
+        let r =
+            crate::exact::exact_probability_view(self.arena, view, self.space, &self.opts.compile);
         self.stats.exact_evaluations += 1;
         self.stats.or_nodes += r.stats.or_nodes;
         self.stats.and_nodes += r.stats.and_nodes;
         self.stats.xor_nodes += r.stats.xor_nodes;
-        self.memo.put_exact(key, r.probability);
+        self.memo.put_exact(key, view.required_watermark(self.arena), r.probability);
         r.probability
     }
 
     /// Bucket bounds of an open leaf, memoized like [`Dfs::memo_exact`].
-    fn memo_bounds(&mut self, dnf: &Dnf) -> Bounds {
-        let key = dnf.canonical_hash();
+    fn memo_bounds(&mut self, view: &DnfView) -> Bounds {
+        let key = view.hash(self.arena);
         if let Some(b) = self.memo.get_bounds(key) {
             self.stats.bound_cache_hits += 1;
             return b;
         }
-        let b = dnf_bounds(dnf, self.space);
+        let b = dnf_bounds_ref(DnfRef::Arena(self.arena, view), self.space);
         self.stats.bound_evaluations += 1;
-        self.memo.put_bounds(key, b);
+        self.memo.put_bounds(key, view.required_watermark(self.arena), b);
         b
     }
+
     /// Folds the current path's frames around `current` to obtain bounds for
     /// the whole d-tree. With `pending_at_lower` the still-open siblings are
     /// pinned to their lower bound (the worst case of Lemma 5.11, used for
@@ -455,20 +510,22 @@ impl<'a> Dfs<'a> {
     }
 
     /// Quick bounds of a work item without exploring it: bucket bounds for
-    /// DNFs, recursive combination for already-decomposed nodes.
+    /// views, point bounds for atoms, recursive combination for
+    /// already-decomposed nodes.
     fn quick_bounds(&mut self, work: &Work) -> Bounds {
         match work {
-            Work::Dnf(dnf) => {
-                if dnf.is_empty() {
+            Work::Atom(atom) => Bounds::point(self.space.atom_prob(*atom)),
+            Work::View(view) => {
+                if view.is_empty() {
                     Bounds::point(0.0)
-                } else if dnf.is_tautology() {
+                } else if view.is_tautology(self.arena) {
                     Bounds::point(1.0)
-                } else if dnf.len() == 1 {
-                    Bounds::point(dnf.clauses()[0].probability(self.space))
-                } else if dnf.num_vars() <= EXACT_LEAF_VARS {
-                    Bounds::point(self.memo_exact(dnf))
+                } else if view.len() == 1 {
+                    Bounds::point(view.clause_probability(self.arena, self.space, 0))
+                } else if !view.num_vars_exceeds(self.arena, EXACT_LEAF_VARS) {
+                    Bounds::point(self.memo_exact(view))
                 } else {
-                    self.memo_bounds(dnf)
+                    self.memo_bounds(view)
                 }
             }
             Work::Node(op, children) => {
@@ -486,7 +543,13 @@ impl<'a> Dfs<'a> {
         self.stats.max_depth = self.stats.max_depth.max(depth);
         match work {
             Work::Node(op, children) => self.explore_node(op, children, depth),
-            Work::Dnf(dnf) => self.explore_dnf(dnf, depth),
+            Work::View(view) => self.explore_view(view, depth),
+            Work::Atom(atom) => {
+                // A factored-out atom is an exact singleton leaf, exactly like
+                // a one-clause DNF on the owned path.
+                self.stats.exact_leaves += 1;
+                Outcome::Finished(Bounds::point(self.space.atom_prob(atom)))
+            }
         }
     }
 
@@ -520,26 +583,28 @@ impl<'a> Dfs<'a> {
         Outcome::Finished(combined)
     }
 
-    fn explore_dnf(&mut self, dnf: Dnf, depth: usize) -> Outcome {
+    fn explore_view(&mut self, view: DnfView, depth: usize) -> Outcome {
         // Exact leaves: constants and single clauses.
-        if dnf.is_empty() {
+        if view.is_empty() {
             self.stats.exact_leaves += 1;
             return Outcome::Finished(Bounds::point(0.0));
         }
-        if dnf.is_tautology() {
+        if view.is_tautology(self.arena) {
             self.stats.exact_leaves += 1;
             return Outcome::Finished(Bounds::point(1.0));
         }
-        if dnf.len() == 1 {
+        if view.len() == 1 {
             self.stats.exact_leaves += 1;
-            return Outcome::Finished(Bounds::point(dnf.clauses()[0].probability(self.space)));
+            return Outcome::Finished(Bounds::point(
+                view.clause_probability(self.arena, self.space, 0),
+            ));
         }
         // Small leaves: fold their complete sub-d-tree on the fly. This keeps
         // the ε slack for the large leaves and avoids paying the quadratic
         // bucket-bound heuristic on sub-DNFs that are cheaper to just solve.
-        if dnf.num_vars() <= EXACT_LEAF_VARS {
+        if !view.num_vars_exceeds(self.arena, EXACT_LEAF_VARS) {
             self.stats.exact_leaves += 1;
-            let point = Bounds::point(self.memo_exact(&dnf));
+            let point = Bounds::point(self.memo_exact(&view));
             // The global stopping condition may already hold with this leaf
             // resolved exactly.
             let global = self.global_bounds(point, false);
@@ -552,7 +617,7 @@ impl<'a> Dfs<'a> {
         // Quick bounds of this leaf (the `Independent` heuristic of Fig. 3);
         // when the leaf was already bounded as a pending child the memo
         // returns the same bounds without recomputation.
-        let current = self.memo_bounds(&dnf);
+        let current = self.memo_bounds(&view);
 
         // Check 1 (Proposition 5.8): can the whole computation stop now?
         let global = self.global_bounds(current, false);
@@ -580,65 +645,72 @@ impl<'a> Dfs<'a> {
 
         // Otherwise decompose one step and recurse.
         self.steps += 1;
-        let node = self.decompose(dnf);
+        let node = self.decompose(view);
         self.explore(node, depth)
     }
 
     /// One decomposition step of Figure 1, producing a [`Work::Node`] (or a
-    /// `Work::Dnf` when only subsumption removal applied).
-    fn decompose(&mut self, dnf: Dnf) -> Work {
+    /// `Work::View` when only subsumption removal applied). Pure index
+    /// manipulation: no clause is copied, except inside the (rare) relational
+    /// product factorization whose factors are projections — new clauses by
+    /// construction — interned back into the arena.
+    fn decompose(&mut self, view: DnfView) -> Work {
         // Step 1: subsumption removal.
-        let reduced = dnf.remove_subsumed();
-        self.stats.subsumed_clauses += dnf.len() - reduced.len();
-        let dnf = reduced;
+        let (view, removed) = view.remove_subsumed(self.arena);
+        self.stats.subsumed_clauses += removed;
 
-        if dnf.len() <= 1 || dnf.is_tautology() {
-            return Work::Dnf(dnf);
+        if view.len() <= 1 || view.is_tautology(self.arena) {
+            return Work::View(view);
         }
 
         // Step 2: independent-or (⊗).
-        let components = dnf.independent_components();
+        let components = view.independent_components(self.arena);
         if components.len() > 1 {
             self.stats.or_nodes += 1;
-            return Work::Node(Op::Or, components.into_iter().map(Work::Dnf).collect());
+            return Work::Node(Op::Or, components.into_iter().map(Work::View).collect());
         }
 
         // Step 3a: independent-and (⊙) by common-atom factoring.
-        let common = dnf.common_atoms();
+        let common = view.common_atoms(self.arena);
         if !common.is_empty() {
             self.stats.and_nodes += 1;
-            let rest = dnf.strip_atoms(&common);
-            let mut children: Vec<Work> =
-                common.iter().map(|a| Work::Dnf(Dnf::singleton(Clause::singleton(*a)))).collect();
-            children.push(Work::Dnf(rest));
+            let vars: Vec<_> = common.iter().map(|a| a.var).collect();
+            let rest = view.strip_vars(self.arena, &vars);
+            let mut children: Vec<Work> = common.iter().map(|a| Work::Atom(*a)).collect();
+            children.push(Work::View(rest));
             return Work::Node(Op::And, children);
         }
 
         // Step 3b: independent-and (⊙) by relational product factorization.
         if let Some(origins) = &self.opts.compile.origins {
-            if let Some(factors) = product_factorization(dnf.clauses(), origins) {
+            let factors =
+                product_factorization_by(view.len(), |i| view.clause(self.arena, i), origins);
+            if let Some(factors) = factors {
                 self.stats.and_nodes += 1;
                 return Work::Node(
                     Op::And,
-                    factors.into_iter().map(|c| Work::Dnf(Dnf::from_clauses(c))).collect(),
+                    factors
+                        .into_iter()
+                        .map(|c| Work::View(self.arena.intern_sorted_clauses(&c)))
+                        .collect(),
                 );
             }
         }
 
         // Step 4: Shannon expansion (⊕).
-        let var =
-            choose_variable(&dnf, &self.opts.compile.var_order, self.opts.compile.origins.as_ref())
-                .expect("non-constant DNF mentions a variable");
+        let var = choose_variable_ref(
+            DnfRef::Arena(self.arena, &view),
+            &self.opts.compile.var_order,
+            self.opts.compile.origins.as_ref(),
+        )
+        .expect("non-constant DNF mentions a variable");
         self.stats.xor_nodes += 1;
         let mut branches = Vec::new();
-        for (value, cofactor) in dnf.shannon_cofactors(var, self.space) {
+        for (value, cofactor) in view.shannon_cofactors(self.arena, var, self.space) {
             self.stats.and_nodes += 1;
             branches.push(Work::Node(
                 Op::And,
-                vec![
-                    Work::Dnf(Dnf::singleton(Clause::singleton(Atom::new(var, value)))),
-                    Work::Dnf(cofactor),
-                ],
+                vec![Work::Atom(Atom::new(var, value)), Work::View(cofactor)],
             ));
         }
         Work::Node(Op::Xor, branches)
@@ -648,9 +720,11 @@ impl<'a> Dfs<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use events::VarId;
+    use events::{Clause, VarId};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    use crate::exact::exact_probability;
 
     fn bool_space(ps: &[f64]) -> (ProbabilitySpace, Vec<VarId>) {
         let mut s = ProbabilitySpace::new();
@@ -753,7 +827,8 @@ mod tests {
 
     /// Random correlated DNFs: the estimate must respect the requested error
     /// against brute-force enumeration, for both error types and both
-    /// strategies.
+    /// strategies — and the arena path must be bit-identical to the owned
+    /// reference path, with the same d-tree statistics.
     #[test]
     fn randomized_error_guarantees() {
         let mut rng = StdRng::seed_from_u64(0x5eed);
@@ -788,6 +863,15 @@ mod tests {
                     "trial {trial} strategy {strategy:?} eps {eps}: est {} exact {exact}",
                     r.estimate
                 );
+                if strategy == RefinementStrategy::DepthFirstClosing {
+                    let reference =
+                        crate::reference::approx_reference(&phi, &s, &ApproxOptions::absolute(eps));
+                    assert_eq!(r.estimate.to_bits(), reference.estimate.to_bits());
+                    assert_eq!(r.lower.to_bits(), reference.lower.to_bits());
+                    assert_eq!(r.upper.to_bits(), reference.upper.to_bits());
+                    assert_eq!(r.steps, reference.steps);
+                    assert_eq!(r.stats, reference.stats);
+                }
                 let rel = ApproxCompiler::new(ApproxOptions::relative(eps).with_strategy(strategy))
                     .run(&phi, &s);
                 assert!(rel.converged, "trial {trial}");
@@ -864,7 +948,9 @@ mod tests {
     fn example_5_13_closing_decision() {
         let (s, _) = bool_space(&[0.5]);
         let opts = ApproxOptions::absolute(0.012);
+        let mut arena = LineageArena::new();
         let dfs = Dfs {
+            arena: &mut arena,
             space: &s,
             opts: &opts,
             frames: vec![
@@ -913,7 +999,9 @@ mod tests {
     fn closing_is_disallowed_under_wide_and_frames() {
         let (s, _) = bool_space(&[0.5]);
         let opts = ApproxOptions::absolute(0.01);
+        let mut arena = LineageArena::new();
         let dfs = Dfs {
+            arena: &mut arena,
             space: &s,
             opts: &opts,
             frames: vec![Frame {
@@ -1012,5 +1100,26 @@ mod tests {
         let exact = phi.exact_probability_enumeration(&s);
         assert!((r.estimate - exact).abs() < 1e-9);
         assert_eq!(r.stats.xor_nodes, 0);
+    }
+
+    /// `run_view` over a caller-owned arena is bit-identical to `run` (which
+    /// interns internally) — the hook the batch engine uses.
+    #[test]
+    fn run_view_matches_run() {
+        let probs: Vec<f64> = (0..20).map(|i| 0.2 + 0.03 * (i as f64 % 12.0)).collect();
+        let (s, vars) = bool_space(&probs);
+        let phi = Dnf::from_clauses(
+            (0..19).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])).collect::<Vec<_>>(),
+        );
+        let compiler = ApproxCompiler::new(ApproxOptions::absolute(1e-4));
+        let owned_entry = compiler.run(&phi, &s);
+        let mut arena = LineageArena::new();
+        let root = arena.intern(&phi);
+        let view_entry = compiler.run_view(&mut arena, &root, &s, None);
+        assert_eq!(owned_entry.estimate.to_bits(), view_entry.estimate.to_bits());
+        assert_eq!(owned_entry.lower.to_bits(), view_entry.lower.to_bits());
+        assert_eq!(owned_entry.upper.to_bits(), view_entry.upper.to_bits());
+        assert_eq!(owned_entry.steps, view_entry.steps);
+        assert_eq!(owned_entry.stats, view_entry.stats);
     }
 }

@@ -2,8 +2,7 @@
 //! bucket heuristic of Figure 3 that computes bounds for a DNF leaf without
 //! refining it.
 
-use events::{Dnf, ProbabilitySpace, VarId};
-use std::collections::BTreeSet;
+use events::{Dnf, DnfRef, DnfView, LineageArena, ProbabilitySpace, VarId};
 
 /// A closed interval `[lower, upper]` bracketing a probability.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -117,6 +116,17 @@ impl Bounds {
 /// refinement the paper reports to improve the lower bound (Example 5.2).
 /// Runs in time quadratic in the number of clauses.
 pub fn dnf_bounds(dnf: &Dnf, space: &ProbabilitySpace) -> Bounds {
+    dnf_bounds_ref(DnfRef::Owned(dnf), space)
+}
+
+/// [`dnf_bounds`] for an arena view, without materialising the sub-formula.
+pub fn dnf_bounds_view(arena: &LineageArena, view: &DnfView, space: &ProbabilitySpace) -> Bounds {
+    dnf_bounds_ref(DnfRef::Arena(arena, view), space)
+}
+
+/// The representation-generic core of [`dnf_bounds`]: owned DNFs and arena
+/// views run the **same** instructions, so their bounds are bit-identical.
+pub fn dnf_bounds_ref(dnf: DnfRef<'_>, space: &ProbabilitySpace) -> Bounds {
     if dnf.is_empty() {
         return Bounds::point(0.0);
     }
@@ -126,7 +136,7 @@ pub fn dnf_bounds(dnf: &Dnf, space: &ProbabilitySpace) -> Bounds {
     let order: Vec<usize> =
         dnf.clauses_by_probability_desc(space).into_iter().map(|(i, _)| i).collect();
     let mut bounds = bucket_bounds(dnf, space, &order);
-    if let Some(fkg_upper) = independent_or_upper_bound(dnf, space) {
+    if let Some(fkg_upper) = independent_or_upper_bound_ref(dnf, space) {
         bounds = Bounds::new(bounds.lower.min(fkg_upper), bounds.upper.min(fkg_upper));
     }
     bounds
@@ -155,22 +165,25 @@ pub fn dnf_bounds_fig3(dnf: &Dnf, space: &ProbabilitySpace) -> Bounds {
 /// block-independent-disjoint lineage), in which case the bound would be
 /// unsound and must not be used.
 pub fn independent_or_upper_bound(dnf: &Dnf, space: &ProbabilitySpace) -> Option<f64> {
-    use std::collections::BTreeMap;
-    let mut seen: BTreeMap<VarId, u32> = BTreeMap::new();
-    for clause in dnf.clauses() {
-        for atom in clause.atoms() {
-            match seen.get(&atom.var) {
-                Some(&v) if v != atom.value => return None,
-                Some(_) => {}
-                None => {
-                    seen.insert(atom.var, atom.value);
-                }
-            }
-        }
+    independent_or_upper_bound_ref(DnfRef::Owned(dnf), space)
+}
+
+/// Representation-generic core of [`independent_or_upper_bound`].
+pub fn independent_or_upper_bound_ref(dnf: DnfRef<'_>, space: &ProbabilitySpace) -> Option<f64> {
+    // Monotonicity check: collect every atom, sort by variable, and scan for
+    // a variable bound to two different values (one flat sort instead of a
+    // tree-map probe per atom).
+    let mut atoms: Vec<(VarId, u32)> = Vec::new();
+    for i in 0..dnf.clause_count() {
+        atoms.extend(dnf.clause_atoms(i).map(|a| (a.var, a.value)));
+    }
+    atoms.sort_unstable();
+    if atoms.windows(2).any(|w| w[0].0 == w[1].0 && w[0].1 != w[1].1) {
+        return None;
     }
     let mut complement = 1.0;
-    for clause in dnf.clauses() {
-        complement *= 1.0 - clause.probability(space);
+    for i in 0..dnf.clause_count() {
+        complement *= 1.0 - dnf.clause_probability(space, i);
     }
     Some(1.0 - complement)
 }
@@ -191,31 +204,63 @@ pub fn dnf_bounds_sorted(dnf: &Dnf, space: &ProbabilitySpace, sort_descending: b
     } else {
         (0..dnf.len()).collect()
     };
-    bucket_bounds(dnf, space, &order)
+    bucket_bounds(DnfRef::Owned(dnf), space, &order)
 }
 
-fn bucket_bounds(dnf: &Dnf, space: &ProbabilitySpace, order: &[usize]) -> Bounds {
+fn bucket_bounds(dnf: DnfRef<'_>, space: &ProbabilitySpace, order: &[usize]) -> Bounds {
+    /// Bucket variables as a sorted flat vector: clause atoms arrive sorted
+    /// by variable, so the disjointness test is a two-pointer merge and the
+    /// insertion a sorted merge — no tree sets on the hot path. First-fit
+    /// placement and the probability recurrence are unchanged, so the
+    /// resulting bounds are bit-identical to the map-based implementation.
     struct Bucket {
-        vars: BTreeSet<VarId>,
+        vars: Vec<VarId>,
         prob: f64,
     }
-    let clauses = dnf.clauses();
+    fn disjoint_sorted(a: &[VarId], b: &[VarId]) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+    fn merge_sorted(dst: &mut Vec<VarId>, add: &[VarId]) {
+        let mut merged = Vec::with_capacity(dst.len() + add.len());
+        let (mut i, mut j) = (0, 0);
+        while i < dst.len() && j < add.len() {
+            if dst[i] <= add[j] {
+                merged.push(dst[i]);
+                i += 1;
+            } else {
+                merged.push(add[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&dst[i..]);
+        merged.extend_from_slice(&add[j..]);
+        *dst = merged;
+    }
     let mut buckets: Vec<Bucket> = Vec::new();
+    let mut cvars: Vec<VarId> = Vec::new();
     for &i in order {
-        let clause = &clauses[i];
-        let cvars: Vec<VarId> = clause.vars().collect();
-        let p = clause.probability(space);
+        cvars.clear();
+        cvars.extend(dnf.clause_atoms(i).map(|a| a.var));
+        let p = dnf.clause_probability(space, i);
         // First-fit: place the clause into the first bucket it is independent
         // of (no shared variable).
-        let slot = buckets.iter().position(|b| cvars.iter().all(|v| !b.vars.contains(v)));
+        let slot = buckets.iter().position(|b| disjoint_sorted(&b.vars, &cvars));
         match slot {
             Some(idx) => {
                 let b = &mut buckets[idx];
-                b.vars.extend(cvars);
+                merge_sorted(&mut b.vars, &cvars);
                 b.prob = 1.0 - (1.0 - b.prob) * (1.0 - p);
             }
             None => {
-                buckets.push(Bucket { vars: cvars.into_iter().collect(), prob: p });
+                buckets.push(Bucket { vars: cvars.clone(), prob: p });
             }
         }
     }

@@ -58,13 +58,20 @@ use crate::bounds::Bounds;
 const MAX_SHARDS: usize = 16;
 
 /// One memo entry: whichever of the two quantities have been computed so far
-/// for a sub-formula, tagged with the space generation they are valid for and
-/// the CLOCK reference bit.
+/// for a sub-formula, tagged with the space generation it is valid for, the
+/// variable-count **watermark** its formula requires (one past the largest
+/// `VarId` it mentions), and the CLOCK reference bit.
 #[derive(Debug)]
 struct CacheEntry {
     exact: Option<f64>,
     bounds: Option<Bounds>,
     generation: u64,
+    /// Smallest space watermark under which every variable of the entry's
+    /// formula exists. Valid while `watermark <= space.watermark()`: under
+    /// one generation the space only grows by appends, so an entry computed
+    /// at a lower watermark stays correct forever — the check only bites for
+    /// clones that lag behind the space that stored the entry.
+    watermark: u64,
     /// Set on every valid lookup (under the shard's read lock); cleared by
     /// the clock hand when the shard is over budget. An entry is only evicted
     /// after a full hand pass finds its bit still clear.
@@ -72,8 +79,14 @@ struct CacheEntry {
 }
 
 impl CacheEntry {
-    fn fresh(generation: u64) -> Self {
-        CacheEntry { exact: None, bounds: None, generation, referenced: AtomicBool::new(true) }
+    fn fresh(generation: u64, watermark: u64) -> Self {
+        CacheEntry {
+            exact: None,
+            bounds: None,
+            generation,
+            watermark,
+            referenced: AtomicBool::new(true),
+        }
     }
 }
 
@@ -241,16 +254,17 @@ impl SubformulaCache {
     }
 
     /// Shared lookup logic: probe the entry for `key`, validate its
-    /// generation, extract a field, and maintain the counters.
+    /// generation and watermark, extract a field, and maintain the counters.
     fn lookup<T>(
         &self,
         key: DnfHash,
         generation: u64,
+        watermark: u64,
         field: impl Fn(&CacheEntry) -> Option<T>,
     ) -> Option<T> {
         let shard = self.shard(key).read().expect("cache shard poisoned");
         let found = match shard.map.get(&key) {
-            Some(e) if e.generation == generation => {
+            Some(e) if e.generation == generation && e.watermark <= watermark => {
                 let v = field(e);
                 if v.is_some() {
                     e.referenced.store(true, Ordering::Relaxed);
@@ -270,44 +284,58 @@ impl SubformulaCache {
 
     /// Shared store logic: update the entry for `key` in place when its
     /// generation matches, replace it wholesale when it is stale, insert
-    /// (evicting if at budget) when absent.
-    fn store(&self, key: DnfHash, generation: u64, apply: impl Fn(&mut CacheEntry)) {
+    /// (evicting if at budget) when absent. `watermark` is the variable-count
+    /// watermark the stored formula *requires* (one past its largest
+    /// `VarId`) — a pure function of the formula, so repeated stores for one
+    /// key agree on it.
+    fn store(
+        &self,
+        key: DnfHash,
+        generation: u64,
+        watermark: u64,
+        apply: impl Fn(&mut CacheEntry),
+    ) {
         let mut shard = self.shard(key).write().expect("cache shard poisoned");
         if let Some(e) = shard.map.get_mut(&key) {
             if e.generation != generation {
-                *e = CacheEntry::fresh(generation);
+                *e = CacheEntry::fresh(generation, watermark);
             }
             apply(e);
             *e.referenced.get_mut() = true;
             return;
         }
-        let mut entry = CacheEntry::fresh(generation);
+        let mut entry = CacheEntry::fresh(generation, watermark);
         apply(&mut entry);
         if shard.insert_new(key, entry) {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Looks up the exact probability stored for `key` under `generation`.
-    pub fn lookup_exact(&self, key: DnfHash, generation: u64) -> Option<f64> {
-        self.lookup(key, generation, |e| e.exact)
+    /// Looks up the exact probability stored for `key`, valid under
+    /// `generation` at the current space `watermark`.
+    pub fn lookup_exact(&self, key: DnfHash, generation: u64, watermark: u64) -> Option<f64> {
+        self.lookup(key, generation, watermark, |e| e.exact)
     }
 
     /// Stores the exact probability of the sub-formula identified by `key`,
-    /// computed under the given space `generation`.
-    pub fn store_exact(&self, key: DnfHash, generation: u64, probability: f64) {
-        self.store(key, generation, |e| e.exact = Some(probability));
+    /// computed under the given space `generation`; `watermark` is the
+    /// variable-count watermark the formula requires
+    /// ([`events::Dnf::required_watermark`]).
+    pub fn store_exact(&self, key: DnfHash, generation: u64, watermark: u64, probability: f64) {
+        self.store(key, generation, watermark, |e| e.exact = Some(probability));
     }
 
-    /// Looks up the bucket bounds stored for `key` under `generation`.
-    pub fn lookup_bounds(&self, key: DnfHash, generation: u64) -> Option<Bounds> {
-        self.lookup(key, generation, |e| e.bounds)
+    /// Looks up the bucket bounds stored for `key`, valid under `generation`
+    /// at the current space `watermark`.
+    pub fn lookup_bounds(&self, key: DnfHash, generation: u64, watermark: u64) -> Option<Bounds> {
+        self.lookup(key, generation, watermark, |e| e.bounds)
     }
 
     /// Stores the bucket bounds of the sub-formula identified by `key`,
-    /// computed under the given space `generation`.
-    pub fn store_bounds(&self, key: DnfHash, generation: u64, bounds: Bounds) {
-        self.store(key, generation, |e| e.bounds = Some(bounds));
+    /// computed under the given space `generation`; `watermark` is the
+    /// variable-count watermark the formula requires.
+    pub fn store_bounds(&self, key: DnfHash, generation: u64, watermark: u64, bounds: Bounds) {
+        self.store(key, generation, watermark, |e| e.bounds = Some(bounds));
     }
 
     #[inline]
@@ -366,11 +394,18 @@ pub(crate) struct Memo<'c> {
     bounds: HashMap<DnfHash, Bounds>,
     shared: Option<&'c SubformulaCache>,
     generation: u64,
+    /// Current watermark of the space the run evaluates against (used to
+    /// validate shared-layer lookups).
+    watermark: u64,
 }
 
 impl<'c> Memo<'c> {
-    pub(crate) fn with_shared(shared: Option<&'c SubformulaCache>, generation: u64) -> Self {
-        Memo { exact: HashMap::new(), bounds: HashMap::new(), shared, generation }
+    pub(crate) fn with_shared(
+        shared: Option<&'c SubformulaCache>,
+        generation: u64,
+        watermark: u64,
+    ) -> Self {
+        Memo { exact: HashMap::new(), bounds: HashMap::new(), shared, generation, watermark }
     }
 
     /// Returns the memoized exact probability for `key`, consulting the
@@ -379,16 +414,17 @@ impl<'c> Memo<'c> {
         if let Some(&p) = self.exact.get(&key) {
             return Some(p);
         }
-        let p = self.shared?.lookup_exact(key, self.generation)?;
+        let p = self.shared?.lookup_exact(key, self.generation, self.watermark)?;
         self.exact.insert(key, p);
         Some(p)
     }
 
-    /// Records an exact probability in both layers.
-    pub(crate) fn put_exact(&mut self, key: DnfHash, probability: f64) {
+    /// Records an exact probability in both layers; `required` is the
+    /// watermark the formula requires ([`events::Dnf::required_watermark`]).
+    pub(crate) fn put_exact(&mut self, key: DnfHash, required: u64, probability: f64) {
         self.exact.insert(key, probability);
         if let Some(shared) = self.shared {
-            shared.store_exact(key, self.generation, probability);
+            shared.store_exact(key, self.generation, required, probability);
         }
     }
 
@@ -397,16 +433,16 @@ impl<'c> Memo<'c> {
         if let Some(&b) = self.bounds.get(&key) {
             return Some(b);
         }
-        let b = self.shared?.lookup_bounds(key, self.generation)?;
+        let b = self.shared?.lookup_bounds(key, self.generation, self.watermark)?;
         self.bounds.insert(key, b);
         Some(b)
     }
 
     /// Records bucket bounds in both layers.
-    pub(crate) fn put_bounds(&mut self, key: DnfHash, bounds: Bounds) {
+    pub(crate) fn put_bounds(&mut self, key: DnfHash, required: u64, bounds: Bounds) {
         self.bounds.insert(key, bounds);
         if let Some(shared) = self.shared {
-            shared.store_bounds(key, self.generation, bounds);
+            shared.store_bounds(key, self.generation, required, bounds);
         }
     }
 }
@@ -421,17 +457,20 @@ mod tests {
     }
 
     const GEN: u64 = 7;
+    /// Watermark used by the plain round-trip tests: stores require it,
+    /// lookups run at it, so the watermark check is always satisfied.
+    const WM: u64 = 1;
 
     #[test]
     fn store_and_lookup_roundtrip() {
         let cache = SubformulaCache::new();
         let k = key(1);
-        assert_eq!(cache.lookup_exact(k, GEN), None);
-        cache.store_exact(k, GEN, 0.25);
-        assert_eq!(cache.lookup_exact(k, GEN), Some(0.25));
-        assert_eq!(cache.lookup_bounds(k, GEN), None);
-        cache.store_bounds(k, GEN, Bounds::new(0.1, 0.4));
-        let b = cache.lookup_bounds(k, GEN).unwrap();
+        assert_eq!(cache.lookup_exact(k, GEN, WM), None);
+        cache.store_exact(k, GEN, WM, 0.25);
+        assert_eq!(cache.lookup_exact(k, GEN, WM), Some(0.25));
+        assert_eq!(cache.lookup_bounds(k, GEN, WM), None);
+        cache.store_bounds(k, GEN, WM, Bounds::new(0.1, 0.4));
+        let b = cache.lookup_bounds(k, GEN, WM).unwrap();
         assert_eq!((b.lower, b.upper), (0.1, 0.4));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.capacity(), None);
@@ -441,10 +480,10 @@ mod tests {
     fn stats_count_hits_and_misses() {
         let cache = SubformulaCache::new();
         let k = key(2);
-        let _ = cache.lookup_exact(k, GEN); // miss (entry absent)
-        cache.store_exact(k, GEN, 0.5);
-        let _ = cache.lookup_exact(k, GEN); // hit
-        let _ = cache.lookup_bounds(k, GEN); // miss (entry present, bounds absent)
+        let _ = cache.lookup_exact(k, GEN, WM); // miss (entry absent)
+        cache.store_exact(k, GEN, WM, 0.5);
+        let _ = cache.lookup_exact(k, GEN, WM); // hit
+        let _ = cache.lookup_bounds(k, GEN, WM); // miss (entry present, bounds absent)
         let s = cache.stats();
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 2);
@@ -458,17 +497,17 @@ mod tests {
     fn stale_generations_never_leak() {
         let cache = SubformulaCache::new();
         let k = key(3);
-        cache.store_exact(k, GEN, 0.25);
+        cache.store_exact(k, GEN, WM, 0.25);
         // A lookup under a newer generation misses and is counted as stale.
-        assert_eq!(cache.lookup_exact(k, GEN + 1), None);
+        assert_eq!(cache.lookup_exact(k, GEN + 1, WM), None);
         assert_eq!(cache.stats().stale, 1);
         // Storing under the new generation replaces the whole entry …
-        cache.store_bounds(k, GEN + 1, Bounds::new(0.2, 0.3));
+        cache.store_bounds(k, GEN + 1, WM, Bounds::new(0.2, 0.3));
         assert_eq!(cache.len(), 1);
         // … so the old generation's exact value is gone, not resurrected.
-        assert_eq!(cache.lookup_exact(k, GEN + 1), None);
-        assert_eq!(cache.lookup_exact(k, GEN), None);
-        assert!(cache.lookup_bounds(k, GEN + 1).is_some());
+        assert_eq!(cache.lookup_exact(k, GEN + 1, WM), None);
+        assert_eq!(cache.lookup_exact(k, GEN, WM), None);
+        assert!(cache.lookup_bounds(k, GEN + 1, WM).is_some());
     }
 
     #[test]
@@ -477,7 +516,7 @@ mod tests {
         let cache = SubformulaCache::with_capacity(budget);
         assert_eq!(cache.capacity(), Some(budget));
         for i in 0..100u32 {
-            cache.store_exact(key(i), GEN, f64::from(i));
+            cache.store_exact(key(i), GEN, WM, f64::from(i));
             assert!(cache.len() <= budget, "len {} over budget", cache.len());
         }
         let s = cache.stats();
@@ -486,14 +525,14 @@ mod tests {
         // The budget also holds exactly when capacity < number of shards.
         let tiny = SubformulaCache::with_capacity(3);
         for i in 0..50u32 {
-            tiny.store_exact(key(i), GEN, 0.5);
+            tiny.store_exact(key(i), GEN, WM, 0.5);
         }
         assert_eq!(tiny.len(), 3);
         // Degenerate zero-capacity cache stores nothing and never panics.
         let none = SubformulaCache::with_capacity(0);
-        none.store_exact(key(1), GEN, 0.5);
+        none.store_exact(key(1), GEN, WM, 0.5);
         assert_eq!(none.len(), 0);
-        assert_eq!(none.lookup_exact(key(1), GEN), None);
+        assert_eq!(none.lookup_exact(key(1), GEN, WM), None);
     }
 
     #[test]
@@ -502,26 +541,26 @@ mod tests {
         // deterministic.
         let cache = SubformulaCache::with_capacity(4);
         for i in 0..4u32 {
-            cache.store_exact(key(i), GEN, f64::from(i));
+            cache.store_exact(key(i), GEN, WM, f64::from(i));
         }
         // Touch entries 0..3 except 2; the sweep clears everyone's bit once,
         // then evicts the first entry it finds unreferenced on the second
         // pass — which is entry 0 … but entry 0 was *looked up*, so its bit
         // is set and survives the first pass. After one full clearing pass
         // the hand is back at 0 with all bits clear; 0 is evicted.
-        let _ = cache.lookup_exact(key(0), GEN);
-        let _ = cache.lookup_exact(key(1), GEN);
-        let _ = cache.lookup_exact(key(3), GEN);
-        cache.store_exact(key(10), GEN, 10.0);
+        let _ = cache.lookup_exact(key(0), GEN, WM);
+        let _ = cache.lookup_exact(key(1), GEN, WM);
+        let _ = cache.lookup_exact(key(3), GEN, WM);
+        cache.store_exact(key(10), GEN, WM, 10.0);
         assert_eq!(cache.len(), 4);
         assert_eq!(cache.stats().evictions, 1);
         // The new key is present.
-        assert_eq!(cache.lookup_exact(key(10), GEN), Some(10.0));
+        assert_eq!(cache.lookup_exact(key(10), GEN, WM), Some(10.0));
         // A second insert now evicts an entry whose bit was cleared by the
         // first sweep — the recently stored key(10) (bit set on store)
         // survives.
-        cache.store_exact(key(11), GEN, 11.0);
-        assert_eq!(cache.lookup_exact(key(10), GEN), Some(10.0));
+        cache.store_exact(key(11), GEN, WM, 11.0);
+        assert_eq!(cache.lookup_exact(key(10), GEN, WM), Some(10.0));
         assert_eq!(cache.len(), 4);
     }
 
@@ -529,23 +568,23 @@ mod tests {
     fn clear_empties_the_cache() {
         let cache = SubformulaCache::with_capacity(8);
         for i in 0..8u32 {
-            cache.store_exact(key(i), GEN, 0.5);
+            cache.store_exact(key(i), GEN, WM, 0.5);
         }
         cache.clear();
         assert!(cache.is_empty());
         // The cache stays usable after clearing.
-        cache.store_exact(key(1), GEN, 0.5);
-        assert_eq!(cache.lookup_exact(key(1), GEN), Some(0.5));
+        cache.store_exact(key(1), GEN, WM, 0.5);
+        assert_eq!(cache.lookup_exact(key(1), GEN, WM), Some(0.5));
     }
 
     #[test]
     fn stats_since_reports_deltas() {
         let cache = SubformulaCache::new();
-        cache.store_exact(key(1), GEN, 0.5);
-        let _ = cache.lookup_exact(key(1), GEN);
+        cache.store_exact(key(1), GEN, WM, 0.5);
+        let _ = cache.lookup_exact(key(1), GEN, WM);
         let before = cache.stats();
-        let _ = cache.lookup_exact(key(1), GEN);
-        let _ = cache.lookup_exact(key(2), GEN);
+        let _ = cache.lookup_exact(key(1), GEN, WM);
+        let _ = cache.lookup_exact(key(2), GEN, WM);
         let delta = cache.stats().since(&before);
         assert_eq!(delta.hits, 1);
         assert_eq!(delta.misses, 1);
@@ -561,15 +600,15 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..100u32 {
                         let k = key(i);
-                        cache.store_exact(k, GEN, f64::from(i) / 100.0);
-                        let _ = cache.lookup_exact(k, GEN);
+                        cache.store_exact(k, GEN, WM, f64::from(i) / 100.0);
+                        let _ = cache.lookup_exact(k, GEN, WM);
                     }
                 });
             }
         });
         assert_eq!(cache.len(), 100);
         for i in 0..100u32 {
-            assert_eq!(cache.lookup_exact(key(i), GEN), Some(f64::from(i) / 100.0));
+            assert_eq!(cache.lookup_exact(key(i), GEN, WM), Some(f64::from(i) / 100.0));
         }
     }
 
@@ -582,8 +621,8 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..200u32 {
                         let k = key(t * 1000 + i);
-                        cache.store_exact(k, GEN, 0.5);
-                        let _ = cache.lookup_exact(k, GEN);
+                        cache.store_exact(k, GEN, WM, 0.5);
+                        let _ = cache.lookup_exact(k, GEN, WM);
                     }
                 });
             }
@@ -595,27 +634,27 @@ mod tests {
     #[test]
     fn memo_prefers_private_layer_and_fills_shared() {
         let shared = SubformulaCache::new();
-        let mut memo = Memo::with_shared(Some(&shared), GEN);
+        let mut memo = Memo::with_shared(Some(&shared), GEN, WM);
         let k = key(9);
         assert_eq!(memo.get_exact(k), None);
-        memo.put_exact(k, 0.75);
+        memo.put_exact(k, WM, 0.75);
         assert_eq!(memo.get_exact(k), Some(0.75));
         // The shared layer saw the store.
-        assert_eq!(shared.lookup_exact(k, GEN), Some(0.75));
+        assert_eq!(shared.lookup_exact(k, GEN, WM), Some(0.75));
         // A fresh memo over the same shared cache hits through it.
-        let mut memo2 = Memo::with_shared(Some(&shared), GEN);
+        let mut memo2 = Memo::with_shared(Some(&shared), GEN, WM);
         assert_eq!(memo2.get_exact(k), Some(0.75));
         // A memo pinned to a newer generation misses: the entry is stale.
-        let mut memo3 = Memo::with_shared(Some(&shared), GEN + 1);
+        let mut memo3 = Memo::with_shared(Some(&shared), GEN + 1, WM);
         assert_eq!(memo3.get_exact(k), None);
     }
 
     #[test]
     fn memo_without_shared_layer_is_private() {
-        let mut memo = Memo::with_shared(None, GEN);
+        let mut memo = Memo::with_shared(None, GEN, WM);
         let k = key(3);
         assert_eq!(memo.get_bounds(k), None);
-        memo.put_bounds(k, Bounds::point(0.3));
+        memo.put_bounds(k, WM, Bounds::point(0.3));
         assert!(memo.get_bounds(k).unwrap().is_point());
     }
 }

@@ -1,9 +1,12 @@
 //! Exhaustive compilation of DNFs into complete d-trees (Figure 1).
 
-use events::{product_factorization, Clause, Dnf, ProbabilitySpace, VarOrigins};
+use events::{
+    product_factorization_by, Clause, Dnf, DnfRef, DnfView, LineageArena, ProbabilitySpace,
+    VarOrigins,
+};
 
 use crate::node::DTree;
-use crate::order::{choose_variable, VarOrder};
+use crate::order::{choose_variable_ref, VarOrder};
 use crate::stats::CompileStats;
 
 /// Options controlling compilation (shared by the exhaustive compiler, the
@@ -59,11 +62,18 @@ pub fn compile_with_stats(
     opts: &CompileOptions,
     stats: &mut CompileStats,
 ) -> DTree {
-    compile_rec(dnf, space, opts, stats, 0)
+    let mut arena = LineageArena::with_capacity(dnf.len(), 4);
+    let root = arena.intern(dnf);
+    compile_rec(&mut arena, &root, space, opts, stats, 0)
 }
 
+/// The recursion runs on arena views — decomposition is index manipulation —
+/// and only materialises owned [`Dnf`]s for the leaves of the returned tree
+/// (the [`DTree`] node type keeps its owned representation, which is what a
+/// *materialised* compilation is for).
 fn compile_rec(
-    dnf: &Dnf,
+    arena: &mut LineageArena,
+    view: &DnfView,
     space: &ProbabilitySpace,
     opts: &CompileOptions,
     stats: &mut CompileStats,
@@ -72,77 +82,78 @@ fn compile_rec(
     stats.max_depth = stats.max_depth.max(depth);
 
     // Constants.
-    if dnf.is_empty() || dnf.is_tautology() {
+    if view.is_empty() || view.is_tautology(arena) {
         stats.exact_leaves += 1;
-        return DTree::Leaf(if dnf.is_empty() { Dnf::empty() } else { Dnf::tautology() });
+        return DTree::Leaf(if view.is_empty() { Dnf::empty() } else { Dnf::tautology() });
     }
 
     // Depth cut-off: leave the DNF as a (possibly large) leaf.
     if let Some(max) = opts.max_depth {
         if depth >= max {
             stats.closed_leaves += 1;
-            return DTree::Leaf(dnf.clone());
+            return DTree::Leaf(view.to_dnf(arena));
         }
     }
 
     // Step 1: remove subsumed clauses.
-    let reduced = dnf.remove_subsumed();
-    stats.subsumed_clauses += dnf.len() - reduced.len();
-    let dnf = reduced;
+    let (view, removed) = view.remove_subsumed(arena);
+    stats.subsumed_clauses += removed;
 
     // Single clause: exact leaf (split into atoms only for presentation —
     // the probability of a clause is already a product of atom marginals).
-    if dnf.len() == 1 {
-        let clause = &dnf.clauses()[0];
-        if clause.len() <= 1 {
+    if view.len() == 1 {
+        let atoms: Vec<events::Atom> = view.clause(arena, 0).collect();
+        if atoms.len() <= 1 {
             stats.exact_leaves += 1;
-            return DTree::Leaf(dnf.clone());
+            return DTree::Leaf(view.to_dnf(arena));
         }
         // ⊙ of singleton-atom leaves, mirroring the paper's complete d-trees
         // whose leaves are single clauses; splitting a clause keeps the tree
         // uniform and exercises the ⊙ combination rule.
         stats.and_nodes += 1;
-        stats.exact_leaves += clause.len();
+        stats.exact_leaves += atoms.len();
         return DTree::IndepAnd(
-            clause
-                .atoms()
-                .iter()
-                .map(|a| DTree::Leaf(Dnf::singleton(Clause::singleton(*a))))
-                .collect(),
+            atoms.into_iter().map(|a| DTree::Leaf(Dnf::singleton(Clause::singleton(a)))).collect(),
         );
     }
 
     // Step 2: independent-or (⊗) over connected components.
-    let components = dnf.independent_components();
+    let components = view.independent_components(arena);
     if components.len() > 1 {
         stats.or_nodes += 1;
         return DTree::IndepOr(
-            components.iter().map(|c| compile_rec(c, space, opts, stats, depth + 1)).collect(),
+            components
+                .iter()
+                .map(|c| compile_rec(arena, c, space, opts, stats, depth + 1))
+                .collect(),
         );
     }
 
     // Step 3a: independent-and (⊙) by factoring out atoms common to all
     // clauses.
-    let common = dnf.common_atoms();
+    let common = view.common_atoms(arena);
     if !common.is_empty() {
-        let rest = dnf.strip_atoms(&common);
+        let vars: Vec<_> = common.iter().map(|a| a.var).collect();
+        let rest = view.strip_vars(arena, &vars);
         stats.and_nodes += 1;
         stats.exact_leaves += common.len();
         let mut children: Vec<DTree> =
             common.iter().map(|a| DTree::Leaf(Dnf::singleton(Clause::singleton(*a)))).collect();
-        children.push(compile_rec(&rest, space, opts, stats, depth + 1));
+        children.push(compile_rec(arena, &rest, space, opts, stats, depth + 1));
         return DTree::IndepAnd(children);
     }
 
     // Step 3b: independent-and (⊙) by relational product factorization.
     if let Some(origins) = &opts.origins {
-        if let Some(factors) = product_factorization(dnf.clauses(), origins) {
+        let factors = product_factorization_by(view.len(), |i| view.clause(arena, i), origins);
+        if let Some(factors) = factors {
             stats.and_nodes += 1;
             return DTree::IndepAnd(
                 factors
                     .into_iter()
                     .map(|clauses| {
-                        compile_rec(&Dnf::from_clauses(clauses), space, opts, stats, depth + 1)
+                        let factor = arena.intern_sorted_clauses(&clauses);
+                        compile_rec(arena, &factor, space, opts, stats, depth + 1)
                     })
                     .collect(),
             );
@@ -150,17 +161,18 @@ fn compile_rec(
     }
 
     // Step 4: Shannon expansion (⊕).
-    let var = choose_variable(&dnf, &opts.var_order, opts.origins.as_ref())
-        .expect("non-constant DNF mentions at least one variable");
+    let var =
+        choose_variable_ref(DnfRef::Arena(arena, &view), &opts.var_order, opts.origins.as_ref())
+            .expect("non-constant DNF mentions at least one variable");
     stats.xor_nodes += 1;
     let mut branches = Vec::new();
-    for (value, cofactor) in dnf.shannon_cofactors(var, space) {
+    for (value, cofactor) in view.shannon_cofactors(arena, var, space) {
         let assignment = Dnf::singleton(Clause::singleton(events::Atom::new(var, value)));
         stats.exact_leaves += 1;
         stats.and_nodes += 1;
         branches.push(DTree::IndepAnd(vec![
             DTree::Leaf(assignment),
-            compile_rec(&cofactor, space, opts, stats, depth + 1),
+            compile_rec(arena, &cofactor, space, opts, stats, depth + 1),
         ]));
     }
     DTree::ExclOr(branches)

@@ -7,12 +7,20 @@
 //! to the recursion depth. Unlike the approximation path, no leaf bounds are
 //! computed (the paper notes exact computation can be *faster* than
 //! ε-approximation for this reason, cf. the discussion of Figure 6).
+//!
+//! The recursion runs on [`DnfView`]s over a [`LineageArena`]: the input
+//! lineage is interned once, and every decomposition step afterwards is
+//! index manipulation — no clause vectors are cloned on the hot path. The
+//! result is bit-identical to the owned-`Dnf` recursion this replaced (kept
+//! as [`crate::reference::exact_probability_reference`] for differential
+//! testing and benchmarking).
 
-use events::{product_factorization, Dnf, ProbabilitySpace};
+use events::{product_factorization_by, DnfRef, DnfView, LineageArena};
+use events::{Dnf, ProbabilitySpace};
 
 use crate::cache::SubformulaCache;
 use crate::compile::CompileOptions;
-use crate::order::choose_variable;
+use crate::order::choose_variable_ref;
 use crate::stats::CompileStats;
 
 /// Result of an exact confidence computation.
@@ -24,6 +32,15 @@ pub struct ExactResult {
     pub stats: CompileStats,
 }
 
+/// Scope of the shared cache during a run: the cache plus the generation and
+/// watermark of the space the run evaluates against.
+#[derive(Clone, Copy)]
+struct CacheScope<'c> {
+    cache: &'c SubformulaCache,
+    generation: u64,
+    watermark: u64,
+}
+
 /// Computes the exact probability of `dnf` by recursive decomposition,
 /// without materialising the d-tree.
 pub fn exact_probability(
@@ -31,8 +48,22 @@ pub fn exact_probability(
     space: &ProbabilitySpace,
     opts: &CompileOptions,
 ) -> ExactResult {
+    let mut arena = LineageArena::with_capacity(dnf.len(), 4);
+    let root = arena.intern(dnf);
+    exact_probability_view(&mut arena, &root, space, opts)
+}
+
+/// [`exact_probability`] on an already-interned view — the zero-copy entry
+/// point for callers that hold an arena (the batch engine interns each
+/// lineage once and evaluates everything against it).
+pub fn exact_probability_view(
+    arena: &mut LineageArena,
+    view: &DnfView,
+    space: &ProbabilitySpace,
+    opts: &CompileOptions,
+) -> ExactResult {
     let mut stats = CompileStats::default();
-    let probability = exact_rec(dnf, space, opts, &mut stats, 0, None);
+    let probability = exact_rec(arena, view, space, opts, &mut stats, 0, None);
     ExactResult { probability, stats }
 }
 
@@ -40,9 +71,9 @@ pub fn exact_probability(
 /// probability in a shared [`SubformulaCache`], so repeated sub-formulas —
 /// within one lineage or across the lineages of a batch — are computed once.
 ///
-/// Cache entries are scoped to `space.generation()`: values computed under a
-/// different generation are ignored, so one long-lived cache can serve many
-/// spaces and survive database mutations without ever leaking a stale value.
+/// Cache entries are tagged with `space.generation()` and the variable-count
+/// watermark their formula requires: values survive append-only growth of
+/// the space (fresh tables) and are retired by genuine in-place changes.
 /// Because the evaluation is deterministic, a cached value is bit-identical
 /// to what the uncached recursion would compute, so
 /// `exact_probability_cached` returns exactly the probability
@@ -53,112 +84,129 @@ pub fn exact_probability_cached(
     opts: &CompileOptions,
     cache: &SubformulaCache,
 ) -> ExactResult {
+    let mut arena = LineageArena::with_capacity(dnf.len(), 4);
+    let root = arena.intern(dnf);
+    exact_probability_view_cached(&mut arena, &root, space, opts, cache)
+}
+
+/// [`exact_probability_cached`] on an already-interned view.
+pub fn exact_probability_view_cached(
+    arena: &mut LineageArena,
+    view: &DnfView,
+    space: &ProbabilitySpace,
+    opts: &CompileOptions,
+    cache: &SubformulaCache,
+) -> ExactResult {
     let mut stats = CompileStats::default();
-    let probability = exact_rec(dnf, space, opts, &mut stats, 0, Some(cache));
+    let scope = CacheScope { cache, generation: space.generation(), watermark: space.watermark() };
+    let probability = exact_rec(arena, view, space, opts, &mut stats, 0, Some(scope));
     ExactResult { probability, stats }
 }
 
 fn exact_rec(
-    dnf: &Dnf,
+    arena: &mut LineageArena,
+    view: &DnfView,
     space: &ProbabilitySpace,
     opts: &CompileOptions,
     stats: &mut CompileStats,
     depth: usize,
-    cache: Option<&SubformulaCache>,
+    cache: Option<CacheScope<'_>>,
 ) -> f64 {
     // Memoize non-trivial sub-DNFs (constants and single clauses are cheaper
     // to recompute than to hash).
-    if let Some(c) = cache {
-        if dnf.len() >= 2 {
-            let key = dnf.canonical_hash();
-            let generation = space.generation();
-            if let Some(p) = c.lookup_exact(key, generation) {
+    if let Some(scope) = cache {
+        if view.len() >= 2 {
+            let key = view.hash(arena);
+            if let Some(p) = scope.cache.lookup_exact(key, scope.generation, scope.watermark) {
                 stats.exact_cache_hits += 1;
                 return p;
             }
-            let p = exact_step(dnf, space, opts, stats, depth, cache);
+            let p = exact_step(arena, view, space, opts, stats, depth, cache);
             stats.exact_evaluations += 1;
-            c.store_exact(key, generation, p);
+            scope.cache.store_exact(key, scope.generation, view.required_watermark(arena), p);
             return p;
         }
     }
-    exact_step(dnf, space, opts, stats, depth, cache)
+    exact_step(arena, view, space, opts, stats, depth, cache)
 }
 
 fn exact_step(
-    dnf: &Dnf,
+    arena: &mut LineageArena,
+    view: &DnfView,
     space: &ProbabilitySpace,
     opts: &CompileOptions,
     stats: &mut CompileStats,
     depth: usize,
-    cache: Option<&SubformulaCache>,
+    cache: Option<CacheScope<'_>>,
 ) -> f64 {
     stats.max_depth = stats.max_depth.max(depth);
 
-    if dnf.is_empty() {
+    if view.is_empty() {
         stats.exact_leaves += 1;
         return 0.0;
     }
-    if dnf.is_tautology() {
+    if view.is_tautology(arena) {
         stats.exact_leaves += 1;
         return 1.0;
     }
 
-    // Step 1: subsumption removal.
-    let reduced = dnf.remove_subsumed();
-    stats.subsumed_clauses += dnf.len() - reduced.len();
-    let dnf = reduced;
+    // Step 1: subsumption removal (index filtering — no clause copies).
+    let (view, removed) = view.remove_subsumed(arena);
+    stats.subsumed_clauses += removed;
 
     // Single clause: product of atom marginals.
-    if dnf.len() == 1 {
+    if view.len() == 1 {
         stats.exact_leaves += 1;
-        return dnf.clauses()[0].probability(space);
+        return view.clause_probability(arena, space, 0);
     }
 
     // Step 2: independent-or (⊗).
-    let components = dnf.independent_components();
+    let components = view.independent_components(arena);
     if components.len() > 1 {
         stats.or_nodes += 1;
         let mut prod = 1.0;
         for c in &components {
-            prod *= 1.0 - exact_rec(c, space, opts, stats, depth + 1, cache);
+            prod *= 1.0 - exact_rec(arena, c, space, opts, stats, depth + 1, cache);
         }
         return 1.0 - prod;
     }
 
     // Step 3a: independent-and (⊙) by common-atom factoring.
-    let common = dnf.common_atoms();
+    let common = view.common_atoms(arena);
     if !common.is_empty() {
         stats.and_nodes += 1;
         stats.exact_leaves += common.len();
         let factored: f64 = common.iter().map(|a| space.atom_prob(*a)).product();
-        let rest = dnf.strip_atoms(&common);
-        return factored * exact_rec(&rest, space, opts, stats, depth + 1, cache);
+        let vars: Vec<_> = common.iter().map(|a| a.var).collect();
+        let rest = view.strip_vars(arena, &vars);
+        return factored * exact_rec(arena, &rest, space, opts, stats, depth + 1, cache);
     }
 
     // Step 3b: independent-and (⊙) by relational product factorization.
     if let Some(origins) = &opts.origins {
-        if let Some(factors) = product_factorization(dnf.clauses(), origins) {
+        let factors = product_factorization_by(view.len(), |i| view.clause(arena, i), origins);
+        if let Some(factors) = factors {
             stats.and_nodes += 1;
             let mut prod = 1.0;
             for clauses in factors {
-                prod *=
-                    exact_rec(&Dnf::from_clauses(clauses), space, opts, stats, depth + 1, cache);
+                let factor = arena.intern_sorted_clauses(&clauses);
+                prod *= exact_rec(arena, &factor, space, opts, stats, depth + 1, cache);
             }
             return prod;
         }
     }
 
     // Step 4: Shannon expansion (⊕).
-    let var = choose_variable(&dnf, &opts.var_order, opts.origins.as_ref())
-        .expect("non-constant DNF mentions at least one variable");
+    let var =
+        choose_variable_ref(DnfRef::Arena(arena, &view), &opts.var_order, opts.origins.as_ref())
+            .expect("non-constant DNF mentions at least one variable");
     stats.xor_nodes += 1;
     let mut total = 0.0;
-    for (value, cofactor) in dnf.shannon_cofactors(var, space) {
+    for (value, cofactor) in view.shannon_cofactors(arena, var, space) {
         stats.and_nodes += 1;
         stats.exact_leaves += 1;
-        total +=
-            space.prob(var, value) * exact_rec(&cofactor, space, opts, stats, depth + 1, cache);
+        total += space.prob(var, value)
+            * exact_rec(arena, &cofactor, space, opts, stats, depth + 1, cache);
     }
     total.min(1.0)
 }
@@ -265,5 +313,20 @@ mod tests {
         let expected = 1.0 - probs.iter().map(|p| 1.0 - p).product::<f64>();
         assert!((r.probability - expected).abs() < 1e-9);
         assert_eq!(r.stats.xor_nodes, 0);
+    }
+
+    /// The arena recursion is bit-identical to the pre-arena owned-path
+    /// recursion kept in [`crate::reference`].
+    #[test]
+    fn matches_reference_owned_path_bitwise() {
+        let (s, vars) = bool_space(&[0.5, 0.4, 0.3, 0.6, 0.7, 0.9, 0.2, 0.8]);
+        let phi = Dnf::from_clauses(
+            (0..7).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])).collect::<Vec<_>>(),
+        );
+        let opts = CompileOptions::default();
+        let arena_run = exact_probability(&phi, &s, &opts);
+        let reference = crate::reference::exact_probability_reference(&phi, &s, &opts);
+        assert_eq!(arena_run.probability.to_bits(), reference.probability.to_bits());
+        assert_eq!(arena_run.stats, reference.stats);
     }
 }

@@ -64,16 +64,23 @@ mod exact;
 mod node;
 mod order;
 mod partial;
+pub mod reference;
 mod stats;
 
 pub use approx::{ApproxCompiler, ApproxOptions, ApproxResult, ErrorBound, RefinementStrategy};
 pub use bounds::{
-    dnf_bounds, dnf_bounds_fig3, dnf_bounds_sorted, independent_or_upper_bound, Bounds,
+    dnf_bounds, dnf_bounds_fig3, dnf_bounds_ref, dnf_bounds_sorted, dnf_bounds_view,
+    independent_or_upper_bound, independent_or_upper_bound_ref, Bounds,
 };
 pub use cache::{CacheStats, SubformulaCache};
 pub use compile::{compile, CompileOptions};
-pub use exact::{exact_probability, exact_probability_cached, ExactResult};
+pub use exact::{
+    exact_probability, exact_probability_cached, exact_probability_view,
+    exact_probability_view_cached, ExactResult,
+};
 pub use node::DTree;
-pub use order::{choose_iq_variable, choose_variable, VarOrder};
+pub use order::{
+    choose_iq_variable, choose_iq_variable_ref, choose_variable, choose_variable_ref, VarOrder,
+};
 pub use partial::{PartialDTree, PartialNodeId};
 pub use stats::CompileStats;

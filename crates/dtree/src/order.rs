@@ -10,7 +10,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use events::{Dnf, VarId, VarOrigins};
+use events::{Dnf, DnfRef, VarId, VarOrigins};
 
 /// Strategy for choosing the next variable to eliminate by Shannon expansion.
 #[derive(Debug, Clone, Default)]
@@ -32,6 +32,17 @@ pub enum VarOrder {
 ///
 /// Returns `None` only when the DNF mentions no variable at all.
 pub fn choose_variable(dnf: &Dnf, order: &VarOrder, origins: Option<&VarOrigins>) -> Option<VarId> {
+    choose_variable_ref(DnfRef::Owned(dnf), order, origins)
+}
+
+/// Representation-generic core of [`choose_variable`]: owned DNFs and arena
+/// views share one implementation, so the chosen variable — and with it the
+/// whole d-tree shape — is identical on both paths.
+pub fn choose_variable_ref(
+    dnf: DnfRef<'_>,
+    order: &VarOrder,
+    origins: Option<&VarOrigins>,
+) -> Option<VarId> {
     match order {
         VarOrder::MostFrequent => dnf.most_frequent_var(),
         VarOrder::Fixed(vars) => {
@@ -39,7 +50,7 @@ pub fn choose_variable(dnf: &Dnf, order: &VarOrder, origins: Option<&VarOrigins>
             vars.iter().copied().find(|v| present.contains(v)).or_else(|| dnf.most_frequent_var())
         }
         VarOrder::IqThenFrequent => {
-            origins.and_then(|o| choose_iq_variable(dnf, o)).or_else(|| dnf.most_frequent_var())
+            origins.and_then(|o| choose_iq_variable_ref(dnf, o)).or_else(|| dnf.most_frequent_var())
         }
     }
 }
@@ -55,15 +66,20 @@ pub fn choose_variable(dnf: &Dnf, order: &VarOrder, origins: Option<&VarOrigins>
 /// IQ query), in which case the caller falls back to the most-frequent
 /// heuristic.
 pub fn choose_iq_variable(dnf: &Dnf, origins: &VarOrigins) -> Option<VarId> {
+    choose_iq_variable_ref(DnfRef::Owned(dnf), origins)
+}
+
+/// Representation-generic core of [`choose_iq_variable`].
+pub fn choose_iq_variable_ref(dnf: DnfRef<'_>, origins: &VarOrigins) -> Option<VarId> {
     if dnf.is_empty() || dnf.is_tautology() {
         return None;
     }
     // Distinct variables per relation (origin group) in the whole DNF.
     let mut per_relation: BTreeMap<u32, BTreeSet<VarId>> = BTreeMap::new();
-    for clause in dnf.clauses() {
-        for v in clause.vars() {
-            let group = origins.get(v)?;
-            per_relation.entry(group).or_default().insert(v);
+    for i in 0..dnf.clause_count() {
+        for a in dnf.clause_atoms(i) {
+            let group = origins.get(a.var)?;
+            per_relation.entry(group).or_default().insert(a.var);
         }
     }
     if per_relation.len() < 2 {
@@ -77,13 +93,13 @@ pub fn choose_iq_variable(dnf: &Dnf, origins: &VarOrigins) -> Option<VarId> {
         let v_group = origins.get(v)?;
         // Distinct variables per relation restricted to clauses containing v.
         let mut restricted: BTreeMap<u32, BTreeSet<VarId>> = BTreeMap::new();
-        for clause in dnf.clauses() {
-            if !clause.mentions(v) {
+        for i in 0..dnf.clause_count() {
+            if !dnf.mentions(i, v) {
                 continue;
             }
-            for w in clause.vars() {
-                let group = origins.get(w)?;
-                restricted.entry(group).or_default().insert(w);
+            for a in dnf.clause_atoms(i) {
+                let group = origins.get(a.var)?;
+                restricted.entry(group).or_default().insert(a.var);
             }
         }
         let qualifies = per_relation.iter().all(|(group, vars)| {

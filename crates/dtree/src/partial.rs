@@ -6,12 +6,17 @@
 //! decomposition step, and re-check the ε-approximation condition on the
 //! root bounds. The memory-efficient depth-first variant with leaf closing
 //! lives in [`crate::approx`].
+//!
+//! The tree owns a [`LineageArena`]: the input lineage is interned once and
+//! every leaf is a [`DnfView`] over the pool, so refinement steps are index
+//! manipulation instead of clause-vector copies.
 
-use events::{product_factorization, Atom, Clause, Dnf, ProbabilitySpace};
+use events::ProbabilitySpace;
+use events::{product_factorization_by, Atom, Clause, Dnf, DnfRef, DnfView, LineageArena};
 
-use crate::bounds::{dnf_bounds, Bounds};
+use crate::bounds::{dnf_bounds_ref, Bounds};
 use crate::compile::CompileOptions;
-use crate::order::choose_variable;
+use crate::order::choose_variable_ref;
 use crate::stats::CompileStats;
 
 /// Identifier of a node inside a [`PartialDTree`] arena.
@@ -27,9 +32,10 @@ enum Op {
 
 #[derive(Debug, Clone)]
 enum PNode {
-    /// An unrefined leaf holding a DNF and its cached bucket bounds. `exact`
-    /// marks leaves whose bounds are a point (constants / single clauses).
-    Leaf { dnf: Dnf, bounds: Bounds, exact: bool },
+    /// An unrefined leaf holding a sub-formula view and its cached bucket
+    /// bounds. `exact` marks leaves whose bounds are a point (constants /
+    /// single clauses).
+    Leaf { view: DnfView, bounds: Bounds, exact: bool },
     /// An inner decomposition node.
     Inner { op: Op, children: Vec<PartialNodeId> },
 }
@@ -38,34 +44,47 @@ enum PNode {
 /// refinement of its leaves.
 #[derive(Debug, Clone)]
 pub struct PartialDTree {
+    lineage: LineageArena,
     nodes: Vec<PNode>,
     root: PartialNodeId,
     stats: CompileStats,
 }
 
 impl PartialDTree {
-    /// Creates a partial d-tree consisting of a single leaf for `dnf`.
-    pub fn new(dnf: Dnf, space: &ProbabilitySpace) -> Self {
+    /// Creates a partial d-tree consisting of a single leaf for `dnf`,
+    /// interning the lineage into the tree's own arena.
+    pub fn new(dnf: &Dnf, space: &ProbabilitySpace) -> Self {
+        let mut lineage = LineageArena::with_capacity(dnf.len(), 4);
+        let root = lineage.intern(dnf);
+        PartialDTree::from_parts(lineage, root, space)
+    }
+
+    /// Creates a partial d-tree over an existing arena and root view (the
+    /// arena is moved into the tree, which keeps growing it during
+    /// refinement).
+    pub fn from_parts(lineage: LineageArena, root: DnfView, space: &ProbabilitySpace) -> Self {
         let mut tree = PartialDTree {
+            lineage,
             nodes: Vec::new(),
             root: PartialNodeId(0),
             stats: CompileStats::default(),
         };
-        let root = tree.push_leaf(dnf, space);
+        let root = tree.push_leaf(root, space);
         tree.root = root;
         tree
     }
 
-    fn push_leaf(&mut self, dnf: Dnf, space: &ProbabilitySpace) -> PartialNodeId {
-        let (bounds, exact) = leaf_bounds(&dnf, space, &mut self.stats);
+    fn push_leaf(&mut self, view: DnfView, space: &ProbabilitySpace) -> PartialNodeId {
+        let (bounds, exact) = leaf_bounds(&self.lineage, &view, space, &mut self.stats);
         let id = PartialNodeId(self.nodes.len());
-        self.nodes.push(PNode::Leaf { dnf, bounds, exact });
+        self.nodes.push(PNode::Leaf { view, bounds, exact });
         id
     }
 
-    fn push_exact_leaf(&mut self, dnf: Dnf, p: f64) -> PartialNodeId {
+    fn push_exact_atom_leaf(&mut self, atom: Atom, p: f64) -> PartialNodeId {
+        let view = self.lineage.intern_sorted_clauses(&[Clause::singleton(atom)]);
         let id = PartialNodeId(self.nodes.len());
-        self.nodes.push(PNode::Leaf { dnf, bounds: Bounds::point(p), exact: true });
+        self.nodes.push(PNode::Leaf { view, bounds: Bounds::point(p), exact: true });
         id
     }
 
@@ -135,8 +154,8 @@ impl PartialDTree {
         space: &ProbabilitySpace,
         opts: &CompileOptions,
     ) -> bool {
-        let (dnf, exact) = match &self.nodes[id.0] {
-            PNode::Leaf { dnf, exact, .. } => (dnf.clone(), *exact),
+        let (view, exact) = match &self.nodes[id.0] {
+            PNode::Leaf { view, exact, .. } => (view.clone(), *exact),
             PNode::Inner { .. } => return false,
         };
         if exact {
@@ -144,25 +163,24 @@ impl PartialDTree {
         }
 
         // Step 1: subsumption removal.
-        let reduced = dnf.remove_subsumed();
-        self.stats.subsumed_clauses += dnf.len() - reduced.len();
-        let dnf = reduced;
+        let (view, removed) = view.remove_subsumed(&self.lineage);
+        self.stats.subsumed_clauses += removed;
 
-        if dnf.len() <= 1 || dnf.is_tautology() {
-            let p = if dnf.is_empty() {
+        if view.len() <= 1 || view.is_tautology(&self.lineage) {
+            let p = if view.is_empty() {
                 0.0
-            } else if dnf.is_tautology() {
+            } else if view.is_tautology(&self.lineage) {
                 1.0
             } else {
-                dnf.clauses()[0].probability(space)
+                view.clause_probability(&self.lineage, space, 0)
             };
             self.stats.exact_leaves += 1;
-            self.nodes[id.0] = PNode::Leaf { dnf, bounds: Bounds::point(p), exact: true };
+            self.nodes[id.0] = PNode::Leaf { view, bounds: Bounds::point(p), exact: true };
             return true;
         }
 
         // Step 2: independent-or.
-        let components = dnf.independent_components();
+        let components = view.independent_components(&self.lineage);
         if components.len() > 1 {
             self.stats.or_nodes += 1;
             let children: Vec<PartialNodeId> =
@@ -172,17 +190,14 @@ impl PartialDTree {
         }
 
         // Step 3a: common-atom factoring.
-        let common = dnf.common_atoms();
+        let common = view.common_atoms(&self.lineage);
         if !common.is_empty() {
             self.stats.and_nodes += 1;
             self.stats.exact_leaves += common.len();
-            let rest = dnf.strip_atoms(&common);
-            let mut children: Vec<PartialNodeId> = common
-                .iter()
-                .map(|a| {
-                    self.push_exact_leaf(Dnf::singleton(Clause::singleton(*a)), space.atom_prob(*a))
-                })
-                .collect();
+            let vars: Vec<_> = common.iter().map(|a| a.var).collect();
+            let rest = view.strip_vars(&mut self.lineage, &vars);
+            let mut children: Vec<PartialNodeId> =
+                common.iter().map(|a| self.push_exact_atom_leaf(*a, space.atom_prob(*a))).collect();
             children.push(self.push_leaf(rest, space));
             self.nodes[id.0] = PNode::Inner { op: Op::And, children };
             return true;
@@ -190,11 +205,16 @@ impl PartialDTree {
 
         // Step 3b: relational product factorization.
         if let Some(origins) = &opts.origins {
-            if let Some(factors) = product_factorization(dnf.clauses(), origins) {
+            let factors =
+                product_factorization_by(view.len(), |i| view.clause(&self.lineage, i), origins);
+            if let Some(factors) = factors {
                 self.stats.and_nodes += 1;
                 let children: Vec<PartialNodeId> = factors
                     .into_iter()
-                    .map(|clauses| self.push_leaf(Dnf::from_clauses(clauses), space))
+                    .map(|clauses| {
+                        let factor = self.lineage.intern_sorted_clauses(&clauses);
+                        self.push_leaf(factor, space)
+                    })
                     .collect();
                 self.nodes[id.0] = PNode::Inner { op: Op::And, children };
                 return true;
@@ -202,17 +222,19 @@ impl PartialDTree {
         }
 
         // Step 4: Shannon expansion.
-        let var = choose_variable(&dnf, &opts.var_order, opts.origins.as_ref())
-            .expect("non-constant DNF mentions a variable");
+        let var = choose_variable_ref(
+            DnfRef::Arena(&self.lineage, &view),
+            &opts.var_order,
+            opts.origins.as_ref(),
+        )
+        .expect("non-constant DNF mentions a variable");
         self.stats.xor_nodes += 1;
         let mut branches = Vec::new();
-        for (value, cofactor) in dnf.shannon_cofactors(var, space) {
+        for (value, cofactor) in view.shannon_cofactors(&mut self.lineage, var, space) {
             self.stats.and_nodes += 1;
             self.stats.exact_leaves += 1;
-            let atom_leaf = self.push_exact_leaf(
-                Dnf::singleton(Clause::singleton(Atom::new(var, value))),
-                space.prob(var, value),
-            );
+            let atom_leaf =
+                self.push_exact_atom_leaf(Atom::new(var, value), space.prob(var, value));
             let cof_leaf = self.push_leaf(cofactor, space);
             let branch = PartialNodeId(self.nodes.len());
             self.nodes.push(PNode::Inner { op: Op::And, children: vec![atom_leaf, cof_leaf] });
@@ -223,23 +245,29 @@ impl PartialDTree {
     }
 }
 
-fn leaf_bounds(dnf: &Dnf, space: &ProbabilitySpace, stats: &mut CompileStats) -> (Bounds, bool) {
-    if dnf.is_empty() {
+fn leaf_bounds(
+    arena: &LineageArena,
+    view: &DnfView,
+    space: &ProbabilitySpace,
+    stats: &mut CompileStats,
+) -> (Bounds, bool) {
+    if view.is_empty() {
         return (Bounds::point(0.0), true);
     }
-    if dnf.is_tautology() {
+    if view.is_tautology(arena) {
         return (Bounds::point(1.0), true);
     }
-    if dnf.len() == 1 {
-        return (Bounds::point(dnf.clauses()[0].probability(space)), true);
+    if view.len() == 1 {
+        return (Bounds::point(view.clause_probability(arena, space, 0)), true);
     }
     stats.bound_evaluations += 1;
-    (dnf_bounds(dnf, space), false)
+    (dnf_bounds_ref(DnfRef::Arena(arena, view), space), false)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bounds::dnf_bounds;
     use events::VarId;
 
     fn bool_space(ps: &[f64]) -> (ProbabilitySpace, Vec<VarId>) {
@@ -257,7 +285,7 @@ mod tests {
         let (s, vars) = bool_space(&[0.5, 0.4, 0.3, 0.6, 0.7]);
         let phi = chain_dnf(&vars);
         let exact = phi.exact_probability_enumeration(&s);
-        let mut tree = PartialDTree::new(phi, &s);
+        let mut tree = PartialDTree::new(&phi, &s);
         let mut prev_width = tree.bounds(&s).width();
         assert!(tree.bounds(&s).contains(exact));
         let mut iterations = 0;
@@ -279,7 +307,7 @@ mod tests {
     fn refine_on_exact_leaf_is_noop() {
         let (s, vars) = bool_space(&[0.5, 0.5]);
         let phi = Dnf::from_clauses(vec![Clause::from_bools(&[vars[0], vars[1]])]);
-        let mut tree = PartialDTree::new(phi, &s);
+        let mut tree = PartialDTree::new(&phi, &s);
         assert!(tree.is_complete());
         assert_eq!(tree.widest_open_leaf(), None);
         let root = PartialNodeId(0);
@@ -294,7 +322,7 @@ mod tests {
             Clause::from_bools(&[vars[0], vars[1]]),
             Clause::from_bools(&[vars[2], vars[3]]),
         ]);
-        let mut tree = PartialDTree::new(phi, &s);
+        let mut tree = PartialDTree::new(&phi, &s);
         let leaf = tree.widest_open_leaf().unwrap();
         tree.refine(leaf, &s, &CompileOptions::default());
         assert_eq!(tree.stats().or_nodes, 1);
@@ -310,7 +338,7 @@ mod tests {
             Clause::from_bools(&[vars[0], vars[2]]),
             Clause::from_bools(&[vars[3]]),
         ]);
-        let tree = PartialDTree::new(phi.clone(), &s);
+        let tree = PartialDTree::new(&phi, &s);
         let expected = dnf_bounds(&phi, &s);
         assert_eq!(tree.bounds(&s), expected);
     }

@@ -234,22 +234,44 @@ impl Dnf {
         other.vars().is_disjoint(&mine)
     }
 
-    /// Groups clauses by the value they assign to `var`; clauses not
+    /// Groups clauses by the value they assign to `var`, returned as
+    /// `(value, clauses)` pairs sorted ascending by value; clauses not
     /// mentioning `var` are returned separately.
     ///
     /// This is the raw material of the Shannon expansion in Figure 1: the
     /// cofactor for `x = a` is the union of the group for `a` (with the atom
-    /// removed) and the unconstrained remainder `T`.
-    pub fn group_by_var(&self, var: VarId) -> (BTreeMap<u32, Vec<Clause>>, Vec<Clause>) {
-        let mut groups: BTreeMap<u32, Vec<Clause>> = BTreeMap::new();
+    /// removed) and the unconstrained remainder `T`. It sits on the
+    /// Shannon-variable-selection path (one call per candidate variable), so
+    /// the grouping is a sorted small-vec insertion — domain sizes are tiny
+    /// (2 for Boolean lineage) and a `BTreeMap` costs an allocation per node
+    /// plus pointer chasing for no benefit at that size.
+    pub fn group_by_var(&self, var: VarId) -> (Vec<(u32, Vec<Clause>)>, Vec<Clause>) {
+        let mut groups: Vec<(u32, Vec<Clause>)> = Vec::new();
         let mut rest = Vec::new();
         for c in &self.clauses {
             match c.value_of(var) {
-                Some(v) => groups.entry(v).or_default().push(c.clone()),
+                Some(v) => match groups.binary_search_by_key(&v, |g| g.0) {
+                    Ok(i) => groups[i].1.push(c.clone()),
+                    Err(i) => groups.insert(i, (v, vec![c.clone()])),
+                },
                 None => rest.push(c.clone()),
             }
         }
         (groups, rest)
+    }
+
+    /// One past the largest variable id mentioned by the DNF — the smallest
+    /// [`ProbabilitySpace`] watermark under which every variable of this
+    /// formula exists (`0` for constant formulas). Watermark-scoped caches
+    /// tag entries with this value; see
+    /// [`ProbabilitySpace::watermark`].
+    pub fn required_watermark(&self) -> u64 {
+        self.clauses
+            .iter()
+            .filter_map(|c| c.atoms().last())
+            .map(|a| a.var.0 as u64 + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Evaluates the DNF under a complete valuation given as a function from
@@ -561,7 +583,8 @@ mod tests {
         ]);
         let (groups, rest) = phi.group_by_var(vars[0]);
         assert_eq!(groups.len(), 1);
-        assert_eq!(groups[&TRUE_VALUE].len(), 2);
+        assert_eq!(groups[0].0, TRUE_VALUE);
+        assert_eq!(groups[0].1.len(), 2);
         assert_eq!(rest.len(), 1);
     }
 

@@ -7,27 +7,42 @@
 //! across *lineages* inside one batch — sub-formulas need a cheap, canonical
 //! identity.
 //!
-//! [`DnfHash`] provides that identity as a 128-bit fingerprint:
+//! [`DnfHash`] provides that identity as a 128-bit fingerprint built as an
+//! **incremental combine over per-clause fingerprints**:
 //!
-//! * **Canonical** — [`crate::Dnf`] normalises on construction (clauses are
-//!   sorted and deduplicated, atoms inside a clause are sorted), so two DNFs
-//!   representing the same set of clauses hash identically no matter how they
-//!   were built.
-//! * **Collision-resistant in practice** — two independent 64-bit
-//!   accumulators are mixed with a SplitMix64-style finalizer per atom and
-//!   per clause boundary. For the workload sizes this repository targets
-//!   (up to millions of distinct sub-formulas per batch) the collision
-//!   probability of the combined 128-bit digest is negligible; callers that
-//!   need certainty can keep the formula alongside the key and verify on
-//!   lookup.
-//! * **Cheap** — one pass over the atoms, no allocation.
+//! * every atom contributes a mixed 128-bit value ([`atom_contrib`]),
+//! * a clause's raw fingerprint is the wrapping **sum** of its atoms'
+//!   contributions (order-independent, so the [`crate::LineageArena`] can
+//!   compute it once at intern time regardless of construction order),
+//! * the clause digest finalizes the raw fingerprint with a non-linear mix
+//!   that folds in the clause length (so atoms cannot migrate between
+//!   clauses without changing the digest),
+//! * the DNF hash is the wrapping sum of its clause digests plus a seed
+//!   (order-independent over the clause *set*; [`crate::Dnf`] deduplicates,
+//!   so set and multiset coincide).
+//!
+//! Guarantees:
+//!
+//! * **Canonical** — [`crate::Dnf`] normalises on construction, and the
+//!   combine is order-independent at both levels, so two DNFs representing
+//!   the same set of clauses hash identically no matter how they were built —
+//!   owned [`crate::Dnf`]s and arena [`crate::DnfView`]s included.
+//! * **Collision-resistant in practice** — each atom contributes an
+//!   avalanche-mixed 128-bit value; clause digests re-mix non-linearly. For
+//!   the workload sizes this repository targets (up to millions of distinct
+//!   sub-formulas per batch) the collision probability of the 128-bit digest
+//!   is negligible; callers that need certainty can keep the formula
+//!   alongside the key and verify on lookup.
+//! * **Cheap** — one pass over the atoms for an owned DNF; for an arena view
+//!   the per-clause raw fingerprints are computed once at intern time and
+//!   only combined (and mask-adjusted) afterwards.
 //!
 //! The hash identifies the *formula only*. Derived quantities such as
 //! probabilities are additionally a function of the
-//! [`crate::ProbabilitySpace`]; caches keyed by `DnfHash` must therefore not
-//! be shared across different spaces.
+//! [`crate::ProbabilitySpace`]; caches keyed by `DnfHash` must therefore
+//! validate the space (generation and watermark) on lookup.
 
-use crate::Dnf;
+use crate::{Atom, Dnf};
 
 /// A canonical 128-bit fingerprint of a [`Dnf`].
 ///
@@ -51,9 +66,69 @@ fn mix(mut x: u64) -> u64 {
     x
 }
 
-/// Marker mixed in at every clause boundary so that clause structure is part
-/// of the digest (`{x, y}` and `{x}, {y}` must not collide trivially).
+/// Marker mixed into every clause digest so that clause structure is part of
+/// the digest (`{x, y}` and `{x}, {y}` must not collide trivially).
 const CLAUSE_SEP: u64 = 0x9e37_79b9_7f4a_7c15;
+/// Seeds of the two accumulators (128 independent bits).
+const SEED_HI: u64 = 0x8000_0000_0000_001b;
+const SEED_LO: u64 = 0x5bf0_3635_dcf3_e5ab;
+/// Per-atom tweak of the low accumulator.
+const ATOM_TWEAK_LO: u64 = 0xd6e8_feb8_6659_fd93;
+
+/// The additive 128-bit contribution of one atom to its clause's raw
+/// fingerprint. Exposed (crate-internal) so the [`crate::LineageArena`] can
+/// subtract masked atoms from interned clause fingerprints.
+#[inline]
+pub(crate) fn atom_contrib(atom: Atom) -> (u64, u64) {
+    let packed = ((atom.var.0 as u64) << 32) | atom.value as u64;
+    (mix(packed ^ SEED_HI), mix(packed.rotate_left(13) ^ ATOM_TWEAK_LO))
+}
+
+/// Raw clause fingerprint: wrapping sum of atom contributions.
+#[inline]
+pub(crate) fn clause_fingerprint<I: IntoIterator<Item = Atom>>(atoms: I) -> (u64, u64) {
+    let mut hi = 0u64;
+    let mut lo = 0u64;
+    for a in atoms {
+        let (ah, al) = atom_contrib(a);
+        hi = hi.wrapping_add(ah);
+        lo = lo.wrapping_add(al);
+    }
+    (hi, lo)
+}
+
+/// Finalized clause digest from a raw fingerprint and the clause length.
+#[inline]
+pub(crate) fn clause_digest(fp: (u64, u64), len: usize) -> (u64, u64) {
+    let n = len as u64;
+    (mix(fp.0 ^ CLAUSE_SEP ^ n), mix(fp.1 ^ CLAUSE_SEP.rotate_left(31) ^ n.rotate_left(17)))
+}
+
+/// Combines clause digests into the final 128-bit DNF hash.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HashCombiner {
+    hi: u64,
+    lo: u64,
+}
+
+impl HashCombiner {
+    #[inline]
+    pub(crate) fn new() -> Self {
+        HashCombiner { hi: SEED_HI, lo: SEED_LO }
+    }
+
+    #[inline]
+    pub(crate) fn add_clause(&mut self, fp: (u64, u64), len: usize) {
+        let (dh, dl) = clause_digest(fp, len);
+        self.hi = self.hi.wrapping_add(dh);
+        self.lo = self.lo.wrapping_add(dl);
+    }
+
+    #[inline]
+    pub(crate) fn finish(self) -> DnfHash {
+        DnfHash { hi: self.hi, lo: self.lo }
+    }
+}
 
 impl DnfHash {
     /// Computes the canonical hash of a DNF.
@@ -61,19 +136,11 @@ impl DnfHash {
     /// Exposed as [`Dnf::canonical_hash`]; this associated function is the
     /// implementation.
     pub fn of(dnf: &Dnf) -> DnfHash {
-        // Two accumulators with different seeds give 128 independent bits.
-        let mut hi: u64 = 0x8000_0000_0000_001b ^ dnf.len() as u64;
-        let mut lo: u64 = 0x5bf0_3635_dcf3_e5ab ^ (dnf.len() as u64).rotate_left(17);
+        let mut c = HashCombiner::new();
         for clause in dnf.clauses() {
-            hi = mix(hi ^ CLAUSE_SEP);
-            lo = mix(lo ^ CLAUSE_SEP.rotate_left(31));
-            for atom in clause.atoms() {
-                let packed = ((atom.var.0 as u64) << 32) | atom.value as u64;
-                hi = mix(hi ^ packed);
-                lo = mix(lo ^ packed.rotate_left(13) ^ 0xd6e8_feb8_6659_fd93);
-            }
+            c.add_clause(clause_fingerprint(clause.atoms().iter().copied()), clause.len());
         }
-        DnfHash { hi, lo }
+        c.finish()
     }
 
     /// The fingerprint as a single 128-bit integer.
@@ -174,5 +241,28 @@ mod tests {
         }
         assert_eq!(count, 2000);
         assert_eq!(hashes.len(), 2000);
+    }
+
+    /// The digest must separate DNFs whose clauses could be confused by a
+    /// purely additive (structure-free) combine: moving an atom between
+    /// clauses, merging clauses, or splitting them all change the hash.
+    #[test]
+    fn clause_boundaries_are_part_of_the_digest() {
+        let ab_c =
+            Dnf::from_clauses(vec![Clause::from_bools(&[v(0), v(1)]), Clause::from_bools(&[v(2)])]);
+        let a_bc =
+            Dnf::from_clauses(vec![Clause::from_bools(&[v(0)]), Clause::from_bools(&[v(1), v(2)])]);
+        let abc = Dnf::from_clauses(vec![Clause::from_bools(&[v(0), v(1), v(2)])]);
+        let a_b_c = Dnf::from_clauses(vec![
+            Clause::from_bools(&[v(0)]),
+            Clause::from_bools(&[v(1)]),
+            Clause::from_bools(&[v(2)]),
+        ]);
+        let hashes = [&ab_c, &a_bc, &abc, &a_b_c].map(|d| d.canonical_hash());
+        for i in 0..hashes.len() {
+            for j in (i + 1)..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "collision between variants {i} and {j}");
+            }
+        }
     }
 }

@@ -16,9 +16,13 @@
 //! * independence partitioning (connected components of the variable
 //!   co-occurrence graph) and product factorization, the structural analyses
 //!   the d-tree compiler builds on,
-//! * [`DnfHash`] — a canonical 128-bit fingerprint of a DNF, the key under
-//!   which sub-formula probabilities and bounds are memoized across the
-//!   lineages of a query batch,
+//! * [`DnfHash`] — a canonical 128-bit fingerprint of a DNF (an incremental
+//!   combine over per-clause fingerprints), the key under which sub-formula
+//!   probabilities and bounds are memoized across the lineages of a query
+//!   batch,
+//! * [`LineageArena`] / [`DnfView`] / [`DnfRef`] — the arena-interned
+//!   lineage representation the d-tree hot path decomposes with zero clause
+//!   cloning,
 //! * [`Formula`] — arbitrary positive ∧/∨ formulas and read-once (1OF)
 //!   evaluation.
 //!
@@ -46,6 +50,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod arena;
 mod atom;
 mod clause;
 mod dnf;
@@ -56,13 +61,17 @@ mod partition;
 mod space;
 mod world;
 
+pub use arena::{ClauseAtoms, DnfRef, DnfView, LineageArena};
 pub use atom::{Atom, VarId, FALSE_VALUE, TRUE_VALUE};
 pub use clause::Clause;
 pub use dnf::Dnf;
 pub use error::EventError;
 pub use formula::Formula;
 pub use hash::DnfHash;
-pub use partition::{connected_components, product_factorization, UnionFind, VarOrigins};
+pub use partition::{
+    connected_components, connected_components_by, product_factorization, product_factorization_by,
+    UnionFind, VarOrigins,
+};
 pub use space::{ProbabilitySpace, VariableInfo};
 pub use world::{enumerate_worlds, Valuation};
 

@@ -109,38 +109,112 @@ impl<K: Eq + Hash + Ord + Copy> UnionFind<K> {
 /// clauses belong to the same group iff they are connected through shared
 /// variables. This is the independent-or (⊗) partitioning of the paper.
 pub fn connected_components(clauses: &[Clause]) -> Vec<Vec<usize>> {
-    let mut var_to_first_clause: BTreeMap<VarId, usize> = BTreeMap::new();
-    let mut uf: UnionFind<usize> = UnionFind::new();
-    for (i, c) in clauses.iter().enumerate() {
-        uf.insert(i);
-        for v in c.vars() {
-            match var_to_first_clause.entry(v) {
-                Entry::Vacant(e) => {
-                    e.insert(i);
+    connected_components_by(clauses.len(), |i| clauses[i].vars())
+}
+
+/// Generic form of [`connected_components`]: `n` clauses, the `i`-th yielding
+/// its variables through `vars_of`. Owned [`crate::Dnf`]s and arena
+/// [`crate::DnfView`]s share this exact implementation, so the two paths
+/// produce components in the **same order** — a prerequisite for the
+/// bit-identity of the arena-backed d-tree compiler.
+pub fn connected_components_by<F, I>(n: usize, mut vars_of: F) -> Vec<Vec<usize>>
+where
+    F: FnMut(usize) -> I,
+    I: IntoIterator<Item = VarId>,
+{
+    // Flat union-find over clause indices (same union-by-rank + full path
+    // compression semantics as [`UnionFind`], so roots — and with them the
+    // component order — are identical to the map-based structure, at a
+    // fraction of the cost).
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut rank: Vec<u8> = vec![0; n];
+    fn find(parent: &mut [u32], k: u32) -> u32 {
+        let mut root = k;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = k;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    // Sorted flat map variable → first clause (binary-search insert; the
+    // var sets of decomposition nodes are small, and even for large ones the
+    // log-time probe beats a hash map's per-entry allocation churn).
+    let mut var_to_first_clause: Vec<(VarId, u32)> = Vec::new();
+    for i in 0..n {
+        for v in vars_of(i) {
+            match var_to_first_clause.binary_search_by_key(&v, |e| e.0) {
+                Err(pos) => var_to_first_clause.insert(pos, (v, i as u32)),
+                Ok(pos) => {
+                    let (a, b) = (i as u32, var_to_first_clause[pos].1);
+                    let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                    if ra != rb {
+                        match rank[ra as usize].cmp(&rank[rb as usize]) {
+                            std::cmp::Ordering::Less => parent[ra as usize] = rb,
+                            std::cmp::Ordering::Greater => parent[rb as usize] = ra,
+                            std::cmp::Ordering::Equal => {
+                                parent[rb as usize] = ra;
+                                rank[ra as usize] += 1;
+                            }
+                        }
+                    }
                 }
-                Entry::Occupied(e) => uf.union(i, *e.get()),
             }
         }
     }
-    let mut by_root: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    for i in 0..clauses.len() {
-        let r = uf.find(i);
-        by_root.entry(r).or_default().push(i);
+    // Group by root in ascending root order (what the `BTreeMap` grouping of
+    // the map-based implementation produced).
+    let mut slot: Vec<u32> = vec![u32::MAX; n];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut roots: Vec<u32> = Vec::new();
+    for i in 0..n {
+        let r = find(&mut parent, i as u32);
+        if slot[r as usize] == u32::MAX {
+            slot[r as usize] = roots.len() as u32;
+            roots.push(r);
+            groups.push(Vec::new());
+        }
+        groups[slot[r as usize] as usize].push(i);
     }
-    by_root.into_values().collect()
+    // Roots are discovered in ascending clause order; a set's root is always
+    // its first-inserted... not necessarily — order groups by root id to
+    // match the reference grouping exactly.
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    order.sort_unstable_by_key(|&g| roots[g]);
+    order.into_iter().map(|g| std::mem::take(&mut groups[g])).collect()
 }
 
 /// Labels mapping each variable to the "origin group" it belongs to — for
 /// query lineage, the input relation (or query subgoal) the variable's tuple
 /// came from. Origin information drives both the independent-and product
 /// factorization and the tractable variable-elimination orders of Section VI.
-/// Cloning is cheap: the map is behind an [`std::sync::Arc`] that is only
-/// copied on write, so per-lineage front-ends can clone the origins into
-/// their compile options without paying for the whole map — millions of
-/// variables would otherwise make every confidence call `O(database)`.
+///
+/// Variable ids are dense (one per tuple, allocated sequentially), so the
+/// table is a flat vector indexed by id — the factorization gate probes it
+/// for **every atom of every decomposition step**, which a tree map made the
+/// single hottest lookup of the compiler. Cloning is cheap: the table is
+/// behind an [`std::sync::Arc`] that is only copied on write, so per-lineage
+/// front-ends can clone the origins into their compile options without
+/// paying for the whole table — millions of variables would otherwise make
+/// every confidence call `O(database)`.
 #[derive(Debug, Clone, Default)]
 pub struct VarOrigins {
-    origin: std::sync::Arc<BTreeMap<VarId, u32>>,
+    inner: std::sync::Arc<OriginTable>,
+}
+
+/// Sentinel for "no origin recorded".
+const NO_ORIGIN: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Default)]
+struct OriginTable {
+    /// `groups[var.index()]` is the origin group, or [`NO_ORIGIN`].
+    groups: Vec<u32>,
+    /// Number of variables with a recorded origin.
+    known: usize,
 }
 
 impl VarOrigins {
@@ -150,23 +224,38 @@ impl VarOrigins {
     }
 
     /// Records that `var` originates from group `group` (e.g. relation id).
+    ///
+    /// # Panics
+    /// Panics on the reserved group id `u32::MAX`.
     pub fn set(&mut self, var: VarId, group: u32) {
-        std::sync::Arc::make_mut(&mut self.origin).insert(var, group);
+        assert_ne!(group, NO_ORIGIN, "origin group id u32::MAX is reserved");
+        let table = std::sync::Arc::make_mut(&mut self.inner);
+        if table.groups.len() <= var.index() {
+            table.groups.resize(var.index() + 1, NO_ORIGIN);
+        }
+        if table.groups[var.index()] == NO_ORIGIN {
+            table.known += 1;
+        }
+        table.groups[var.index()] = group;
     }
 
     /// The origin group of `var`, if known.
+    #[inline]
     pub fn get(&self, var: VarId) -> Option<u32> {
-        self.origin.get(&var).copied()
+        match self.inner.groups.get(var.index()) {
+            Some(&g) if g != NO_ORIGIN => Some(g),
+            _ => None,
+        }
     }
 
     /// Number of variables with a recorded origin.
     pub fn len(&self) -> usize {
-        self.origin.len()
+        self.inner.known
     }
 
     /// `true` if no origin is recorded.
     pub fn is_empty(&self) -> bool {
-        self.origin.is_empty()
+        self.inner.known == 0
     }
 
     /// The set of distinct origin groups mentioned by the given clause set.
@@ -191,29 +280,60 @@ impl VarOrigins {
 /// Returns `None` when no factorization into ≥ 2 factors exists (or cannot be
 /// verified) — the caller then falls back to Shannon expansion.
 pub fn product_factorization(clauses: &[Clause], origins: &VarOrigins) -> Option<Vec<Vec<Clause>>> {
-    if clauses.len() < 2 {
+    product_factorization_by(clauses.len(), |i| clauses[i].atoms().iter().copied(), origins)
+}
+
+/// Generic form of [`product_factorization`]: `n` clauses, the `i`-th
+/// yielding its (sorted) atoms through `atoms_of`. Shared by the owned
+/// [`crate::Dnf`] path and the arena [`crate::DnfView`] path so both produce
+/// the same factors in the same order.
+pub fn product_factorization_by<F, I>(
+    n: usize,
+    atoms_of: F,
+    origins: &VarOrigins,
+) -> Option<Vec<Vec<Clause>>>
+where
+    F: Fn(usize) -> I,
+    I: Iterator<Item = crate::Atom>,
+{
+    if n < 2 {
         return None;
     }
-    // Collect the origin groups present; every clause must mention each group
-    // at most... (projection may be empty for some clause, which breaks the
-    // aligned-product structure, so require full alignment).
-    let all_groups: Vec<u32> = {
-        let set = origins.groups_of(clauses);
-        if set.len() < 2 {
-            return None;
-        }
-        set.into_iter().collect()
-    };
-    // Any variable without a known origin disables the factorization.
-    for c in clauses {
-        for v in c.vars() {
-            origins.get(v)?;
+    // Gate pass: every variable must have a known origin, and at least two
+    // distinct groups must occur. The overwhelmingly common negative case
+    // (single-relation lineage) is decided with two registers — no set is
+    // built unless a second group actually shows up.
+    let mut first_group: Option<u32> = None;
+    let mut multi_group = false;
+    for i in 0..n {
+        for a in atoms_of(i) {
+            let g = origins.get(a.var)?;
+            match first_group {
+                None => first_group = Some(g),
+                Some(f) if f != g => multi_group = true,
+                Some(_) => {}
+            }
         }
     }
+    if !multi_group {
+        return None;
+    }
+    // Collect the origin groups present (projection may be empty for some
+    // clause, which breaks the aligned-product structure, so require full
+    // alignment — checked below).
+    let mut group_set: BTreeSet<u32> = BTreeSet::new();
+    for i in 0..n {
+        for a in atoms_of(i) {
+            group_set.insert(origins.get(a.var)?);
+        }
+    }
+    let all_groups: Vec<u32> = group_set.into_iter().collect();
 
-    // Projection of a clause onto an origin group.
-    let project =
-        |c: &Clause, g: u32| -> Clause { c.project_onto(&|v: VarId| origins.get(v) == Some(g)) };
+    // Projection of a clause onto an origin group. Atoms arrive sorted, so
+    // the filtered sequence is a valid sorted clause.
+    let project = |i: usize, g: u32| -> Clause {
+        Clause::from_atoms(atoms_of(i).filter(|a| origins.get(a.var) == Some(g)))
+    };
 
     // Pairwise merging: groups g and h must stay in the same factor if the
     // projection of the clause set onto {g, h} is not the product of the
@@ -228,7 +348,7 @@ pub fn product_factorization(clauses: &[Clause], origins: &VarOrigins) -> Option
             let mut proj_g: BTreeSet<Clause> = BTreeSet::new();
             let mut proj_h: BTreeSet<Clause> = BTreeSet::new();
             let mut proj_gh: BTreeSet<(Clause, Clause)> = BTreeSet::new();
-            for c in clauses {
+            for c in 0..n {
                 let cg = project(c, g);
                 let ch = project(c, h);
                 proj_g.insert(cg.clone());
@@ -250,10 +370,11 @@ pub fn product_factorization(clauses: &[Clause], origins: &VarOrigins) -> Option
     for group in &factors {
         let group_set: BTreeSet<u32> = group.iter().copied().collect();
         let mut seen: BTreeSet<Clause> = BTreeSet::new();
-        for c in clauses {
-            let proj = c.project_onto(&|v: VarId| {
-                origins.get(v).map(|g| group_set.contains(&g)).unwrap_or(false)
-            });
+        for c in 0..n {
+            let proj =
+                Clause::from_atoms(atoms_of(c).filter(|a| {
+                    origins.get(a.var).map(|g| group_set.contains(&g)).unwrap_or(false)
+                }));
             seen.insert(proj);
         }
         // An empty projection in a factor means some clause has no variable
@@ -266,7 +387,7 @@ pub fn product_factorization(clauses: &[Clause], origins: &VarOrigins) -> Option
 
     // Verify |Φ| = Π |π_Gi(Φ)| …
     let product_size: usize = factor_clauses.iter().map(|f| f.len()).product();
-    if product_size != clauses.len() {
+    if product_size != n {
         return None;
     }
     // … and that every original clause is the conjunction of its projections
@@ -275,8 +396,8 @@ pub fn product_factorization(clauses: &[Clause], origins: &VarOrigins) -> Option
     // match and recombinations of projections of original clauses include all
     // original clauses, it suffices to check that the original clause set,
     // viewed as a set, has the full product size (no duplicates collapse).
-    let original: BTreeSet<&Clause> = clauses.iter().collect();
-    if original.len() != clauses.len() {
+    let original: BTreeSet<Clause> = (0..n).map(|i| Clause::from_atoms(atoms_of(i))).collect();
+    if original.len() != n {
         return None;
     }
     Some(factor_clauses)

@@ -4,12 +4,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::{Atom, EventError, Result, VarId, FALSE_VALUE, TRUE_VALUE};
 
-/// Process-wide source of generation fingerprints. Every mutation of any
-/// [`ProbabilitySpace`] draws a fresh value, so generations are monotonically
-/// increasing *and* globally unique: two spaces (other than clones of each
-/// other, whose contents are identical) never share a generation, which lets
-/// caches keyed by generation validate entries without knowing which space
-/// produced them.
+/// Process-wide source of generation fingerprints. Every *invalidation* of
+/// any [`ProbabilitySpace`] draws a fresh value, so generations are
+/// monotonically increasing *and* globally unique: two spaces (other than
+/// clones of each other, whose shared history is identical) never share a
+/// generation, which lets caches keyed by generation validate entries
+/// without knowing which space produced them.
 static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
 
 fn fresh_generation() -> u64 {
@@ -45,6 +45,20 @@ impl VariableInfo {
 pub struct ProbabilitySpace {
     vars: Vec<VariableInfo>,
     generation: u64,
+    /// Guard against divergent clones silently sharing a generation.
+    ///
+    /// Appending a variable keeps the generation (append-only growth cannot
+    /// change any existing variable, so cache entries stay warm — see
+    /// [`ProbabilitySpace::watermark`]). But two *clones* of one space could
+    /// each append a **different** variable at the same index while still
+    /// sharing the generation, and a cache could then serve one clone's
+    /// entry to the other. All clones of a space share this counter (the
+    /// `Arc` travels through `Clone`), recording the highest variable count
+    /// any of them has grown the shared generation to: an append that would
+    /// re-use an already-claimed count is a divergent clone and is moved
+    /// onto a fresh generation and a fresh counter (running cold, but
+    /// sound). State is local to the clone family and freed with it.
+    claimed: std::sync::Arc<AtomicU64>,
 }
 
 impl Default for ProbabilitySpace {
@@ -56,29 +70,50 @@ impl Default for ProbabilitySpace {
 impl ProbabilitySpace {
     /// Creates an empty probability space.
     pub fn new() -> Self {
-        ProbabilitySpace { vars: Vec::new(), generation: fresh_generation() }
+        ProbabilitySpace {
+            vars: Vec::new(),
+            generation: fresh_generation(),
+            claimed: std::sync::Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// Creates an empty probability space with capacity for `n` variables.
     pub fn with_capacity(n: usize) -> Self {
-        ProbabilitySpace { vars: Vec::with_capacity(n), generation: fresh_generation() }
+        ProbabilitySpace {
+            vars: Vec::with_capacity(n),
+            generation: fresh_generation(),
+            claimed: std::sync::Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// The space's **generation fingerprint**: a monotonically increasing,
-    /// globally unique value that changes on every mutation of the space
-    /// (adding a variable, or an explicit [`ProbabilitySpace::invalidate`]).
+    /// globally unique value that changes on every *in-place* invalidation of
+    /// the space ([`ProbabilitySpace::invalidate`], called by database layers
+    /// when they rebuild tables around the space).
     ///
-    /// Derived quantities such as sub-formula probabilities are pure
-    /// functions of `(formula, space)`; a cache that tags each entry with the
-    /// generation it was computed under and validates the tag on lookup can
-    /// therefore be shared across batches — and across spaces — without ever
-    /// serving a stale value: any change to the space retires all of its
-    /// previous entries at once. Clones share their origin's generation (and
-    /// its cache entries, which is sound because their contents are
-    /// identical) until either side mutates.
+    /// **Append-only growth keeps the generation**: adding a variable cannot
+    /// change any existing variable's distribution, so every derived quantity
+    /// computed before the append is still correct. Caches therefore tag each
+    /// entry with `(generation, watermark)` — the watermark being the
+    /// variable count the entry's formula requires
+    /// ([`ProbabilitySpace::watermark`]) — and validate both on lookup:
+    /// entries stay warm across inserts, and only a genuine in-place change
+    /// retires them. Divergent clones (two clones of one space each appending
+    /// their own variables) are detected and moved onto fresh generations, so
+    /// a cache can never serve one clone's entry to the other.
     #[inline]
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The space's **variable-count watermark**: the number of variables, i.e.
+    /// one past the largest valid [`VarId`]. Append-only growth advances the
+    /// watermark without touching the generation; a cache entry computed for
+    /// a formula whose largest variable id is below the watermark remains
+    /// valid under every later watermark of the same generation.
+    #[inline]
+    pub fn watermark(&self) -> u64 {
+        self.vars.len() as u64
     }
 
     /// Forces a new generation, retiring every cache entry computed under the
@@ -87,6 +122,10 @@ impl ProbabilitySpace {
     /// database layer rebuilding tables around the space).
     pub fn invalidate(&mut self) {
         self.generation = fresh_generation();
+        // A fresh generation starts a fresh clone family: clones of the old
+        // state keep their own counter and can never collide with this one
+        // (their generation differs).
+        self.claimed = std::sync::Arc::new(AtomicU64::new(self.vars.len() as u64));
     }
 
     /// Number of variables in the space.
@@ -167,7 +206,16 @@ impl ProbabilitySpace {
     fn push(&mut self, info: VariableInfo) -> VarId {
         let id = VarId(self.vars.len() as u32);
         self.vars.push(info);
-        self.invalidate();
+        // Appends keep the generation (existing entries stay warm) unless a
+        // divergent clone already claimed this variable index under the
+        // shared generation — then this space moves to a fresh generation
+        // and a fresh clone-family counter.
+        let count = self.vars.len() as u64;
+        let prev = self.claimed.fetch_max(count, Ordering::SeqCst);
+        if prev >= count {
+            self.generation = fresh_generation();
+            self.claimed = std::sync::Arc::new(AtomicU64::new(count));
+        }
         id
     }
 
@@ -293,21 +341,23 @@ mod tests {
     }
 
     #[test]
-    fn generation_bumps_on_every_mutation() {
+    fn appends_advance_watermark_but_keep_generation() {
         let mut s = ProbabilitySpace::new();
         let g0 = s.generation();
+        assert_eq!(s.watermark(), 0);
         s.add_bool("x", 0.5);
-        let g1 = s.generation();
-        assert!(g1 > g0, "adding a variable must advance the generation");
+        assert_eq!(s.generation(), g0, "append-only growth must keep the generation");
+        assert_eq!(s.watermark(), 1);
         s.add_discrete("y", vec![0.2, 0.8]);
-        let g2 = s.generation();
-        assert!(g2 > g1);
+        assert_eq!(s.generation(), g0);
+        assert_eq!(s.watermark(), 2);
         s.invalidate();
-        assert!(s.generation() > g2, "explicit invalidation must advance the generation");
+        assert!(s.generation() > g0, "explicit invalidation must advance the generation");
+        assert_eq!(s.watermark(), 2, "invalidation does not change the variable count");
         // Failed mutations leave the generation untouched.
-        let g3 = s.generation();
+        let g1 = s.generation();
         assert!(s.try_add_bool("bad", 2.0).is_err());
-        assert_eq!(s.generation(), g3);
+        assert_eq!(s.generation(), g1);
     }
 
     #[test]
@@ -317,8 +367,29 @@ mod tests {
         assert_ne!(a.generation(), b.generation());
         let mut c = a.clone();
         assert_eq!(a.generation(), c.generation());
-        c.add_bool("x", 0.5);
+        c.invalidate();
         assert_ne!(a.generation(), c.generation());
+    }
+
+    /// Two clones of one space each appending their *own* variable at the
+    /// same index must not keep sharing a generation — a cache entry computed
+    /// under one would otherwise be served to the other.
+    #[test]
+    fn divergent_clones_are_forced_onto_fresh_generations() {
+        let mut a = ProbabilitySpace::new();
+        a.add_bool("base", 0.5);
+        let mut b = a.clone();
+        assert_eq!(a.generation(), b.generation());
+        // First divergent appender keeps the shared generation …
+        b.add_bool("b-only", 0.9);
+        // … the second one is detected and re-generationed.
+        a.add_bool("a-only", 0.1);
+        assert_ne!(a.generation(), b.generation());
+        assert_eq!(a.watermark(), b.watermark());
+        // A linear append history never loses its generation.
+        let g = b.generation();
+        b.add_bool("more", 0.4);
+        assert_eq!(b.generation(), g);
     }
 
     #[test]

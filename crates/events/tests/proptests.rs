@@ -139,4 +139,72 @@ proptest! {
             prop_assert!(!cof.vars().contains(&var));
         }
     }
+
+    /// Arena views replay the owned decomposition operators exactly: random
+    /// chains of cofactors / component splits / subsumption removal /
+    /// common-atom stripping keep the view's materialisation, canonical hash,
+    /// and structural queries bit-identical to the owned `Dnf` path.
+    #[test]
+    fn arena_views_track_owned_decomposition(
+        (space, dnf) in arb_space_and_dnf(8, 8, 4),
+        steps in prop::collection::vec((0u8..4, 0u32..1_000_000), 1..8),
+    ) {
+        use events::{DnfRef, LineageArena};
+        let mut arena = LineageArena::new();
+        let mut view = arena.intern(&dnf);
+        let mut owned = dnf.clone();
+        for (op, pick) in steps {
+            // Invariants at every node of the walk.
+            prop_assert_eq!(&view.to_dnf(&arena), &owned);
+            prop_assert_eq!(view.hash(&arena), owned.canonical_hash());
+            prop_assert_eq!(view.vars(&arena), owned.vars());
+            prop_assert_eq!(view.most_frequent_var(&arena), owned.most_frequent_var());
+            prop_assert_eq!(view.is_tautology(&arena), owned.is_tautology());
+            prop_assert_eq!(view.required_watermark(&arena), owned.required_watermark());
+            let r = DnfRef::Arena(&arena, &view);
+            prop_assert_eq!(
+                r.clauses_by_probability_desc(&space),
+                DnfRef::Owned(&owned).clauses_by_probability_desc(&space)
+            );
+            if owned.is_empty() || owned.is_tautology() {
+                break;
+            }
+            match op {
+                0 => {
+                    let vars: Vec<_> = owned.vars().into_iter().collect();
+                    let var = vars[pick as usize % vars.len()];
+                    let value = pick % space.domain_size(var);
+                    owned = owned.cofactor(var, value);
+                    view = view.cofactor(&mut arena, var, value);
+                }
+                1 => {
+                    let comps_owned = owned.independent_components();
+                    let comps_view = view.independent_components(&arena);
+                    prop_assert_eq!(comps_owned.len(), comps_view.len());
+                    let i = pick as usize % comps_owned.len();
+                    owned = comps_owned[i].clone();
+                    view = comps_view[i].clone();
+                }
+                2 => {
+                    let reduced = owned.remove_subsumed();
+                    let (v, removed) = view.remove_subsumed(&arena);
+                    prop_assert_eq!(owned.len() - reduced.len(), removed);
+                    owned = reduced;
+                    view = v;
+                }
+                _ => {
+                    let common = owned.common_atoms();
+                    prop_assert_eq!(&view.common_atoms(&arena), &common);
+                    if common.is_empty() {
+                        continue;
+                    }
+                    let vars: Vec<_> = common.iter().map(|a| a.var).collect();
+                    owned = owned.strip_atoms(&common);
+                    view = view.strip_vars(&mut arena, &vars);
+                }
+            }
+        }
+        prop_assert_eq!(&view.to_dnf(&arena), &owned);
+        prop_assert_eq!(view.hash(&arena), owned.canonical_hash());
+    }
 }

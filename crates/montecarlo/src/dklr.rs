@@ -118,6 +118,14 @@ pub fn aconf(dnf: &Dnf, space: &ProbabilitySpace, opts: &McOptions) -> McResult 
     DklrEstimator::new(dnf, space, opts.clone()).run(space)
 }
 
+/// [`aconf`] on either lineage representation — for
+/// [`events::DnfRef::Arena`] the estimator samples against the arena view
+/// directly, without materialising an owned DNF. Seeded runs are
+/// bit-identical across representations of the same formula.
+pub fn aconf_ref(dnf: events::DnfRef<'_>, space: &ProbabilitySpace, opts: &McOptions) -> McResult {
+    DklrEstimator::from_ref(dnf, space, opts.clone()).run(space)
+}
+
 struct Budget {
     start: Instant,
     samples: u64,
@@ -146,7 +154,13 @@ impl Budget {
 impl DklrEstimator {
     /// Prepares the estimator.
     pub fn new(dnf: &Dnf, space: &ProbabilitySpace, opts: McOptions) -> Self {
-        DklrEstimator { kl: KarpLubyEstimator::with_variant(dnf, space, opts.variant), opts }
+        Self::from_ref(events::DnfRef::Owned(dnf), space, opts)
+    }
+
+    /// Prepares the estimator from either lineage representation (see
+    /// [`KarpLubyEstimator::from_ref`]).
+    pub fn from_ref(dnf: events::DnfRef<'_>, space: &ProbabilitySpace, opts: McOptions) -> Self {
+        DklrEstimator { kl: KarpLubyEstimator::from_ref(dnf, space, opts.variant), opts }
     }
 
     /// Runs the three-phase DKLR schedule.

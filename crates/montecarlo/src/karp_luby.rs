@@ -17,7 +17,7 @@
 //!
 //! Both are unbiased: the expectation of the returned value is exactly `p`.
 
-use events::{Clause, Dnf, ProbabilitySpace, Valuation, VarId};
+use events::{Dnf, DnfRef, ProbabilitySpace, Valuation, VarId};
 use rand::Rng;
 
 /// Which unbiased estimate to compute from a sampled world.
@@ -34,13 +34,18 @@ pub enum EstimatorVariant {
 
 /// A prepared Karp-Luby estimator for a fixed DNF.
 ///
-/// Preparation pre-computes clause probabilities, their cumulative
-/// distribution (for clause sampling), and the variable set of the DNF, so
-/// that each call to [`KarpLubyEstimator::sample`] costs one world sample
-/// plus one satisfaction scan over the clauses.
+/// Preparation copies the formula **once** into a flat atom pool (clauses
+/// become spans over it — the same layout as [`events::LineageArena`], so a
+/// [`DnfRef::Arena`] view is prepared without ever materialising an owned
+/// DNF) and pre-computes clause probabilities, their cumulative distribution
+/// (for clause sampling), and the variable set of the DNF. Each call to
+/// [`KarpLubyEstimator::sample`] then costs one world sample plus one
+/// cache-friendly satisfaction scan over the pooled atoms.
 #[derive(Debug, Clone)]
 pub struct KarpLubyEstimator {
-    clauses: Vec<Clause>,
+    /// Flat atom pool; clause `i` owns `atoms[spans[i].0..spans[i].1]`.
+    atoms: Vec<events::Atom>,
+    spans: Vec<(u32, u32)>,
     clause_probs: Vec<f64>,
     cumulative: Vec<f64>,
     total_weight: f64,
@@ -57,8 +62,26 @@ impl KarpLubyEstimator {
 
     /// Prepares the estimator with an explicit variant.
     pub fn with_variant(dnf: &Dnf, space: &ProbabilitySpace, variant: EstimatorVariant) -> Self {
-        let clauses: Vec<Clause> = dnf.clauses().to_vec();
-        let clause_probs: Vec<f64> = clauses.iter().map(|c| c.probability(space)).collect();
+        Self::from_ref(DnfRef::Owned(dnf), space, variant)
+    }
+
+    /// Prepares the estimator from either lineage representation — for
+    /// [`DnfRef::Arena`], the sampler is built against the arena directly,
+    /// without materialising an owned [`Dnf`]. The sampling stream (clause
+    /// order, variable order, satisfaction scans) is identical for both
+    /// representations of the same formula, so seeded estimates agree to the
+    /// bit.
+    pub fn from_ref(dnf: DnfRef<'_>, space: &ProbabilitySpace, variant: EstimatorVariant) -> Self {
+        let n = dnf.clause_count();
+        let mut atoms = Vec::new();
+        let mut spans = Vec::with_capacity(n);
+        let mut clause_probs = Vec::with_capacity(n);
+        for i in 0..n {
+            let start = atoms.len() as u32;
+            atoms.extend(dnf.clause_atoms(i));
+            spans.push((start, atoms.len() as u32));
+            clause_probs.push(dnf.clause_probability(space, i));
+        }
         let mut cumulative = Vec::with_capacity(clause_probs.len());
         let mut acc = 0.0;
         for &p in &clause_probs {
@@ -66,7 +89,21 @@ impl KarpLubyEstimator {
             cumulative.push(acc);
         }
         let vars: Vec<VarId> = dnf.vars().into_iter().collect();
-        KarpLubyEstimator { clauses, clause_probs, cumulative, total_weight: acc, vars, variant }
+        KarpLubyEstimator {
+            atoms,
+            spans,
+            clause_probs,
+            cumulative,
+            total_weight: acc,
+            vars,
+            variant,
+        }
+    }
+
+    #[inline]
+    fn clause_atoms(&self, i: usize) -> &[events::Atom] {
+        let (s, e) = self.spans[i];
+        &self.atoms[s as usize..e as usize]
     }
 
     /// The normalising constant `U = Σ P(cᵢ)` (an upper bound on the DNF
@@ -77,16 +114,16 @@ impl KarpLubyEstimator {
 
     /// Number of clauses of the prepared DNF.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+        self.spans.len()
     }
 
     /// `true` if the DNF is trivially false (no clauses) or trivially true
     /// (contains the empty clause); such inputs need no sampling.
     pub fn trivial_probability(&self) -> Option<f64> {
-        if self.clauses.is_empty() {
+        if self.spans.is_empty() {
             return Some(0.0);
         }
-        if self.clauses.iter().any(|c| c.is_empty()) {
+        if self.spans.iter().any(|(s, e)| s == e) {
             return Some(1.0);
         }
         None
@@ -136,8 +173,8 @@ impl KarpLubyEstimator {
             .cumulative
             .binary_search_by(|probe| probe.partial_cmp(&target).expect("finite probabilities"))
         {
-            Ok(i) => (i + 1).min(self.clauses.len() - 1),
-            Err(i) => i.min(self.clauses.len() - 1),
+            Ok(i) => (i + 1).min(self.spans.len() - 1),
+            Err(i) => i.min(self.spans.len() - 1),
         }
     }
 
@@ -147,10 +184,9 @@ impl KarpLubyEstimator {
         space: &ProbabilitySpace,
         rng: &mut R,
     ) -> Valuation {
-        let clause = &self.clauses[clause_idx];
         let mut world = Valuation::new();
         // Pin the clause's variables.
-        for atom in clause.atoms() {
+        for atom in self.clause_atoms(clause_idx) {
             world.assign(atom.var, atom.value);
         }
         // Sample every other variable of the DNF from its marginal.
@@ -164,16 +200,14 @@ impl KarpLubyEstimator {
     }
 
     fn count_satisfied(&self, world: &Valuation) -> usize {
-        self.clauses
-            .iter()
-            .filter(|c| c.atoms().iter().all(|a| world.value(a.var) == Some(a.value)))
+        (0..self.spans.len())
+            .filter(|&i| self.clause_atoms(i).iter().all(|a| world.value(a.var) == Some(a.value)))
             .count()
     }
 
     fn min_satisfied(&self, world: &Valuation) -> Option<usize> {
-        self.clauses
-            .iter()
-            .position(|c| c.atoms().iter().all(|a| world.value(a.var) == Some(a.value)))
+        (0..self.spans.len())
+            .find(|&i| self.clause_atoms(i).iter().all(|a| world.value(a.var) == Some(a.value)))
     }
 
     /// Average of `n` independent estimates — the plain (non-adaptive)

@@ -66,6 +66,18 @@ impl NaiveOptions {
 
 /// Estimates the probability of `dnf` by sampling complete possible worlds.
 pub fn naive_monte_carlo(dnf: &Dnf, space: &ProbabilitySpace, opts: &NaiveOptions) -> McResult {
+    naive_monte_carlo_ref(events::DnfRef::Owned(dnf), space, opts)
+}
+
+/// [`naive_monte_carlo`] on either lineage representation — for
+/// [`events::DnfRef::Arena`] the sampler evaluates clause satisfaction
+/// against the arena view directly, without materialising an owned DNF.
+/// Seeded runs are bit-identical across representations of the same formula.
+pub fn naive_monte_carlo_ref(
+    dnf: events::DnfRef<'_>,
+    space: &ProbabilitySpace,
+    opts: &NaiveOptions,
+) -> McResult {
     let start = Instant::now();
     if dnf.is_empty() {
         return McResult { estimate: 0.0, samples: 0, converged: true, elapsed: start.elapsed() };
@@ -91,7 +103,11 @@ pub fn naive_monte_carlo(dnf: &Dnf, space: &ProbabilitySpace, opts: &NaiveOption
         for &v in &vars {
             world.assign(v, sample_value(space, v, &mut rng));
         }
-        if world.satisfies(dnf) {
+        // Mirrors `Valuation::satisfies` on the clause iterators of either
+        // representation.
+        let satisfied = (0..dnf.clause_count())
+            .any(|i| dnf.clause_atoms(i).all(|a| world.value(a.var) == Some(a.value)));
+        if satisfied {
             hits += 1;
         }
         taken += 1;

@@ -3,9 +3,10 @@
 //! probability, the DKLR stopping rule must respect its (ε, δ) contract, and
 //! budgets must be honoured.
 
-use events::{Clause, Dnf, ProbabilitySpace};
+use events::{Clause, Dnf, DnfRef, LineageArena, ProbabilitySpace};
 use montecarlo::{
-    aconf, naive_monte_carlo, EstimatorVariant, KarpLubyEstimator, McOptions, NaiveOptions,
+    aconf, aconf_ref, naive_monte_carlo, naive_monte_carlo_ref, EstimatorVariant,
+    KarpLubyEstimator, McOptions, NaiveOptions,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -112,5 +113,29 @@ proptest! {
         let r = naive_monte_carlo(&dnf, &space, &NaiveOptions::new(0.05).with_seed(seed));
         prop_assert!((0.0..=1.0).contains(&r.estimate));
         prop_assert!((r.estimate - exact).abs() <= 0.15);
+    }
+
+    /// Seeded Monte-Carlo runs are bit-identical whether the sampler is fed
+    /// the owned DNF or an arena view of the same formula — the estimators
+    /// evaluate against the arena directly without changing a single draw.
+    #[test]
+    fn samplers_are_bit_identical_across_representations(
+        (ps, clause_vars) in small_dnf(),
+        seed in 0u64..1_000_000,
+    ) {
+        let (space, dnf) = build(&ps, &clause_vars);
+        let mut arena = LineageArena::new();
+        let view = arena.intern(&dnf);
+        let kl_opts = McOptions::new(0.1).with_delta(0.05).with_seed(seed);
+        let owned = aconf(&dnf, &space, &kl_opts);
+        let viewed = aconf_ref(DnfRef::Arena(&arena, &view), &space, &kl_opts);
+        prop_assert_eq!(owned.estimate.to_bits(), viewed.estimate.to_bits());
+        prop_assert_eq!(owned.samples, viewed.samples);
+        prop_assert_eq!(owned.converged, viewed.converged);
+        let nv_opts = NaiveOptions::new(0.1).with_samples(500).with_seed(seed);
+        let owned = naive_monte_carlo(&dnf, &space, &nv_opts);
+        let viewed = naive_monte_carlo_ref(DnfRef::Arena(&arena, &view), &space, &nv_opts);
+        prop_assert_eq!(owned.estimate.to_bits(), viewed.estimate.to_bits());
+        prop_assert_eq!(owned.samples, viewed.samples);
     }
 }

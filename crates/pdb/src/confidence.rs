@@ -8,11 +8,11 @@
 use std::time::Duration;
 
 use dtree::{
-    exact_probability, exact_probability_cached, ApproxCompiler, ApproxOptions, CompileOptions,
-    CompileStats, ErrorBound, SubformulaCache, VarOrder,
+    exact_probability_view, exact_probability_view_cached, ApproxCompiler, ApproxOptions,
+    CompileOptions, CompileStats, ErrorBound, SubformulaCache, VarOrder,
 };
-use events::{Dnf, ProbabilitySpace, VarOrigins};
-use montecarlo::{aconf, naive_monte_carlo, McOptions, NaiveOptions};
+use events::{Dnf, DnfRef, LineageArena, ProbabilitySpace, VarOrigins};
+use montecarlo::{aconf_ref, naive_monte_carlo_ref, McOptions, NaiveOptions};
 
 /// The confidence-computation algorithm to run on a lineage DNF.
 #[derive(Debug, Clone)]
@@ -150,6 +150,11 @@ pub fn confidence_with(
             CompileOptions { var_order: VarOrder::MostFrequent, origins: None, max_depth: None }
         }
     };
+    // Intern the lineage once; every method below — d-tree compilers and
+    // Monte-Carlo samplers alike — evaluates against the arena view, so
+    // decomposition and sampling never clone a clause again.
+    let mut arena = LineageArena::with_capacity(lineage.len(), 4);
+    let root = arena.intern(lineage);
     match method {
         ConfidenceMethod::DTreeExact => {
             if budget.timeout.is_none() && budget.max_work.is_none() {
@@ -157,8 +162,10 @@ pub fn confidence_with(
                 // the paper notes this can be faster than ε-approximation).
                 let start = std::time::Instant::now();
                 let r = match cache {
-                    Some(c) => exact_probability_cached(lineage, space, &compile_opts, c),
-                    None => exact_probability(lineage, space, &compile_opts),
+                    Some(c) => {
+                        exact_probability_view_cached(&mut arena, &root, space, &compile_opts, c)
+                    }
+                    None => exact_probability_view(&mut arena, &root, space, &compile_opts),
                 };
                 ConfidenceResult {
                     estimate: r.probability,
@@ -183,10 +190,7 @@ pub fn confidence_with(
                     timeout: budget.timeout,
                 };
                 let compiler = ApproxCompiler::new(opts);
-                let r = match cache {
-                    Some(c) => compiler.run_cached(lineage, space, c),
-                    None => compiler.run(lineage, space),
-                };
+                let r = compiler.run_view(&mut arena, &root, space, cache);
                 ConfidenceResult {
                     estimate: r.estimate,
                     lower: r.lower,
@@ -211,10 +215,7 @@ pub fn confidence_with(
                 timeout: budget.timeout,
             };
             let compiler = ApproxCompiler::new(opts);
-            let r = match cache {
-                Some(c) => compiler.run_cached(lineage, space, c),
-                None => compiler.run(lineage, space),
-            };
+            let r = compiler.run_view(&mut arena, &root, space, cache);
             ConfidenceResult {
                 estimate: r.estimate,
                 lower: r.lower,
@@ -236,7 +237,7 @@ pub fn confidence_with(
             if let Some(s) = seed {
                 opts = opts.with_seed(s);
             }
-            let r = aconf(lineage, space, &opts);
+            let r = aconf_ref(DnfRef::Arena(&arena, &root), space, &opts);
             // The (ε, δ) guarantee is relative: p̂ ∈ [(1−ε)p, (1+ε)p] with
             // probability ≥ 1 − δ, hence p ∈ [p̂/(1+ε), p̂/(1−ε)] — but only
             // when the DKLR stopping rule actually ran to completion. A run
@@ -277,7 +278,7 @@ pub fn confidence_with(
             if let Some(s) = seed {
                 opts = opts.with_seed(s);
             }
-            let r = naive_monte_carlo(lineage, space, &opts);
+            let r = naive_monte_carlo_ref(DnfRef::Arena(&arena, &root), space, &opts);
             // Additive (ε, δ) guarantee: p ∈ [p̂ − ε, p̂ + ε] with
             // probability ≥ 1 − δ — earned only when the Hoeffding count was
             // actually drawn (trivial formulas are exact without sampling).

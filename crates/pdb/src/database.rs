@@ -45,12 +45,14 @@ impl Database {
     /// The generation fingerprint of the database's probability space
     /// (see [`ProbabilitySpace::generation`]).
     ///
-    /// Every mutating method of `Database` advances the generation, which
-    /// retires all sub-formula cache entries computed against the previous
-    /// state — this is the invalidation hook that makes a long-lived
-    /// [`dtree::SubformulaCache`] safe to share across batches: after any
-    /// database change, cached probabilities from before the change can never
-    /// be served again.
+    /// *Appending a fresh table* keeps the generation: the insert introduces
+    /// new, independent variables and cannot change any probability computed
+    /// before it, so warm [`dtree::SubformulaCache`] entries — tagged with
+    /// the generation and the variable-count watermark they require — stay
+    /// valid across inserts. *Replacing* an existing table (or calling
+    /// [`Database::invalidate_caches`]) is a genuine in-place change and
+    /// advances the generation, retiring every previous entry: after such a
+    /// change, cached probabilities from before it can never be served again.
     pub fn generation(&self) -> u64 {
         self.space.generation()
     }
@@ -90,14 +92,20 @@ impl Database {
     }
 
     fn register_table(&mut self, name: &str) -> u32 {
+        // Registering a *fresh* table is append-only: it introduces new
+        // variables and tuples but cannot change any existing variable's
+        // distribution, so every sub-formula probability computed before the
+        // insert is still correct — the generation survives and warm cache
+        // entries keep serving (watermark-scoped invalidation; see
+        // [`ProbabilitySpace::watermark`]). Replacing an existing table is a
+        // genuine in-place change and retires everything.
+        if self.table_ids.contains_key(name) {
+            self.space.invalidate();
+            return self.table_ids[name];
+        }
         let id = self.next_table_id;
         self.table_ids.insert(name.to_owned(), id);
         self.next_table_id += 1;
-        // Any table registration is a database mutation: advance the
-        // generation even when the new table adds no variables (deterministic
-        // tables), so the invariant "every Database mutation bumps the
-        // generation" holds unconditionally.
-        self.space.invalidate();
         id
     }
 
@@ -287,21 +295,23 @@ mod tests {
     }
 
     #[test]
-    fn mutations_advance_the_generation() {
+    fn fresh_tables_keep_generation_but_replacement_invalidates() {
         let mut db = Database::new();
         let g0 = db.generation();
         db.add_tuple_independent_table("R", &["a"], vec![(vec![Value::Int(1)], 0.5)]);
-        let g1 = db.generation();
-        assert!(g1 > g0);
-        // Deterministic tables add no variables but still count as mutations.
+        assert_eq!(db.generation(), g0, "inserting a fresh table is append-only");
+        assert_eq!(db.space().watermark(), 1);
         db.add_deterministic_table("D", &["x"], vec![vec![Value::Int(1)]]);
-        let g2 = db.generation();
-        assert!(g2 > g1);
+        assert_eq!(db.generation(), g0);
         db.add_bid_table("B", &["x"], vec![vec![(vec![Value::Int(0)], 0.4)]]);
-        let g3 = db.generation();
-        assert!(g3 > g2);
+        assert_eq!(db.generation(), g0);
+        assert_eq!(db.space().watermark(), 2);
+        // Replacing an existing table is an in-place change: generation bumps.
+        db.add_tuple_independent_table("R", &["a"], vec![(vec![Value::Int(2)], 0.7)]);
+        let g1 = db.generation();
+        assert!(g1 > g0, "replacing a table must advance the generation");
         db.invalidate_caches();
-        assert!(db.generation() > g3);
+        assert!(db.generation() > g1);
         assert_eq!(db.generation(), db.space().generation());
     }
 

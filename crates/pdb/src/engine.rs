@@ -574,24 +574,36 @@ mod tests {
         }
     }
 
+    /// Watermark-scoped invalidation (the append-only fast path): inserting a
+    /// *fresh* table only appends independent variables, so the warm entries
+    /// for the old lineages keep serving — the second batch sees warm hits
+    /// and zero stale lookups. A genuine in-place change (replacing a table)
+    /// still retires everything. Results are bit-identical throughout: warm
+    /// or cold, a cache can only change the work done, never an answer.
     #[test]
-    fn database_mutation_invalidates_shared_cache_without_stale_answers() {
+    fn fresh_table_keeps_shared_cache_warm_but_replacement_invalidates() {
         let (mut db, lineages) = answers_db();
         let method = ConfidenceMethod::DTreeAbsolute(0.001);
         let cache = Arc::new(SubformulaCache::new());
         let engine = ConfidenceEngine::new(method).with_shared_cache(Arc::clone(&cache));
         let before = engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
-        // Mutate the database: the generation advances, so the warm entries
-        // are retired. The old lineages' probabilities are untouched (the new
-        // table only adds fresh independent variables), so results must stay
-        // bit-identical — served by recomputation, not by stale entries.
+        // Insert a fresh table: append-only growth, entries stay warm.
         db.add_tuple_independent_table("T", &["z"], vec![(vec![Value::Int(0)], 0.5)]);
-        let after = engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
-        assert!(after.cache.stale > 0, "expected stale lookups: {:?}", after.cache);
-        for (a, b) in before.results.iter().zip(&after.results) {
+        let warm = engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
+        assert!(warm.cache.hits > 0, "expected warm hits after an insert: {:?}", warm.cache);
+        assert_eq!(warm.cache.stale, 0, "no entry may look stale after an insert");
+        // Replace an existing table: a genuine in-place change retires the
+        // warm entries (stale lookups), and answers are recomputed — the old
+        // lineages still reference the *old* variables, whose distributions
+        // are unchanged in the space, so the values stay bit-identical.
+        db.add_tuple_independent_table("T", &["z"], vec![(vec![Value::Int(1)], 0.25)]);
+        let cold = engine.confidence_batch(&lineages, db.space(), Some(db.origins()));
+        assert!(cold.cache.stale > 0, "expected stale lookups: {:?}", cold.cache);
+        for ((a, b), c) in before.results.iter().zip(&warm.results).zip(&cold.results) {
             assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
             assert_eq!(a.lower.to_bits(), b.lower.to_bits());
             assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+            assert_eq!(a.estimate.to_bits(), c.estimate.to_bits());
         }
     }
 

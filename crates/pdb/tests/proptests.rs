@@ -277,12 +277,14 @@ proptest! {
         }
     }
 
-    /// Generation invalidation: mutating the probability space between
-    /// batches retires all warm entries — the next batch recomputes (stale
-    /// lookups, no panics) and still returns results bit-identical to a
-    /// cache-off run, never a stale answer.
+    /// Watermark-scoped invalidation: *appending* a fresh variable between
+    /// batches keeps all warm entries valid (the old lineages' probabilities
+    /// are untouched, so the second batch is served warm with zero stale
+    /// lookups), while an explicit in-place invalidation retires every entry
+    /// — and in both regimes results stay bit-identical to a cache-off run,
+    /// never a stale answer.
     #[test]
-    fn generation_bump_invalidates_without_stale_answers(spec in dnf_batch()) {
+    fn watermark_keeps_appends_warm_but_invalidate_retires(spec in dnf_batch()) {
         use std::sync::Arc;
         use dtree::SubformulaCache;
         use pdb::confidence::ConfidenceMethod;
@@ -294,19 +296,28 @@ proptest! {
             .with_shared_cache(Arc::clone(&cache))
             .with_threads(2);
         let before = engine.confidence_batch(&dnfs, &space, None);
-        // Mutate the space: the new variable leaves the old lineages'
-        // probabilities untouched but advances the generation.
+        // Append a fresh variable: old lineages' probabilities are untouched
+        // and the generation survives, so the warm entries keep serving.
         space.add_bool("fresh", 0.5);
-        let after = engine.confidence_batch(&dnfs, &space, None);
-        prop_assert!(after.cache.hits == 0 || after.cache.stale > 0,
-            "warm entries served across a generation bump: {:?}", after.cache);
+        let warm = engine.confidence_batch(&dnfs, &space, None);
+        prop_assert!(warm.cache.hits > 0,
+            "append-only growth must keep entries warm: {:?}", warm.cache);
+        prop_assert_eq!(warm.cache.stale, 0);
+        // A genuine in-place change retires every previous entry.
+        space.invalidate();
+        let cold = engine.confidence_batch(&dnfs, &space, None);
+        prop_assert!(cold.cache.hits == 0 || cold.cache.stale > 0,
+            "warm entries served across an invalidation: {:?}", cold.cache);
         let plain = ConfidenceEngine::new(method)
             .without_cache()
             .with_threads(1)
             .confidence_batch(&dnfs, &space, None);
-        for ((a, b), c) in after.results.iter().zip(&before.results).zip(&plain.results) {
+        for (((a, b), c), d) in
+            warm.results.iter().zip(&before.results).zip(&cold.results).zip(&plain.results)
+        {
             prop_assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
             prop_assert_eq!(a.estimate.to_bits(), c.estimate.to_bits());
+            prop_assert_eq!(a.estimate.to_bits(), d.estimate.to_bits());
         }
     }
 
@@ -334,6 +345,77 @@ proptest! {
             let exact = dnf.exact_probability_enumeration(&space);
             prop_assert!(r.lower <= exact + 1e-9 && exact <= r.upper + 1e-9,
                 "bounds [{}, {}] vs exact {}", r.lower, r.upper, exact);
+        }
+    }
+
+    /// The arena-interned view path is equivalent to the legacy owned-`Dnf`
+    /// path on random correlated DNF batches: probabilities agree to 1e-12
+    /// (in fact to the bit), `CompileStats` node counts agree exactly, for
+    /// all five confidence methods, with the sub-formula cache on and off.
+    #[test]
+    fn arena_path_matches_legacy_owned_path(spec in dnf_batch()) {
+        use dtree::reference::{approx_reference, exact_probability_reference};
+        use dtree::{ApproxOptions, CompileOptions, SubformulaCache, VarOrder};
+        use montecarlo::{aconf, naive_monte_carlo, McOptions, NaiveOptions};
+        use pdb::confidence::{confidence_with, ConfidenceBudget, ConfidenceMethod};
+
+        let (space, dnfs) = build_batch(&spec);
+        let budget = ConfidenceBudget::default();
+        let compile =
+            CompileOptions { var_order: VarOrder::MostFrequent, origins: None, max_depth: None };
+        let cache = SubformulaCache::new();
+        for (i, dnf) in dnfs.iter().enumerate() {
+            let seed = 0x5eed_0000 + i as u64;
+            // d-tree exact: arena vs legacy recursion, bitwise + node counts.
+            let m = ConfidenceMethod::DTreeExact;
+            let got = confidence_with(dnf, &space, None, &m, &budget, None, None);
+            let want = exact_probability_reference(dnf, &space, &compile);
+            prop_assert!((got.estimate - want.probability).abs() < 1e-12);
+            prop_assert_eq!(got.estimate.to_bits(), want.probability.to_bits());
+            let stats = got.stats.expect("d-tree stats");
+            prop_assert_eq!(stats.or_nodes, want.stats.or_nodes);
+            prop_assert_eq!(stats.and_nodes, want.stats.and_nodes);
+            prop_assert_eq!(stats.xor_nodes, want.stats.xor_nodes);
+            // Cache on: still bit-identical.
+            let cached = confidence_with(dnf, &space, None, &m, &budget, None, Some(&cache));
+            prop_assert_eq!(cached.estimate.to_bits(), got.estimate.to_bits());
+
+            // d-tree approximations: arena vs legacy DFS, bitwise + counts.
+            for (m, opts) in [
+                (ConfidenceMethod::DTreeAbsolute(0.01), ApproxOptions::absolute(0.01)),
+                (ConfidenceMethod::DTreeRelative(0.05), ApproxOptions::relative(0.05)),
+            ] {
+                let got = confidence_with(dnf, &space, None, &m, &budget, None, None);
+                let want = approx_reference(dnf, &space, &opts);
+                prop_assert!((got.estimate - want.estimate).abs() < 1e-12);
+                prop_assert_eq!(got.estimate.to_bits(), want.estimate.to_bits());
+                prop_assert_eq!(got.lower.to_bits(), want.lower.to_bits());
+                prop_assert_eq!(got.upper.to_bits(), want.upper.to_bits());
+                prop_assert_eq!(got.converged, want.converged);
+                let stats = got.stats.expect("d-tree stats");
+                prop_assert_eq!(stats.or_nodes, want.stats.or_nodes);
+                prop_assert_eq!(stats.and_nodes, want.stats.and_nodes);
+                prop_assert_eq!(stats.xor_nodes, want.stats.xor_nodes);
+                // Cache on/off agree bitwise (a fresh-per-item cache would be
+                // pointless in production but pins the invariance here).
+                let fresh = SubformulaCache::new();
+                let cached = confidence_with(dnf, &space, None, &m, &budget, None, Some(&fresh));
+                prop_assert_eq!(cached.estimate.to_bits(), got.estimate.to_bits());
+                prop_assert_eq!(cached.lower.to_bits(), got.lower.to_bits());
+                prop_assert_eq!(cached.upper.to_bits(), got.upper.to_bits());
+            }
+
+            // Monte-Carlo: the arena-backed samplers draw the same stream as
+            // the legacy owned samplers under the same seed.
+            let m = ConfidenceMethod::KarpLuby { epsilon: 0.2, delta: 0.05 };
+            let got = confidence_with(dnf, &space, None, &m, &budget, Some(seed), None);
+            let want =
+                aconf(dnf, &space, &McOptions::new(0.2).with_delta(0.05).with_seed(seed));
+            prop_assert_eq!(got.estimate.to_bits(), want.estimate.to_bits());
+            let m = ConfidenceMethod::NaiveMonteCarlo { epsilon: 0.1 };
+            let got = confidence_with(dnf, &space, None, &m, &budget, Some(seed), None);
+            let want = naive_monte_carlo(dnf, &space, &NaiveOptions::new(0.1).with_seed(seed));
+            prop_assert_eq!(got.estimate.to_bits(), want.estimate.to_bits());
         }
     }
 }
