@@ -17,6 +17,10 @@
 //!    must stay within noise of the unsharded engine, and multi-shard must
 //!    not regress it by more than the scheduling overhead (items are
 //!    cache-warm, so this measures pure cluster machinery).
+//!
+//! Set `CLUSTER_SCALING_SMOKE=1` (CI) to run both parts at smoke scale:
+//! smaller batch/graph, shorter deadline and measurement windows, and no
+//! `BENCH_cluster.json` write (smoke numbers are not trajectory-comparable).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -39,10 +43,14 @@ use workloads::{hardness_mix, random_graph, s2_relation, HardnessMixConfig, Rand
 ///   tail starves;
 /// * `cluster/input-order` — the cluster's slicing and rounds, naive order;
 /// * `cluster/hardest-first` — the full hardness-aware schedule.
-fn scheduling_experiment() {
-    let cfg = HardnessMixConfig::new(12, 4);
+///
+/// In smoke mode (`CLUSTER_SCALING_SMOKE=1`, CI) the batch and the deadline
+/// shrink and the trajectory file is left untouched: smoke-scale numbers are
+/// not comparable to the committed full-scale history.
+fn scheduling_experiment(smoke: bool) {
+    let cfg = if smoke { HardnessMixConfig::new(6, 2) } else { HardnessMixConfig::new(12, 4) };
     let (space, lineages) = hardness_mix(&cfg);
-    let tight = Duration::from_millis(120);
+    let tight = Duration::from_millis(if smoke { 60 } else { 120 });
     let budget = ConfidenceBudget { timeout: Some(tight), max_work: None };
     let mut records = Vec::new();
     let mut summary: Vec<(&str, usize)> = Vec::new();
@@ -94,6 +102,10 @@ fn scheduling_experiment() {
     );
     // Write the trajectory rows at the workspace root (stable regardless of
     // the invoking directory), where they are committed as perf history.
+    // Smoke runs skip the write: their scale is not the committed one.
+    if smoke {
+        return;
+    }
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_cluster.json");
     if let Err(e) = bench::write_json(&path, &records) {
         eprintln!("warning: could not write {}: {e}", path.display());
@@ -101,13 +113,15 @@ fn scheduling_experiment() {
 }
 
 fn bench_cluster_scaling(c: &mut Criterion) {
-    scheduling_experiment();
+    let smoke = std::env::var_os("CLUSTER_SCALING_SMOKE").is_some();
+    scheduling_experiment(smoke);
 
     // Warm-cache scaling series: the same repeated batch through the
     // unsharded engine and through 1/2/4 shards, all sharing one warm
     // external cache per series.
-    let (db, graph) = random_graph(&RandomGraphConfig::uniform(20, 0.4));
-    let lineages = s2_relation(&graph, 20);
+    let nodes = if smoke { 10 } else { 20 };
+    let (db, graph) = random_graph(&RandomGraphConfig::uniform(nodes, 0.4));
+    let lineages = s2_relation(&graph, nodes);
     let space = db.space();
     let origins = db.origins();
     let method = ConfidenceMethod::DTreeAbsolute(0.01);
@@ -131,7 +145,7 @@ fn bench_cluster_scaling(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("cluster_scaling");
     group.sample_size(10);
-    group.measurement_time(Duration::from_secs(3));
+    group.measurement_time(Duration::from_secs(if smoke { 1 } else { 3 }));
 
     // Baseline: the unsharded engine over a warm cache.
     let engine_cache = Arc::new(SubformulaCache::new());

@@ -1,0 +1,227 @@
+//! Criterion bench for the resumable anytime refinement
+//! (`dtree::ResumableCompilation`): on the fig7 #P-hard TPC-H suite, a split
+//! budget spent through `resume()` must reach a strictly tighter mean
+//! interval width than spending the same total budget as independent
+//! rerun-from-scratch slices — the restart regime the cluster scheduler's
+//! refinement rounds used before frontiers persisted.
+//!
+//! The comparison is budget-bound, so it runs *once* at startup (untimed by
+//! criterion), prints per-item widths, asserts the acceptance gate, and
+//! writes the `BENCH_resume.json` trajectory records (with the
+//! `mean_interval_width` field carrying the tracked quantity). A small
+//! criterion group then times the suspend/resume machinery itself.
+//!
+//! Set `RESUME_SMOKE=1` for CI smoke scale: one scale factor, shorter
+//! slices, a non-strict (≤) gate so noisy boxes cannot flake the job, and no
+//! `BENCH_resume.json` write (smoke numbers are not trajectory-comparable).
+
+use std::time::Duration;
+
+use bench::{tpch_database, BenchRecord};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdb::confidence::{confidence_resumable, confidence_with, ConfidenceBudget, ConfidenceMethod};
+use workloads::tpch::TpchQuery;
+
+/// One arm's outcome on one lineage: the final interval width, the total
+/// wall-clock across its slices, and whether it converged.
+struct ArmOutcome {
+    width: f64,
+    seconds: f64,
+    converged: bool,
+}
+
+/// Width-vs-cumulative-budget experiment over the fig7 hard queries.
+///
+/// Both arms get `slices × slice` of wall clock per lineage with the ε = 0
+/// d-tree method (never converges early on these #P-hard lineages, so the
+/// whole budget goes into tightening):
+///
+/// * **rerun** — each slice recompiles from scratch (the pre-resume regime);
+///   the reported interval is the tightest any single slice reached.
+/// * **resume** — the first slice captures a `ResumableCompilation` frontier
+///   and every further slice resumes it, so tightening accumulates.
+fn split_budget_experiment(smoke: bool) {
+    let slices = 4usize;
+    let slice = if smoke { Duration::from_millis(2) } else { Duration::from_millis(5) };
+    let scale_factors: &[f64] = if smoke { &[0.005] } else { &[0.005, 0.02] };
+    let method = ConfidenceMethod::DTreeExact;
+    let budget = ConfidenceBudget { timeout: Some(slice), max_work: None };
+
+    println!(
+        "== resume vs rerun, fig7 hard suite ({slices}x{:?} split budget{}) ==",
+        slice,
+        if smoke { ", smoke" } else { "" }
+    );
+    let mut records = Vec::new();
+    let mut resume_widths = Vec::new();
+    let mut rerun_widths = Vec::new();
+    for &sf in scale_factors {
+        let db = tpch_database(sf, false);
+        let space = db.database().space();
+        let origins = db.database().origins();
+        for query in TpchQuery::hard() {
+            let lineage = db.boolean_lineage(&query);
+            let item = format!("{}_sf{sf}", query.name());
+
+            let rerun = {
+                let mut best_width = 1.0f64;
+                let mut seconds = 0.0;
+                let mut converged = false;
+                for _ in 0..slices {
+                    let r = confidence_with(
+                        &lineage,
+                        space,
+                        Some(origins),
+                        &method,
+                        &budget,
+                        None,
+                        None,
+                    );
+                    best_width = best_width.min(r.upper - r.lower);
+                    seconds += r.elapsed.as_secs_f64();
+                    converged |= r.converged;
+                }
+                ArmOutcome { width: best_width, seconds, converged }
+            };
+
+            let resume = {
+                let (first, handle) = confidence_resumable(
+                    &lineage,
+                    space,
+                    Some(origins),
+                    &method,
+                    &budget,
+                    None,
+                    None,
+                );
+                let mut width = first.upper - first.lower;
+                let mut seconds = first.elapsed.as_secs_f64();
+                let mut converged = first.converged;
+                if let Some(mut handle) = handle {
+                    for _ in 1..slices {
+                        if handle.is_converged() {
+                            break;
+                        }
+                        let r = handle.resume(space, &budget, None);
+                        width = r.upper - r.lower;
+                        seconds += r.elapsed.as_secs_f64();
+                        converged |= r.converged;
+                    }
+                }
+                ArmOutcome { width, seconds, converged }
+            };
+
+            println!(
+                "  {item:<12} rerun width {:<12.6} resume width {:<12.6}",
+                rerun.width, resume.width
+            );
+            assert!(
+                resume.width <= rerun.width + 1e-12,
+                "{item}: resumed width {} must never exceed the rerun width {}",
+                resume.width,
+                rerun.width
+            );
+            for (arm, out) in [("rerun", &rerun), ("resume", &resume)] {
+                records.push(
+                    BenchRecord {
+                        name: format!("resume/{item}/{arm}"),
+                        p50_seconds: out.seconds,
+                        converged_fraction: f64::from(out.converged),
+                        samples: slices,
+                        mean_interval_width: None,
+                    }
+                    .with_mean_interval_width(out.width),
+                );
+            }
+            rerun_widths.push(rerun.width);
+            resume_widths.push(resume.width);
+        }
+    }
+
+    let mean = |ws: &[f64]| ws.iter().sum::<f64>() / ws.len() as f64;
+    let rerun_mean = mean(&rerun_widths);
+    let resume_mean = mean(&resume_widths);
+    println!("  suite mean   rerun {rerun_mean:.6}  resume {resume_mean:.6}");
+    for (arm, width) in [("rerun", rerun_mean), ("resume", resume_mean)] {
+        records.push(
+            BenchRecord {
+                name: format!("resume/suite/{arm}"),
+                p50_seconds: 0.0,
+                converged_fraction: 1.0,
+                samples: rerun_widths.len(),
+                mean_interval_width: None,
+            }
+            .with_mean_interval_width(width),
+        );
+    }
+    if smoke {
+        // Tiny smoke lineages can converge inside one slice, where both arms
+        // tie at width 0; only the no-regression direction is gated.
+        assert!(
+            resume_mean <= rerun_mean + 1e-12,
+            "resumed mean width {resume_mean} regressed past the rerun mean {rerun_mean}"
+        );
+    } else {
+        assert!(
+            resume_mean < rerun_mean,
+            "resumed refinement must reach a strictly tighter mean interval width than \
+             rerun-from-scratch at equal total budget ({resume_mean} vs {rerun_mean})"
+        );
+    }
+
+    // Smoke runs skip the trajectory write: smoke-scale numbers are not
+    // comparable to the committed full-scale history.
+    if smoke {
+        return;
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_resume.json");
+    if let Err(e) = bench::write_json(&path, &records) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+fn bench_resume_refinement(c: &mut Criterion) {
+    let smoke = std::env::var_os("RESUME_SMOKE").is_some();
+    split_budget_experiment(smoke);
+
+    // Micro series: the cost of one suspend (truncated run + frontier
+    // capture) and of one resumed slice, on a single mid-size hard lineage.
+    let db = tpch_database(0.005, false);
+    let space = db.database().space();
+    let origins = db.database().origins();
+    let lineage = db.boolean_lineage(&TpchQuery::B9);
+    let method = ConfidenceMethod::DTreeExact;
+    let slice = ConfidenceBudget { timeout: None, max_work: Some(64) };
+
+    let mut group = c.benchmark_group("resume_refinement");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(if smoke { 1 } else { 2 }));
+    group.bench_with_input(BenchmarkId::new("suspend", "B9_sf0.005"), &lineage, |b, lineage| {
+        b.iter(|| {
+            let (r, handle) =
+                confidence_resumable(lineage, space, Some(origins), &method, &slice, None, None);
+            assert!(handle.is_some(), "64 steps must truncate B9");
+            r.upper - r.lower
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("resume_slice", "B9_sf0.005"),
+        &lineage,
+        |b, lineage| {
+            let (_, handle) =
+                confidence_resumable(lineage, space, Some(origins), &method, &slice, None, None);
+            let handle = handle.expect("64 steps must truncate B9");
+            b.iter(|| {
+                // Clone the suspended handle so every iteration resumes the same
+                // frontier state rather than compounding refinement.
+                let mut h = handle.clone();
+                let r = h.resume(space, &slice, None);
+                r.upper - r.lower
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_resume_refinement);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! CI guard for the committed perf-trajectory artifacts: parses every
+//! `BENCH_*.json` file at the workspace root (or the paths given as
+//! arguments) against the [`bench::BenchRecord`] JSON-lines schema and fails
+//! on malformed lines or duplicate series names within a file — the two ways
+//! a bad merge or a crashed bench writer corrupts the trajectory history.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files = if args.is_empty() {
+        match discover_workspace_files() {
+            Ok(files) => files,
+            Err(e) => {
+                eprintln!("validate_bench_json: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        args.into_iter().map(PathBuf::from).collect()
+    };
+
+    let mut total_records = 0usize;
+    let mut failures = 0usize;
+    for path in &files {
+        match validate_file(path) {
+            Ok(n) => {
+                println!("  {} — {n} records ok", path.display());
+                total_records += n;
+            }
+            Err(e) => {
+                eprintln!("  {} — {e}", path.display());
+                failures += 1;
+            }
+        }
+    }
+    println!(
+        "validate_bench_json: {total_records} records across {} files, {failures} invalid",
+        files.len()
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// All `BENCH_*.json` files at the workspace root, in stable (sorted) order.
+/// The root is located relative to this crate's manifest, so the bin works
+/// regardless of the invoking directory.
+fn discover_workspace_files() -> Result<Vec<PathBuf>, String> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&root)
+        .map_err(|e| format!("cannot read workspace root {}: {e}", root.display()))?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(path)
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no BENCH_*.json files found at {}", root.display()));
+    }
+    Ok(files)
+}
+
+/// Validates one JSON-lines file; returns the number of records on success.
+fn validate_file(path: &Path) -> Result<usize, String> {
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read file: {e}"))?;
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut count = 0usize;
+    for (lineno, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record =
+            bench::parse_bench_record(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if !seen.insert(record.name.clone()) {
+            return Err(format!("line {}: duplicate series name {:?}", lineno + 1, record.name));
+        }
+        count += 1;
+    }
+    if count == 0 {
+        return Err("file holds no records".to_owned());
+    }
+    Ok(count)
+}

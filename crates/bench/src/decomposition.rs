@@ -107,6 +107,7 @@ pub fn fig8_end_to_end(smoke: bool) -> DecompositionReport {
                 p50_seconds: p,
                 converged_fraction: 1.0,
                 samples: reps,
+                mean_interval_width: None,
             });
         }
         println!(
@@ -149,6 +150,7 @@ pub fn decomposition_records(smoke: bool, floor: Option<f64>) -> Vec<BenchRecord
         p50_seconds: speedup,
         converged_fraction: 1.0,
         samples: 1,
+        mean_interval_width: None,
     });
     records
 }

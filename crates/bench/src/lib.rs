@@ -33,7 +33,8 @@ pub mod report;
 
 pub use decomposition::{decomposition_records, fig8_end_to_end, DecompositionReport};
 pub use report::{
-    append_json, print_table, records_from_rows, write_json, BenchRecord, ExperimentRow,
+    append_json, parse_bench_record, print_table, records_from_rows, write_json, BenchRecord,
+    ExperimentRow,
 };
 
 /// Harness-wide options shared by the repro binaries and the Criterion

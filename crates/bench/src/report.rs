@@ -118,6 +118,11 @@ pub struct BenchRecord {
     pub converged_fraction: f64,
     /// Number of samples folded into this record.
     pub samples: usize,
+    /// Mean `upper − lower` interval width across the record's samples, for
+    /// series where tightness (not just time) is the tracked quantity — the
+    /// `resume_refinement` bench's resume-vs-rerun comparison. `None` for
+    /// time-only series; omitted from the JSON when absent.
+    pub mean_interval_width: Option<f64>,
 }
 
 impl BenchRecord {
@@ -137,18 +142,214 @@ impl BenchRecord {
             p50_seconds: p50,
             converged_fraction: converged as f64 / samples.len() as f64,
             samples: samples.len(),
+            mean_interval_width: None,
         })
+    }
+
+    /// Attaches a mean interval width to the record (builder style).
+    pub fn with_mean_interval_width(mut self, width: f64) -> BenchRecord {
+        self.mean_interval_width = Some(width);
+        self
     }
 
     /// The record as one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"name\":{},\"p50_seconds\":{},\"converged_fraction\":{},\"samples\":{}}}",
+        let mut out = format!(
+            "{{\"name\":{},\"p50_seconds\":{},\"converged_fraction\":{},\"samples\":{}",
             json_string(&self.name),
             json_number(self.p50_seconds),
             json_number(self.converged_fraction),
             self.samples
-        )
+        );
+        if let Some(w) = self.mean_interval_width {
+            let _ = write!(out, ",\"mean_interval_width\":{}", json_number(w));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Parses one JSON line back into a [`BenchRecord`], strictly: every key of
+/// the schema must appear exactly once (`mean_interval_width` is optional),
+/// unknown keys, trailing garbage, and non-finite numbers are errors. This is
+/// the schema check behind the `validate_bench_json` CI bin, so it
+/// deliberately rejects anything [`BenchRecord::to_json`] would not emit.
+pub fn parse_bench_record(line: &str) -> Result<BenchRecord, String> {
+    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    let mut name: Option<String> = None;
+    let mut p50_seconds: Option<f64> = None;
+    let mut converged_fraction: Option<f64> = None;
+    let mut samples: Option<usize> = None;
+    let mut mean_interval_width: Option<f64> = None;
+
+    p.expect(b'{')?;
+    loop {
+        let key = p.parse_string()?;
+        p.expect(b':')?;
+        match key.as_str() {
+            "name" => set_once(&mut name, p.parse_string()?, &key)?,
+            "p50_seconds" => set_once(&mut p50_seconds, p.parse_number()?, &key)?,
+            "converged_fraction" => set_once(&mut converged_fraction, p.parse_number()?, &key)?,
+            "samples" => {
+                let n = p.parse_number()?;
+                if n < 0.0 || n.fract() != 0.0 {
+                    return Err(format!("\"samples\" must be a non-negative integer, got {n}"));
+                }
+                set_once(&mut samples, n as usize, &key)?;
+            }
+            "mean_interval_width" => {
+                set_once(&mut mean_interval_width, p.parse_number()?, &key)?;
+            }
+            other => return Err(format!("unknown key {other:?}")),
+        }
+        if !p.comma_or_close()? {
+            break;
+        }
+    }
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage after record at byte {}", p.pos));
+    }
+
+    let missing = |k: &str| format!("missing required key {k:?}");
+    let converged_fraction = converged_fraction.ok_or_else(|| missing("converged_fraction"))?;
+    if !(0.0..=1.0).contains(&converged_fraction) {
+        return Err(format!("\"converged_fraction\" {converged_fraction} outside [0, 1]"));
+    }
+    Ok(BenchRecord {
+        name: name.ok_or_else(|| missing("name"))?,
+        p50_seconds: p50_seconds.ok_or_else(|| missing("p50_seconds"))?,
+        converged_fraction,
+        samples: samples.ok_or_else(|| missing("samples"))?,
+        mean_interval_width,
+    })
+}
+
+fn set_once<T>(slot: &mut Option<T>, value: T, key: &str) -> Result<(), String> {
+    if slot.is_some() {
+        return Err(format!("duplicate key {key:?}"));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+/// Minimal strict parser over one JSON object line; just enough for the flat
+/// string/number records of the `BENCH_*.json` schema (offline build, no
+/// serde).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(&b) if b == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            got => Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                want as char,
+                self.pos,
+                got.map(|&b| b as char)
+            )),
+        }
+    }
+
+    /// After a value: `,` continues the object (returns `true`), `}` closes
+    /// it (returns `false`).
+    fn comma_or_close(&mut self) -> Result<bool, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b',') => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(b'}') => {
+                self.pos += 1;
+                Ok(false)
+            }
+            got => Err(format!(
+                "expected ',' or '}}' at byte {}, got {:?}",
+                self.pos,
+                got.map(|&b| b as char)
+            )),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.push(char::from_u32(hex).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        e => return Err(format!("bad escape {e:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x20 => {
+                    return Err(format!("unescaped control byte {b:#x} in string"));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (the line came from &str, so
+                    // boundaries are valid).
+                    let s =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        let n: f64 =
+            text.parse().map_err(|_| format!("invalid number {text:?} at byte {start}"))?;
+        if !n.is_finite() {
+            return Err(format!("non-finite number {text:?}"));
+        }
+        Ok(n)
     }
 }
 
@@ -299,6 +500,7 @@ mod tests {
             p50_seconds: 0.25,
             converged_fraction: 1.0,
             samples: 4,
+            mean_interval_width: None,
         };
         let line = r.to_json();
         assert!(line.starts_with('{') && line.ends_with('}'));
@@ -307,6 +509,65 @@ mod tests {
         assert!(line.contains("\"p50_seconds\":0.25"));
         assert!(!line.contains('\n'), "one record stays on one line");
         assert!(BenchRecord::from_samples("empty", &[]).is_none());
+    }
+
+    #[test]
+    fn parse_bench_record_roundtrips_to_json() {
+        let records = [
+            BenchRecord {
+                name: "odd \"name\"\\with\nescapes / π".into(),
+                p50_seconds: 0.25,
+                converged_fraction: 0.75,
+                samples: 4,
+                mean_interval_width: None,
+            },
+            BenchRecord {
+                name: "resume/suite/resume".into(),
+                p50_seconds: 1e-4,
+                converged_fraction: 0.0,
+                samples: 8,
+                mean_interval_width: Some(0.125),
+            },
+        ];
+        for r in &records {
+            let parsed = parse_bench_record(&r.to_json()).unwrap();
+            assert_eq!(&parsed, r);
+        }
+    }
+
+    #[test]
+    fn parse_bench_record_rejects_malformed_lines() {
+        let good = r#"{"name":"a","p50_seconds":1,"converged_fraction":1,"samples":2}"#;
+        assert!(parse_bench_record(good).is_ok());
+        for (bad, why) in [
+            ("", "empty line"),
+            ("{}", "empty object"),
+            ("not json", "not an object"),
+            (r#"{"name":"a","p50_seconds":1,"converged_fraction":1}"#, "missing samples"),
+            (
+                r#"{"name":"a","p50_seconds":1,"converged_fraction":1,"samples":2,"extra":3}"#,
+                "unknown key",
+            ),
+            (
+                r#"{"name":"a","name":"b","p50_seconds":1,"converged_fraction":1,"samples":2}"#,
+                "duplicate key",
+            ),
+            (
+                r#"{"name":"a","p50_seconds":1,"converged_fraction":2,"samples":2}"#,
+                "converged_fraction outside [0, 1]",
+            ),
+            (
+                r#"{"name":"a","p50_seconds":1,"converged_fraction":1,"samples":2.5}"#,
+                "fractional samples",
+            ),
+            (
+                r#"{"name":"a","p50_seconds":1,"converged_fraction":1,"samples":2} trailing"#,
+                "trailing garbage",
+            ),
+            (r#"{"name":"a,"p50_seconds":1,"converged_fraction":1,"samples":2}"#, "broken string"),
+        ] {
+            assert!(parse_bench_record(bad).is_err(), "accepted {why}: {bad}");
+        }
     }
 
     #[test]

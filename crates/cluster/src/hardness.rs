@@ -133,6 +133,17 @@ impl HardnessEstimator {
         raw * factor
     }
 
+    /// Scores a *suspended* item for a refinement round. The remaining bound
+    /// width `U − L` is the quantity a resumed slice actually shrinks, so it
+    /// dominates the ordering; the calibrated structural score enters
+    /// logarithmically as a tiebreaker, so that among items of similar width
+    /// the structurally harder frontier (more work behind every percentage
+    /// point of tightening) still starts first. An already-converged item
+    /// (width 0) scores 0 and sorts last under hardest-first.
+    pub fn refinement_score(&self, features: &LineageFeatures, remaining_width: f64) -> f64 {
+        remaining_width.clamp(0.0, 1.0) * (1.0 + self.score_features(features).max(0.0).ln_1p())
+    }
+
     /// Folds the observed decomposition effort of one finished run into the
     /// calibration state. `stats` is the run's exported [`CompileStats`]
     /// (d-tree methods only; Monte-Carlo runs export none and are simply not

@@ -105,6 +105,10 @@ pub struct ShardStats {
     pub executed: usize,
     /// Executions this worker *stole* from other shards' queues.
     pub stolen: usize,
+    /// Executions served by *resuming* an item's suspended d-tree frontier
+    /// from an earlier refinement round instead of recompiling it from
+    /// scratch (deterministic d-tree methods under a deadline only).
+    pub resumed: usize,
     /// Sum of the per-item algorithm times this worker spent.
     pub compute: Duration,
     /// Cache-effectiveness deltas for this shard's private cache. All zeros
@@ -153,6 +157,12 @@ impl ClusterBatchResult {
     /// Total number of cross-shard steals in the batch.
     pub fn total_stolen(&self) -> usize {
         self.shards.iter().map(|s| s.stolen).sum()
+    }
+
+    /// Total number of executions served by resuming a suspended d-tree
+    /// frontier instead of recompiling (refinement rounds only).
+    pub fn total_resumed(&self) -> usize {
+        self.shards.iter().map(|s| s.resumed).sum()
     }
 
     /// Flattens the cluster result into the unsharded engine's
@@ -422,6 +432,7 @@ impl ClusterEngine {
                 assigned: acc.assigned,
                 executed: acc.executed,
                 stolen: acc.stolen,
+                resumed: acc.resumed,
                 compute: acc.compute,
                 cache: match self.topology {
                     CacheTopology::PerShard => deltas.get(shard).cloned().unwrap_or_default(),
@@ -613,6 +624,54 @@ mod tests {
         for r in &out.results {
             assert!(!r.converged);
             assert!((0.0..=1.0).contains(&r.lower) && (0.0..=1.0).contains(&r.upper));
+        }
+    }
+
+    /// Refinement rounds resume suspended d-tree frontiers instead of
+    /// re-running items from scratch: a per-item step budget truncates every
+    /// first run, and the rounds that follow must (a) be counted as resumed
+    /// executions and (b) still reach the exact answers an unbudgeted engine
+    /// computes.
+    #[test]
+    fn refinement_rounds_resume_suspended_frontiers() {
+        let mut space = ProbabilitySpace::new();
+        let mut lineages = Vec::new();
+        for k in 0..4 {
+            let vars: Vec<_> = (0..40)
+                .map(|i| space.add_bool(format!("h{k}_{i}"), 0.15 + 0.02 * ((i + k) % 20) as f64))
+                .collect();
+            lineages.push(Dnf::from_clauses(
+                (0..39).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])),
+            ));
+        }
+        let reference = ConfidenceEngine::new(ConfidenceMethod::DTreeExact)
+            .confidence_batch(&lineages, &space, None);
+        let out = ClusterEngine::new(ConfidenceMethod::DTreeExact)
+            .with_shards(2)
+            .with_max_rounds(3)
+            .with_budget(ConfidenceBudget {
+                timeout: Some(Duration::from_secs(2)),
+                max_work: Some(3),
+            })
+            .confidence_batch(&lineages, &space, None);
+        assert_eq!(out.results.len(), lineages.len());
+        for r in &out.results {
+            assert!(r.lower <= r.upper && (0.0..=1.0).contains(&r.lower), "unsound: {r:?}");
+        }
+        // Round 1 truncates every item at 3 steps, so with ~2s of runway a
+        // second round must have run — by resuming, not recompiling.
+        if out.rounds > 1 {
+            assert!(out.total_resumed() > 0, "rounds after the first must resume: {out:?}");
+        }
+        for (r, want) in out.results.iter().zip(&reference.results) {
+            if r.converged {
+                assert!(
+                    (r.estimate - want.estimate).abs() < 1e-9,
+                    "resumed exact run diverged: {} vs {}",
+                    r.estimate,
+                    want.estimate
+                );
+            }
         }
     }
 

@@ -42,10 +42,18 @@ use std::time::{Duration, Instant};
 
 use dtree::SubformulaCache;
 use events::{Dnf, ProbabilitySpace, VarOrigins};
-use pdb::confidence::ConfidenceResult;
+use pdb::confidence::{ConfidenceBudget, ConfidenceResult, ResumableConfidence};
 use pdb::ConfidenceEngine;
 
 use crate::hardness::{HardnessEstimator, LineageFeatures};
+
+/// Slices shorter than this quantum cannot make refinement progress: the
+/// per-item setup (DNF interning, frontier bookkeeping) eats them whole.
+/// Items whose proportional share falls below it are handed an already
+/// expired deadline — the engine's immediate non-converged path — and a
+/// refinement round with less than a quantum of runway is not started at
+/// all.
+pub(crate) const MIN_SLICE: Duration = Duration::from_micros(500);
 
 /// The order in which a shard works through its queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -99,6 +107,9 @@ pub(crate) struct ShardAccum {
     pub assigned: usize,
     pub executed: usize,
     pub stolen: usize,
+    /// Executions served by resuming a suspended d-tree frontier instead of
+    /// recompiling the item from scratch.
+    pub resumed: usize,
     pub compute: Duration,
 }
 
@@ -141,17 +152,35 @@ pub(crate) fn execute(ctx: &RunContext<'_>, queues: Vec<Vec<usize>>) -> Schedule
         }
     }
 
+    // Suspended d-tree frontiers, one slot per item: a budget-truncated
+    // first run parks its handle here and every later refinement round
+    // resumes it — monotone tightening, no recompilation. Slots stay `None`
+    // for converged items, Monte-Carlo methods, and unscheduled duplicates.
+    let handles: Vec<Mutex<Option<ResumableConfidence>>> =
+        (0..ctx.lineages.len()).map(|_| Mutex::new(None)).collect();
+
+    // Round-1 order comes from the structural hardness scores; refinement
+    // rounds re-score stragglers by their remaining bound width below.
+    let mut scores: Vec<f64> = ctx.scores.to_vec();
+
     let mut pending = queues;
     let mut rounds = 0;
     loop {
         rounds += 1;
         for queue in &mut pending {
-            ctx.policy.order(queue, ctx.scores);
+            ctx.policy.order(queue, &scores);
         }
-        run_round(ctx, &pending, &mut results, &mut accums);
+        run_round(ctx, &pending, &mut results, &mut accums, &handles);
 
         let Some(deadline) = ctx.deadline else { break };
-        if rounds >= ctx.max_rounds || Instant::now() >= deadline {
+        if rounds >= ctx.max_rounds {
+            break;
+        }
+        // A refinement round needs at least one scheduling quantum of
+        // runway: with less, every item's proportional slice would be
+        // sub-quantum — pure setup cost, zero tightening — so the round is
+        // not started at all (the promptness guarantee of the flat engine).
+        if deadline.saturating_duration_since(Instant::now()) < MIN_SLICE {
             break;
         }
         let mut unfinished: Vec<Vec<usize>> = vec![Vec::new(); shards];
@@ -161,6 +190,11 @@ pub(crate) fn execute(ctx: &RunContext<'_>, queues: Vec<Vec<usize>>) -> Schedule
             if !slot.as_ref().map(|r| r.converged).unwrap_or(false) {
                 unfinished[shard].push(i);
                 any = true;
+                // Re-score by remaining interval width — the mass the next
+                // round actually shrinks — with the structural score as a
+                // tiebreaker between items of similar width.
+                let width = slot.as_ref().map(|r| r.upper - r.lower).unwrap_or(1.0);
+                scores[i] = ctx.estimator.refinement_score(&ctx.features[i], width);
             }
         }
         if !any {
@@ -178,6 +212,7 @@ fn run_round(
     pending: &[Vec<usize>],
     results: &mut [Option<ConfidenceResult>],
     accums: &mut [ShardAccum],
+    handles: &[Mutex<Option<ResumableConfidence>>],
 ) {
     let total: usize = pending.iter().map(Vec::len).sum();
     if total == 0 {
@@ -195,8 +230,9 @@ fn run_round(
             for &i in queue {
                 let item_deadline = slice_deadline(ctx.deadline, left.max(1), 1);
                 left -= 1;
-                let r = run_one(ctx, i, shard, item_deadline);
+                let (r, resumed) = run_one(ctx, i, shard, item_deadline, handles);
                 accums[shard].executed += 1;
+                accums[shard].resumed += usize::from(resumed);
                 accums[shard].compute += r.elapsed;
                 match &results[i] {
                     Some(old) if !improves(&r, old) => {}
@@ -230,9 +266,10 @@ fn run_round(
                     let item_deadline = slice_deadline(ctx.deadline, left, workers);
                     unstarted.fetch_sub(1, Ordering::Relaxed);
 
-                    let r = run_one(ctx, i, w, item_deadline);
+                    let (r, resumed) = run_one(ctx, i, w, item_deadline, handles);
                     local.executed += 1;
                     local.stolen += usize::from(stolen);
+                    local.resumed += usize::from(resumed);
                     local.compute += r.elapsed;
                     let mut slots = out.lock().expect("result slots poisoned");
                     match &slots[i] {
@@ -243,6 +280,7 @@ fn run_round(
                 let mut acc = accum_cells[w].lock().expect("accum poisoned");
                 acc.executed += local.executed;
                 acc.stolen += local.stolen;
+                acc.resumed += local.resumed;
                 acc.compute += local.compute;
             });
         }
@@ -251,24 +289,59 @@ fn run_round(
 
 /// Computes one item through the engine hook (the cache is the executing
 /// shard's) and feeds its exported stats back into the hardness estimator.
+///
+/// If a prior round parked a suspended d-tree frontier for the item, this
+/// *resumes* it with the slice's remaining time instead of recompiling —
+/// bounds tighten monotonically across rounds. Fresh runs capture a handle
+/// only when refinement rounds could actually use one (a deadline is set and
+/// more than one round is allowed); without a deadline the plain
+/// `compute_item` path runs, keeping the no-deadline cluster bit-identical
+/// to the unsharded engine with zero capture overhead.
+///
+/// Returns `(result, resumed)`. Resumed slices do **not** feed the hardness
+/// estimator: its calibration maps whole-lineage features to whole-run work,
+/// and a slice's partial counters would drag the bucket factor down.
 fn run_one(
     ctx: &RunContext<'_>,
     i: usize,
     shard: usize,
     item_deadline: Option<Instant>,
-) -> ConfidenceResult {
-    let r = ctx.engine.compute_item(
-        ctx.lineages[i],
-        ctx.space,
-        ctx.origins,
-        i,
-        item_deadline,
-        ctx.caches[shard],
-    );
+    handles: &[Mutex<Option<ResumableConfidence>>],
+) -> (ConfidenceResult, bool) {
+    let cache = ctx.caches[shard];
+    let mut slot = handles[i].lock().expect("resume handle poisoned");
+    if let Some(handle) = slot.as_mut() {
+        let r = match item_deadline {
+            Some(d) => handle.resume_until(ctx.space, d, cache),
+            None => handle.resume(ctx.space, &ConfidenceBudget::default(), cache),
+        };
+        // Drop spent handles (converged: nothing left to refine) and failed
+        // ones (space invalidated mid-run: fail closed, recompute fresh next
+        // round if time remains).
+        if handle.failed() || r.converged {
+            *slot = None;
+        }
+        return (r, true);
+    }
+    let capture = ctx.deadline.is_some() && ctx.max_rounds > 1;
+    let r = if capture {
+        let (r, handle) = ctx.engine.compute_item_resumable(
+            ctx.lineages[i],
+            ctx.space,
+            ctx.origins,
+            i,
+            item_deadline,
+            cache,
+        );
+        *slot = handle;
+        r
+    } else {
+        ctx.engine.compute_item(ctx.lineages[i], ctx.space, ctx.origins, i, item_deadline, cache)
+    };
     if let Some(stats) = &r.stats {
         ctx.estimator.observe(&ctx.features[i], stats);
     }
-    r
+    (r, false)
 }
 
 /// The per-item deadline: now plus this item's proportional share of the
@@ -277,16 +350,23 @@ fn slice_deadline(deadline: Option<Instant>, unstarted: usize, workers: usize) -
     let deadline = deadline?;
     let now = Instant::now();
     let remaining = deadline.saturating_duration_since(now);
-    if remaining.is_zero() {
-        // Past the deadline: hand the expired instant through so the engine
-        // short-circuits the item.
-        return Some(deadline);
+    if remaining < MIN_SLICE {
+        // Past the deadline — or so close that the slice could not pay for
+        // its own setup: hand an already-expired instant through so the
+        // engine short-circuits the item to the immediate non-converged
+        // path instead of burning a sub-quantum slice on pure overhead.
+        return Some(deadline.min(now));
     }
     let slice = remaining
         .checked_mul(workers.min(unstarted) as u32)
         .map(|d| d / unstarted as u32)
         .unwrap_or(remaining)
         .min(remaining);
+    if slice < MIN_SLICE {
+        // The proportional share itself is sub-quantum (many stragglers,
+        // little time): same short-circuit.
+        return Some(deadline.min(now));
+    }
     Some(now + slice)
 }
 
@@ -367,6 +447,22 @@ mod tests {
         assert!(d <= deadline);
         // No deadline, no slicing.
         assert!(slice_deadline(None, 5, 2).is_none());
+    }
+
+    #[test]
+    fn sub_quantum_slices_short_circuit_to_an_expired_deadline() {
+        let now = Instant::now();
+        // Within one quantum of the deadline: an expired instant comes back,
+        // so the engine takes its immediate non-converged path.
+        let d = slice_deadline(Some(now + Duration::from_micros(100)), 1, 1).unwrap();
+        assert!(d <= Instant::now());
+        // Plenty of absolute time but so many stragglers that the
+        // proportional share is sub-quantum: same short-circuit.
+        let d = slice_deadline(Some(now + Duration::from_millis(2)), 100_000, 1).unwrap();
+        assert!(d <= Instant::now());
+        // A healthy share passes through as a future deadline.
+        let d = slice_deadline(Some(now + Duration::from_secs(10)), 10, 1).unwrap();
+        assert!(d > Instant::now());
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::cache::{Memo, SubformulaCache};
 use crate::compile::CompileOptions;
 use crate::order::choose_variable_ref;
 use crate::partial::PartialDTree;
+use crate::resume::ResumableCompilation;
 use crate::stats::CompileStats;
 
 /// Leaf DNFs with at most this many distinct variables are evaluated exactly
@@ -40,7 +41,9 @@ use crate::stats::CompileStats;
 /// with the bucket heuristic and decomposed one step at a time. Small exact
 /// leaves produce point bounds, which both tightens the global interval and
 /// preserves the ε "slack" of Theorem 5.12 for the genuinely large leaves.
-const EXACT_LEAF_VARS: usize = 12;
+/// Shared with [`crate::resume`], whose refinement driver folds the same
+/// class of leaves the same way so resumed slices converge like the DFS.
+pub(crate) const EXACT_LEAF_VARS: usize = 12;
 
 /// The approximation guarantee requested from the algorithm
 /// (Definition 5.7).
@@ -279,6 +282,49 @@ impl ApproxCompiler {
         }
     }
 
+    /// Like [`ApproxCompiler::run_cached`] (pass `None` for no shared cache),
+    /// but when the budget truncates the run before convergence the second
+    /// return value carries a [`ResumableCompilation`] handle holding the
+    /// partial d-tree frontier the run materialised. Calling
+    /// [`ResumableCompilation::resume`] continues tightening the bounds from
+    /// exactly where this run stopped — no re-interning, no re-exploration of
+    /// settled subtrees. Converged runs return `None` (nothing left to do)
+    /// and are bit-identical to [`ApproxCompiler::run`]: the frontier capture
+    /// is pure bookkeeping and performs no floating-point operations of its
+    /// own.
+    pub fn run_resumable(
+        &self,
+        dnf: &Dnf,
+        space: &ProbabilitySpace,
+        cache: Option<&SubformulaCache>,
+    ) -> (ApproxResult, Option<ResumableCompilation>) {
+        let mut arena = LineageArena::with_capacity(dnf.len(), 4);
+        let root = arena.intern(dnf);
+        match self.opts.strategy {
+            RefinementStrategy::DepthFirstClosing => {
+                let (result, captured) = self.run_dfs_impl(&mut arena, root, space, cache, true);
+                if result.converged {
+                    return (result, None);
+                }
+                let mut captured = captured.expect("capture was enabled");
+                let root_cap = captured.pop().expect("truncated run captures its root");
+                debug_assert!(captured.is_empty(), "capture stack fully unwound");
+                let tree = crate::resume::tree_from_capture(arena, root_cap, result.stats);
+                let handle = ResumableCompilation::from_tree(tree, &self.opts, &result, space);
+                (result, Some(handle))
+            }
+            RefinementStrategy::PriorityRefinement => {
+                let tree = PartialDTree::from_parts(arena, root, space);
+                let (result, tree) = self.run_priority_impl(tree, space);
+                if result.converged {
+                    return (result, None);
+                }
+                let handle = ResumableCompilation::from_tree(tree, &self.opts, &result, space);
+                (result, Some(handle))
+            }
+        }
+    }
+
     fn run_dfs(
         &self,
         arena: &mut LineageArena,
@@ -286,6 +332,17 @@ impl ApproxCompiler {
         space: &ProbabilitySpace,
         cache: Option<&SubformulaCache>,
     ) -> ApproxResult {
+        self.run_dfs_impl(arena, root, space, cache, false).0
+    }
+
+    fn run_dfs_impl(
+        &self,
+        arena: &mut LineageArena,
+        root: DnfView,
+        space: &ProbabilitySpace,
+        cache: Option<&SubformulaCache>,
+        capture: bool,
+    ) -> (ApproxResult, Option<Vec<CapturedNode>>) {
         let start = Instant::now();
         let mut dfs = Dfs {
             arena,
@@ -297,25 +354,33 @@ impl ApproxCompiler {
             start,
             budget_exhausted: false,
             memo: Memo::with_shared(cache, space.generation(), space.watermark()),
+            capture: capture.then(Vec::new),
         };
         let outcome = dfs.explore(Work::View(root), 0);
         let bounds = match outcome {
             Outcome::Finished(b) => b,
             Outcome::StopAll(b) => b,
         };
-        self.finish(bounds, dfs.steps, dfs.stats, start)
+        let captured = dfs.capture.take();
+        let (steps, stats) = (dfs.steps, dfs.stats);
+        (self.finish(bounds, steps, stats, start), captured)
     }
 
-    fn run_priority(&self, mut tree: PartialDTree, space: &ProbabilitySpace) -> ApproxResult {
+    fn run_priority(&self, tree: PartialDTree, space: &ProbabilitySpace) -> ApproxResult {
+        self.run_priority_impl(tree, space).0
+    }
+
+    fn run_priority_impl(
+        &self,
+        mut tree: PartialDTree,
+        space: &ProbabilitySpace,
+    ) -> (ApproxResult, PartialDTree) {
         let start = Instant::now();
         let mut steps = 0usize;
-        loop {
+        let result = loop {
             let bounds = tree.bounds(space);
-            if self.opts.error.satisfied_by(bounds) {
-                return self.finish(bounds, steps, *tree.stats(), start);
-            }
-            if self.budget_exceeded(steps, start) {
-                return self.finish(bounds, steps, *tree.stats(), start);
+            if self.opts.error.satisfied_by(bounds) || self.budget_exceeded(steps, start) {
+                break self.finish(bounds, steps, *tree.stats(), start);
             }
             match tree.widest_open_leaf() {
                 Some(leaf) => {
@@ -324,10 +389,11 @@ impl ApproxCompiler {
                 }
                 None => {
                     // Complete tree: bounds are exact.
-                    return self.finish(bounds, steps, *tree.stats(), start);
+                    break self.finish(bounds, steps, *tree.stats(), start);
                 }
             }
-        }
+        };
+        (result, tree)
     }
 
     fn budget_exceeded(&self, steps: usize, start: Instant) -> bool {
@@ -380,6 +446,35 @@ enum Op {
     Xor,
 }
 
+impl Op {
+    fn to_partial(self) -> crate::partial::Op {
+        match self {
+            Op::Or => crate::partial::Op::Or,
+            Op::And => crate::partial::Op::And,
+            Op::Xor => crate::partial::Op::Xor,
+        }
+    }
+}
+
+/// One node of the partial d-tree a truncated DFS run implicitly materialised,
+/// recorded as the exploration unwinds (each `explore` call that returns
+/// [`Outcome::Finished`] pushes exactly one node; an inner node pops its
+/// children back off). The capture performs no floating-point work — bounds
+/// are copied from the values the run computed anyway — so enabling it cannot
+/// change any result. Converged runs discard the stack unfinished (a
+/// [`Outcome::StopAll`] unwind leaves it partially built, which is fine: a
+/// handle is only constructed for non-converged runs, which always unwind
+/// through `Finished`).
+pub(crate) enum CapturedNode {
+    /// A leaf: exact (point bounds) or closed with its bucket bounds.
+    Leaf { view: DnfView, bounds: Bounds, exact: bool },
+    /// A factored-out atom — an exact singleton leaf kept unmaterialised by
+    /// the DFS; the reconstruction interns it as a one-clause view.
+    Atom { atom: Atom, p: f64 },
+    /// An inner decomposition node over the `children` captured beneath it.
+    Inner { op: crate::partial::Op, children: Vec<CapturedNode> },
+}
+
 enum Outcome {
     /// The subtree finished with these (final) bounds — either exact or
     /// closed.
@@ -421,6 +516,9 @@ struct Dfs<'a> {
     start: Instant,
     budget_exhausted: bool,
     memo: Memo<'a>,
+    /// When `Some`, the exploration records the partial d-tree it
+    /// materialises (see [`CapturedNode`]); `None` for plain runs.
+    capture: Option<Vec<CapturedNode>>,
 }
 
 impl Dfs<'_> {
@@ -548,7 +646,11 @@ impl Dfs<'_> {
                 // A factored-out atom is an exact singleton leaf, exactly like
                 // a one-clause DNF on the owned path.
                 self.stats.exact_leaves += 1;
-                Outcome::Finished(Bounds::point(self.space.atom_prob(atom)))
+                let p = self.space.atom_prob(atom);
+                if let Some(cap) = &mut self.capture {
+                    cap.push(CapturedNode::Atom { atom, p });
+                }
+                Outcome::Finished(Bounds::point(p))
             }
         }
     }
@@ -575,6 +677,11 @@ impl Dfs<'_> {
             }
         }
         let frame = self.frames.pop().expect("frame pushed above");
+        if let Some(cap) = &mut self.capture {
+            // Every fully explored child pushed exactly one captured node.
+            let children = cap.split_off(cap.len() - frame.done.len());
+            cap.push(CapturedNode::Inner { op: op.to_partial(), children });
+        }
         let combined = match op {
             Op::Or => Bounds::combine_or(frame.done),
             Op::And => Bounds::combine_and(frame.done),
@@ -587,17 +694,25 @@ impl Dfs<'_> {
         // Exact leaves: constants and single clauses.
         if view.is_empty() {
             self.stats.exact_leaves += 1;
+            if let Some(cap) = &mut self.capture {
+                cap.push(CapturedNode::Leaf { view, bounds: Bounds::point(0.0), exact: true });
+            }
             return Outcome::Finished(Bounds::point(0.0));
         }
         if view.is_tautology(self.arena) {
             self.stats.exact_leaves += 1;
+            if let Some(cap) = &mut self.capture {
+                cap.push(CapturedNode::Leaf { view, bounds: Bounds::point(1.0), exact: true });
+            }
             return Outcome::Finished(Bounds::point(1.0));
         }
         if view.len() == 1 {
             self.stats.exact_leaves += 1;
-            return Outcome::Finished(Bounds::point(
-                view.clause_probability(self.arena, self.space, 0),
-            ));
+            let point = Bounds::point(view.clause_probability(self.arena, self.space, 0));
+            if let Some(cap) = &mut self.capture {
+                cap.push(CapturedNode::Leaf { view, bounds: point, exact: true });
+            }
+            return Outcome::Finished(point);
         }
         // Small leaves: fold their complete sub-d-tree on the fly. This keeps
         // the ε slack for the large leaves and avoids paying the quadratic
@@ -605,6 +720,9 @@ impl Dfs<'_> {
         if !view.num_vars_exceeds(self.arena, EXACT_LEAF_VARS) {
             self.stats.exact_leaves += 1;
             let point = Bounds::point(self.memo_exact(&view));
+            if let Some(cap) = &mut self.capture {
+                cap.push(CapturedNode::Leaf { view, bounds: point, exact: true });
+            }
             // The global stopping condition may already hold with this leaf
             // resolved exactly.
             let global = self.global_bounds(point, false);
@@ -632,6 +750,9 @@ impl Dfs<'_> {
             let worst = self.global_bounds(current, true);
             if self.opts.error.satisfied_by(worst) {
                 self.stats.closed_leaves += 1;
+                if let Some(cap) = &mut self.capture {
+                    cap.push(CapturedNode::Leaf { view, bounds: current, exact: false });
+                }
                 return Outcome::Finished(current);
             }
         }
@@ -640,6 +761,9 @@ impl Dfs<'_> {
         self.check_budget();
         if self.budget_exhausted {
             self.stats.closed_leaves += 1;
+            if let Some(cap) = &mut self.capture {
+                cap.push(CapturedNode::Leaf { view, bounds: current, exact: false });
+            }
             return Outcome::Finished(current);
         }
 
@@ -978,6 +1102,7 @@ mod tests {
             start: Instant::now(),
             budget_exhausted: false,
             memo: Memo::default(),
+            capture: None,
         };
         let phi2 = Bounds::new(0.4, 0.44);
         // Check (1): with all leaves at their current bounds the condition
@@ -1014,6 +1139,7 @@ mod tests {
             start: Instant::now(),
             budget_exhausted: false,
             memo: Memo::default(),
+            capture: None,
         };
         assert!(!dfs.closing_allowed());
     }

@@ -145,7 +145,7 @@ impl Shard {
 
 /// A thread-safe memo table for exact leaf probabilities and bucket bounds,
 /// keyed by canonical DNF hash and scoped to a probability-space generation.
-/// See the [module documentation](self).
+/// See the module documentation in `cache.rs`.
 #[derive(Debug)]
 pub struct SubformulaCache {
     shards: Vec<RwLock<Shard>>,
@@ -217,7 +217,7 @@ impl SubformulaCache {
     /// Creates an empty cache bounded to at most `capacity` entries in total,
     /// enforced per shard with CLOCK (second-chance) eviction. This is the
     /// right constructor for a long-lived cache shared across batches via
-    /// [`std::sync::Arc`]; see the [module documentation](self).
+    /// [`std::sync::Arc`]; see the module documentation in `cache.rs`.
     pub fn with_capacity(capacity: usize) -> Self {
         // Shard budgets must sum exactly to `capacity`; small caches use
         // fewer shards so every shard keeps a few clock slots (a budget of 1

@@ -65,6 +65,7 @@ mod node;
 mod order;
 mod partial;
 pub mod reference;
+mod resume;
 mod stats;
 
 pub use approx::{ApproxCompiler, ApproxOptions, ApproxResult, ErrorBound, RefinementStrategy};
@@ -83,4 +84,5 @@ pub use order::{
     choose_iq_variable, choose_iq_variable_ref, choose_variable, choose_variable_ref, VarOrder,
 };
 pub use partial::{PartialDTree, PartialNodeId};
+pub use resume::{ResumableCompilation, ResumeBudget};
 pub use stats::CompileStats;

@@ -15,23 +15,24 @@ use events::ProbabilitySpace;
 use events::{product_factorization_by, Atom, Clause, Dnf, DnfRef, DnfView, LineageArena};
 
 use crate::bounds::{dnf_bounds_ref, Bounds};
+use crate::cache::Memo;
 use crate::compile::CompileOptions;
 use crate::order::choose_variable_ref;
 use crate::stats::CompileStats;
 
 /// Identifier of a node inside a [`PartialDTree`] arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct PartialNodeId(usize);
+pub struct PartialNodeId(pub(crate) usize);
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Op {
+pub(crate) enum Op {
     Or,
     And,
     Xor,
 }
 
 #[derive(Debug, Clone)]
-enum PNode {
+pub(crate) enum PNode {
     /// An unrefined leaf holding a sub-formula view and its cached bucket
     /// bounds. `exact` marks leaves whose bounds are a point (constants /
     /// single clauses).
@@ -69,13 +70,30 @@ impl PartialDTree {
             root: PartialNodeId(0),
             stats: CompileStats::default(),
         };
-        let root = tree.push_leaf(root, space);
+        let root = tree.push_leaf(root, space, None);
         tree.root = root;
         tree
     }
 
-    fn push_leaf(&mut self, view: DnfView, space: &ProbabilitySpace) -> PartialNodeId {
-        let (bounds, exact) = leaf_bounds(&self.lineage, &view, space, &mut self.stats);
+    /// Reassembles a tree from already-built nodes over an arena — the hook
+    /// [`crate::resume`] uses to materialise the frontier captured from a
+    /// truncated depth-first run without re-interning or re-bounding anything.
+    pub(crate) fn from_raw(
+        lineage: LineageArena,
+        nodes: Vec<PNode>,
+        root: PartialNodeId,
+        stats: CompileStats,
+    ) -> Self {
+        PartialDTree { lineage, nodes, root, stats }
+    }
+
+    fn push_leaf(
+        &mut self,
+        view: DnfView,
+        space: &ProbabilitySpace,
+        memo: Option<&mut Memo<'_>>,
+    ) -> PartialNodeId {
+        let (bounds, exact) = leaf_bounds(&self.lineage, &view, space, &mut self.stats, memo);
         let id = PartialNodeId(self.nodes.len());
         self.nodes.push(PNode::Leaf { view, bounds, exact });
         id
@@ -91,6 +109,36 @@ impl PartialDTree {
     /// Compilation statistics accumulated so far.
     pub fn stats(&self) -> &CompileStats {
         &self.stats
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut CompileStats {
+        &mut self.stats
+    }
+
+    pub(crate) fn node(&self, id: PartialNodeId) -> &PNode {
+        &self.nodes[id.0]
+    }
+
+    pub(crate) fn root_id(&self) -> PartialNodeId {
+        self.root
+    }
+
+    pub(crate) fn lineage(&self) -> &LineageArena {
+        &self.lineage
+    }
+
+    pub(crate) fn lineage_mut(&mut self) -> &mut LineageArena {
+        &mut self.lineage
+    }
+
+    /// Replaces an open leaf with an exact point leaf over the same view —
+    /// the resume driver's counterpart of the depth-first compiler's
+    /// small-leaf exact fold.
+    pub(crate) fn set_leaf_exact(&mut self, id: PartialNodeId, p: f64) {
+        if let PNode::Leaf { bounds, exact, .. } = &mut self.nodes[id.0] {
+            *bounds = Bounds::point(p);
+            *exact = true;
+        }
     }
 
     /// Number of nodes in the arena.
@@ -154,6 +202,31 @@ impl PartialDTree {
         space: &ProbabilitySpace,
         opts: &CompileOptions,
     ) -> bool {
+        self.refine_inner(id, space, opts, None)
+    }
+
+    /// Like [`PartialDTree::refine`], but with a memo layered over the bucket
+    /// bounds of the new leaves, so a resumed compilation reuses bounds
+    /// computed by earlier slices (or other lineages sharing the same
+    /// [`crate::SubformulaCache`]). Bit-identical to the memo-less path:
+    /// cached bounds are exactly what would be recomputed.
+    pub(crate) fn refine_with_memo(
+        &mut self,
+        id: PartialNodeId,
+        space: &ProbabilitySpace,
+        opts: &CompileOptions,
+        memo: &mut Memo<'_>,
+    ) -> bool {
+        self.refine_inner(id, space, opts, Some(memo))
+    }
+
+    fn refine_inner(
+        &mut self,
+        id: PartialNodeId,
+        space: &ProbabilitySpace,
+        opts: &CompileOptions,
+        mut memo: Option<&mut Memo<'_>>,
+    ) -> bool {
         let (view, exact) = match &self.nodes[id.0] {
             PNode::Leaf { view, exact, .. } => (view.clone(), *exact),
             PNode::Inner { .. } => return false,
@@ -183,8 +256,10 @@ impl PartialDTree {
         let components = view.independent_components(&self.lineage);
         if components.len() > 1 {
             self.stats.or_nodes += 1;
-            let children: Vec<PartialNodeId> =
-                components.into_iter().map(|c| self.push_leaf(c, space)).collect();
+            let children: Vec<PartialNodeId> = components
+                .into_iter()
+                .map(|c| self.push_leaf(c, space, memo.as_deref_mut()))
+                .collect();
             self.nodes[id.0] = PNode::Inner { op: Op::Or, children };
             return true;
         }
@@ -198,7 +273,7 @@ impl PartialDTree {
             let rest = view.strip_vars(&mut self.lineage, &vars);
             let mut children: Vec<PartialNodeId> =
                 common.iter().map(|a| self.push_exact_atom_leaf(*a, space.atom_prob(*a))).collect();
-            children.push(self.push_leaf(rest, space));
+            children.push(self.push_leaf(rest, space, memo.as_deref_mut()));
             self.nodes[id.0] = PNode::Inner { op: Op::And, children };
             return true;
         }
@@ -213,7 +288,7 @@ impl PartialDTree {
                     .into_iter()
                     .map(|clauses| {
                         let factor = self.lineage.intern_sorted_clauses(&clauses);
-                        self.push_leaf(factor, space)
+                        self.push_leaf(factor, space, memo.as_deref_mut())
                     })
                     .collect();
                 self.nodes[id.0] = PNode::Inner { op: Op::And, children };
@@ -235,7 +310,7 @@ impl PartialDTree {
             self.stats.exact_leaves += 1;
             let atom_leaf =
                 self.push_exact_atom_leaf(Atom::new(var, value), space.prob(var, value));
-            let cof_leaf = self.push_leaf(cofactor, space);
+            let cof_leaf = self.push_leaf(cofactor, space, memo.as_deref_mut());
             let branch = PartialNodeId(self.nodes.len());
             self.nodes.push(PNode::Inner { op: Op::And, children: vec![atom_leaf, cof_leaf] });
             branches.push(branch);
@@ -250,6 +325,7 @@ fn leaf_bounds(
     view: &DnfView,
     space: &ProbabilitySpace,
     stats: &mut CompileStats,
+    memo: Option<&mut Memo<'_>>,
 ) -> (Bounds, bool) {
     if view.is_empty() {
         return (Bounds::point(0.0), true);
@@ -259,6 +335,17 @@ fn leaf_bounds(
     }
     if view.len() == 1 {
         return (Bounds::point(view.clause_probability(arena, space, 0)), true);
+    }
+    if let Some(memo) = memo {
+        let key = view.hash(arena);
+        if let Some(b) = memo.get_bounds(key) {
+            stats.bound_cache_hits += 1;
+            return (b, false);
+        }
+        let b = dnf_bounds_ref(DnfRef::Arena(arena, view), space);
+        stats.bound_evaluations += 1;
+        memo.put_bounds(key, view.required_watermark(arena), b);
+        return (b, false);
     }
     stats.bound_evaluations += 1;
     (dnf_bounds_ref(DnfRef::Arena(arena, view), space), false)

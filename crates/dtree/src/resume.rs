@@ -1,0 +1,792 @@
+//! Suspend/resume for anytime approximation: persistent d-tree frontiers
+//! with priority-driven bound tightening.
+//!
+//! The depth-first compiler of [`crate::approx`] is *anytime*: truncate it
+//! with a step or wall-clock budget and it returns sound `[L, U]` bounds.
+//! But a truncated run used to throw its partial d-tree away, so buying the
+//! interval one more millisecond of tightening meant recompiling from
+//! scratch. This module keeps the frontier alive instead, following the
+//! blueprint of the anytime-approximation literature: capture the partial
+//! d-tree the truncated run materialised, order its open leaves by their
+//! contribution to the global bound width, and let
+//! [`ResumableCompilation::resume`] continue the expansion — no re-interning,
+//! no re-exploration of settled subtrees.
+//!
+//! # Priorities
+//!
+//! Every open leaf carries a *width-contribution factor*: the derivative of
+//! the root interval with respect to the leaf interval, accumulated top-down
+//! through the combine rules of Proposition 5.4 (for an ⊗ child the sibling
+//! product `Π (1 − Lⱼ)`, for an ⊙ child `Π Uⱼ`, for an ⊕ child `1`). The
+//! priority of a leaf is `factor × width` — an estimate of how much root
+//! width disappears if the leaf is resolved exactly. Factors are computed
+//! when a leaf enters the frontier and are not refreshed as siblings tighten;
+//! they order the work, they never affect soundness, and keeping them frozen
+//! keeps the expansion order deterministic. Ties are broken by insertion
+//! order, so a resumed run is a pure function of (frontier, budget).
+//!
+//! # Monotonicity
+//!
+//! Each refinement replaces a leaf's interval by the intersection of its old
+//! interval with the freshly computed one, and re-combined ancestor intervals
+//! are likewise intersected with their previous values. Both the old and the
+//! new interval are sound, so their intersection is; consequently the root
+//! interval of a resumed compilation *never widens* — each slice returns
+//! bounds at least as tight as the last, regardless of how the total budget
+//! is sliced.
+//!
+//! # Cache invalidation
+//!
+//! A handle is pinned to the probability-space generation and watermark it
+//! was captured under, exactly like [`crate::SubformulaCache`] entries. If
+//! the space's generation moved (an in-place mutation), every cached leaf
+//! bound in the frontier is potentially stale, and the handle **fails
+//! closed**: `resume` returns vacuous `[0, 1]` non-converged bounds and the
+//! handle is poisoned permanently. Append-only growth (same generation,
+//! higher watermark) is safe and the handle keeps working.
+
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use events::{Clause, LineageArena, ProbabilitySpace};
+
+use crate::approx::{ApproxOptions, ApproxResult, CapturedNode, ErrorBound, EXACT_LEAF_VARS};
+use crate::bounds::Bounds;
+use crate::cache::{Memo, SubformulaCache};
+use crate::compile::CompileOptions;
+use crate::partial::{PNode, PartialDTree, PartialNodeId};
+use crate::stats::CompileStats;
+
+/// Budget for one [`ResumableCompilation::resume`] slice. Both limits may be
+/// combined; an exhausted (or zero) budget makes `resume` return promptly
+/// with the current bounds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResumeBudget {
+    /// Maximum number of refinement steps for this slice (`None` =
+    /// unlimited).
+    pub max_steps: Option<usize>,
+    /// Wall-clock limit for this slice (`None` = unlimited).
+    pub timeout: Option<Duration>,
+}
+
+impl ResumeBudget {
+    /// No limits: resume until convergence (or a complete tree).
+    pub fn unlimited() -> Self {
+        ResumeBudget::default()
+    }
+
+    /// A pure step budget.
+    pub fn steps(max_steps: usize) -> Self {
+        ResumeBudget { max_steps: Some(max_steps), timeout: None }
+    }
+
+    /// A pure wall-clock budget.
+    pub fn timeout(timeout: Duration) -> Self {
+        ResumeBudget { max_steps: None, timeout: Some(timeout) }
+    }
+
+    fn exhausted(&self, steps: usize, start: Instant) -> bool {
+        if let Some(max) = self.max_steps {
+            if steps >= max {
+                return true;
+            }
+        }
+        if let Some(timeout) = self.timeout {
+            if start.elapsed() >= timeout {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// One frontier entry: an open leaf keyed by its width-contribution priority.
+/// Entries are invalidated lazily — a popped entry whose `stamp` no longer
+/// matches the leaf's current stamp is skipped.
+#[derive(Debug, Clone)]
+struct FrontierEntry {
+    priority: f64,
+    seq: u64,
+    node: usize,
+    stamp: u64,
+}
+
+impl PartialEq for FrontierEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for FrontierEntry {}
+
+impl PartialOrd for FrontierEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FrontierEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap on priority; ties pop in insertion order (smaller seq
+        // first) so the expansion order is fully deterministic.
+        self.priority.total_cmp(&other.priority).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A suspended approximate compilation: the partial d-tree frontier of a
+/// budget-truncated [`crate::ApproxCompiler`] run, resumable in further
+/// budgeted slices that monotonically tighten the bounds.
+///
+/// Obtained from [`crate::ApproxCompiler::run_resumable`] when the run does
+/// not converge within its budget. See the module documentation in `resume.rs` for
+/// the refinement order, the monotonicity guarantee, and the fail-closed
+/// behaviour under probability-space invalidation.
+#[derive(Debug, Clone)]
+pub struct ResumableCompilation {
+    tree: PartialDTree,
+    error: ErrorBound,
+    compile: CompileOptions,
+    heap: BinaryHeap<FrontierEntry>,
+    /// Current (clamped) bounds per node — the monotone refinement state.
+    cur: Vec<Bounds>,
+    parent: Vec<Option<usize>>,
+    /// Width-contribution factor per node, frozen at frontier entry.
+    factor: Vec<f64>,
+    /// Lazy-invalidation stamps; bumped when a leaf leaves the frontier.
+    stamp: Vec<u64>,
+    seq: u64,
+    open_leaves: usize,
+    total_steps: usize,
+    total_elapsed: Duration,
+    generation: u64,
+    watermark: u64,
+    poisoned: bool,
+}
+
+/// Reconstructs the [`PartialDTree`] a truncated DFS run materialised from
+/// its captured node stack, moving the run's arena into the tree.
+pub(crate) fn tree_from_capture(
+    mut arena: LineageArena,
+    root: CapturedNode,
+    stats: CompileStats,
+) -> PartialDTree {
+    let mut nodes = Vec::new();
+    let root_id = build_nodes(&mut arena, &mut nodes, root);
+    PartialDTree::from_raw(arena, nodes, root_id, stats)
+}
+
+fn build_nodes(
+    arena: &mut LineageArena,
+    nodes: &mut Vec<PNode>,
+    cap: CapturedNode,
+) -> PartialNodeId {
+    match cap {
+        CapturedNode::Leaf { view, bounds, exact } => {
+            let id = PartialNodeId(nodes.len());
+            nodes.push(PNode::Leaf { view, bounds, exact });
+            id
+        }
+        CapturedNode::Atom { atom, p } => {
+            let view = arena.intern_sorted_clauses(&[Clause::singleton(atom)]);
+            let id = PartialNodeId(nodes.len());
+            nodes.push(PNode::Leaf { view, bounds: Bounds::point(p), exact: true });
+            id
+        }
+        CapturedNode::Inner { op, children } => {
+            let kids: Vec<PartialNodeId> =
+                children.into_iter().map(|c| build_nodes(arena, nodes, c)).collect();
+            let id = PartialNodeId(nodes.len());
+            nodes.push(PNode::Inner { op, children: kids });
+            id
+        }
+    }
+}
+
+/// Intersects two sound intervals. When floating-point rounding makes them
+/// (barely) disjoint the result collapses deterministically to the crossing
+/// point via [`Bounds::new`]'s reordering.
+fn intersect(a: Bounds, b: Bounds) -> Bounds {
+    Bounds::new(a.lower.max(b.lower), a.upper.min(b.upper))
+}
+
+impl ResumableCompilation {
+    /// Builds a handle around a partial d-tree whose truncated run produced
+    /// `result`: computes per-node bounds bottom-up (bit-identical to the
+    /// run's output), width-contribution factors top-down, and seeds the
+    /// frontier queue with every open leaf.
+    pub(crate) fn from_tree(
+        tree: PartialDTree,
+        opts: &ApproxOptions,
+        result: &ApproxResult,
+        space: &ProbabilitySpace,
+    ) -> Self {
+        let n = tree.num_nodes();
+        let mut handle = ResumableCompilation {
+            tree,
+            error: opts.error,
+            compile: opts.compile.clone(),
+            heap: BinaryHeap::new(),
+            cur: vec![Bounds::vacuous(); n],
+            parent: vec![None; n],
+            factor: vec![0.0; n],
+            stamp: vec![0; n],
+            seq: 0,
+            open_leaves: 0,
+            total_steps: result.steps,
+            total_elapsed: result.elapsed,
+            generation: space.generation(),
+            watermark: space.watermark(),
+            poisoned: false,
+        };
+        let root = handle.root_index();
+        handle.fill_subtree(root);
+        handle.assign_factors(root, 1.0);
+        debug_assert_eq!(
+            handle.cur[root].lower.to_bits(),
+            result.lower.to_bits(),
+            "reconstructed frontier bounds must match the truncated run"
+        );
+        debug_assert_eq!(handle.cur[root].upper.to_bits(), result.upper.to_bits());
+        handle
+    }
+
+    fn root_index(&self) -> usize {
+        self.tree.root_id().0
+    }
+
+    /// Current bounds of the suspended compilation (vacuous if the handle
+    /// failed closed).
+    pub fn bounds(&self) -> Bounds {
+        if self.poisoned {
+            Bounds::vacuous()
+        } else {
+            self.cur[self.root_index()]
+        }
+    }
+
+    /// Remaining interval width `U − L` — the quantity further resumption
+    /// spends budget to shrink. Schedulers use this to prioritise handles.
+    pub fn width(&self) -> f64 {
+        self.bounds().width()
+    }
+
+    /// `true` when the bounds already satisfy the requested error guarantee.
+    pub fn is_converged(&self) -> bool {
+        !self.poisoned && self.error.satisfied_by(self.bounds())
+    }
+
+    /// `true` when the handle failed closed because the probability space it
+    /// was captured under was invalidated (generation moved, or the space
+    /// regressed behind the captured watermark). A poisoned handle stays
+    /// poisoned; recompute from scratch against the new space.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Number of open leaves currently on the frontier.
+    pub fn frontier_len(&self) -> usize {
+        self.open_leaves
+    }
+
+    /// Total refinement steps across the initial run and every resumed slice.
+    pub fn total_steps(&self) -> usize {
+        self.total_steps
+    }
+
+    /// Total wall-clock time across the initial run and every resumed slice.
+    pub fn total_elapsed(&self) -> Duration {
+        self.total_elapsed
+    }
+
+    /// Cumulative compilation statistics of the underlying partial d-tree.
+    pub fn stats(&self) -> &CompileStats {
+        self.tree.stats()
+    }
+
+    /// The probability-space generation this handle is pinned to.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Continues the suspended compilation for one budgeted slice, returning
+    /// the (monotonically tightened) bounds reached when the budget ran out —
+    /// or converged bounds if the error guarantee was met first. The returned
+    /// [`ApproxResult`] carries slice-local `steps`/`stats`/`elapsed`;
+    /// cumulative totals live on the handle
+    /// ([`ResumableCompilation::total_steps`],
+    /// [`ResumableCompilation::total_elapsed`]).
+    pub fn resume(&mut self, space: &ProbabilitySpace, budget: ResumeBudget) -> ApproxResult {
+        self.resume_with(space, budget, None)
+    }
+
+    /// Like [`ResumableCompilation::resume`] with a shared
+    /// [`SubformulaCache`] layered behind the slice's memo, so leaf bounds
+    /// and small-leaf exact folds are reused across slices and lineages.
+    /// Bit-identical to the uncached path.
+    pub fn resume_cached(
+        &mut self,
+        space: &ProbabilitySpace,
+        budget: ResumeBudget,
+        cache: &SubformulaCache,
+    ) -> ApproxResult {
+        self.resume_with(space, budget, Some(cache))
+    }
+
+    fn resume_with(
+        &mut self,
+        space: &ProbabilitySpace,
+        budget: ResumeBudget,
+        cache: Option<&SubformulaCache>,
+    ) -> ApproxResult {
+        let start = Instant::now();
+        if self.poisoned
+            || space.generation() != self.generation
+            || space.watermark() < self.watermark
+        {
+            // Fail closed: the frontier's cached bounds may be stale.
+            self.poisoned = true;
+            let elapsed = start.elapsed();
+            self.total_elapsed += elapsed;
+            let vacuous = Bounds::vacuous();
+            return ApproxResult {
+                lower: vacuous.lower,
+                upper: vacuous.upper,
+                estimate: self.error.estimate_from(vacuous),
+                converged: false,
+                steps: 0,
+                stats: CompileStats::default(),
+                elapsed,
+            };
+        }
+        // Append-only growth is safe; advance so later regressions are
+        // detected relative to the newest space seen.
+        self.watermark = space.watermark();
+        let stats_before = *self.tree.stats();
+        let mut memo = Memo::with_shared(cache, self.generation, self.watermark);
+        let mut slice_steps = 0usize;
+        loop {
+            let root_bounds = self.cur[self.root_index()];
+            if self.error.satisfied_by(root_bounds) {
+                break;
+            }
+            if budget.exhausted(slice_steps, start) {
+                break;
+            }
+            let Some(entry) = self.heap.pop() else {
+                // Complete tree (or only zero-width open leaves left): the
+                // bounds are as tight as this frontier can make them.
+                break;
+            };
+            if entry.stamp != self.stamp[entry.node] {
+                continue; // invalidated entry, not a refinement step
+            }
+            self.refine_frontier(entry.node, space, &mut memo);
+            slice_steps += 1;
+        }
+        self.total_steps += slice_steps;
+        let elapsed = start.elapsed();
+        self.total_elapsed += elapsed;
+        let bounds = self.cur[self.root_index()];
+        ApproxResult {
+            lower: bounds.lower,
+            upper: bounds.upper,
+            estimate: self.error.estimate_from(bounds),
+            converged: self.error.satisfied_by(bounds),
+            steps: slice_steps,
+            stats: self.tree.stats().since(&stats_before),
+            elapsed,
+        }
+    }
+
+    /// Refines one frontier leaf: exact-folds small leaves (mirroring the
+    /// DFS fast path), otherwise applies one Figure-1 decomposition step,
+    /// then clamps the node's interval against its previous value and
+    /// re-propagates (with clamping) along the path to the root.
+    fn refine_frontier(&mut self, node: usize, space: &ProbabilitySpace, memo: &mut Memo<'_>) {
+        let old = self.cur[node];
+        let f = self.factor[node];
+        self.stamp[node] += 1;
+        self.open_leaves = self.open_leaves.saturating_sub(1);
+
+        let id = PartialNodeId(node);
+        let view = match self.tree.node(id) {
+            PNode::Leaf { view, .. } => view.clone(),
+            PNode::Inner { .. } => return, // stale bookkeeping; nothing to do
+        };
+
+        if !view.num_vars_exceeds(self.tree.lineage(), EXACT_LEAF_VARS) {
+            // Small leaf: fold its complete sub-d-tree, memoized exactly like
+            // the depth-first compiler's `memo_exact`.
+            let key = view.hash(self.tree.lineage());
+            let p = if let Some(p) = memo.get_exact(key) {
+                self.tree.stats_mut().exact_cache_hits += 1;
+                p
+            } else {
+                let r = crate::exact::exact_probability_view(
+                    self.tree.lineage_mut(),
+                    &view,
+                    space,
+                    &self.compile,
+                );
+                let required = view.required_watermark(self.tree.lineage());
+                let stats = self.tree.stats_mut();
+                stats.exact_evaluations += 1;
+                stats.or_nodes += r.stats.or_nodes;
+                stats.and_nodes += r.stats.and_nodes;
+                stats.xor_nodes += r.stats.xor_nodes;
+                memo.put_exact(key, required, r.probability);
+                r.probability
+            };
+            self.tree.stats_mut().exact_leaves += 1;
+            self.tree.set_leaf_exact(id, p);
+            self.cur[node] = intersect(Bounds::point(p), old);
+        } else {
+            let before = self.tree.num_nodes();
+            self.tree.refine_with_memo(id, space, &self.compile, memo);
+            let n = self.tree.num_nodes();
+            self.parent.resize(n, None);
+            self.cur.resize(n, Bounds::vacuous());
+            self.factor.resize(n, 0.0);
+            self.stamp.resize(n, 0);
+            debug_assert!(n >= before);
+            // The node is now either an exact leaf (rewritten in place) or an
+            // inner node over freshly pushed children; (re)initialise the new
+            // subtree's bounds bottom-up and its factors top-down, seeding
+            // the frontier with the new open leaves.
+            self.fill_subtree(node);
+            self.assign_factors(node, f);
+            self.cur[node] = intersect(self.cur[node], old);
+        }
+        self.propagate_up(node);
+    }
+
+    /// Sets parent links and computes `cur` bounds bottom-up for the subtree
+    /// rooted at `id` (used for the initial capture and for subtrees created
+    /// by a refinement step).
+    fn fill_subtree(&mut self, id: usize) {
+        match self.tree.node(PartialNodeId(id)) {
+            PNode::Leaf { bounds, .. } => {
+                self.cur[id] = *bounds;
+            }
+            PNode::Inner { op, children } => {
+                let op = *op;
+                let kids: Vec<usize> = children.iter().map(|c| c.0).collect();
+                for &k in &kids {
+                    self.parent[k] = Some(id);
+                    self.fill_subtree(k);
+                }
+                self.cur[id] = self.combine(op, &kids);
+            }
+        }
+    }
+
+    /// Assigns width-contribution factors top-down from `f` at `id` and
+    /// pushes every open leaf of the subtree onto the frontier queue.
+    fn assign_factors(&mut self, id: usize, f: f64) {
+        match self.tree.node(PartialNodeId(id)) {
+            PNode::Leaf { exact, .. } => {
+                let exact = *exact;
+                let width = self.cur[id].width();
+                if !exact && width > 0.0 {
+                    self.factor[id] = f;
+                    self.open_leaves += 1;
+                    self.seq += 1;
+                    self.heap.push(FrontierEntry {
+                        priority: f * width,
+                        seq: self.seq,
+                        node: id,
+                        stamp: self.stamp[id],
+                    });
+                }
+            }
+            PNode::Inner { op, children } => {
+                let op = *op;
+                let kids: Vec<usize> = children.iter().map(|c| c.0).collect();
+                self.factor[id] = f;
+                let child_factors = self.child_factors(op, &kids, f);
+                for (&k, fk) in kids.iter().zip(child_factors) {
+                    self.assign_factors(k, fk);
+                }
+            }
+        }
+    }
+
+    /// The factor each child inherits through an inner node: the partial
+    /// derivative of the node's combine rule with respect to that child,
+    /// evaluated at the siblings' current bounds (lower bounds for ⊗ — the
+    /// sensitivity of `1 − Π(1 − pⱼ)` — and upper bounds for ⊙).
+    fn child_factors(&self, op: crate::partial::Op, kids: &[usize], f: f64) -> Vec<f64> {
+        use crate::partial::Op;
+        match op {
+            Op::Xor => vec![f; kids.len()],
+            Op::Or | Op::And => {
+                let terms: Vec<f64> = kids
+                    .iter()
+                    .map(|&k| match op {
+                        Op::Or => 1.0 - self.cur[k].lower,
+                        Op::And => self.cur[k].upper,
+                        Op::Xor => unreachable!(),
+                    })
+                    .collect();
+                // Product of all terms except each index, via prefix/suffix
+                // products (⊗ nodes can be very wide).
+                let n = terms.len();
+                let mut prefix = vec![1.0; n + 1];
+                for i in 0..n {
+                    prefix[i + 1] = prefix[i] * terms[i];
+                }
+                let mut suffix = vec![1.0; n + 1];
+                for i in (0..n).rev() {
+                    suffix[i] = suffix[i + 1] * terms[i];
+                }
+                (0..n).map(|i| f * prefix[i] * suffix[i + 1]).collect()
+            }
+        }
+    }
+
+    fn combine(&self, op: crate::partial::Op, kids: &[usize]) -> Bounds {
+        use crate::partial::Op;
+        let child_bounds = kids.iter().map(|&k| self.cur[k]);
+        match op {
+            Op::Or => Bounds::combine_or(child_bounds),
+            Op::And => Bounds::combine_and(child_bounds),
+            Op::Xor => Bounds::combine_xor(child_bounds),
+        }
+    }
+
+    /// Recombines every ancestor of `node`, intersecting each with its
+    /// previous interval so the root bounds are monotone non-widening even
+    /// under floating-point rounding.
+    fn propagate_up(&mut self, mut node: usize) {
+        while let Some(p) = self.parent[node] {
+            let (op, kids) = match self.tree.node(PartialNodeId(p)) {
+                PNode::Inner { op, children } => {
+                    (*op, children.iter().map(|c| c.0).collect::<Vec<usize>>())
+                }
+                PNode::Leaf { .. } => unreachable!("parents are inner nodes"),
+            };
+            let combined = self.combine(op, &kids);
+            self.cur[p] = intersect(combined, self.cur[p]);
+            node = p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::{ApproxCompiler, ApproxOptions, RefinementStrategy};
+    use events::{Dnf, VarId};
+
+    fn bool_space(ps: &[f64]) -> (ProbabilitySpace, Vec<VarId>) {
+        let mut s = ProbabilitySpace::new();
+        let vars = ps.iter().enumerate().map(|(i, &p)| s.add_bool(format!("x{i}"), p)).collect();
+        (s, vars)
+    }
+
+    /// A chain DNF over enough variables that truncated budgets leave real
+    /// work behind.
+    fn hard_chain(n: usize) -> (ProbabilitySpace, Dnf) {
+        let probs: Vec<f64> = (0..n).map(|i| 0.15 + 0.03 * (i as f64 % 22.0)).collect();
+        let (s, vars) = bool_space(&probs);
+        let phi = Dnf::from_clauses(
+            (0..n - 1).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])).collect::<Vec<_>>(),
+        );
+        (s, phi)
+    }
+
+    #[test]
+    fn converged_run_returns_no_handle_and_matches_plain_run() {
+        let (s, phi) = hard_chain(20);
+        let compiler = ApproxCompiler::new(ApproxOptions::absolute(0.01));
+        let plain = compiler.run(&phi, &s);
+        let (resumable, handle) = compiler.run_resumable(&phi, &s, None);
+        assert!(plain.converged && resumable.converged);
+        assert!(handle.is_none());
+        assert_eq!(plain.estimate.to_bits(), resumable.estimate.to_bits());
+        assert_eq!(plain.lower.to_bits(), resumable.lower.to_bits());
+        assert_eq!(plain.upper.to_bits(), resumable.upper.to_bits());
+        assert_eq!(plain.steps, resumable.steps);
+        assert_eq!(plain.stats, resumable.stats);
+    }
+
+    #[test]
+    fn truncated_run_is_bit_identical_to_plain_truncated_run() {
+        let (s, phi) = hard_chain(40);
+        for max_steps in [0, 1, 2, 5, 10] {
+            let compiler =
+                ApproxCompiler::new(ApproxOptions::absolute(1e-9).with_max_steps(max_steps));
+            let plain = compiler.run(&phi, &s);
+            let (resumable, handle) = compiler.run_resumable(&phi, &s, None);
+            assert_eq!(plain.lower.to_bits(), resumable.lower.to_bits(), "steps {max_steps}");
+            assert_eq!(plain.upper.to_bits(), resumable.upper.to_bits());
+            assert_eq!(plain.steps, resumable.steps);
+            assert_eq!(plain.stats, resumable.stats);
+            assert_eq!(plain.converged, resumable.converged);
+            if !resumable.converged {
+                let h = handle.expect("non-converged run yields a handle");
+                assert_eq!(h.bounds().lower.to_bits(), resumable.lower.to_bits());
+                assert_eq!(h.bounds().upper.to_bits(), resumable.upper.to_bits());
+                assert!(h.frontier_len() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn resume_tightens_monotonically_to_convergence() {
+        let (s, phi) = hard_chain(40);
+        let exact = {
+            let r = crate::exact::exact_probability(&phi, &s, &CompileOptions::default());
+            r.probability
+        };
+        let compiler = ApproxCompiler::new(ApproxOptions::absolute(1e-6).with_max_steps(3));
+        let (first, handle) = compiler.run_resumable(&phi, &s, None);
+        assert!(!first.converged);
+        let mut handle = handle.expect("truncated");
+        let mut prev = handle.bounds();
+        assert!(prev.contains(exact));
+        let mut slices = 0;
+        while !handle.is_converged() {
+            let r = handle.resume(&s, ResumeBudget::steps(4));
+            let b = r.bounds();
+            assert!(b.lower >= prev.lower - 1e-15, "lower regressed: {prev:?} -> {b:?}");
+            assert!(b.upper <= prev.upper + 1e-15, "upper regressed: {prev:?} -> {b:?}");
+            assert!(b.contains(exact), "lost the exact probability {exact}: {b:?}");
+            prev = b;
+            slices += 1;
+            assert!(slices < 10_000, "resume did not converge");
+            if r.steps == 0 && !r.converged {
+                break; // complete tree without convergence (shouldn't happen)
+            }
+        }
+        assert!(handle.is_converged());
+        assert!((handle.bounds().midpoint() - exact).abs() <= 1e-6 + 1e-9);
+        assert!(handle.total_steps() >= first.steps);
+    }
+
+    #[test]
+    fn split_resume_is_bit_identical_to_one_shot_resume() {
+        let (s, phi) = hard_chain(36);
+        let compiler = ApproxCompiler::new(ApproxOptions::absolute(1e-9).with_max_steps(4));
+        let (_, one) = compiler.run_resumable(&phi, &s, None);
+        let (_, split) = compiler.run_resumable(&phi, &s, None);
+        let mut one = one.expect("truncated");
+        let mut split = split.expect("truncated");
+        let total = 30;
+        let r_one = one.resume(&s, ResumeBudget::steps(total));
+        let mut done = 0;
+        let mut r_split = None;
+        for chunk in [7, 3, 11, 9] {
+            r_split = Some(split.resume(&s, ResumeBudget::steps(chunk)));
+            done += chunk;
+        }
+        assert_eq!(done, total);
+        let r_split = r_split.unwrap();
+        assert_eq!(r_one.lower.to_bits(), r_split.lower.to_bits());
+        assert_eq!(r_one.upper.to_bits(), r_split.upper.to_bits());
+        assert_eq!(r_one.estimate.to_bits(), r_split.estimate.to_bits());
+        assert_eq!(one.total_steps(), split.total_steps());
+        // Cumulative structural stats agree; only the private-memo hit/miss
+        // split may differ (each slice starts a fresh per-slice memo), so
+        // compare the cache-insensitive totals.
+        let (a, b) = (one.stats(), split.stats());
+        assert_eq!(a.inner_nodes(), b.inner_nodes());
+        assert_eq!(a.exact_leaves, b.exact_leaves);
+        assert_eq!(a.closed_leaves, b.closed_leaves);
+        assert_eq!(a.subsumed_clauses, b.subsumed_clauses);
+        assert_eq!(
+            a.bound_evaluations + a.bound_cache_hits,
+            b.bound_evaluations + b.bound_cache_hits
+        );
+        assert_eq!(
+            a.exact_evaluations + a.exact_cache_hits,
+            b.exact_evaluations + b.exact_cache_hits
+        );
+    }
+
+    #[test]
+    fn resume_with_cache_is_bit_identical_to_uncached() {
+        let (s, phi) = hard_chain(36);
+        let compiler = ApproxCompiler::new(ApproxOptions::absolute(1e-9).with_max_steps(4));
+        let (_, plain) = compiler.run_resumable(&phi, &s, None);
+        let cache = SubformulaCache::new();
+        let (_, cached) = compiler.run_resumable(&phi, &s, Some(&cache));
+        let mut plain = plain.expect("truncated");
+        let mut cached = cached.expect("truncated");
+        for _ in 0..5 {
+            let a = plain.resume(&s, ResumeBudget::steps(6));
+            let b = cached.resume_cached(&s, ResumeBudget::steps(6), &cache);
+            assert_eq!(a.lower.to_bits(), b.lower.to_bits());
+            assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+            assert_eq!(a.steps, b.steps);
+        }
+    }
+
+    #[test]
+    fn zero_budget_resume_returns_promptly_with_current_bounds() {
+        let (s, phi) = hard_chain(40);
+        let compiler = ApproxCompiler::new(ApproxOptions::absolute(1e-9).with_max_steps(2));
+        let (first, handle) = compiler.run_resumable(&phi, &s, None);
+        let mut handle = handle.expect("truncated");
+        let r = handle.resume(&s, ResumeBudget::steps(0));
+        assert_eq!(r.steps, 0);
+        assert!(!r.converged);
+        assert_eq!(r.lower.to_bits(), first.lower.to_bits());
+        assert_eq!(r.upper.to_bits(), first.upper.to_bits());
+        let r = handle.resume(&s, ResumeBudget::timeout(Duration::ZERO));
+        assert_eq!(r.steps, 0);
+        assert_eq!(r.lower.to_bits(), first.lower.to_bits());
+    }
+
+    #[test]
+    fn generation_move_fails_closed() {
+        let (mut s, phi) = hard_chain(30);
+        let compiler = ApproxCompiler::new(ApproxOptions::absolute(1e-9).with_max_steps(2));
+        let (_, handle) = compiler.run_resumable(&phi, &s, None);
+        let mut handle = handle.expect("truncated");
+        // An in-place invalidation bumps the generation: the handle must not
+        // serve bounds computed under the retired space state.
+        s.invalidate();
+        let r = handle.resume(&s, ResumeBudget::unlimited());
+        assert!(!r.converged);
+        assert_eq!(r.lower, 0.0);
+        assert_eq!(r.upper, 1.0);
+        assert_eq!(r.steps, 0);
+        assert!(handle.is_poisoned());
+        assert_eq!(handle.bounds(), Bounds::vacuous());
+        // Poisoning is permanent, even against a space that matches again.
+        let r2 = handle.resume(&s, ResumeBudget::unlimited());
+        assert!(!r2.converged);
+        assert_eq!((r2.lower, r2.upper), (0.0, 1.0));
+    }
+
+    #[test]
+    fn appends_do_not_poison_the_handle() {
+        let (mut s, phi) = hard_chain(30);
+        let compiler = ApproxCompiler::new(ApproxOptions::absolute(1e-6).with_max_steps(2));
+        let (_, handle) = compiler.run_resumable(&phi, &s, None);
+        let mut handle = handle.expect("truncated");
+        // Append-only growth keeps the generation; the handle keeps working.
+        let _ = s.add_bool("appended", 0.5);
+        let r = handle.resume(&s, ResumeBudget::unlimited());
+        assert!(r.converged, "resume after append should still converge");
+        assert!(!handle.is_poisoned());
+    }
+
+    #[test]
+    fn priority_strategy_truncation_is_resumable_too() {
+        let (s, phi) = hard_chain(30);
+        let exact = crate::exact::exact_probability(&phi, &s, &CompileOptions::default());
+        let compiler = ApproxCompiler::new(
+            ApproxOptions::absolute(1e-7)
+                .with_strategy(RefinementStrategy::PriorityRefinement)
+                .with_max_steps(3),
+        );
+        let (first, handle) = compiler.run_resumable(&phi, &s, None);
+        assert!(!first.converged);
+        let mut handle = handle.expect("truncated priority run yields a handle");
+        let r = handle.resume(&s, ResumeBudget::unlimited());
+        assert!(r.converged);
+        assert!((r.estimate - exact.probability).abs() <= 1e-7 + 1e-9);
+    }
+}

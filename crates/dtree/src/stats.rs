@@ -71,6 +71,26 @@ impl CompileStats {
             + self.exact_evaluations
     }
 
+    /// The counter deltas accumulated since an `earlier` snapshot of the same
+    /// accumulator (`max_depth` is reported as-of `self`, not as a delta).
+    /// This is how a resumed compilation slice reports the work of that slice
+    /// alone while the underlying partial d-tree keeps cumulative counters.
+    pub fn since(&self, earlier: &CompileStats) -> CompileStats {
+        CompileStats {
+            or_nodes: self.or_nodes.saturating_sub(earlier.or_nodes),
+            and_nodes: self.and_nodes.saturating_sub(earlier.and_nodes),
+            xor_nodes: self.xor_nodes.saturating_sub(earlier.xor_nodes),
+            exact_leaves: self.exact_leaves.saturating_sub(earlier.exact_leaves),
+            closed_leaves: self.closed_leaves.saturating_sub(earlier.closed_leaves),
+            subsumed_clauses: self.subsumed_clauses.saturating_sub(earlier.subsumed_clauses),
+            max_depth: self.max_depth,
+            bound_evaluations: self.bound_evaluations.saturating_sub(earlier.bound_evaluations),
+            exact_evaluations: self.exact_evaluations.saturating_sub(earlier.exact_evaluations),
+            exact_cache_hits: self.exact_cache_hits.saturating_sub(earlier.exact_cache_hits),
+            bound_cache_hits: self.bound_cache_hits.saturating_sub(earlier.bound_cache_hits),
+        }
+    }
+
     /// Merges another set of counters into this one (keeping the max depth).
     pub fn merge(&mut self, other: &CompileStats) {
         self.or_nodes += other.or_nodes;
@@ -126,6 +146,23 @@ mod tests {
     fn empty_stats_have_zero_fraction() {
         assert_eq!(CompileStats::default().or_node_fraction(), 0.0);
         assert_eq!(CompileStats::default().total_nodes(), 0);
+    }
+
+    #[test]
+    fn since_reports_deltas_and_current_depth() {
+        let earlier = CompileStats { or_nodes: 2, max_depth: 5, ..Default::default() };
+        let now = CompileStats {
+            or_nodes: 7,
+            xor_nodes: 3,
+            max_depth: 5,
+            bound_evaluations: 4,
+            ..Default::default()
+        };
+        let delta = now.since(&earlier);
+        assert_eq!(delta.or_nodes, 5);
+        assert_eq!(delta.xor_nodes, 3);
+        assert_eq!(delta.bound_evaluations, 4);
+        assert_eq!(delta.max_depth, 5);
     }
 
     #[test]

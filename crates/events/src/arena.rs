@@ -63,7 +63,7 @@ use crate::{Atom, Clause, Dnf, DnfHash, ProbabilitySpace, VarId};
 
 /// A pooled, append-only store of interned lineage clauses.
 ///
-/// See the [module documentation](self) for the design. An arena is
+/// See the module documentation in `arena.rs` for the design. An arena is
 /// typically created per compilation run (or per batch item), seeded with
 /// [`LineageArena::intern`], and grown by restriction compaction and the
 /// product factorization — deduplicated by clause content, so the pool is
@@ -163,7 +163,7 @@ impl LineageArena {
 ///
 /// Restriction lists are *transient*: the restriction operators (cofactor,
 /// Shannon cofactors, common-atom stripping) apply their mask during
-/// [`DnfView::canonicalize`]'s compaction pass and return mask-free views,
+/// `DnfView::canonicalize`'s compaction pass and return mask-free views,
 /// so every stored view reads its clauses as raw pooled slices — no per-atom
 /// mask check on the hot iterators.
 ///

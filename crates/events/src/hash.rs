@@ -48,7 +48,7 @@ use crate::{Atom, Dnf};
 ///
 /// Equal DNFs (same normalised clause set) always produce equal hashes;
 /// unequal DNFs produce equal hashes only with negligible probability. See
-/// the [module documentation](self) for the guarantees and caveats.
+/// the module documentation in `hash.rs` for the guarantees and caveats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DnfHash {
     hi: u64,

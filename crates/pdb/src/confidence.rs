@@ -5,11 +5,12 @@
 //! algorithm and returns a uniform result structure, which is what the
 //! examples and the benchmark harness use.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dtree::{
     exact_probability_view, exact_probability_view_cached, ApproxCompiler, ApproxOptions,
-    CompileOptions, CompileStats, ErrorBound, SubformulaCache, VarOrder,
+    ApproxResult, CompileOptions, CompileStats, ErrorBound, ResumableCompilation, ResumeBudget,
+    SubformulaCache, VarOrder,
 };
 use events::{Dnf, DnfRef, LineageArena, ProbabilitySpace, VarOrigins};
 use montecarlo::{aconf_ref, naive_monte_carlo_ref, McOptions, NaiveOptions};
@@ -106,6 +107,101 @@ pub struct ConfidenceBudget {
     pub timeout: Option<Duration>,
     /// Maximum decomposition steps (d-tree) or samples (Monte-Carlo).
     pub max_work: Option<u64>,
+}
+
+/// A suspended confidence computation: wraps a [`ResumableCompilation`] d-tree
+/// frontier together with the method label, so later budget slices keep
+/// tightening the same interval instead of recompiling the lineage from
+/// scratch.
+///
+/// Obtained from [`confidence_resumable`] when a budgeted d-tree run is
+/// truncated before convergence. The handle owns the partial d-tree (arena
+/// included); drop it to discard the frontier. It is pinned to the
+/// probability-space generation it was captured under and **fails closed** if
+/// the space is invalidated in place: [`ResumableConfidence::resume`] then
+/// returns the vacuous non-converged `[0, 1]` interval and
+/// [`ResumableConfidence::failed`] turns `true` permanently.
+#[derive(Debug, Clone)]
+pub struct ResumableConfidence {
+    inner: ResumableCompilation,
+    method: String,
+}
+
+impl ResumableConfidence {
+    /// Continues refinement for one budget slice (an empty budget means
+    /// "until convergence"). Bounds never widen across slices; the returned
+    /// result carries slice-local `elapsed`/`stats`.
+    pub fn resume(
+        &mut self,
+        space: &ProbabilitySpace,
+        budget: &ConfidenceBudget,
+        cache: Option<&SubformulaCache>,
+    ) -> ConfidenceResult {
+        let rb = ResumeBudget {
+            max_steps: budget.max_work.map(|w| w as usize),
+            timeout: budget.timeout,
+        };
+        let r = match cache {
+            Some(c) => self.inner.resume_cached(space, rb, c),
+            None => self.inner.resume(space, rb),
+        };
+        self.to_result(r)
+    }
+
+    /// [`ResumableConfidence::resume`] against a wall-clock deadline: spends
+    /// whatever time remains until `deadline` (returning immediately with the
+    /// current bounds if it already passed). This is the slice shape the
+    /// cluster scheduler's refinement rounds use.
+    pub fn resume_until(
+        &mut self,
+        space: &ProbabilitySpace,
+        deadline: Instant,
+        cache: Option<&SubformulaCache>,
+    ) -> ConfidenceResult {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let budget = ConfidenceBudget { timeout: Some(remaining), max_work: None };
+        self.resume(space, &budget, cache)
+    }
+
+    fn to_result(&self, r: ApproxResult) -> ConfidenceResult {
+        ConfidenceResult {
+            estimate: r.estimate,
+            lower: r.lower,
+            upper: r.upper,
+            converged: r.converged,
+            elapsed: r.elapsed,
+            method: self.method.clone(),
+            stats: Some(r.stats),
+        }
+    }
+
+    /// Current interval width `U − L`; what further resumption shrinks.
+    /// Schedulers re-score suspended items by this.
+    pub fn remaining_width(&self) -> f64 {
+        self.inner.width()
+    }
+
+    /// Current sound bounds of the suspended computation.
+    pub fn bounds(&self) -> (f64, f64) {
+        let b = self.inner.bounds();
+        (b.lower, b.upper)
+    }
+
+    /// `true` once the error guarantee is met (further resumes are no-ops).
+    pub fn is_converged(&self) -> bool {
+        self.inner.is_converged()
+    }
+
+    /// `true` when the handle failed closed under probability-space
+    /// invalidation; recompute from scratch against the new space.
+    pub fn failed(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    /// Cumulative decomposition steps across the original run and all slices.
+    pub fn total_steps(&self) -> usize {
+        self.inner.total_steps()
+    }
 }
 
 /// Computes the confidence of a lineage DNF with the chosen method.
@@ -302,6 +398,62 @@ pub fn confidence_with(
             }
         }
     }
+}
+
+/// [`confidence_with`], but when a *budgeted d-tree* run is truncated before
+/// convergence the second return value carries a [`ResumableConfidence`]
+/// handle over the partial d-tree frontier, so later slices tighten the same
+/// interval instead of recompiling. Converged runs, unbudgeted
+/// [`ConfidenceMethod::DTreeExact`] (which never truncates), and the
+/// Monte-Carlo methods (no d-tree to persist) return `None` and are
+/// bit-identical to [`confidence_with`].
+pub fn confidence_resumable(
+    lineage: &Dnf,
+    space: &ProbabilitySpace,
+    origins: Option<&VarOrigins>,
+    method: &ConfidenceMethod,
+    budget: &ConfidenceBudget,
+    seed: Option<u64>,
+    cache: Option<&SubformulaCache>,
+) -> (ConfidenceResult, Option<ResumableConfidence>) {
+    let budgeted = budget.timeout.is_some() || budget.max_work.is_some();
+    let error = match method {
+        ConfidenceMethod::DTreeExact if budgeted => Some(ErrorBound::Absolute(0.0)),
+        ConfidenceMethod::DTreeAbsolute(e) => Some(ErrorBound::Absolute(*e)),
+        ConfidenceMethod::DTreeRelative(e) => Some(ErrorBound::Relative(*e)),
+        _ => None,
+    };
+    let Some(error) = error else {
+        // Unbudgeted exact evaluation and the Monte-Carlo methods have no
+        // frontier to persist.
+        return (confidence_with(lineage, space, origins, method, budget, seed, cache), None);
+    };
+    let compile_opts = match origins {
+        Some(o) => CompileOptions::with_origins(o.clone()),
+        None => {
+            CompileOptions { var_order: VarOrder::MostFrequent, origins: None, max_depth: None }
+        }
+    };
+    let opts = ApproxOptions {
+        error,
+        compile: compile_opts,
+        strategy: Default::default(),
+        max_steps: budget.max_work.map(|w| w as usize),
+        timeout: budget.timeout,
+    };
+    let compiler = ApproxCompiler::new(opts);
+    let (r, handle) = compiler.run_resumable(lineage, space, cache);
+    let result = ConfidenceResult {
+        estimate: r.estimate,
+        lower: r.lower,
+        upper: r.upper,
+        converged: r.converged,
+        elapsed: r.elapsed,
+        method: method.label(),
+        stats: Some(r.stats),
+    };
+    let handle = handle.map(|inner| ResumableConfidence { inner, method: method.label() });
+    (result, handle)
 }
 
 #[cfg(test)]
@@ -509,6 +661,100 @@ mod tests {
             assert_eq!(plain.upper.to_bits(), cached.upper.to_bits());
             assert_eq!(plain.converged, cached.converged);
         }
+    }
+
+    #[test]
+    fn resumable_truncation_resumes_to_the_exact_answer() {
+        let (s, phi) = hard_lineage();
+        let exact = phi.exact_probability_enumeration(&s);
+        let budget = ConfidenceBudget { timeout: None, max_work: Some(2) };
+        let (first, handle) = confidence_resumable(
+            &phi,
+            &s,
+            None,
+            &ConfidenceMethod::DTreeExact,
+            &budget,
+            None,
+            None,
+        );
+        assert!(!first.converged, "2 steps must truncate: {first:?}");
+        // The first result is bit-identical to the non-resumable front-end.
+        let plain = confidence(&phi, &s, None, &ConfidenceMethod::DTreeExact, &budget);
+        assert_eq!(plain.lower.to_bits(), first.lower.to_bits());
+        assert_eq!(plain.upper.to_bits(), first.upper.to_bits());
+        let mut handle = handle.expect("truncated run yields a handle");
+        assert!(first.lower <= exact + 1e-9 && exact <= first.upper + 1e-9);
+        assert!(handle.remaining_width() > 0.0);
+        // An unlimited slice finishes the job.
+        let done = handle.resume(&s, &ConfidenceBudget::default(), None);
+        assert!(done.converged);
+        assert!((done.estimate - exact).abs() < 1e-9);
+        assert!(handle.is_converged());
+        assert!(!handle.failed());
+        assert_eq!(done.method, "d-tree(0)");
+    }
+
+    #[test]
+    fn resumable_returns_no_handle_when_nothing_to_resume() {
+        let (db, lineage) = sample_lineage();
+        // Unbudgeted exact: cannot truncate.
+        let (r, h) = confidence_resumable(
+            &lineage,
+            db.space(),
+            Some(db.origins()),
+            &ConfidenceMethod::DTreeExact,
+            &ConfidenceBudget::default(),
+            None,
+            None,
+        );
+        assert!(r.converged && h.is_none());
+        // Monte-Carlo: no d-tree frontier to persist, even truncated.
+        let budget = ConfidenceBudget { timeout: None, max_work: Some(2) };
+        let (r, h) = confidence_resumable(
+            &lineage,
+            db.space(),
+            None,
+            &ConfidenceMethod::KarpLuby { epsilon: 1e-4, delta: 1e-4 },
+            &budget,
+            Some(7),
+            None,
+        );
+        assert!(!r.converged && h.is_none());
+        // Converged budgeted d-tree: handle already spent.
+        let (r, h) = confidence_resumable(
+            &lineage,
+            db.space(),
+            Some(db.origins()),
+            &ConfidenceMethod::DTreeAbsolute(0.1),
+            &ConfidenceBudget { timeout: Some(Duration::from_secs(5)), max_work: None },
+            None,
+            None,
+        );
+        assert!(r.converged && h.is_none());
+    }
+
+    #[test]
+    fn resume_until_past_deadline_returns_promptly() {
+        let (s, phi) = hard_lineage();
+        let budget = ConfidenceBudget { timeout: None, max_work: Some(1) };
+        let (first, handle) = confidence_resumable(
+            &phi,
+            &s,
+            None,
+            &ConfidenceMethod::DTreeExact,
+            &budget,
+            None,
+            None,
+        );
+        let mut handle = handle.expect("truncated");
+        let t0 = Instant::now();
+        let r = handle.resume_until(&s, t0 - Duration::from_millis(1), None);
+        assert!(t0.elapsed() < Duration::from_millis(50), "expired resume must be prompt");
+        assert!(!r.converged);
+        // Bounds unchanged — an expired slice does no work but loses nothing.
+        assert_eq!(r.lower.to_bits(), first.lower.to_bits());
+        assert_eq!(r.upper.to_bits(), first.upper.to_bits());
+        assert!(!handle.failed());
     }
 
     #[test]

@@ -38,7 +38,10 @@ use std::time::{Duration, Instant};
 use dtree::{CacheStats, SubformulaCache};
 use events::{Dnf, ProbabilitySpace, VarOrigins};
 
-use crate::confidence::{confidence_with, ConfidenceBudget, ConfidenceMethod, ConfidenceResult};
+use crate::confidence::{
+    confidence_resumable, confidence_with, ConfidenceBudget, ConfidenceMethod, ConfidenceResult,
+    ResumableConfidence,
+};
 
 /// Result of a batched confidence computation.
 #[derive(Debug, Clone)]
@@ -292,15 +295,55 @@ impl ConfidenceEngine {
         deadline: Option<Instant>,
         cache: Option<&SubformulaCache>,
     ) -> ConfidenceResult {
-        // Whatever time remains until the shared deadline is this item's
-        // timeout. Items that start *after* the deadline short-circuit to an
-        // immediate non-converged result with the vacuous (but sound)
-        // interval [0, 1]: handing them a zero timeout instead would still
-        // pay the full per-item setup — DNF preparation and, for the
-        // Monte-Carlo methods, the whole DKLR estimation block — once per
-        // straggler, so a tight deadline over a large batch would overrun by
-        // the sum of those setup costs.
-        let item_budget = match deadline {
+        let item_budget = match self.item_budget(lineage, deadline) {
+            Ok(budget) => budget,
+            Err(short_circuit) => return *short_circuit,
+        };
+        let seed = self.seed.map(|base| Self::item_seed(base, index));
+        confidence_with(lineage, space, origins, &self.method, &item_budget, seed, cache)
+    }
+
+    /// [`ConfidenceEngine::compute_item`], but when a budgeted d-tree run is
+    /// truncated before convergence the second return value carries a
+    /// [`ResumableConfidence`] handle over the item's partial d-tree frontier
+    /// (see [`confidence_resumable`]). Schedulers hold the handle and spend
+    /// later refinement rounds resuming it instead of recompiling the item.
+    /// The first return value is identical to what
+    /// [`ConfidenceEngine::compute_item`] reports for the same call.
+    pub fn compute_item_resumable(
+        &self,
+        lineage: &Dnf,
+        space: &ProbabilitySpace,
+        origins: Option<&VarOrigins>,
+        index: usize,
+        deadline: Option<Instant>,
+        cache: Option<&SubformulaCache>,
+    ) -> (ConfidenceResult, Option<ResumableConfidence>) {
+        let item_budget = match self.item_budget(lineage, deadline) {
+            Ok(budget) => budget,
+            Err(short_circuit) => return (*short_circuit, None),
+        };
+        let seed = self.seed.map(|base| Self::item_seed(base, index));
+        confidence_resumable(lineage, space, origins, &self.method, &item_budget, seed, cache)
+    }
+
+    /// The per-item budget derived from the shared deadline, or (`Err`) the
+    /// immediate result for items starting past the deadline.
+    ///
+    /// Whatever time remains until the shared deadline is this item's
+    /// timeout. Items that start *after* the deadline short-circuit to an
+    /// immediate non-converged result with the vacuous (but sound)
+    /// interval [0, 1]: handing them a zero timeout instead would still
+    /// pay the full per-item setup — DNF preparation and, for the
+    /// Monte-Carlo methods, the whole DKLR estimation block — once per
+    /// straggler, so a tight deadline over a large batch would overrun by
+    /// the sum of those setup costs.
+    fn item_budget(
+        &self,
+        lineage: &Dnf,
+        deadline: Option<Instant>,
+    ) -> Result<ConfidenceBudget, Box<ConfidenceResult>> {
+        match deadline {
             Some(d) => {
                 let remaining = d.saturating_duration_since(Instant::now());
                 if remaining.is_zero() {
@@ -308,7 +351,7 @@ impl ConfidenceEngine {
                     // don't replace an exact answer with a vacuous one.
                     if lineage.is_tautology() || lineage.is_empty() {
                         let p = if lineage.is_tautology() { 1.0 } else { 0.0 };
-                        return ConfidenceResult {
+                        return Err(Box::new(ConfidenceResult {
                             estimate: p,
                             lower: p,
                             upper: p,
@@ -316,9 +359,9 @@ impl ConfidenceEngine {
                             elapsed: Duration::ZERO,
                             method: self.method.label(),
                             stats: None,
-                        };
+                        }));
                     }
-                    return ConfidenceResult {
+                    return Err(Box::new(ConfidenceResult {
                         estimate: 0.5,
                         lower: 0.0,
                         upper: 1.0,
@@ -326,14 +369,12 @@ impl ConfidenceEngine {
                         elapsed: Duration::ZERO,
                         method: self.method.label(),
                         stats: None,
-                    };
+                    }));
                 }
-                ConfidenceBudget { timeout: Some(remaining), max_work: self.budget.max_work }
+                Ok(ConfidenceBudget { timeout: Some(remaining), max_work: self.budget.max_work })
             }
-            None => ConfidenceBudget { timeout: None, max_work: self.budget.max_work },
-        };
-        let seed = self.seed.map(|base| Self::item_seed(base, index));
-        confidence_with(lineage, space, origins, &self.method, &item_budget, seed, cache)
+            None => Ok(ConfidenceBudget { timeout: None, max_work: self.budget.max_work }),
+        }
     }
 }
 

@@ -1,6 +1,6 @@
 //! SPROUT-style exact confidence computation for hierarchical queries.
 //!
-//! SPROUT [21] is the exact baseline of the paper's experiments: it exploits
+//! SPROUT \[21\] is the exact baseline of the paper's experiments: it exploits
 //! the *query* structure (not the lineage) to compute answer confidences for
 //! tractable conjunctive queries without self-joins on tuple-independent
 //! databases in polynomial time. This module implements the lazy safe-plan

@@ -3,7 +3,7 @@
 //! The paper evaluates the motif queries (triangle, path-2, path-3,
 //! two-degrees-of-separation) on two well-known social networks:
 //!
-//! * **Zachary's karate club** [28] — 34 nodes and 78 edges; the edge list is
+//! * **Zachary's karate club** \[28\] — 34 nodes and 78 edges; the edge list is
 //!   published and embedded here verbatim.
 //! * **A dolphin social network** (Lusseau's bottlenose dolphins) — 62 nodes
 //!   and 159 edges. The paper does not reproduce the edge list, so we generate
@@ -87,7 +87,7 @@ impl SocialNetwork {
 }
 
 /// The 78 undirected edges of Zachary's karate club (nodes numbered 1..=34,
-/// following the original publication [28]).
+/// following the original publication \[28\]).
 pub const KARATE_EDGES: [(u32, u32); 78] = [
     (1, 2),
     (1, 3),
