@@ -129,6 +129,8 @@ fn split_budget_experiment(smoke: bool) {
                         converged_fraction: f64::from(out.converged),
                         samples: slices,
                         mean_interval_width: None,
+                        tuples_per_second: None,
+                        p50_refresh_seconds: None,
                     }
                     .with_mean_interval_width(out.width),
                 );
@@ -150,6 +152,8 @@ fn split_budget_experiment(smoke: bool) {
                 converged_fraction: 1.0,
                 samples: rerun_widths.len(),
                 mean_interval_width: None,
+                tuples_per_second: None,
+                p50_refresh_seconds: None,
             }
             .with_mean_interval_width(width),
         );

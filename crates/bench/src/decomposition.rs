@@ -108,6 +108,8 @@ pub fn fig8_end_to_end(smoke: bool) -> DecompositionReport {
                 converged_fraction: 1.0,
                 samples: reps,
                 mean_interval_width: None,
+                tuples_per_second: None,
+                p50_refresh_seconds: None,
             });
         }
         println!(
@@ -151,6 +153,8 @@ pub fn decomposition_records(smoke: bool, floor: Option<f64>) -> Vec<BenchRecord
         converged_fraction: 1.0,
         samples: 1,
         mean_interval_width: None,
+        tuples_per_second: None,
+        p50_refresh_seconds: None,
     });
     records
 }

@@ -123,6 +123,15 @@ pub struct BenchRecord {
     /// `resume_refinement` bench's resume-vs-rerun comparison. `None` for
     /// time-only series; omitted from the JSON when absent.
     pub mean_interval_width: Option<f64>,
+    /// Appended tuples absorbed per second of maintenance wall-clock, for
+    /// the `streaming` bench's ingestion series. `None` for non-streaming
+    /// series; omitted from the JSON when absent.
+    pub tuples_per_second: Option<f64>,
+    /// Median per-changed-item refresh latency in seconds (round wall-clock
+    /// divided by the items brought up to date that round), for the
+    /// `streaming` bench. `None` for non-streaming series; omitted from the
+    /// JSON when absent.
+    pub p50_refresh_seconds: Option<f64>,
 }
 
 impl BenchRecord {
@@ -143,12 +152,26 @@ impl BenchRecord {
             converged_fraction: converged as f64 / samples.len() as f64,
             samples: samples.len(),
             mean_interval_width: None,
+            tuples_per_second: None,
+            p50_refresh_seconds: None,
         })
     }
 
     /// Attaches a mean interval width to the record (builder style).
     pub fn with_mean_interval_width(mut self, width: f64) -> BenchRecord {
         self.mean_interval_width = Some(width);
+        self
+    }
+
+    /// Attaches an ingestion throughput to the record (builder style).
+    pub fn with_tuples_per_second(mut self, tps: f64) -> BenchRecord {
+        self.tuples_per_second = Some(tps);
+        self
+    }
+
+    /// Attaches a median refresh latency to the record (builder style).
+    pub fn with_refresh_latency(mut self, seconds: f64) -> BenchRecord {
+        self.p50_refresh_seconds = Some(seconds);
         self
     }
 
@@ -164,14 +187,21 @@ impl BenchRecord {
         if let Some(w) = self.mean_interval_width {
             let _ = write!(out, ",\"mean_interval_width\":{}", json_number(w));
         }
+        if let Some(t) = self.tuples_per_second {
+            let _ = write!(out, ",\"tuples_per_second\":{}", json_number(t));
+        }
+        if let Some(r) = self.p50_refresh_seconds {
+            let _ = write!(out, ",\"p50_refresh_seconds\":{}", json_number(r));
+        }
         out.push('}');
         out
     }
 }
 
 /// Parses one JSON line back into a [`BenchRecord`], strictly: every key of
-/// the schema must appear exactly once (`mean_interval_width` is optional),
-/// unknown keys, trailing garbage, and non-finite numbers are errors. This is
+/// the schema must appear exactly once (`mean_interval_width`,
+/// `tuples_per_second`, and `p50_refresh_seconds` are optional), unknown
+/// keys, trailing garbage, and non-finite numbers are errors. This is
 /// the schema check behind the `validate_bench_json` CI bin, so it
 /// deliberately rejects anything [`BenchRecord::to_json`] would not emit.
 pub fn parse_bench_record(line: &str) -> Result<BenchRecord, String> {
@@ -181,6 +211,8 @@ pub fn parse_bench_record(line: &str) -> Result<BenchRecord, String> {
     let mut converged_fraction: Option<f64> = None;
     let mut samples: Option<usize> = None;
     let mut mean_interval_width: Option<f64> = None;
+    let mut tuples_per_second: Option<f64> = None;
+    let mut p50_refresh_seconds: Option<f64> = None;
 
     p.expect(b'{')?;
     loop {
@@ -200,6 +232,12 @@ pub fn parse_bench_record(line: &str) -> Result<BenchRecord, String> {
             "mean_interval_width" => {
                 set_once(&mut mean_interval_width, p.parse_number()?, &key)?;
             }
+            "tuples_per_second" => {
+                set_once(&mut tuples_per_second, p.parse_number()?, &key)?;
+            }
+            "p50_refresh_seconds" => {
+                set_once(&mut p50_refresh_seconds, p.parse_number()?, &key)?;
+            }
             other => return Err(format!("unknown key {other:?}")),
         }
         if !p.comma_or_close()? {
@@ -215,12 +253,24 @@ pub fn parse_bench_record(line: &str) -> Result<BenchRecord, String> {
     if !(0.0..=1.0).contains(&converged_fraction) {
         return Err(format!("\"converged_fraction\" {converged_fraction} outside [0, 1]"));
     }
+    if let Some(t) = tuples_per_second {
+        if t < 0.0 {
+            return Err(format!("\"tuples_per_second\" {t} is negative"));
+        }
+    }
+    if let Some(r) = p50_refresh_seconds {
+        if r < 0.0 {
+            return Err(format!("\"p50_refresh_seconds\" {r} is negative"));
+        }
+    }
     Ok(BenchRecord {
         name: name.ok_or_else(|| missing("name"))?,
         p50_seconds: p50_seconds.ok_or_else(|| missing("p50_seconds"))?,
         converged_fraction,
         samples: samples.ok_or_else(|| missing("samples"))?,
         mean_interval_width,
+        tuples_per_second,
+        p50_refresh_seconds,
     })
 }
 
@@ -501,6 +551,8 @@ mod tests {
             converged_fraction: 1.0,
             samples: 4,
             mean_interval_width: None,
+            tuples_per_second: None,
+            p50_refresh_seconds: None,
         };
         let line = r.to_json();
         assert!(line.starts_with('{') && line.ends_with('}'));
@@ -520,6 +572,8 @@ mod tests {
                 converged_fraction: 0.75,
                 samples: 4,
                 mean_interval_width: None,
+                tuples_per_second: None,
+                p50_refresh_seconds: None,
             },
             BenchRecord {
                 name: "resume/suite/resume".into(),
@@ -527,6 +581,17 @@ mod tests {
                 converged_fraction: 0.0,
                 samples: 8,
                 mean_interval_width: Some(0.125),
+                tuples_per_second: None,
+                p50_refresh_seconds: None,
+            },
+            BenchRecord {
+                name: "streaming/refresh/incremental".into(),
+                p50_seconds: 2e-3,
+                converged_fraction: 1.0,
+                samples: 8,
+                mean_interval_width: None,
+                tuples_per_second: Some(12_500.0),
+                p50_refresh_seconds: Some(8e-4),
             },
         ];
         for r in &records {
@@ -565,6 +630,14 @@ mod tests {
                 "trailing garbage",
             ),
             (r#"{"name":"a,"p50_seconds":1,"converged_fraction":1,"samples":2}"#, "broken string"),
+            (
+                r#"{"name":"a","p50_seconds":1,"converged_fraction":1,"samples":2,"tuples_per_second":-3}"#,
+                "negative tuples_per_second",
+            ),
+            (
+                r#"{"name":"a","p50_seconds":1,"converged_fraction":1,"samples":2,"p50_refresh_seconds":-1}"#,
+                "negative p50_refresh_seconds",
+            ),
         ] {
             assert!(parse_bench_record(bad).is_err(), "accepted {why}: {bad}");
         }

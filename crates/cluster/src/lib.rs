@@ -19,7 +19,13 @@
 //!   uniformly instead of starving the tail, and work-steals straggler
 //!   items across shards;
 //! * a [`ClusterBatchResult`] merges the per-shard outcomes with per-shard
-//!   cache, stealing, and convergence stats.
+//!   cache, stealing, and convergence stats, plus the per-item
+//!   width-vs-budget refinement curves of every suspended d-tree frontier;
+//! * [`ClusterEngine::maintain_batch`] runs one round of **streaming
+//!   maintenance** across the shards: pooled d-tree frontiers absorb
+//!   per-item lineage deltas in place, the scheduler orders the dirtied
+//!   items by how much their delta widened the bounds, and items whose
+//!   bounds stayed within the guarantee are served as zero-work snapshots.
 //!
 //! **Sharding never changes answers.** For the deterministic d-tree methods
 //! the cluster is bit-identical to [`ConfidenceEngine::confidence_batch`];
@@ -64,9 +70,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dtree::{CacheStats, SubformulaCache};
-use events::{Dnf, ProbabilitySpace, VarOrigins};
-use pdb::confidence::{ConfidenceBudget, ConfidenceMethod, ConfidenceResult};
-use pdb::{BatchResult, ConfidenceEngine};
+use events::{Dnf, LineageDelta, ProbabilitySpace, VarOrigins};
+use pdb::confidence::{ConfidenceBudget, ConfidenceMethod, ConfidenceResult, ResumableConfidence};
+use pdb::{BatchResult, ConfidenceEngine, ResumablePool};
 
 pub use hardness::{HardnessEstimator, LineageFeatures};
 pub use router::{HashPartitioner, Partitioner, RouteItem, ShardRouter, SizeBalancedPartitioner};
@@ -136,6 +142,14 @@ pub struct ClusterBatchResult {
     /// Number of scheduling rounds run (1 unless a deadline forced
     /// refinement rounds).
     pub rounds: usize,
+    /// Per-item width-vs-budget refinement curves, harvested from the
+    /// suspended d-tree frontiers that survived the run
+    /// (`(cumulative_steps, interval_width)` samples; see
+    /// [`ResumableConfidence::width_curve`]). `None` for items that never
+    /// had a frontier captured: Monte-Carlo items, deduplicated copies,
+    /// and — in plain batches — runs without a deadline or runs that
+    /// converged without truncating.
+    pub curves: Vec<Option<Vec<(usize, f64)>>>,
 }
 
 impl ClusterBatchResult {
@@ -378,33 +392,11 @@ impl ClusterEngine {
             ShardRouter::new(self.partitioner.as_ref(), shards).route(&items)
         };
 
-        // Cache topology: per-batch shared, per-batch per-shard, external,
-        // or none. `owned` keeps per-batch caches alive for the run.
-        let (owned, per_shard): (Vec<Arc<SubformulaCache>>, Vec<Option<usize>>) =
-            match &self.topology {
-                CacheTopology::Shared => {
-                    (vec![Arc::new(SubformulaCache::new())], vec![Some(0); shards])
-                }
-                CacheTopology::PerShard => (
-                    (0..shards).map(|_| Arc::new(SubformulaCache::new())).collect(),
-                    (0..shards).map(Some).collect(),
-                ),
-                CacheTopology::External(c) => (vec![Arc::clone(c)], vec![Some(0); shards]),
-                CacheTopology::Disabled => (Vec::new(), vec![None; shards]),
-            };
+        let (owned, per_shard) = self.cache_setup();
         let cache_refs: Vec<Option<&SubformulaCache>> =
             per_shard.iter().map(|slot| slot.map(|k| owned[k].as_ref())).collect();
         let before: Vec<CacheStats> = owned.iter().map(|c| c.stats()).collect();
-
-        // The per-item engine: the cluster scheduler owns the deadline, so
-        // the shard engines run with `timeout = None` and get per-item
-        // deadlines through `compute_item`.
-        let mut engine = ConfidenceEngine::new(self.method.clone())
-            .with_budget(ConfidenceBudget { timeout: None, max_work: self.budget.max_work })
-            .with_threads(1);
-        if let Some(seed) = self.seed {
-            engine = engine.with_seed(seed);
-        }
+        let engine = self.shard_engine();
 
         let ctx = scheduler::RunContext {
             lineages: &lineages,
@@ -418,8 +410,12 @@ impl ClusterEngine {
             policy: self.policy,
             deadline,
             max_rounds: self.max_rounds,
+            max_work: self.budget.max_work,
+            // Capturing frontiers costs a little on every fresh run; only
+            // pay it when refinement rounds could actually resume them.
+            capture: deadline.is_some() && self.max_rounds > 1,
         };
-        let outcome = scheduler::execute(&ctx, queues);
+        let outcome = scheduler::execute(&ctx, queues, vec![None; lineages.len()]);
 
         let after: Vec<CacheStats> = owned.iter().map(|c| c.stats()).collect();
         let deltas: Vec<CacheStats> = after.iter().zip(&before).map(|(a, b)| a.since(b)).collect();
@@ -454,6 +450,8 @@ impl ClusterEngine {
                 slots[i] = Some(r);
             }
         }
+        let curves: Vec<Option<Vec<(usize, f64)>>> =
+            outcome.handles.iter().map(|h| h.as_ref().map(|h| h.width_curve().to_vec())).collect();
 
         ClusterBatchResult {
             results: slots.into_iter().map(|r| r.expect("scheduler fills every slot")).collect(),
@@ -461,7 +459,227 @@ impl ClusterEngine {
             shards: shard_stats,
             cache: merge_cache_stats(deltas),
             rounds: outcome.rounds,
+            curves,
         }
+    }
+
+    /// One round of **streaming confidence maintenance** across the
+    /// cluster's shards — the sharded, schedule-aware counterpart of
+    /// [`ConfidenceEngine::maintain_batch`].
+    ///
+    /// Inputs per item `i`: `lineages[i]` is the item's *current*
+    /// (post-append) lineage and `deltas[i]` the clauses appended since the
+    /// previous round (`None` or an empty delta means no change), obtained
+    /// from [`events::LineageArena::append_clauses`] or
+    /// [`LineageDelta::between`]. `pool` carries the suspended d-tree
+    /// frontiers between rounds, keyed by item index.
+    ///
+    /// A sequential pre-pass takes each item's pooled handle, fails closed
+    /// on stale handles ([`ResumableConfidence::is_current`]), and absorbs
+    /// the delta in place ([`ResumableConfidence::apply_delta`]). Items
+    /// whose bounds still satisfy the error guarantee afterwards are served
+    /// as zero-work snapshots and never reach the scheduler. The rest are
+    /// routed to shards and ordered by **width regression** — how much the
+    /// delta widened the item's interval (items needing a scratch recompile
+    /// score the maximal 1.0) — so the items the stream dirtied hardest
+    /// refine first. The scheduler then resumes the seeded frontiers (or
+    /// recompiles, capturing fresh frontiers) exactly as in a batch run,
+    /// deadline slicing and work stealing included; surviving handles
+    /// return to `pool` and their width curves land in
+    /// [`ClusterBatchResult::curves`].
+    ///
+    /// Unlike [`ClusterEngine::confidence_batch`], identical lineages are
+    /// *not* deduplicated: two items with equal formulas may carry
+    /// different deltas and different pooled frontiers. The Monte-Carlo
+    /// methods have no incremental path — every item recompiles with its
+    /// input-index seed, bit-identical to a batch over the same final
+    /// lineages, and nothing is pooled.
+    pub fn maintain_batch<L: AsRef<Dnf> + Sync>(
+        &self,
+        lineages: &[L],
+        deltas: &[Option<LineageDelta>],
+        space: &ProbabilitySpace,
+        origins: Option<&VarOrigins>,
+        pool: &mut ResumablePool,
+    ) -> ClusterBatchResult {
+        assert_eq!(lineages.len(), deltas.len(), "one delta slot per lineage");
+        let start = Instant::now();
+        let deadline = self.budget.timeout.map(|t| start + t);
+        let lineages: Vec<&Dnf> = lineages.iter().map(AsRef::as_ref).collect();
+        let n = lineages.len();
+
+        // Pre-pass: absorb every delta into its pooled frontier and decide
+        // per item whether any scheduling is needed at all.
+        let mut initial_handles: Vec<Option<ResumableConfidence>> = Vec::with_capacity(n);
+        let mut snapshot_results: Vec<Option<ConfidenceResult>> = vec![None; n];
+        let mut curves: Vec<Option<Vec<(usize, f64)>>> = vec![None; n];
+        let mut features: Vec<LineageFeatures> = vec![LineageFeatures::default(); n];
+        let mut scores: Vec<f64> = vec![0.0; n];
+        let mut work: Vec<usize> = Vec::new();
+        for i in 0..n {
+            let mut handle = if self.method.is_deterministic() { pool.take(i) } else { None };
+            // Fail closed up front: a handle pinned to an invalidated space
+            // can neither absorb a delta nor resume — recompiling
+            // immediately avoids burning a slice on its poisoned bounds.
+            if handle.as_ref().is_some_and(|h| !h.is_current(space)) {
+                handle = None;
+            }
+            let width_before = handle.as_ref().map_or(0.0, ResumableConfidence::remaining_width);
+            if let (Some(h), Some(delta)) = (handle.as_mut(), deltas[i].as_ref()) {
+                if !delta.is_empty() && !h.apply_delta(space, delta) {
+                    handle = None;
+                }
+            }
+            match handle {
+                Some(h) if h.is_converged() => {
+                    // The delta left the bounds within the guarantee:
+                    // zero-work snapshot; the frontier stays pooled for the
+                    // next delta.
+                    snapshot_results[i] = Some(h.snapshot_result());
+                    curves[i] = Some(h.width_curve().to_vec());
+                    pool.insert(i, h);
+                    initial_handles.push(None);
+                }
+                Some(h) => {
+                    features[i] = LineageFeatures::of(lineages[i]);
+                    // Order dirtied items by how much the delta widened
+                    // their interval — the regression this round must claw
+                    // back.
+                    scores[i] = (h.remaining_width() - width_before).max(0.0);
+                    initial_handles.push(Some(h));
+                    work.push(i);
+                }
+                None => {
+                    features[i] = LineageFeatures::of(lineages[i]);
+                    // Scratch recompiles forfeit all prior refinement: the
+                    // maximal regression an interval can suffer.
+                    scores[i] = 1.0;
+                    initial_handles.push(None);
+                    work.push(i);
+                }
+            }
+        }
+
+        let shards = self.shards;
+        let queues: Vec<Vec<usize>> = if shards == 1 {
+            vec![work.clone()]
+        } else {
+            let items: Vec<RouteItem<'_>> = work
+                .iter()
+                .map(|&index| RouteItem {
+                    index,
+                    lineage: lineages[index],
+                    hash: lineages[index].canonical_hash(),
+                    score: scores[index],
+                })
+                .collect();
+            ShardRouter::new(self.partitioner.as_ref(), shards).route(&items)
+        };
+
+        let (owned, per_shard) = self.cache_setup();
+        let cache_refs: Vec<Option<&SubformulaCache>> =
+            per_shard.iter().map(|slot| slot.map(|k| owned[k].as_ref())).collect();
+        let before: Vec<CacheStats> = owned.iter().map(|c| c.stats()).collect();
+        let engine = self.shard_engine();
+
+        let ctx = scheduler::RunContext {
+            lineages: &lineages,
+            space,
+            origins,
+            features: &features,
+            scores: &scores,
+            engine: &engine,
+            estimator: &self.estimator,
+            caches: &cache_refs,
+            policy: self.policy,
+            deadline,
+            max_rounds: self.max_rounds,
+            max_work: self.budget.max_work,
+            // Maintenance always captures: surviving frontiers outlive the
+            // run in the caller's pool, making the *next* round's deltas
+            // cheap.
+            capture: true,
+        };
+        let outcome = scheduler::execute(&ctx, queues, initial_handles);
+
+        let after: Vec<CacheStats> = owned.iter().map(|c| c.stats()).collect();
+        let deltas_stats: Vec<CacheStats> =
+            after.iter().zip(&before).map(|(a, b)| a.since(b)).collect();
+        let shard_stats: Vec<ShardStats> = outcome
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(shard, acc)| ShardStats {
+                shard,
+                assigned: acc.assigned,
+                executed: acc.executed,
+                stolen: acc.stolen,
+                resumed: acc.resumed,
+                compute: acc.compute,
+                cache: match self.topology {
+                    CacheTopology::PerShard => deltas_stats.get(shard).cloned().unwrap_or_default(),
+                    _ => CacheStats::default(),
+                },
+            })
+            .collect();
+
+        // Harvest the surviving frontiers back into the pool and record
+        // their refinement curves; snapshot items recorded theirs in the
+        // pre-pass.
+        for (i, h) in outcome.handles.into_iter().enumerate() {
+            if let Some(h) = h {
+                curves[i] = Some(h.width_curve().to_vec());
+                pool.insert(i, h);
+            }
+        }
+
+        let mut slots = outcome.results;
+        for (i, snap) in snapshot_results.into_iter().enumerate() {
+            if let Some(r) = snap {
+                debug_assert!(slots[i].is_none(), "snapshot items are never scheduled");
+                slots[i] = Some(r);
+            }
+        }
+
+        ClusterBatchResult {
+            results: slots.into_iter().map(|r| r.expect("maintenance fills every slot")).collect(),
+            wall: start.elapsed(),
+            shards: shard_stats,
+            cache: merge_cache_stats(deltas_stats),
+            rounds: outcome.rounds,
+            curves,
+        }
+    }
+
+    /// Instantiates the cache topology for one run: `owned` keeps per-batch
+    /// caches alive, `per_shard[s]` indexes each shard's cache in it
+    /// (`None` = caching disabled for that shard).
+    fn cache_setup(&self) -> (Vec<Arc<SubformulaCache>>, Vec<Option<usize>>) {
+        let shards = self.shards;
+        match &self.topology {
+            CacheTopology::Shared => {
+                (vec![Arc::new(SubformulaCache::new())], vec![Some(0); shards])
+            }
+            CacheTopology::PerShard => (
+                (0..shards).map(|_| Arc::new(SubformulaCache::new())).collect(),
+                (0..shards).map(Some).collect(),
+            ),
+            CacheTopology::External(c) => (vec![Arc::clone(c)], vec![Some(0); shards]),
+            CacheTopology::Disabled => (Vec::new(), vec![None; shards]),
+        }
+    }
+
+    /// The per-item engine behind every shard worker: the cluster scheduler
+    /// owns the deadline, so shard engines run with `timeout = None` and
+    /// get per-item deadlines through `compute_item`.
+    fn shard_engine(&self) -> ConfidenceEngine {
+        let mut engine = ConfidenceEngine::new(self.method.clone())
+            .with_budget(ConfidenceBudget { timeout: None, max_work: self.budget.max_work })
+            .with_threads(1);
+        if let Some(seed) = self.seed {
+            engine = engine.with_seed(seed);
+        }
+        engine
     }
 }
 
@@ -673,6 +891,142 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Chain lineages over a shared space, hard enough that a small step
+    /// budget truncates — the streaming-maintenance fixture.
+    fn streaming_fixture() -> (ProbabilitySpace, Vec<Dnf>) {
+        let mut space = ProbabilitySpace::new();
+        let vars: Vec<_> =
+            (0..34).map(|i| space.add_bool(format!("x{i}"), 0.15 + 0.02 * i as f64)).collect();
+        let lineages: Vec<Dnf> = (0..3)
+            .map(|k| {
+                Dnf::from_clauses(
+                    (0..22)
+                        .map(|i| Clause::from_bools(&[vars[i + k], vars[i + k + 1]]))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        (space, lineages)
+    }
+
+    /// The sharded maintenance round must take the same per-item paths as
+    /// the flat engine — recompile on first sight, resume pooled frontiers
+    /// after appends, snapshot unchanged items — and converge to the exact
+    /// probabilities of the grown formulas.
+    #[test]
+    fn maintain_batch_resumes_pooled_frontiers_across_rounds() {
+        let (mut space, mut lineages) = streaming_fixture();
+        let cluster = ClusterEngine::new(ConfidenceMethod::DTreeExact).with_shards(2);
+        let mut pool = ResumablePool::new(8);
+        // Round 0: first sight under a step budget — every item compiles
+        // from scratch, truncates, and parks its frontier in the pool.
+        let none: Vec<Option<events::LineageDelta>> = vec![None; lineages.len()];
+        let warm = cluster
+            .clone()
+            .with_budget(ConfidenceBudget { timeout: None, max_work: Some(4) })
+            .maintain_batch(&lineages, &none, &space, None, &mut pool);
+        assert_eq!(warm.total_resumed(), 0);
+        assert!(!warm.all_converged());
+        assert_eq!(pool.len(), lineages.len(), "truncated frontiers are pooled");
+        // Round 1: append one fresh independent clause and one bridging
+        // clause per item, then maintain with an unlimited budget.
+        let mut deltas = Vec::new();
+        for (i, lineage) in lineages.iter_mut().enumerate() {
+            let fresh = space.add_bool(format!("t{i}"), 0.35);
+            let old = lineage
+                .clauses()
+                .first()
+                .and_then(|c| c.vars().next())
+                .expect("chain lineage has variables");
+            let grown = lineage.or(&Dnf::from_clauses(vec![
+                Clause::from_bools(&[fresh]),
+                Clause::from_bools(&[old, fresh]),
+            ]));
+            let delta = events::LineageDelta::between(lineage, &grown).expect("append-only growth");
+            assert!(!delta.is_empty());
+            deltas.push(Some(delta));
+            *lineage = grown;
+        }
+        let r1 = cluster.maintain_batch(&lineages, &deltas, &space, None, &mut pool);
+        assert_eq!(
+            r1.total_resumed(),
+            lineages.len(),
+            "pooled frontiers must absorb the deltas and resume: {r1:?}"
+        );
+        assert!(r1.all_converged());
+        for (lineage, got) in lineages.iter().zip(&r1.results) {
+            let exact = lineage.exact_probability_enumeration(&space);
+            assert!(
+                (got.estimate - exact).abs() < 1e-9,
+                "maintained {} vs exact {exact}",
+                got.estimate
+            );
+        }
+        for curve in &r1.curves {
+            let curve = curve.as_ref().expect("maintenance harvests every frontier's curve");
+            assert!(curve.len() >= 2, "curve records capture + resume samples: {curve:?}");
+        }
+        assert_eq!(pool.len(), lineages.len(), "converged frontiers stay pooled");
+        // Round 2: nothing changed — pure snapshots, no scheduling at all.
+        let none: Vec<Option<events::LineageDelta>> = vec![None; lineages.len()];
+        let r2 = cluster.maintain_batch(&lineages, &none, &space, None, &mut pool);
+        assert_eq!(r2.shards.iter().map(|s| s.executed).sum::<usize>(), 0);
+        assert!(r2.all_converged());
+        for (a, b) in r1.results.iter().zip(&r2.results) {
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+            assert_eq!(b.elapsed, Duration::ZERO);
+        }
+        assert!(r2.curves.iter().all(Option::is_some));
+    }
+
+    /// Space invalidation between rounds poisons every pooled frontier; the
+    /// next maintenance round must fail closed into scratch recompilation
+    /// and still produce correct, converged answers.
+    #[test]
+    fn maintain_batch_fails_closed_on_invalidation() {
+        let (mut space, lineages) = streaming_fixture();
+        let cluster = ClusterEngine::new(ConfidenceMethod::DTreeExact).with_shards(2);
+        let mut pool = ResumablePool::new(8);
+        let none: Vec<Option<events::LineageDelta>> = vec![None; lineages.len()];
+        cluster
+            .clone()
+            .with_budget(ConfidenceBudget { timeout: None, max_work: Some(4) })
+            .maintain_batch(&lineages, &none, &space, None, &mut pool);
+        assert!(!pool.is_empty());
+        space.invalidate(); // in-place change: every pooled frontier is stale
+        let out = cluster.maintain_batch(&lineages, &none, &space, None, &mut pool);
+        assert_eq!(out.total_resumed(), 0, "stale frontiers must not be resumed: {out:?}");
+        assert_eq!(
+            out.shards.iter().map(|s| s.executed).sum::<usize>(),
+            lineages.len(),
+            "every item recompiles from scratch"
+        );
+        assert!(out.all_converged());
+        for (lineage, got) in lineages.iter().zip(&out.results) {
+            let exact = lineage.exact_probability_enumeration(&space);
+            assert!((got.estimate - exact).abs() < 1e-9);
+        }
+    }
+
+    /// Monte-Carlo methods have no incremental path: maintenance recomputes
+    /// every item with its input-index seed, bit-identical to a plain batch
+    /// over the same final lineages, and pools nothing.
+    #[test]
+    fn maintain_batch_monte_carlo_matches_plain_batch_bitwise() {
+        let (space, lineages) = mixed_batch();
+        let method = ConfidenceMethod::KarpLuby { epsilon: 0.2, delta: 0.05 };
+        let cluster = ClusterEngine::new(method).with_seed(0xbeef).with_shards(3);
+        let plain = cluster.confidence_batch(&lineages, &space, None);
+        let mut pool = ResumablePool::new(8);
+        let none: Vec<Option<events::LineageDelta>> = vec![None; lineages.len()];
+        let maintained = cluster.maintain_batch(&lineages, &none, &space, None, &mut pool);
+        for (want, got) in plain.results.iter().zip(&maintained.results) {
+            assert_eq!(want.estimate.to_bits(), got.estimate.to_bits());
+        }
+        assert!(pool.is_empty(), "Monte-Carlo items are never pooled");
+        assert!(maintained.curves.iter().all(Option::is_none));
     }
 
     #[test]

@@ -99,6 +99,14 @@ pub(crate) struct RunContext<'a> {
     pub policy: SchedulePolicy,
     pub deadline: Option<Instant>,
     pub max_rounds: usize,
+    /// Per-item step cap applied to *resumed* slices when no deadline is set
+    /// (fresh runs get it through the engine's own budget).
+    pub max_work: Option<u64>,
+    /// Capture resumable frontiers for fresh d-tree runs. Batch mode turns
+    /// this on only when refinement rounds could use the handle (deadline
+    /// set, more than one round); maintenance mode always captures, because
+    /// surviving handles outlive the run in the caller's pool.
+    pub capture: bool,
 }
 
 /// Mutable per-shard counters accumulated over all rounds.
@@ -118,6 +126,10 @@ pub(crate) struct ScheduleOutcome {
     pub results: Vec<Option<ConfidenceResult>>,
     pub shards: Vec<ShardAccum>,
     pub rounds: usize,
+    /// Per-item suspended frontiers that survived the run (converged handles
+    /// included — their d-trees absorb the next round's deltas). Callers
+    /// harvest width curves from them and return them to a cross-batch pool.
+    pub handles: Vec<Option<ResumableConfidence>>,
 }
 
 /// `true` when `new` should replace `old` as an item's reported result:
@@ -134,7 +146,15 @@ fn improves(new: &ConfidenceResult, old: &ConfidenceResult) -> bool {
 }
 
 /// Runs the whole schedule: rounds of stealing workers over shard queues.
-pub(crate) fn execute(ctx: &RunContext<'_>, queues: Vec<Vec<usize>>) -> ScheduleOutcome {
+/// `initial_handles` seeds the per-item frontier slots (one per item, `None`
+/// when nothing is suspended); maintenance passes pre-delta'd pooled handles
+/// here so scheduled items *resume* instead of recompiling.
+pub(crate) fn execute(
+    ctx: &RunContext<'_>,
+    queues: Vec<Vec<usize>>,
+    initial_handles: Vec<Option<ResumableConfidence>>,
+) -> ScheduleOutcome {
+    debug_assert_eq!(initial_handles.len(), ctx.lineages.len());
     let shards = queues.len().max(1);
     let mut accums: Vec<ShardAccum> =
         queues.iter().map(|q| ShardAccum { assigned: q.len(), ..Default::default() }).collect();
@@ -155,9 +175,10 @@ pub(crate) fn execute(ctx: &RunContext<'_>, queues: Vec<Vec<usize>>) -> Schedule
     // Suspended d-tree frontiers, one slot per item: a budget-truncated
     // first run parks its handle here and every later refinement round
     // resumes it — monotone tightening, no recompilation. Slots stay `None`
-    // for converged items, Monte-Carlo methods, and unscheduled duplicates.
+    // for Monte-Carlo methods and unscheduled duplicates; converged handles
+    // are kept (nothing re-runs them, and the caller harvests them).
     let handles: Vec<Mutex<Option<ResumableConfidence>>> =
-        (0..ctx.lineages.len()).map(|_| Mutex::new(None)).collect();
+        initial_handles.into_iter().map(Mutex::new).collect();
 
     // Round-1 order comes from the structural hardness scores; refinement
     // rounds re-score stragglers by their remaining bound width below.
@@ -203,7 +224,15 @@ pub(crate) fn execute(ctx: &RunContext<'_>, queues: Vec<Vec<usize>>) -> Schedule
         pending = unfinished;
     }
 
-    ScheduleOutcome { results, shards: accums, rounds }
+    ScheduleOutcome {
+        results,
+        shards: accums,
+        rounds,
+        handles: handles
+            .into_iter()
+            .map(|m| m.into_inner().expect("resume handle poisoned"))
+            .collect(),
+    }
 }
 
 /// One pass over the pending queues: one stealing worker per shard.
@@ -290,13 +319,13 @@ fn run_round(
 /// Computes one item through the engine hook (the cache is the executing
 /// shard's) and feeds its exported stats back into the hardness estimator.
 ///
-/// If a prior round parked a suspended d-tree frontier for the item, this
-/// *resumes* it with the slice's remaining time instead of recompiling —
-/// bounds tighten monotonically across rounds. Fresh runs capture a handle
-/// only when refinement rounds could actually use one (a deadline is set and
-/// more than one round is allowed); without a deadline the plain
-/// `compute_item` path runs, keeping the no-deadline cluster bit-identical
-/// to the unsharded engine with zero capture overhead.
+/// If a prior round (or the maintenance pre-pass that seeded the slot)
+/// parked a suspended d-tree frontier for the item, this *resumes* it with
+/// the slice's remaining time instead of recompiling — bounds tighten
+/// monotonically across rounds. Fresh runs capture a handle only when
+/// [`RunContext::capture`] is set; without it the plain `compute_item` path
+/// runs, keeping the no-deadline cluster bit-identical to the unsharded
+/// engine with zero capture overhead.
 ///
 /// Returns `(result, resumed)`. Resumed slices do **not** feed the hardness
 /// estimator: its calibration maps whole-lineage features to whole-run work,
@@ -313,18 +342,23 @@ fn run_one(
     if let Some(handle) = slot.as_mut() {
         let r = match item_deadline {
             Some(d) => handle.resume_until(ctx.space, d, cache),
-            None => handle.resume(ctx.space, &ConfidenceBudget::default(), cache),
+            None => handle.resume(
+                ctx.space,
+                &ConfidenceBudget { timeout: None, max_work: ctx.max_work },
+                cache,
+            ),
         };
-        // Drop spent handles (converged: nothing left to refine) and failed
-        // ones (space invalidated mid-run: fail closed, recompute fresh next
-        // round if time remains).
-        if handle.failed() || r.converged {
+        // Drop failed handles (space invalidated mid-run: fail closed,
+        // recompute fresh next round if time remains). Converged handles
+        // stay parked: refinement rounds never re-enqueue converged items,
+        // and the caller harvests the fully refined frontier — the cheapest
+        // substrate for the *next* delta.
+        if handle.failed() {
             *slot = None;
         }
         return (r, true);
     }
-    let capture = ctx.deadline.is_some() && ctx.max_rounds > 1;
-    let r = if capture {
+    let r = if ctx.capture {
         let (r, handle) = ctx.engine.compute_item_resumable(
             ctx.lineages[i],
             ctx.space,

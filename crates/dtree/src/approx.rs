@@ -283,15 +283,17 @@ impl ApproxCompiler {
     }
 
     /// Like [`ApproxCompiler::run_cached`] (pass `None` for no shared cache),
-    /// but when the budget truncates the run before convergence the second
-    /// return value carries a [`ResumableCompilation`] handle holding the
-    /// partial d-tree frontier the run materialised. Calling
-    /// [`ResumableCompilation::resume`] continues tightening the bounds from
-    /// exactly where this run stopped — no re-interning, no re-exploration of
-    /// settled subtrees. Converged runs return `None` (nothing left to do)
-    /// and are bit-identical to [`ApproxCompiler::run`]: the frontier capture
-    /// is pure bookkeeping and performs no floating-point operations of its
-    /// own.
+    /// but the second return value carries a [`ResumableCompilation`] handle
+    /// holding the d-tree frontier the run materialised. For a
+    /// budget-truncated run, calling [`ResumableCompilation::resume`]
+    /// continues tightening the bounds from exactly where this run stopped —
+    /// no re-interning, no re-exploration of settled subtrees. A *converged*
+    /// run returns a converged handle: nothing is left to refine, but the
+    /// settled frontier is exactly what lets a later
+    /// [`ResumableCompilation::apply_delta`] absorb appended lineage clauses
+    /// without recompiling. Results are bit-identical to
+    /// [`ApproxCompiler::run`]: the frontier capture is pure bookkeeping and
+    /// performs no floating-point operations of its own.
     pub fn run_resumable(
         &self,
         dnf: &Dnf,
@@ -303,11 +305,8 @@ impl ApproxCompiler {
         match self.opts.strategy {
             RefinementStrategy::DepthFirstClosing => {
                 let (result, captured) = self.run_dfs_impl(&mut arena, root, space, cache, true);
-                if result.converged {
-                    return (result, None);
-                }
                 let mut captured = captured.expect("capture was enabled");
-                let root_cap = captured.pop().expect("truncated run captures its root");
+                let root_cap = captured.pop().expect("the run captures its root");
                 debug_assert!(captured.is_empty(), "capture stack fully unwound");
                 let tree = crate::resume::tree_from_capture(arena, root_cap, result.stats);
                 let handle = ResumableCompilation::from_tree(tree, &self.opts, &result, space);
@@ -316,9 +315,6 @@ impl ApproxCompiler {
             RefinementStrategy::PriorityRefinement => {
                 let tree = PartialDTree::from_parts(arena, root, space);
                 let (result, tree) = self.run_priority_impl(tree, space);
-                if result.converged {
-                    return (result, None);
-                }
                 let handle = ResumableCompilation::from_tree(tree, &self.opts, &result, space);
                 (result, Some(handle))
             }
@@ -607,6 +603,49 @@ impl Dfs<'_> {
         }
     }
 
+    /// Captures a never-explored work item as (a tree of) leaves at its
+    /// quick bounds, so an early-stopped run still hands back a *complete*
+    /// d-tree: the unexplored siblings become open frontier leaves a later
+    /// [`ResumableCompilation`] resume or delta can pick up. Bounds are
+    /// re-read from the memo the sibling's `quick_bounds` call already
+    /// populated — no stats counter moves, keeping a captured run's result
+    /// bit-identical to a plain run's.
+    fn capture_pending(&mut self, work: &Work) -> CapturedNode {
+        match work {
+            Work::Atom(atom) => CapturedNode::Atom { atom: *atom, p: self.space.atom_prob(*atom) },
+            Work::View(view) => {
+                let (bounds, exact) = self.pending_leaf_bounds(view);
+                CapturedNode::Leaf { view: view.clone(), bounds, exact }
+            }
+            Work::Node(op, children) => CapturedNode::Inner {
+                op: op.to_partial(),
+                children: children.iter().map(|c| self.capture_pending(c)).collect(),
+            },
+        }
+    }
+
+    /// The bounds (and exactness) `quick_bounds` assigned to an unexplored
+    /// view, re-read without touching the stats counters.
+    fn pending_leaf_bounds(&mut self, view: &DnfView) -> (Bounds, bool) {
+        if view.is_empty() {
+            return (Bounds::point(0.0), true);
+        }
+        if view.is_tautology(self.arena) {
+            return (Bounds::point(1.0), true);
+        }
+        if view.len() == 1 {
+            return (Bounds::point(view.clause_probability(self.arena, self.space, 0)), true);
+        }
+        let key = view.hash(self.arena);
+        if !view.num_vars_exceeds(self.arena, EXACT_LEAF_VARS) {
+            let p = self.memo.get_exact(key).expect("pending leaves were bounded on frame entry");
+            (Bounds::point(p), true)
+        } else {
+            let b = self.memo.get_bounds(key).expect("pending leaves were bounded on frame entry");
+            (b, false)
+        }
+    }
+
     /// Quick bounds of a work item without exploring it: bucket bounds for
     /// views, point bounds for atoms, recursive combination for
     /// already-decomposed nodes.
@@ -659,19 +698,35 @@ impl Dfs<'_> {
         let pending: VecDeque<Bounds> =
             children.iter().skip(1).map(|c| self.quick_bounds(c)).collect();
         self.frames.push(Frame { op, done: Vec::new(), pending });
-        for (i, child) in children.into_iter().enumerate() {
-            if i > 0 {
+        let mut queue: VecDeque<Work> = children.into();
+        let mut first = true;
+        while let Some(child) = queue.pop_front() {
+            if !first {
                 // The child about to be explored leaves the pending list.
                 let frame = self.frames.last_mut().expect("frame pushed above");
                 frame.pending.pop_front();
             }
+            first = false;
             match self.explore(child, depth + 1) {
                 Outcome::Finished(b) => {
                     let frame = self.frames.last_mut().expect("frame pushed above");
                     frame.done.push(b);
                 }
                 Outcome::StopAll(b) => {
-                    self.frames.pop();
+                    let frame = self.frames.pop().expect("frame pushed above");
+                    if self.capture.is_some() {
+                        // Keep the captured tree complete through the early
+                        // stop: the interrupted child captured itself, the
+                        // unexplored siblings become leaves at their quick
+                        // bounds, and the frame wraps into its inner node.
+                        let rest: Vec<CapturedNode> =
+                            queue.iter().map(|c| self.capture_pending(c)).collect();
+                        let cap = self.capture.as_mut().expect("checked above");
+                        let explored = frame.done.len() + 1;
+                        let mut kids = cap.split_off(cap.len() - explored);
+                        kids.extend(rest);
+                        cap.push(CapturedNode::Inner { op: op.to_partial(), children: kids });
+                    }
                     return Outcome::StopAll(b);
                 }
             }
@@ -740,6 +795,9 @@ impl Dfs<'_> {
         // Check 1 (Proposition 5.8): can the whole computation stop now?
         let global = self.global_bounds(current, false);
         if self.opts.error.satisfied_by(global) {
+            if let Some(cap) = &mut self.capture {
+                cap.push(CapturedNode::Leaf { view, bounds: current, exact: false });
+            }
             return Outcome::StopAll(global);
         }
 

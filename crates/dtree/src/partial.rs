@@ -99,7 +99,7 @@ impl PartialDTree {
         id
     }
 
-    fn push_exact_atom_leaf(&mut self, atom: Atom, p: f64) -> PartialNodeId {
+    pub(crate) fn push_exact_atom_leaf(&mut self, atom: Atom, p: f64) -> PartialNodeId {
         let view = self.lineage.intern_sorted_clauses(&[Clause::singleton(atom)]);
         let id = PartialNodeId(self.nodes.len());
         self.nodes.push(PNode::Leaf { view, bounds: Bounds::point(p), exact: true });
@@ -144,6 +144,137 @@ impl PartialDTree {
     /// Number of nodes in the arena.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Appends clauses to a leaf's view **in place**, recomputing its bounds
+    /// from scratch: the leaf's formula changed, so its previous interval —
+    /// and any intersection accumulated against it — is no longer sound.
+    /// Part of the delta-maintenance machinery of [`crate::resume`].
+    pub(crate) fn append_to_leaf(
+        &mut self,
+        id: PartialNodeId,
+        clauses: &[Clause],
+        space: &ProbabilitySpace,
+    ) {
+        let view = match &mut self.nodes[id.0] {
+            PNode::Leaf { view, .. } => std::mem::take(view),
+            PNode::Inner { .. } => return,
+        };
+        let mut view = view;
+        self.lineage.append_clauses(&mut view, clauses);
+        let (bounds, exact) = leaf_bounds(&self.lineage, &view, space, &mut self.stats, None);
+        self.nodes[id.0] = PNode::Leaf { view, bounds, exact };
+    }
+
+    /// Pushes a fresh leaf over an owned (not yet interned) clause set.
+    pub(crate) fn push_dnf_leaf(&mut self, dnf: &Dnf, space: &ProbabilitySpace) -> PartialNodeId {
+        let view = self.lineage.intern(dnf);
+        self.push_leaf(view, space, None)
+    }
+
+    /// Pushes a fresh inner node over already-pushed children.
+    pub(crate) fn push_inner(&mut self, op: Op, children: Vec<PartialNodeId>) -> PartialNodeId {
+        let id = PartialNodeId(self.nodes.len());
+        self.nodes.push(PNode::Inner { op, children });
+        id
+    }
+
+    /// Appends a child to an existing inner node (an independent-or node
+    /// absorbing a fresh component, or a Shannon node growing a branch for a
+    /// previously-empty domain value).
+    pub(crate) fn add_child(&mut self, parent: PartialNodeId, child: PartialNodeId) {
+        if let PNode::Inner { children, .. } = &mut self.nodes[parent.0] {
+            children.push(child);
+        }
+    }
+
+    /// Replaces a node (and implicitly orphans its former subtree) with an
+    /// open leaf over `dnf` — the dirty-subtree fallback when a delta breaks
+    /// the subtree's decomposition. Orphaned descendants stay in the node
+    /// vector (ids must remain stable) but are unreachable from the root.
+    pub(crate) fn replace_with_leaf(
+        &mut self,
+        id: PartialNodeId,
+        dnf: &Dnf,
+        space: &ProbabilitySpace,
+    ) {
+        let view = self.lineage.intern(dnf);
+        let (bounds, exact) = leaf_bounds(&self.lineage, &view, space, &mut self.stats, None);
+        self.nodes[id.0] = PNode::Leaf { view, bounds, exact };
+    }
+
+    /// The single atom of an exact singleton-atom leaf (the leaves
+    /// common-atom factoring and Shannon branches produce), or `None`.
+    pub(crate) fn leaf_single_atom(&self, id: PartialNodeId) -> Option<Atom> {
+        match self.node(id) {
+            PNode::Leaf { view, exact, .. }
+                if *exact && view.len() == 1 && view.clause_len(&self.lineage, 0) == 1 =>
+            {
+                view.clause(&self.lineage, 0).next()
+            }
+            _ => None,
+        }
+    }
+
+    /// Collects the variables mentioned anywhere in the subtree rooted at
+    /// `id`. Every leaf keeps its view (exact folds included), so the union
+    /// of leaf variables equals the variables of the subtree's formula.
+    pub(crate) fn subtree_vars(
+        &self,
+        id: PartialNodeId,
+        out: &mut std::collections::BTreeSet<events::VarId>,
+    ) {
+        match self.node(id) {
+            PNode::Leaf { view, .. } => out.extend(view.vars(&self.lineage)),
+            PNode::Inner { children, .. } => {
+                for &c in children {
+                    self.subtree_vars(c, out);
+                }
+            }
+        }
+    }
+
+    /// Reconstructs the clause set of the formula the subtree rooted at `id`
+    /// represents, from the decomposition itself:
+    ///
+    /// * a leaf contributes its view's clauses;
+    /// * ⊗ children are independent disjuncts — union;
+    /// * ⊕ branches are mutually exclusive disjuncts (`Φ = ⋁ᵤ v=u ∧ Φ|ᵤ`) —
+    ///   union;
+    /// * ⊙ children multiply — cross-product clause merge (lossless for both
+    ///   common-atom factoring and the relational product factorization,
+    ///   whose factor cross product is the original clause set by
+    ///   construction).
+    ///
+    /// Appended clauses always land in leaf views, so this is current after
+    /// any number of delta applications — it is what the dirty-subtree
+    /// fallback rebuilds from.
+    pub(crate) fn node_formula(&self, id: PartialNodeId) -> Vec<Clause> {
+        match self.node(id) {
+            PNode::Leaf { view, .. } => {
+                (0..view.len()).map(|i| Clause::from_atoms(view.clause(&self.lineage, i))).collect()
+            }
+            PNode::Inner { op, children } => match op {
+                Op::Or | Op::Xor => children.iter().flat_map(|&c| self.node_formula(c)).collect(),
+                Op::And => {
+                    let mut acc = vec![Clause::empty()];
+                    for &c in children {
+                        let factor = self.node_formula(c);
+                        let mut next = Vec::with_capacity(acc.len() * factor.len());
+                        for a in &acc {
+                            for b in &factor {
+                                let merged = a.and(b);
+                                if merged.is_consistent() {
+                                    next.push(merged);
+                                }
+                            }
+                        }
+                        acc = next;
+                    }
+                    acc
+                }
+            },
+        }
     }
 
     /// Current bounds of the whole tree (Proposition 5.4), computed bottom-up

@@ -45,10 +45,10 @@
 //! handle is poisoned permanently. Append-only growth (same generation,
 //! higher watermark) is safe and the handle keeps working.
 
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::time::{Duration, Instant};
 
-use events::{Clause, LineageArena, ProbabilitySpace};
+use events::{Atom, Clause, Dnf, LineageArena, ProbabilitySpace, VarId};
 
 use crate::approx::{ApproxOptions, ApproxResult, CapturedNode, ErrorBound, EXACT_LEAF_VARS};
 use crate::bounds::Bounds;
@@ -137,10 +137,12 @@ impl Ord for FrontierEntry {
 /// budget-truncated [`crate::ApproxCompiler`] run, resumable in further
 /// budgeted slices that monotonically tighten the bounds.
 ///
-/// Obtained from [`crate::ApproxCompiler::run_resumable`] when the run does
-/// not converge within its budget. See the module documentation in `resume.rs` for
-/// the refinement order, the monotonicity guarantee, and the fail-closed
-/// behaviour under probability-space invalidation.
+/// Obtained from [`crate::ApproxCompiler::run_resumable`]: truncated runs
+/// hand back an open frontier to keep refining, converged runs a settled
+/// frontier whose only further use is absorbing appended lineage clauses via
+/// [`ResumableCompilation::apply_delta`]. See the module documentation in
+/// `resume.rs` for the refinement order, the monotonicity guarantee, and the
+/// fail-closed behaviour under probability-space invalidation.
 #[derive(Debug, Clone)]
 pub struct ResumableCompilation {
     tree: PartialDTree,
@@ -161,6 +163,22 @@ pub struct ResumableCompilation {
     generation: u64,
     watermark: u64,
     poisoned: bool,
+    /// `(cumulative_steps, root interval width)` samples: one at capture, one
+    /// after every resume slice and every applied delta — the
+    /// width-vs-budget curve clients use to see when refinement stops paying.
+    curve: Vec<(usize, f64)>,
+    deltas_applied: usize,
+    dirty_rebuilds: usize,
+    /// Lazily filled per-node subtree variable sets, consulted by ⊗ routing.
+    /// Walking a subtree per appended clause is O(tree); the cache makes
+    /// routing O(depth) amortized: an entry is computed on first lookup and
+    /// then maintained incrementally — every clause routed through a node
+    /// extends that node's entry with the clause's variables. Refinement
+    /// never changes a subtree's variable set (decomposition preserves the
+    /// formula), so entries survive `resume` slices; entries of subtrees
+    /// orphaned by a dirty rebuild go stale but are unreachable from the
+    /// root and never consulted again.
+    subtree_vars: BTreeMap<usize, BTreeSet<VarId>>,
 }
 
 /// Reconstructs the [`PartialDTree`] a truncated DFS run materialised from
@@ -237,6 +255,10 @@ impl ResumableCompilation {
             generation: space.generation(),
             watermark: space.watermark(),
             poisoned: false,
+            curve: Vec::new(),
+            deltas_applied: 0,
+            dirty_rebuilds: 0,
+            subtree_vars: BTreeMap::new(),
         };
         let root = handle.root_index();
         handle.fill_subtree(root);
@@ -247,6 +269,7 @@ impl ResumableCompilation {
             "reconstructed frontier bounds must match the truncated run"
         );
         debug_assert_eq!(handle.cur[root].upper.to_bits(), result.upper.to_bits());
+        handle.curve.push((handle.total_steps, handle.cur[root].width()));
         handle
     }
 
@@ -306,6 +329,43 @@ impl ResumableCompilation {
     /// The probability-space generation this handle is pinned to.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// `true` when the handle is still valid against `space`: not poisoned,
+    /// same generation, and the space has not regressed behind the captured
+    /// watermark. This is the *same* predicate `resume`/`apply_delta` fail
+    /// closed on; maintenance layers use it to detect a stale handle up
+    /// front and recompile instead of burning a slice on a poisoned resume.
+    pub fn is_current(&self, space: &ProbabilitySpace) -> bool {
+        !self.poisoned
+            && space.generation() == self.generation
+            && space.watermark() >= self.watermark
+    }
+
+    /// The point estimate the handle's error bound derives from the current
+    /// bounds (interval midpoint for absolute/relative guarantees).
+    pub fn estimate(&self) -> f64 {
+        self.error.estimate_from(self.bounds())
+    }
+
+    /// The width-vs-budget curve: `(cumulative_steps, interval_width)`
+    /// samples recorded at capture, after every resume slice, and after
+    /// every applied delta. Monotone non-increasing in width between deltas;
+    /// a delta can widen the interval again (the formula grew).
+    pub fn width_curve(&self) -> &[(usize, f64)] {
+        &self.curve
+    }
+
+    /// Number of clauses applied through
+    /// [`ResumableCompilation::apply_delta`] over the handle's lifetime.
+    pub fn deltas_applied(&self) -> usize {
+        self.deltas_applied
+    }
+
+    /// Number of delta routings that fell back to rebuilding a dirty subtree
+    /// (the appended clause broke the subtree's decomposition).
+    pub fn dirty_rebuilds(&self) -> usize {
+        self.dirty_rebuilds
     }
 
     /// Continues the suspended compilation for one budgeted slice, returning
@@ -387,6 +447,7 @@ impl ResumableCompilation {
         let elapsed = start.elapsed();
         self.total_elapsed += elapsed;
         let bounds = self.cur[self.root_index()];
+        self.curve.push((self.total_steps, bounds.width()));
         ApproxResult {
             lower: bounds.lower,
             upper: bounds.upper,
@@ -570,6 +631,390 @@ impl ResumableCompilation {
             node = p;
         }
     }
+
+    /// Applies an **append-only lineage delta** to the suspended compilation:
+    /// every appended clause is routed down the existing d-tree to the
+    /// smallest subtree whose decomposition can absorb it, loosening only the
+    /// touched leaf chain's bounds instead of discarding the tree.
+    ///
+    /// Routing rules (the delta-maintenance counterpart of Figure 1):
+    ///
+    /// * **⊗ (independent-or)** — the clause joins the unique component it
+    ///   shares variables with; a clause over entirely fresh variables grows
+    ///   a new component child; a clause bridging two components breaks the
+    ///   partition and falls back to a dirty rebuild of the ⊗ subtree.
+    /// * **⊙ (independent-and)** — factored-out atoms the clause also binds
+    ///   are stripped and the remainder is routed into the residual child
+    ///   (`a ∧ R ∨ c = a ∧ (R ∨ c∖a)` when `a ∈ c`); a clause that does not
+    ///   cover the factored atoms falls back to a dirty rebuild.
+    /// * **⊕ (Shannon on `v`)** — a clause binding `v = u` is routed (with
+    ///   the `v`-atom stripped) into branch `u`'s cofactor, growing the
+    ///   branch if `Φ|v=u` used to be empty; a `v`-free clause is pushed into
+    ///   *every* branch's cofactor (`(Φ ∨ c)|v=u = Φ|v=u ∨ c`), including
+    ///   branches grown for previously-empty domain values.
+    /// * **Leaf** — the clause is appended to the leaf's view and the leaf's
+    ///   bounds are recomputed from scratch; if it re-opens it re-enters the
+    ///   frontier.
+    ///
+    /// Because the appended clause can *raise* the true probability,
+    /// intervals along the touched chain are **replaced**, never intersected
+    /// with their pre-delta values; untouched subtrees keep their bounds and
+    /// frontier entries. The dirty-rebuild fallback collapses a subtree into
+    /// one open leaf over its reconstructed formula plus the clause.
+    ///
+    /// The same fail-closed rule as [`ResumableCompilation::resume`] applies:
+    /// a generation move or watermark regression poisons the handle and the
+    /// call returns `false` (the caller must recompile from scratch). Returns
+    /// `true` when the delta was applied.
+    pub fn apply_delta(&mut self, space: &ProbabilitySpace, clauses: &[Clause]) -> bool {
+        if self.poisoned
+            || space.generation() != self.generation
+            || space.watermark() < self.watermark
+        {
+            self.poisoned = true;
+            return false;
+        }
+        self.watermark = space.watermark();
+        for clause in clauses {
+            if !clause.is_consistent() {
+                continue;
+            }
+            let root = self.root_index();
+            self.route_clause(root, clause, space);
+            self.deltas_applied += 1;
+        }
+        self.curve.push((self.total_steps, self.width()));
+        true
+    }
+
+    /// Routes one appended clause down the subtree at `node`; see
+    /// [`ResumableCompilation::apply_delta`] for the rules.
+    fn route_clause(&mut self, node: usize, clause: &Clause, space: &ProbabilitySpace) {
+        use crate::partial::Op;
+        // The clause's variables join this subtree's formula (stripping at
+        // ⊙/⊕ only removes atoms the subtree already binds), so extending a
+        // cached variable set keeps it sound. The one exception — a clause
+        // subsumed at a ⊙ node binding extra variables — leaves a harmless
+        // superset: a stale variable can only force a conservative dirty
+        // rebuild or route a genuinely fresh clause into one component,
+        // never break the independence the ⊗ bounds rely on.
+        if let Some(vars) = self.subtree_vars.get_mut(&node) {
+            vars.extend(clause.vars());
+        }
+        let (op, kids) = match self.tree.node(PartialNodeId(node)) {
+            PNode::Leaf { .. } => {
+                self.touch_leaf(node, clause, space);
+                return;
+            }
+            PNode::Inner { op, children } => {
+                (*op, children.iter().map(|c| c.0).collect::<Vec<usize>>())
+            }
+        };
+        match op {
+            Op::Or => {
+                let clause_vars: BTreeSet<VarId> = clause.vars().collect();
+                let mut hit = None;
+                let mut hits = 0;
+                for &k in &kids {
+                    if self.subtree_overlaps(k, &clause_vars) {
+                        hits += 1;
+                        hit = Some(k);
+                    }
+                }
+                match hits {
+                    // Entirely fresh variables (or a constant clause): a new
+                    // independent component.
+                    0 => self.grow_or_child(node, clause, space),
+                    1 => self.route_clause(hit.expect("hits == 1"), clause, space),
+                    // The clause bridges components: the partition is broken.
+                    _ => self.dirty_rebuild(node, clause, space),
+                }
+            }
+            Op::And => {
+                // Factored-out atoms (exact singleton-atom leaves) the clause
+                // also binds can be stripped; the remainder routes into the
+                // single residual child.
+                let mut strip: Vec<VarId> = Vec::new();
+                let mut rest: Vec<usize> = Vec::new();
+                for &k in &kids {
+                    match self.tree.leaf_single_atom(PartialNodeId(k)) {
+                        Some(a) if clause.value_of(a.var) == Some(a.value) => strip.push(a.var),
+                        _ => rest.push(k),
+                    }
+                }
+                if rest.is_empty() {
+                    // The clause binds every factor atom and possibly more:
+                    // it is subsumed by the ⊙ node's formula — a no-op.
+                    return;
+                }
+                if rest.len() == 1 {
+                    let stripped = clause.project_out(&|v: VarId| strip.contains(&v));
+                    self.route_clause(rest[0], &stripped, space);
+                } else {
+                    self.dirty_rebuild(node, clause, space);
+                }
+            }
+            Op::Xor => {
+                let Some(var) = self.shannon_var(&kids) else {
+                    self.dirty_rebuild(node, clause, space);
+                    return;
+                };
+                match clause.value_of(var) {
+                    Some(value) => {
+                        let rest = clause
+                            .restrict(var, value)
+                            .expect("a consistent clause never conflicts with its own binding");
+                        match self.find_branch(&kids, var, value) {
+                            BranchLookup::Found(cof) => self.route_clause(cof, &rest, space),
+                            BranchLookup::Missing => {
+                                self.grow_xor_branch(node, var, value, &rest, space)
+                            }
+                            BranchLookup::Malformed => self.dirty_rebuild(node, clause, space),
+                        }
+                    }
+                    None => {
+                        // `(Φ ∨ c)|v=u = Φ|v=u ∨ c` for every domain value:
+                        // push the clause into every branch's cofactor,
+                        // growing branches for previously-empty cofactors.
+                        for value in 0..space.domain_size(var) {
+                            // Re-scan the children: earlier iterations may
+                            // have grown branches.
+                            let kids_now = match self.tree.node(PartialNodeId(node)) {
+                                PNode::Inner { children, .. } => {
+                                    children.iter().map(|c| c.0).collect::<Vec<usize>>()
+                                }
+                                PNode::Leaf { .. } => return, // dirty-rebuilt
+                            };
+                            match self.find_branch(&kids_now, var, value) {
+                                BranchLookup::Found(cof) => {
+                                    self.route_clause(cof, clause, space);
+                                }
+                                BranchLookup::Missing => {
+                                    self.grow_xor_branch(node, var, value, clause, space);
+                                }
+                                BranchLookup::Malformed => {
+                                    self.dirty_rebuild(node, clause, space);
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `true` when the subtree at `k` mentions any of `vars`, consulting —
+    /// and on a miss, filling — the per-node subtree-variable cache. The
+    /// first lookup at a node pays the O(subtree) walk once; later deltas
+    /// hit the incrementally maintained set.
+    fn subtree_overlaps(&mut self, k: usize, vars: &BTreeSet<VarId>) -> bool {
+        if !self.subtree_vars.contains_key(&k) {
+            let mut set = BTreeSet::new();
+            self.tree.subtree_vars(PartialNodeId(k), &mut set);
+            self.subtree_vars.insert(k, set);
+        }
+        !self.subtree_vars[&k].is_disjoint(vars)
+    }
+
+    /// The Shannon variable of an ⊕ node, read off the first branch's atom
+    /// leaf (`None` if the branch structure is not the expected
+    /// `⊙(atom, cofactor)` — the caller falls back to a dirty rebuild).
+    fn shannon_var(&self, kids: &[usize]) -> Option<VarId> {
+        let &first = kids.first()?;
+        match self.tree.node(PartialNodeId(first)) {
+            PNode::Inner { op: crate::partial::Op::And, children } => {
+                self.tree.leaf_single_atom(*children.first()?).map(|a| a.var)
+            }
+            _ => None,
+        }
+    }
+
+    /// Locates the ⊕ branch binding `var = value`, returning its cofactor
+    /// child.
+    fn find_branch(&self, kids: &[usize], var: VarId, value: u32) -> BranchLookup {
+        for &b in kids {
+            let PNode::Inner { op: crate::partial::Op::And, children } =
+                self.tree.node(PartialNodeId(b))
+            else {
+                return BranchLookup::Malformed;
+            };
+            if children.len() != 2 {
+                return BranchLookup::Malformed;
+            }
+            let Some(atom) = self.tree.leaf_single_atom(children[0]) else {
+                return BranchLookup::Malformed;
+            };
+            if atom.var != var {
+                return BranchLookup::Malformed;
+            }
+            if atom.value == value {
+                return BranchLookup::Found(children[1].0);
+            }
+        }
+        BranchLookup::Missing
+    }
+
+    /// Grows a fresh independent component under an ⊗ node for a clause over
+    /// entirely new variables.
+    fn grow_or_child(&mut self, or: usize, clause: &Clause, space: &ProbabilitySpace) {
+        let child = self.tree.push_dnf_leaf(&Dnf::singleton(clause.clone()), space);
+        self.attach_new_subtree(or, child.0);
+    }
+
+    /// Grows an ⊕ branch `⊙(v=value, {rest})` for a domain value whose
+    /// cofactor used to be empty.
+    fn grow_xor_branch(
+        &mut self,
+        xor: usize,
+        var: VarId,
+        value: u32,
+        rest: &Clause,
+        space: &ProbabilitySpace,
+    ) {
+        let atom_leaf =
+            self.tree.push_exact_atom_leaf(Atom::new(var, value), space.prob(var, value));
+        let cof = self.tree.push_dnf_leaf(&Dnf::singleton(rest.clone()), space);
+        let branch = self.tree.push_inner(crate::partial::Op::And, vec![atom_leaf, cof]);
+        self.attach_new_subtree(xor, branch.0);
+    }
+
+    /// Attaches a freshly built subtree as a new child of `parent`: links it,
+    /// fills its bounds, seeds its open leaves into the frontier, and
+    /// refreshes the chain to the root.
+    fn attach_new_subtree(&mut self, parent: usize, child: usize) {
+        self.tree.add_child(PartialNodeId(parent), PartialNodeId(child));
+        self.sync_len();
+        self.parent[child] = Some(parent);
+        self.fill_subtree(child);
+        let f = self.factor_from_parent(child);
+        self.assign_factors(child, f);
+        self.refresh_up(child);
+    }
+
+    /// Appends one clause to a leaf's view, recomputing the leaf bounds from
+    /// scratch and re-entering the frontier if the leaf re-opened.
+    fn touch_leaf(&mut self, node: usize, clause: &Clause, space: &ProbabilitySpace) {
+        self.retire_subtree(node);
+        self.tree.append_to_leaf(PartialNodeId(node), std::slice::from_ref(clause), space);
+        self.reopen_leaf(node);
+    }
+
+    /// The dirty-subtree fallback: the clause broke the decomposition at
+    /// `node`, so the subtree collapses into one open leaf over its
+    /// reconstructed formula plus the clause. Orphaned descendants stay in
+    /// the node vector (bounded by total refinement work) but leave the
+    /// frontier.
+    fn dirty_rebuild(&mut self, node: usize, clause: &Clause, space: &ProbabilitySpace) {
+        self.retire_subtree(node);
+        let mut formula = self.tree.node_formula(PartialNodeId(node));
+        formula.push(clause.clone());
+        let dnf = Dnf::from_clauses(formula);
+        self.tree.replace_with_leaf(PartialNodeId(node), &dnf, space);
+        self.dirty_rebuilds += 1;
+        self.reopen_leaf(node);
+    }
+
+    /// Removes every open leaf of the subtree at `node` from the frontier
+    /// (stamp bump kills the heap entries lazily).
+    fn retire_subtree(&mut self, node: usize) {
+        match self.tree.node(PartialNodeId(node)) {
+            PNode::Leaf { exact, .. } => {
+                // Matches the frontier-entry condition of `assign_factors`:
+                // a non-exact leaf with positive width has a live entry.
+                if !*exact && self.cur[node].width() > 0.0 {
+                    self.stamp[node] += 1;
+                    self.open_leaves = self.open_leaves.saturating_sub(1);
+                }
+            }
+            PNode::Inner { children, .. } => {
+                let kids: Vec<usize> = children.iter().map(|c| c.0).collect();
+                for k in kids {
+                    self.retire_subtree(k);
+                }
+            }
+        }
+    }
+
+    /// Publishes a (re)built leaf at `node`: replaces its interval, re-enters
+    /// the frontier if it is open, and refreshes the chain to the root.
+    fn reopen_leaf(&mut self, node: usize) {
+        let (bounds, exact) = match self.tree.node(PartialNodeId(node)) {
+            PNode::Leaf { bounds, exact, .. } => (*bounds, *exact),
+            PNode::Inner { .. } => unreachable!("reopen target is a leaf"),
+        };
+        // REPLACE, never intersect: the formula grew, so the pre-delta
+        // interval no longer bounds it.
+        self.cur[node] = bounds;
+        if !exact && bounds.width() > 0.0 {
+            let f = self.factor_from_parent(node);
+            self.factor[node] = f;
+            self.open_leaves += 1;
+            self.seq += 1;
+            self.heap.push(FrontierEntry {
+                priority: f * bounds.width(),
+                seq: self.seq,
+                node,
+                stamp: self.stamp[node],
+            });
+        }
+        self.refresh_up(node);
+    }
+
+    /// The width-contribution factor `node` inherits from its parent's
+    /// combine rule at the siblings' current bounds (1.0 at the root).
+    fn factor_from_parent(&self, node: usize) -> f64 {
+        match self.parent[node] {
+            None => 1.0,
+            Some(p) => {
+                let (op, kids) = match self.tree.node(PartialNodeId(p)) {
+                    PNode::Inner { op, children } => {
+                        (*op, children.iter().map(|c| c.0).collect::<Vec<usize>>())
+                    }
+                    PNode::Leaf { .. } => unreachable!("parents are inner nodes"),
+                };
+                let idx = kids.iter().position(|&k| k == node).expect("child of its parent");
+                self.child_factors(op, &kids, self.factor[p])[idx]
+            }
+        }
+    }
+
+    /// Grows the per-node vectors to the tree's current node count.
+    fn sync_len(&mut self) {
+        let n = self.tree.num_nodes();
+        self.parent.resize(n, None);
+        self.cur.resize(n, Bounds::vacuous());
+        self.factor.resize(n, 0.0);
+        self.stamp.resize(n, 0);
+    }
+
+    /// Recombines every ancestor of `node` **replacing** the stored interval
+    /// — unlike [`ResumableCompilation::propagate_up`], which intersects.
+    /// After a delta the touched chain's old intervals bound a smaller
+    /// formula and must not be intersected in; untouched siblings keep their
+    /// accumulated (still sound) intervals.
+    fn refresh_up(&mut self, mut node: usize) {
+        while let Some(p) = self.parent[node] {
+            let (op, kids) = match self.tree.node(PartialNodeId(p)) {
+                PNode::Inner { op, children } => {
+                    (*op, children.iter().map(|c| c.0).collect::<Vec<usize>>())
+                }
+                PNode::Leaf { .. } => unreachable!("parents are inner nodes"),
+            };
+            self.cur[p] = self.combine(op, &kids);
+            node = p;
+        }
+    }
+}
+
+/// Result of locating an ⊕ branch for a domain value.
+enum BranchLookup {
+    /// Branch exists; carries the cofactor child's node index.
+    Found(usize),
+    /// No branch for this value (its cofactor used to be empty).
+    Missing,
+    /// The node does not have the expected Shannon branch structure.
+    Malformed,
 }
 
 #[cfg(test)]
@@ -596,18 +1041,26 @@ mod tests {
     }
 
     #[test]
-    fn converged_run_returns_no_handle_and_matches_plain_run() {
+    fn converged_run_returns_converged_handle_and_matches_plain_run() {
         let (s, phi) = hard_chain(20);
         let compiler = ApproxCompiler::new(ApproxOptions::absolute(0.01));
         let plain = compiler.run(&phi, &s);
         let (resumable, handle) = compiler.run_resumable(&phi, &s, None);
         assert!(plain.converged && resumable.converged);
-        assert!(handle.is_none());
         assert_eq!(plain.estimate.to_bits(), resumable.estimate.to_bits());
         assert_eq!(plain.lower.to_bits(), resumable.lower.to_bits());
         assert_eq!(plain.upper.to_bits(), resumable.upper.to_bits());
         assert_eq!(plain.steps, resumable.steps);
         assert_eq!(plain.stats, resumable.stats);
+        // The settled frontier is returned so later deltas can be absorbed
+        // in place; resuming it is a no-op with identical bounds.
+        let mut handle = handle.expect("converged runs still hand back their frontier");
+        assert!(handle.is_converged());
+        assert_eq!(handle.bounds().lower.to_bits(), plain.lower.to_bits());
+        assert_eq!(handle.bounds().upper.to_bits(), plain.upper.to_bits());
+        let r = handle.resume(&s, ResumeBudget::unlimited());
+        assert!(r.converged && r.steps == 0);
+        assert_eq!(r.lower.to_bits(), plain.lower.to_bits());
     }
 
     #[test]
@@ -771,6 +1224,104 @@ mod tests {
         let r = handle.resume(&s, ResumeBudget::unlimited());
         assert!(r.converged, "resume after append should still converge");
         assert!(!handle.is_poisoned());
+    }
+
+    #[test]
+    fn apply_delta_matches_recompiled_formula() {
+        let (mut s, phi) = hard_chain(30);
+        let first = *phi.vars().iter().next().expect("chain has variables");
+        let compiler = ApproxCompiler::new(ApproxOptions::absolute(1e-9).with_max_steps(5));
+        let (_, handle) = compiler.run_resumable(&phi, &s, None);
+        let mut handle = handle.expect("truncated");
+        // One clause extends an existing component, one is an independent
+        // island over entirely fresh variables.
+        let fresh = s.add_bool("fresh-0", 0.35);
+        let shared = Clause::from_bools(&[first, fresh]);
+        let island_a = s.add_bool("fresh-a", 0.25);
+        let island_b = s.add_bool("fresh-b", 0.45);
+        let island = Clause::from_bools(&[island_a, island_b]);
+        assert!(handle.apply_delta(&s, &[shared.clone(), island.clone()]));
+        assert!(!handle.is_poisoned());
+        assert_eq!(handle.deltas_applied(), 2);
+        let grown = phi.or(&Dnf::from_clauses(vec![shared, island]));
+        let exact =
+            crate::exact::exact_probability(&grown, &s, &CompileOptions::default()).probability;
+        assert!(handle.bounds().contains(exact), "post-delta bounds lost {exact}");
+        let r = handle.resume(&s, ResumeBudget::unlimited());
+        assert!(r.converged);
+        assert!((r.estimate - exact).abs() <= 1e-9 + 1e-9, "{} vs {exact}", r.estimate);
+    }
+
+    #[test]
+    fn interleaved_deltas_and_slices_stay_sound() {
+        let (mut s, phi) = hard_chain(24);
+        let compiler = ApproxCompiler::new(ApproxOptions::absolute(1e-9).with_max_steps(3));
+        let (_, handle) = compiler.run_resumable(&phi, &s, None);
+        let mut handle = handle.expect("truncated");
+        let mut current = phi.clone();
+        for i in 0..4usize {
+            let vars: Vec<VarId> = current.vars().into_iter().collect();
+            let anchor = vars[(i * 5) % vars.len()];
+            let fresh = s.add_bool(format!("delta-{i}"), 0.2 + 0.1 * i as f64);
+            let clause = Clause::from_bools(&[anchor, fresh]);
+            assert!(handle.apply_delta(&s, std::slice::from_ref(&clause)));
+            current = current.or(&Dnf::singleton(clause));
+            let exact = crate::exact::exact_probability(&current, &s, &CompileOptions::default())
+                .probability;
+            assert!(
+                handle.bounds().contains(exact),
+                "bounds {:?} lost exact {exact} after delta {i}",
+                handle.bounds()
+            );
+            let r = handle.resume(&s, ResumeBudget::steps(3));
+            assert!(r.bounds().contains(exact), "bounds lost exact after slice {i}");
+        }
+        let r = handle.resume(&s, ResumeBudget::unlimited());
+        assert!(r.converged);
+        let exact =
+            crate::exact::exact_probability(&current, &s, &CompileOptions::default()).probability;
+        assert!((r.estimate - exact).abs() <= 1e-9 + 1e-9);
+    }
+
+    #[test]
+    fn apply_delta_fails_closed_on_generation_move() {
+        let (mut s, phi) = hard_chain(24);
+        let first = *phi.vars().iter().next().expect("chain has variables");
+        let compiler = ApproxCompiler::new(ApproxOptions::absolute(1e-9).with_max_steps(3));
+        let (_, handle) = compiler.run_resumable(&phi, &s, None);
+        let mut handle = handle.expect("truncated");
+        s.invalidate();
+        assert!(!handle.apply_delta(&s, &[Clause::from_bools(&[first])]));
+        assert!(handle.is_poisoned());
+        assert_eq!(handle.bounds(), Bounds::vacuous());
+        let r = handle.resume(&s, ResumeBudget::unlimited());
+        assert!(!r.converged);
+        assert_eq!((r.lower, r.upper), (0.0, 1.0));
+    }
+
+    #[test]
+    fn width_curve_records_capture_slices_and_deltas() {
+        let (mut s, phi) = hard_chain(30);
+        let compiler = ApproxCompiler::new(ApproxOptions::absolute(1e-9).with_max_steps(3));
+        let (_, handle) = compiler.run_resumable(&phi, &s, None);
+        let mut handle = handle.expect("truncated");
+        assert_eq!(handle.width_curve().len(), 1, "capture records the first sample");
+        let w0 = handle.width_curve()[0].1;
+        assert!(w0 > 0.0);
+        handle.resume(&s, ResumeBudget::steps(4));
+        assert_eq!(handle.width_curve().len(), 2);
+        assert!(handle.width_curve()[1].1 <= w0, "resume slices never widen");
+        let fresh = s.add_bool("curve-delta", 0.5);
+        assert!(handle.apply_delta(&s, &[Clause::from_bools(&[fresh])]));
+        assert_eq!(handle.width_curve().len(), 3);
+        assert!(
+            handle.width_curve().windows(2).all(|w| w[0].0 <= w[1].0),
+            "cumulative steps are monotone"
+        );
+        let r = handle.resume(&s, ResumeBudget::unlimited());
+        assert!(r.converged);
+        let last = *handle.width_curve().last().expect("non-empty curve");
+        assert_eq!(last.0, handle.total_steps());
     }
 
     #[test]

@@ -156,6 +156,116 @@ impl LineageArena {
         let (s, e) = self.spans[id as usize];
         &self.atoms[s as usize..e as usize]
     }
+
+    /// Appends clauses to an existing view **in place**, returning the
+    /// [`LineageDelta`] describing what actually changed.
+    ///
+    /// Inconsistent clauses and clauses whose content the view already
+    /// contains are skipped (mirroring [`Dnf::from_clauses`] normalisation),
+    /// so the delta carries only the genuinely new clauses. The view's
+    /// canonical-order invariant is maintained by binary insertion, and the
+    /// post-append fingerprint is computed incrementally from the view's
+    /// previous hash — O(1) per appended clause instead of a re-combine over
+    /// the whole formula.
+    ///
+    /// The grown view is bit-identical (materialisation and hash) to
+    /// re-interning `old ∨ appended` from scratch, which is pinned by tests.
+    pub fn append_clauses(&mut self, view: &mut DnfView, clauses: &[Clause]) -> LineageDelta {
+        let mut hash = view.hash(self);
+        let mut added: Vec<Clause> = Vec::new();
+        for clause in clauses {
+            if !clause.is_consistent() {
+                continue;
+            }
+            match view.ids.binary_search_by(|&e| self.clause_atoms(e).cmp(clause.atoms())) {
+                Ok(_) => continue, // content already present
+                Err(pos) => {
+                    let id = self.push_clause(clause.atoms());
+                    view.ids.insert(pos, id);
+                    hash = hash.with_clause(self.fps[id as usize], clause.len());
+                    added.push(clause.clone());
+                }
+            }
+        }
+        debug_assert_eq!(hash, view.hash(self), "incremental delta hash diverged");
+        LineageDelta { clauses: added, hash_after: hash, len_after: view.ids.len() }
+    }
+}
+
+/// The result of appending clauses to a lineage: the clauses that were
+/// actually new, plus the incrementally updated canonical fingerprint of the
+/// grown formula.
+///
+/// Deltas are **owned** (they carry [`Clause`] values, not arena ids), so a
+/// delta produced against one arena can be replayed into another — e.g. the
+/// private arena inside a suspended d-tree compilation. An empty delta means
+/// the append was a no-op (every clause was inconsistent or already present).
+#[derive(Debug, Clone)]
+pub struct LineageDelta {
+    clauses: Vec<Clause>,
+    hash_after: DnfHash,
+    len_after: usize,
+}
+
+impl LineageDelta {
+    /// Computes the delta taking the formula `old` to the formula `new`, or
+    /// `None` if the edit was **not** a pure append (some clause of `old` is
+    /// missing from `new` — a destructive edit, which delta maintenance must
+    /// refuse so stale bounds cannot survive it).
+    pub fn between(old: &Dnf, new: &Dnf) -> Option<LineageDelta> {
+        // Both clause lists are sorted and deduplicated by construction:
+        // one sorted merge yields containment and the difference at once.
+        let mut added = Vec::new();
+        let (a, b) = (old.clauses(), new.clauses());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => return None, // a[i] dropped by `new`
+                std::cmp::Ordering::Greater => {
+                    added.push(b[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        if i < a.len() {
+            return None;
+        }
+        added.extend(b[j..].iter().cloned());
+        Some(LineageDelta {
+            clauses: added,
+            hash_after: new.canonical_hash(),
+            len_after: new.len(),
+        })
+    }
+
+    /// The clauses the append actually added, in sorted order.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// `true` when the append changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Number of genuinely new clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Canonical hash of the formula *after* the append.
+    pub fn hash_after(&self) -> DnfHash {
+        self.hash_after
+    }
+
+    /// Number of clauses of the formula after the append.
+    pub fn len_after(&self) -> usize {
+        self.len_after
+    }
 }
 
 /// A sub-formula of interned lineage: a set of clause ids in canonical
@@ -209,9 +319,13 @@ impl DnfView {
         ClauseAtoms(arena.clause_atoms(self.ids[i]).iter())
     }
 
-    /// The atoms of the clause at position `i` as a raw pooled slice.
+    /// The atoms of the clause at position `i` as a raw pooled slice,
+    /// borrowed straight from the arena. This is the zero-copy substrate
+    /// samplers build on (e.g. the arena-backed Karp-Luby estimator), where
+    /// the iterator wrapper of [`DnfView::clause`] would cost a pointer
+    /// chase per atom.
     #[inline]
-    fn clause_slice<'a>(&self, arena: &'a LineageArena, i: usize) -> &'a [Atom] {
+    pub fn clause_slice<'a>(&self, arena: &'a LineageArena, i: usize) -> &'a [Atom] {
         arena.clause_atoms(self.ids[i])
     }
 
@@ -919,6 +1033,55 @@ mod tests {
             );
         }
         assert_eq!(owned.clauses_by_probability_desc(&s), arenaref.clauses_by_probability_desc(&s));
+    }
+
+    #[test]
+    fn append_clauses_is_bit_identical_to_reintern() {
+        let (_, vars) = bool_space(&[0.5; 8]);
+        let base = chain(&vars[..5]);
+        let mut arena = LineageArena::new();
+        let mut view = arena.intern(&base);
+        let extra = vec![
+            Clause::from_bools(&[vars[5], vars[6]]),
+            Clause::from_bools(&[vars[0], vars[7]]),
+            // Duplicate of an existing clause: must be skipped.
+            Clause::from_bools(&[vars[0], vars[1]]),
+            // Inconsistent: must be skipped.
+            Clause::from_atoms(vec![Atom::pos(vars[2]), Atom::neg(vars[2])]),
+        ];
+        let delta = arena.append_clauses(&mut view, &extra);
+        assert_eq!(delta.len(), 2);
+        let grown = Dnf::from_clauses(base.clauses().iter().chain(extra.iter()).cloned());
+        assert_matches(&arena, &view, &grown);
+        assert_eq!(delta.hash_after(), grown.canonical_hash());
+        assert_eq!(delta.len_after(), grown.len());
+        // Appending the same clauses again is a no-op.
+        let again = arena.append_clauses(&mut view, &extra);
+        assert!(again.is_empty());
+        assert_eq!(again.len_after(), grown.len());
+        assert_matches(&arena, &view, &grown);
+    }
+
+    #[test]
+    fn delta_between_detects_appends_and_destructive_edits() {
+        let (_, vars) = bool_space(&[0.5; 6]);
+        let old = chain(&vars[..4]);
+        let extra = Clause::from_bools(&[vars[4], vars[5]]);
+        let new = old.or(&Dnf::singleton(extra.clone()));
+        let delta = LineageDelta::between(&old, &new).expect("pure append");
+        assert_eq!(delta.clauses(), &[extra]);
+        assert_eq!(delta.hash_after(), new.canonical_hash());
+        assert_eq!(delta.len_after(), new.len());
+        // Identity edit: empty delta.
+        let noop = LineageDelta::between(&old, &old).expect("identity is an append");
+        assert!(noop.is_empty());
+        // Dropping a clause is destructive.
+        let shrunk = Dnf::from_clauses(old.clauses()[1..].iter().cloned());
+        assert!(LineageDelta::between(&old, &shrunk).is_none());
+        // Replacing a clause is destructive too.
+        let mut replaced: Vec<Clause> = old.clauses()[1..].to_vec();
+        replaced.push(Clause::from_bools(&[vars[5]]));
+        assert!(LineageDelta::between(&old, &Dnf::from_clauses(replaced)).is_none());
     }
 
     #[test]

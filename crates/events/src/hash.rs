@@ -155,6 +155,20 @@ impl DnfHash {
         debug_assert!(n > 0);
         (self.lo as usize) % n
     }
+
+    /// The hash of the formula obtained by adding one more clause (given by
+    /// its raw fingerprint and length) to the clause set this hash covers.
+    ///
+    /// The combine is an order-independent wrapping sum of clause digests, so
+    /// appending is O(1) — this is what makes lineage deltas cheap to
+    /// fingerprint incrementally. The caller must ensure the clause is not
+    /// already part of the hashed set ([`crate::Dnf`] and
+    /// [`crate::DnfView`] deduplicate clauses).
+    #[inline]
+    pub(crate) fn with_clause(self, fp: (u64, u64), len: usize) -> DnfHash {
+        let (dh, dl) = clause_digest(fp, len);
+        DnfHash { hi: self.hi.wrapping_add(dh), lo: self.lo.wrapping_add(dl) }
+    }
 }
 
 impl Dnf {
@@ -241,6 +255,19 @@ mod tests {
         }
         assert_eq!(count, 2000);
         assert_eq!(hashes.len(), 2000);
+    }
+
+    #[test]
+    fn with_clause_matches_full_recompute() {
+        let base =
+            Dnf::from_clauses(vec![Clause::from_bools(&[v(0), v(1)]), Clause::from_bools(&[v(4)])]);
+        let extra = Clause::from_bools(&[v(2), v(3)]);
+        let grown =
+            Dnf::from_clauses(base.clauses().iter().cloned().chain(std::iter::once(extra.clone())));
+        let incremental = base
+            .canonical_hash()
+            .with_clause(clause_fingerprint(extra.atoms().iter().copied()), extra.len());
+        assert_eq!(incremental, grown.canonical_hash());
     }
 
     /// The digest must separate DNFs whose clauses could be confused by a

@@ -61,7 +61,7 @@ mod partition;
 mod space;
 mod world;
 
-pub use arena::{ClauseAtoms, DnfRef, DnfView, LineageArena};
+pub use arena::{ClauseAtoms, DnfRef, DnfView, LineageArena, LineageDelta};
 pub use atom::{Atom, VarId, FALSE_VALUE, TRUE_VALUE};
 pub use clause::Clause;
 pub use dnf::Dnf;

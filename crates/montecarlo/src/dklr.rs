@@ -106,10 +106,12 @@ pub struct McResult {
     pub elapsed: Duration,
 }
 
-/// The DKLR-driven Karp-Luby approximation, prepared for one DNF.
+/// The DKLR-driven Karp-Luby approximation, prepared for one DNF. The
+/// lifetime ties an arena-backed estimator to its [`events::LineageArena`];
+/// owned preparations are `DklrEstimator<'static>`.
 #[derive(Debug)]
-pub struct DklrEstimator {
-    kl: KarpLubyEstimator,
+pub struct DklrEstimator<'a> {
+    kl: KarpLubyEstimator<'a>,
     opts: McOptions,
 }
 
@@ -151,15 +153,16 @@ impl Budget {
     }
 }
 
-impl DklrEstimator {
+impl<'a> DklrEstimator<'a> {
     /// Prepares the estimator.
-    pub fn new(dnf: &Dnf, space: &ProbabilitySpace, opts: McOptions) -> Self {
-        Self::from_ref(events::DnfRef::Owned(dnf), space, opts)
+    pub fn new(dnf: &Dnf, space: &ProbabilitySpace, opts: McOptions) -> DklrEstimator<'static> {
+        DklrEstimator { kl: KarpLubyEstimator::with_variant(dnf, space, opts.variant), opts }
     }
 
     /// Prepares the estimator from either lineage representation (see
-    /// [`KarpLubyEstimator::from_ref`]).
-    pub fn from_ref(dnf: events::DnfRef<'_>, space: &ProbabilitySpace, opts: McOptions) -> Self {
+    /// [`KarpLubyEstimator::from_ref`]); the [`events::DnfRef::Arena`] arm
+    /// borrows clause storage from the arena instead of copying it.
+    pub fn from_ref(dnf: events::DnfRef<'a>, space: &ProbabilitySpace, opts: McOptions) -> Self {
         DklrEstimator { kl: KarpLubyEstimator::from_ref(dnf, space, opts.variant), opts }
     }
 
@@ -272,7 +275,7 @@ impl DklrEstimator {
     }
 
     /// The prepared Karp-Luby estimator (exposed for tests and benches).
-    pub fn estimator(&self) -> &KarpLubyEstimator {
+    pub fn estimator(&self) -> &KarpLubyEstimator<'a> {
         &self.kl
     }
 }

@@ -17,7 +17,7 @@
 //!
 //! Both are unbiased: the expectation of the returned value is exactly `p`.
 
-use events::{Dnf, DnfRef, ProbabilitySpace, Valuation, VarId};
+use events::{Dnf, DnfRef, DnfView, LineageArena, ProbabilitySpace, Valuation, VarId};
 use rand::Rng;
 
 /// Which unbiased estimate to compute from a sampled world.
@@ -32,20 +32,52 @@ pub enum EstimatorVariant {
     ZeroOne,
 }
 
+/// Where a prepared estimator's clause atoms live.
+///
+/// The owned variant copies the formula once into a private flat pool; the
+/// borrowed variant points straight at a [`LineageArena`]'s pool, whose
+/// layout (flat atoms, clauses as spans) is already exactly what the
+/// satisfaction scans want — so preparing from an interned lineage copies
+/// *zero* atoms. Both variants feed the identical sampling code, so seeded
+/// streams agree to the bit.
+#[derive(Debug, Clone)]
+enum AtomStore<'a> {
+    /// Flat private pool; clause `i` owns `atoms[spans[i].0..spans[i].1]`.
+    Pool { atoms: Vec<events::Atom>, spans: Vec<(u32, u32)> },
+    /// Clause spans borrowed from an interned lineage.
+    Arena { arena: &'a LineageArena, view: &'a DnfView },
+}
+
+impl AtomStore<'_> {
+    #[inline]
+    fn clause_atoms(&self, i: usize) -> &[events::Atom] {
+        match self {
+            AtomStore::Pool { atoms, spans } => {
+                let (s, e) = spans[i];
+                &atoms[s as usize..e as usize]
+            }
+            AtomStore::Arena { arena, view } => view.clause_slice(arena, i),
+        }
+    }
+}
+
 /// A prepared Karp-Luby estimator for a fixed DNF.
 ///
-/// Preparation copies the formula **once** into a flat atom pool (clauses
-/// become spans over it — the same layout as [`events::LineageArena`], so a
-/// [`DnfRef::Arena`] view is prepared without ever materialising an owned
-/// DNF) and pre-computes clause probabilities, their cumulative distribution
-/// (for clause sampling), and the variable set of the DNF. Each call to
-/// [`KarpLubyEstimator::sample`] then costs one world sample plus one
-/// cache-friendly satisfaction scan over the pooled atoms.
+/// Preparation flattens the formula into clause spans over an atom pool —
+/// copied once for owned DNFs, **borrowed in place** from the
+/// [`LineageArena`] for interned lineages ([`KarpLubyEstimator::from_arena`]
+/// and the [`DnfRef::Arena`] arm of [`KarpLubyEstimator::from_ref`]), which
+/// already stores exactly this layout — and pre-computes clause
+/// probabilities, their cumulative distribution (for clause sampling), and
+/// the variable set of the DNF. Each call to [`KarpLubyEstimator::sample`]
+/// then costs one world sample plus one cache-friendly satisfaction scan
+/// over the pooled atoms.
+///
+/// The lifetime parameter is the borrowed arena's; estimators prepared from
+/// an owned [`Dnf`] are `'static`.
 #[derive(Debug, Clone)]
-pub struct KarpLubyEstimator {
-    /// Flat atom pool; clause `i` owns `atoms[spans[i].0..spans[i].1]`.
-    atoms: Vec<events::Atom>,
-    spans: Vec<(u32, u32)>,
+pub struct KarpLubyEstimator<'a> {
+    store: AtomStore<'a>,
     clause_probs: Vec<f64>,
     cumulative: Vec<f64>,
     total_weight: f64,
@@ -53,57 +85,85 @@ pub struct KarpLubyEstimator {
     variant: EstimatorVariant,
 }
 
-impl KarpLubyEstimator {
+impl<'a> KarpLubyEstimator<'a> {
     /// Prepares the estimator for `dnf` with the default (fractional)
     /// variant.
-    pub fn new(dnf: &Dnf, space: &ProbabilitySpace) -> Self {
+    pub fn new(dnf: &Dnf, space: &ProbabilitySpace) -> KarpLubyEstimator<'static> {
         Self::with_variant(dnf, space, EstimatorVariant::default())
     }
 
     /// Prepares the estimator with an explicit variant.
-    pub fn with_variant(dnf: &Dnf, space: &ProbabilitySpace, variant: EstimatorVariant) -> Self {
-        Self::from_ref(DnfRef::Owned(dnf), space, variant)
+    pub fn with_variant(
+        dnf: &Dnf,
+        space: &ProbabilitySpace,
+        variant: EstimatorVariant,
+    ) -> KarpLubyEstimator<'static> {
+        let n = dnf.len();
+        let mut atoms = Vec::new();
+        let mut spans = Vec::with_capacity(n);
+        for clause in dnf.clauses() {
+            let start = atoms.len() as u32;
+            atoms.extend_from_slice(clause.atoms());
+            spans.push((start, atoms.len() as u32));
+        }
+        let clause_probs: Vec<f64> = (0..n).map(|i| dnf.clauses()[i].probability(space)).collect();
+        let vars: Vec<VarId> = dnf.vars().into_iter().collect();
+        KarpLubyEstimator::assemble(AtomStore::Pool { atoms, spans }, clause_probs, vars, variant)
     }
 
-    /// Prepares the estimator from either lineage representation — for
-    /// [`DnfRef::Arena`], the sampler is built against the arena directly,
-    /// without materialising an owned [`Dnf`]. The sampling stream (clause
+    /// Prepares the estimator **borrowing** an interned lineage: clause
+    /// spans point straight into the arena's atom pool, so no atom is
+    /// copied. The sampling stream is bit-identical to the copying path on
+    /// the same formula.
+    pub fn from_arena(
+        arena: &'a LineageArena,
+        view: &'a DnfView,
+        space: &ProbabilitySpace,
+        variant: EstimatorVariant,
+    ) -> KarpLubyEstimator<'a> {
+        let n = view.len();
+        let clause_probs: Vec<f64> =
+            (0..n).map(|i| view.clause_probability(arena, space, i)).collect();
+        let vars: Vec<VarId> = view.vars(arena).into_iter().collect();
+        KarpLubyEstimator::assemble(AtomStore::Arena { arena, view }, clause_probs, vars, variant)
+    }
+
+    /// Prepares the estimator from either lineage representation:
+    /// [`DnfRef::Owned`] copies into the private pool, [`DnfRef::Arena`]
+    /// borrows the arena in place (see
+    /// [`KarpLubyEstimator::from_arena`]). The sampling stream (clause
     /// order, variable order, satisfaction scans) is identical for both
     /// representations of the same formula, so seeded estimates agree to the
     /// bit.
-    pub fn from_ref(dnf: DnfRef<'_>, space: &ProbabilitySpace, variant: EstimatorVariant) -> Self {
-        let n = dnf.clause_count();
-        let mut atoms = Vec::new();
-        let mut spans = Vec::with_capacity(n);
-        let mut clause_probs = Vec::with_capacity(n);
-        for i in 0..n {
-            let start = atoms.len() as u32;
-            atoms.extend(dnf.clause_atoms(i));
-            spans.push((start, atoms.len() as u32));
-            clause_probs.push(dnf.clause_probability(space, i));
+    pub fn from_ref(
+        dnf: DnfRef<'a>,
+        space: &ProbabilitySpace,
+        variant: EstimatorVariant,
+    ) -> KarpLubyEstimator<'a> {
+        match dnf {
+            DnfRef::Owned(d) => Self::with_variant(d, space, variant),
+            DnfRef::Arena(arena, view) => Self::from_arena(arena, view, space, variant),
         }
+    }
+
+    fn assemble<'b>(
+        store: AtomStore<'b>,
+        clause_probs: Vec<f64>,
+        vars: Vec<VarId>,
+        variant: EstimatorVariant,
+    ) -> KarpLubyEstimator<'b> {
         let mut cumulative = Vec::with_capacity(clause_probs.len());
         let mut acc = 0.0;
         for &p in &clause_probs {
             acc += p;
             cumulative.push(acc);
         }
-        let vars: Vec<VarId> = dnf.vars().into_iter().collect();
-        KarpLubyEstimator {
-            atoms,
-            spans,
-            clause_probs,
-            cumulative,
-            total_weight: acc,
-            vars,
-            variant,
-        }
+        KarpLubyEstimator { store, clause_probs, cumulative, total_weight: acc, vars, variant }
     }
 
     #[inline]
     fn clause_atoms(&self, i: usize) -> &[events::Atom] {
-        let (s, e) = self.spans[i];
-        &self.atoms[s as usize..e as usize]
+        self.store.clause_atoms(i)
     }
 
     /// The normalising constant `U = Σ P(cᵢ)` (an upper bound on the DNF
@@ -114,16 +174,16 @@ impl KarpLubyEstimator {
 
     /// Number of clauses of the prepared DNF.
     pub fn num_clauses(&self) -> usize {
-        self.spans.len()
+        self.clause_probs.len()
     }
 
     /// `true` if the DNF is trivially false (no clauses) or trivially true
     /// (contains the empty clause); such inputs need no sampling.
     pub fn trivial_probability(&self) -> Option<f64> {
-        if self.spans.is_empty() {
+        if self.num_clauses() == 0 {
             return Some(0.0);
         }
-        if self.spans.iter().any(|(s, e)| s == e) {
+        if (0..self.num_clauses()).any(|i| self.clause_atoms(i).is_empty()) {
             return Some(1.0);
         }
         None
@@ -173,8 +233,8 @@ impl KarpLubyEstimator {
             .cumulative
             .binary_search_by(|probe| probe.partial_cmp(&target).expect("finite probabilities"))
         {
-            Ok(i) => (i + 1).min(self.spans.len() - 1),
-            Err(i) => i.min(self.spans.len() - 1),
+            Ok(i) => (i + 1).min(self.num_clauses() - 1),
+            Err(i) => i.min(self.num_clauses() - 1),
         }
     }
 
@@ -200,13 +260,13 @@ impl KarpLubyEstimator {
     }
 
     fn count_satisfied(&self, world: &Valuation) -> usize {
-        (0..self.spans.len())
+        (0..self.num_clauses())
             .filter(|&i| self.clause_atoms(i).iter().all(|a| world.value(a.var) == Some(a.value)))
             .count()
     }
 
     fn min_satisfied(&self, world: &Valuation) -> Option<usize> {
-        (0..self.spans.len())
+        (0..self.num_clauses())
             .find(|&i| self.clause_atoms(i).iter().all(|a| world.value(a.var) == Some(a.value)))
     }
 
@@ -277,6 +337,54 @@ mod tests {
         assert!((est.total_weight() - (0.06 + 0.21 + 0.8)).abs() < 1e-12);
         assert_eq!(est.num_clauses(), 3);
         assert_eq!(est.clause_probabilities().len(), 3);
+    }
+
+    #[test]
+    fn arena_backed_estimator_is_bit_identical_to_copying_path() {
+        let (s, phi) = example_dnf();
+        let mut arena = events::LineageArena::new();
+        let view = arena.intern(&phi);
+        for variant in [EstimatorVariant::Fractional, EstimatorVariant::ZeroOne] {
+            let copied = KarpLubyEstimator::with_variant(&phi, &s, variant);
+            let borrowed = KarpLubyEstimator::from_arena(&arena, &view, &s, variant);
+            assert_eq!(copied.total_weight().to_bits(), borrowed.total_weight().to_bits());
+            assert_eq!(copied.clause_probabilities(), borrowed.clause_probabilities());
+            assert_eq!(copied.num_clauses(), borrowed.num_clauses());
+            // Same-seeded streams must agree to the bit: both preparations
+            // expose identical clause order, probabilities, and variable
+            // order, so every RNG draw lands on the same decision.
+            let mut rng_a = StdRng::seed_from_u64(0xa11e7a);
+            let mut rng_b = StdRng::seed_from_u64(0xa11e7a);
+            for _ in 0..200 {
+                let a = copied.sample_normalized(&s, &mut rng_a);
+                let b = borrowed.sample_normalized(&s, &mut rng_b);
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            let mut rng_a = StdRng::seed_from_u64(0x5eed);
+            let mut rng_b = StdRng::seed_from_u64(0x5eed);
+            let ea = copied.estimate_with_samples(&s, &mut rng_a, 500);
+            let eb = borrowed.estimate_with_samples(&s, &mut rng_b, 500);
+            assert_eq!(ea.to_bits(), eb.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_ref_dispatches_to_both_representations() {
+        let (s, phi) = example_dnf();
+        let mut arena = events::LineageArena::new();
+        let view = arena.intern(&phi);
+        let owned =
+            KarpLubyEstimator::from_ref(DnfRef::Owned(&phi), &s, EstimatorVariant::default());
+        let arena_backed = KarpLubyEstimator::from_ref(
+            DnfRef::Arena(&arena, &view),
+            &s,
+            EstimatorVariant::default(),
+        );
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let ea = owned.estimate_with_samples(&s, &mut rng_a, 300);
+        let eb = arena_backed.estimate_with_samples(&s, &mut rng_b, 300);
+        assert_eq!(ea.to_bits(), eb.to_bits());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use dtree::{
     ApproxResult, CompileOptions, CompileStats, ErrorBound, ResumableCompilation, ResumeBudget,
     SubformulaCache, VarOrder,
 };
-use events::{Dnf, DnfRef, LineageArena, ProbabilitySpace, VarOrigins};
+use events::{Dnf, DnfRef, LineageArena, LineageDelta, ProbabilitySpace, VarOrigins};
 use montecarlo::{aconf_ref, naive_monte_carlo_ref, McOptions, NaiveOptions};
 
 /// The confidence-computation algorithm to run on a lineage DNF.
@@ -198,9 +198,72 @@ impl ResumableConfidence {
         self.inner.is_poisoned()
     }
 
+    /// `true` when the handle is still valid against `space` — the same
+    /// predicate [`ResumableConfidence::resume`] and
+    /// [`ResumableConfidence::apply_delta`] fail closed on. Maintenance
+    /// checks it up front so stale handles recompile immediately instead of
+    /// spending a slice to learn they are poisoned.
+    pub fn is_current(&self, space: &ProbabilitySpace) -> bool {
+        self.inner.is_current(space)
+    }
+
     /// Cumulative decomposition steps across the original run and all slices.
     pub fn total_steps(&self) -> usize {
         self.inner.total_steps()
+    }
+
+    /// Applies a [`LineageDelta`] — clauses appended to the lineage this
+    /// handle was compiled from — **in place**, without recompiling. Each
+    /// clause is routed down the partial d-tree to the decomposition node it
+    /// belongs to; only the touched leaf chain recomputes its bounds, every
+    /// untouched subtree keeps its accumulated refinement. Returns `true` on
+    /// success; `false` when the handle fails closed (probability space
+    /// invalidated in place, or a destructive — non-append — edit reached
+    /// it), in which case [`ResumableConfidence::failed`] turns `true`
+    /// permanently and the item must be recompiled from scratch.
+    ///
+    /// The caller is responsible for the delta actually describing the growth
+    /// of *this* handle's lineage (e.g. via [`LineageDelta::between`] or
+    /// [`events::LineageArena::append_clauses`]); after a successful call the
+    /// handle's bounds are sound for the grown formula, and further
+    /// [`ResumableConfidence::resume`] slices tighten them as usual.
+    pub fn apply_delta(&mut self, space: &ProbabilitySpace, delta: &LineageDelta) -> bool {
+        self.inner.apply_delta(space, delta.clauses())
+    }
+
+    /// The width-vs-budget curve: `(cumulative_steps, interval_width)`
+    /// samples recorded at capture, after every resume slice, and after every
+    /// applied delta. Monotone non-increasing in width between deltas; a
+    /// delta can widen the interval again (the formula grew).
+    pub fn width_curve(&self) -> &[(usize, f64)] {
+        self.inner.width_curve()
+    }
+
+    /// Number of delta clauses applied over the handle's lifetime.
+    pub fn deltas_applied(&self) -> usize {
+        self.inner.deltas_applied()
+    }
+
+    /// Number of delta routings that fell back to rebuilding a dirty subtree.
+    pub fn dirty_rebuilds(&self) -> usize {
+        self.inner.dirty_rebuilds()
+    }
+
+    /// The handle's current state as a [`ConfidenceResult`] without doing any
+    /// work: bounds, estimate, and convergence as of now, `elapsed` zero
+    /// (nothing ran for this snapshot). This is what maintenance reports for
+    /// items whose bounds stayed within the error guarantee after a delta.
+    pub fn snapshot_result(&self) -> ConfidenceResult {
+        let (lower, upper) = self.bounds();
+        ConfidenceResult {
+            estimate: self.inner.estimate(),
+            lower,
+            upper,
+            converged: self.inner.is_converged(),
+            elapsed: Duration::ZERO,
+            method: self.method.clone(),
+            stats: Some(*self.inner.stats()),
+        }
     }
 }
 
@@ -400,13 +463,16 @@ pub fn confidence_with(
     }
 }
 
-/// [`confidence_with`], but when a *budgeted d-tree* run is truncated before
-/// convergence the second return value carries a [`ResumableConfidence`]
-/// handle over the partial d-tree frontier, so later slices tighten the same
-/// interval instead of recompiling. Converged runs, unbudgeted
-/// [`ConfidenceMethod::DTreeExact`] (which never truncates), and the
-/// Monte-Carlo methods (no d-tree to persist) return `None` and are
-/// bit-identical to [`confidence_with`].
+/// [`confidence_with`], but for the anytime d-tree runs — budgeted
+/// [`ConfidenceMethod::DTreeExact`] and the approximate d-tree methods — the
+/// second return value carries a [`ResumableConfidence`] handle over the
+/// d-tree frontier: truncated runs keep an open frontier later slices
+/// tighten instead of recompiling, converged runs a settled frontier whose
+/// purpose is absorbing appended lineage clauses
+/// ([`ResumableConfidence::apply_delta`]) in streaming maintenance.
+/// Unbudgeted [`ConfidenceMethod::DTreeExact`] (the plain exact evaluator)
+/// and the Monte-Carlo methods (no d-tree to persist) return `None`. All
+/// value-bearing fields are bit-identical to [`confidence_with`].
 pub fn confidence_resumable(
     lineage: &Dnf,
     space: &ProbabilitySpace,
@@ -695,7 +761,7 @@ mod tests {
     }
 
     #[test]
-    fn resumable_returns_no_handle_when_nothing_to_resume() {
+    fn resumable_handle_presence_follows_method() {
         let (db, lineage) = sample_lineage();
         // Unbudgeted exact: cannot truncate.
         let (r, h) = confidence_resumable(
@@ -720,7 +786,8 @@ mod tests {
             None,
         );
         assert!(!r.converged && h.is_none());
-        // Converged budgeted d-tree: handle already spent.
+        // Converged d-tree runs hand back a settled (converged) frontier —
+        // the seed streaming deltas are absorbed into.
         let (r, h) = confidence_resumable(
             &lineage,
             db.space(),
@@ -730,7 +797,10 @@ mod tests {
             None,
             None,
         );
-        assert!(r.converged && h.is_none());
+        assert!(r.converged);
+        let h = h.expect("converged runs pool their settled frontier");
+        assert!(h.is_converged());
+        assert_eq!(h.bounds(), (r.lower, r.upper));
     }
 
     #[test]

@@ -138,6 +138,55 @@ impl Database {
         vars
     }
 
+    /// Appends rows to an **existing** tuple-independent table in place —
+    /// the streaming-ingestion primitive. Each appended row gets a fresh
+    /// Boolean variable continuing the table's `"{name}#{row}"` numbering;
+    /// rows with probability `>= 1` are stored as deterministic, exactly as
+    /// in [`Database::add_tuple_independent_table`].
+    ///
+    /// Appending is **append-only growth**: it introduces new independent
+    /// variables but cannot change any existing variable's distribution, so
+    /// the space's [`generation`](Database::generation) survives (only the
+    /// watermark advances) and both warm [`dtree::SubformulaCache`] entries
+    /// and suspended [`crate::confidence::ResumableConfidence`] handles stay
+    /// valid. This is what makes maintenance incremental: compute the
+    /// per-answer [`events::LineageDelta`]s for the new rows and feed them to
+    /// [`crate::ConfidenceEngine::maintain_batch`] instead of re-evaluating
+    /// the query from scratch.
+    ///
+    /// Returns the per-row variables (`None` for deterministic rows).
+    ///
+    /// # Panics
+    /// Panics if no table of that name exists — replacing or retyping a table
+    /// is an in-place change and must go through
+    /// [`Database::add_tuple_independent_table`], which invalidates caches.
+    pub fn append_tuple_independent_rows(
+        &mut self,
+        name: &str,
+        rows: Vec<(Vec<Value>, f64)>,
+    ) -> Vec<Option<VarId>> {
+        let table_id = *self
+            .table_ids
+            .get(name)
+            .unwrap_or_else(|| panic!("append_tuple_independent_rows: unknown table {name:?}"));
+        let rel = self.tables.get_mut(name).expect("registered table must exist");
+        let start = rel.len();
+        let mut vars = Vec::with_capacity(rows.len());
+        for (i, (values, p)) in rows.into_iter().enumerate() {
+            let lineage = if p >= 1.0 {
+                vars.push(None);
+                Dnf::tautology()
+            } else {
+                let v = self.space.add_bool(format!("{name}#{}", start + i), p);
+                self.origins.set(v, table_id);
+                vars.push(Some(v));
+                Dnf::literal(v)
+            };
+            rel.push(AnnotatedTuple::new(values, lineage));
+        }
+        vars
+    }
+
     /// Adds a deterministic table (all tuples certain).
     pub fn add_deterministic_table(&mut self, name: &str, columns: &[&str], rows: Vec<Vec<Value>>) {
         self.register_table(name);
@@ -313,6 +362,44 @@ mod tests {
         db.invalidate_caches();
         assert!(db.generation() > g1);
         assert_eq!(db.generation(), db.space().generation());
+    }
+
+    #[test]
+    fn appended_rows_extend_the_table_without_invalidation() {
+        let mut db = Database::new();
+        db.add_tuple_independent_table(
+            "R",
+            &["a"],
+            vec![(vec![Value::Int(1)], 0.5), (vec![Value::Int(2)], 1.0)],
+        );
+        let g0 = db.generation();
+        let w0 = db.space().watermark();
+        let vars = db.append_tuple_independent_rows(
+            "R",
+            vec![(vec![Value::Int(3)], 0.25), (vec![Value::Int(4)], 1.0)],
+        );
+        // Generation survives (caches and resumable handles stay valid), the
+        // watermark advances past the new variable.
+        assert_eq!(db.generation(), g0);
+        assert!(db.space().watermark() > w0);
+        let table = db.table("R").unwrap();
+        assert_eq!(table.len(), 4);
+        assert_eq!(vars.len(), 2);
+        // Variable naming continues the table's row numbering.
+        let v = vars[0].expect("probabilistic row gets a variable");
+        assert_eq!(db.space().info(v).unwrap().name, "R#2");
+        assert_eq!(db.origins().get(v), db.table_id("R"));
+        // Deterministic appended rows carry the constant-true lineage.
+        assert_eq!(vars[1], None);
+        assert!(table.tuples[3].lineage.is_tautology());
+        assert!((table.tuples[2].probability(db.space()) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown table")]
+    fn append_to_missing_table_panics() {
+        let mut db = Database::new();
+        db.append_tuple_independent_rows("nope", vec![(vec![Value::Int(1)], 0.5)]);
     }
 
     #[test]

@@ -24,7 +24,12 @@
 //! * [`engine`] — the batched [`ConfidenceEngine`]: all answer tuples of a
 //!   query in one call, parallel across lineages, with a shared sub-formula
 //!   cache (per-batch by default, or long-lived across batches via
-//!   [`ConfidenceEngine::with_shared_cache`]) and one batch-wide deadline.
+//!   [`ConfidenceEngine::with_shared_cache`]) and one batch-wide deadline,
+//! * [`pool`] — streaming maintenance: [`Database::append_tuple_independent_rows`]
+//!   grows tables in place, [`events::LineageDelta`]s describe the per-answer
+//!   lineage growth, and [`ConfidenceEngine::maintain_batch`] applies them to
+//!   a [`ResumablePool`] of suspended d-tree frontiers so each insert round
+//!   re-refines only what the new clauses actually touched.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,6 +38,7 @@ pub mod algebra;
 pub mod confidence;
 pub mod engine;
 pub mod motif;
+pub mod pool;
 pub mod sprout;
 
 mod database;
@@ -41,7 +47,8 @@ mod relation;
 mod value;
 
 pub use database::Database;
-pub use engine::{dedup_lineages, BatchResult, ConfidenceEngine};
+pub use engine::{dedup_lineages, BatchResult, ConfidenceEngine, MaintainResult};
+pub use pool::ResumablePool;
 pub use query::{ConjunctiveQuery, IneqOp, Predicate, QueryAnswer, SubGoal, Term};
 pub use relation::{AnnotatedTuple, Relation, Schema};
 pub use value::Value;

@@ -1,0 +1,227 @@
+//! Property-based tests of delta-aware confidence maintenance: on randomly
+//! generated append streams, maintaining a lineage through
+//! [`ConfidenceEngine::maintain_batch`] — truncated frontiers pooled between
+//! rounds, deltas absorbed in place — must land on the same answer as
+//! compiling the final formula from scratch, for every confidence method and
+//! with the subformula cache on or off. Destructive (non-append) edits must
+//! fail closed instead of silently reusing a stale frontier.
+
+use events::{Clause, Dnf, LineageDelta, ProbabilitySpace};
+use pdb::confidence::{ConfidenceBudget, ConfidenceMethod};
+use pdb::{ConfidenceEngine, ResumablePool};
+use proptest::prelude::*;
+
+/// A random append stream: an initial DNF over `probs.len()` variables, then
+/// `rounds` of appended clauses. Each appended clause joins one fresh
+/// variable (probability `fresh_p`) with existing variables of the answer, so
+/// deltas genuinely dirty the suspended decomposition.
+#[derive(Debug, Clone)]
+struct StreamSpec {
+    probs: Vec<f64>,
+    clauses: Vec<Vec<usize>>,
+    rounds: Vec<Vec<(f64, Vec<usize>)>>,
+}
+
+fn stream_spec() -> impl Strategy<Value = StreamSpec> {
+    let probs = prop::collection::vec(0.1f64..0.9, 3..7);
+    probs.prop_flat_map(|probs| {
+        let nv = probs.len();
+        let clause = prop::collection::vec(0..nv, 1..3);
+        let clauses = prop::collection::vec(clause, 2..6);
+        let append = (0.1f64..0.9, prop::collection::vec(0..nv, 0..3));
+        let round = prop::collection::vec(append, 1..3);
+        let rounds = prop::collection::vec(round, 1..4);
+        (Just(probs), clauses, rounds).prop_map(|(probs, clauses, rounds)| StreamSpec {
+            probs,
+            clauses,
+            rounds,
+        })
+    })
+}
+
+/// Materialises the stream: the shared space, the initial lineage, and one
+/// grown lineage plus its append-only delta per round.
+fn build_stream(spec: &StreamSpec) -> (ProbabilitySpace, Dnf, Vec<(Dnf, LineageDelta)>) {
+    let mut space = ProbabilitySpace::new();
+    let vars: Vec<_> =
+        spec.probs.iter().enumerate().map(|(i, &p)| space.add_bool(format!("x{i}"), p)).collect();
+    let initial = Dnf::from_clauses(
+        spec.clauses
+            .iter()
+            .map(|c| Clause::from_bools(&c.iter().map(|&i| vars[i]).collect::<Vec<_>>())),
+    );
+    let mut lineage = initial.clone();
+    let mut steps = Vec::new();
+    for (r, round) in spec.rounds.iter().enumerate() {
+        let mut grown = lineage.clone();
+        for (a, (fresh_p, existing)) in round.iter().enumerate() {
+            let fresh = space.add_bool(format!("s{r}_{a}"), *fresh_p);
+            let mut atoms = vec![fresh];
+            for &i in existing {
+                if !atoms.contains(&vars[i]) {
+                    atoms.push(vars[i]);
+                }
+            }
+            grown = grown.or(&Dnf::from_clauses(vec![Clause::from_bools(&atoms)]));
+        }
+        let delta = LineageDelta::between(&lineage, &grown).expect("or-growth is append-only");
+        lineage = grown.clone();
+        steps.push((grown, delta));
+    }
+    (space, initial, steps)
+}
+
+fn methods() -> Vec<ConfidenceMethod> {
+    vec![
+        ConfidenceMethod::DTreeExact,
+        ConfidenceMethod::DTreeAbsolute(1e-13),
+        ConfidenceMethod::DTreeRelative(1e-13),
+        ConfidenceMethod::KarpLuby { epsilon: 0.3, delta: 0.1 },
+        ConfidenceMethod::NaiveMonteCarlo { epsilon: 0.3 },
+    ]
+}
+
+fn engine(method: ConfidenceMethod, cache: bool, budget: Option<u64>) -> ConfidenceEngine {
+    let mut e = ConfidenceEngine::new(method)
+        .with_seed(0x5eed)
+        .with_budget(ConfidenceBudget { timeout: None, max_work: budget });
+    if !cache {
+        e = e.without_cache();
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Delta-maintained confidence equals from-scratch compilation of the
+    /// final formula within 1e-12, for every method and cache setting.
+    ///
+    /// Intermediate rounds run under a tiny work budget so d-tree frontiers
+    /// truncate and get pooled — the final round then *resumes* those
+    /// delta-dirtied frontiers to convergence. With ε = 1e-13 error bounds,
+    /// maintained and from-scratch answers are each within 1e-13 of the
+    /// exact probability, hence within 2e-13 < 1e-12 of each other; the
+    /// Monte-Carlo methods recompile with per-index seeds, so they are
+    /// bit-identical by construction.
+    #[test]
+    fn maintained_equals_from_scratch(spec in stream_spec()) {
+        let (space, initial, steps) = build_stream(&spec);
+        let (last, rest) = steps.split_last().expect("at least one round");
+        for method in methods() {
+            for cache in [true, false] {
+                let trickle = engine(method.clone(), cache, Some(2));
+                let converge = engine(method.clone(), cache, None);
+                let mut pool = ResumablePool::new(8);
+                trickle.maintain_batch(std::slice::from_ref(&initial), &[None], &space, None, &mut pool);
+                for (grown, delta) in rest {
+                    trickle.maintain_batch(
+                        std::slice::from_ref(grown),
+                        &[Some(delta.clone())],
+                        &space,
+                        None,
+                        &mut pool,
+                    );
+                }
+                let maintained = converge.maintain_batch(
+                    std::slice::from_ref(&last.0),
+                    &[Some(last.1.clone())],
+                    &space,
+                    None,
+                    &mut pool,
+                );
+                prop_assert!(maintained.all_converged(), "{method:?} did not converge");
+                let scratch = converge.confidence_batch(std::slice::from_ref(&last.0), &space, None);
+                let m = maintained.results[0].estimate;
+                let s = scratch.results[0].estimate;
+                prop_assert!(
+                    (m - s).abs() <= 1e-12,
+                    "{method:?} cache={cache}: maintained {m} vs scratch {s}"
+                );
+                if !method.is_deterministic() {
+                    // MC maintenance recompiles every item with its
+                    // index-derived seed — bit-identical to the plain batch.
+                    prop_assert_eq!(m.to_bits(), s.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Destructive edits are not representable as deltas: removing or
+    /// rewriting a clause makes [`LineageDelta::between`] return `None`, so
+    /// callers are forced onto the recompile path.
+    #[test]
+    fn destructive_edits_yield_no_delta(spec in stream_spec()) {
+        let (_, initial, _) = build_stream(&spec);
+        prop_assume!(initial.len() > 1);
+        let shrunk = Dnf::from_clauses(initial.clauses()[1..].to_vec());
+        prop_assert!(LineageDelta::between(&initial, &shrunk).is_none());
+        // Append-after-delete is still not an append overall.
+        let mutated = shrunk.or(&Dnf::from_clauses(vec![initial.clauses()[0].clone()]));
+        if mutated != initial {
+            prop_assert!(LineageDelta::between(&initial, &mutated).is_none());
+        }
+    }
+}
+
+/// A chain lineage long enough that a `max_work`-budgeted d-tree run
+/// truncates (small chains converge within a couple of decomposition
+/// steps, leaving nothing to pool).
+fn chain_fixture() -> (ProbabilitySpace, Vec<events::VarId>, Dnf) {
+    let mut space = ProbabilitySpace::new();
+    let vars: Vec<_> =
+        (0..34).map(|i| space.add_bool(format!("x{i}"), 0.15 + 0.02 * i as f64)).collect();
+    let lineage = Dnf::from_clauses((0..22).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])));
+    (space, vars, lineage)
+}
+
+/// An in-place space invalidation (the destructive-edit signal) fails
+/// closed: pooled handles are discarded and every item recompiles against
+/// the current space instead of reporting poisoned bounds.
+#[test]
+fn invalidated_space_fails_closed_to_recompilation() {
+    let (mut space, _, lineage) = chain_fixture();
+    let exact =
+        dtree::exact_probability(&lineage, &space, &dtree::CompileOptions::default()).probability;
+
+    let trickle = engine(ConfidenceMethod::DTreeExact, true, Some(4));
+    let mut pool = ResumablePool::new(4);
+    trickle.maintain_batch(std::slice::from_ref(&lineage), &[None], &space, None, &mut pool);
+    assert_eq!(pool.len(), 1, "budgeted run should truncate and pool a frontier");
+
+    space.invalidate();
+    let converge = engine(ConfidenceMethod::DTreeExact, true, None);
+    let r =
+        converge.maintain_batch(std::slice::from_ref(&lineage), &[None], &space, None, &mut pool);
+    assert_eq!(r.recompiled, 1);
+    assert_eq!(r.refreshed + r.snapshots, 0);
+    assert!(r.all_converged());
+    assert!((r.results[0].estimate - exact).abs() < 1e-9);
+}
+
+/// The refresh path is genuinely exercised: after budget-truncated rounds,
+/// a later round resumes pooled frontiers (refreshed/snapshot, not
+/// recompiled) and still converges to the exact probability.
+#[test]
+fn delta_rounds_resume_pooled_frontiers() {
+    let (mut space, vars, mut lineage) = chain_fixture();
+
+    let trickle = engine(ConfidenceMethod::DTreeRelative(1e-6), true, Some(4));
+    let mut pool = ResumablePool::new(4);
+    trickle.maintain_batch(std::slice::from_ref(&lineage), &[None], &space, None, &mut pool);
+    assert_eq!(pool.len(), 1, "budgeted run should truncate and pool a frontier");
+
+    let fresh = space.add_bool("s0", 0.3);
+    let grown = lineage.or(&Dnf::from_clauses(vec![Clause::from_bools(&[fresh, vars[0]])]));
+    let delta = LineageDelta::between(&lineage, &grown).expect("append-only");
+    lineage = grown;
+
+    let converge = engine(ConfidenceMethod::DTreeRelative(1e-6), true, None);
+    let r = converge.maintain_batch(&[lineage.clone()], &[Some(delta)], &space, None, &mut pool);
+    assert_eq!(r.recompiled, 0, "pooled frontier must be reused");
+    assert_eq!(r.refreshed + r.snapshots, 1);
+    assert!(r.all_converged());
+    let exact =
+        dtree::exact_probability(&lineage, &space, &dtree::CompileOptions::default()).probability;
+    assert!((r.results[0].estimate - exact).abs() < 1e-6 * exact + 1e-12);
+}

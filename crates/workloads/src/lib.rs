@@ -13,6 +13,10 @@
 //!   (62 nodes; generated with the published size and density since the
 //!   original edge list is not reproduced in the paper — see DESIGN.md).
 //!
+//! Beyond the paper's static experiments, [`streaming`] generates *growing*
+//! answer lineages together with the per-round [`events::LineageDelta`]s
+//! that delta-aware confidence maintenance consumes.
+//!
 //! All generators are deterministic given a seed, so experiments are
 //! reproducible.
 
@@ -22,9 +26,11 @@
 pub mod graphs;
 pub mod mixes;
 pub mod social;
+pub mod streaming;
 pub mod tpch;
 
 pub use graphs::{random_bid_graph, random_graph, s2_relation, RandomGraphConfig};
 pub use mixes::{hardness_mix, HardnessMixConfig};
 pub use social::{dolphins, karate_club, SocialNetwork, SocialNetworkConfig};
+pub use streaming::{StreamingConfig, StreamingWorkload};
 pub use tpch::{QueryClass, TpchConfig, TpchDatabase, TpchQuery};

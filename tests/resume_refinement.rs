@@ -77,19 +77,17 @@ proptest! {
             let cache = SubformulaCache::new();
             let cache = cached.then_some(&cache);
             let opts = ApproxOptions::absolute(0.0).with_max_steps(k);
-            let (first, handle) = ApproxCompiler::new(opts).run_resumable(&dnf, &space, cache);
-            let width = match handle {
-                Some(mut h) => {
-                    let budget = ResumeBudget::steps(total - k);
-                    let r = match cache {
-                        Some(c) => h.resume_cached(&space, budget, c),
-                        None => h.resume(&space, budget),
-                    };
-                    r.upper - r.lower
-                }
-                // Already converged at `k` steps: the truncated result stands.
-                None => first.upper - first.lower,
+            let (_, handle) = ApproxCompiler::new(opts).run_resumable(&dnf, &space, cache);
+            // Anytime runs always hand back a frontier — open if truncated,
+            // settled if already converged at `k` steps (the resume is then a
+            // no-op returning the held bounds).
+            let mut h = handle.expect("anytime runs always hand back their frontier");
+            let budget = ResumeBudget::steps(total - k);
+            let r = match cache {
+                Some(c) => h.resume_cached(&space, budget, c),
+                None => h.resume(&space, budget),
             };
+            let width = r.upper - r.lower;
             prop_assert!(
                 width <= full + 1e-12,
                 "cached={cached}: resumed width {width} > one-shot width {full}"
@@ -99,14 +97,18 @@ proptest! {
 
     /// Uninterrupted runs through the resumable entry point are bit-identical
     /// to the reference compiler: capturing a frontier must not perturb a
-    /// computation that never needed it.
+    /// computation that never needed it. The settled frontier they hand back
+    /// reports convergence and holds the same bounds.
     #[test]
     fn uninterrupted_runs_match_the_reference_compiler((ps, cs) in small_dnf()) {
         let (space, dnf) = build(&ps, &cs);
         for opts in [ApproxOptions::absolute(1e-3), ApproxOptions::relative(1e-2)] {
             let expected = approx_reference(&dnf, &space, &opts);
             let (got, handle) = ApproxCompiler::new(opts).run_resumable(&dnf, &space, None);
-            prop_assert!(handle.is_none(), "converged run must not return a handle");
+            let handle = handle.expect("anytime runs always hand back their frontier");
+            prop_assert!(handle.is_converged(), "uninterrupted run must settle its frontier");
+            prop_assert_eq!(handle.bounds().lower.to_bits(), expected.lower.to_bits());
+            prop_assert_eq!(handle.bounds().upper.to_bits(), expected.upper.to_bits());
             prop_assert_eq!(got.lower.to_bits(), expected.lower.to_bits());
             prop_assert_eq!(got.upper.to_bits(), expected.upper.to_bits());
             prop_assert_eq!(got.estimate.to_bits(), expected.estimate.to_bits());
@@ -114,11 +116,12 @@ proptest! {
         }
     }
 
-    /// The front-end property across all five confidence methods: the d-tree
-    /// methods hand back a resumable handle when truncated, and resuming with
-    /// the remaining work never ends wider than one shot at the full budget;
-    /// the Monte-Carlo methods (and the unbudgeted exact path) have no
-    /// frontier to persist and stay bit-identical to `confidence_with`.
+    /// The front-end property across all five confidence methods: the
+    /// budgeted d-tree methods always hand back a resumable handle (open if
+    /// truncated, settled if converged), and resuming with the remaining work
+    /// never ends wider than one shot at the full budget; the Monte-Carlo
+    /// methods have no frontier to persist and stay bit-identical to
+    /// `confidence_with`.
     #[test]
     fn all_five_methods_suspend_and_resume_soundly(
         (ps, cs) in small_dnf(),
@@ -160,20 +163,19 @@ proptest! {
                         prop_assert!(!h.failed());
                     }
                     None => {
-                        // Monte-Carlo methods never persist a frontier; the
-                        // d-tree methods only when truncated short of their
-                        // guarantee.
-                        if !method.is_deterministic() {
-                            let plain = confidence_with(
-                                &dnf, &space, None, &method, &slice, Some(seed), cache,
-                            );
-                            prop_assert_eq!(
-                                first.estimate.to_bits(), plain.estimate.to_bits(),
-                                "{}: resumable path must match confidence_with", method.label()
-                            );
-                        } else {
-                            prop_assert!(first.converged);
-                        }
+                        // Only the Monte-Carlo methods have no frontier to
+                        // persist; budgeted d-tree runs always hand one back.
+                        prop_assert!(
+                            !method.is_deterministic(),
+                            "{}: budgeted d-tree runs must return a handle", method.label()
+                        );
+                        let plain = confidence_with(
+                            &dnf, &space, None, &method, &slice, Some(seed), cache,
+                        );
+                        prop_assert_eq!(
+                            first.estimate.to_bits(), plain.estimate.to_bits(),
+                            "{}: resumable path must match confidence_with", method.label()
+                        );
                     }
                 }
             }
