@@ -131,6 +131,7 @@ fn split_budget_experiment(smoke: bool) {
                         mean_interval_width: None,
                         tuples_per_second: None,
                         p50_refresh_seconds: None,
+                        rss_peak_bytes: None,
                     }
                     .with_mean_interval_width(out.width),
                 );
@@ -154,6 +155,7 @@ fn split_budget_experiment(smoke: bool) {
                 mean_interval_width: None,
                 tuples_per_second: None,
                 p50_refresh_seconds: None,
+                rss_peak_bytes: None,
             }
             .with_mean_interval_width(width),
         );

@@ -1,0 +1,223 @@
+//! Criterion bench for the **disk-backed storage engine**: ingesting a
+//! dataset several times larger than the memtable budget into a
+//! [`pdb::Database::open_disk`] store must (a) spill to sorted runs —
+//! flushes and compactions happen, the memtable stays within its byte
+//! budget — and (b) stay **bit-identical** to the same workload held
+//! entirely in memory: the streamed lineage scan and the exact confidence
+//! over it match the heap database to the last bit.
+//!
+//! The experiment is phase-structured, so it runs once at startup (untimed
+//! by criterion), prints throughput and memory numbers, asserts the gates,
+//! and writes the `BENCH_storage.json` trajectory records — p50 scan
+//! seconds, `tuples_per_second` for the ingest series, and
+//! `rss_peak_bytes` (VmHWM from `/proc/self/status`, absent off Linux). A
+//! small criterion group then times one lineage scan on each backend.
+//!
+//! Set `STORAGE_SMOKE=1` for CI smoke scale: a few thousand rows,
+//! correctness gates only, and no `BENCH_storage.json` write (smoke numbers
+//! are not trajectory-comparable).
+
+use std::time::{Duration, Instant};
+
+use bench::BenchRecord;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use events::LineageArena;
+use pdb::confidence::{confidence_with, ConfidenceBudget, ConfidenceMethod};
+use pdb::storage::testutil::TempDir;
+use pdb::{Database, Value};
+
+const TABLE: &str = "readings";
+
+struct Scale {
+    rows: usize,
+    memtable_budget: usize,
+    scan_passes: usize,
+}
+
+fn scale(smoke: bool) -> Scale {
+    if smoke {
+        Scale { rows: 2_000, memtable_budget: 8 << 10, scan_passes: 3 }
+    } else {
+        Scale { rows: 24_000, memtable_budget: 64 << 10, scan_passes: 7 }
+    }
+}
+
+/// Deterministic row stream (seeded xorshift; no external RNG so the bench
+/// is reproducible byte for byte across runs and backends).
+struct Rows {
+    state: u64,
+    next: usize,
+    total: usize,
+}
+
+impl Rows {
+    fn new(total: usize) -> Rows {
+        Rows { state: 0x9e37_79b9_7f4a_7c15, next: 0, total }
+    }
+}
+
+impl Iterator for Rows {
+    type Item = (Vec<Value>, f64);
+
+    fn next(&mut self) -> Option<(Vec<Value>, f64)> {
+        if self.next == self.total {
+            return None;
+        }
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        let i = self.next as i64;
+        self.next += 1;
+        let p = 0.1 + 0.8 * (self.state >> 11) as f64 / (1u64 << 53) as f64;
+        Some((vec![Value::Int(i), Value::Int((self.state % 997) as i64)], p))
+    }
+}
+
+/// Streams the row set into `db` through a [`pdb::TupleWriter`] (no
+/// intermediate full-relation materialization) and returns the wall time.
+fn ingest(db: &mut Database, rows: usize) -> Duration {
+    let t0 = Instant::now();
+    let mut writer = db.tuple_writer(TABLE, &["sensor", "reading"]);
+    for (values, p) in Rows::new(rows) {
+        writer.push(values, p);
+    }
+    t0.elapsed()
+}
+
+/// One measured pass: stream the table's clauses straight from storage into
+/// a fresh arena and evaluate the exact confidence of the disjunction.
+fn scan_and_confide(db: &Database) -> (f64, Duration) {
+    let t0 = Instant::now();
+    let mut arena = LineageArena::with_capacity(64, 2);
+    let view = db.scan_boolean_lineage(TABLE, &mut arena);
+    let lineage = view.to_dnf(&arena);
+    let r = confidence_with(
+        &lineage,
+        db.space(),
+        None,
+        &ConfidenceMethod::DTreeExact,
+        &ConfidenceBudget { timeout: None, max_work: None },
+        None,
+        None,
+    );
+    (r.estimate, t0.elapsed())
+}
+
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); `None` on platforms without procfs.
+fn rss_peak_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// The phase-structured experiment. Returns both databases so the criterion
+/// group can time scans on real post-compaction state.
+fn storage_experiment(smoke: bool) -> (TempDir, Database, Database) {
+    let s = scale(smoke);
+    println!(
+        "== disk-backed storage vs heap ({} rows, {} B memtable budget{}) ==",
+        s.rows,
+        s.memtable_budget,
+        if smoke { ", smoke" } else { "" }
+    );
+
+    let mut heap = Database::new();
+    let heap_wall = ingest(&mut heap, s.rows);
+
+    let dir = TempDir::new("bench-storage");
+    let mut disk = Database::open_disk(dir.path(), s.memtable_budget).expect("open disk store");
+    let disk_wall = ingest(&mut disk, s.rows);
+    let stats = disk.storage_stats();
+    println!(
+        "  ingest: heap {heap_wall:.1?}  disk {disk_wall:.1?}  \
+         ({} flushes, {} compactions, {} runs, {} B memtable, {} B wal)",
+        stats.flushes, stats.compactions, stats.runs, stats.memtable_bytes, stats.wal_bytes
+    );
+
+    // Out-of-core gates: the dataset must actually spill — several runs on
+    // disk, the memtable within budget — or the bench is not measuring the
+    // out-of-core path at all.
+    assert!(stats.flushes > 0, "dataset must exceed the memtable budget");
+    assert!(stats.runs > 0, "flushes must leave runs on disk");
+    assert!(
+        stats.memtable_bytes <= s.memtable_budget,
+        "memtable {} B exceeds its {} B budget after ingest",
+        stats.memtable_bytes,
+        s.memtable_budget
+    );
+
+    // Bit-identity gate: the streamed scan over runs + memtable must produce
+    // the same lineage and the same exact confidence as the heap store.
+    let (heap_estimate, _) = scan_and_confide(&heap);
+    let mut disk_walls = Vec::with_capacity(s.scan_passes);
+    for _ in 0..s.scan_passes {
+        let (disk_estimate, wall) = scan_and_confide(&disk);
+        assert_eq!(
+            disk_estimate.to_bits(),
+            heap_estimate.to_bits(),
+            "disk-backed confidence diverged from the heap store"
+        );
+        disk_walls.push(wall.as_secs_f64());
+    }
+    disk_walls.sort_by(|a, b| a.partial_cmp(b).expect("finite walls"));
+    let scan_p50 = disk_walls[disk_walls.len() / 2];
+    let tps = s.rows as f64 / disk_wall.as_secs_f64();
+    let rss = rss_peak_bytes();
+    println!(
+        "  scan p50 {scan_p50:.6}s  ingest {tps:.0} tuples/s  peak rss {}",
+        rss.map_or("n/a".to_owned(), |b| format!("{} MiB", b >> 20))
+    );
+
+    if !smoke {
+        let attach_rss = |r: BenchRecord| match rss {
+            Some(b) => r.with_rss_peak_bytes(b),
+            None => r,
+        };
+        let records = vec![
+            attach_rss(
+                BenchRecord::from_samples(
+                    "storage/ingest/disk",
+                    &[(disk_wall.as_secs_f64(), true)],
+                )
+                .expect("one sample")
+                .with_tuples_per_second(tps),
+            ),
+            attach_rss(
+                BenchRecord::from_samples(
+                    "storage/scan/disk",
+                    &disk_walls.iter().map(|&w| (w, true)).collect::<Vec<_>>(),
+                )
+                .expect("scan samples"),
+            ),
+        ];
+        let path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_storage.json");
+        if let Err(e) = bench::write_json(&path, &records) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+    (dir, heap, disk)
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let smoke = std::env::var_os("STORAGE_SMOKE").is_some();
+    // `_dir` keeps the temp directory (and the disk store's files) alive for
+    // the criterion group below.
+    let (_dir, heap, disk) = storage_experiment(smoke);
+
+    let mut group = c.benchmark_group("storage");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(if smoke { 1 } else { 2 }));
+    group.bench_with_input(BenchmarkId::new("scan_lineage", "heap"), &(), |b, ()| {
+        b.iter(|| scan_and_confide(&heap).0)
+    });
+    group.bench_with_input(BenchmarkId::new("scan_lineage", "disk"), &(), |b, ()| {
+        b.iter(|| scan_and_confide(&disk).0)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

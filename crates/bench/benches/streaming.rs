@@ -163,6 +163,7 @@ fn streaming_experiment(smoke: bool) -> (StreamingWorkload, ResumablePool, Confi
                 mean_interval_width: None,
                 tuples_per_second: None,
                 p50_refresh_seconds: None,
+                rss_peak_bytes: None,
             }
             .with_tuples_per_second(tps)
             .with_refresh_latency(p50(&refresh_latencies)),
@@ -174,6 +175,7 @@ fn streaming_experiment(smoke: bool) -> (StreamingWorkload, ResumablePool, Confi
                 mean_interval_width: None,
                 tuples_per_second: None,
                 p50_refresh_seconds: None,
+                rss_peak_bytes: None,
             }
             .with_tuples_per_second(tuples as f64 / recompile_total)
             .with_refresh_latency(p50(&recompile_walls) / w.lineages().len() as f64),

@@ -110,6 +110,7 @@ pub fn fig8_end_to_end(smoke: bool) -> DecompositionReport {
                 mean_interval_width: None,
                 tuples_per_second: None,
                 p50_refresh_seconds: None,
+                rss_peak_bytes: None,
             });
         }
         println!(
@@ -155,6 +156,7 @@ pub fn decomposition_records(smoke: bool, floor: Option<f64>) -> Vec<BenchRecord
         mean_interval_width: None,
         tuples_per_second: None,
         p50_refresh_seconds: None,
+        rss_peak_bytes: None,
     });
     records
 }

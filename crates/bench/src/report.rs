@@ -132,6 +132,11 @@ pub struct BenchRecord {
     /// `streaming` bench. `None` for non-streaming series; omitted from the
     /// JSON when absent.
     pub p50_refresh_seconds: Option<f64>,
+    /// Peak resident-set size in bytes over the measured run, for series
+    /// whose point is bounded memory — the `storage` bench's out-of-core
+    /// ingestion/scan series. `None` for series that do not track memory;
+    /// omitted from the JSON when absent.
+    pub rss_peak_bytes: Option<u64>,
 }
 
 impl BenchRecord {
@@ -154,6 +159,7 @@ impl BenchRecord {
             mean_interval_width: None,
             tuples_per_second: None,
             p50_refresh_seconds: None,
+            rss_peak_bytes: None,
         })
     }
 
@@ -175,6 +181,12 @@ impl BenchRecord {
         self
     }
 
+    /// Attaches a peak resident-set size to the record (builder style).
+    pub fn with_rss_peak_bytes(mut self, bytes: u64) -> BenchRecord {
+        self.rss_peak_bytes = Some(bytes);
+        self
+    }
+
     /// The record as one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut out = format!(
@@ -193,6 +205,9 @@ impl BenchRecord {
         if let Some(r) = self.p50_refresh_seconds {
             let _ = write!(out, ",\"p50_refresh_seconds\":{}", json_number(r));
         }
+        if let Some(b) = self.rss_peak_bytes {
+            let _ = write!(out, ",\"rss_peak_bytes\":{b}");
+        }
         out.push('}');
         out
     }
@@ -200,8 +215,9 @@ impl BenchRecord {
 
 /// Parses one JSON line back into a [`BenchRecord`], strictly: every key of
 /// the schema must appear exactly once (`mean_interval_width`,
-/// `tuples_per_second`, and `p50_refresh_seconds` are optional), unknown
-/// keys, trailing garbage, and non-finite numbers are errors. This is
+/// `tuples_per_second`, `p50_refresh_seconds`, and `rss_peak_bytes` are
+/// optional), unknown keys, trailing garbage, and non-finite numbers are
+/// errors. This is
 /// the schema check behind the `validate_bench_json` CI bin, so it
 /// deliberately rejects anything [`BenchRecord::to_json`] would not emit.
 pub fn parse_bench_record(line: &str) -> Result<BenchRecord, String> {
@@ -213,6 +229,7 @@ pub fn parse_bench_record(line: &str) -> Result<BenchRecord, String> {
     let mut mean_interval_width: Option<f64> = None;
     let mut tuples_per_second: Option<f64> = None;
     let mut p50_refresh_seconds: Option<f64> = None;
+    let mut rss_peak_bytes: Option<u64> = None;
 
     p.expect(b'{')?;
     loop {
@@ -237,6 +254,15 @@ pub fn parse_bench_record(line: &str) -> Result<BenchRecord, String> {
             }
             "p50_refresh_seconds" => {
                 set_once(&mut p50_refresh_seconds, p.parse_number()?, &key)?;
+            }
+            "rss_peak_bytes" => {
+                let n = p.parse_number()?;
+                if n < 0.0 || n.fract() != 0.0 {
+                    return Err(format!(
+                        "\"rss_peak_bytes\" must be a non-negative integer, got {n}"
+                    ));
+                }
+                set_once(&mut rss_peak_bytes, n as u64, &key)?;
             }
             other => return Err(format!("unknown key {other:?}")),
         }
@@ -271,6 +297,7 @@ pub fn parse_bench_record(line: &str) -> Result<BenchRecord, String> {
         mean_interval_width,
         tuples_per_second,
         p50_refresh_seconds,
+        rss_peak_bytes,
     })
 }
 
@@ -553,6 +580,7 @@ mod tests {
             mean_interval_width: None,
             tuples_per_second: None,
             p50_refresh_seconds: None,
+            rss_peak_bytes: None,
         };
         let line = r.to_json();
         assert!(line.starts_with('{') && line.ends_with('}'));
@@ -574,6 +602,7 @@ mod tests {
                 mean_interval_width: None,
                 tuples_per_second: None,
                 p50_refresh_seconds: None,
+                rss_peak_bytes: None,
             },
             BenchRecord {
                 name: "resume/suite/resume".into(),
@@ -583,6 +612,7 @@ mod tests {
                 mean_interval_width: Some(0.125),
                 tuples_per_second: None,
                 p50_refresh_seconds: None,
+                rss_peak_bytes: None,
             },
             BenchRecord {
                 name: "streaming/refresh/incremental".into(),
@@ -592,6 +622,17 @@ mod tests {
                 mean_interval_width: None,
                 tuples_per_second: Some(12_500.0),
                 p50_refresh_seconds: Some(8e-4),
+                rss_peak_bytes: None,
+            },
+            BenchRecord {
+                name: "storage/ingest/disk".into(),
+                p50_seconds: 0.5,
+                converged_fraction: 1.0,
+                samples: 3,
+                mean_interval_width: None,
+                tuples_per_second: Some(90_000.0),
+                p50_refresh_seconds: None,
+                rss_peak_bytes: Some(48 * 1024 * 1024),
             },
         ];
         for r in &records {
@@ -637,6 +678,14 @@ mod tests {
             (
                 r#"{"name":"a","p50_seconds":1,"converged_fraction":1,"samples":2,"p50_refresh_seconds":-1}"#,
                 "negative p50_refresh_seconds",
+            ),
+            (
+                r#"{"name":"a","p50_seconds":1,"converged_fraction":1,"samples":2,"rss_peak_bytes":-8}"#,
+                "negative rss_peak_bytes",
+            ),
+            (
+                r#"{"name":"a","p50_seconds":1,"converged_fraction":1,"samples":2,"rss_peak_bytes":1.5}"#,
+                "fractional rss_peak_bytes",
             ),
         ] {
             assert!(parse_bench_record(bad).is_err(), "accepted {why}: {bad}");

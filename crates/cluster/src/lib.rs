@@ -115,6 +115,11 @@ pub struct ShardStats {
     /// from an earlier refinement round instead of recompiling it from
     /// scratch (deterministic d-tree methods under a deadline only).
     pub resumed: usize,
+    /// Resumptions of a suspended frontier whose previous slice ran on a
+    /// *different* shard — handles that a work steal (or refinement
+    /// re-scoring) carried across the shard boundary instead of recompiling
+    /// the item on the thief.
+    pub migrated: usize,
     /// Sum of the per-item algorithm times this worker spent.
     pub compute: Duration,
     /// Cache-effectiveness deltas for this shard's private cache. All zeros
@@ -177,6 +182,12 @@ impl ClusterBatchResult {
     /// frontier instead of recompiling (refinement rounds only).
     pub fn total_resumed(&self) -> usize {
         self.shards.iter().map(|s| s.resumed).sum()
+    }
+
+    /// Total number of suspended-frontier migrations: resumptions where the
+    /// handle's previous slice ran on a different shard.
+    pub fn total_migrated(&self) -> usize {
+        self.shards.iter().map(|s| s.migrated).sum()
     }
 
     /// Flattens the cluster result into the unsharded engine's
@@ -429,6 +440,7 @@ impl ClusterEngine {
                 executed: acc.executed,
                 stolen: acc.stolen,
                 resumed: acc.resumed,
+                migrated: acc.migrated,
                 compute: acc.compute,
                 cache: match self.topology {
                     CacheTopology::PerShard => deltas.get(shard).cloned().unwrap_or_default(),
@@ -615,6 +627,7 @@ impl ClusterEngine {
                 executed: acc.executed,
                 stolen: acc.stolen,
                 resumed: acc.resumed,
+                migrated: acc.migrated,
                 compute: acc.compute,
                 cache: match self.topology {
                     CacheTopology::PerShard => deltas_stats.get(shard).cloned().unwrap_or_default(),

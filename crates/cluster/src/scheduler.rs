@@ -118,7 +118,22 @@ pub(crate) struct ShardAccum {
     /// Executions served by resuming a suspended d-tree frontier instead of
     /// recompiling the item from scratch.
     pub resumed: usize,
+    /// Resumptions of a frontier whose previous slice ran on a *different*
+    /// shard — suspended handles that work stealing (or refinement
+    /// re-scoring) carried across the shard boundary.
+    pub migrated: usize,
     pub compute: Duration,
+}
+
+/// One item's suspended-frontier slot: the handle (if any run parked one)
+/// plus the shard whose worker last ran it. Steal-with-handle migration:
+/// when a stealing worker resumes a handle owned by another shard, the
+/// handle — not just the item — moves with the steal, and the hop is
+/// counted as a migration before ownership rebinds to the thief.
+#[derive(Debug, Default)]
+pub(crate) struct HandleSlot {
+    pub handle: Option<ResumableConfidence>,
+    pub owner: Option<usize>,
 }
 
 /// Outcome of the scheduling run.
@@ -177,8 +192,12 @@ pub(crate) fn execute(
     // resumes it — monotone tightening, no recompilation. Slots stay `None`
     // for Monte-Carlo methods and unscheduled duplicates; converged handles
     // are kept (nothing re-runs them, and the caller harvests them).
-    let handles: Vec<Mutex<Option<ResumableConfidence>>> =
-        initial_handles.into_iter().map(Mutex::new).collect();
+    // Seeded handles (maintenance pools) start unowned: their first resume
+    // on any shard is a warm start, not a migration.
+    let handles: Vec<Mutex<HandleSlot>> = initial_handles
+        .into_iter()
+        .map(|handle| Mutex::new(HandleSlot { handle, owner: None }))
+        .collect();
 
     // Round-1 order comes from the structural hardness scores; refinement
     // rounds re-score stragglers by their remaining bound width below.
@@ -230,7 +249,7 @@ pub(crate) fn execute(
         rounds,
         handles: handles
             .into_iter()
-            .map(|m| m.into_inner().expect("resume handle poisoned"))
+            .map(|m| m.into_inner().expect("resume handle poisoned").handle)
             .collect(),
     }
 }
@@ -241,7 +260,7 @@ fn run_round(
     pending: &[Vec<usize>],
     results: &mut [Option<ConfidenceResult>],
     accums: &mut [ShardAccum],
-    handles: &[Mutex<Option<ResumableConfidence>>],
+    handles: &[Mutex<HandleSlot>],
 ) {
     let total: usize = pending.iter().map(Vec::len).sum();
     if total == 0 {
@@ -259,9 +278,10 @@ fn run_round(
             for &i in queue {
                 let item_deadline = slice_deadline(ctx.deadline, left.max(1), 1);
                 left -= 1;
-                let (r, resumed) = run_one(ctx, i, shard, item_deadline, handles);
+                let (r, resumed, migrated) = run_one(ctx, i, shard, item_deadline, handles);
                 accums[shard].executed += 1;
                 accums[shard].resumed += usize::from(resumed);
+                accums[shard].migrated += usize::from(migrated);
                 accums[shard].compute += r.elapsed;
                 match &results[i] {
                     Some(old) if !improves(&r, old) => {}
@@ -295,10 +315,11 @@ fn run_round(
                     let item_deadline = slice_deadline(ctx.deadline, left, workers);
                     unstarted.fetch_sub(1, Ordering::Relaxed);
 
-                    let (r, resumed) = run_one(ctx, i, w, item_deadline, handles);
+                    let (r, resumed, migrated) = run_one(ctx, i, w, item_deadline, handles);
                     local.executed += 1;
                     local.stolen += usize::from(stolen);
                     local.resumed += usize::from(resumed);
+                    local.migrated += usize::from(migrated);
                     local.compute += r.elapsed;
                     let mut slots = out.lock().expect("result slots poisoned");
                     match &slots[i] {
@@ -310,6 +331,7 @@ fn run_round(
                 acc.executed += local.executed;
                 acc.stolen += local.stolen;
                 acc.resumed += local.resumed;
+                acc.migrated += local.migrated;
                 acc.compute += local.compute;
             });
         }
@@ -327,19 +349,24 @@ fn run_round(
 /// runs, keeping the no-deadline cluster bit-identical to the unsharded
 /// engine with zero capture overhead.
 ///
-/// Returns `(result, resumed)`. Resumed slices do **not** feed the hardness
-/// estimator: its calibration maps whole-lineage features to whole-run work,
-/// and a slice's partial counters would drag the bucket factor down.
+/// Returns `(result, resumed, migrated)`. Resumed slices do **not** feed the
+/// hardness estimator: its calibration maps whole-lineage features to
+/// whole-run work, and a slice's partial counters would drag the bucket
+/// factor down. `migrated` is set when the resumed frontier's previous slice
+/// ran on a different shard — the handle moved with the steal.
 fn run_one(
     ctx: &RunContext<'_>,
     i: usize,
     shard: usize,
     item_deadline: Option<Instant>,
-    handles: &[Mutex<Option<ResumableConfidence>>],
-) -> (ConfidenceResult, bool) {
+    handles: &[Mutex<HandleSlot>],
+) -> (ConfidenceResult, bool, bool) {
     let cache = ctx.caches[shard];
-    let mut slot = handles[i].lock().expect("resume handle poisoned");
-    if let Some(handle) = slot.as_mut() {
+    let mut guard = handles[i].lock().expect("resume handle poisoned");
+    let slot = &mut *guard;
+    if let Some(handle) = slot.handle.as_mut() {
+        let migrated = slot.owner.is_some_and(|o| o != shard);
+        slot.owner = Some(shard);
         let r = match item_deadline {
             Some(d) => handle.resume_until(ctx.space, d, cache),
             None => handle.resume(
@@ -354,9 +381,9 @@ fn run_one(
         // and the caller harvests the fully refined frontier — the cheapest
         // substrate for the *next* delta.
         if handle.failed() {
-            *slot = None;
+            slot.handle = None;
         }
-        return (r, true);
+        return (r, true, migrated);
     }
     let r = if ctx.capture {
         let (r, handle) = ctx.engine.compute_item_resumable(
@@ -367,7 +394,8 @@ fn run_one(
             item_deadline,
             cache,
         );
-        *slot = handle;
+        slot.handle = handle;
+        slot.owner = Some(shard);
         r
     } else {
         ctx.engine.compute_item(ctx.lineages[i], ctx.space, ctx.origins, i, item_deadline, cache)
@@ -375,7 +403,7 @@ fn run_one(
     if let Some(stats) = &r.stats {
         ctx.estimator.observe(&ctx.features[i], stats);
     }
-    (r, false)
+    (r, false, false)
 }
 
 /// The per-item deadline: now plus this item's proportional share of the
@@ -497,6 +525,66 @@ mod tests {
         // A healthy share passes through as a future deadline.
         let d = slice_deadline(Some(now + Duration::from_secs(10)), 10, 1).unwrap();
         assert!(d > Instant::now());
+    }
+
+    #[test]
+    fn stolen_handles_migrate_between_shards_and_are_counted() {
+        use events::Clause;
+        use pdb::confidence::ConfidenceMethod;
+
+        let mut space = ProbabilitySpace::new();
+        let vars: Vec<_> =
+            (0..6).map(|i| space.add_bool(format!("x{i}"), 0.3 + 0.05 * i as f64)).collect();
+        let lineage = Dnf::from_clauses(
+            (0..5).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])).collect::<Vec<_>>(),
+        );
+        let lineages = vec![&lineage];
+        let features = vec![LineageFeatures::of(&lineage)];
+        let scores = vec![1.0];
+        let engine = ConfidenceEngine::new(ConfidenceMethod::DTreeAbsolute(1e-6)).with_threads(1);
+        let estimator = HardnessEstimator::new();
+        let ctx = RunContext {
+            lineages: &lineages,
+            space: &space,
+            origins: None,
+            features: &features,
+            scores: &scores,
+            engine: &engine,
+            estimator: &estimator,
+            caches: &[None, None],
+            policy: SchedulePolicy::HardestFirst,
+            deadline: None,
+            max_rounds: 1,
+            max_work: None,
+            capture: true,
+        };
+        let handles = vec![Mutex::new(HandleSlot::default())];
+        let mut results = vec![None];
+        let mut accums = vec![ShardAccum::default(); 2];
+
+        // Round 1: shard 0 runs the item fresh and parks its frontier.
+        run_round(&ctx, &[vec![0], vec![]], &mut results, &mut accums, &handles);
+        assert_eq!(accums[0].executed, 1);
+        assert_eq!(accums[0].migrated, 0, "a fresh run is not a migration");
+        {
+            let slot = handles[0].lock().unwrap();
+            assert!(slot.handle.is_some(), "capture must park a frontier");
+            assert_eq!(slot.owner, Some(0));
+        }
+
+        // Round 2: the item is pending only on shard 1 (as after a steal) —
+        // the suspended handle moves with it and the hop counts as a
+        // migration before ownership rebinds to the thief.
+        run_round(&ctx, &[vec![], vec![0]], &mut results, &mut accums, &handles);
+        assert_eq!(accums[1].executed, 1);
+        assert_eq!(accums[1].resumed, 1, "the migrated handle must resume, not recompile");
+        assert_eq!(accums[1].migrated, 1, "a cross-shard resume is a migration");
+        assert_eq!(handles[0].lock().unwrap().owner, Some(1));
+
+        // Round 3: resuming on the now-owning shard again is no migration.
+        run_round(&ctx, &[vec![], vec![0]], &mut results, &mut accums, &handles);
+        assert_eq!(accums[1].resumed, 2);
+        assert_eq!(accums[1].migrated, 1, "same-shard resumes must not count");
     }
 
     #[test]

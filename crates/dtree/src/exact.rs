@@ -53,6 +53,27 @@ pub fn exact_probability(
     exact_probability_view(&mut arena, &root, space, opts)
 }
 
+/// Computes the exact probability of a lineage supplied as a **clause
+/// stream** — e.g. clauses decoded one tuple at a time out of a disk-backed
+/// table — without ever materializing an owned [`Dnf`]. The stream is
+/// interned straight into a fresh arena
+/// ([`LineageArena::intern_clause_stream`]) and evaluated in place, so peak
+/// memory holds the interned (deduplicated) formula, never the raw clause
+/// vector. Bit-identical to collecting the stream into a [`Dnf`] and calling
+/// [`exact_probability`].
+pub fn exact_probability_stream<I>(
+    clauses: I,
+    space: &ProbabilitySpace,
+    opts: &CompileOptions,
+) -> ExactResult
+where
+    I: IntoIterator<Item = events::Clause>,
+{
+    let mut arena = LineageArena::new();
+    let root = arena.intern_clause_stream(clauses);
+    exact_probability_view(&mut arena, &root, space, opts)
+}
+
 /// [`exact_probability`] on an already-interned view — the zero-copy entry
 /// point for callers that hold an arena (the batch engine interns each
 /// lineage once and evaluates everything against it).
@@ -233,6 +254,22 @@ mod tests {
         let r = exact_probability(&phi, &s, &CompileOptions::default());
         assert!((r.probability - 0.8456).abs() < 1e-12);
         assert!(r.stats.total_nodes() > 0);
+    }
+
+    #[test]
+    fn stream_entry_point_is_bit_identical_to_owned_dnf() {
+        let (s, vars) = bool_space(&[0.3, 0.2, 0.7, 0.8, 0.45]);
+        let clauses: Vec<Clause> = vec![
+            Clause::from_bools(&[vars[0], vars[1]]),
+            Clause::from_bools(&[vars[0], vars[2]]),
+            // Duplicate + unsorted input: the stream interner canonicalizes.
+            Clause::from_bools(&[vars[2], vars[0]]),
+            Clause::from_bools(&[vars[3], vars[4]]),
+        ];
+        let owned =
+            exact_probability(&Dnf::from_clauses(clauses.clone()), &s, &CompileOptions::default());
+        let streamed = exact_probability_stream(clauses, &s, &CompileOptions::default());
+        assert_eq!(streamed.probability.to_bits(), owned.probability.to_bits());
     }
 
     #[test]

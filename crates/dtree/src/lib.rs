@@ -76,7 +76,7 @@ pub use bounds::{
 pub use cache::{CacheStats, SubformulaCache};
 pub use compile::{compile, CompileOptions};
 pub use exact::{
-    exact_probability, exact_probability_cached, exact_probability_view,
+    exact_probability, exact_probability_cached, exact_probability_stream, exact_probability_view,
     exact_probability_view_cached, ExactResult,
 };
 pub use node::DTree;

@@ -141,6 +141,39 @@ impl LineageArena {
         DnfView { ids }
     }
 
+    /// Interns a **stream** of clauses in arbitrary order — the entry point
+    /// for lineage construction that never materialises a `Vec<Clause>` (or
+    /// an owned [`Dnf`]) first: query evaluation and storage-layer run
+    /// iterators feed clauses one at a time as tuples stream by.
+    ///
+    /// Normalisation matches [`Dnf::from_clauses`]: inconsistent clauses are
+    /// dropped, duplicate contents collapse, and the view's canonical-order
+    /// invariant is maintained by binary insertion — so the returned view is
+    /// bit-identical (materialisation and hash) to interning
+    /// `Dnf::from_clauses(stream.collect())`, without the intermediate
+    /// collection. Growing an existing view instead of starting fresh is
+    /// [`LineageArena::append_clauses`], which additionally reports the
+    /// [`LineageDelta`].
+    pub fn intern_clause_stream<I>(&mut self, clauses: I) -> DnfView
+    where
+        I: IntoIterator<Item = Clause>,
+    {
+        let mut view = DnfView::empty();
+        for clause in clauses {
+            if !clause.is_consistent() {
+                continue;
+            }
+            match view.ids.binary_search_by(|&e| self.clause_atoms(e).cmp(clause.atoms())) {
+                Ok(_) => continue, // content already present
+                Err(pos) => {
+                    let id = self.push_clause(clause.atoms());
+                    view.ids.insert(pos, id);
+                }
+            }
+        }
+        view
+    }
+
     /// Interns an already-sorted, deduplicated, consistent clause sequence
     /// (e.g. a product-factorization factor, which arrives sorted out of a
     /// `BTreeSet`), returning a view over it.
@@ -1060,6 +1093,32 @@ mod tests {
         assert!(again.is_empty());
         assert_eq!(again.len_after(), grown.len());
         assert_matches(&arena, &view, &grown);
+    }
+
+    /// Stream interning — clauses arriving one at a time, unsorted, with
+    /// duplicates and inconsistencies mixed in — lands on exactly the view
+    /// that collecting everything into `Dnf::from_clauses` would produce.
+    #[test]
+    fn intern_clause_stream_is_bit_identical_to_collected_intern() {
+        let (_, vars) = bool_space(&[0.5; 8]);
+        let stream = vec![
+            Clause::from_bools(&[vars[5], vars[6]]),
+            Clause::from_bools(&[vars[0], vars[1]]),
+            Clause::from_bools(&[vars[0], vars[7]]),
+            // Duplicate content: must collapse.
+            Clause::from_bools(&[vars[1], vars[0]]),
+            // Inconsistent: must be dropped.
+            Clause::from_atoms(vec![Atom::pos(vars[2]), Atom::neg(vars[2])]),
+            Clause::from_bools(&[vars[3]]),
+        ];
+        let mut arena = LineageArena::new();
+        let streamed = arena.intern_clause_stream(stream.iter().cloned());
+        let collected = Dnf::from_clauses(stream);
+        assert_matches(&arena, &streamed, &collected);
+        assert_eq!(streamed.hash(&arena), collected.canonical_hash());
+        // The empty stream is the constant-false view.
+        let empty = arena.intern_clause_stream(std::iter::empty());
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -128,6 +128,35 @@ impl ProbabilitySpace {
         self.claimed = std::sync::Arc::new(AtomicU64::new(self.vars.len() as u64));
     }
 
+    /// Restores a previously issued generation fingerprint — the **recovery
+    /// epoch** path for durable storage layers.
+    ///
+    /// A write-ahead log that records the generation value at every
+    /// invalidation point can, after a crash, rebuild a space whose variables
+    /// match the pre-crash state exactly; calling this with the logged value
+    /// then makes the recovered space indistinguishable from the original to
+    /// every `(generation, watermark)`-tagged cache, so warm entries keep
+    /// serving across the restart. The process-wide generation counter is
+    /// advanced past the restored value, preserving the global-uniqueness
+    /// guarantee: no *future* invalidation of any space can re-issue it.
+    ///
+    /// The caller asserts that this space's variables are byte-for-byte the
+    /// state the generation was originally issued for (same names, same
+    /// distributions, same order). Restoring a generation onto a *different*
+    /// state would let caches serve entries for the wrong distribution —
+    /// exactly what generations exist to prevent — so only replay paths that
+    /// reconstruct the state exactly may call this.
+    pub fn restore_generation(&mut self, generation: u64) {
+        // `fetch_max` (not `store`): concurrent spaces may have drawn later
+        // generations already, and the counter must never move backwards.
+        NEXT_GENERATION.fetch_max(generation + 1, Ordering::SeqCst);
+        self.generation = generation;
+        // The recovered space starts its own clone family at the current
+        // variable count, exactly like `invalidate` does: appends continue
+        // from here, divergent clones are still detected.
+        self.claimed = std::sync::Arc::new(AtomicU64::new(self.vars.len() as u64));
+    }
+
     /// Number of variables in the space.
     #[inline]
     pub fn num_vars(&self) -> usize {
@@ -390,6 +419,36 @@ mod tests {
         let g = b.generation();
         b.add_bool("more", 0.4);
         assert_eq!(b.generation(), g);
+    }
+
+    /// The recovery-epoch path: a replayed space that reconstructs the exact
+    /// pre-crash state restores the exact pre-crash generation, and the
+    /// global counter still never re-issues it.
+    #[test]
+    fn restore_generation_revives_the_epoch_without_reissuing_it() {
+        let mut original = ProbabilitySpace::new();
+        original.add_bool("x", 0.3);
+        original.invalidate();
+        original.add_bool("y", 0.6);
+        let g = original.generation();
+        let w = original.watermark();
+        // Replay: rebuild the same variables, then restore the logged epoch.
+        let mut recovered = ProbabilitySpace::new();
+        recovered.add_bool("x", 0.3);
+        recovered.add_bool("y", 0.6);
+        assert_ne!(recovered.generation(), g, "fresh spaces never share generations");
+        recovered.restore_generation(g);
+        assert_eq!(recovered.generation(), g);
+        assert_eq!(recovered.watermark(), w);
+        // Appends after recovery keep the restored generation (append-only
+        // growth semantics are unchanged) …
+        recovered.add_bool("z", 0.5);
+        assert_eq!(recovered.generation(), g);
+        // … and no later invalidation of any space can re-issue the restored
+        // value: the global counter was advanced past it.
+        let mut other = ProbabilitySpace::new();
+        other.invalidate();
+        assert!(other.generation() > g);
     }
 
     #[test]

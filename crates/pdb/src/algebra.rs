@@ -130,7 +130,7 @@ mod tests {
     fn selection_filters_without_touching_lineage() {
         let db = figure_5_database();
         let e = db.table("E").unwrap();
-        let from5 = select(e, &|vals| vals[0] == Value::Int(5));
+        let from5 = select(&e, &|vals| vals[0] == Value::Int(5));
         assert_eq!(from5.len(), 2);
         assert_eq!(from5.tuples[0].lineage, e.tuples[0].lineage);
     }
@@ -141,7 +141,7 @@ mod tests {
         let e = db.table("E").unwrap();
         // Project onto the source column: node 5 has two outgoing edges, so
         // its lineage becomes e1 ∨ e2.
-        let sources = project(e, &[0], "sources");
+        let sources = project(&e, &[0], "sources");
         assert_eq!(sources.len(), 3);
         let five = sources.tuples.iter().find(|t| t.values[0] == Value::Int(5)).unwrap();
         assert_eq!(five.lineage.len(), 2);
@@ -154,7 +154,7 @@ mod tests {
         let db = figure_5_database();
         let e = db.table("E").unwrap();
         // Path of length 2: E(u, v) ⋈ E(v, w).
-        let paths = join(e, e, &[(1, 0)], "paths2");
+        let paths = join(&e, &e, &[(1, 0)], "paths2");
         // Edges into 7 are (5,7) and (6,7); edges out of 7: (7,17). Edges into
         // 6/5/11/17 with outgoing: only via v=6 none (no edge with u=11/17).
         // So expected join partners: (5,7)-(7,17) and (6,7)-(7,17).
@@ -170,7 +170,7 @@ mod tests {
     fn theta_join_supports_inequalities() {
         let db = figure_5_database();
         let e = db.table("E").unwrap();
-        let lt = theta_join(e, e, &|l, r| l[1] < r[1], "lt");
+        let lt = theta_join(&e, &e, &|l, r| l[1] < r[1], "lt");
         assert!(!lt.is_empty());
         for t in &lt.tuples {
             assert!(t.values[1] < t.values[3]);
@@ -181,7 +181,7 @@ mod tests {
     fn union_merges_duplicates() {
         let db = figure_5_database();
         let e = db.table("E").unwrap();
-        let u = union(e, e, "both");
+        let u = union(&e, &e, "both");
         // Union with itself: same tuples, lineage unchanged (φ ∨ φ = φ).
         assert_eq!(u.len(), e.len());
         let p_before: f64 = e.tuples[0].probability(db.space());
@@ -194,8 +194,8 @@ mod tests {
     fn union_rejects_mismatched_arity() {
         let db = figure_5_database();
         let e = db.table("E").unwrap();
-        let proj = project(e, &[0], "p");
-        let _ = union(e, &proj, "bad");
+        let proj = project(&e, &[0], "p");
+        let _ = union(&e, &proj, "bad");
     }
 
     /// End-to-end: the triangle query of Section VI-A on the Figure-5 graph.
@@ -207,10 +207,10 @@ mod tests {
         let e = db.table("E").unwrap();
         // n1(u,v) ⋈ n2(u=v of n1) ⋈ n3 closing the triangle, with u < v < w
         // enforced by the edge direction in the table.
-        let n1n2 = join(e, e, &[(1, 0)], "n1n2");
+        let n1n2 = join(&e, &e, &[(1, 0)], "n1n2");
         // Columns: n1.u, n1.v, n2.u, n2.v — close the triangle with an edge
         // (n1.u, n2.v).
-        let tri = theta_join(&n1n2, e, &|l, r| l[0] == r[0] && l[3] == r[1], "triangle");
+        let tri = theta_join(&n1n2, &e, &|l, r| l[0] == r[0] && l[3] == r[1], "triangle");
         assert_eq!(tri.len(), 1);
         let lineage = tri.boolean_lineage();
         assert_eq!(lineage.len(), 1);

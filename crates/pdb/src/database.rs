@@ -1,11 +1,15 @@
 //! Probabilistic databases: collections of tuple-independent and
-//! block-independent-disjoint tables over one shared probability space.
+//! block-independent-disjoint tables over one shared probability space,
+//! backed by a pluggable [`TableStore`].
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
+use std::path::Path;
 
-use events::{Atom, Clause, Dnf, ProbabilitySpace, VarId, VarOrigins};
+use events::{Atom, Clause, Dnf, DnfView, LineageArena, ProbabilitySpace, VarId, VarOrigins};
 
 use crate::relation::{AnnotatedTuple, Relation, Schema};
+use crate::storage::{DiskStore, HeapStore, StorageError, StorageStats, TableStore};
 use crate::value::Value;
 
 /// A probabilistic database (Section VI-A of the paper, Figure 5).
@@ -22,19 +26,104 @@ use crate::value::Value;
 /// with the table it originates from ([`Database::origins`]) — the metadata
 /// that powers the independent-and factorization and the tractable
 /// elimination orders of the d-tree algorithms.
-#[derive(Debug, Clone, Default)]
+///
+/// Tuples live in a [`TableStore`]: the default heap store keeps decoded
+/// relations in RAM, while [`Database::open_disk`] backs the database with
+/// the LSM-style [`DiskStore`] (WAL + memtable + sorted runs) so tables can
+/// outgrow the heap and survive restarts with their exact cache generation
+/// (see [`Database::generation`]).
+///
+/// # Storage failures
+///
+/// Mutating methods treat storage-layer failures (WAL write errors, flush
+/// I/O errors) as fatal and panic: a database whose durability log diverged
+/// from its in-memory state has no sound continuation.
+#[derive(Debug)]
 pub struct Database {
     space: ProbabilitySpace,
-    tables: BTreeMap<String, Relation>,
+    store: Box<dyn TableStore>,
     table_ids: BTreeMap<String, u32>,
     origins: VarOrigins,
     next_table_id: u32,
 }
 
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            space: ProbabilitySpace::new(),
+            store: Box::new(HeapStore::new()),
+            table_ids: BTreeMap::new(),
+            origins: VarOrigins::new(),
+            next_table_id: 0,
+        }
+    }
+}
+
+impl Clone for Database {
+    /// Cloning yields an independent database: heap-backed clones copy their
+    /// tables; a disk-backed clone **materializes to a heap snapshot**
+    /// (two handles must never share one WAL). Either way the clones share
+    /// the probability space's generation protocol, so divergence through
+    /// table *replacement* on either side re-generations that side and can
+    /// never serve the other side's cache entries.
+    fn clone(&self) -> Self {
+        Database {
+            space: self.space.clone(),
+            store: self.store.clone_box(),
+            table_ids: self.table_ids.clone(),
+            origins: self.origins.clone(),
+            next_table_id: self.next_table_id,
+        }
+    }
+}
+
+/// Panics on storage failure — see the [`Database`] docs.
+fn commit<T>(result: Result<T, StorageError>) -> T {
+    result.unwrap_or_else(|e| panic!("storage engine failure: {e}"))
+}
+
 impl Database {
-    /// Creates an empty database.
+    /// Creates an empty heap-backed database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// Opens (or initializes) a disk-backed database in `dir` with the given
+    /// memtable byte budget.
+    ///
+    /// On an existing directory this **recovers** the pre-crash state: the
+    /// WAL is replayed to rebuild the probability space variable-for-variable
+    /// (bit-identical distributions and `VarId`s, hence the exact watermark),
+    /// tables and their row counts are restored from runs + WAL tail, and the
+    /// last logged epoch is restored via
+    /// [`ProbabilitySpace::restore_generation`] — so the recovered space
+    /// carries the exact generation fingerprint of the pre-crash one and
+    /// warm [`dtree::SubformulaCache`] entries keyed against it remain
+    /// servable.
+    pub fn open_disk(dir: impl AsRef<Path>, memtable_budget: usize) -> Result<Self, StorageError> {
+        let (store, meta) = DiskStore::open(dir.as_ref(), memtable_budget)?;
+        let mut space = ProbabilitySpace::new();
+        let mut origins = VarOrigins::new();
+        for (name, distribution, origin) in &meta.vars {
+            let v = space.try_add_discrete(name.clone(), distribution.clone()).map_err(|e| {
+                StorageError::Corrupt(format!("invalid logged distribution for {name:?}: {e}"))
+            })?;
+            if let Some(o) = origin {
+                origins.set(v, *o);
+            }
+        }
+        if let Some(g) = meta.generation {
+            space.restore_generation(g);
+        }
+        let table_ids: BTreeMap<String, u32> = meta.table_ids.iter().cloned().collect();
+        let next_table_id = table_ids.values().max().map_or(0, |m| m + 1);
+        let mut db = Database { space, store: Box::new(store), table_ids, origins, next_table_id };
+        if meta.generation.is_none() {
+            // Brand-new store: log the initial epoch so the very first
+            // recovery can already restore an exact generation.
+            db.store.log_epoch(db.space.generation())?;
+        }
+        Ok(db)
     }
 
     /// The shared probability space.
@@ -53,6 +142,11 @@ impl Database {
     /// [`Database::invalidate_caches`]) is a genuine in-place change and
     /// advances the generation, retiring every previous entry: after such a
     /// change, cached probabilities from before it can never be served again.
+    ///
+    /// For disk-backed databases the fingerprint doubles as the **recovery
+    /// epoch**: every generation change is logged to the WAL, and
+    /// [`Database::open_disk`] restores the last one exactly, so warm-cache
+    /// semantics survive a restart.
     pub fn generation(&self) -> u64 {
         self.space.generation()
     }
@@ -64,6 +158,7 @@ impl Database {
     /// access in an extension).
     pub fn invalidate_caches(&mut self) {
         self.space.invalidate();
+        commit(self.store.log_epoch(self.space.generation()));
     }
 
     /// Variable origin labels (variable → table id).
@@ -73,12 +168,40 @@ impl Database {
 
     /// Names of all tables.
     pub fn table_names(&self) -> Vec<&str> {
-        self.tables.keys().map(|s| s.as_str()).collect()
+        self.store.table_names()
     }
 
-    /// Looks up a table by name.
-    pub fn table(&self, name: &str) -> Option<&Relation> {
-        self.tables.get(name)
+    /// Materializes a table by name as an owned [`Relation`] snapshot.
+    ///
+    /// Heap-backed databases return a clone of the stored relation;
+    /// disk-backed ones decode every row. For large disk tables prefer
+    /// [`Database::scan`], which streams tuples without materializing the
+    /// relation.
+    pub fn table(&self, name: &str) -> Option<Relation> {
+        self.store.materialize(name)
+    }
+
+    /// Streams a table's tuples in insertion order without materializing the
+    /// relation: borrowed from the heap store, decoded row-by-row from disk
+    /// runs (resident memory stays bounded by the memtable budget). Unknown
+    /// tables yield an empty stream.
+    pub fn scan<'a>(&'a self, name: &str) -> impl Iterator<Item = Cow<'a, AnnotatedTuple>> + 'a {
+        self.store.scan(name)
+    }
+
+    /// Streams the clauses of a table's *Boolean* lineage (the disjunction
+    /// of all tuple lineages) straight into `arena` — the out-of-core
+    /// counterpart of [`Relation::boolean_lineage`]: only interned clause
+    /// ids accumulate in memory, never the decoded tuples.
+    pub fn scan_boolean_lineage(&self, name: &str, arena: &mut LineageArena) -> DnfView {
+        arena.intern_clause_stream(
+            self.scan(name).flat_map(|t| t.into_owned().lineage.into_clauses()),
+        )
+    }
+
+    /// The schema of a table, if it exists.
+    pub fn schema(&self, name: &str) -> Option<&Schema> {
+        self.store.schema(name)
     }
 
     /// Numeric id assigned to a table (used as the variable-origin group).
@@ -88,7 +211,20 @@ impl Database {
 
     /// Total number of tuples across all tables.
     pub fn total_tuples(&self) -> usize {
-        self.tables.values().map(|r| r.len()).sum()
+        self.store.table_names().iter().map(|n| self.store.table_len(n)).sum()
+    }
+
+    /// Storage-layer resource counters (memtable bytes, WAL length, runs,
+    /// flush/compaction counts). Heap-backed databases report only
+    /// table/row counts.
+    pub fn storage_stats(&self) -> StorageStats {
+        self.store.stats()
+    }
+
+    /// Forces buffered storage state down: drains the memtable into a run
+    /// and fsyncs the WAL. No-op for heap-backed databases.
+    pub fn sync_storage(&mut self) {
+        commit(self.store.sync());
     }
 
     fn register_table(&mut self, name: &str) -> u32 {
@@ -98,15 +234,42 @@ impl Database {
         // insert is still correct — the generation survives and warm cache
         // entries keep serving (watermark-scoped invalidation; see
         // [`ProbabilitySpace::watermark`]). Replacing an existing table is a
-        // genuine in-place change and retires everything.
-        if self.table_ids.contains_key(name) {
+        // genuine in-place change and retires everything; the new generation
+        // is logged as the store's recovery epoch.
+        if let Some(&id) = self.table_ids.get(name) {
             self.space.invalidate();
-            return self.table_ids[name];
+            commit(self.store.log_epoch(self.space.generation()));
+            return id;
         }
         let id = self.next_table_id;
         self.table_ids.insert(name.to_owned(), id);
         self.next_table_id += 1;
         id
+    }
+
+    /// Creates (or replaces) a tuple-independent table and returns a
+    /// [`TupleWriter`] that streams rows straight into the store — the
+    /// no-staging-`Vec` ingestion path the scaled workload generators use.
+    pub fn tuple_writer(&mut self, name: &str, columns: &[&str]) -> TupleWriter<'_> {
+        let table_id = self.register_table(name);
+        commit(self.store.create_table(Schema::new(name, columns), table_id));
+        TupleWriter { db: self, table: name.to_owned(), table_id, next_row: 0 }
+    }
+
+    /// A [`TupleWriter`] appending to an **existing** tuple-independent
+    /// table, continuing its `"{name}#{row}"` numbering — the streaming-
+    /// ingestion primitive behind
+    /// [`Database::append_tuple_independent_rows`].
+    ///
+    /// # Panics
+    /// Panics if no table of that name exists.
+    pub fn append_writer(&mut self, name: &str) -> TupleWriter<'_> {
+        let table_id = *self
+            .table_ids
+            .get(name)
+            .unwrap_or_else(|| panic!("append_writer: unknown table {name:?}"));
+        let next_row = self.store.table_len(name);
+        TupleWriter { db: self, table: name.to_owned(), table_id, next_row }
     }
 
     /// Adds a tuple-independent table: each row `(values, probability)` gets
@@ -119,23 +282,8 @@ impl Database {
         columns: &[&str],
         rows: Vec<(Vec<Value>, f64)>,
     ) -> Vec<Option<VarId>> {
-        let table_id = self.register_table(name);
-        let mut rel = Relation::empty(Schema::new(name, columns));
-        let mut vars = Vec::with_capacity(rows.len());
-        for (i, (values, p)) in rows.into_iter().enumerate() {
-            let lineage = if p >= 1.0 {
-                vars.push(None);
-                Dnf::tautology()
-            } else {
-                let v = self.space.add_bool(format!("{name}#{i}"), p);
-                self.origins.set(v, table_id);
-                vars.push(Some(v));
-                Dnf::literal(v)
-            };
-            rel.push(AnnotatedTuple::new(values, lineage));
-        }
-        self.tables.insert(name.to_owned(), rel);
-        vars
+        let mut writer = self.tuple_writer(name, columns);
+        rows.into_iter().map(|(values, p)| writer.push(values, p)).collect()
     }
 
     /// Appends rows to an **existing** tuple-independent table in place —
@@ -165,36 +313,20 @@ impl Database {
         name: &str,
         rows: Vec<(Vec<Value>, f64)>,
     ) -> Vec<Option<VarId>> {
-        let table_id = *self
-            .table_ids
-            .get(name)
-            .unwrap_or_else(|| panic!("append_tuple_independent_rows: unknown table {name:?}"));
-        let rel = self.tables.get_mut(name).expect("registered table must exist");
-        let start = rel.len();
-        let mut vars = Vec::with_capacity(rows.len());
-        for (i, (values, p)) in rows.into_iter().enumerate() {
-            let lineage = if p >= 1.0 {
-                vars.push(None);
-                Dnf::tautology()
-            } else {
-                let v = self.space.add_bool(format!("{name}#{}", start + i), p);
-                self.origins.set(v, table_id);
-                vars.push(Some(v));
-                Dnf::literal(v)
-            };
-            rel.push(AnnotatedTuple::new(values, lineage));
+        if !self.table_ids.contains_key(name) {
+            panic!("append_tuple_independent_rows: unknown table {name:?}");
         }
-        vars
+        let mut writer = self.append_writer(name);
+        rows.into_iter().map(|(values, p)| writer.push(values, p)).collect()
     }
 
     /// Adds a deterministic table (all tuples certain).
     pub fn add_deterministic_table(&mut self, name: &str, columns: &[&str], rows: Vec<Vec<Value>>) {
-        self.register_table(name);
-        let mut rel = Relation::empty(Schema::new(name, columns));
+        let table_id = self.register_table(name);
+        commit(self.store.create_table(Schema::new(name, columns), table_id));
         for values in rows {
-            rel.push(AnnotatedTuple::new(values, Dnf::tautology()));
+            commit(self.store.append(name, &AnnotatedTuple::new(values, Dnf::tautology())));
         }
-        self.tables.insert(name.to_owned(), rel);
     }
 
     /// Adds a block-independent-disjoint table. Each block is a list of
@@ -211,7 +343,7 @@ impl Database {
         blocks: Vec<Vec<(Vec<Value>, f64)>>,
     ) -> Vec<VarId> {
         let table_id = self.register_table(name);
-        let mut rel = Relation::empty(Schema::new(name, columns));
+        commit(self.store.create_table(Schema::new(name, columns), table_id));
         let mut block_vars = Vec::with_capacity(blocks.len());
         for (b, alternatives) in blocks.into_iter().enumerate() {
             assert!(!alternatives.is_empty(), "BID block must have at least one alternative");
@@ -231,6 +363,8 @@ impl Database {
                 None
             } else {
                 let v = self.space.add_discrete(format!("{name}@{b}"), distribution);
+                let info = self.space.info(v).expect("variable just added");
+                commit(self.store.log_variable(&info.name, &info.distribution, Some(table_id)));
                 self.origins.set(v, table_id);
                 Some(v)
             };
@@ -245,17 +379,58 @@ impl Database {
                     }
                     None => Dnf::tautology(),
                 };
-                rel.push(AnnotatedTuple::new(values, lineage));
+                commit(self.store.append(name, &AnnotatedTuple::new(values, lineage)));
             }
         }
-        self.tables.insert(name.to_owned(), rel);
         block_vars
+    }
+}
+
+/// Streams rows into one tuple-independent table of a [`Database`] without
+/// any intermediate staging `Vec` — each pushed row creates its variable,
+/// logs it, and lands in the [`TableStore`] immediately (triggering memtable
+/// flushes on disk-backed stores as the byte budget fills). Obtained from
+/// [`Database::tuple_writer`] (create/replace) or
+/// [`Database::append_writer`] (append-only growth).
+#[derive(Debug)]
+pub struct TupleWriter<'a> {
+    db: &'a mut Database,
+    table: String,
+    table_id: u32,
+    next_row: usize,
+}
+
+impl TupleWriter<'_> {
+    /// Appends one row. Probabilities `>= 1` store a deterministic row
+    /// (constant-true lineage, no variable); otherwise the row gets a fresh
+    /// Boolean variable named `"{table}#{row}"`, returned for lineage
+    /// bookkeeping.
+    pub fn push(&mut self, values: Vec<Value>, p: f64) -> Option<VarId> {
+        let db = &mut *self.db;
+        let (lineage, var) = if p >= 1.0 {
+            (Dnf::tautology(), None)
+        } else {
+            let v = db.space.add_bool(format!("{}#{}", self.table, self.next_row), p);
+            let info = db.space.info(v).expect("variable just added");
+            commit(db.store.log_variable(&info.name, &info.distribution, Some(self.table_id)));
+            db.origins.set(v, self.table_id);
+            (Dnf::literal(v), Some(v))
+        };
+        commit(db.store.append(&self.table, &AnnotatedTuple::new(values, lineage)));
+        self.next_row += 1;
+        var
+    }
+
+    /// Rows in the table after the pushes so far.
+    pub fn rows(&self) -> usize {
+        self.next_row
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::testutil::TempDir;
 
     #[test]
     fn tuple_independent_table_creates_one_variable_per_row() {
@@ -364,6 +539,34 @@ mod tests {
         assert_eq!(db.generation(), db.space().generation());
     }
 
+    /// Satellite regression for the clone/divergence edge: two clones of one
+    /// database that diverge via table **replacement** must each land on a
+    /// fresh, distinct generation — neither may keep serving cache entries
+    /// tagged with the shared pre-clone fingerprint, and their post-divergence
+    /// tags must not collide with each other either.
+    #[test]
+    fn cloned_databases_diverging_by_replacement_get_distinct_generations() {
+        let mut a = Database::new();
+        a.add_tuple_independent_table("R", &["x"], vec![(vec![Value::Int(1)], 0.5)]);
+        let g0 = a.generation();
+        let mut b = a.clone();
+        assert_eq!(b.generation(), g0, "a clone starts on the shared generation");
+
+        // B replaces R: B must leave the shared generation; A is untouched.
+        b.add_tuple_independent_table("R", &["x"], vec![(vec![Value::Int(2)], 0.25)]);
+        assert_eq!(a.generation(), g0);
+        assert_ne!(b.generation(), g0, "replacement on a clone must re-generation it");
+
+        // A replaces R too: now both clones moved, to *distinct* fresh tags.
+        a.add_tuple_independent_table("R", &["x"], vec![(vec![Value::Int(3)], 0.75)]);
+        assert_ne!(a.generation(), g0);
+        assert_ne!(a.generation(), b.generation(), "divergent clones must not share a tag");
+
+        // The replacement is fully isolated: each clone sees only its data.
+        assert_eq!(a.table("R").unwrap().tuples[0].values, vec![Value::Int(3)]);
+        assert_eq!(b.table("R").unwrap().tuples[0].values, vec![Value::Int(2)]);
+    }
+
     #[test]
     fn appended_rows_extend_the_table_without_invalidation() {
         let mut db = Database::new();
@@ -411,5 +614,128 @@ mod tests {
         assert_eq!(db.total_tuples(), 1);
         assert!(db.table("C").is_none());
         assert_ne!(db.table_id("A"), db.table_id("B"));
+        assert_eq!(db.schema("B").unwrap().columns, vec!["y"]);
+    }
+
+    #[test]
+    fn scan_streams_tuples_in_insertion_order() {
+        let mut db = Database::new();
+        db.add_tuple_independent_table(
+            "R",
+            &["a"],
+            vec![(vec![Value::Int(3)], 0.5), (vec![Value::Int(1)], 0.25)],
+        );
+        let scanned: Vec<AnnotatedTuple> = db.scan("R").map(Cow::into_owned).collect();
+        assert_eq!(scanned, db.table("R").unwrap().tuples);
+        assert_eq!(db.scan("missing").count(), 0);
+    }
+
+    #[test]
+    fn scan_boolean_lineage_matches_the_materialized_disjunction() {
+        let mut db = Database::new();
+        db.add_tuple_independent_table(
+            "R",
+            &["a"],
+            vec![(vec![Value::Int(1)], 0.5), (vec![Value::Int(2)], 0.25)],
+        );
+        let mut arena = LineageArena::new();
+        let view = db.scan_boolean_lineage("R", &mut arena);
+        let dnf = db.table("R").unwrap().boolean_lineage();
+        assert_eq!(view.to_dnf(&arena), dnf);
+        assert_eq!(view.hash(&arena), dnf.canonical_hash());
+    }
+
+    #[test]
+    fn disk_backed_database_matches_heap_semantics() {
+        let dir = TempDir::new("db-parity");
+        let mut heap = Database::new();
+        let mut disk = Database::open_disk(dir.path(), 1 << 20).expect("open");
+        for db in [&mut heap, &mut disk] {
+            db.add_tuple_independent_table(
+                "R",
+                &["a", "b"],
+                vec![
+                    (vec![Value::Int(1), Value::str("x")], 0.5),
+                    (vec![Value::Int(2), Value::str("y")], 1.0),
+                    (vec![Value::Int(3), Value::str("z")], 0.125),
+                ],
+            );
+            db.add_bid_table(
+                "B",
+                &["k"],
+                vec![vec![(vec![Value::Int(0)], 0.3), (vec![Value::Int(1)], 0.5)]],
+            );
+        }
+        assert_eq!(heap.table("R"), disk.table("R"));
+        assert_eq!(heap.table("B"), disk.table("B"));
+        assert_eq!(heap.total_tuples(), disk.total_tuples());
+        // Lineage bit-identity end to end.
+        assert_eq!(
+            heap.table("R").unwrap().boolean_lineage(),
+            disk.table("R").unwrap().boolean_lineage()
+        );
+    }
+
+    #[test]
+    fn tiny_memtable_budget_flushes_to_runs_without_changing_reads() {
+        let dir = TempDir::new("db-flush");
+        // A budget far below one row forces a flush on every append.
+        let mut disk = Database::open_disk(dir.path(), 1).expect("open");
+        let rows: Vec<(Vec<Value>, f64)> =
+            (0..40).map(|i| (vec![Value::Int(i)], 0.3 + 0.01 * (i % 30) as f64)).collect();
+        let mut heap = Database::new();
+        heap.add_tuple_independent_table("R", &["a"], rows.clone());
+        disk.add_tuple_independent_table("R", &["a"], rows);
+        let stats = disk.storage_stats();
+        assert!(stats.flushes >= 40, "every append must overflow the 1-byte budget");
+        assert!(stats.compactions > 0, "run growth must trigger compaction");
+        assert!(stats.runs < stats.flushes as usize, "compaction must merge runs");
+        assert_eq!(disk.table("R"), heap.table("R"), "reads must be unaffected by flushes");
+    }
+
+    #[test]
+    fn disk_database_recovers_tables_generation_and_watermark() {
+        let dir = TempDir::new("db-recover");
+        let (g, w, table, lineage) = {
+            let mut db = Database::open_disk(dir.path(), 256).expect("open");
+            db.add_tuple_independent_table(
+                "R",
+                &["a"],
+                vec![(vec![Value::Int(1)], 0.5), (vec![Value::Int(2)], 0.75)],
+            );
+            // Replace once so the logged epoch is a non-initial generation.
+            db.add_tuple_independent_table(
+                "R",
+                &["a"],
+                (0..12).map(|i| (vec![Value::Int(i)], 0.25 + 0.05 * (i % 10) as f64)).collect(),
+            );
+            db.sync_storage();
+            (
+                db.generation(),
+                db.space().watermark(),
+                db.table("R").unwrap(),
+                db.table("R").unwrap().boolean_lineage(),
+            )
+        };
+        let recovered = Database::open_disk(dir.path(), 256).expect("recover");
+        assert_eq!(recovered.generation(), g, "recovery epoch must restore the generation");
+        assert_eq!(recovered.space().watermark(), w, "watermark must be exact");
+        assert_eq!(recovered.table("R").unwrap(), table);
+        assert_eq!(recovered.table("R").unwrap().boolean_lineage(), lineage);
+        assert_eq!(recovered.table_id("R"), Some(0));
+    }
+
+    #[test]
+    fn tuple_writer_appends_through_the_store() {
+        let mut db = Database::new();
+        let mut writer = db.tuple_writer("S", &["a"]);
+        let v0 = writer.push(vec![Value::Int(1)], 0.5);
+        let v1 = writer.push(vec![Value::Int(2)], 1.0);
+        assert_eq!(writer.rows(), 2);
+        assert!(v0.is_some() && v1.is_none());
+        let mut more = db.append_writer("S");
+        let v2 = more.push(vec![Value::Int(3)], 0.25);
+        assert_eq!(db.space().info(v2.unwrap()).unwrap().name, "S#2");
+        assert_eq!(db.table("S").unwrap().len(), 3);
     }
 }

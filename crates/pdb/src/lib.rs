@@ -29,7 +29,13 @@
 //!   grows tables in place, [`events::LineageDelta`]s describe the per-answer
 //!   lineage growth, and [`ConfidenceEngine::maintain_batch`] applies them to
 //!   a [`ResumablePool`] of suspended d-tree frontiers so each insert round
-//!   re-refines only what the new clauses actually touched.
+//!   re-refines only what the new clauses actually touched,
+//! * [`storage`] — the pluggable [`storage::TableStore`] backbone behind
+//!   [`Database`]: a heap store (default, zero behavior change) and an
+//!   LSM-style [`storage::DiskStore`] (WAL + byte-budgeted memtable +
+//!   bloom-filtered sorted runs + compaction) whose write-ahead log doubles as
+//!   the probability-space recovery log — [`Database::open_disk`] restores
+//!   the exact pre-crash generation and watermark.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -40,13 +46,14 @@ pub mod engine;
 pub mod motif;
 pub mod pool;
 pub mod sprout;
+pub mod storage;
 
 mod database;
 mod query;
 mod relation;
 mod value;
 
-pub use database::Database;
+pub use database::{Database, TupleWriter};
 pub use engine::{dedup_lineages, BatchResult, ConfidenceEngine, MaintainResult};
 pub use pool::ResumablePool;
 pub use query::{ConjunctiveQuery, IneqOp, Predicate, QueryAnswer, SubGoal, Term};

@@ -320,7 +320,7 @@ mod tests {
                 (vec![Value::Int(7), Value::Int(17)], 0.2),
             ],
         );
-        let g = ProbGraph::from_edge_relation(db.table("E").unwrap());
+        let g = ProbGraph::from_edge_relation(&db.table("E").unwrap());
         (db, g)
     }
 
@@ -449,7 +449,7 @@ mod tests {
             })
             .collect();
         db.add_bid_table("E", &["u", "v", "present"], blocks);
-        let g = ProbGraph::from_bid_edge_relation(db.table("E").unwrap());
+        let g = ProbGraph::from_bid_edge_relation(&db.table("E").unwrap());
         (db, g)
     }
 

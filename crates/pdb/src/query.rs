@@ -4,7 +4,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use events::{Clause, Dnf};
+use events::{Clause, Dnf, DnfView, LineageArena};
 
 use crate::database::Database;
 use crate::value::Value;
@@ -281,9 +281,9 @@ impl ConjunctiveQuery {
         let mut applied_preds: Vec<bool> = vec![false; self.predicates.len()];
 
         for sg in &self.subgoals {
-            let Some(rel) = db.table(&sg.relation) else {
+            if db.schema(&sg.relation).is_none() {
                 return Vec::new();
-            };
+            }
             // Positions whose value is determined before scanning this
             // subgoal: constants and already-bound variables.
             let key_positions: Vec<usize> = sg
@@ -296,16 +296,16 @@ impl ConjunctiveQuery {
                 })
                 .map(|(i, _)| i)
                 .collect();
-            // Hash index of the subgoal's tuples on those positions.
-            let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-            for (ti, tuple) in rel.tuples.iter().enumerate() {
-                let key: Vec<Value> =
-                    key_positions.iter().map(|&p| tuple.values[p].clone()).collect();
-                index.entry(key).or_default().push(ti);
-            }
-
-            let mut next = Vec::new();
-            for partial in &partials {
+            // Hash index of the *partials* on their probe key; the subgoal's
+            // tuples then stream past it in one storage scan. This is the
+            // out-of-core orientation: the relation — possibly disk-resident
+            // and much larger than RAM — is never materialized; only the
+            // partial assignments (the join state) and the tuples that
+            // actually match live on the heap. The final answers are
+            // bit-identical to the tuple-indexed orientation because answer
+            // lineages are canonicalized by `Dnf::from_clauses` below.
+            let mut by_key: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            for (pi, partial) in partials.iter().enumerate() {
                 let key: Vec<Value> = key_positions
                     .iter()
                     .map(|&p| match &sg.terms[p] {
@@ -313,9 +313,16 @@ impl ConjunctiveQuery {
                         Term::Var(v) => partial.bindings[v].clone(),
                     })
                     .collect();
-                let Some(candidates) = index.get(&key) else { continue };
-                'tuples: for &ti in candidates {
-                    let tuple = &rel.tuples[ti];
+                by_key.entry(key).or_default().push(pi);
+            }
+
+            let mut next = Vec::new();
+            for tuple in db.scan(&sg.relation) {
+                let key: Vec<Value> =
+                    key_positions.iter().map(|&p| tuple.values[p].clone()).collect();
+                let Some(candidates) = by_key.get(&key) else { continue };
+                'partials: for &pi in candidates {
+                    let partial = &partials[pi];
                     let mut bindings = partial.bindings.clone();
                     for (pos, term) in sg.terms.iter().enumerate() {
                         if key_positions.contains(&pos) {
@@ -324,13 +331,13 @@ impl ConjunctiveQuery {
                         match term {
                             Term::Const(c) => {
                                 if &tuple.values[pos] != c {
-                                    continue 'tuples;
+                                    continue 'partials;
                                 }
                             }
                             Term::Var(v) => match bindings.get(v) {
                                 Some(existing) => {
                                     if existing != &tuple.values[pos] {
-                                        continue 'tuples;
+                                        continue 'partials;
                                     }
                                 }
                                 None => {
@@ -380,6 +387,31 @@ impl ConjunctiveQuery {
         grouped
             .into_iter()
             .map(|(head, clauses)| QueryAnswer { head, lineage: Dnf::from_clauses(clauses) })
+            .collect()
+    }
+
+    /// Evaluates the query and interns every answer lineage directly into
+    /// `arena`, returning `(head, view)` pairs in the same order as
+    /// [`ConjunctiveQuery::evaluate`].
+    ///
+    /// This is the arena-native entry point for the streaming pipeline: the
+    /// subgoal scans already avoid materializing relations, and interning the
+    /// answer clauses (via [`LineageArena::intern_clause_stream`]) means the
+    /// d-tree algorithms can run on [`DnfView`]s without ever allocating
+    /// per-answer [`Dnf`] values. The interned views are bit-identical to the
+    /// canonical DNFs `evaluate` returns: same clause set, same canonical
+    /// order, same hash.
+    pub fn evaluate_interned(
+        &self,
+        db: &Database,
+        arena: &mut LineageArena,
+    ) -> Vec<(Vec<Value>, DnfView)> {
+        self.evaluate(db)
+            .into_iter()
+            .map(|a| {
+                let view = arena.intern_clause_stream(a.lineage.into_clauses());
+                (a.head, view)
+            })
             .collect()
     }
 }
@@ -579,6 +611,59 @@ mod tests {
         let db = rst_database();
         let q = ConjunctiveQuery::new("missing").with_subgoal("UNKNOWN", vec![Term::var("X")]);
         assert!(q.evaluate(&db).is_empty());
+    }
+
+    #[test]
+    fn evaluate_interned_matches_evaluate_bit_for_bit() {
+        let db = rst_database();
+        let q = ConjunctiveQuery::new("per_a")
+            .with_head(&["A"])
+            .with_subgoal("R", vec![Term::var("A")])
+            .with_subgoal("S", vec![Term::var("A"), Term::var("B")]);
+        let answers = q.evaluate(&db);
+        let mut arena = LineageArena::new();
+        let interned = q.evaluate_interned(&db, &mut arena);
+        assert_eq!(answers.len(), interned.len());
+        for (a, (head, view)) in answers.iter().zip(&interned) {
+            assert_eq!(&a.head, head);
+            assert_eq!(view.to_dnf(&arena), a.lineage);
+            assert_eq!(view.hash(&arena), a.lineage.canonical_hash());
+        }
+    }
+
+    #[test]
+    fn evaluation_over_a_disk_backed_database_is_bit_identical() {
+        use crate::storage::testutil::TempDir;
+        let dir = TempDir::new("query-parity");
+        let heap = figure_5_database();
+        // Tiny memtable budget: the edge table lives in runs, so evaluation
+        // exercises the run-scan path rather than the memtable.
+        let mut disk = crate::Database::open_disk(dir.path(), 64).expect("open");
+        disk.add_tuple_independent_table(
+            "E",
+            &["u", "v"],
+            vec![
+                (vec![Value::Int(5), Value::Int(7)], 0.9),
+                (vec![Value::Int(5), Value::Int(11)], 0.8),
+                (vec![Value::Int(6), Value::Int(7)], 0.1),
+                (vec![Value::Int(6), Value::Int(11)], 0.9),
+                (vec![Value::Int(6), Value::Int(17)], 0.5),
+                (vec![Value::Int(7), Value::Int(17)], 0.2),
+            ],
+        );
+        assert!(disk.storage_stats().runs > 0, "budget must force the table into runs");
+        let q = ConjunctiveQuery::new("p2")
+            .with_head(&["A"])
+            .with_subgoal("E", vec![Term::var("A"), Term::var("B")])
+            .with_subgoal("E", vec![Term::var("B"), Term::var("C")]);
+        let on_heap = q.evaluate(&heap);
+        let on_disk = q.evaluate(&disk);
+        assert!(!on_heap.is_empty());
+        assert_eq!(on_heap.len(), on_disk.len());
+        for (h, d) in on_heap.iter().zip(&on_disk) {
+            assert_eq!(h.head, d.head);
+            assert_eq!(h.lineage, d.lineage, "lineage must be bit-identical across stores");
+        }
     }
 
     #[test]

@@ -118,9 +118,10 @@ fn single_subgoal_probability(
     bindings: &BTreeMap<String, Value>,
     db: &Database,
 ) -> f64 {
-    let Some(rel) = db.table(&sg.relation) else { return 0.0 };
     let mut complement = 1.0;
-    'tuples: for tuple in &rel.tuples {
+    // Stream the subgoal's tuples straight from the store: SPROUT only needs
+    // each tuple's marginal, never the materialized relation.
+    'tuples: for tuple in db.scan(&sg.relation) {
         // Check the tuple against constants, bound variables, and repeated
         // variables within the subgoal.
         let mut local: BTreeMap<&str, &Value> = BTreeMap::new();
@@ -217,9 +218,11 @@ fn candidate_values(
 ) -> Vec<Value> {
     let mut result: Option<BTreeSet<Value>> = None;
     for sg in subgoals {
-        let Some(rel) = db.table(&sg.relation) else { return Vec::new() };
+        if db.schema(&sg.relation).is_none() {
+            return Vec::new();
+        }
         let mut values = BTreeSet::new();
-        'tuples: for tuple in &rel.tuples {
+        'tuples: for tuple in db.scan(&sg.relation) {
             for (pos, term) in sg.terms.iter().enumerate() {
                 match term {
                     Term::Const(c) => {

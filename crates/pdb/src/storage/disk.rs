@@ -1,0 +1,453 @@
+//! The LSM-style [`DiskStore`]: memtable + WAL + immutable runs +
+//! annotation-preserving compaction.
+//!
+//! # Layout of a store directory
+//!
+//! ```text
+//! wal.log      framed write-ahead log (see `storage::wal`)
+//! MANIFEST     text log of run lifecycle: `add run-N.dat` / `swap ... <- ...`
+//! run-N.dat    immutable sorted runs (see `storage::run`)
+//! ```
+//!
+//! # Write path
+//!
+//! An append encodes the tuple once, logs it to the WAL, and inserts the
+//! *same* payload bytes into the memtable (a `BTreeMap` keyed by
+//! `(uid, seq)` where `uid = logical_id << 32 | epoch` identifies the table
+//! incarnation and `seq` is globally monotone). When the memtable exceeds
+//! its byte budget it is drained in key order into a new run, the run is
+//! fsynced, and only then does the MANIFEST reference it — a crash at any
+//! point leaves either a complete referenced run or an ignorable orphan
+//! whose rows the WAL still carries. When the run count reaches
+//! [`COMPACT_RUNS`], all live runs are k-way merged into one, dropping rows
+//! of superseded table incarnations and copying every surviving payload
+//! **byte-for-byte** — probability annotations are never re-encoded.
+//!
+//! # Recovery
+//!
+//! [`DiskStore::open`] reads the MANIFEST, opens the referenced runs
+//! (rebuilding their blooms and sparse indexes), then replays the WAL:
+//! variable and epoch records rebuild the [`events::ProbabilitySpace`]
+//! recipe handed back as [`RecoveredMeta`]; row records with `seq` beyond
+//! the runs' flush watermark refill the memtable. The **last** epoch record
+//! is the recovery epoch: restoring it via
+//! [`events::ProbabilitySpace::restore_generation`] makes the revived space
+//! carry the exact generation + watermark of the pre-crash one, so warm
+//! `SubformulaCache` entries keyed by that fingerprint stay servable across
+//! the restart.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::relation::{AnnotatedTuple, Schema};
+use crate::storage::encode::{decode_tuple, encode_tuple};
+use crate::storage::run::{Run, RunWriter};
+use crate::storage::wal::{Wal, WalRecord};
+use crate::storage::{StorageError, StorageStats, TableStore};
+
+/// Compaction threshold: once this many runs are live they are merged into
+/// one.
+pub const COMPACT_RUNS: usize = 4;
+
+/// Approximate per-row memtable overhead (keys + `BTreeMap` node bookkeeping)
+/// counted against the byte budget alongside the payload itself.
+const MEM_ROW_OVERHEAD: usize = 48;
+
+/// One table incarnation in the catalog.
+#[derive(Debug, Clone)]
+struct TableEntry {
+    logical_id: u32,
+    /// Replacement counter; bumping it retires every row of the previous
+    /// incarnation (their `uid` no longer matches any catalog entry).
+    epoch: u32,
+    schema: Schema,
+    rows: usize,
+}
+
+impl TableEntry {
+    fn uid(&self) -> u64 {
+        ((self.logical_id as u64) << 32) | self.epoch as u64
+    }
+}
+
+/// The probability-space recipe recovered from the WAL — everything
+/// `Database::open_disk` needs to rebuild the exact pre-crash space.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveredMeta {
+    /// Variables in append order: `(name, distribution, origin table id)`.
+    /// Re-adding them in order reproduces identical `VarId`s bit-for-bit.
+    pub vars: Vec<(String, Vec<f64>, Option<u32>)>,
+    /// The last logged generation — the recovery epoch to restore, `None`
+    /// only for a store that never logged one (a brand-new directory).
+    pub generation: Option<u64>,
+    /// Table name → logical id, for rebuilding the database's registry.
+    pub table_ids: Vec<(String, u32)>,
+}
+
+/// Disk-backed [`TableStore`]. See the module docs above for the write
+/// path, the on-disk layout, and the recovery protocol.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    wal: Wal,
+    /// `(uid, seq)` → encoded tuple payload, bounded by `budget` bytes.
+    memtable: BTreeMap<(u64, u64), Vec<u8>>,
+    mem_bytes: usize,
+    budget: usize,
+    runs: Vec<Run>,
+    catalog: BTreeMap<String, TableEntry>,
+    next_seq: u64,
+    next_run_id: u64,
+    flushes: u64,
+    compactions: u64,
+}
+
+impl DiskStore {
+    /// Opens (or initializes) a store directory with the given memtable byte
+    /// budget, returning the store plus the recovered probability-space
+    /// recipe. On a fresh directory the recipe is empty.
+    pub fn open(dir: &Path, budget: usize) -> Result<(DiskStore, RecoveredMeta), StorageError> {
+        std::fs::create_dir_all(dir)?;
+        let referenced = read_manifest(&dir.join("MANIFEST"))?;
+        let mut runs = Vec::with_capacity(referenced.len());
+        let mut next_run_id = 0u64;
+        for name in &referenced {
+            runs.push(Run::open(&dir.join(name))?);
+            if let Some(id) = run_id_of(name) {
+                next_run_id = next_run_id.max(id + 1);
+            }
+        }
+        // Garbage-collect orphan runs from crashes between run write and
+        // manifest append — their rows are still in the WAL.
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if run_id_of(&name).is_some() && !referenced.contains(&name) {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        // Highest sequence number any run covers: rows at or below it are
+        // durable in runs, so replay must not re-insert them.
+        let covered: Option<u64> = runs.iter().filter(|r| r.rows() > 0).map(Run::max_seq).max();
+        let mut next_seq = covered.map_or(0, |c| c + 1);
+
+        let mut meta = RecoveredMeta::default();
+        let mut catalog: BTreeMap<String, TableEntry> = BTreeMap::new();
+        let mut memtable: BTreeMap<(u64, u64), Vec<u8>> = BTreeMap::new();
+        for record in Wal::replay(&dir.join("wal.log"))? {
+            match record {
+                WalRecord::Epoch { generation } => meta.generation = Some(generation),
+                WalRecord::Variable { name, distribution, origin } => {
+                    meta.vars.push((name, distribution, origin));
+                }
+                WalRecord::Table { logical_id, epoch, schema } => {
+                    catalog.insert(
+                        schema.name.clone(),
+                        TableEntry { logical_id, epoch, schema, rows: 0 },
+                    );
+                }
+                WalRecord::Row { uid, seq, payload } => {
+                    next_seq = next_seq.max(seq + 1);
+                    if covered.is_none_or(|c| seq > c) {
+                        memtable.insert((uid, seq), payload);
+                    }
+                }
+            }
+        }
+        // Row counts per live incarnation: runs (index-guided scans) plus the
+        // refilled memtable.
+        let mem_bytes = memtable.values().map(|payload| payload.len() + MEM_ROW_OVERHEAD).sum();
+        for entry in catalog.values_mut() {
+            let uid = entry.uid();
+            let mut rows = memtable.range((uid, 0)..=(uid, u64::MAX)).count();
+            for run in &runs {
+                rows += run.scan_table(uid)?.count();
+            }
+            entry.rows = rows;
+        }
+        meta.table_ids = catalog.iter().map(|(name, e)| (name.clone(), e.logical_id)).collect();
+        let wal = Wal::open(&dir.join("wal.log"))?;
+        let store = DiskStore {
+            dir: dir.to_path_buf(),
+            wal,
+            memtable,
+            mem_bytes,
+            budget,
+            runs,
+            catalog,
+            next_seq,
+            next_run_id,
+            flushes: 0,
+            compactions: 0,
+        };
+        Ok((store, meta))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn uid_of(&self, table: &str) -> Option<u64> {
+        self.catalog.get(table).map(TableEntry::uid)
+    }
+
+    /// Drains the memtable into a new run and commits it to the MANIFEST.
+    /// No-op when the memtable is empty.
+    pub fn flush_memtable(&mut self) -> Result<(), StorageError> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        // Rows must be durable in the WAL before the run supersedes them.
+        self.wal.sync()?;
+        let name = format!("run-{}.dat", self.next_run_id);
+        self.next_run_id += 1;
+        let mut writer = RunWriter::create(&self.dir.join(&name), self.memtable.len())?;
+        for (&(uid, seq), payload) in &self.memtable {
+            writer.push(uid, seq, payload)?;
+        }
+        self.runs.push(writer.finish()?);
+        append_manifest(&self.dir.join("MANIFEST"), &format!("add {name}\n"))?;
+        self.memtable.clear();
+        self.mem_bytes = 0;
+        self.flushes += 1;
+        if self.runs.len() >= COMPACT_RUNS {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Merges every live run into one, dropping rows of superseded table
+    /// incarnations. Surviving payloads are copied **byte-for-byte** — the
+    /// annotation-preservation invariant of the store.
+    pub fn compact(&mut self) -> Result<(), StorageError> {
+        if self.runs.len() < 2 {
+            return Ok(());
+        }
+        let live: Vec<u64> = self.catalog.values().map(TableEntry::uid).collect();
+        let expected: usize = self.runs.iter().map(Run::rows).sum();
+        let name = format!("run-{}.dat", self.next_run_id);
+        self.next_run_id += 1;
+        let mut writer = RunWriter::create(&self.dir.join(&name), expected)?;
+        {
+            let mut sources = Vec::with_capacity(self.runs.len());
+            for run in &self.runs {
+                sources.push(run.scan_all()?.peekable());
+            }
+            // K-way merge by (uid, seq); the run count is small, so a linear
+            // min scan beats heap bookkeeping.
+            loop {
+                let mut best: Option<(usize, (u64, u64))> = None;
+                for (i, src) in sources.iter_mut().enumerate() {
+                    if let Some(item) = src.peek() {
+                        let key = match item {
+                            Ok((uid, seq, _)) => (*uid, *seq),
+                            Err(_) => {
+                                // Surface the error by consuming it below.
+                                best = Some((i, (0, 0)));
+                                break;
+                            }
+                        };
+                        if best.is_none_or(|(_, k)| key < k) {
+                            best = Some((i, key));
+                        }
+                    }
+                }
+                let Some((i, _)) = best else { break };
+                let (uid, seq, payload) = sources[i].next().expect("peeked item")?;
+                if live.contains(&uid) {
+                    writer.push(uid, seq, &payload)?;
+                }
+            }
+        }
+        let merged = writer.finish()?;
+        let old_names: Vec<String> = self
+            .runs
+            .iter()
+            .filter_map(|r| r.path().file_name().map(|n| n.to_string_lossy().into_owned()))
+            .collect();
+        append_manifest(
+            &self.dir.join("MANIFEST"),
+            &format!("swap {name} <- {}\n", old_names.join(" ")),
+        )?;
+        for old in &self.runs {
+            let _ = std::fs::remove_file(old.path());
+        }
+        self.runs = vec![merged];
+        self.compactions += 1;
+        Ok(())
+    }
+
+    fn decode_or_panic(payload: &[u8]) -> AnnotatedTuple {
+        // Manifest-referenced runs are complete by construction and WAL rows
+        // are CRC-guarded; a decode failure here means external corruption of
+        // committed data, which has no sound continuation.
+        decode_tuple(payload).unwrap_or_else(|e| panic!("corrupt committed tuple payload: {e}"))
+    }
+}
+
+fn run_id_of(file_name: &str) -> Option<u64> {
+    file_name.strip_prefix("run-")?.strip_suffix(".dat")?.parse().ok()
+}
+
+/// Reads the MANIFEST, returning the live run file names in age order. An
+/// incomplete (torn) final line is ignored.
+fn read_manifest(path: &Path) -> Result<Vec<String>, StorageError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let complete = match text.rfind('\n') {
+        Some(last) => &text[..=last],
+        None => "",
+    };
+    let mut live: Vec<String> = Vec::new();
+    for line in complete.lines() {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("add") => {
+                if let Some(name) = parts.next() {
+                    live.push(name.to_owned());
+                }
+            }
+            Some("swap") => {
+                let Some(new) = parts.next() else { continue };
+                let removed: Vec<&str> = parts.skip(1).collect(); // skip "<-"
+                live.retain(|n| !removed.contains(&n.as_str()));
+                live.push(new.to_owned());
+            }
+            _ => return Err(StorageError::corrupt(format!("unrecognized MANIFEST line {line:?}"))),
+        }
+    }
+    Ok(live)
+}
+
+fn append_manifest(path: &Path, line: &str) -> Result<(), StorageError> {
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    file.write_all(line.as_bytes())?;
+    file.sync_data()?;
+    Ok(())
+}
+
+impl TableStore for DiskStore {
+    /// Cloning a disk store **materializes it to a heap snapshot**: two live
+    /// handles on one WAL directory would corrupt each other, and a
+    /// materialized clone also closes the `Database::clone` divergence edge —
+    /// the clone's subsequent mutations cannot share storage state with the
+    /// original, only the probability space's own generation protocol, which
+    /// already detects divergent clone families.
+    fn clone_box(&self) -> Box<dyn TableStore> {
+        let mut heap = crate::storage::HeapStore::new();
+        for (name, entry) in &self.catalog {
+            heap.create_table(entry.schema.clone(), entry.logical_id)
+                .expect("heap create cannot fail");
+            for tuple in self.scan(name) {
+                heap.append(name, tuple.as_ref()).expect("heap append cannot fail");
+            }
+        }
+        Box::new(heap)
+    }
+
+    fn create_table(&mut self, schema: Schema, logical_id: u32) -> Result<(), StorageError> {
+        let epoch = match self.catalog.get(&schema.name) {
+            Some(existing) => existing.epoch + 1,
+            None => 0,
+        };
+        self.wal.append(&WalRecord::Table { logical_id, epoch, schema: schema.clone() })?;
+        self.catalog.insert(schema.name.clone(), TableEntry { logical_id, epoch, schema, rows: 0 });
+        Ok(())
+    }
+
+    fn append(&mut self, table: &str, tuple: &AnnotatedTuple) -> Result<(), StorageError> {
+        let entry = self
+            .catalog
+            .get_mut(table)
+            .ok_or_else(|| StorageError::corrupt(format!("append to unknown table {table:?}")))?;
+        let uid = entry.uid();
+        entry.rows += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let payload = encode_tuple(tuple);
+        self.wal.append(&WalRecord::Row { uid, seq, payload: payload.clone() })?;
+        self.mem_bytes += payload.len() + MEM_ROW_OVERHEAD;
+        self.memtable.insert((uid, seq), payload);
+        if self.mem_bytes > self.budget {
+            self.flush_memtable()?;
+        }
+        Ok(())
+    }
+
+    fn schema(&self, table: &str) -> Option<&Schema> {
+        self.catalog.get(table).map(|e| &e.schema)
+    }
+
+    fn table_len(&self, table: &str) -> usize {
+        self.catalog.get(table).map_or(0, |e| e.rows)
+    }
+
+    fn table_names(&self) -> Vec<&str> {
+        self.catalog.keys().map(String::as_str).collect()
+    }
+
+    fn scan<'a>(&'a self, table: &str) -> Box<dyn Iterator<Item = Cow<'a, AnnotatedTuple>> + 'a> {
+        let Some(uid) = self.uid_of(table) else {
+            return Box::new(std::iter::empty());
+        };
+        // Runs are seq-disjoint and flushed in seq order, so chaining them in
+        // age order, then the memtable, yields rows in insertion order.
+        let mut run_iters = Vec::with_capacity(self.runs.len());
+        for run in &self.runs {
+            match run.scan_table(uid) {
+                Ok(iter) => run_iters.push(iter),
+                Err(e) => panic!("run scan failed: {e}"),
+            }
+        }
+        let from_runs = run_iters.into_iter().flatten().map(|row| {
+            let (_, payload) = row.unwrap_or_else(|e| panic!("run scan failed: {e}"));
+            Cow::Owned(DiskStore::decode_or_panic(&payload))
+        });
+        let from_mem = self
+            .memtable
+            .range((uid, 0)..=(uid, u64::MAX))
+            .map(|(_, payload)| Cow::Owned(DiskStore::decode_or_panic(payload)));
+        Box::new(from_runs.chain(from_mem))
+    }
+
+    fn log_variable(
+        &mut self,
+        name: &str,
+        distribution: &[f64],
+        origin: Option<u32>,
+    ) -> Result<(), StorageError> {
+        self.wal.append(&WalRecord::Variable {
+            name: name.to_owned(),
+            distribution: distribution.to_vec(),
+            origin,
+        })
+    }
+
+    fn log_epoch(&mut self, generation: u64) -> Result<(), StorageError> {
+        self.wal.append(&WalRecord::Epoch { generation })
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.wal.sync()
+    }
+
+    fn stats(&self) -> StorageStats {
+        StorageStats {
+            tables: self.catalog.len(),
+            rows: self.catalog.values().map(|e| e.rows).sum(),
+            memtable_bytes: self.mem_bytes,
+            wal_bytes: self.wal.len(),
+            runs: self.runs.len(),
+            run_rows: self.runs.iter().map(Run::rows).sum(),
+            flushes: self.flushes,
+            compactions: self.compactions,
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Pluggable table storage for [`crate::Database`].
+//!
+//! The database's backbone is a [`TableStore`]: the default [`HeapStore`]
+//! keeps decoded relations in RAM exactly like the pre-refactor
+//! `BTreeMap<String, Relation>` (zero behavior change), while the LSM-style
+//! [`DiskStore`] spills tuples through a write-ahead log, a byte-budgeted
+//! memtable, and immutable sorted runs with bloom filters — the out-of-core
+//! backend. Lineage construction streams tuples out of either store via
+//! [`TableStore::scan`] without materializing relations, and the
+//! [`DiskStore`] WAL doubles as the recovery log for the probability space:
+//! its last epoch record restores the exact pre-crash generation +
+//! watermark, so warm `SubformulaCache` entries survive a restart.
+
+use std::borrow::Cow;
+use std::fmt;
+
+use crate::relation::{AnnotatedTuple, Relation, Schema};
+
+pub mod encode;
+pub mod run;
+pub mod wal;
+
+mod disk;
+mod heap;
+
+pub use disk::{DiskStore, RecoveredMeta, COMPACT_RUNS};
+pub use heap::HeapStore;
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An operating-system I/O failure.
+    Io(std::io::Error),
+    /// Committed data failed validation (bad frame, checksum, or encoding).
+    Corrupt(String),
+}
+
+impl StorageError {
+    pub(crate) fn corrupt(msg: impl Into<String>) -> Self {
+        StorageError::Corrupt(msg.into())
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt storage state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Point-in-time counters describing a store — resource accounting for
+/// benches and tests. Heap stores report only `tables`/`rows`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Live tables in the catalog.
+    pub tables: usize,
+    /// Live rows across all tables (current incarnations only).
+    pub rows: usize,
+    /// Bytes charged against the memtable budget.
+    pub memtable_bytes: usize,
+    /// Current write-ahead-log length in bytes.
+    pub wal_bytes: u64,
+    /// Live immutable runs.
+    pub runs: usize,
+    /// Rows stored across live runs (including superseded incarnations not
+    /// yet compacted away).
+    pub run_rows: usize,
+    /// Memtable flushes performed by this handle.
+    pub flushes: u64,
+    /// Compactions performed by this handle.
+    pub compactions: u64,
+}
+
+/// A table store: the persistence backbone behind [`crate::Database`].
+///
+/// # Invariants
+///
+/// Every implementation must uphold the following; the database layer, the
+/// query evaluators, and the crash-recovery protocol all rely on them.
+///
+/// 1. **Insertion-order scans.** [`TableStore::scan`] yields a table's
+///    tuples in exactly the order they were appended to the *current*
+///    incarnation. Row numbering (`"R#i"` variable names), query-evaluation
+///    results, and `materialize` all derive from this order.
+/// 2. **Bit-exact annotations.** A scanned tuple compares equal — values,
+///    variable ids, BID domain values, and probability `f64` bit patterns —
+///    to the tuple that was appended, across any number of flushes,
+///    compactions, restarts, and clones. Confidence computation over a
+///    store-backed table is bit-identical to the heap path.
+/// 3. **Replacement isolation.** After `create_table` for an existing name,
+///    the table reads as empty: no row of the previous incarnation is ever
+///    visible again, even before compaction reclaims it.
+/// 4. **Durability ordering** (persistent stores). A tuple is logged before
+///    it is applied; a run is complete and fsynced before the manifest
+///    references it; recovery yields exactly the appends whose log records
+///    are fully durable, in their original order.
+/// 5. **Recovery-epoch fidelity** (persistent stores). `log_epoch` records
+///    are replayed in order, and recovery reports the last one, so a revived
+///    probability space restores the exact pre-crash generation; replaying
+///    `log_variable` records in order reproduces identical `VarId`s and the
+///    exact watermark.
+/// 6. **Clone independence.** `clone_box` returns a handle whose subsequent
+///    mutations are invisible to the original (and vice versa); two handles
+///    never share mutable persistent state.
+pub trait TableStore: fmt::Debug + Send + Sync {
+    /// Clones the store into an independent handle (invariant 6).
+    fn clone_box(&self) -> Box<dyn TableStore>;
+
+    /// Creates a table, or replaces it (fresh incarnation, invariant 3) if
+    /// the name exists. `logical_id` is the database's stable table id.
+    fn create_table(&mut self, schema: Schema, logical_id: u32) -> Result<(), StorageError>;
+
+    /// Appends one tuple to an existing table.
+    fn append(&mut self, table: &str, tuple: &AnnotatedTuple) -> Result<(), StorageError>;
+
+    /// The table's schema, if it exists.
+    fn schema(&self, table: &str) -> Option<&Schema>;
+
+    /// Number of rows in the table's current incarnation (0 if absent).
+    fn table_len(&self, table: &str) -> usize;
+
+    /// All table names, sorted.
+    fn table_names(&self) -> Vec<&str>;
+
+    /// Streams the table's tuples in insertion order (invariant 1). Heap
+    /// stores lend their tuples (`Cow::Borrowed`); disk stores decode each
+    /// row on the fly (`Cow::Owned`) so resident memory stays bounded by the
+    /// memtable budget, not the table size. Unknown tables yield an empty
+    /// stream.
+    fn scan<'a>(&'a self, table: &str) -> Box<dyn Iterator<Item = Cow<'a, AnnotatedTuple>> + 'a>;
+
+    /// Materializes the table as an owned [`Relation`] snapshot. The default
+    /// builds it from [`TableStore::scan`]; heap stores override it with a
+    /// straight clone.
+    fn materialize(&self, table: &str) -> Option<Relation> {
+        let schema = self.schema(table)?.clone();
+        let mut rel = Relation::empty(schema);
+        for tuple in self.scan(table) {
+            rel.push(tuple.into_owned());
+        }
+        Some(rel)
+    }
+
+    /// Records a probability-space variable append (name, full distribution,
+    /// origin table) in the durability log. No-op for volatile stores.
+    fn log_variable(
+        &mut self,
+        name: &str,
+        distribution: &[f64],
+        origin: Option<u32>,
+    ) -> Result<(), StorageError>;
+
+    /// Records a generation change — the recovery epoch (invariant 5).
+    /// No-op for volatile stores.
+    fn log_epoch(&mut self, generation: u64) -> Result<(), StorageError>;
+
+    /// Forces logged state to stable storage. No-op for volatile stores.
+    fn sync(&mut self) -> Result<(), StorageError>;
+
+    /// Point-in-time resource counters.
+    fn stats(&self) -> StorageStats;
+}
+
+/// A scratch directory under the system temp dir, removed on drop. Used by
+/// the storage tests and the out-of-core bench; public because integration
+/// tests and the bench crate need it too.
+#[doc(hidden)]
+pub mod testutil {
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    /// Self-cleaning scratch directory (see the module docs).
+    #[derive(Debug)]
+    pub struct TempDir {
+        path: PathBuf,
+    }
+
+    impl TempDir {
+        /// Creates a fresh directory namespaced by `label`, the process id,
+        /// and a counter — collision-free without a randomness source.
+        pub fn new(label: &str) -> TempDir {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir()
+                .join(format!("pdb-storage-{label}-{}-{n}", std::process::id()));
+            std::fs::create_dir_all(&path).expect("create scratch dir");
+            TempDir { path }
+        }
+
+        /// The directory path.
+        pub fn path(&self) -> &Path {
+            &self.path
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}

@@ -82,7 +82,7 @@ pub fn random_graph(config: &RandomGraphConfig) -> (Database, ProbGraph) {
     }
     let mut db = Database::new();
     db.add_tuple_independent_table("E", &["u", "v"], rows);
-    let graph = ProbGraph::from_edge_relation(db.table("E").expect("edge table just added"));
+    let graph = ProbGraph::from_edge_relation(&db.table("E").expect("edge table just added"));
     (db, graph)
 }
 
@@ -111,7 +111,7 @@ pub fn random_bid_graph(config: &RandomGraphConfig) -> (Database, ProbGraph) {
     }
     let mut db = Database::new();
     db.add_bid_table("E", &["u", "v", "present"], blocks);
-    let graph = ProbGraph::from_bid_edge_relation(db.table("E").expect("edge table just added"));
+    let graph = ProbGraph::from_bid_edge_relation(&db.table("E").expect("edge table just added"));
     (db, graph)
 }
 

@@ -32,5 +32,5 @@ pub mod tpch;
 pub use graphs::{random_bid_graph, random_graph, s2_relation, RandomGraphConfig};
 pub use mixes::{hardness_mix, HardnessMixConfig};
 pub use social::{dolphins, karate_club, SocialNetwork, SocialNetworkConfig};
-pub use streaming::{StreamingConfig, StreamingWorkload};
+pub use streaming::{StoredStreamingWorkload, StreamingConfig, StreamingWorkload};
 pub use tpch::{QueryClass, TpchConfig, TpchDatabase, TpchQuery};

@@ -192,7 +192,7 @@ fn build_network(
         .collect();
     let mut db = Database::new();
     db.add_tuple_independent_table("E", &["u", "v"], rows);
-    let graph = ProbGraph::from_edge_relation(db.table("E").expect("edge table just added"));
+    let graph = ProbGraph::from_edge_relation(&db.table("E").expect("edge table just added"));
     SocialNetwork { name: name.to_owned(), db, graph, num_nodes }
 }
 

@@ -26,6 +26,7 @@
 //! sequences.
 
 use events::{Clause, Dnf, LineageDelta, ProbabilitySpace, VarId};
+use pdb::{Database, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -180,6 +181,130 @@ impl StreamingWorkload {
     }
 }
 
+/// Name of the table a [`StoredStreamingWorkload`] streams its tuples into.
+pub const STREAM_TABLE: &str = "stream";
+
+/// A [`StreamingWorkload`] whose streamed tuples land in a [`Database`]
+/// table as they arrive — heap- or disk-backed.
+///
+/// Every tuple (initial blocks and per-round appends alike) goes through a
+/// [`pdb::TupleWriter`] one row at a time: no intermediate full-relation
+/// `Vec` is ever staged, so running the stream against a
+/// [`pdb::storage::DiskStore`]-backed database keeps resident memory bounded
+/// by the memtable budget while the table grows without bound. The tuple
+/// variables come back from the writer, so the growing answer lineages are
+/// exactly the [`StreamingWorkload`] formulas: same variable ids, same
+/// distributions, same clause structure, same rng stream — only the variable
+/// *names* differ (`"stream#row"` instead of `"a{k}_{i}"`).
+///
+/// Rows carry `(answer, seq)` so the table itself records which answer each
+/// streamed tuple joined into and in what order.
+#[derive(Debug)]
+pub struct StoredStreamingWorkload {
+    config: StreamingConfig,
+    db: Database,
+    lineages: Vec<Dnf>,
+    vars: Vec<Vec<VarId>>,
+    rng: StdRng,
+    round: usize,
+}
+
+impl StoredStreamingWorkload {
+    /// Builds the round-0 state inside `db` (which must not already have a
+    /// table named [`STREAM_TABLE`] registered): the same join blocks as
+    /// [`StreamingWorkload::new`], streamed row-by-row into the store.
+    pub fn new(config: StreamingConfig, mut db: Database) -> Self {
+        let mut vars = Vec::with_capacity(config.answers);
+        let mut lineages = Vec::with_capacity(config.answers);
+        let mut writer = db.tuple_writer(STREAM_TABLE, &["answer", "seq"]);
+        for k in 0..config.answers {
+            let n = config.initial_clauses.max(1);
+            let mut answer_vars: Vec<VarId> = Vec::new();
+            let mut clauses = Vec::with_capacity(n);
+            while clauses.len() < n {
+                let c = BLOCK_CLAUSES.min(n - clauses.len());
+                let mut block = Vec::with_capacity(c + 1);
+                for _ in 0..=c {
+                    let i = answer_vars.len() + block.len();
+                    let p = 0.12 + 0.03 * ((i + k) % 8) as f64;
+                    let var = writer
+                        .push(vec![Value::Int(k as i64), Value::Int(i as i64)], p)
+                        .expect("stream probabilities are strictly below 1");
+                    block.push(var);
+                }
+                clauses.extend(block.windows(2).map(Clause::from_bools));
+                answer_vars.extend(block);
+            }
+            lineages.push(Dnf::from_clauses(clauses));
+            vars.push(answer_vars);
+        }
+        let rng = StdRng::seed_from_u64(config.seed);
+        StoredStreamingWorkload { config, db, lineages, vars, rng, round: 0 }
+    }
+
+    /// The database holding the streamed tuples (its space is the workload's
+    /// probability space).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The shared probability space.
+    pub fn space(&self) -> &ProbabilitySpace {
+        self.db.space()
+    }
+
+    /// The answers' *current* lineages.
+    pub fn lineages(&self) -> &[Dnf] {
+        &self.lineages
+    }
+
+    /// Number of completed append rounds.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Ingests one round exactly like [`StreamingWorkload::next_round`],
+    /// appending each arriving tuple to the store as it is drawn.
+    pub fn next_round(&mut self) -> Vec<Option<LineageDelta>> {
+        self.round += 1;
+        let n = self.config.answers;
+        let mut touched: Vec<usize> = (0..n).collect();
+        let take = self.config.touched_per_round.min(n);
+        for i in 0..take {
+            let j = self.rng.gen_range(i..n);
+            touched.swap(i, j);
+        }
+        let mut deltas: Vec<Option<LineageDelta>> = (0..n).map(|_| None).collect();
+        let mut writer = self.db.append_writer(STREAM_TABLE);
+        for &k in &touched[..take] {
+            let mut grown = self.lineages[k].clone();
+            for _ in 0..self.config.appends_per_round {
+                let p = self.rng.gen_range(0.2..0.5);
+                let seq = self.vars[k].len();
+                let fresh = writer
+                    .push(vec![Value::Int(k as i64), Value::Int(seq as i64)], p)
+                    .expect("stream probabilities are strictly below 1");
+                let mut atoms = vec![fresh];
+                for _ in 1..self.config.clause_width.max(1) {
+                    let existing = self.vars[k][self.rng.gen_range(0..self.vars[k].len())];
+                    if !atoms.contains(&existing) {
+                        atoms.push(existing);
+                    }
+                }
+                self.vars[k].push(fresh);
+                grown = grown.or(&Dnf::from_clauses(vec![Clause::from_bools(&atoms)]));
+            }
+            let delta =
+                LineageDelta::between(&self.lineages[k], &grown).expect("or-growth is append-only");
+            if !delta.is_empty() {
+                deltas[k] = Some(delta);
+            }
+            self.lineages[k] = grown;
+        }
+        deltas
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +350,41 @@ mod tests {
                 None => assert_eq!(old, new),
             }
         }
+    }
+
+    #[test]
+    fn stored_stream_matches_the_plain_workload_bit_for_bit() {
+        let cfg = StreamingConfig::new(4, 2);
+        let mut plain = StreamingWorkload::new(cfg.clone());
+        let mut stored = StoredStreamingWorkload::new(cfg, Database::new());
+        assert_eq!(plain.lineages(), stored.lineages());
+        for _ in 0..3 {
+            plain.next_round();
+            stored.next_round();
+            assert_eq!(plain.lineages(), stored.lineages(), "same vars, same clauses");
+        }
+        // Every streamed tuple landed as a row, one variable each.
+        let table = stored.database().table(STREAM_TABLE).unwrap();
+        assert_eq!(table.len(), stored.space().num_vars());
+        assert_eq!(stored.round(), 3);
+    }
+
+    #[test]
+    fn stored_stream_into_a_disk_database_flushes_and_stays_bit_identical() {
+        use pdb::storage::testutil::TempDir;
+        let dir = TempDir::new("stored-stream");
+        // A small budget so the growing stream table spills into runs.
+        let db = Database::open_disk(dir.path(), 256).expect("open");
+        let mut stored = StoredStreamingWorkload::new(StreamingConfig::new(3, 2), db);
+        let mut plain = StreamingWorkload::new(StreamingConfig::new(3, 2));
+        for _ in 0..2 {
+            stored.next_round();
+            plain.next_round();
+        }
+        assert_eq!(plain.lineages(), stored.lineages());
+        let stats = stored.database().storage_stats();
+        assert!(stats.flushes > 0, "the stream must overflow the memtable budget");
+        assert_eq!(stored.database().table(STREAM_TABLE).unwrap().len(), stored.space().num_vars());
     }
 
     #[test]

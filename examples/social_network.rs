@@ -38,7 +38,7 @@ fn figure_5_network() {
             (vec![Value::Int(7), Value::Int(17)], 0.2),
         ],
     );
-    let graph = ProbGraph::from_edge_relation(db.table("E").unwrap());
+    let graph = ProbGraph::from_edge_relation(&db.table("E").unwrap());
 
     // "The probability that there is a triangle (a 3-clique of friends) in
     // this graph" — Figure 5 (c): the only triangle is 6-7-17.
@@ -97,7 +97,7 @@ fn figure_5_bid_network() {
         })
         .collect();
     db.add_bid_table("E", &["u", "v", "present"], blocks);
-    let graph = ProbGraph::from_bid_edge_relation(db.table("E").unwrap());
+    let graph = ProbGraph::from_bid_edge_relation(&db.table("E").unwrap());
 
     println!("nodes within two, but not one, degrees of separation from node 7:");
     // All answer tuples in one batched engine call: the lineages overlap in

@@ -211,7 +211,7 @@ fn algebra_and_conjunctive_query_produce_equivalent_lineage() {
     let db = figure5_db();
     let e = db.table("E").unwrap();
     // Path of length 2 via algebra: E(a, b) ⋈ E(b, c) projected to ().
-    let joined = algebra::join(e, e, &[(1, 0)], "p2");
+    let joined = algebra::join(&e, &e, &[(1, 0)], "p2");
     let q = ConjunctiveQuery::new("p2")
         .with_subgoal("E", vec![Term::var("A"), Term::var("B")])
         .with_subgoal("E", vec![Term::var("B"), Term::var("C")]);
