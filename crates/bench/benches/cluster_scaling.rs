@@ -108,7 +108,7 @@ fn scheduling_experiment(smoke: bool) {
     }
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_cluster.json");
     if let Err(e) = bench::write_json(&path, &records) {
-        eprintln!("warning: could not write {}: {e}", path.display());
+        obs::warn("bench.report", &format!("could not write {}: {e}", path.display()));
     }
 }
 

@@ -53,7 +53,7 @@ fn bench_decomposition(c: &mut Criterion) {
     let records = bench::decomposition_records(smoke, Some(floor));
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_decomp.json");
     if let Err(e) = bench::write_json(&path, &records) {
-        eprintln!("warning: could not write {}: {e}", path.display());
+        obs::warn("bench.report", &format!("could not write {}: {e}", path.display()));
     }
 
     let (space, dnf) = micro_formula();

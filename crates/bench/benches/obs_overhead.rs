@@ -1,0 +1,76 @@
+//! Criterion micro-bench for the observability layer's no-op cost: the same
+//! engine batch with no registry attached (the pre-obs hot path), with the
+//! default disabled `Obs` attached explicitly, and with a live enabled
+//! registry. The acceptance target is disabled-within-noise of baseline —
+//! every handle is an `Option<Arc<..>>` that short-circuits on `None`, so
+//! the disabled rows measure a handful of branch-not-taken checks per item.
+//!
+//! Results are asserted bit-identical across all three series at startup
+//! (the differential guarantee the `obs_differential` proptests pin down at
+//! full scale).
+//!
+//! Set `OBS_SMOKE=1` for CI smoke scale: tiny workload, short measurement.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obs::Obs;
+use pdb::confidence::{ConfidenceBudget, ConfidenceMethod};
+use pdb::ConfidenceEngine;
+use workloads::{random_graph, s2_relation, RandomGraphConfig};
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let smoke = std::env::var_os("OBS_SMOKE").is_some();
+    let nodes = if smoke { 10 } else { 18 };
+    let budget = ConfidenceBudget { timeout: Some(Duration::from_secs(10)), max_work: None };
+    let (db, graph) = random_graph(&RandomGraphConfig::uniform(nodes, 0.4));
+    let lineages = s2_relation(&graph, nodes);
+    let space = db.space();
+    let origins = db.origins();
+    let method = ConfidenceMethod::DTreeAbsolute(0.01);
+
+    let engine = |obs: Option<&Obs>| {
+        let e = ConfidenceEngine::new(method.clone()).with_budget(budget.clone());
+        match obs {
+            Some(o) => e.with_obs(o),
+            None => e,
+        }
+    };
+
+    // The differential guarantee at bench scale: all three wirings produce
+    // bit-identical estimates and bounds.
+    let disabled = Obs::default();
+    let enabled = Obs::enabled();
+    let base = engine(None).confidence_batch(&lineages, space, Some(origins));
+    for obs in [&disabled, &enabled] {
+        let got = engine(Some(obs)).confidence_batch(&lineages, space, Some(origins));
+        for (a, b) in base.results.iter().zip(&got.results) {
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+            assert_eq!(a.lower.to_bits(), b.lower.to_bits());
+            assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+        }
+    }
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(if smoke { 1 } else { 3 }));
+    let series: [(&str, Option<&Obs>); 3] =
+        [("baseline", None), ("disabled", Some(&disabled)), ("enabled", Some(&enabled))];
+    for (name, obs) in series {
+        group.bench_with_input(BenchmarkId::new(name, "graph_s2_abs0.01"), &lineages, |b, l| {
+            let engine = engine(obs);
+            b.iter(|| {
+                engine
+                    .confidence_batch(l, space, Some(origins))
+                    .results
+                    .iter()
+                    .map(|r| r.estimate)
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -182,7 +182,7 @@ fn split_budget_experiment(smoke: bool) {
     }
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_resume.json");
     if let Err(e) = bench::write_json(&path, &records) {
-        eprintln!("warning: could not write {}: {e}", path.display());
+        obs::warn("bench.report", &format!("could not write {}: {e}", path.display()));
     }
 }
 

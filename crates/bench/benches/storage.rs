@@ -195,7 +195,7 @@ fn storage_experiment(smoke: bool) -> (TempDir, Database, Database) {
         let path =
             std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_storage.json");
         if let Err(e) = bench::write_json(&path, &records) {
-            eprintln!("warning: could not write {}: {e}", path.display());
+            obs::warn("bench.report", &format!("could not write {}: {e}", path.display()));
         }
     }
     (dir, heap, disk)

@@ -183,7 +183,7 @@ fn streaming_experiment(smoke: bool) -> (StreamingWorkload, ResumablePool, Confi
         let path =
             std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_streaming.json");
         if let Err(e) = bench::write_json(&path, &records) {
-            eprintln!("warning: could not write {}: {e}", path.display());
+            obs::warn("bench.report", &format!("could not write {}: {e}", path.display()));
         }
     }
     (w, pool, engine)

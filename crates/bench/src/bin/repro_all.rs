@@ -11,6 +11,9 @@
 use std::process::Command;
 
 fn main() {
+    // Collect warnings (and any metrics the harness records in-process) in a
+    // live registry for the duration of the run.
+    obs::install_global(obs::Obs::enabled());
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bins = ["repro_fig6", "repro_fig7", "repro_fig8", "repro_fig9"];
     let exe_dir = std::env::current_exe()
@@ -32,8 +35,8 @@ fn main() {
         };
         match status {
             Ok(s) if s.success() => {}
-            Ok(s) => eprintln!("{bin} exited with {s}"),
-            Err(e) => eprintln!("failed to launch {bin}: {e}"),
+            Ok(s) => obs::warn("bench.repro", &format!("{bin} exited with {s}")),
+            Err(e) => obs::warn("bench.repro", &format!("failed to launch {bin}: {e}")),
         }
     }
 
@@ -52,7 +55,9 @@ fn main() {
             Ok(()) => {
                 println!("appended {} decomposition records to {}", records.len(), path.display())
             }
-            Err(e) => eprintln!("warning: could not append to {}: {e}", path.display()),
+            Err(e) => {
+                obs::warn("bench.repro", &format!("could not append to {}: {e}", path.display()))
+            }
         }
     }
 }

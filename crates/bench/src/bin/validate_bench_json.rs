@@ -3,6 +3,11 @@
 //! arguments) against the [`bench::BenchRecord`] JSON-lines schema and fails
 //! on malformed lines or duplicate series names within a file — the two ways
 //! a bad merge or a crashed bench writer corrupts the trajectory history.
+//! `METRICS_*.json` files (observability snapshots such as the committed
+//! fig7 width-trajectory capture) are validated against the strict
+//! `obs::snapshot` schema instead — section order, unique metric names,
+//! monotone event sequence numbers, and the synthetic `obs.trace.dropped`
+//! counter all enforced.
 
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
@@ -25,7 +30,9 @@ fn main() -> ExitCode {
     let mut total_records = 0usize;
     let mut failures = 0usize;
     for path in &files {
-        match validate_file(path) {
+        let result =
+            if is_metrics_file(path) { validate_metrics(path) } else { validate_file(path) };
+        match result {
             Ok(n) => {
                 println!("  {} — {n} records ok", path.display());
                 total_records += n;
@@ -47,9 +54,16 @@ fn main() -> ExitCode {
     }
 }
 
-/// All `BENCH_*.json` files at the workspace root, in stable (sorted) order.
-/// The root is located relative to this crate's manifest, so the bin works
-/// regardless of the invoking directory.
+/// `true` for files validated as observability snapshots.
+fn is_metrics_file(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.starts_with("METRICS_") && n.ends_with(".json"))
+}
+
+/// All `BENCH_*.json` and `METRICS_*.json` files at the workspace root, in
+/// stable (sorted) order. The root is located relative to this crate's
+/// manifest, so the bin works regardless of the invoking directory.
 fn discover_workspace_files() -> Result<Vec<PathBuf>, String> {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let mut files: Vec<PathBuf> = std::fs::read_dir(&root)
@@ -57,12 +71,14 @@ fn discover_workspace_files() -> Result<Vec<PathBuf>, String> {
         .filter_map(|entry| {
             let path = entry.ok()?.path();
             let name = path.file_name()?.to_str()?;
-            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(path)
+            let bench = name.starts_with("BENCH_") && name.ends_with(".json");
+            let metrics = name.starts_with("METRICS_") && name.ends_with(".json");
+            (bench || metrics).then_some(path)
         })
         .collect();
     files.sort();
     if files.is_empty() {
-        return Err(format!("no BENCH_*.json files found at {}", root.display()));
+        return Err(format!("no BENCH_*.json or METRICS_*.json files found at {}", root.display()));
     }
     Ok(files)
 }
@@ -86,5 +102,15 @@ fn validate_file(path: &Path) -> Result<usize, String> {
     if count == 0 {
         return Err("file holds no records".to_owned());
     }
+    Ok(count)
+}
+
+/// Validates one observability snapshot; returns the number of metric and
+/// event lines on success.
+fn validate_metrics(path: &Path) -> Result<usize, String> {
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read file: {e}"))?;
+    let snap = obs::snapshot::parse_json_lines(&content)?;
+    let count =
+        snap.counters.len() + snap.gauges.len() + snap.histograms.len() + snap.events.len() + 1; // the synthetic obs.trace.dropped counter, required in every export
     Ok(count)
 }

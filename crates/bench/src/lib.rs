@@ -113,12 +113,16 @@ impl HarnessOptions {
     }
 
     /// Folds `rows` into per-series records and appends them to the `--json`
-    /// file, if one was requested. IO errors are reported to stderr, not
-    /// panicked on: a broken trajectory file must not kill a long repro run.
+    /// file, if one was requested. IO errors are reported through
+    /// [`obs::warn`], not panicked on: a broken trajectory file must not kill
+    /// a long repro run.
     pub fn emit_json(&self, rows: &[ExperimentRow]) {
         let Some(path) = &self.json else { return };
         if let Err(e) = append_json(path, &records_from_rows(rows)) {
-            eprintln!("warning: could not append bench records to {}: {e}", path.display());
+            obs::warn(
+                "bench.report",
+                &format!("could not append bench records to {}: {e}", path.display()),
+            );
         }
     }
 }

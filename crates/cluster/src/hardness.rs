@@ -107,12 +107,29 @@ impl Default for Bucket {
 #[derive(Debug, Default)]
 pub struct HardnessEstimator {
     buckets: Mutex<[Bucket; NUM_BUCKETS]>,
+    /// Write-only calibration-error tracking (see
+    /// [`HardnessEstimator::attach_obs`]); never read back, so observability
+    /// cannot perturb scores.
+    obs: obs::Obs,
+    observed: obs::Counter,
 }
 
 impl HardnessEstimator {
     /// A fresh estimator with neutral calibration (factor 1 everywhere).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches observability: every [`HardnessEstimator::observe`] call
+    /// records its calibration ratio — observed [`CompileStats::work`] over
+    /// the score predicted *before* folding the observation in — into the
+    /// per-size-bucket histogram `cluster.hardness.calib_ratio.bNN`, plus a
+    /// `cluster.hardness.observations` counter. A bucket histogram centered
+    /// on 1 means the estimator's ordering can be trusted for that size
+    /// class (the precondition for hardness-weighted scheduler slices).
+    pub fn attach_obs(&mut self, o: &obs::Obs) {
+        self.obs = o.clone();
+        self.observed = o.counter("cluster.hardness.observations");
     }
 
     /// Scores a lineage: higher means expected-harder. Deterministic given
@@ -168,6 +185,17 @@ impl HardnessEstimator {
         let ratio = work as f64 / raw;
         let mut buckets = self.buckets.lock().expect("estimator poisoned");
         let b = &mut buckets[features.bucket()];
+        if self.obs.is_enabled() {
+            // Calibration error against the *pre-update* prediction: the
+            // score this run would have been scheduled by.
+            let predicted = raw * b.factor.max(0.0);
+            if predicted > 0.0 {
+                self.obs
+                    .histogram(&format!("cluster.hardness.calib_ratio.b{:02}", features.bucket()))
+                    .record(work as f64 / predicted);
+            }
+            self.observed.inc();
+        }
         // EWMA with a gain that starts at 1 (adopt the first observation
         // outright) and settles to 1/16 (track drift without jitter).
         let gain = 1.0 / (b.observations.min(15) + 1) as f64;

@@ -227,6 +227,7 @@ pub struct ClusterEngine {
     topology: CacheTopology,
     estimator: Arc<HardnessEstimator>,
     max_rounds: usize,
+    obs: obs::Obs,
 }
 
 impl std::fmt::Debug for ClusterEngine {
@@ -259,6 +260,7 @@ impl ClusterEngine {
             topology: CacheTopology::default(),
             estimator: Arc::new(HardnessEstimator::new()),
             max_rounds: 4,
+            obs: obs::Obs::default(),
         }
     }
 
@@ -330,6 +332,25 @@ impl ClusterEngine {
     /// deadlines over mixed-hardness batches.
     pub fn with_max_rounds(mut self, rounds: usize) -> Self {
         self.max_rounds = rounds.max(1);
+        self
+    }
+
+    /// Attaches an observability sink: the scheduler emits round, steal,
+    /// migration, and deadline-slack metrics and trace events
+    /// (`cluster.*`); per-shard engines carry the sink into the `engine.*`
+    /// and `dtree.*` layers; and — if the engine still owns its estimator
+    /// exclusively (i.e. [`ClusterEngine::with_estimator`] was not given a
+    /// shared one) — hardness calibration error is tracked too. A shared
+    /// estimator keeps whatever sink its owner attached via
+    /// [`HardnessEstimator::attach_obs`] before wrapping it in an `Arc`.
+    ///
+    /// With the default (disabled) sink every handle is a no-op and results
+    /// are bit-identical either way.
+    pub fn with_obs(mut self, o: &obs::Obs) -> Self {
+        self.obs = o.clone();
+        if let Some(estimator) = Arc::get_mut(&mut self.estimator) {
+            estimator.attach_obs(o);
+        }
         self
     }
 
@@ -408,6 +429,7 @@ impl ClusterEngine {
             per_shard.iter().map(|slot| slot.map(|k| owned[k].as_ref())).collect();
         let before: Vec<CacheStats> = owned.iter().map(|c| c.stats()).collect();
         let engine = self.shard_engine();
+        let cobs = scheduler::ClusterObs::new(&self.obs);
 
         let ctx = scheduler::RunContext {
             lineages: &lineages,
@@ -425,6 +447,7 @@ impl ClusterEngine {
             // Capturing frontiers costs a little on every fresh run; only
             // pay it when refinement rounds could actually resume them.
             capture: deadline.is_some() && self.max_rounds > 1,
+            obs: &cobs,
         };
         let outcome = scheduler::execute(&ctx, queues, vec![None; lineages.len()]);
 
@@ -593,6 +616,7 @@ impl ClusterEngine {
             per_shard.iter().map(|slot| slot.map(|k| owned[k].as_ref())).collect();
         let before: Vec<CacheStats> = owned.iter().map(|c| c.stats()).collect();
         let engine = self.shard_engine();
+        let cobs = scheduler::ClusterObs::new(&self.obs);
 
         let ctx = scheduler::RunContext {
             lineages: &lineages,
@@ -611,6 +635,7 @@ impl ClusterEngine {
             // run in the caller's pool, making the *next* round's deltas
             // cheap.
             capture: true,
+            obs: &cobs,
         };
         let outcome = scheduler::execute(&ctx, queues, initial_handles);
 
@@ -688,7 +713,8 @@ impl ClusterEngine {
     fn shard_engine(&self) -> ConfidenceEngine {
         let mut engine = ConfidenceEngine::new(self.method.clone())
             .with_budget(ConfidenceBudget { timeout: None, max_work: self.budget.max_work })
-            .with_threads(1);
+            .with_threads(1)
+            .with_obs(&self.obs);
         if let Some(seed) = self.seed {
             engine = engine.with_seed(seed);
         }

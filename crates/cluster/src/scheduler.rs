@@ -85,6 +85,39 @@ impl SchedulePolicy {
     }
 }
 
+/// Pre-fetched observability handles for one scheduling run. All handles
+/// are write-only no-ops when the engine has no [`obs::Obs`] attached, so
+/// the scheduler's hot paths pay a branch on a `None`, nothing more.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ClusterObs {
+    pub obs: obs::Obs,
+    /// `cluster.rounds`: scheduling rounds run (≥ 1 per batch).
+    pub rounds: obs::Counter,
+    /// `cluster.steals`: items a drained worker stole from another shard.
+    pub steals: obs::Counter,
+    /// `cluster.migrations`: suspended frontiers resumed on a shard other
+    /// than the one whose worker last ran them.
+    pub migrations: obs::Counter,
+    /// `cluster.resumed`: executions served by resuming a frontier.
+    pub resumed: obs::Counter,
+    /// `cluster.deadline_slack_seconds`: time left on the cluster deadline
+    /// when the schedule finished (0 = ran out).
+    pub deadline_slack: obs::Histogram,
+}
+
+impl ClusterObs {
+    pub fn new(o: &obs::Obs) -> ClusterObs {
+        ClusterObs {
+            obs: o.clone(),
+            rounds: o.counter("cluster.rounds"),
+            steals: o.counter("cluster.steals"),
+            migrations: o.counter("cluster.migrations"),
+            resumed: o.counter("cluster.resumed"),
+            deadline_slack: o.histogram("cluster.deadline_slack_seconds"),
+        }
+    }
+}
+
 /// Everything one scheduling run needs, borrowed from the cluster engine.
 pub(crate) struct RunContext<'a> {
     pub lineages: &'a [&'a Dnf],
@@ -107,6 +140,8 @@ pub(crate) struct RunContext<'a> {
     /// set, more than one round); maintenance mode always captures, because
     /// surviving handles outlive the run in the caller's pool.
     pub capture: bool,
+    /// Pre-fetched metric/trace handles (no-ops when observability is off).
+    pub obs: &'a ClusterObs,
 }
 
 /// Mutable per-shard counters accumulated over all rounds.
@@ -210,7 +245,14 @@ pub(crate) fn execute(
         for queue in &mut pending {
             ctx.policy.order(queue, &scores);
         }
+        let round_items: usize = pending.iter().map(Vec::len).sum();
         run_round(ctx, &pending, &mut results, &mut accums, &handles);
+        ctx.obs
+            .obs
+            .event("cluster.round")
+            .u64("round", rounds as u64)
+            .u64("items", round_items as u64)
+            .emit();
 
         let Some(deadline) = ctx.deadline else { break };
         if rounds >= ctx.max_rounds {
@@ -241,6 +283,19 @@ pub(crate) fn execute(
             break;
         }
         pending = unfinished;
+    }
+
+    ctx.obs.rounds.add(rounds as u64);
+    let (stolen, resumed, migrated) = accums
+        .iter()
+        .fold((0, 0, 0), |acc, s| (acc.0 + s.stolen, acc.1 + s.resumed, acc.2 + s.migrated));
+    ctx.obs.steals.add(stolen as u64);
+    ctx.obs.resumed.add(resumed as u64);
+    ctx.obs.migrations.add(migrated as u64);
+    if let Some(deadline) = ctx.deadline {
+        // Slack = runway left when the schedule finished; 0 means the
+        // deadline ran out (some items were truncated at their slices).
+        ctx.obs.deadline_slack.record_duration(deadline.saturating_duration_since(Instant::now()));
     }
 
     ScheduleOutcome {
@@ -308,6 +363,14 @@ fn run_round(
                 loop {
                     let popped = pop_or_steal(queues, w);
                     let Some((i, stolen)) = popped else { break };
+                    if stolen {
+                        ctx.obs
+                            .obs
+                            .event("cluster.steal")
+                            .u64("item", i as u64)
+                            .u64("thief", w as u64)
+                            .emit();
+                    }
                     // The share computation counts this item as still
                     // unstarted (it has not consumed time yet), so decrement
                     // after computing the slice denominator.
@@ -366,6 +429,14 @@ fn run_one(
     let slot = &mut *guard;
     if let Some(handle) = slot.handle.as_mut() {
         let migrated = slot.owner.is_some_and(|o| o != shard);
+        if migrated {
+            ctx.obs
+                .obs
+                .event("cluster.migration")
+                .u64("item", i as u64)
+                .u64("to_shard", shard as u64)
+                .emit();
+        }
         slot.owner = Some(shard);
         let r = match item_deadline {
             Some(d) => handle.resume_until(ctx.space, d, cache),
@@ -543,6 +614,7 @@ mod tests {
         let scores = vec![1.0];
         let engine = ConfidenceEngine::new(ConfidenceMethod::DTreeAbsolute(1e-6)).with_threads(1);
         let estimator = HardnessEstimator::new();
+        let cobs = ClusterObs::default();
         let ctx = RunContext {
             lineages: &lineages,
             space: &space,
@@ -557,6 +629,7 @@ mod tests {
             max_rounds: 1,
             max_work: None,
             capture: true,
+            obs: &cobs,
         };
         let handles = vec![Mutex::new(HandleSlot::default())];
         let mut results = vec![None];

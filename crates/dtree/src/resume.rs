@@ -100,6 +100,38 @@ impl ResumeBudget {
     }
 }
 
+/// Pre-fetched observability handles for resume slices. Handles are resolved
+/// once in [`ResumableCompilation::attach_obs`] so the hot slice path never
+/// touches the registry's name map; the default (no handles) records nowhere.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ResumeObs {
+    obs: obs::Obs,
+    slices: obs::Counter,
+    steps: obs::Counter,
+    poisoned: obs::Counter,
+    slice_seconds: obs::Histogram,
+    width: obs::Histogram,
+    exact_hits: obs::Counter,
+    bound_hits: obs::Counter,
+    exact_evals: obs::Counter,
+}
+
+impl ResumeObs {
+    fn new(o: &obs::Obs) -> ResumeObs {
+        ResumeObs {
+            obs: o.clone(),
+            slices: o.counter("dtree.resume.slices"),
+            steps: o.counter("dtree.resume.steps"),
+            poisoned: o.counter("dtree.resume.poisoned"),
+            slice_seconds: o.histogram("dtree.resume.slice_seconds"),
+            width: o.histogram("dtree.resume.width"),
+            exact_hits: o.counter("dtree.cache.exact_hits"),
+            bound_hits: o.counter("dtree.cache.bound_hits"),
+            exact_evals: o.counter("dtree.cache.exact_evals"),
+        }
+    }
+}
+
 /// One frontier entry: an open leaf keyed by its width-contribution priority.
 /// Entries are invalidated lazily — a popped entry whose `stamp` no longer
 /// matches the leaf's current stamp is skipped.
@@ -179,6 +211,9 @@ pub struct ResumableCompilation {
     /// orphaned by a dirty rebuild go stale but are unreachable from the
     /// root and never consulted again.
     subtree_vars: BTreeMap<usize, BTreeSet<VarId>>,
+    /// Write-only observability handles; never read back, so attached
+    /// metrics cannot perturb results (see [`ResumableCompilation::attach_obs`]).
+    obs: ResumeObs,
 }
 
 /// Reconstructs the [`PartialDTree`] a truncated DFS run materialised from
@@ -259,6 +294,7 @@ impl ResumableCompilation {
             deltas_applied: 0,
             dirty_rebuilds: 0,
             subtree_vars: BTreeMap::new(),
+            obs: ResumeObs::default(),
         };
         let root = handle.root_index();
         handle.fill_subtree(root);
@@ -368,6 +404,15 @@ impl ResumableCompilation {
         self.dirty_rebuilds
     }
 
+    /// Attaches observability: every subsequent slice records step counts,
+    /// cache-probe outcomes, slice latency, and the root interval width into
+    /// `o`'s registry, plus one `dtree.slice` trace event — the anytime
+    /// width-tightening trajectory as an exportable series. The handles are
+    /// write-only; attaching them never changes any result bit.
+    pub fn attach_obs(&mut self, o: &obs::Obs) {
+        self.obs = ResumeObs::new(o);
+    }
+
     /// Continues the suspended compilation for one budgeted slice, returning
     /// the (monotonically tightened) bounds reached when the budget ran out —
     /// or converged bounds if the error guarantee was met first. The returned
@@ -405,6 +450,7 @@ impl ResumableCompilation {
         {
             // Fail closed: the frontier's cached bounds may be stale.
             self.poisoned = true;
+            self.obs.poisoned.inc();
             let elapsed = start.elapsed();
             self.total_elapsed += elapsed;
             let vacuous = Bounds::vacuous();
@@ -448,13 +494,30 @@ impl ResumableCompilation {
         self.total_elapsed += elapsed;
         let bounds = self.cur[self.root_index()];
         self.curve.push((self.total_steps, bounds.width()));
+        let slice_stats = self.tree.stats().since(&stats_before);
+        let converged = self.error.satisfied_by(bounds);
+        self.obs.slices.inc();
+        self.obs.steps.add(slice_steps as u64);
+        self.obs.slice_seconds.record_duration(elapsed);
+        self.obs.width.record(bounds.width());
+        self.obs.exact_hits.add(slice_stats.exact_cache_hits as u64);
+        self.obs.bound_hits.add(slice_stats.bound_cache_hits as u64);
+        self.obs.exact_evals.add(slice_stats.exact_evaluations as u64);
+        self.obs
+            .obs
+            .event("dtree.slice")
+            .u64("steps", slice_steps as u64)
+            .u64("total_steps", self.total_steps as u64)
+            .f64("width", bounds.width())
+            .bool("converged", converged)
+            .emit();
         ApproxResult {
             lower: bounds.lower,
             upper: bounds.upper,
             estimate: self.error.estimate_from(bounds),
-            converged: self.error.satisfied_by(bounds),
+            converged,
             steps: slice_steps,
-            stats: self.tree.stats().since(&stats_before),
+            stats: slice_stats,
             elapsed,
         }
     }

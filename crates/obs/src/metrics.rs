@@ -1,0 +1,345 @@
+//! The metrics registry and its handle types.
+//!
+//! A [`MetricsRegistry`] owns named atomics; [`Counter`], [`Gauge`], and
+//! [`Histogram`] are clonable handles onto them. Handles default to no-ops
+//! (`None` inside), which is what a disabled [`crate::Obs`] hands out, so
+//! instrumented code records unconditionally and pays one branch when
+//! observability is off.
+//!
+//! Histograms are log₂-bucketed: bucket `i` counts values in
+//! `[2^(i-48), 2^(i-47))`, so the 64 buckets cover `[2⁻⁴⁸, 2¹⁶)` — twelve
+//! decimal orders of magnitude below one second and four above, which fits
+//! both sub-microsecond slice latencies and interval widths in `[0, 1]`.
+//! Values at or below zero (and NaN) land in bucket 0, values at or above
+//! `2¹⁶` in bucket 63. Count, sum, min, and max are tracked exactly (the
+//! floats via compare-exchange on their bit patterns).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::HISTOGRAM_BUCKETS;
+
+/// A monotonically increasing counter handle. Default = no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for no-op handles).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value-wins gauge handle. Default = no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for no-op handles).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared histogram state. See the [module docs](self) for the bucketing.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    /// `f64` bit patterns maintained by compare-exchange.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> HistogramCore {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    fn record(&self, v: f64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        update_f64(&self.sum_bits, |cur| cur + v);
+        update_f64(&self.min_bits, |cur| cur.min(v));
+        update_f64(&self.max_bits, |cur| cur.max(v));
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets: Vec<(usize, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: (count > 0).then(|| f64::from_bits(self.min_bits.load(Ordering::Relaxed))),
+            max: (count > 0).then(|| f64::from_bits(self.max_bits.load(Ordering::Relaxed))),
+            buckets,
+        }
+    }
+}
+
+/// Lock-free `f64` read-modify-write over an `AtomicU64` of bit patterns.
+fn update_f64(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// The bucket a value lands in: the IEEE-754 exponent shifted so that
+/// `2⁻⁴⁸ → 0`, clamped into `0..HISTOGRAM_BUCKETS`. Non-positive values,
+/// NaN, and subnormals land in bucket 0.
+pub fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= 0.0 || !v.is_finite() {
+        return if v == f64::INFINITY { HISTOGRAM_BUCKETS - 1 } else { 0 };
+    }
+    let exponent = ((v.to_bits() >> 52) & 0x7ff) as i64 - 1023;
+    (exponent + 48).clamp(0, HISTOGRAM_BUCKETS as i64 - 1) as usize
+}
+
+/// The lower edge of bucket `i` — the smallest value it counts. Used by the
+/// text report's quantile estimates.
+pub fn bucket_lower_bound(i: usize) -> f64 {
+    (2f64).powi(i as i32 - 48)
+}
+
+/// A log₂-bucketed histogram handle. Default = no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: f64) {
+        if let Some(core) = &self.0 {
+            core.record(v);
+        }
+    }
+
+    /// Records a duration in seconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Point-in-time snapshot (empty for no-op handles).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.as_ref().map(|core| core.snapshot()).unwrap_or_default()
+    }
+}
+
+/// Frozen histogram state: exact count/sum/min/max plus the non-empty
+/// buckets as `(bucket index, count)` pairs in index order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (`None` when empty).
+    pub min: Option<f64>,
+    /// Largest sample (`None` when empty).
+    pub max: Option<f64>,
+    /// Non-empty `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Bucket-resolution quantile estimate: the lower edge of the bucket
+    /// containing the `q`-quantile sample (`q` in `[0, 1]`). `None` when
+    /// empty.
+    pub fn quantile_bucket_bound(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_lower_bound(i));
+            }
+        }
+        self.buckets.last().map(|&(i, _)| bucket_lower_bound(i))
+    }
+}
+
+/// A named registry of counters, gauges, and histograms. Fetching a name
+/// registers it on first use and always returns a handle onto the same
+/// underlying atomic; export order is name order (deterministic).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Handle onto the counter `name` (registered on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("counter registry poisoned");
+        let cell = map.entry(name.to_owned()).or_default();
+        Counter(Some(Arc::clone(cell)))
+    }
+
+    /// Handle onto the gauge `name` (registered on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("gauge registry poisoned");
+        let cell = map.entry(name.to_owned()).or_default();
+        Gauge(Some(Arc::clone(cell)))
+    }
+
+    /// Handle onto the histogram `name` (registered on first use).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        let core = map.entry(name.to_owned()).or_insert_with(|| Arc::new(HistogramCore::new()));
+        Histogram(Some(Arc::clone(core)))
+    }
+
+    /// Freezes every metric (events are attached by [`crate::Obs::snapshot`]).
+    pub fn snapshot(&self) -> crate::Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(name, core)| (name.clone(), core.snapshot()))
+            .collect();
+        crate::Snapshot { counters, gauges, histograms, events: Vec::new(), dropped_events: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_the_range() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(1e-300), 0, "far-underflow clamps to bucket 0");
+        assert_eq!(bucket_index(1e300), HISTOGRAM_BUCKETS - 1, "overflow clamps to the top");
+        // 1.0 = 2⁰ → bucket 48; 0.5 → 47; 2.0 → 49.
+        assert_eq!(bucket_index(1.0), 48);
+        assert_eq!(bucket_index(0.5), 47);
+        assert_eq!(bucket_index(2.0), 49);
+        // Every in-range value lands in the bucket whose edges bracket it.
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(lo * 1.999), i);
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_exact_aggregates() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h");
+        for v in [0.001, 0.002, 0.004, 1.5] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert!((snap.sum - 1.507).abs() < 1e-12);
+        assert_eq!(snap.min, Some(0.001));
+        assert_eq!(snap.max, Some(1.5));
+        assert!((snap.mean() - 1.507 / 4.0).abs() < 1e-12);
+        let total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 4);
+        assert!(snap.quantile_bucket_bound(0.5).unwrap() <= 0.002);
+    }
+
+    #[test]
+    fn same_name_shares_state_across_fetches_and_threads() {
+        let reg = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    let c = reg.counter("shared");
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                    reg.histogram("lat").record(0.01);
+                });
+            }
+        });
+        assert_eq!(reg.counter("shared").get(), 4000);
+        assert_eq!(reg.histogram("lat").snapshot().count, 4);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_empty() {
+        let snap = Histogram::default().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min, None);
+        assert_eq!(snap.quantile_bucket_bound(0.5), None);
+        assert_eq!(snap.mean(), 0.0);
+    }
+}

@@ -1,0 +1,723 @@
+//! Frozen snapshots, the JSON-lines export format, and its strict parser.
+//!
+//! The export is one JSON object per line, in a fixed section order —
+//! counters, gauges, histograms, then trace events — mirroring the
+//! hand-rolled `BENCH_*.json` record style so the same harness tooling can
+//! validate both:
+//!
+//! ```text
+//! {"metric":"engine.items","kind":"counter","value":12}
+//! {"metric":"storage.wal.bytes","kind":"gauge","value":4096}
+//! {"metric":"engine.item_seconds","kind":"histogram","count":2,"sum":0.5,"min":0.1,"max":0.4,"buckets":"44:1 46:1"}
+//! {"event":"dtree.slice","seq":0,"micros":118,"steps":64,"width":0.25}
+//! ```
+//!
+//! Histogram `buckets` encode the non-empty log₂ buckets as space-separated
+//! `index:count` pairs. Floats always carry a decimal point or exponent so
+//! the parser can distinguish them from integers lexically. The journal's
+//! drop count is exported as a synthetic `obs.trace.dropped` counter.
+//! [`parse_json_lines`] is strict: unknown keys, out-of-order sections,
+//! duplicate metric names, non-finite numbers, and malformed bucket strings
+//! are all errors. Event field keys must not shadow the reserved `event`,
+//! `seq`, and `micros` keys.
+
+use crate::metrics::HistogramSnapshot;
+use crate::trace::{FieldValue, TraceEvent};
+
+/// Synthetic counter name carrying [`Snapshot::dropped_events`] in exports.
+pub const DROPPED_EVENTS_METRIC: &str = "obs.trace.dropped";
+
+/// A frozen view of a registry plus its trace journal.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` counters in export order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges in export order.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, state)` histograms in export order.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Retained trace events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events dropped because the journal was full.
+    pub dropped_events: u64,
+}
+
+impl Snapshot {
+    /// Renders the snapshot as JSON lines (see the [module docs](self)).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        let mut counters: Vec<(&str, u64)> =
+            self.counters.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        if !counters.iter().any(|&(n, _)| n == DROPPED_EVENTS_METRIC) {
+            let at = counters.partition_point(|&(n, _)| n < DROPPED_EVENTS_METRIC);
+            counters.insert(at, (DROPPED_EVENTS_METRIC, self.dropped_events));
+        }
+        for (name, value) in counters {
+            out.push_str(&format!(
+                "{{\"metric\":{},\"kind\":\"counter\",\"value\":{value}}}\n",
+                json_string(name)
+            ));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!(
+                "{{\"metric\":{},\"kind\":\"gauge\",\"value\":{value}}}\n",
+                json_string(name)
+            ));
+        }
+        for (name, hist) in &self.histograms {
+            out.push_str(&format!(
+                "{{\"metric\":{},\"kind\":\"histogram\",\"count\":{}",
+                json_string(name),
+                hist.count
+            ));
+            out.push_str(&format!(",\"sum\":{}", json_f64(hist.sum)));
+            if let (Some(min), Some(max)) = (hist.min, hist.max) {
+                out.push_str(&format!(",\"min\":{},\"max\":{}", json_f64(min), json_f64(max)));
+            }
+            let buckets: Vec<String> =
+                hist.buckets.iter().map(|&(i, n)| format!("{i}:{n}")).collect();
+            out.push_str(&format!(",\"buckets\":\"{}\"}}\n", buckets.join(" ")));
+        }
+        for event in &self.events {
+            out.push_str(&format!(
+                "{{\"event\":{},\"seq\":{},\"micros\":{}",
+                json_string(&event.kind),
+                event.seq,
+                event.micros
+            ));
+            for (key, value) in &event.fields {
+                out.push_str(&format!(",{}:", json_string(key)));
+                match value {
+                    FieldValue::U64(v) => out.push_str(&v.to_string()),
+                    FieldValue::F64(v) => out.push_str(&json_f64(*v)),
+                    FieldValue::Str(s) => out.push_str(&json_string(s)),
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Renders a human-readable text report (the `pdb-stats` output).
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        let name_width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .chain([DROPPED_EVENTS_METRIC.len()])
+            .max()
+            .unwrap_or(0);
+        if !self.counters.is_empty() || self.dropped_events > 0 {
+            out.push_str("counters\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<name_width$}  {value}\n"));
+            }
+            if !self.counters.iter().any(|(n, _)| n == DROPPED_EVENTS_METRIC) {
+                out.push_str(&format!(
+                    "  {DROPPED_EVENTS_METRIC:<name_width$}  {}\n",
+                    self.dropped_events
+                ));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges\n");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name:<name_width$}  {value}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms\n");
+            for (name, hist) in &self.histograms {
+                if hist.count == 0 {
+                    out.push_str(&format!("  {name:<name_width$}  count=0\n"));
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  {name:<name_width$}  count={} mean={:.3e} p50~{:.3e} min={:.3e} max={:.3e}\n",
+                    hist.count,
+                    hist.mean(),
+                    hist.quantile_bucket_bound(0.5).unwrap_or(0.0),
+                    hist.min.unwrap_or(0.0),
+                    hist.max.unwrap_or(0.0),
+                ));
+            }
+        }
+        if !self.events.is_empty() || self.dropped_events > 0 {
+            const TAIL: usize = 20;
+            let skipped = self.events.len().saturating_sub(TAIL);
+            out.push_str(&format!(
+                "trace ({} events retained, {} dropped)\n",
+                self.events.len(),
+                self.dropped_events
+            ));
+            if skipped > 0 {
+                out.push_str(&format!("  ... {skipped} earlier events omitted\n"));
+            }
+            for event in self.events.iter().skip(skipped) {
+                out.push_str(&format!(
+                    "  [{:>6} +{:>9}us] {}",
+                    event.seq, event.micros, event.kind
+                ));
+                for (key, value) in &event.fields {
+                    match value {
+                        FieldValue::U64(v) => out.push_str(&format!(" {key}={v}")),
+                        FieldValue::F64(v) => out.push_str(&format!(" {key}={v:.4}")),
+                        FieldValue::Str(s) => out.push_str(&format!(" {key}={s}")),
+                    }
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// One parsed export line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Line {
+    /// A `"kind":"counter"` metric line.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Counter value.
+        value: u64,
+    },
+    /// A `"kind":"gauge"` metric line.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Gauge value.
+        value: u64,
+    },
+    /// A `"kind":"histogram"` metric line.
+    Histogram {
+        /// Metric name.
+        name: String,
+        /// Parsed histogram state.
+        hist: HistogramSnapshot,
+    },
+    /// A trace-event line.
+    Event(TraceEvent),
+}
+
+/// Parses one export line strictly (exact key order, no unknown keys, no
+/// trailing garbage).
+pub fn parse_line(line: &str) -> Result<Line, String> {
+    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let first = p.parse_key()?;
+    let line = match first.as_str() {
+        "metric" => {
+            let name = p.parse_string()?;
+            if p.parse_key()? != "kind" {
+                return Err("expected \"kind\" after \"metric\"".into());
+            }
+            let kind = p.parse_string()?;
+            match kind.as_str() {
+                "counter" => {
+                    if p.parse_key()? != "value" {
+                        return Err("expected \"value\" on counter line".into());
+                    }
+                    Line::Counter { name, value: p.parse_u64()? }
+                }
+                "gauge" => {
+                    if p.parse_key()? != "value" {
+                        return Err("expected \"value\" on gauge line".into());
+                    }
+                    Line::Gauge { name, value: p.parse_u64()? }
+                }
+                "histogram" => Line::Histogram { name, hist: parse_histogram_body(&mut p)? },
+                other => return Err(format!("unknown metric kind {other:?}")),
+            }
+        }
+        "event" => {
+            let kind = p.parse_string()?;
+            if p.parse_key()? != "seq" {
+                return Err("expected \"seq\" after \"event\"".into());
+            }
+            let seq = p.parse_u64()?;
+            if p.parse_key()? != "micros" {
+                return Err("expected \"micros\" after \"seq\"".into());
+            }
+            let micros = p.parse_u64()?;
+            let mut fields = Vec::new();
+            while !p.at_close() {
+                let key = p.parse_key()?;
+                if key == "event" || key == "seq" || key == "micros" {
+                    return Err(format!("reserved key {key:?} reused as event field"));
+                }
+                fields.push((key, p.parse_scalar()?));
+            }
+            Line::Event(TraceEvent { seq, micros, kind, fields })
+        }
+        other => {
+            return Err(format!("line must start with \"metric\" or \"event\", got {other:?}"))
+        }
+    };
+    p.expect(b'}')?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing garbage after object".into());
+    }
+    Ok(line)
+}
+
+fn parse_histogram_body(p: &mut Parser<'_>) -> Result<HistogramSnapshot, String> {
+    if p.parse_key()? != "count" {
+        return Err("expected \"count\" on histogram line".into());
+    }
+    let count = p.parse_u64()?;
+    if p.parse_key()? != "sum" {
+        return Err("expected \"sum\" after \"count\"".into());
+    }
+    let sum = p.parse_f64()?;
+    let (mut min, mut max) = (None, None);
+    let mut key = p.parse_key()?;
+    if key == "min" {
+        min = Some(p.parse_f64()?);
+        if p.parse_key()? != "max" {
+            return Err("expected \"max\" after \"min\"".into());
+        }
+        max = Some(p.parse_f64()?);
+        key = p.parse_key()?;
+    }
+    if key != "buckets" {
+        return Err("expected \"buckets\" on histogram line".into());
+    }
+    let spec = p.parse_string()?;
+    let mut buckets = Vec::new();
+    let mut total = 0u64;
+    for pair in spec.split(' ').filter(|s| !s.is_empty()) {
+        let (index, n) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("bucket entry {pair:?} is not index:count"))?;
+        let index: usize = index.parse().map_err(|_| format!("bad bucket index {index:?}"))?;
+        let n: u64 = n.parse().map_err(|_| format!("bad bucket count {n:?}"))?;
+        if index >= crate::HISTOGRAM_BUCKETS {
+            return Err(format!("bucket index {index} out of range"));
+        }
+        if n == 0 {
+            return Err(format!("bucket {index} has zero count"));
+        }
+        if buckets.last().is_some_and(|&(prev, _)| prev >= index) {
+            return Err("bucket indices must be strictly increasing".into());
+        }
+        buckets.push((index, n));
+        total += n;
+    }
+    if total != count {
+        return Err(format!("bucket counts sum to {total} but count is {count}"));
+    }
+    if (count > 0) != min.is_some() {
+        return Err("min/max must be present exactly when count > 0".into());
+    }
+    if let (Some(min), Some(max)) = (min, max) {
+        if min > max {
+            return Err(format!("histogram min {min} exceeds max {max}"));
+        }
+    }
+    Ok(HistogramSnapshot { count, sum, min, max, buckets })
+}
+
+/// Parses a full export back into a [`Snapshot`], enforcing the section
+/// order (counters, gauges, histograms, events), unique metric names, and
+/// strictly increasing event sequence numbers. The synthetic
+/// [`DROPPED_EVENTS_METRIC`] counter is folded back into
+/// [`Snapshot::dropped_events`].
+pub fn parse_json_lines(text: &str) -> Result<Snapshot, String> {
+    let mut snap = Snapshot::default();
+    let mut section = 0u8; // 0 counters, 1 gauges, 2 histograms, 3 events
+    let mut seen_dropped = false;
+    let mut names: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = parse_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let enforce = |section: &mut u8, at: u8, what: &str| -> Result<(), String> {
+            if *section > at {
+                return Err(format!("line {}: {what} line out of section order", lineno + 1));
+            }
+            *section = at;
+            Ok(())
+        };
+        match parsed {
+            Line::Counter { name, value } => {
+                enforce(&mut section, 0, "counter")?;
+                if !names.insert(name.clone()) {
+                    return Err(format!("line {}: duplicate metric {name:?}", lineno + 1));
+                }
+                if name == DROPPED_EVENTS_METRIC {
+                    snap.dropped_events = value;
+                    seen_dropped = true;
+                } else {
+                    snap.counters.push((name, value));
+                }
+            }
+            Line::Gauge { name, value } => {
+                enforce(&mut section, 1, "gauge")?;
+                if !names.insert(name.clone()) {
+                    return Err(format!("line {}: duplicate metric {name:?}", lineno + 1));
+                }
+                snap.gauges.push((name, value));
+            }
+            Line::Histogram { name, hist } => {
+                enforce(&mut section, 2, "histogram")?;
+                if !names.insert(name.clone()) {
+                    return Err(format!("line {}: duplicate metric {name:?}", lineno + 1));
+                }
+                snap.histograms.push((name, hist));
+            }
+            Line::Event(event) => {
+                enforce(&mut section, 3, "event")?;
+                if snap.events.last().is_some_and(|prev| prev.seq >= event.seq) {
+                    return Err(format!(
+                        "line {}: event seq {} does not increase",
+                        lineno + 1,
+                        event.seq
+                    ));
+                }
+                snap.events.push(event);
+            }
+        }
+    }
+    if !seen_dropped {
+        return Err(format!("export is missing the {DROPPED_EVENTS_METRIC:?} counter"));
+    }
+    Ok(snap)
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float so it lexes as a float: always with a decimal point or
+/// exponent, round-tripping exactly through the shortest representation.
+pub fn json_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains(['.', 'e', 'E']) || !v.is_finite() {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    /// `true` when the next non-space byte closes the object.
+    fn at_close(&mut self) -> bool {
+        self.skip_ws();
+        self.bytes.get(self.pos) == Some(&b'}')
+    }
+
+    /// Consumes `,`-or-nothing, then a key string, then `:`. The leading
+    /// comma is required except for the first key after `{`.
+    fn parse_key(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b',') {
+            self.pos += 1;
+        }
+        let key = self.parse_string()?;
+        self.expect(b':')?;
+        Ok(key)
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            if (0xd800..0xdc00).contains(&code) {
+                                // High surrogate: require a following \u low half.
+                                if self.bytes.get(self.pos) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return Err("lone high surrogate".into());
+                                }
+                                self.pos += 2;
+                                let low = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                let c = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                out.push(char::from_u32(c).ok_or("invalid surrogate pair")?);
+                            } else if (0xdc00..0xe000).contains(&code) {
+                                return Err("lone low surrogate".into());
+                            } else {
+                                out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                            }
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                b if b < 0x20 => return Err("raw control character in string".into()),
+                b => {
+                    // Re-assemble UTF-8 multi-byte sequences from the source.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b)?;
+                    let chunk =
+                        self.bytes.get(start..start + len).ok_or("truncated UTF-8 sequence")?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8 in string")?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, String> {
+        let chunk = self.bytes.get(self.pos..self.pos + 4).ok_or("truncated \\u escape")?;
+        let s = std::str::from_utf8(chunk).map_err(|_| "invalid \\u escape")?;
+        let code = u32::from_str_radix(s, 16).map_err(|_| "invalid \\u escape")?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// The raw text of the next number token.
+    fn number_token(&mut self) -> Result<&str, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "invalid number".into())
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, String> {
+        let token = self.number_token()?;
+        token.parse().map_err(|_| format!("{token:?} is not an unsigned integer"))
+    }
+
+    fn parse_f64(&mut self) -> Result<f64, String> {
+        let token = self.number_token()?;
+        let v: f64 = token.parse().map_err(|_| format!("{token:?} is not a number"))?;
+        if !v.is_finite() {
+            return Err(format!("{token:?} is not finite"));
+        }
+        Ok(v)
+    }
+
+    /// An event field value: string, or number (float iff it lexes as one).
+    fn parse_scalar(&mut self) -> Result<FieldValue, String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'"') {
+            return Ok(FieldValue::Str(self.parse_string()?));
+        }
+        let token = self.number_token()?;
+        if token.contains(['.', 'e', 'E', '-']) {
+            let v: f64 = token.parse().map_err(|_| format!("{token:?} is not a number"))?;
+            if !v.is_finite() {
+                return Err(format!("{token:?} is not finite"));
+            }
+            Ok(FieldValue::F64(v))
+        } else {
+            Ok(FieldValue::U64(
+                token.parse().map_err(|_| format!("{token:?} is not an unsigned integer"))?,
+            ))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> Result<usize, String> {
+    match first {
+        0x00..=0x7f => Ok(1),
+        0xc0..=0xdf => Ok(2),
+        0xe0..=0xef => Ok(3),
+        0xf0..=0xf7 => Ok(4),
+        _ => Err("invalid UTF-8 lead byte".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn populated() -> Obs {
+        let obs = Obs::enabled();
+        obs.counter("a.count").add(3);
+        obs.counter("z.count").inc();
+        obs.gauge("b.gauge").set(42);
+        obs.histogram("c.hist").record(0.125);
+        obs.histogram("c.hist").record(3.0);
+        obs.event("x.start").u64("n", 7).emit();
+        obs.event("x.step").f64("w", 0.25).str("m", "kl").emit();
+        obs
+    }
+
+    #[test]
+    fn export_round_trips_exactly() {
+        let obs = populated();
+        let text = obs.export_json_lines();
+        let parsed = parse_json_lines(&text).expect("parse back");
+        assert_eq!(parsed.to_json_lines(), text);
+        let original = obs.snapshot().unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn export_includes_the_dropped_counter() {
+        let obs = Obs::with_trace_capacity(1);
+        obs.event("e").emit();
+        obs.event("e").emit();
+        let text = obs.export_json_lines();
+        assert!(text.contains("\"obs.trace.dropped\",\"kind\":\"counter\",\"value\":1"));
+        let parsed = parse_json_lines(&text).unwrap();
+        assert_eq!(parsed.dropped_events, 1);
+        assert!(parsed.counters.is_empty(), "synthetic counter folded back out");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for (line, why) in [
+            ("{\"metric\":\"a\",\"kind\":\"counter\",\"value\":-1}", "negative counter"),
+            ("{\"metric\":\"a\",\"kind\":\"counter\",\"value\":1} x", "trailing garbage"),
+            ("{\"metric\":\"a\",\"kind\":\"bogus\",\"value\":1}", "unknown kind"),
+            ("{\"metric\":\"a\",\"kind\":\"counter\",\"extra\":1}", "unknown key"),
+            ("{\"other\":\"a\"}", "unknown object"),
+            (
+                "{\"metric\":\"h\",\"kind\":\"histogram\",\"count\":2,\"sum\":1.0,\
+                 \"min\":0.1,\"max\":0.9,\"buckets\":\"3:1\"}",
+                "bucket sum mismatch",
+            ),
+            (
+                "{\"metric\":\"h\",\"kind\":\"histogram\",\"count\":1,\"sum\":1.0,\
+                 \"min\":0.1,\"max\":0.9,\"buckets\":\"99:1\"}",
+                "bucket index out of range",
+            ),
+            (
+                "{\"metric\":\"h\",\"kind\":\"histogram\",\"count\":1,\"sum\":1.0,\
+                 \"buckets\":\"4:1\"}",
+                "count > 0 without min/max",
+            ),
+            ("{\"event\":\"e\",\"seq\":0,\"micros\":1,\"seq\":2}", "reserved field key"),
+        ] {
+            assert!(parse_line(line).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn parse_json_lines_enforces_file_invariants() {
+        let dropped = "{\"metric\":\"obs.trace.dropped\",\"kind\":\"counter\",\"value\":0}\n";
+        let counter = "{\"metric\":\"a\",\"kind\":\"counter\",\"value\":1}\n";
+        let gauge = "{\"metric\":\"g\",\"kind\":\"gauge\",\"value\":1}\n";
+        let event = "{\"event\":\"e\",\"seq\":5,\"micros\":1}\n";
+
+        let out_of_order = format!("{dropped}{gauge}{counter}");
+        assert!(parse_json_lines(&out_of_order).unwrap_err().contains("section order"));
+
+        let duplicate = format!("{dropped}{counter}{counter}");
+        assert!(parse_json_lines(&duplicate).unwrap_err().contains("duplicate"));
+
+        let seq_regress = format!("{dropped}{event}{event}");
+        assert!(parse_json_lines(&seq_regress).unwrap_err().contains("seq"));
+
+        assert!(parse_json_lines(counter).unwrap_err().contains("obs.trace.dropped"));
+
+        let ok = format!("{dropped}{counter}{gauge}{event}");
+        let snap = parse_json_lines(&ok).unwrap();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.events.len(), 1);
+    }
+
+    #[test]
+    fn json_f64_always_lexes_as_float() {
+        assert_eq!(json_f64(3.0), "3.0");
+        assert_eq!(json_f64(0.25), "0.25");
+        for v in [3.0, 0.25, 1e-30, 123456.75, f64::MIN_POSITIVE] {
+            let s = json_f64(v);
+            assert!(s.contains(['.', 'e', 'E']));
+            assert_eq!(s.parse::<f64>().unwrap(), v, "round-trips: {s}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        for s in ["plain", "with \"quotes\"", "tab\tnewline\n", "unicode é λ 💡", "back\\slash"]
+        {
+            let encoded = json_string(s);
+            let mut p = Parser { bytes: encoded.as_bytes(), pos: 0 };
+            assert_eq!(p.parse_string().unwrap(), s);
+        }
+        // Surrogate-pair escapes decode too.
+        let mut p = Parser { bytes: b"\"\\ud83d\\udca1\"", pos: 0 };
+        assert_eq!(p.parse_string().unwrap(), "💡");
+    }
+
+    #[test]
+    fn report_renders_every_section() {
+        let obs = populated();
+        let report = obs.snapshot().unwrap().render_report();
+        assert!(report.contains("counters"));
+        assert!(report.contains("a.count"));
+        assert!(report.contains("gauges"));
+        assert!(report.contains("histograms"));
+        assert!(report.contains("c.hist"));
+        assert!(report.contains("count=2"));
+        assert!(report.contains("trace (2 events retained"));
+        assert!(report.contains("x.step"));
+    }
+}

@@ -1,0 +1,190 @@
+//! The bounded structured trace journal.
+//!
+//! A [`TraceSink`] keeps the most recent `capacity` [`TraceEvent`]s in a ring
+//! buffer; when full, the oldest event is dropped and counted. Events carry a
+//! monotone sequence number (so drops are detectable in an export) and a
+//! timestamp in microseconds since the sink was created.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One typed field value on a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (counts, indices, sequence numbers).
+    U64(u64),
+    /// A float (seconds, widths, ratios).
+    F64(f64),
+    /// A short string (method labels, subsystem names).
+    Str(String),
+}
+
+/// One structured span event: a kind, a monotone sequence number, a
+/// microsecond timestamp relative to the sink's creation, and typed fields
+/// in emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Monotone per-sink sequence number (gaps mean the journal overflowed).
+    pub seq: u64,
+    /// Microseconds since the sink was created.
+    pub micros: u64,
+    /// Event kind, e.g. `"dtree.slice"` or `"cluster.steal"`.
+    pub kind: String,
+    /// Typed fields in the order they were added.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// A bounded, thread-safe ring buffer of [`TraceEvent`]s (drop-oldest).
+#[derive(Debug)]
+pub struct TraceSink {
+    capacity: usize,
+    epoch: Instant,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl TraceSink {
+    /// A sink keeping at most `capacity` events (a capacity of 0 keeps none
+    /// and counts every event as dropped).
+    pub fn new(capacity: usize) -> TraceSink {
+        TraceSink {
+            capacity,
+            epoch: Instant::now(),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+        }
+    }
+
+    /// Records an event, assigning its sequence number and timestamp.
+    pub fn push(&self, kind: &str, fields: Vec<(String, FieldValue)>) {
+        let event = TraceEvent {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            micros: self.epoch.elapsed().as_micros() as u64,
+            kind: kind.to_owned(),
+            fields,
+        };
+        let mut queue = self.events.lock().expect("trace sink poisoned");
+        if self.capacity == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if queue.len() >= self.capacity {
+            queue.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        queue.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace sink poisoned").iter().cloned().collect()
+    }
+
+    /// How many events were dropped because the journal was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Builder for one trace event. Obtained from [`crate::Obs::event`]; on a
+/// disabled handle every method is a no-op and nothing allocates.
+#[derive(Debug)]
+pub struct EventBuilder<'a> {
+    sink: Option<&'a TraceSink>,
+    kind: &'static str,
+    fields: Vec<(String, FieldValue)>,
+}
+
+impl<'a> EventBuilder<'a> {
+    /// A builder writing into `sink` (or nowhere, when `None`).
+    pub fn new(sink: Option<&'a TraceSink>, kind: &'static str) -> EventBuilder<'a> {
+        EventBuilder { sink, kind, fields: Vec::new() }
+    }
+
+    fn field(mut self, key: &str, value: FieldValue) -> Self {
+        if self.sink.is_some() {
+            self.fields.push((key.to_owned(), value));
+        }
+        self
+    }
+
+    /// Adds an unsigned-integer field.
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        self.field(key, FieldValue::U64(value))
+    }
+
+    /// Adds a float field.
+    pub fn f64(self, key: &str, value: f64) -> Self {
+        self.field(key, FieldValue::F64(value))
+    }
+
+    /// Adds a boolean field (recorded as 0/1).
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.field(key, FieldValue::U64(u64::from(value)))
+    }
+
+    /// Adds a string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        self.field(key, FieldValue::Str(value.to_owned()))
+    }
+
+    /// Records the event (no-op on disabled handles).
+    pub fn emit(self) {
+        if let Some(sink) = self.sink {
+            sink.push(self.kind, self.fields);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_carry_monotone_seq_and_fields() {
+        let sink = TraceSink::new(8);
+        EventBuilder::new(Some(&sink), "a").u64("n", 1).emit();
+        EventBuilder::new(Some(&sink), "b").f64("w", 0.5).str("m", "kl").bool("ok", true).emit();
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[0].kind, "a");
+        assert_eq!(events[1].fields[0], ("w".to_owned(), FieldValue::F64(0.5)));
+        assert_eq!(events[1].fields[2], ("ok".to_owned(), FieldValue::U64(1)));
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_and_counts() {
+        let sink = TraceSink::new(3);
+        for i in 0..5 {
+            EventBuilder::new(Some(&sink), "e").u64("i", i).emit();
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 2, "oldest two were dropped");
+        assert_eq!(events[2].seq, 4);
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let sink = TraceSink::new(0);
+        EventBuilder::new(Some(&sink), "e").emit();
+        EventBuilder::new(Some(&sink), "e").emit();
+        assert!(sink.events().is_empty());
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn disabled_builder_is_inert() {
+        let builder = EventBuilder::new(None, "e").u64("n", 1).str("s", "x");
+        assert!(builder.fields.is_empty(), "no allocation when disabled");
+        builder.emit();
+    }
+}

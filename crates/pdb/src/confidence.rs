@@ -128,6 +128,14 @@ pub struct ResumableConfidence {
 }
 
 impl ResumableConfidence {
+    /// Attaches observability to the underlying d-tree frontier: every later
+    /// slice records its step count, cache-probe outcomes, latency, and the
+    /// interval width reached (see `ResumableCompilation::attach_obs`).
+    /// Write-only; results are bit-identical with or without it.
+    pub fn attach_obs(&mut self, o: &obs::Obs) {
+        self.inner.attach_obs(o);
+    }
+
     /// Continues refinement for one budget slice (an empty budget means
     /// "until convergence"). Bounds never widen across slices; the returned
     /// result carries slice-local `elapsed`/`stats`.

@@ -221,6 +221,15 @@ impl Database {
         self.store.stats()
     }
 
+    /// Attaches an observability sink to the storage layer: disk-backed
+    /// databases start emitting `storage.*` metrics (WAL appends/rotations,
+    /// flushes, compactions, bloom screen outcomes) and trace events into
+    /// it. A no-op for heap-backed databases, and with the default disabled
+    /// sink every handle stays a no-op.
+    pub fn attach_obs(&mut self, obs: &obs::Obs) {
+        self.store.attach_obs(obs);
+    }
+
     /// Forces buffered storage state down: drains the memtable into a run
     /// and fsyncs the WAL. No-op for heap-backed databases.
     pub fn sync_storage(&mut self) {

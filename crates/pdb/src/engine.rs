@@ -44,6 +44,47 @@ use crate::confidence::{
 };
 use crate::pool::ResumablePool;
 
+/// Pre-fetched observability handles for the engine's hot paths. Resolved
+/// once in [`ConfidenceEngine::with_obs`]; the default records nowhere. All
+/// handles are write-only — the engine never reads them back, so attaching
+/// observability cannot change any result bit.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EngineObs {
+    obs: obs::Obs,
+    items: obs::Counter,
+    items_converged: obs::Counter,
+    items_truncated: obs::Counter,
+    batches: obs::Counter,
+    dedup_saved: obs::Counter,
+    item_seconds: obs::Histogram,
+    item_width: obs::Histogram,
+    batch_seconds: obs::Histogram,
+    maintain_rounds: obs::Counter,
+    maintain_snapshots: obs::Counter,
+    maintain_refreshed: obs::Counter,
+    maintain_recompiled: obs::Counter,
+}
+
+impl EngineObs {
+    fn new(o: &obs::Obs) -> EngineObs {
+        EngineObs {
+            obs: o.clone(),
+            items: o.counter("engine.items"),
+            items_converged: o.counter("engine.items_converged"),
+            items_truncated: o.counter("engine.items_truncated"),
+            batches: o.counter("engine.batches"),
+            dedup_saved: o.counter("engine.dedup_saved"),
+            item_seconds: o.histogram("engine.item_seconds"),
+            item_width: o.histogram("engine.item_width"),
+            batch_seconds: o.histogram("engine.batch_seconds"),
+            maintain_rounds: o.counter("engine.maintain.rounds"),
+            maintain_snapshots: o.counter("engine.maintain.snapshots"),
+            maintain_refreshed: o.counter("engine.maintain.refreshed"),
+            maintain_recompiled: o.counter("engine.maintain.recompiled"),
+        }
+    }
+}
+
 /// Result of a batched confidence computation.
 #[derive(Debug, Clone)]
 pub struct BatchResult {
@@ -121,6 +162,7 @@ pub struct ConfidenceEngine {
     seed: Option<u64>,
     share_cache: bool,
     shared_cache: Option<Arc<SubformulaCache>>,
+    obs: EngineObs,
 }
 
 impl ConfidenceEngine {
@@ -134,6 +176,7 @@ impl ConfidenceEngine {
             seed: None,
             share_cache: true,
             shared_cache: None,
+            obs: EngineObs::default(),
         }
     }
 
@@ -190,6 +233,40 @@ impl ConfidenceEngine {
         self.share_cache = false;
         self.shared_cache = None;
         self
+    }
+
+    /// Attaches observability: batches and items record counts, outcomes,
+    /// latencies, and interval widths into `o`'s registry (one `engine.item`
+    /// trace event per computed item, one `engine.batch`/`engine.maintain`
+    /// event per call), and every resumable handle the engine creates
+    /// inherits the d-tree slice instrumentation. Handles are write-only;
+    /// results are bit-identical with or without an attached registry.
+    pub fn with_obs(mut self, o: &obs::Obs) -> Self {
+        self.obs = EngineObs::new(o);
+        self
+    }
+
+    /// Records one computed item's outcome (no-op without an attached
+    /// registry). Called from the single per-item choke points, so batch,
+    /// maintenance, and cluster-scheduler traffic all land here.
+    fn record_item(&self, index: usize, r: &ConfidenceResult) {
+        self.obs.items.inc();
+        if r.converged {
+            self.obs.items_converged.inc();
+        } else {
+            self.obs.items_truncated.inc();
+        }
+        self.obs.item_seconds.record_duration(r.elapsed);
+        self.obs.item_width.record(r.upper - r.lower);
+        self.obs
+            .obs
+            .event("engine.item")
+            .u64("index", index as u64)
+            .str("method", &r.method)
+            .bool("converged", r.converged)
+            .f64("seconds", r.elapsed.as_secs_f64())
+            .f64("width", r.upper - r.lower)
+            .emit();
     }
 
     /// The deterministic per-item seed derived from a base seed, independent
@@ -298,9 +375,20 @@ impl ConfidenceEngine {
             }
         }
 
+        let wall = start.elapsed();
+        self.obs.batches.inc();
+        self.obs.dedup_saved.add((lineages.len() - work.len()) as u64);
+        self.obs.batch_seconds.record_duration(wall);
+        self.obs
+            .obs
+            .event("engine.batch")
+            .u64("items", lineages.len() as u64)
+            .u64("deduped", (lineages.len() - work.len()) as u64)
+            .f64("seconds", wall.as_secs_f64())
+            .emit();
         BatchResult {
             results: slots.into_iter().map(|r| r.expect("every slot filled")).collect(),
-            wall: start.elapsed(),
+            wall,
             cache: cache.map(|c| c.stats().since(&cache_before)).unwrap_or_default(),
         }
     }
@@ -331,10 +419,15 @@ impl ConfidenceEngine {
     ) -> ConfidenceResult {
         let item_budget = match self.item_budget(lineage, deadline) {
             Ok(budget) => budget,
-            Err(short_circuit) => return *short_circuit,
+            Err(short_circuit) => {
+                self.record_item(index, &short_circuit);
+                return *short_circuit;
+            }
         };
         let seed = self.seed.map(|base| Self::item_seed(base, index));
-        confidence_with(lineage, space, origins, &self.method, &item_budget, seed, cache)
+        let r = confidence_with(lineage, space, origins, &self.method, &item_budget, seed, cache);
+        self.record_item(index, &r);
+        r
     }
 
     /// [`ConfidenceEngine::compute_item`], but for anytime d-tree runs the
@@ -356,10 +449,19 @@ impl ConfidenceEngine {
     ) -> (ConfidenceResult, Option<ResumableConfidence>) {
         let item_budget = match self.item_budget(lineage, deadline) {
             Ok(budget) => budget,
-            Err(short_circuit) => return (*short_circuit, None),
+            Err(short_circuit) => {
+                self.record_item(index, &short_circuit);
+                return (*short_circuit, None);
+            }
         };
         let seed = self.seed.map(|base| Self::item_seed(base, index));
-        confidence_resumable(lineage, space, origins, &self.method, &item_budget, seed, cache)
+        let (r, mut handle) =
+            confidence_resumable(lineage, space, origins, &self.method, &item_budget, seed, cache);
+        if let Some(h) = handle.as_mut() {
+            h.attach_obs(&self.obs.obs);
+        }
+        self.record_item(index, &r);
+        (r, handle)
     }
 
     /// One round of **streaming confidence maintenance**: brings every item's
@@ -439,6 +541,13 @@ impl ConfidenceEngine {
             }
             match handle {
                 Some(mut h) => {
+                    // Pooled handles may predate this engine's registry (the
+                    // pool outlives engines); re-attach so their slices land
+                    // in the current registry. Never detach: an engine
+                    // without observability leaves the handle's sink alone.
+                    if self.obs.obs.is_enabled() {
+                        h.attach_obs(&self.obs.obs);
+                    }
                     if h.is_converged() {
                         results.push(h.snapshot_result());
                         snapshots += 1;
@@ -450,6 +559,7 @@ impl ConfidenceEngine {
                         results.push(h.resume(space, &budget, cache));
                         refreshed += 1;
                     }
+                    self.record_item(i, results.last().expect("just pushed"));
                     pool.insert(i, h);
                 }
                 None => {
@@ -469,12 +579,26 @@ impl ConfidenceEngine {
                 }
             }
         }
+        let wall = start.elapsed();
+        self.obs.maintain_rounds.inc();
+        self.obs.maintain_snapshots.add(snapshots as u64);
+        self.obs.maintain_refreshed.add(refreshed as u64);
+        self.obs.maintain_recompiled.add(recompiled as u64);
+        self.obs
+            .obs
+            .event("engine.maintain")
+            .u64("items", lineages.len() as u64)
+            .u64("snapshots", snapshots as u64)
+            .u64("refreshed", refreshed as u64)
+            .u64("recompiled", recompiled as u64)
+            .f64("seconds", wall.as_secs_f64())
+            .emit();
         MaintainResult {
             results,
             refreshed,
             snapshots,
             recompiled,
-            wall: start.elapsed(),
+            wall,
             cache: cache.map(|c| c.stats().since(&cache_before)).unwrap_or_default(),
         }
     }

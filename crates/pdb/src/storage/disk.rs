@@ -86,6 +86,43 @@ pub struct RecoveredMeta {
     pub table_ids: Vec<(String, u32)>,
 }
 
+/// Pre-fetched observability handles for the store. Every handle is a
+/// write-only no-op until [`TableStore::attach_obs`] installs real ones, so
+/// the un-instrumented write path pays one branch per site.
+#[derive(Debug, Clone, Default)]
+struct StoreObs {
+    obs: obs::Obs,
+    /// `storage.wal.appends`: records framed into the WAL.
+    wal_appends: obs::Counter,
+    /// `storage.wal.bytes`: current WAL length (gauge; drops at rotation).
+    wal_bytes: obs::Gauge,
+    /// `storage.wal.rotations`: truncating log rewrites after full flushes.
+    wal_rotations: obs::Counter,
+    /// `storage.flushes`: memtable drains into new runs.
+    flushes: obs::Counter,
+    /// `storage.compactions`: k-way run merges.
+    compactions: obs::Counter,
+    /// `storage.bloom.pass`: point lookups a run's bloom let through.
+    bloom_pass: obs::Counter,
+    /// `storage.bloom.reject`: point lookups screened without file I/O.
+    bloom_reject: obs::Counter,
+}
+
+impl StoreObs {
+    fn new(o: &obs::Obs) -> StoreObs {
+        StoreObs {
+            obs: o.clone(),
+            wal_appends: o.counter("storage.wal.appends"),
+            wal_bytes: o.gauge("storage.wal.bytes"),
+            wal_rotations: o.counter("storage.wal.rotations"),
+            flushes: o.counter("storage.flushes"),
+            compactions: o.counter("storage.compactions"),
+            bloom_pass: o.counter("storage.bloom.pass"),
+            bloom_reject: o.counter("storage.bloom.reject"),
+        }
+    }
+}
+
 /// Disk-backed [`TableStore`]. See the module docs above for the write
 /// path, the on-disk layout, and the recovery protocol.
 #[derive(Debug)]
@@ -102,6 +139,8 @@ pub struct DiskStore {
     next_run_id: u64,
     flushes: u64,
     compactions: u64,
+    wal_rotations: u64,
+    obs: StoreObs,
 }
 
 impl DiskStore {
@@ -155,6 +194,7 @@ impl DiskStore {
                         memtable.insert((uid, seq), payload);
                     }
                 }
+                WalRecord::Watermark { next_seq: n } => next_seq = next_seq.max(n),
             }
         }
         // Row counts per live incarnation: runs (index-guided scans) plus the
@@ -182,6 +222,8 @@ impl DiskStore {
             next_run_id,
             flushes: 0,
             compactions: 0,
+            wal_rotations: 0,
+            obs: StoreObs::default(),
         };
         Ok((store, meta))
     }
@@ -203,9 +245,10 @@ impl DiskStore {
         }
         // Rows must be durable in the WAL before the run supersedes them.
         self.wal.sync()?;
+        let rows = self.memtable.len();
         let name = format!("run-{}.dat", self.next_run_id);
         self.next_run_id += 1;
-        let mut writer = RunWriter::create(&self.dir.join(&name), self.memtable.len())?;
+        let mut writer = RunWriter::create(&self.dir.join(&name), rows)?;
         for (&(uid, seq), payload) in &self.memtable {
             writer.push(uid, seq, payload)?;
         }
@@ -214,9 +257,51 @@ impl DiskStore {
         self.memtable.clear();
         self.mem_bytes = 0;
         self.flushes += 1;
+        self.obs.flushes.inc();
+        self.obs.obs.event("storage.flush").u64("rows", rows as u64).emit();
+        // Every logged row is now durable in a manifest-referenced run, so
+        // the log can shed its row records.
+        self.rotate_wal()?;
         if self.runs.len() >= COMPACT_RUNS {
             self.compact()?;
         }
+        Ok(())
+    }
+
+    /// Rewrites the WAL without its row records — the memtable is empty and
+    /// every logged row is covered by a manifest-referenced run, so only the
+    /// metadata records (epochs, variables, tables) plus a
+    /// [`WalRecord::Watermark`] pinning `next_seq` need to survive. The new
+    /// log is written to a temporary file, fsynced, and atomically renamed
+    /// over `wal.log`; a crash at any point leaves one complete log.
+    fn rotate_wal(&mut self) -> Result<(), StorageError> {
+        let old_bytes = self.wal.len();
+        let records = Wal::replay(self.wal.path())?;
+        let tmp = self.dir.join("wal.log.tmp");
+        // A crashed rotation can leave a stale tmp file; `Wal::open` appends,
+        // so clear it first.
+        let _ = std::fs::remove_file(&tmp);
+        let mut fresh = Wal::open(&tmp)?;
+        for rec in &records {
+            if !matches!(rec, WalRecord::Row { .. } | WalRecord::Watermark { .. }) {
+                fresh.append(rec)?;
+            }
+        }
+        fresh.append(&WalRecord::Watermark { next_seq: self.next_seq })?;
+        fresh.sync()?;
+        drop(fresh);
+        std::fs::rename(&tmp, self.dir.join("wal.log"))?;
+        self.wal = Wal::open(&self.dir.join("wal.log"))?;
+        self.wal_rotations += 1;
+        self.obs.wal_rotations.inc();
+        self.obs.wal_bytes.set(self.wal.len());
+        self.obs
+            .obs
+            .event("storage.rotation")
+            .u64("old_bytes", old_bytes)
+            .u64("new_bytes", self.wal.len())
+            .u64("next_seq", self.next_seq)
+            .emit();
         Ok(())
     }
 
@@ -276,9 +361,41 @@ impl DiskStore {
         for old in &self.runs {
             let _ = std::fs::remove_file(old.path());
         }
+        let runs_in = self.runs.len();
         self.runs = vec![merged];
         self.compactions += 1;
+        self.obs.compactions.inc();
+        self.obs
+            .obs
+            .event("storage.compaction")
+            .u64("runs_in", runs_in as u64)
+            .u64("rows_in", expected as u64)
+            .u64("rows_out", self.runs[0].rows() as u64)
+            .emit();
         Ok(())
+    }
+
+    /// Point lookup of one row of `table`'s current incarnation by its
+    /// global sequence number: the memtable first, then the runs newest to
+    /// oldest. Each run's bloom filter screens the key before any file I/O;
+    /// with observability attached the screen outcomes are counted as
+    /// `storage.bloom.pass` / `storage.bloom.reject`.
+    pub fn get_row(&self, table: &str, seq: u64) -> Result<Option<AnnotatedTuple>, StorageError> {
+        let Some(uid) = self.uid_of(table) else { return Ok(None) };
+        if let Some(payload) = self.memtable.get(&(uid, seq)) {
+            return Ok(Some(DiskStore::decode_or_panic(payload)));
+        }
+        for run in self.runs.iter().rev() {
+            if !run.may_contain(uid, seq) {
+                self.obs.bloom_reject.inc();
+                continue;
+            }
+            self.obs.bloom_pass.inc();
+            if let Some(payload) = run.get(uid, seq)? {
+                return Ok(Some(DiskStore::decode_or_panic(&payload)));
+            }
+        }
+        Ok(None)
     }
 
     fn decode_or_panic(payload: &[u8]) -> AnnotatedTuple {
@@ -358,6 +475,8 @@ impl TableStore for DiskStore {
             None => 0,
         };
         self.wal.append(&WalRecord::Table { logical_id, epoch, schema: schema.clone() })?;
+        self.obs.wal_appends.inc();
+        self.obs.wal_bytes.set(self.wal.len());
         self.catalog.insert(schema.name.clone(), TableEntry { logical_id, epoch, schema, rows: 0 });
         Ok(())
     }
@@ -373,6 +492,8 @@ impl TableStore for DiskStore {
         self.next_seq += 1;
         let payload = encode_tuple(tuple);
         self.wal.append(&WalRecord::Row { uid, seq, payload: payload.clone() })?;
+        self.obs.wal_appends.inc();
+        self.obs.wal_bytes.set(self.wal.len());
         self.mem_bytes += payload.len() + MEM_ROW_OVERHEAD;
         self.memtable.insert((uid, seq), payload);
         if self.mem_bytes > self.budget {
@@ -427,11 +548,17 @@ impl TableStore for DiskStore {
             name: name.to_owned(),
             distribution: distribution.to_vec(),
             origin,
-        })
+        })?;
+        self.obs.wal_appends.inc();
+        self.obs.wal_bytes.set(self.wal.len());
+        Ok(())
     }
 
     fn log_epoch(&mut self, generation: u64) -> Result<(), StorageError> {
-        self.wal.append(&WalRecord::Epoch { generation })
+        self.wal.append(&WalRecord::Epoch { generation })?;
+        self.obs.wal_appends.inc();
+        self.obs.wal_bytes.set(self.wal.len());
+        Ok(())
     }
 
     fn sync(&mut self) -> Result<(), StorageError> {
@@ -448,6 +575,12 @@ impl TableStore for DiskStore {
             run_rows: self.runs.iter().map(Run::rows).sum(),
             flushes: self.flushes,
             compactions: self.compactions,
+            wal_rotations: self.wal_rotations,
         }
+    }
+
+    fn attach_obs(&mut self, obs: &obs::Obs) {
+        self.obs = StoreObs::new(obs);
+        self.obs.wal_bytes.set(self.wal.len());
     }
 }

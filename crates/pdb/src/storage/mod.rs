@@ -86,6 +86,9 @@ pub struct StorageStats {
     pub flushes: u64,
     /// Compactions performed by this handle.
     pub compactions: u64,
+    /// WAL rotations (truncating rewrites after a full flush) performed by
+    /// this handle.
+    pub wal_rotations: u64,
 }
 
 /// A table store: the persistence backbone behind [`crate::Database`].
@@ -176,6 +179,11 @@ pub trait TableStore: fmt::Debug + Send + Sync {
 
     /// Point-in-time resource counters.
     fn stats(&self) -> StorageStats;
+
+    /// Attaches an observability sink. Instrumented stores (the
+    /// [`DiskStore`]) start emitting `storage.*` metrics and trace events;
+    /// the default is a no-op so volatile stores need no handles.
+    fn attach_obs(&mut self, _obs: &obs::Obs) {}
 }
 
 /// A scratch directory under the system temp dir, removed on drop. Used by

@@ -240,6 +240,13 @@ impl Run {
         Ok(RowScan { reader })
     }
 
+    /// `true` when the bloom filter cannot rule out key `(uid, seq)`. A
+    /// `false` is definitive (the key is absent); a `true` is probabilistic
+    /// (~1% false positives) and must be confirmed by [`Run::get`].
+    pub fn may_contain(&self, uid: u64, seq: u64) -> bool {
+        self.bloom.may_contain(uid, seq)
+    }
+
     /// Point lookup of one row; the bloom filter screens out runs that
     /// cannot contain the key without touching the file.
     pub fn get(&self, uid: u64, seq: u64) -> Result<Option<Vec<u8>>, StorageError> {

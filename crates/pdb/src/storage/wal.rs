@@ -9,10 +9,18 @@
 //! ```
 //!
 //! so replay can detect a torn tail (a crash mid-`write`) by length or
-//! checksum mismatch and stop at the last fully durable record. The WAL is
-//! never rotated in this version: runs cover a *prefix* of row sequence
-//! numbers and replay skips rows a run already covers, so an over-long log
-//! costs replay time but never correctness.
+//! checksum mismatch and stop at the last fully durable record.
+//!
+//! # Rotation
+//!
+//! After a full memtable flush every logged row is durable in a
+//! manifest-referenced run, so [`crate::storage::DiskStore`] rewrites the
+//! log without its [`WalRecord::Row`] records: the metadata records
+//! (epochs, variables, tables) are copied in order to a temporary file,
+//! a [`WalRecord::Watermark`] pins the next sequence number, and an atomic
+//! rename swaps the truncated log in. A crash at any point leaves either
+//! the old complete log or the new truncated one — never a mix — and
+//! replay of either recovers the same store.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -61,6 +69,15 @@ pub enum WalRecord {
         /// [`crate::storage::encode::encode_tuple`] payload, stored verbatim.
         payload: Vec<u8>,
     },
+    /// A rotation marker: every row with `seq < next_seq` was durable in a
+    /// manifest-referenced run when the log was rewritten. Keeps sequence
+    /// numbers monotone across a rotation even if compaction later drops all
+    /// rows of the covering runs (recovery would otherwise restart `seq` at
+    /// 0 and alias retired row keys).
+    Watermark {
+        /// The store's next unassigned sequence number at rotation time.
+        next_seq: u64,
+    },
 }
 
 impl WalRecord {
@@ -96,6 +113,10 @@ impl WalRecord {
                 put_u64(&mut buf, *seq);
                 put_u32(&mut buf, payload.len() as u32);
                 buf.extend_from_slice(payload);
+            }
+            WalRecord::Watermark { next_seq } => {
+                buf.push(4);
+                put_u64(&mut buf, *next_seq);
             }
         }
         buf
@@ -137,6 +158,7 @@ impl WalRecord {
                 let payload = cur.bytes(len)?.to_vec();
                 WalRecord::Row { uid, seq, payload }
             }
+            4 => WalRecord::Watermark { next_seq: cur.u64()? },
             tag => return Err(StorageError::corrupt(format!("unknown WAL record tag {tag}"))),
         };
         if cur.remaining() != 0 {
@@ -255,6 +277,7 @@ mod tests {
             WalRecord::Variable { name: "free".into(), distribution: vec![0.5, 0.5], origin: None },
             WalRecord::Table { logical_id: 2, epoch: 1, schema: Schema::new("R", &["a", "b"]) },
             WalRecord::Row { uid: (2u64 << 32) | 1, seq: 9, payload: vec![1, 2, 3, 4] },
+            WalRecord::Watermark { next_seq: 10 },
         ]
     }
 

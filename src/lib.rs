@@ -21,6 +21,10 @@
 //! * [`cluster`] — the sharded, hardness-aware confidence cluster above
 //!   `pdb::ConfidenceEngine`: structural hardness estimation, pluggable
 //!   shard partitioning, and a deadline-aware work-stealing scheduler.
+//! * [`obs`] — the unified observability layer: a handle-based metrics
+//!   registry (counters, gauges, log-bucketed histograms), a bounded
+//!   structured trace journal, and JSON-lines snapshot export. Disabled by
+//!   default; attaching a sink never changes computed results.
 //! * [`workloads`] — the evaluation's data generators: tuple-independent
 //!   TPC-H, random graphs, the karate-club / dolphin social networks
 //!   (Section VII), and the mixed-hardness batches used to exercise the
@@ -56,5 +60,6 @@ pub use cluster;
 pub use dtree;
 pub use events;
 pub use montecarlo;
+pub use obs;
 pub use pdb;
 pub use workloads;
