@@ -1,0 +1,238 @@
+//! Chaos bench: the fig7 hard-query suite and the storage write path under
+//! a 1% injected fault rate, pinning the graceful-degradation acceptance
+//! criteria:
+//!
+//! 1. **Worker faults are absorbed, not surfaced.** The fig7 suite runs
+//!    through the sharded cluster while 1% of worker item-executions panic.
+//!    The retry-on-another-shard path must bring the converged fraction
+//!    back to the fault-free run's, with non-degraded results bit-identical
+//!    to it; the observed degraded fraction is recorded to
+//!    `BENCH_chaos.json` (`degraded_fraction` field).
+//! 2. **Transient storage errors are absorbed by retry.** A disk ingest of
+//!    the same order of magnitude runs with 1% transient I/O errors on the
+//!    WAL/flush sites under the default bounded-backoff retry policy: every
+//!    append must be acknowledged and the recovered table bit-identical to
+//!    a fault-free ingest.
+//! 3. **Disabled failpoints are free.** Criterion series time the engine
+//!    batch with no fault handle, a disabled handle, and an installed-but-
+//!    empty plan; all three must be within noise (the timed analogue of the
+//!    `fault_differential` bit-identity tests).
+//!
+//! Set `FAULTS_SMOKE=1` (CI) for smoke scale: one scale factor, fewer
+//! repetitions, short measurement windows, and no `BENCH_chaos.json` write
+//! (smoke numbers are not trajectory-comparable).
+
+use std::time::Duration;
+
+use bench::tpch_database;
+use cluster::ClusterEngine;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use events::Dnf;
+use pdb::confidence::{ConfidenceBudget, ConfidenceMethod};
+use pdb::fault::{Fault, FaultPlan, FaultPolicy, RetryPolicy};
+use pdb::storage::testutil::TempDir;
+use pdb::storage::{DiskStore, TableStore};
+use pdb::{AnnotatedTuple, ConfidenceEngine, Schema, Value};
+use workloads::tpch::TpchQuery;
+use workloads::{random_graph, s2_relation, RandomGraphConfig};
+
+/// The injected fault rate of the chaos series.
+const FAULT_RATE: f64 = 0.01;
+
+/// The fig7 suite under 1% worker panics, repeated over distinct plan
+/// seeds. Untimed by criterion — the per-item budget bounds the wall clock
+/// — and reported to `BENCH_chaos.json` at full scale.
+fn fig7_chaos_experiment(smoke: bool) -> Vec<bench::BenchRecord> {
+    let sfs: &[f64] = if smoke { &[0.005] } else { &[0.005, 0.02] };
+    let reps: u64 = if smoke { 3 } else { 25 };
+    let method = ConfidenceMethod::DTreeRelative(0.05);
+    let budget = ConfidenceBudget { timeout: Some(Duration::from_secs(1)), max_work: None };
+
+    let mut clean_samples: Vec<(f64, bool)> = Vec::new();
+    let mut chaos_samples: Vec<(f64, bool)> = Vec::new();
+    let mut degraded = 0u64;
+    let mut total = 0u64;
+    let mut injected = 0u64;
+
+    for (sf_index, &sf) in sfs.iter().enumerate() {
+        let db = tpch_database(sf, false);
+        let lineages: Vec<Dnf> = TpchQuery::hard().iter().map(|q| db.boolean_lineage(q)).collect();
+        let space = db.database().space();
+        let origins = db.database().origins();
+
+        let clean = ClusterEngine::new(method.clone())
+            .with_shards(2)
+            .with_budget(budget.clone())
+            .confidence_batch(&lineages, space, Some(origins));
+        for rep in 0..reps {
+            // Each repetition replays the suite under a different seeded
+            // fault schedule; within one seed the run is deterministic.
+            let fault = FaultPlan::new(sf_index as u64 * 1000 + rep + 1)
+                .on("cluster.worker", FaultPolicy::PanicWithProbability { p: FAULT_RATE })
+                .build();
+            let chaos = ClusterEngine::new(method.clone())
+                .with_shards(2)
+                .with_budget(budget.clone())
+                .with_fault(&fault)
+                .confidence_batch(&lineages, space, Some(origins));
+            for (i, (got, want)) in chaos.results.iter().zip(&clean.results).enumerate() {
+                total += 1;
+                chaos_samples.push((got.elapsed.as_secs_f64(), got.converged));
+                if rep == 0 {
+                    clean_samples.push((want.elapsed.as_secs_f64(), want.converged));
+                }
+                if got.degraded.is_some() {
+                    degraded += 1;
+                } else {
+                    // Survivors of the fault schedule are bit-identical to
+                    // the fault-free run.
+                    assert_eq!(
+                        got.estimate.to_bits(),
+                        want.estimate.to_bits(),
+                        "sf {sf} item {i} diverged under faults"
+                    );
+                }
+            }
+            // The acceptance gate: one retry on another shard absorbs a 1%
+            // worker-panic rate — the converged fraction matches fault-free.
+            let clean_converged = clean.results.iter().filter(|r| r.converged).count();
+            let chaos_converged = chaos.results.iter().filter(|r| r.converged).count();
+            assert_eq!(
+                chaos_converged,
+                clean_converged,
+                "sf {sf} rep {rep}: converged fraction under 1% worker faults must match \
+                 the fault-free run ({} deaths, {} degraded)",
+                chaos.total_deaths(),
+                chaos.degraded_count()
+            );
+            injected += fault.injected();
+        }
+    }
+
+    let degraded_fraction = degraded as f64 / total as f64;
+    println!(
+        "== chaos fig7: {} chaos samples, {injected} injected worker panics, degraded \
+         fraction {degraded_fraction:.4} ==",
+        chaos_samples.len()
+    );
+    let mut records = Vec::new();
+    if let Some(r) = bench::BenchRecord::from_samples("chaos/fig7/fault-free", &clean_samples) {
+        records.push(r.with_degraded_fraction(0.0));
+    }
+    if let Some(r) =
+        bench::BenchRecord::from_samples("chaos/fig7/worker-faults-1pct", &chaos_samples)
+    {
+        records.push(r.with_degraded_fraction(degraded_fraction));
+    }
+    records
+}
+
+/// Disk ingest under 1% transient I/O errors with the default retry
+/// policy: every append must be acknowledged, and the recovered table must
+/// be bit-identical to a fault-free ingest.
+fn storage_chaos_experiment(smoke: bool) -> Vec<bench::BenchRecord> {
+    let rows: i64 = if smoke { 200 } else { 800 };
+    let tuple =
+        |i: i64| AnnotatedTuple::new(vec![Value::Int(i)], Dnf::literal(events::VarId(i as u32)));
+    let ingest = |fault: Option<&Fault>| -> (Vec<AnnotatedTuple>, f64) {
+        let dir = TempDir::new("chaos-storage");
+        let start = std::time::Instant::now();
+        {
+            // A small budget forces flushes and rotations mid-ingest, so
+            // the error sites on those paths are exercised too.
+            let (mut store, _) = DiskStore::open(dir.path(), 4096).expect("open");
+            store.create_table(Schema::new("S", &["a"]), 0).expect("create");
+            store.set_retry(RetryPolicy::default());
+            if let Some(f) = fault {
+                store.attach_fault(f);
+            }
+            for i in 0..rows {
+                store.append("S", &tuple(i)).expect(
+                    "a 1% transient error rate must be absorbed by the bounded retry policy",
+                );
+            }
+            store.flush_memtable().expect("final flush retried to completion");
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let (store, _) = DiskStore::open(dir.path(), 4096).expect("recover");
+        (store.scan("S").map(|t| t.into_owned()).collect(), secs)
+    };
+
+    let fault = FaultPlan::new(17)
+        .on("wal.append", FaultPolicy::ErrorWithProbability { p: FAULT_RATE })
+        .on("wal.sync", FaultPolicy::ErrorWithProbability { p: FAULT_RATE })
+        .on("storage.flush", FaultPolicy::ErrorWithProbability { p: FAULT_RATE })
+        .on("storage.rotate", FaultPolicy::ErrorWithProbability { p: FAULT_RATE })
+        .build();
+    let (clean_rows, _) = ingest(None);
+    let (chaos_rows, secs) = ingest(Some(&fault));
+    assert!(fault.injected() > 0, "the schedule must actually inject something");
+    assert_eq!(clean_rows, chaos_rows, "recovered table diverged under retried faults");
+    println!(
+        "== chaos storage: {rows} appends, {} injected faults absorbed, zero loss ==",
+        fault.injected()
+    );
+    bench::BenchRecord::from_samples("chaos/storage/ingest-errors-1pct-retry", &[(secs, true)])
+        .map(|r| r.with_degraded_fraction(0.0))
+        .into_iter()
+        .collect()
+}
+
+fn bench_chaos(c: &mut Criterion) {
+    let smoke = std::env::var_os("FAULTS_SMOKE").is_some();
+    let mut records = fig7_chaos_experiment(smoke);
+    records.extend(storage_chaos_experiment(smoke));
+    // Write the trajectory rows at the workspace root (stable regardless of
+    // the invoking directory), where they are committed as perf history.
+    // Smoke runs skip the write: their scale is not the committed one.
+    if !smoke {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_chaos.json");
+        if let Err(e) = bench::write_json(&path, &records) {
+            obs::warn("bench.report", &format!("could not write {}: {e}", path.display()));
+        }
+    }
+
+    // Timed series: the per-item failpoint check must be free when no plan
+    // is installed — no handle, a disabled handle, and an installed-but-
+    // empty plan all within noise.
+    let nodes = if smoke { 10 } else { 18 };
+    let budget = ConfidenceBudget { timeout: Some(Duration::from_secs(10)), max_work: None };
+    let (db, graph) = random_graph(&RandomGraphConfig::uniform(nodes, 0.4));
+    let lineages = s2_relation(&graph, nodes);
+    let space = db.space();
+    let origins = db.origins();
+    let method = ConfidenceMethod::DTreeAbsolute(0.01);
+
+    let disabled = Fault::disabled();
+    let empty_plan = FaultPlan::new(1).build();
+    let engine = |fault: Option<&Fault>| {
+        let e = ConfidenceEngine::new(method.clone()).with_budget(budget.clone());
+        match fault {
+            Some(f) => e.with_fault(f),
+            None => e,
+        }
+    };
+
+    let mut group = c.benchmark_group("chaos");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(if smoke { 1 } else { 3 }));
+    let series: [(&str, Option<&Fault>); 3] =
+        [("no-handle", None), ("disabled", Some(&disabled)), ("empty-plan", Some(&empty_plan))];
+    for (name, fault) in series {
+        group.bench_with_input(BenchmarkId::new(name, "graph_s2_abs0.01"), &lineages, |b, l| {
+            let engine = engine(fault);
+            b.iter(|| {
+                engine
+                    .confidence_batch(l, space, Some(origins))
+                    .results
+                    .iter()
+                    .map(|r| r.estimate)
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaos);
+criterion_main!(benches);

@@ -132,6 +132,7 @@ fn split_budget_experiment(smoke: bool) {
                         tuples_per_second: None,
                         p50_refresh_seconds: None,
                         rss_peak_bytes: None,
+                        degraded_fraction: None,
                     }
                     .with_mean_interval_width(out.width),
                 );
@@ -156,6 +157,7 @@ fn split_budget_experiment(smoke: bool) {
                 tuples_per_second: None,
                 p50_refresh_seconds: None,
                 rss_peak_bytes: None,
+                degraded_fraction: None,
             }
             .with_mean_interval_width(width),
         );

@@ -164,6 +164,7 @@ fn streaming_experiment(smoke: bool) -> (StreamingWorkload, ResumablePool, Confi
                 tuples_per_second: None,
                 p50_refresh_seconds: None,
                 rss_peak_bytes: None,
+                degraded_fraction: None,
             }
             .with_tuples_per_second(tps)
             .with_refresh_latency(p50(&refresh_latencies)),
@@ -176,6 +177,7 @@ fn streaming_experiment(smoke: bool) -> (StreamingWorkload, ResumablePool, Confi
                 tuples_per_second: None,
                 p50_refresh_seconds: None,
                 rss_peak_bytes: None,
+                degraded_fraction: None,
             }
             .with_tuples_per_second(tuples as f64 / recompile_total)
             .with_refresh_latency(p50(&recompile_walls) / w.lineages().len() as f64),

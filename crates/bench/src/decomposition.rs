@@ -111,6 +111,7 @@ pub fn fig8_end_to_end(smoke: bool) -> DecompositionReport {
                 tuples_per_second: None,
                 p50_refresh_seconds: None,
                 rss_peak_bytes: None,
+                degraded_fraction: None,
             });
         }
         println!(
@@ -157,6 +158,7 @@ pub fn decomposition_records(smoke: bool, floor: Option<f64>) -> Vec<BenchRecord
         tuples_per_second: None,
         p50_refresh_seconds: None,
         rss_peak_bytes: None,
+        degraded_fraction: None,
     });
     records
 }

@@ -137,6 +137,11 @@ pub struct BenchRecord {
     /// ingestion/scan series. `None` for series that do not track memory;
     /// omitted from the JSON when absent.
     pub rss_peak_bytes: Option<u64>,
+    /// Fraction of items that came back **degraded** (failed closed to the
+    /// vacuous `[0, 1]` interval after a fault), in `[0, 1]`, for the
+    /// `chaos` bench's fault-injection series. `None` for fault-free
+    /// series; omitted from the JSON when absent.
+    pub degraded_fraction: Option<f64>,
 }
 
 impl BenchRecord {
@@ -160,6 +165,7 @@ impl BenchRecord {
             tuples_per_second: None,
             p50_refresh_seconds: None,
             rss_peak_bytes: None,
+            degraded_fraction: None,
         })
     }
 
@@ -187,6 +193,12 @@ impl BenchRecord {
         self
     }
 
+    /// Attaches a degraded-item fraction to the record (builder style).
+    pub fn with_degraded_fraction(mut self, fraction: f64) -> BenchRecord {
+        self.degraded_fraction = Some(fraction);
+        self
+    }
+
     /// The record as one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut out = format!(
@@ -208,6 +220,9 @@ impl BenchRecord {
         if let Some(b) = self.rss_peak_bytes {
             let _ = write!(out, ",\"rss_peak_bytes\":{b}");
         }
+        if let Some(d) = self.degraded_fraction {
+            let _ = write!(out, ",\"degraded_fraction\":{}", json_number(d));
+        }
         out.push('}');
         out
     }
@@ -215,7 +230,8 @@ impl BenchRecord {
 
 /// Parses one JSON line back into a [`BenchRecord`], strictly: every key of
 /// the schema must appear exactly once (`mean_interval_width`,
-/// `tuples_per_second`, `p50_refresh_seconds`, and `rss_peak_bytes` are
+/// `tuples_per_second`, `p50_refresh_seconds`, `rss_peak_bytes`, and
+/// `degraded_fraction` are
 /// optional), unknown keys, trailing garbage, and non-finite numbers are
 /// errors. This is
 /// the schema check behind the `validate_bench_json` CI bin, so it
@@ -230,6 +246,7 @@ pub fn parse_bench_record(line: &str) -> Result<BenchRecord, String> {
     let mut tuples_per_second: Option<f64> = None;
     let mut p50_refresh_seconds: Option<f64> = None;
     let mut rss_peak_bytes: Option<u64> = None;
+    let mut degraded_fraction: Option<f64> = None;
 
     p.expect(b'{')?;
     loop {
@@ -264,6 +281,9 @@ pub fn parse_bench_record(line: &str) -> Result<BenchRecord, String> {
                 }
                 set_once(&mut rss_peak_bytes, n as u64, &key)?;
             }
+            "degraded_fraction" => {
+                set_once(&mut degraded_fraction, p.parse_number()?, &key)?;
+            }
             other => return Err(format!("unknown key {other:?}")),
         }
         if !p.comma_or_close()? {
@@ -289,6 +309,11 @@ pub fn parse_bench_record(line: &str) -> Result<BenchRecord, String> {
             return Err(format!("\"p50_refresh_seconds\" {r} is negative"));
         }
     }
+    if let Some(d) = degraded_fraction {
+        if !(0.0..=1.0).contains(&d) {
+            return Err(format!("\"degraded_fraction\" {d} outside [0, 1]"));
+        }
+    }
     Ok(BenchRecord {
         name: name.ok_or_else(|| missing("name"))?,
         p50_seconds: p50_seconds.ok_or_else(|| missing("p50_seconds"))?,
@@ -298,6 +323,7 @@ pub fn parse_bench_record(line: &str) -> Result<BenchRecord, String> {
         tuples_per_second,
         p50_refresh_seconds,
         rss_peak_bytes,
+        degraded_fraction,
     })
 }
 
@@ -581,6 +607,7 @@ mod tests {
             tuples_per_second: None,
             p50_refresh_seconds: None,
             rss_peak_bytes: None,
+            degraded_fraction: None,
         };
         let line = r.to_json();
         assert!(line.starts_with('{') && line.ends_with('}'));
@@ -603,6 +630,7 @@ mod tests {
                 tuples_per_second: None,
                 p50_refresh_seconds: None,
                 rss_peak_bytes: None,
+                degraded_fraction: None,
             },
             BenchRecord {
                 name: "resume/suite/resume".into(),
@@ -613,6 +641,7 @@ mod tests {
                 tuples_per_second: None,
                 p50_refresh_seconds: None,
                 rss_peak_bytes: None,
+                degraded_fraction: None,
             },
             BenchRecord {
                 name: "streaming/refresh/incremental".into(),
@@ -623,6 +652,7 @@ mod tests {
                 tuples_per_second: Some(12_500.0),
                 p50_refresh_seconds: Some(8e-4),
                 rss_peak_bytes: None,
+                degraded_fraction: None,
             },
             BenchRecord {
                 name: "storage/ingest/disk".into(),
@@ -633,6 +663,18 @@ mod tests {
                 tuples_per_second: Some(90_000.0),
                 p50_refresh_seconds: None,
                 rss_peak_bytes: Some(48 * 1024 * 1024),
+                degraded_fraction: None,
+            },
+            BenchRecord {
+                name: "chaos/fig7-hard/faults=1%".into(),
+                p50_seconds: 0.75,
+                converged_fraction: 0.95,
+                samples: 20,
+                mean_interval_width: None,
+                tuples_per_second: None,
+                p50_refresh_seconds: None,
+                rss_peak_bytes: None,
+                degraded_fraction: Some(0.05),
             },
         ];
         for r in &records {
@@ -686,6 +728,14 @@ mod tests {
             (
                 r#"{"name":"a","p50_seconds":1,"converged_fraction":1,"samples":2,"rss_peak_bytes":1.5}"#,
                 "fractional rss_peak_bytes",
+            ),
+            (
+                r#"{"name":"a","p50_seconds":1,"converged_fraction":1,"samples":2,"degraded_fraction":1.5}"#,
+                "degraded_fraction outside [0, 1]",
+            ),
+            (
+                r#"{"name":"a","p50_seconds":1,"converged_fraction":1,"samples":2,"degraded_fraction":-0.1}"#,
+                "negative degraded_fraction",
             ),
         ] {
             assert!(parse_bench_record(bad).is_err(), "accepted {why}: {bad}");

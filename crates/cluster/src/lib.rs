@@ -72,6 +72,7 @@ use std::time::{Duration, Instant};
 use dtree::{CacheStats, SubformulaCache};
 use events::{Dnf, LineageDelta, ProbabilitySpace, VarOrigins};
 use pdb::confidence::{ConfidenceBudget, ConfidenceMethod, ConfidenceResult, ResumableConfidence};
+use pdb::fault::Fault;
 use pdb::{BatchResult, ConfidenceEngine, ResumablePool};
 
 pub use hardness::{HardnessEstimator, LineageFeatures};
@@ -120,6 +121,11 @@ pub struct ShardStats {
     /// re-scoring) carried across the shard boundary instead of recompiling
     /// the item on the thief.
     pub migrated: usize,
+    /// Worker panics this shard suffered. Each one kills the shard's worker
+    /// for the rest of its round: the orphaned queue is drained by the
+    /// surviving stealers and the panicked item is retried once on another
+    /// shard before degrading (see [`ClusterEngine::with_fault`]).
+    pub deaths: usize,
     /// Sum of the per-item algorithm times this worker spent.
     pub compute: Duration,
     /// Cache-effectiveness deltas for this shard's private cache. All zeros
@@ -190,6 +196,19 @@ impl ClusterBatchResult {
         self.shards.iter().map(|s| s.migrated).sum()
     }
 
+    /// Total number of worker panics the scheduler caught and isolated.
+    pub fn total_deaths(&self) -> usize {
+        self.shards.iter().map(|s| s.deaths).sum()
+    }
+
+    /// Number of items that report a **degraded** result — a vacuous `[0, 1]`
+    /// interval standing in for a computation lost to a panic or dead shard
+    /// ([`ConfidenceResult::degraded`] is `Some`). Always 0 without fault
+    /// injection or real worker crashes.
+    pub fn degraded_count(&self) -> usize {
+        self.results.iter().filter(|r| r.degraded.is_some()).count()
+    }
+
     /// Flattens the cluster result into the unsharded engine's
     /// [`BatchResult`] shape (results + wall + merged cache), for callers
     /// written against the single-engine API.
@@ -228,6 +247,7 @@ pub struct ClusterEngine {
     estimator: Arc<HardnessEstimator>,
     max_rounds: usize,
     obs: obs::Obs,
+    fault: Fault,
 }
 
 impl std::fmt::Debug for ClusterEngine {
@@ -261,6 +281,7 @@ impl ClusterEngine {
             estimator: Arc::new(HardnessEstimator::new()),
             max_rounds: 4,
             obs: obs::Obs::default(),
+            fault: Fault::disabled(),
         }
     }
 
@@ -351,6 +372,20 @@ impl ClusterEngine {
         if let Some(estimator) = Arc::get_mut(&mut self.estimator) {
             estimator.attach_obs(o);
         }
+        self
+    }
+
+    /// Attaches a fault-injection plan (see [`pdb::fault`]): every item
+    /// execution checks the `"cluster.worker"` failpoint, and injected
+    /// panics exercise the scheduler's shard-failure tolerance — the
+    /// panicking worker dies for the rest of its round, its orphaned queue
+    /// is drained by the surviving stealers, and the panicked item is
+    /// retried once on another shard before degrading to the vacuous
+    /// `[0, 1]` interval ([`ConfidenceResult::degraded`]). With the default
+    /// [`Fault::disabled`] plan the check is a free no-op and results are
+    /// bit-identical to an engine without one.
+    pub fn with_fault(mut self, fault: &Fault) -> Self {
+        self.fault = fault.clone();
         self
     }
 
@@ -448,6 +483,7 @@ impl ClusterEngine {
             // pay it when refinement rounds could actually resume them.
             capture: deadline.is_some() && self.max_rounds > 1,
             obs: &cobs,
+            fault: &self.fault,
         };
         let outcome = scheduler::execute(&ctx, queues, vec![None; lineages.len()]);
 
@@ -464,6 +500,7 @@ impl ClusterEngine {
                 stolen: acc.stolen,
                 resumed: acc.resumed,
                 migrated: acc.migrated,
+                deaths: acc.deaths,
                 compute: acc.compute,
                 cache: match self.topology {
                     CacheTopology::PerShard => deltas.get(shard).cloned().unwrap_or_default(),
@@ -636,6 +673,7 @@ impl ClusterEngine {
             // cheap.
             capture: true,
             obs: &cobs,
+            fault: &self.fault,
         };
         let outcome = scheduler::execute(&ctx, queues, initial_handles);
 
@@ -653,6 +691,7 @@ impl ClusterEngine {
                 stolen: acc.stolen,
                 resumed: acc.resumed,
                 migrated: acc.migrated,
+                deaths: acc.deaths,
                 compute: acc.compute,
                 cache: match self.topology {
                     CacheTopology::PerShard => deltas_stats.get(shard).cloned().unwrap_or_default(),
@@ -1066,6 +1105,131 @@ mod tests {
         }
         assert!(pool.is_empty(), "Monte-Carlo items are never pooled");
         assert!(maintained.curves.iter().all(Option::is_none));
+    }
+
+    /// Satellite of the failure model: a worker panic kills its shard for
+    /// the round, the panicked item is retried exactly once on a surviving
+    /// shard, and — the retry having succeeded — the batch is bit-identical
+    /// to a fault-free run. Zero degraded results, one counted death.
+    #[test]
+    fn one_shard_death_retries_the_item_elsewhere_and_loses_nothing() {
+        use pdb::fault::{FaultPlan, FaultPolicy};
+        let (space, lineages) = mixed_batch();
+        let method = ConfidenceMethod::DTreeAbsolute(0.01);
+        let clean = ClusterEngine::new(method.clone())
+            .with_shards(2)
+            .confidence_batch(&lineages, &space, None);
+        let fault =
+            FaultPlan::new(7).on("cluster.worker", FaultPolicy::PanicTimes { count: 1 }).build();
+        let out = ClusterEngine::new(method)
+            .with_shards(2)
+            .with_fault(&fault)
+            .confidence_batch(&lineages, &space, None);
+        assert_eq!(fault.injected(), 1, "the schedule must actually fire");
+        assert_eq!(out.total_deaths(), 1, "one worker panic, one counted death");
+        assert_eq!(out.degraded_count(), 0, "the retry on the surviving shard succeeds");
+        assert_eq!(out.results.len(), lineages.len());
+        for (want, got) in clean.results.iter().zip(&out.results) {
+            assert_eq!(want.estimate.to_bits(), got.estimate.to_bits());
+            assert_eq!(want.lower.to_bits(), got.lower.to_bits());
+            assert_eq!(want.upper.to_bits(), got.upper.to_bits());
+        }
+    }
+
+    /// When every execution panics, both workers die, the exactly-once retry
+    /// budget is spent, and the backstop degrades every item to the vacuous
+    /// interval — the batch still returns a full, valid answer set.
+    #[test]
+    fn total_shard_loss_degrades_every_item_instead_of_panicking() {
+        use pdb::confidence::DegradationReason;
+        use pdb::fault::{FaultPlan, FaultPolicy};
+        let (space, lineages) = mixed_batch();
+        let fault = FaultPlan::new(7)
+            .on("cluster.worker", FaultPolicy::PanicTimes { count: u64::MAX })
+            .build();
+        let out = ClusterEngine::new(ConfidenceMethod::DTreeAbsolute(0.01))
+            .with_shards(2)
+            .with_fault(&fault)
+            .confidence_batch(&lineages, &space, None);
+        assert_eq!(out.results.len(), lineages.len(), "no item may be lost");
+        for r in &out.results {
+            assert_eq!(r.degraded, Some(DegradationReason::ShardLost));
+            assert!(!r.converged);
+            assert_eq!((r.lower, r.upper), (0.0, 1.0), "degraded bounds stay sound");
+        }
+        assert!(out.total_deaths() >= 2, "both workers died: {}", out.total_deaths());
+    }
+
+    /// The headline robustness guarantee: killing one of four shards in the
+    /// middle of a batch loses zero items — every lineage still reports a
+    /// result, and (the retry succeeding) every value matches the fault-free
+    /// run bit for bit.
+    #[test]
+    fn killing_one_of_four_shards_mid_batch_loses_zero_items() {
+        use events::Clause;
+        use pdb::fault::{FaultPlan, FaultPolicy};
+        // A larger batch so the death lands mid-flight with plenty of
+        // pending work in the dead shard's queue for the survivors to drain.
+        let mut space = ProbabilitySpace::new();
+        let mut lineages = Vec::new();
+        for k in 0..16 {
+            let len = 3 + k % 4;
+            let vars: Vec<_> = (0..=len)
+                .map(|i| space.add_bool(format!("w{k}_{i}"), 0.2 + 0.04 * (i % 7) as f64))
+                .collect();
+            lineages.push(Dnf::from_clauses(
+                (0..len).map(|i| Clause::from_bools(&[vars[i], vars[i + 1]])),
+            ));
+        }
+        let method = ConfidenceMethod::DTreeExact;
+        let clean = ClusterEngine::new(method.clone())
+            .with_shards(4)
+            .confidence_batch(&lineages, &space, None);
+        let fault =
+            FaultPlan::new(11).on("cluster.worker", FaultPolicy::PanicTimes { count: 1 }).build();
+        let out = ClusterEngine::new(method)
+            .with_shards(4)
+            .with_fault(&fault)
+            .confidence_batch(&lineages, &space, None);
+        assert_eq!(out.total_deaths(), 1);
+        assert_eq!(out.degraded_count(), 0);
+        assert_eq!(out.results.len(), lineages.len(), "zero items lost");
+        for (want, got) in clean.results.iter().zip(&out.results) {
+            assert_eq!(want.estimate.to_bits(), got.estimate.to_bits());
+            assert_eq!(want.converged, got.converged);
+        }
+    }
+
+    /// Shard deaths during maintenance rounds must not lose items either:
+    /// the degraded item keeps a valid (vacuous) result and the *next*
+    /// fault-free round recompiles it back to the exact answer.
+    #[test]
+    fn maintenance_recovers_items_degraded_by_a_dead_shard() {
+        use pdb::fault::{FaultPlan, FaultPolicy};
+        let (space, lineages) = streaming_fixture();
+        let fault = FaultPlan::new(3)
+            .on("cluster.worker", FaultPolicy::PanicTimes { count: u64::MAX })
+            .build();
+        let cluster = ClusterEngine::new(ConfidenceMethod::DTreeExact).with_shards(2);
+        let mut pool = ResumablePool::new(8);
+        let none: Vec<Option<events::LineageDelta>> = vec![None; lineages.len()];
+        // Round 0 under total shard loss: everything degrades, nothing is
+        // lost, nothing panics out.
+        let hurt = cluster
+            .clone()
+            .with_fault(&fault)
+            .maintain_batch(&lineages, &none, &space, None, &mut pool);
+        assert_eq!(hurt.results.len(), lineages.len());
+        assert_eq!(hurt.degraded_count(), lineages.len());
+        // Round 1 without faults: every item recompiles from scratch and
+        // reaches the exact answers.
+        let healed = cluster.maintain_batch(&lineages, &none, &space, None, &mut pool);
+        assert_eq!(healed.degraded_count(), 0);
+        assert!(healed.all_converged());
+        for (lineage, got) in lineages.iter().zip(&healed.results) {
+            let exact = lineage.exact_probability_enumeration(&space);
+            assert!((got.estimate - exact).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -36,13 +36,15 @@
 //! bit-identical to the unsharded engine.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use dtree::SubformulaCache;
 use events::{Dnf, ProbabilitySpace, VarOrigins};
-use pdb::confidence::{ConfidenceBudget, ConfidenceResult, ResumableConfidence};
+use pdb::confidence::{ConfidenceBudget, ConfidenceResult, DegradationReason, ResumableConfidence};
+use pdb::fault::Fault;
 use pdb::ConfidenceEngine;
 
 use crate::hardness::{HardnessEstimator, LineageFeatures};
@@ -100,6 +102,10 @@ pub(crate) struct ClusterObs {
     pub migrations: obs::Counter,
     /// `cluster.resumed`: executions served by resuming a frontier.
     pub resumed: obs::Counter,
+    /// `cluster.shard_deaths`: worker panics caught by the scheduler (each
+    /// kills its shard for the rest of the round; the item is retried once
+    /// on another shard, then degraded).
+    pub shard_deaths: obs::Counter,
     /// `cluster.deadline_slack_seconds`: time left on the cluster deadline
     /// when the schedule finished (0 = ran out).
     pub deadline_slack: obs::Histogram,
@@ -113,6 +119,7 @@ impl ClusterObs {
             steals: o.counter("cluster.steals"),
             migrations: o.counter("cluster.migrations"),
             resumed: o.counter("cluster.resumed"),
+            shard_deaths: o.counter("cluster.shard_deaths"),
             deadline_slack: o.histogram("cluster.deadline_slack_seconds"),
         }
     }
@@ -142,6 +149,13 @@ pub(crate) struct RunContext<'a> {
     pub capture: bool,
     /// Pre-fetched metric/trace handles (no-ops when observability is off).
     pub obs: &'a ClusterObs,
+    /// Fault-injection plan checked at the `"cluster.worker"` site once per
+    /// item execution. The site uses the hit-counter token (a shard death is
+    /// a property of the worker and the moment, not of the item), so a
+    /// retried item redraws its fate on the surviving shard instead of
+    /// deterministically dying again. [`Fault::disabled`] — the default —
+    /// makes the check a free no-op.
+    pub fault: &'a Fault,
 }
 
 /// Mutable per-shard counters accumulated over all rounds.
@@ -157,6 +171,9 @@ pub(crate) struct ShardAccum {
     /// shard — suspended handles that work stealing (or refinement
     /// re-scoring) carried across the shard boundary.
     pub migrated: usize,
+    /// Worker panics this shard's worker suffered (each one kills the worker
+    /// for the rest of its round; see [`run_round`]).
+    pub deaths: usize,
     pub compute: Duration,
 }
 
@@ -238,6 +255,12 @@ pub(crate) fn execute(
     // rounds re-score stragglers by their remaining bound width below.
     let mut scores: Vec<f64> = ctx.scores.to_vec();
 
+    // Exactly-once retry bookkeeping for worker deaths, shared across
+    // rounds: an item whose worker panicked is re-queued on another shard
+    // at most once over the whole schedule; a second panic degrades it.
+    let retried: Vec<AtomicBool> =
+        (0..ctx.lineages.len()).map(|_| AtomicBool::new(false)).collect();
+
     let mut pending = queues;
     let mut rounds = 0;
     loop {
@@ -246,7 +269,7 @@ pub(crate) fn execute(
             ctx.policy.order(queue, &scores);
         }
         let round_items: usize = pending.iter().map(Vec::len).sum();
-        run_round(ctx, &pending, &mut results, &mut accums, &handles);
+        run_round(ctx, &pending, &mut results, &mut accums, &handles, &retried);
         ctx.obs
             .obs
             .event("cluster.round")
@@ -285,13 +308,26 @@ pub(crate) fn execute(
         pending = unfinished;
     }
 
+    // Graceful-degradation backstop: a scheduled item can still hold no
+    // result when every worker of its final round died before reaching it.
+    // The batch contract is "every item gets a valid answer", so such items
+    // report the vacuous degraded interval instead of a missing slot.
+    // Unscheduled items (deduplicated copies, `home[i] == None`) are filled
+    // from their representatives by the caller and stay `None` here.
+    for (i, slot) in results.iter_mut().enumerate() {
+        if slot.is_none() && home[i].is_some() {
+            *slot = Some(ctx.engine.degrade_item(i, DegradationReason::ShardLost));
+        }
+    }
+
     ctx.obs.rounds.add(rounds as u64);
-    let (stolen, resumed, migrated) = accums
-        .iter()
-        .fold((0, 0, 0), |acc, s| (acc.0 + s.stolen, acc.1 + s.resumed, acc.2 + s.migrated));
+    let (stolen, resumed, migrated, deaths) = accums.iter().fold((0, 0, 0, 0), |acc, s| {
+        (acc.0 + s.stolen, acc.1 + s.resumed, acc.2 + s.migrated, acc.3 + s.deaths)
+    });
     ctx.obs.steals.add(stolen as u64);
     ctx.obs.resumed.add(resumed as u64);
     ctx.obs.migrations.add(migrated as u64);
+    ctx.obs.shard_deaths.add(deaths as u64);
     if let Some(deadline) = ctx.deadline {
         // Slack = runway left when the schedule finished; 0 means the
         // deadline ran out (some items were truncated at their slices).
@@ -304,18 +340,31 @@ pub(crate) fn execute(
         rounds,
         handles: handles
             .into_iter()
-            .map(|m| m.into_inner().expect("resume handle poisoned").handle)
+            .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner).handle)
             .collect(),
     }
 }
 
 /// One pass over the pending queues: one stealing worker per shard.
+///
+/// **Shard-failure tolerance.** Every item execution runs behind a
+/// [`catch_unwind`] boundary. A panic — injected at the `"cluster.worker"`
+/// failpoint or escaping the engine for real — kills the executing worker
+/// for the rest of the round (its shard goes dead; the orphaned queue is
+/// drained by the surviving stealers, suspended frontiers migrating along
+/// the usual steal-with-handle path). The item itself is re-queued on a
+/// *different* shard exactly once per schedule (`retried`); a second panic
+/// degrades it to the vacuous interval via
+/// [`ConfidenceEngine::degrade_item`]. The single-worker fast path has no
+/// other shard to retry on: the lone worker survives the panic and retries
+/// the item once at its own queue tail instead.
 fn run_round(
     ctx: &RunContext<'_>,
     pending: &[Vec<usize>],
     results: &mut [Option<ConfidenceResult>],
     accums: &mut [ShardAccum],
     handles: &[Mutex<HandleSlot>],
+    retried: &[AtomicBool],
 ) {
     let total: usize = pending.iter().map(Vec::len).sum();
     if total == 0 {
@@ -329,18 +378,44 @@ fn run_round(
         // Single worker: no stealing, no threads, no lock traffic — keeps
         // the 1-shard cluster within spitting distance of the plain engine.
         let mut left = total;
-        for (shard, queue) in pending.iter().enumerate() {
-            for &i in queue {
-                let item_deadline = slice_deadline(ctx.deadline, left.max(1), 1);
-                left -= 1;
-                let (r, resumed, migrated) = run_one(ctx, i, shard, item_deadline, handles);
-                accums[shard].executed += 1;
-                accums[shard].resumed += usize::from(resumed);
-                accums[shard].migrated += usize::from(migrated);
-                accums[shard].compute += r.elapsed;
-                match &results[i] {
-                    Some(old) if !improves(&r, old) => {}
-                    _ => results[i] = Some(r),
+        let mut queue: VecDeque<(usize, usize)> = pending
+            .iter()
+            .enumerate()
+            .flat_map(|(shard, q)| q.iter().map(move |&i| (i, shard)))
+            .collect();
+        while let Some((i, shard)) = queue.pop_front() {
+            let item_deadline = slice_deadline(ctx.deadline, left.max(1), 1);
+            left = left.saturating_sub(1);
+            match catch_unwind(AssertUnwindSafe(|| run_one(ctx, i, shard, item_deadline, handles)))
+            {
+                Ok((r, resumed, migrated)) => {
+                    accums[shard].executed += 1;
+                    accums[shard].resumed += usize::from(resumed);
+                    accums[shard].migrated += usize::from(migrated);
+                    accums[shard].compute += r.elapsed;
+                    match &results[i] {
+                        Some(old) if !improves(&r, old) => {}
+                        _ => results[i] = Some(r),
+                    }
+                }
+                Err(_) => {
+                    accums[shard].deaths += 1;
+                    ctx.obs
+                        .obs
+                        .event("cluster.shard_death")
+                        .u64("shard", shard as u64)
+                        .u64("item", i as u64)
+                        .emit();
+                    // The panic may have unwound through the item's handle
+                    // lock: recover the mutex and drop the (possibly
+                    // half-refined) frontier — recompiling is sound.
+                    handles[i].lock().unwrap_or_else(PoisonError::into_inner).handle = None;
+                    if !retried[i].swap(true, Ordering::SeqCst) {
+                        queue.push_back((i, shard));
+                        left += 1;
+                    } else if results[i].is_none() {
+                        results[i] = Some(ctx.engine.degrade_item(i, DegradationReason::ShardLost));
+                    }
                 }
             }
         }
@@ -352,53 +427,110 @@ fn run_round(
     let out: Mutex<&mut [Option<ConfidenceResult>]> = Mutex::new(results);
     let accum_cells: Vec<Mutex<&mut ShardAccum>> = accums.iter_mut().map(Mutex::new).collect();
 
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            let queues = &queues;
-            let unstarted = &unstarted;
-            let out = &out;
-            let accum_cells = &accum_cells;
-            scope.spawn(move || {
-                let mut local = ShardAccum::default();
-                loop {
-                    let popped = pop_or_steal(queues, w);
-                    let Some((i, stolen)) = popped else { break };
-                    if stolen {
-                        ctx.obs
-                            .obs
-                            .event("cluster.steal")
-                            .u64("item", i as u64)
-                            .u64("thief", w as u64)
-                            .emit();
-                    }
-                    // The share computation counts this item as still
-                    // unstarted (it has not consumed time yet), so decrement
-                    // after computing the slice denominator.
-                    let left = unstarted.load(Ordering::Relaxed).max(1);
-                    let item_deadline = slice_deadline(ctx.deadline, left, workers);
-                    unstarted.fetch_sub(1, Ordering::Relaxed);
+    // A dying worker re-queues its item *after* unwinding, which can race
+    // past the moment the surviving workers scanned every queue empty and
+    // exited. Items left in the queues when a pass ends are therefore not
+    // lost: another pass of workers is spawned over them, until the queues
+    // drain or every worker of a pass died (then the caller's backstop
+    // degrades whatever remains).
+    loop {
+        let deaths = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queues = &queues;
+                let unstarted = &unstarted;
+                let out = &out;
+                let accum_cells = &accum_cells;
+                let deaths = &deaths;
+                scope.spawn(move || {
+                    let mut local = ShardAccum::default();
+                    loop {
+                        let popped = pop_or_steal(queues, w);
+                        let Some((i, stolen)) = popped else { break };
+                        if stolen {
+                            ctx.obs
+                                .obs
+                                .event("cluster.steal")
+                                .u64("item", i as u64)
+                                .u64("thief", w as u64)
+                                .emit();
+                        }
+                        // The share computation counts this item as still
+                        // unstarted (it has not consumed time yet), so decrement
+                        // after computing the slice denominator.
+                        let left = unstarted.load(Ordering::Relaxed).max(1);
+                        let item_deadline = slice_deadline(ctx.deadline, left, workers);
+                        unstarted.fetch_sub(1, Ordering::Relaxed);
 
-                    let (r, resumed, migrated) = run_one(ctx, i, w, item_deadline, handles);
-                    local.executed += 1;
-                    local.stolen += usize::from(stolen);
-                    local.resumed += usize::from(resumed);
-                    local.migrated += usize::from(migrated);
-                    local.compute += r.elapsed;
-                    let mut slots = out.lock().expect("result slots poisoned");
-                    match &slots[i] {
-                        Some(old) if !improves(&r, old) => {}
-                        _ => slots[i] = Some(r),
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            run_one(ctx, i, w, item_deadline, handles)
+                        })) {
+                            Ok((r, resumed, migrated)) => {
+                                local.executed += 1;
+                                local.stolen += usize::from(stolen);
+                                local.resumed += usize::from(resumed);
+                                local.migrated += usize::from(migrated);
+                                local.compute += r.elapsed;
+                                let mut slots = out.lock().expect("result slots poisoned");
+                                match &slots[i] {
+                                    Some(old) if !improves(&r, old) => {}
+                                    _ => slots[i] = Some(r),
+                                }
+                            }
+                            Err(_) => {
+                                local.deaths += 1;
+                                deaths.fetch_add(1, Ordering::Relaxed);
+                                ctx.obs
+                                    .obs
+                                    .event("cluster.shard_death")
+                                    .u64("shard", w as u64)
+                                    .u64("item", i as u64)
+                                    .emit();
+                                // The panic may have unwound through the item's
+                                // handle lock: recover the mutex and drop the
+                                // (possibly half-refined) frontier — recompiling
+                                // on the retry shard is sound.
+                                handles[i].lock().unwrap_or_else(PoisonError::into_inner).handle =
+                                    None;
+                                if !retried[i].swap(true, Ordering::SeqCst) {
+                                    // First failure: hand the item to the next
+                                    // shard's queue. Even if that shard's worker
+                                    // is dead too, a surviving stealer drains it.
+                                    queues[(w + 1) % shards]
+                                        .lock()
+                                        .expect("queue poisoned")
+                                        .push_back(i);
+                                    unstarted.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    let r =
+                                        ctx.engine.degrade_item(i, DegradationReason::ShardLost);
+                                    let mut slots = out.lock().expect("result slots poisoned");
+                                    if slots[i].is_none() {
+                                        slots[i] = Some(r);
+                                    }
+                                }
+                                // This worker's shard is dead for the rest of
+                                // the round; its queue is drained by the
+                                // surviving stealers.
+                                break;
+                            }
+                        }
                     }
-                }
-                let mut acc = accum_cells[w].lock().expect("accum poisoned");
-                acc.executed += local.executed;
-                acc.stolen += local.stolen;
-                acc.resumed += local.resumed;
-                acc.migrated += local.migrated;
-                acc.compute += local.compute;
-            });
+                    let mut acc = accum_cells[w].lock().expect("accum poisoned");
+                    acc.executed += local.executed;
+                    acc.stolen += local.stolen;
+                    acc.resumed += local.resumed;
+                    acc.migrated += local.migrated;
+                    acc.deaths += local.deaths;
+                    acc.compute += local.compute;
+                });
+            }
+        });
+        let leftover: usize = queues.iter().map(|q| q.lock().expect("queue poisoned").len()).sum();
+        if leftover == 0 || deaths.load(Ordering::Relaxed) >= workers {
+            break;
         }
-    });
+    }
 }
 
 /// Computes one item through the engine hook (the cache is the executing
@@ -425,7 +557,11 @@ fn run_one(
     handles: &[Mutex<HandleSlot>],
 ) -> (ConfidenceResult, bool, bool) {
     let cache = ctx.caches[shard];
-    let mut guard = handles[i].lock().expect("resume handle poisoned");
+    // The worker failpoint fires *before* the handle lock is taken, so most
+    // injected deaths leave the frontier slot clean; real panics from the
+    // compute below may poison it, which the catch-side recovery handles.
+    ctx.fault.check("cluster.worker").unwrap_or_else(|e| panic!("injected worker fault: {e}"));
+    let mut guard = handles[i].lock().unwrap_or_else(PoisonError::into_inner);
     let slot = &mut *guard;
     if let Some(handle) = slot.handle.as_mut() {
         let migrated = slot.owner.is_some_and(|o| o != shard);
@@ -541,6 +677,7 @@ mod tests {
             elapsed: Duration::ZERO,
             method: "test".into(),
             stats: None,
+            degraded: None,
         }
     }
 
@@ -615,6 +752,7 @@ mod tests {
         let engine = ConfidenceEngine::new(ConfidenceMethod::DTreeAbsolute(1e-6)).with_threads(1);
         let estimator = HardnessEstimator::new();
         let cobs = ClusterObs::default();
+        let fault = Fault::disabled();
         let ctx = RunContext {
             lineages: &lineages,
             space: &space,
@@ -630,13 +768,15 @@ mod tests {
             max_work: None,
             capture: true,
             obs: &cobs,
+            fault: &fault,
         };
         let handles = vec![Mutex::new(HandleSlot::default())];
+        let retried = vec![AtomicBool::new(false)];
         let mut results = vec![None];
         let mut accums = vec![ShardAccum::default(); 2];
 
         // Round 1: shard 0 runs the item fresh and parks its frontier.
-        run_round(&ctx, &[vec![0], vec![]], &mut results, &mut accums, &handles);
+        run_round(&ctx, &[vec![0], vec![]], &mut results, &mut accums, &handles, &retried);
         assert_eq!(accums[0].executed, 1);
         assert_eq!(accums[0].migrated, 0, "a fresh run is not a migration");
         {
@@ -648,14 +788,14 @@ mod tests {
         // Round 2: the item is pending only on shard 1 (as after a steal) —
         // the suspended handle moves with it and the hop counts as a
         // migration before ownership rebinds to the thief.
-        run_round(&ctx, &[vec![], vec![0]], &mut results, &mut accums, &handles);
+        run_round(&ctx, &[vec![], vec![0]], &mut results, &mut accums, &handles, &retried);
         assert_eq!(accums[1].executed, 1);
         assert_eq!(accums[1].resumed, 1, "the migrated handle must resume, not recompile");
         assert_eq!(accums[1].migrated, 1, "a cross-shard resume is a migration");
         assert_eq!(handles[0].lock().unwrap().owner, Some(1));
 
         // Round 3: resuming on the now-owning shard again is no migration.
-        run_round(&ctx, &[vec![], vec![0]], &mut results, &mut accums, &handles);
+        run_round(&ctx, &[vec![], vec![0]], &mut results, &mut accums, &handles, &retried);
         assert_eq!(accums[1].resumed, 2);
         assert_eq!(accums[1].migrated, 1, "same-shard resumes must not count");
     }

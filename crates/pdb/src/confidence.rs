@@ -5,6 +5,7 @@
 //! algorithm and returns a uniform result structure, which is what the
 //! examples and the benchmark harness use.
 
+use std::fmt;
 use std::time::{Duration, Instant};
 
 use dtree::{
@@ -93,6 +94,40 @@ pub struct ConfidenceResult {
     /// d-tree methods, `None` for the Monte-Carlo methods (which do no
     /// decomposition) and for items short-circuited past a deadline.
     pub stats: Option<CompileStats>,
+    /// `Some` when the result was **degraded**: a failure (worker panic,
+    /// shard loss, exhausted I/O retries) prevented computing the item, and
+    /// the engine failed closed to this sound vacuous `[0, 1]` non-converged
+    /// interval instead of aborting the batch. `None` for every normally
+    /// computed result — including honest non-converged ones, which are a
+    /// budget outcome, not a failure.
+    pub degraded: Option<DegradationReason>,
+}
+
+/// Why a [`ConfidenceResult`] was degraded to the vacuous `[0, 1]`
+/// non-converged interval instead of computed. Carried on
+/// [`ConfidenceResult::degraded`]; the interval is still *sound* (the true
+/// probability always lies in `[0, 1]`), so batch post-processing stays
+/// valid — the reason tells operators which failure domain to look at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationReason {
+    /// The worker computing the item panicked (e.g. on corrupt committed
+    /// storage payloads or an injected fault) and the engine isolated it.
+    WorkerPanic,
+    /// The item was orphaned by a dying cluster shard and its retry on a
+    /// surviving shard also failed.
+    ShardLost,
+    /// Transient storage I/O kept failing past the retry budget.
+    RetriesExhausted,
+}
+
+impl fmt::Display for DegradationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationReason::WorkerPanic => write!(f, "worker panic"),
+            DegradationReason::ShardLost => write!(f, "shard lost"),
+            DegradationReason::RetriesExhausted => write!(f, "retries exhausted"),
+        }
+    }
 }
 
 /// Budgets applied to any method — including [`ConfidenceMethod::DTreeExact`],
@@ -180,6 +215,7 @@ impl ResumableConfidence {
             elapsed: r.elapsed,
             method: self.method.clone(),
             stats: Some(r.stats),
+            degraded: None,
         }
     }
 
@@ -271,6 +307,7 @@ impl ResumableConfidence {
             elapsed: Duration::ZERO,
             method: self.method.clone(),
             stats: Some(*self.inner.stats()),
+            degraded: None,
         }
     }
 }
@@ -342,6 +379,7 @@ pub fn confidence_with(
                     elapsed: start.elapsed(),
                     method: method.label(),
                     stats: Some(r.stats),
+                    degraded: None,
                 }
             } else {
                 // Budgeted: route through the approximation compiler with
@@ -366,6 +404,7 @@ pub fn confidence_with(
                     elapsed: r.elapsed,
                     method: method.label(),
                     stats: Some(r.stats),
+                    degraded: None,
                 }
             }
         }
@@ -391,6 +430,7 @@ pub fn confidence_with(
                 elapsed: r.elapsed,
                 method: method.label(),
                 stats: Some(r.stats),
+                degraded: None,
             }
         }
         ConfidenceMethod::KarpLuby { epsilon, delta } => {
@@ -427,6 +467,7 @@ pub fn confidence_with(
                 elapsed: r.elapsed,
                 method: method.label(),
                 stats: None,
+                degraded: None,
             }
         }
         ConfidenceMethod::NaiveMonteCarlo { epsilon } => {
@@ -466,6 +507,7 @@ pub fn confidence_with(
                 elapsed: r.elapsed,
                 method: method.label(),
                 stats: None,
+                degraded: None,
             }
         }
     }
@@ -525,6 +567,7 @@ pub fn confidence_resumable(
         elapsed: r.elapsed,
         method: method.label(),
         stats: Some(r.stats),
+        degraded: None,
     };
     let handle = handle.map(|inner| ResumableConfidence { inner, method: method.label() });
     (result, handle)

@@ -189,6 +189,15 @@ impl Database {
         self.store.scan(name)
     }
 
+    /// Keyed point read: the `index`-th row (insertion order) of a table, or
+    /// `None` when the table or index is absent. Heap-backed databases answer
+    /// in O(1); disk-backed ones map the position to its global sequence
+    /// number and probe the memtable and run bloom filters
+    /// ([`DiskStore::get_row`]) — never materializing or scanning the table.
+    pub fn row(&self, name: &str, index: usize) -> Result<Option<AnnotatedTuple>, StorageError> {
+        self.store.row_at(name, index)
+    }
+
     /// Streams the clauses of a table's *Boolean* lineage (the disjunction
     /// of all tuple lineages) straight into `arena` — the out-of-core
     /// counterpart of [`Relation::boolean_lineage`]: only interned clause
@@ -228,6 +237,15 @@ impl Database {
     /// sink every handle stays a no-op.
     pub fn attach_obs(&mut self, obs: &obs::Obs) {
         self.store.attach_obs(obs);
+    }
+
+    /// Attaches a fault-injection handle ([`crate::fault::Fault`]) to the
+    /// storage layer: disk-backed databases start consulting their
+    /// `wal.*`/`storage.*` failpoint sites. A no-op for heap-backed
+    /// databases, and with the default disabled handle every site stays
+    /// free.
+    pub fn attach_fault(&mut self, fault: &crate::fault::Fault) {
+        self.store.attach_fault(fault);
     }
 
     /// Forces buffered storage state down: drains the memtable into a run
@@ -732,6 +750,47 @@ mod tests {
         assert_eq!(recovered.table("R").unwrap(), table);
         assert_eq!(recovered.table("R").unwrap().boolean_lineage(), lineage);
         assert_eq!(recovered.table_id("R"), Some(0));
+    }
+
+    #[test]
+    fn point_reads_match_materialized_rows_on_both_backends() {
+        let dir = TempDir::new("db-row");
+        let mut heap = Database::new();
+        // A tiny budget forces flushes, so point reads cross memtable, runs,
+        // and compacted runs alike.
+        let mut disk = Database::open_disk(dir.path(), 64).expect("open");
+        let rows: Vec<(Vec<Value>, f64)> =
+            (0..20).map(|i| (vec![Value::Int(i)], 0.3 + 0.01 * (i % 30) as f64)).collect();
+        heap.add_tuple_independent_table("R", &["a"], rows.clone());
+        disk.add_tuple_independent_table("R", &["a"], rows);
+        let rel = heap.table("R").unwrap();
+        for (i, expected) in rel.tuples.iter().enumerate() {
+            assert_eq!(heap.row("R", i).unwrap().as_ref(), Some(expected));
+            assert_eq!(disk.row("R", i).unwrap().as_ref(), Some(expected), "row {i}");
+        }
+        assert_eq!(heap.row("R", rel.len()).unwrap(), None);
+        assert_eq!(disk.row("R", rel.len()).unwrap(), None);
+        assert_eq!(disk.row("missing", 0).unwrap(), None);
+    }
+
+    #[test]
+    fn point_reads_survive_recovery() {
+        let dir = TempDir::new("db-row-recover");
+        let expected = {
+            let mut db = Database::open_disk(dir.path(), 128).expect("open");
+            db.add_tuple_independent_table(
+                "R",
+                &["a"],
+                (0..15).map(|i| (vec![Value::Int(i)], 0.25 + 0.05 * (i % 10) as f64)).collect(),
+            );
+            db.sync_storage();
+            db.table("R").unwrap()
+        };
+        let recovered = Database::open_disk(dir.path(), 128).expect("recover");
+        for (i, tuple) in expected.tuples.iter().enumerate() {
+            assert_eq!(recovered.row("R", i).unwrap().as_ref(), Some(tuple), "row {i}");
+        }
+        assert_eq!(recovered.row("R", expected.len()).unwrap(), None);
     }
 
     #[test]

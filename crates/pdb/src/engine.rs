@@ -31,6 +31,7 @@
 //! per-lineage calls.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -40,8 +41,9 @@ use events::{Dnf, LineageDelta, ProbabilitySpace, VarOrigins};
 
 use crate::confidence::{
     confidence_resumable, confidence_with, ConfidenceBudget, ConfidenceMethod, ConfidenceResult,
-    ResumableConfidence,
+    DegradationReason, ResumableConfidence,
 };
+use crate::fault::Fault;
 use crate::pool::ResumablePool;
 
 /// Pre-fetched observability handles for the engine's hot paths. Resolved
@@ -56,6 +58,7 @@ pub(crate) struct EngineObs {
     items_truncated: obs::Counter,
     batches: obs::Counter,
     dedup_saved: obs::Counter,
+    degraded: obs::Counter,
     item_seconds: obs::Histogram,
     item_width: obs::Histogram,
     batch_seconds: obs::Histogram,
@@ -74,6 +77,7 @@ impl EngineObs {
             items_truncated: o.counter("engine.items_truncated"),
             batches: o.counter("engine.batches"),
             dedup_saved: o.counter("engine.dedup_saved"),
+            degraded: o.counter("engine.degraded"),
             item_seconds: o.histogram("engine.item_seconds"),
             item_width: o.histogram("engine.item_width"),
             batch_seconds: o.histogram("engine.batch_seconds"),
@@ -163,6 +167,7 @@ pub struct ConfidenceEngine {
     share_cache: bool,
     shared_cache: Option<Arc<SubformulaCache>>,
     obs: EngineObs,
+    fault: Fault,
 }
 
 impl ConfidenceEngine {
@@ -177,6 +182,7 @@ impl ConfidenceEngine {
             share_cache: true,
             shared_cache: None,
             obs: EngineObs::default(),
+            fault: Fault::disabled(),
         }
     }
 
@@ -244,6 +250,71 @@ impl ConfidenceEngine {
     pub fn with_obs(mut self, o: &obs::Obs) -> Self {
         self.obs = EngineObs::new(o);
         self
+    }
+
+    /// Attaches a fault-injection plan (see [`crate::fault`]). The batch
+    /// paths check the `"engine.item"` site once per item with the item's
+    /// **input index** as the decision token, so injected panics and errors
+    /// are a pure function of `(plan seed, index)` — independent of thread
+    /// scheduling — and same-seed replays degrade the same items. With the
+    /// default [`Fault::disabled`] every check is a free no-op.
+    pub fn with_fault(mut self, fault: &Fault) -> Self {
+        self.fault = fault.clone();
+        self
+    }
+
+    /// Builds, records, and returns the **degraded** result for item `index`:
+    /// the vacuous (but sound) interval `[0, 1]` with `converged = false` and
+    /// `degraded = Some(reason)`. This is the graceful-degradation contract —
+    /// when an item's computation is lost to a panic, a dead shard, or
+    /// exhausted retries, the batch still returns a valid answer for every
+    /// item and says *why* this one carries no information. Schedulers
+    /// layered above the engine (the `cluster` crate) call this too, so all
+    /// degradations land in the engine's `engine.degraded` counter and
+    /// `engine.degraded` trace events.
+    pub fn degrade_item(&self, index: usize, reason: DegradationReason) -> ConfidenceResult {
+        let r = ConfidenceResult {
+            estimate: 0.5,
+            lower: 0.0,
+            upper: 1.0,
+            converged: false,
+            elapsed: Duration::ZERO,
+            method: self.method.label(),
+            stats: None,
+            degraded: Some(reason),
+        };
+        self.obs.degraded.inc();
+        self.obs
+            .obs
+            .event("engine.degraded")
+            .u64("index", index as u64)
+            .str("reason", &reason.to_string())
+            .emit();
+        self.record_item(index, &r);
+        r
+    }
+
+    /// [`ConfidenceEngine::compute_item`] behind the fault boundary used by
+    /// the batch paths: checks the `"engine.item"` failpoint (token = input
+    /// index) and isolates panics — injected or real — with
+    /// [`catch_unwind`], degrading the item instead of unwinding the batch.
+    fn compute_item_isolated(
+        &self,
+        lineage: &Dnf,
+        space: &ProbabilitySpace,
+        origins: Option<&VarOrigins>,
+        index: usize,
+        deadline: Option<Instant>,
+        cache: Option<&SubformulaCache>,
+    ) -> ConfidenceResult {
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.fault
+                .check_at("engine.item", index as u64)
+                .map(|()| self.compute_item(lineage, space, origins, index, deadline, cache))
+        })) {
+            Ok(Ok(r)) => r,
+            Ok(Err(_)) | Err(_) => self.degrade_item(index, DegradationReason::WorkerPanic),
+        }
     }
 
     /// Records one computed item's outcome (no-op without an attached
@@ -328,7 +399,7 @@ impl ConfidenceEngine {
         let mut slots: Vec<Option<ConfidenceResult>> = vec![None; lineages.len()];
         if threads <= 1 {
             for &i in &work {
-                slots[i] = Some(self.compute_item(
+                slots[i] = Some(self.compute_item_isolated(
                     lineages[i].as_ref(),
                     space,
                     origins,
@@ -349,7 +420,7 @@ impl ConfidenceEngine {
                             break;
                         }
                         let i = work[w];
-                        let r = self.compute_item(
+                        let r = self.compute_item_isolated(
                             lineages[i].as_ref(),
                             space,
                             origins,
@@ -527,57 +598,74 @@ impl ConfidenceEngine {
         let mut results = Vec::with_capacity(lineages.len());
         let (mut refreshed, mut snapshots, mut recompiled) = (0usize, 0usize, 0usize);
         for (i, lineage) in lineages.iter().enumerate() {
-            let mut handle = if self.method.is_deterministic() { pool.take(i) } else { None };
-            // Fail closed up front: a handle pinned to an invalidated space
-            // can neither absorb a delta nor resume — recompiling immediately
-            // avoids reporting its vacuous poisoned bounds.
-            if handle.as_ref().is_some_and(|h| !h.is_current(space)) {
-                handle = None;
-            }
-            if let (Some(h), Some(delta)) = (handle.as_mut(), deltas[i].as_ref()) {
-                if !delta.is_empty() && !h.apply_delta(space, delta) {
-                    handle = None; // failed closed → recompile below
+            // The whole per-item step runs behind the fault boundary: a panic
+            // (injected at the "engine.item" site or real) degrades this item
+            // to the vacuous interval instead of unwinding the round. A
+            // pooled handle taken before the panic is dropped — the next
+            // round recompiles the item from scratch, which is sound.
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                self.fault
+                    .check_at("engine.item", i as u64)
+                    .unwrap_or_else(|e| panic!("injected engine fault: {e}"));
+                let mut handle = if self.method.is_deterministic() { pool.take(i) } else { None };
+                // Fail closed up front: a handle pinned to an invalidated
+                // space can neither absorb a delta nor resume — recompiling
+                // immediately avoids reporting its vacuous poisoned bounds.
+                if handle.as_ref().is_some_and(|h| !h.is_current(space)) {
+                    handle = None;
                 }
-            }
-            match handle {
-                Some(mut h) => {
-                    // Pooled handles may predate this engine's registry (the
-                    // pool outlives engines); re-attach so their slices land
-                    // in the current registry. Never detach: an engine
-                    // without observability leaves the handle's sink alone.
-                    if self.obs.obs.is_enabled() {
-                        h.attach_obs(&self.obs.obs);
+                if let (Some(h), Some(delta)) = (handle.as_mut(), deltas[i].as_ref()) {
+                    if !delta.is_empty() && !h.apply_delta(space, delta) {
+                        handle = None; // failed closed → recompile below
                     }
-                    if h.is_converged() {
-                        results.push(h.snapshot_result());
-                        snapshots += 1;
-                    } else {
-                        let budget = ConfidenceBudget {
-                            timeout: deadline.map(|d| d.saturating_duration_since(Instant::now())),
-                            max_work: self.budget.max_work,
+                }
+                match handle {
+                    Some(mut h) => {
+                        // Pooled handles may predate this engine's registry
+                        // (the pool outlives engines); re-attach so their
+                        // slices land in the current registry. Never detach:
+                        // an engine without observability leaves the handle's
+                        // sink alone.
+                        if self.obs.obs.is_enabled() {
+                            h.attach_obs(&self.obs.obs);
+                        }
+                        let r = if h.is_converged() {
+                            snapshots += 1;
+                            h.snapshot_result()
+                        } else {
+                            let budget = ConfidenceBudget {
+                                timeout: deadline
+                                    .map(|d| d.saturating_duration_since(Instant::now())),
+                                max_work: self.budget.max_work,
+                            };
+                            refreshed += 1;
+                            h.resume(space, &budget, cache)
                         };
-                        results.push(h.resume(space, &budget, cache));
-                        refreshed += 1;
-                    }
-                    self.record_item(i, results.last().expect("just pushed"));
-                    pool.insert(i, h);
-                }
-                None => {
-                    let (r, h) = self.compute_item_resumable(
-                        lineage.as_ref(),
-                        space,
-                        origins,
-                        i,
-                        deadline,
-                        cache,
-                    );
-                    results.push(r);
-                    recompiled += 1;
-                    if let Some(h) = h {
+                        self.record_item(i, &r);
                         pool.insert(i, h);
+                        r
+                    }
+                    None => {
+                        let (r, h) = self.compute_item_resumable(
+                            lineage.as_ref(),
+                            space,
+                            origins,
+                            i,
+                            deadline,
+                            cache,
+                        );
+                        recompiled += 1;
+                        if let Some(h) = h {
+                            pool.insert(i, h);
+                        }
+                        r
                     }
                 }
-            }
+            }));
+            results.push(match attempt {
+                Ok(r) => r,
+                Err(_) => self.degrade_item(i, DegradationReason::WorkerPanic),
+            });
         }
         let wall = start.elapsed();
         self.obs.maintain_rounds.inc();
@@ -635,6 +723,7 @@ impl ConfidenceEngine {
                             elapsed: Duration::ZERO,
                             method: self.method.label(),
                             stats: None,
+                            degraded: None,
                         }));
                     }
                     return Err(Box::new(ConfidenceResult {
@@ -645,6 +734,7 @@ impl ConfidenceEngine {
                         elapsed: Duration::ZERO,
                         method: self.method.label(),
                         stats: None,
+                        degraded: None,
                     }));
                 }
                 Ok(ConfidenceBudget { timeout: Some(remaining), max_work: self.budget.max_work })

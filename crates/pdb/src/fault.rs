@@ -1,0 +1,530 @@
+//! Deterministic fault injection and the storage retry policy.
+//!
+//! The anytime architecture degrades gracefully by construction — a truncated
+//! d-tree still yields a valid `[L, U]` interval — but the system around it
+//! (WAL, runs, shard workers) can only be *proven* failure-tolerant if its
+//! failure paths are exercised deterministically. This module provides that:
+//! named **failpoint sites** threaded through every fallible layer, driven by
+//! a seed-deterministic [`FaultPlan`], mirroring the `obs` handle pattern —
+//! a [`Fault`] handle is an `Option<Arc<..>>` that is a free no-op (one
+//! branch per site) when no plan is installed.
+//!
+//! # Sites
+//!
+//! A site is a `&'static`-ish string named after the operation it guards,
+//! e.g. `"wal.append"`, `"wal.sync"`, `"storage.flush"`, `"storage.compact"`,
+//! `"storage.get"`, `"storage.scan"`, `"engine.item"`, `"cluster.worker"`.
+//! The instrumented code calls [`Fault::check`] (or [`Fault::check_at`] with
+//! an explicit token) at the site; the installed policy decides whether this
+//! hit errors, panics, sleeps, or passes.
+//!
+//! # Determinism
+//!
+//! Every policy decision is a pure function of `(plan seed, site name,
+//! token)`. [`Fault::check`] tokens are the site's own hit counter — exact
+//! replay for single-threaded sequences like a storage workload.
+//! [`Fault::check_at`] takes the token from the caller (the engine passes
+//! the item's input index), so the decision is independent of thread
+//! interleaving and a re-run of the same seed degrades exactly the same
+//! items — the bit-identical-replay guarantee the differential tests pin.
+//!
+//! Injected errors are [`StorageError::Io`] with
+//! [`std::io::ErrorKind::Interrupted`], which [`StorageError::is_transient`]
+//! classifies as retryable; injected torn writes surface as permanent
+//! (`UnexpectedEof`) errors since retrying a half-written frame would
+//! corrupt the log.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::storage::encode::splitmix64;
+use crate::storage::StorageError;
+
+/// What an installed rule does when its site is hit and the decision fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPolicy {
+    /// Inject a transient I/O error on tokens `0..count` (error-once is
+    /// `count: 1`).
+    ErrorTimes {
+        /// Number of leading hits that fail.
+        count: u64,
+    },
+    /// Inject a transient I/O error on every `n`th hit (tokens `n-1`,
+    /// `2n-1`, …).
+    ErrorEveryNth {
+        /// The period; `0` never fires.
+        n: u64,
+    },
+    /// Inject a transient I/O error independently with probability `p`,
+    /// drawn from a SplitMix64 stream keyed by `(seed, site, token)`.
+    ErrorWithProbability {
+        /// Per-hit injection probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Sleep for `delay` on every hit, then pass — models a slow device.
+    Delay {
+        /// Injected latency.
+        delay: Duration,
+    },
+    /// Truncate the site's write to a `fraction` prefix on tokens
+    /// `0..count`, surfacing a permanent error — models a crash mid-write.
+    /// Only sites that consult [`Fault::torn`] (the WAL append) honor it.
+    TornWrite {
+        /// Fraction of the payload that reaches the file, in `[0, 1)`.
+        fraction: f64,
+        /// Number of leading hits that tear.
+        count: u64,
+    },
+    /// Panic at the site on tokens `0..count` — models a crashing worker.
+    /// The engine and the cluster scheduler isolate these panics and degrade
+    /// the item instead of aborting the batch.
+    PanicTimes {
+        /// Number of leading hits that panic.
+        count: u64,
+    },
+    /// Panic independently with probability `p` per hit, keyed like
+    /// [`FaultPolicy::ErrorWithProbability`].
+    PanicWithProbability {
+        /// Per-hit panic probability in `[0, 1]`.
+        p: f64,
+    },
+}
+
+/// One installed rule: a site name plus the policy applied to its hits.
+#[derive(Debug)]
+struct Rule {
+    site: String,
+    policy: FaultPolicy,
+    /// Hits observed at this rule (the token stream for [`Fault::check`]).
+    hits: AtomicU64,
+    /// Faults actually injected by this rule.
+    injected: AtomicU64,
+}
+
+/// A deterministic fault schedule: a seed plus per-site policies. Build one
+/// with the fluent API and install it via [`FaultPlan::build`]:
+///
+/// ```
+/// use pdb::fault::{FaultPlan, FaultPolicy};
+/// let fault = FaultPlan::new(42)
+///     .on("wal.sync", FaultPolicy::ErrorTimes { count: 2 })
+///     .on("storage.get", FaultPolicy::ErrorWithProbability { p: 0.01 })
+///     .build();
+/// assert!(fault.is_enabled());
+/// assert!(fault.check("wal.sync").is_err()); // first hit fails
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<(String, FaultPolicy)>,
+    obs: obs::Obs,
+}
+
+impl FaultPlan {
+    /// Starts an empty plan with the given decision seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed, rules: Vec::new(), obs: obs::Obs::default() }
+    }
+
+    /// Adds a rule: `policy` governs hits of `site`.
+    pub fn on(mut self, site: impl Into<String>, policy: FaultPolicy) -> FaultPlan {
+        self.rules.push((site.into(), policy));
+        self
+    }
+
+    /// Attaches observability: injected faults bump `fault.injected` and
+    /// emit `fault` trace events naming the site.
+    pub fn with_obs(mut self, o: &obs::Obs) -> FaultPlan {
+        self.obs = o.clone();
+        self
+    }
+
+    /// Freezes the plan into a shareable [`Fault`] handle.
+    pub fn build(self) -> Fault {
+        let injected = self.obs.counter("fault.injected");
+        let rules = self
+            .rules
+            .into_iter()
+            .map(|(site, policy)| Rule {
+                site,
+                policy,
+                hits: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
+            })
+            .collect();
+        Fault {
+            inner: Some(Arc::new(FaultInner {
+                seed: self.seed,
+                rules,
+                obs: self.obs,
+                injected,
+                total_injected: AtomicU64::new(0),
+            })),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FaultInner {
+    seed: u64,
+    rules: Vec<Rule>,
+    obs: obs::Obs,
+    injected: obs::Counter,
+    total_injected: AtomicU64,
+}
+
+/// A handle on an installed [`FaultPlan`] — or, by default, on nothing at
+/// all: the disabled handle short-circuits every site to a single `None`
+/// branch, so production code pays nothing for carrying one.
+#[derive(Debug, Clone, Default)]
+pub struct Fault {
+    inner: Option<Arc<FaultInner>>,
+}
+
+/// FNV-1a over the site name — mixed into the per-hit decision stream so
+/// distinct sites under one seed draw independent streams.
+fn site_hash(site: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in site.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Uniform draw in `[0, 1)` from `(seed, site, token)`.
+fn u01(seed: u64, site: &str, token: u64) -> f64 {
+    let x = splitmix64(seed ^ site_hash(site) ^ token.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Fault {
+    /// The always-pass handle (same as `Fault::default()`).
+    pub fn disabled() -> Fault {
+        Fault { inner: None }
+    }
+
+    /// `true` when a plan is installed.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Total faults injected across all rules — lets tests assert the
+    /// schedule actually fired without wiring up a registry.
+    pub fn injected(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.total_injected.load(Ordering::Relaxed))
+    }
+
+    /// Hits a site with the rule's own hit counter as the decision token.
+    /// Returns the injected transient error when the policy fires; panics
+    /// for the panic policies; sleeps for delay policies.
+    pub fn check(&self, site: &str) -> Result<(), StorageError> {
+        let Some(inner) = &self.inner else { return Ok(()) };
+        inner.fire(site, None)
+    }
+
+    /// Hits a site with a caller-provided token, making the decision a pure
+    /// function of `(seed, site, token)` regardless of thread interleaving.
+    /// The engine passes each item's input index so same-seed replays
+    /// degrade exactly the same items.
+    pub fn check_at(&self, site: &str, token: u64) -> Result<(), StorageError> {
+        let Some(inner) = &self.inner else { return Ok(()) };
+        inner.fire(site, Some(token))
+    }
+
+    /// For write sites: when a [`FaultPolicy::TornWrite`] rule fires on this
+    /// hit, the number of prefix bytes (of `len`) that should reach the
+    /// file. The caller writes that prefix and returns
+    /// [`Fault::torn_error`].
+    pub fn torn(&self, site: &str, len: usize) -> Option<usize> {
+        let inner = self.inner.as_ref()?;
+        for rule in inner.rules.iter().filter(|r| r.site == site) {
+            if let FaultPolicy::TornWrite { fraction, count } = rule.policy {
+                let token = rule.hits.fetch_add(1, Ordering::Relaxed);
+                if token < count {
+                    inner.record(rule, "torn");
+                    let keep = ((len as f64) * fraction.clamp(0.0, 1.0)) as usize;
+                    return Some(keep.min(len.saturating_sub(1)));
+                }
+            }
+        }
+        None
+    }
+
+    /// The permanent error surfaced after a torn write: retrying would
+    /// append a second partial frame after the tear, so this is deliberately
+    /// not transient.
+    pub fn torn_error(site: &str) -> StorageError {
+        StorageError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            format!("injected torn write at {site}"),
+        ))
+    }
+}
+
+impl FaultInner {
+    fn fire(&self, site: &str, token: Option<u64>) -> Result<(), StorageError> {
+        for rule in self.rules.iter().filter(|r| r.site == site) {
+            // Torn writes only fire through `Fault::torn`; skip them here
+            // *without* consuming a hit, so `count` means "the first `count`
+            // write attempts tear" even though write sites also `check`.
+            if matches!(rule.policy, FaultPolicy::TornWrite { .. }) {
+                continue;
+            }
+            let counter = rule.hits.fetch_add(1, Ordering::Relaxed);
+            let token = token.unwrap_or(counter);
+            let (inject, panic) = match rule.policy {
+                FaultPolicy::ErrorTimes { count } => (token < count, false),
+                FaultPolicy::ErrorEveryNth { n } => (n > 0 && (token + 1).is_multiple_of(n), false),
+                FaultPolicy::ErrorWithProbability { p } => (u01(self.seed, site, token) < p, false),
+                FaultPolicy::PanicTimes { count } => (token < count, true),
+                FaultPolicy::PanicWithProbability { p } => (u01(self.seed, site, token) < p, true),
+                FaultPolicy::Delay { delay } => {
+                    self.record(rule, "delay");
+                    std::thread::sleep(delay);
+                    (false, false)
+                }
+                // Torn writes only fire through `Fault::torn`.
+                FaultPolicy::TornWrite { .. } => (false, false),
+            };
+            if inject {
+                if panic {
+                    self.record(rule, "panic");
+                    panic!("injected fault panic at {site} (token {token})");
+                }
+                self.record(rule, "error");
+                return Err(StorageError::Io(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    format!("injected fault at {site} (token {token})"),
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn record(&self, rule: &Rule, kind: &str) {
+        rule.injected.fetch_add(1, Ordering::Relaxed);
+        self.total_injected.fetch_add(1, Ordering::Relaxed);
+        self.injected.inc();
+        self.obs.event("fault").str("site", &rule.site).str("kind", kind).emit();
+    }
+}
+
+/// Bounded exponential backoff with deterministic jitter, applied to
+/// transient storage I/O ([`StorageError::is_transient`]). Permanent errors
+/// propagate immediately; transient ones are retried up to `max_retries`
+/// times with delay `base_delay · 2^attempt · jitter` capped at `max_delay`,
+/// where the jitter factor in `[0.5, 1.5)` is a pure function of
+/// `(seed, attempt)` — same policy, same sleep schedule, every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (`0` disables retrying).
+    pub max_retries: u32,
+    /// Backoff base delay (attempt 0).
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three retries, 100 µs base, 5 ms cap — absorbs transient hiccups
+    /// without ever stalling a write path by more than ~10 ms.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_micros(100),
+            max_delay: Duration::from_millis(5),
+            seed: 0x5eed_5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (fail fast).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_retries: 0, ..RetryPolicy::default() }
+    }
+
+    /// The default retry counts with zero sleeping — what fault-matrix tests
+    /// use so schedules with many injected errors stay fast.
+    pub fn immediate() -> RetryPolicy {
+        RetryPolicy { base_delay: Duration::ZERO, max_delay: Duration::ZERO, ..Default::default() }
+    }
+
+    /// The deterministic backoff before retry number `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.base_delay.saturating_mul(1u32 << attempt.min(16));
+        let jitter =
+            0.5 + (splitmix64(self.seed ^ (attempt as u64 + 1)) >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = Duration::from_nanos((exp.as_nanos() as f64 * jitter) as u64);
+        jittered.min(self.max_delay)
+    }
+
+    /// Runs `op`, retrying transient failures per the policy. `on_retry` is
+    /// called before each backoff sleep with the 0-based attempt number and
+    /// the error — the storage layer bumps its `storage.retries` metric
+    /// there.
+    pub fn run_with<T>(
+        &self,
+        mut on_retry: impl FnMut(u32, &StorageError),
+        mut op: impl FnMut() -> Result<T, StorageError>,
+    ) -> Result<T, StorageError> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt < self.max_retries => {
+                    on_retry(attempt, &e);
+                    let delay = self.backoff(attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// [`RetryPolicy::run_with`] without the retry callback.
+    pub fn run<T>(&self, op: impl FnMut() -> Result<T, StorageError>) -> Result<T, StorageError> {
+        self.run_with(|_, _| {}, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_always_passes() {
+        let f = Fault::default();
+        assert!(!f.is_enabled());
+        for _ in 0..100 {
+            assert!(f.check("anything").is_ok());
+        }
+        assert_eq!(f.torn("anything", 64), None);
+        assert_eq!(f.injected(), 0);
+    }
+
+    #[test]
+    fn error_times_fails_the_leading_hits_only() {
+        let f = FaultPlan::new(1).on("s", FaultPolicy::ErrorTimes { count: 2 }).build();
+        assert!(f.check("s").is_err());
+        assert!(f.check("s").is_err());
+        assert!(f.check("s").is_ok());
+        assert!(f.check("other").is_ok(), "unrelated sites pass");
+        assert_eq!(f.injected(), 2);
+    }
+
+    #[test]
+    fn error_every_nth_is_periodic() {
+        let f = FaultPlan::new(1).on("s", FaultPolicy::ErrorEveryNth { n: 3 }).build();
+        let outcomes: Vec<bool> = (0..9).map(|_| f.check("s").is_err()).collect();
+        assert_eq!(outcomes, [false, false, true, false, false, true, false, false, true]);
+        let never = FaultPlan::new(1).on("s", FaultPolicy::ErrorEveryNth { n: 0 }).build();
+        assert!((0..10).all(|_| never.check("s").is_ok()));
+    }
+
+    #[test]
+    fn probabilistic_stream_is_seed_deterministic_and_roughly_calibrated() {
+        let run = |seed: u64| -> Vec<bool> {
+            let f =
+                FaultPlan::new(seed).on("s", FaultPolicy::ErrorWithProbability { p: 0.2 }).build();
+            (0..500).map(|_| f.check("s").is_err()).collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), run(8), "different seed, different schedule");
+        let hits = run(7).iter().filter(|&&b| b).count();
+        assert!((60..140).contains(&hits), "p=0.2 over 500 hits fired {hits} times");
+    }
+
+    #[test]
+    fn check_at_is_independent_of_hit_order() {
+        let f = FaultPlan::new(3).on("s", FaultPolicy::ErrorWithProbability { p: 0.5 }).build();
+        let forward: Vec<bool> = (0..32).map(|t| f.check_at("s", t).is_err()).collect();
+        let g = FaultPlan::new(3).on("s", FaultPolicy::ErrorWithProbability { p: 0.5 }).build();
+        let backward: Vec<bool> = (0..32).rev().map(|t| g.check_at("s", t).is_err()).collect();
+        let backward: Vec<bool> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward, "token decides, not arrival order");
+    }
+
+    #[test]
+    fn torn_write_keeps_a_strict_prefix_then_clears() {
+        let f =
+            FaultPlan::new(1).on("w", FaultPolicy::TornWrite { fraction: 0.5, count: 1 }).build();
+        let keep = f.torn("w", 100).expect("first hit tears");
+        assert_eq!(keep, 50);
+        assert_eq!(f.torn("w", 100), None, "only the first hit tears");
+        assert!(!Fault::torn_error("w").is_transient(), "torn writes must not be retried");
+    }
+
+    #[test]
+    fn torn_write_never_keeps_the_full_frame() {
+        let f =
+            FaultPlan::new(1).on("w", FaultPolicy::TornWrite { fraction: 1.0, count: 8 }).build();
+        for len in [1usize, 2, 64] {
+            let keep = f.torn("w", len).expect("tears");
+            assert!(keep < len, "torn write of {len} kept {keep}");
+        }
+    }
+
+    #[test]
+    fn panic_policy_panics_and_is_isolatable() {
+        let f = FaultPlan::new(1).on("p", FaultPolicy::PanicTimes { count: 1 }).build();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.check("p")));
+        assert!(caught.is_err(), "first hit panics");
+        assert!(f.check("p").is_ok(), "second hit passes");
+        assert_eq!(f.injected(), 1);
+    }
+
+    #[test]
+    fn retry_policy_recovers_transient_errors_within_budget() {
+        let f = FaultPlan::new(1).on("s", FaultPolicy::ErrorTimes { count: 3 }).build();
+        let mut retries = 0;
+        let out = RetryPolicy::immediate().run_with(|_, _| retries += 1, || f.check("s"));
+        assert!(out.is_ok(), "3 injected errors, 3 retries: the 4th attempt lands");
+        assert_eq!(retries, 3);
+    }
+
+    #[test]
+    fn retry_policy_gives_up_past_the_budget_and_never_retries_permanent_errors() {
+        let f = FaultPlan::new(1).on("s", FaultPolicy::ErrorTimes { count: 10 }).build();
+        assert!(RetryPolicy::immediate().run(|| f.check("s")).is_err());
+
+        let mut calls = 0;
+        let out: Result<(), _> = RetryPolicy::immediate().run(|| {
+            calls += 1;
+            Err(StorageError::corrupt("permanent"))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1, "permanent errors fail fast");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(0), p.backoff(0));
+        assert!(p.backoff(0) >= p.base_delay / 2);
+        assert!(p.backoff(20) <= p.max_delay);
+        assert!(RetryPolicy::immediate().backoff(3).is_zero());
+    }
+
+    #[test]
+    fn injected_faults_reach_the_metrics_registry() {
+        let o = obs::Obs::enabled();
+        let f =
+            FaultPlan::new(1).on("s", FaultPolicy::ErrorTimes { count: 2 }).with_obs(&o).build();
+        let _ = f.check("s");
+        let _ = f.check("s");
+        let _ = f.check("s");
+        let snap = o.snapshot().expect("enabled registry snapshots");
+        let injected =
+            snap.counters.iter().find(|(name, _)| name == "fault.injected").map(|&(_, v)| v);
+        assert_eq!(injected, Some(2));
+        assert!(snap.events.iter().any(|e| e.kind == "fault"));
+    }
+}

@@ -30,6 +30,11 @@
 //!   lineage growth, and [`ConfidenceEngine::maintain_batch`] applies them to
 //!   a [`ResumablePool`] of suspended d-tree frontiers so each insert round
 //!   re-refines only what the new clauses actually touched,
+//! * [`fault`] — deterministic failpoints ([`fault::FaultPlan`]) threaded
+//!   through every fallible layer, plus the [`fault::RetryPolicy`] (bounded
+//!   exponential backoff with deterministic jitter) that absorbs transient
+//!   storage I/O errors — the substrate for chaos testing and graceful
+//!   degradation,
 //! * [`storage`] — the pluggable [`storage::TableStore`] backbone behind
 //!   [`Database`]: a heap store (default, zero behavior change) and an
 //!   LSM-style [`storage::DiskStore`] (WAL + byte-budgeted memtable +
@@ -43,6 +48,7 @@
 pub mod algebra;
 pub mod confidence;
 pub mod engine;
+pub mod fault;
 pub mod motif;
 pub mod pool;
 pub mod sprout;

@@ -41,6 +41,7 @@ use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use crate::fault::{Fault, RetryPolicy};
 use crate::relation::{AnnotatedTuple, Schema};
 use crate::storage::encode::{decode_tuple, encode_tuple};
 use crate::storage::run::{Run, RunWriter};
@@ -63,12 +64,20 @@ struct TableEntry {
     /// incarnation (their `uid` no longer matches any catalog entry).
     epoch: u32,
     schema: Schema,
-    rows: usize,
+    /// Global sequence numbers of this incarnation's rows, in insertion
+    /// order — the positional index behind [`TableStore::row_at`], mapping a
+    /// row position straight to the bloom-probed [`DiskStore::get_row`] key
+    /// without materializing the table.
+    seqs: Vec<u64>,
 }
 
 impl TableEntry {
     fn uid(&self) -> u64 {
         ((self.logical_id as u64) << 32) | self.epoch as u64
+    }
+
+    fn rows(&self) -> usize {
+        self.seqs.len()
     }
 }
 
@@ -106,6 +115,9 @@ struct StoreObs {
     bloom_pass: obs::Counter,
     /// `storage.bloom.reject`: point lookups screened without file I/O.
     bloom_reject: obs::Counter,
+    /// `storage.retries`: transient I/O failures absorbed by the
+    /// [`RetryPolicy`] (each retry attempt counts once).
+    retries: obs::Counter,
 }
 
 impl StoreObs {
@@ -119,6 +131,7 @@ impl StoreObs {
             compactions: o.counter("storage.compactions"),
             bloom_pass: o.counter("storage.bloom.pass"),
             bloom_reject: o.counter("storage.bloom.reject"),
+            retries: o.counter("storage.retries"),
         }
     }
 }
@@ -141,6 +154,11 @@ pub struct DiskStore {
     compactions: u64,
     wal_rotations: u64,
     obs: StoreObs,
+    fault: Fault,
+    /// Backoff policy wrapped around every fallible I/O section; transient
+    /// failures ([`StorageError::is_transient`]) are absorbed up to the
+    /// retry budget before surfacing.
+    retry: RetryPolicy,
 }
 
 impl DiskStore {
@@ -176,7 +194,8 @@ impl DiskStore {
         let mut meta = RecoveredMeta::default();
         let mut catalog: BTreeMap<String, TableEntry> = BTreeMap::new();
         let mut memtable: BTreeMap<(u64, u64), Vec<u8>> = BTreeMap::new();
-        for record in Wal::replay(&dir.join("wal.log"))? {
+        let (records, durable_len) = Wal::replay_durable(&dir.join("wal.log"))?;
+        for record in records {
             match record {
                 WalRecord::Epoch { generation } => meta.generation = Some(generation),
                 WalRecord::Variable { name, distribution, origin } => {
@@ -185,7 +204,7 @@ impl DiskStore {
                 WalRecord::Table { logical_id, epoch, schema } => {
                     catalog.insert(
                         schema.name.clone(),
-                        TableEntry { logical_id, epoch, schema, rows: 0 },
+                        TableEntry { logical_id, epoch, schema, seqs: Vec::new() },
                     );
                 }
                 WalRecord::Row { uid, seq, payload } => {
@@ -197,19 +216,33 @@ impl DiskStore {
                 WalRecord::Watermark { next_seq: n } => next_seq = next_seq.max(n),
             }
         }
-        // Row counts per live incarnation: runs (index-guided scans) plus the
-        // refilled memtable.
+        // Row sequence numbers per live incarnation, in insertion order:
+        // runs are seq-disjoint and opened in age order (each yields its
+        // rows seq-ascending per uid), then the refilled memtable.
         let mem_bytes = memtable.values().map(|payload| payload.len() + MEM_ROW_OVERHEAD).sum();
         for entry in catalog.values_mut() {
             let uid = entry.uid();
-            let mut rows = memtable.range((uid, 0)..=(uid, u64::MAX)).count();
+            let mut seqs: Vec<u64> = Vec::new();
             for run in &runs {
-                rows += run.scan_table(uid)?.count();
+                for row in run.scan_table(uid)? {
+                    seqs.push(row?.0);
+                }
             }
-            entry.rows = rows;
+            seqs.extend(memtable.range((uid, 0)..=(uid, u64::MAX)).map(|(&(_, seq), _)| seq));
+            entry.seqs = seqs;
         }
         meta.table_ids = catalog.iter().map(|(name, e)| (name.clone(), e.logical_id)).collect();
-        let wal = Wal::open(&dir.join("wal.log"))?;
+        // Discard a torn tail (crash mid-write, or an injected torn write)
+        // before reopening the log: replay skips the dead bytes, but new
+        // appends landing after them would be unreachable on the *next*
+        // replay, silently losing acknowledged writes.
+        let wal_path = dir.join("wal.log");
+        if let Ok(file_meta) = std::fs::metadata(&wal_path) {
+            if file_meta.len() > durable_len {
+                std::fs::OpenOptions::new().write(true).open(&wal_path)?.set_len(durable_len)?;
+            }
+        }
+        let wal = Wal::open(&wal_path)?;
         let store = DiskStore {
             dir: dir.to_path_buf(),
             wal,
@@ -224,6 +257,8 @@ impl DiskStore {
             compactions: 0,
             wal_rotations: 0,
             obs: StoreObs::default(),
+            fault: Fault::disabled(),
+            retry: RetryPolicy::default(),
         };
         Ok((store, meta))
     }
@@ -233,8 +268,55 @@ impl DiskStore {
         &self.dir
     }
 
+    /// Replaces the transient-I/O retry policy (defaults to
+    /// [`RetryPolicy::default`]).
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
     fn uid_of(&self, table: &str) -> Option<u64> {
         self.catalog.get(table).map(TableEntry::uid)
+    }
+
+    /// Runs a fallible mutating I/O section under the retry policy,
+    /// counting each absorbed transient failure as `storage.retries` plus a
+    /// `storage.retry` trace event.
+    fn retried<T>(
+        &mut self,
+        mut op: impl FnMut(&mut DiskStore) -> Result<T, StorageError>,
+    ) -> Result<T, StorageError> {
+        let retry = self.retry;
+        let retries = self.obs.retries.clone();
+        let obs = self.obs.obs.clone();
+        retry.run_with(
+            |attempt, e| {
+                retries.inc();
+                obs.event("storage.retry")
+                    .u64("attempt", attempt as u64)
+                    .str("error", &e.to_string())
+                    .emit();
+            },
+            || op(self),
+        )
+    }
+
+    /// [`DiskStore::retried`] for read paths (`&self` sections).
+    fn retried_ref<T>(
+        &self,
+        mut op: impl FnMut(&DiskStore) -> Result<T, StorageError>,
+    ) -> Result<T, StorageError> {
+        self.retry.run_with(
+            |attempt, e| {
+                self.obs.retries.inc();
+                self.obs
+                    .obs
+                    .event("storage.retry")
+                    .u64("attempt", attempt as u64)
+                    .str("error", &e.to_string())
+                    .emit();
+            },
+            || op(self),
+        )
     }
 
     /// Drains the memtable into a new run and commits it to the MANIFEST.
@@ -244,16 +326,27 @@ impl DiskStore {
             return Ok(());
         }
         // Rows must be durable in the WAL before the run supersedes them.
-        self.wal.sync()?;
+        // Failpoint `storage.flush` + the `wal.sync` site inside sync.
+        self.retried(|s| {
+            s.fault.check("storage.flush")?;
+            s.wal.sync()
+        })?;
         let rows = self.memtable.len();
-        let name = format!("run-{}.dat", self.next_run_id);
-        self.next_run_id += 1;
-        let mut writer = RunWriter::create(&self.dir.join(&name), rows)?;
-        for (&(uid, seq), payload) in &self.memtable {
-            writer.push(uid, seq, payload)?;
-        }
-        self.runs.push(writer.finish()?);
-        append_manifest(&self.dir.join("MANIFEST"), &format!("add {name}\n"))?;
+        // The whole run write is one retryable unit: a failed attempt leaves
+        // at worst an unreferenced orphan file (garbage-collected at the
+        // next open) and a fresh run id, never a dangling manifest entry.
+        let run = self.retried(|s| {
+            let name = format!("run-{}.dat", s.next_run_id);
+            s.next_run_id += 1;
+            let mut writer = RunWriter::create(&s.dir.join(&name), s.memtable.len())?;
+            for (&(uid, seq), payload) in &s.memtable {
+                writer.push(uid, seq, payload)?;
+            }
+            let run = writer.finish()?;
+            append_manifest(&s.dir.join("MANIFEST"), &format!("add {name}\n"))?;
+            Ok(run)
+        })?;
+        self.runs.push(run);
         self.memtable.clear();
         self.mem_bytes = 0;
         self.flushes += 1;
@@ -276,22 +369,32 @@ impl DiskStore {
     /// over `wal.log`; a crash at any point leaves one complete log.
     fn rotate_wal(&mut self) -> Result<(), StorageError> {
         let old_bytes = self.wal.len();
-        let records = Wal::replay(self.wal.path())?;
-        let tmp = self.dir.join("wal.log.tmp");
-        // A crashed rotation can leave a stale tmp file; `Wal::open` appends,
-        // so clear it first.
-        let _ = std::fs::remove_file(&tmp);
-        let mut fresh = Wal::open(&tmp)?;
-        for rec in &records {
-            if !matches!(rec, WalRecord::Row { .. } | WalRecord::Watermark { .. }) {
-                fresh.append(rec)?;
+        // The rewrite is idempotent (it reads whatever `wal.log` currently
+        // is), so the whole section retries as one unit. Failpoint
+        // `storage.rotate`, plus the `wal.append`/`wal.sync` sites of the
+        // temporary log itself.
+        self.retried(|s| {
+            s.fault.check("storage.rotate")?;
+            let records = Wal::replay(s.wal.path())?;
+            let tmp = s.dir.join("wal.log.tmp");
+            // A crashed rotation can leave a stale tmp file; `Wal::open`
+            // appends, so clear it first.
+            let _ = std::fs::remove_file(&tmp);
+            let mut fresh = Wal::open(&tmp)?;
+            fresh.attach_fault(&s.fault);
+            for rec in &records {
+                if !matches!(rec, WalRecord::Row { .. } | WalRecord::Watermark { .. }) {
+                    fresh.append(rec)?;
+                }
             }
-        }
-        fresh.append(&WalRecord::Watermark { next_seq: self.next_seq })?;
-        fresh.sync()?;
-        drop(fresh);
-        std::fs::rename(&tmp, self.dir.join("wal.log"))?;
-        self.wal = Wal::open(&self.dir.join("wal.log"))?;
+            fresh.append(&WalRecord::Watermark { next_seq: s.next_seq })?;
+            fresh.sync()?;
+            drop(fresh);
+            std::fs::rename(&tmp, s.dir.join("wal.log"))?;
+            s.wal = Wal::open(&s.dir.join("wal.log"))?;
+            s.wal.attach_fault(&s.fault);
+            Ok(())
+        })?;
         self.wal_rotations += 1;
         self.obs.wal_rotations.inc();
         self.obs.wal_bytes.set(self.wal.len());
@@ -312,52 +415,60 @@ impl DiskStore {
         if self.runs.len() < 2 {
             return Ok(());
         }
-        let live: Vec<u64> = self.catalog.values().map(TableEntry::uid).collect();
         let expected: usize = self.runs.iter().map(Run::rows).sum();
-        let name = format!("run-{}.dat", self.next_run_id);
-        self.next_run_id += 1;
-        let mut writer = RunWriter::create(&self.dir.join(&name), expected)?;
-        {
-            let mut sources = Vec::with_capacity(self.runs.len());
-            for run in &self.runs {
-                sources.push(run.scan_all()?.peekable());
-            }
-            // K-way merge by (uid, seq); the run count is small, so a linear
-            // min scan beats heap bookkeeping.
-            loop {
-                let mut best: Option<(usize, (u64, u64))> = None;
-                for (i, src) in sources.iter_mut().enumerate() {
-                    if let Some(item) = src.peek() {
-                        let key = match item {
-                            Ok((uid, seq, _)) => (*uid, *seq),
-                            Err(_) => {
-                                // Surface the error by consuming it below.
-                                best = Some((i, (0, 0)));
-                                break;
+        // The merge + manifest swap is one retryable unit (failpoint
+        // `storage.compact`): every attempt writes a fresh run id, so a
+        // failed attempt leaves only an orphan file and the old runs stay
+        // live until the swap line is durable.
+        let merged = self.retried(|s| {
+            s.fault.check("storage.compact")?;
+            let live: Vec<u64> = s.catalog.values().map(TableEntry::uid).collect();
+            let name = format!("run-{}.dat", s.next_run_id);
+            s.next_run_id += 1;
+            let mut writer = RunWriter::create(&s.dir.join(&name), expected)?;
+            {
+                let mut sources = Vec::with_capacity(s.runs.len());
+                for run in &s.runs {
+                    sources.push(run.scan_all()?.peekable());
+                }
+                // K-way merge by (uid, seq); the run count is small, so a
+                // linear min scan beats heap bookkeeping.
+                loop {
+                    let mut best: Option<(usize, (u64, u64))> = None;
+                    for (i, src) in sources.iter_mut().enumerate() {
+                        if let Some(item) = src.peek() {
+                            let key = match item {
+                                Ok((uid, seq, _)) => (*uid, *seq),
+                                Err(_) => {
+                                    // Surface the error by consuming it below.
+                                    best = Some((i, (0, 0)));
+                                    break;
+                                }
+                            };
+                            if best.is_none_or(|(_, k)| key < k) {
+                                best = Some((i, key));
                             }
-                        };
-                        if best.is_none_or(|(_, k)| key < k) {
-                            best = Some((i, key));
                         }
                     }
-                }
-                let Some((i, _)) = best else { break };
-                let (uid, seq, payload) = sources[i].next().expect("peeked item")?;
-                if live.contains(&uid) {
-                    writer.push(uid, seq, &payload)?;
+                    let Some((i, _)) = best else { break };
+                    let (uid, seq, payload) = sources[i].next().expect("peeked item")?;
+                    if live.contains(&uid) {
+                        writer.push(uid, seq, &payload)?;
+                    }
                 }
             }
-        }
-        let merged = writer.finish()?;
-        let old_names: Vec<String> = self
-            .runs
-            .iter()
-            .filter_map(|r| r.path().file_name().map(|n| n.to_string_lossy().into_owned()))
-            .collect();
-        append_manifest(
-            &self.dir.join("MANIFEST"),
-            &format!("swap {name} <- {}\n", old_names.join(" ")),
-        )?;
+            let merged = writer.finish()?;
+            let old_names: Vec<String> = s
+                .runs
+                .iter()
+                .filter_map(|r| r.path().file_name().map(|n| n.to_string_lossy().into_owned()))
+                .collect();
+            append_manifest(
+                &s.dir.join("MANIFEST"),
+                &format!("swap {name} <- {}\n", old_names.join(" ")),
+            )?;
+            Ok(merged)
+        })?;
         for old in &self.runs {
             let _ = std::fs::remove_file(old.path());
         }
@@ -385,17 +496,23 @@ impl DiskStore {
         if let Some(payload) = self.memtable.get(&(uid, seq)) {
             return Ok(Some(DiskStore::decode_or_panic(payload)));
         }
-        for run in self.runs.iter().rev() {
-            if !run.may_contain(uid, seq) {
-                self.obs.bloom_reject.inc();
-                continue;
+        // Failpoint `storage.get`; the run probe retries as a unit (point
+        // reads are side-effect-free, so a retry only recounts the bloom
+        // screen metrics).
+        self.retried_ref(|s| {
+            s.fault.check("storage.get")?;
+            for run in s.runs.iter().rev() {
+                if !run.may_contain(uid, seq) {
+                    s.obs.bloom_reject.inc();
+                    continue;
+                }
+                s.obs.bloom_pass.inc();
+                if let Some(payload) = run.get(uid, seq)? {
+                    return Ok(Some(DiskStore::decode_or_panic(&payload)));
+                }
             }
-            self.obs.bloom_pass.inc();
-            if let Some(payload) = run.get(uid, seq)? {
-                return Ok(Some(DiskStore::decode_or_panic(&payload)));
-            }
-        }
-        Ok(None)
+            Ok(None)
+        })
     }
 
     fn decode_or_panic(payload: &[u8]) -> AnnotatedTuple {
@@ -474,30 +591,46 @@ impl TableStore for DiskStore {
             Some(existing) => existing.epoch + 1,
             None => 0,
         };
-        self.wal.append(&WalRecord::Table { logical_id, epoch, schema: schema.clone() })?;
+        let rec = WalRecord::Table { logical_id, epoch, schema: schema.clone() };
+        self.retried(|s| s.wal.append(&rec))?;
         self.obs.wal_appends.inc();
         self.obs.wal_bytes.set(self.wal.len());
-        self.catalog.insert(schema.name.clone(), TableEntry { logical_id, epoch, schema, rows: 0 });
+        self.catalog.insert(
+            schema.name.clone(),
+            TableEntry { logical_id, epoch, schema, seqs: Vec::new() },
+        );
         Ok(())
     }
 
     fn append(&mut self, table: &str, tuple: &AnnotatedTuple) -> Result<(), StorageError> {
         let entry = self
             .catalog
-            .get_mut(table)
+            .get(table)
             .ok_or_else(|| StorageError::corrupt(format!("append to unknown table {table:?}")))?;
         let uid = entry.uid();
-        entry.rows += 1;
         let seq = self.next_seq;
-        self.next_seq += 1;
         let payload = encode_tuple(tuple);
-        self.wal.append(&WalRecord::Row { uid, seq, payload: payload.clone() })?;
+        let rec = WalRecord::Row { uid, seq, payload: payload.clone() };
+        // Nothing is applied — no seq consumed, no memtable insert — until
+        // the WAL accepted the record: a failed append is unacknowledged and
+        // recovery owes the caller nothing for it.
+        self.retried(|s| s.wal.append(&rec))?;
+        self.next_seq = seq + 1;
         self.obs.wal_appends.inc();
         self.obs.wal_bytes.set(self.wal.len());
+        self.catalog.get_mut(table).expect("entry checked above").seqs.push(seq);
         self.mem_bytes += payload.len() + MEM_ROW_OVERHEAD;
         self.memtable.insert((uid, seq), payload);
         if self.mem_bytes > self.budget {
-            self.flush_memtable()?;
+            // The row is already durable in the WAL, so the append is
+            // acknowledged regardless of what happens to the budget-triggered
+            // drain: a failed flush (after retries) is deferred — the
+            // memtable stays over budget and the next append or explicit
+            // flush tries again — rather than failing a write that recovery
+            // would replay anyway.
+            if let Err(e) = self.flush_memtable() {
+                obs::warn("storage", &format!("memtable flush deferred: {e}"));
+            }
         }
         Ok(())
     }
@@ -507,7 +640,7 @@ impl TableStore for DiskStore {
     }
 
     fn table_len(&self, table: &str) -> usize {
-        self.catalog.get(table).map_or(0, |e| e.rows)
+        self.catalog.get(table).map_or(0, TableEntry::rows)
     }
 
     fn table_names(&self) -> Vec<&str> {
@@ -520,12 +653,21 @@ impl TableStore for DiskStore {
         };
         // Runs are seq-disjoint and flushed in seq order, so chaining them in
         // age order, then the memtable, yields rows in insertion order.
+        // Iterator creation (open + seek) retries transient failures under
+        // the policy (failpoint `storage.scan`); a permanent failure — or a
+        // mid-iteration read error below — has no sound continuation inside
+        // an `Iterator` signature (silently truncating the scan would be an
+        // unsound lineage), so it panics and relies on the engine-level
+        // panic isolation to degrade just the affected item.
         let mut run_iters = Vec::with_capacity(self.runs.len());
         for run in &self.runs {
-            match run.scan_table(uid) {
-                Ok(iter) => run_iters.push(iter),
-                Err(e) => panic!("run scan failed: {e}"),
-            }
+            let iter = self
+                .retried_ref(|s| {
+                    s.fault.check("storage.scan")?;
+                    run.scan_table(uid)
+                })
+                .unwrap_or_else(|e| panic!("run scan failed after retries: {e}"));
+            run_iters.push(iter);
         }
         let from_runs = run_iters.into_iter().flatten().map(|row| {
             let (_, payload) = row.unwrap_or_else(|e| panic!("run scan failed: {e}"));
@@ -544,31 +686,33 @@ impl TableStore for DiskStore {
         distribution: &[f64],
         origin: Option<u32>,
     ) -> Result<(), StorageError> {
-        self.wal.append(&WalRecord::Variable {
+        let rec = WalRecord::Variable {
             name: name.to_owned(),
             distribution: distribution.to_vec(),
             origin,
-        })?;
+        };
+        self.retried(|s| s.wal.append(&rec))?;
         self.obs.wal_appends.inc();
         self.obs.wal_bytes.set(self.wal.len());
         Ok(())
     }
 
     fn log_epoch(&mut self, generation: u64) -> Result<(), StorageError> {
-        self.wal.append(&WalRecord::Epoch { generation })?;
+        let rec = WalRecord::Epoch { generation };
+        self.retried(|s| s.wal.append(&rec))?;
         self.obs.wal_appends.inc();
         self.obs.wal_bytes.set(self.wal.len());
         Ok(())
     }
 
     fn sync(&mut self) -> Result<(), StorageError> {
-        self.wal.sync()
+        self.retried(|s| s.wal.sync())
     }
 
     fn stats(&self) -> StorageStats {
         StorageStats {
             tables: self.catalog.len(),
-            rows: self.catalog.values().map(|e| e.rows).sum(),
+            rows: self.catalog.values().map(TableEntry::rows).sum(),
             memtable_bytes: self.mem_bytes,
             wal_bytes: self.wal.len(),
             runs: self.runs.len(),
@@ -579,8 +723,23 @@ impl TableStore for DiskStore {
         }
     }
 
+    /// Positional point read: the catalog's per-incarnation seq index maps
+    /// `index` straight to a global sequence number, and
+    /// [`DiskStore::get_row`] probes the memtable and the run blooms —
+    /// no table materialization, no scan.
+    fn row_at(&self, table: &str, index: usize) -> Result<Option<AnnotatedTuple>, StorageError> {
+        let Some(entry) = self.catalog.get(table) else { return Ok(None) };
+        let Some(&seq) = entry.seqs.get(index) else { return Ok(None) };
+        self.get_row(table, seq)
+    }
+
     fn attach_obs(&mut self, obs: &obs::Obs) {
         self.obs = StoreObs::new(obs);
         self.obs.wal_bytes.set(self.wal.len());
+    }
+
+    fn attach_fault(&mut self, fault: &Fault) {
+        self.fault = fault.clone();
+        self.wal.attach_fault(fault);
     }
 }

@@ -65,6 +65,11 @@ impl TableStore for HeapStore {
         self.tables.get(table).cloned()
     }
 
+    fn row_at(&self, table: &str, index: usize) -> Result<Option<AnnotatedTuple>, StorageError> {
+        // O(1) positional access — no scan walk.
+        Ok(self.tables.get(table).and_then(|rel| rel.tuples.get(index)).cloned())
+    }
+
     fn log_variable(
         &mut self,
         _name: &str,

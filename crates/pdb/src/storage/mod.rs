@@ -39,6 +39,25 @@ impl StorageError {
     pub(crate) fn corrupt(msg: impl Into<String>) -> Self {
         StorageError::Corrupt(msg.into())
     }
+
+    /// `true` when the failure is plausibly momentary and the operation is
+    /// safe to retry: interrupted syscalls, timeouts, and would-block
+    /// conditions (the kinds the deterministic fault injector also uses for
+    /// its transient class). [`StorageError::Corrupt`] and every other I/O
+    /// kind — including the `UnexpectedEof` surfaced by an injected torn
+    /// write — are permanent: retrying could duplicate a partial frame or
+    /// keep re-reading data that will never validate.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+            StorageError::Corrupt(_) => false,
+        }
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -180,10 +199,23 @@ pub trait TableStore: fmt::Debug + Send + Sync {
     /// Point-in-time resource counters.
     fn stats(&self) -> StorageStats;
 
+    /// The `index`-th row (insertion order, invariant 1) of the table's
+    /// current incarnation, or `None` when the table or index is absent.
+    /// The default walks [`TableStore::scan`]; stores with keyed access
+    /// override it with a point read that avoids materializing the table.
+    fn row_at(&self, table: &str, index: usize) -> Result<Option<AnnotatedTuple>, StorageError> {
+        Ok(self.scan(table).nth(index).map(Cow::into_owned))
+    }
+
     /// Attaches an observability sink. Instrumented stores (the
     /// [`DiskStore`]) start emitting `storage.*` metrics and trace events;
     /// the default is a no-op so volatile stores need no handles.
     fn attach_obs(&mut self, _obs: &obs::Obs) {}
+
+    /// Attaches a fault-injection handle ([`crate::fault::Fault`]).
+    /// Instrumented stores start consulting their failpoint sites; the
+    /// default is a no-op so volatile stores stay fault-free.
+    fn attach_fault(&mut self, _fault: &crate::fault::Fault) {}
 }
 
 /// A scratch directory under the system temp dir, removed on drop. Used by

@@ -26,6 +26,7 @@ use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use crate::fault::Fault;
 use crate::relation::Schema;
 use crate::storage::encode::{crc32, put_f64, put_str, put_u32, put_u64, Cursor};
 use crate::storage::StorageError;
@@ -181,6 +182,13 @@ pub struct Wal {
     file: File,
     path: PathBuf,
     len: u64,
+    fault: Fault,
+    /// Set after an (injected) torn write: the file tail now holds a partial
+    /// frame, so appending more records would put them *past* the tear where
+    /// replay's CRC scan never reaches — an acknowledged-but-unrecoverable
+    /// write. Fail every later append instead; recovery is a reopen, exactly
+    /// as after a real crash.
+    torn: bool,
 }
 
 impl Wal {
@@ -188,24 +196,54 @@ impl Wal {
     pub fn open(path: &Path) -> Result<Wal, StorageError> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         let len = file.metadata()?.len();
-        Ok(Wal { file, path: path.to_path_buf(), len })
+        Ok(Wal { file, path: path.to_path_buf(), len, fault: Fault::disabled(), torn: false })
+    }
+
+    /// Attaches a fault-injection handle; the `wal.append` and `wal.sync`
+    /// failpoint sites start consulting it.
+    pub fn attach_fault(&mut self, fault: &Fault) {
+        self.fault = fault.clone();
     }
 
     /// Appends one framed record. The write is buffered by the OS; call
     /// [`Wal::sync`] to force it to stable storage.
+    ///
+    /// Failpoints: `wal.append` can reject the write before any byte reaches
+    /// the file (transient, retry-safe) or — under a torn-write policy —
+    /// leave a strict prefix of the frame in the file and report a permanent
+    /// error, exactly the on-disk state a crash mid-`write` produces. Torn
+    /// bytes are *not* counted in [`Wal::len`]: they are dead bytes that
+    /// replay's CRC check skips, and the next append's frame header starts
+    /// wherever the file ends.
     pub fn append(&mut self, rec: &WalRecord) -> Result<(), StorageError> {
+        if self.torn {
+            return Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "write-ahead log has a torn tail; reopen the store to recover",
+            )));
+        }
+        self.fault.check("wal.append")?;
         let payload = rec.encode();
         let mut frame = Vec::with_capacity(8 + payload.len());
         put_u32(&mut frame, payload.len() as u32);
         put_u32(&mut frame, crc32(&payload));
         frame.extend_from_slice(&payload);
+        if let Some(keep) = self.fault.torn("wal.append", frame.len()) {
+            self.file.write_all(&frame[..keep])?;
+            self.torn = true;
+            return Err(Fault::torn_error("wal.append"));
+        }
         self.file.write_all(&frame)?;
         self.len += frame.len() as u64;
         Ok(())
     }
 
     /// Forces all appended records to stable storage.
+    ///
+    /// Failpoint: `wal.sync` (transient — an interrupted fsync is safe to
+    /// reissue).
     pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.fault.check("wal.sync")?;
         self.file.sync_data()?;
         Ok(())
     }
@@ -231,9 +269,19 @@ impl Wal {
     /// mismatch — ends the replay cleanly at the last good record; bytes past
     /// it are ignored (they are the in-flight write the crash interrupted).
     pub fn replay(path: &Path) -> Result<Vec<WalRecord>, StorageError> {
+        Ok(Self::replay_durable(path)?.0)
+    }
+
+    /// [`Wal::replay`], plus the byte offset where the durable prefix ends.
+    /// Recovery truncates the file to this offset: a torn tail left by a
+    /// crash (or an injected torn write) is dead bytes that replay skips,
+    /// but records appended *after* them would be unreachable on the next
+    /// replay — the frame walk stops at the tear — so the tail must be
+    /// discarded before the log accepts new appends.
+    pub fn replay_durable(path: &Path) -> Result<(Vec<WalRecord>, u64), StorageError> {
         let bytes = match std::fs::read(path) {
             Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
             Err(e) => return Err(e.into()),
         };
         let mut records = Vec::new();
@@ -257,7 +305,7 @@ impl Wal {
             }
             pos += 8 + len;
         }
-        Ok(records)
+        Ok((records, pos as u64))
     }
 }
 

@@ -1,0 +1,185 @@
+//! Differential tests for the fault-injection subsystem at the engine
+//! layer: with no plan installed the engine is bit-identical to one that
+//! never heard of faults; with a seeded plan every item still gets a
+//! result (degraded items fail closed to the vacuous `[0, 1]` interval,
+//! untouched items stay bit-identical to the clean run); and the whole
+//! schedule replays bit-identically from the same seed, independent of
+//! thread count.
+
+use events::{Clause, Dnf, ProbabilitySpace};
+use pdb::confidence::{ConfidenceBudget, ConfidenceMethod, ConfidenceResult, DegradationReason};
+use pdb::fault::{FaultPlan, FaultPolicy};
+use pdb::ConfidenceEngine;
+
+/// All five confidence methods of the paper's evaluation. The Monte-Carlo
+/// methods run seeded, so both sides of every comparison are bit-exact.
+fn all_methods() -> Vec<ConfidenceMethod> {
+    vec![
+        ConfidenceMethod::DTreeExact,
+        ConfidenceMethod::DTreeAbsolute(0.01),
+        ConfidenceMethod::DTreeRelative(0.05),
+        ConfidenceMethod::KarpLuby { epsilon: 0.2, delta: 0.05 },
+        ConfidenceMethod::NaiveMonteCarlo { epsilon: 0.2 },
+    ]
+}
+
+/// A batch of `n` distinct two-clause lineages over one shared space —
+/// small enough that DTreeExact stays fast, distinct enough that the
+/// deduplicator leaves every item its own representative (so the per-item
+/// fault token is exercised for every index).
+fn fixture(n: usize) -> (ProbabilitySpace, Vec<Dnf>) {
+    let mut space = ProbabilitySpace::new();
+    let ids: Vec<_> = (0..n + 2)
+        .map(|i| space.add_bool(format!("v{i}"), 0.15 + 0.05 * (i % 10) as f64))
+        .collect();
+    let lineages = (0..n)
+        .map(|i| {
+            Dnf::from_clauses([
+                Clause::from_bools(&[ids[i], ids[i + 1]]),
+                Clause::from_bools(&[ids[i + 2]]),
+            ])
+        })
+        .collect();
+    (space, lineages)
+}
+
+fn engine(method: ConfidenceMethod) -> ConfidenceEngine {
+    ConfidenceEngine::new(method)
+        .with_seed(7)
+        .with_budget(ConfidenceBudget { timeout: None, max_work: None })
+}
+
+/// Bit-exact equality of every value-bearing field, including the
+/// degradation marker. `elapsed` is wall-clock and deliberately excluded.
+fn assert_bit_identical(got: &ConfidenceResult, want: &ConfidenceResult, what: &str) {
+    assert_eq!(got.estimate.to_bits(), want.estimate.to_bits(), "estimate diverged: {what}");
+    assert_eq!(got.lower.to_bits(), want.lower.to_bits(), "lower diverged: {what}");
+    assert_eq!(got.upper.to_bits(), want.upper.to_bits(), "upper diverged: {what}");
+    assert_eq!(got.converged, want.converged, "converged diverged: {what}");
+    assert_eq!(got.degraded, want.degraded, "degraded diverged: {what}");
+}
+
+/// An installed-but-empty plan, and a plan whose only rule targets a
+/// storage site the engine never hits, are both bit-identical to running
+/// with no plan at all — the "free when disabled" half of the contract,
+/// for all five methods.
+#[test]
+fn an_irrelevant_fault_plan_is_bit_identical_to_none_for_every_method() {
+    let (space, lineages) = fixture(8);
+    for method in all_methods() {
+        let clean =
+            engine(method.clone()).with_threads(1).confidence_batch(&lineages, &space, None);
+        let empty = FaultPlan::new(42).build();
+        let elsewhere = FaultPlan::new(42)
+            .on("storage.flush", FaultPolicy::ErrorTimes { count: u64::MAX })
+            .build();
+        for (label, fault) in [("empty plan", &empty), ("storage-only plan", &elsewhere)] {
+            let got = engine(method.clone())
+                .with_threads(1)
+                .with_fault(fault)
+                .confidence_batch(&lineages, &space, None);
+            for (i, (g, w)) in got.results.iter().zip(&clean.results).enumerate() {
+                assert_bit_identical(g, w, &format!("{method:?} item {i} under {label}"));
+            }
+            assert_eq!(fault.injected(), 0, "{label} must never fire at the engine");
+        }
+    }
+}
+
+/// A seeded panic schedule at `engine.item` degrades *some* items — and
+/// nothing else: every item still gets a result, degraded items carry the
+/// sound vacuous interval with the `WorkerPanic` reason, untouched items
+/// are bit-identical to the clean run, and no panic escapes the batch.
+#[test]
+fn injected_panics_degrade_hit_items_and_leave_the_rest_bit_identical() {
+    let (space, lineages) = fixture(16);
+    let clean = engine(ConfidenceMethod::DTreeExact)
+        .with_threads(1)
+        .confidence_batch(&lineages, &space, None);
+    let fault =
+        FaultPlan::new(3).on("engine.item", FaultPolicy::PanicWithProbability { p: 0.4 }).build();
+    let got = engine(ConfidenceMethod::DTreeExact)
+        .with_threads(1)
+        .with_fault(&fault)
+        .confidence_batch(&lineages, &space, None);
+
+    assert_eq!(got.results.len(), lineages.len(), "every item gets a result");
+    let mut degraded = 0u64;
+    for (i, (g, w)) in got.results.iter().zip(&clean.results).enumerate() {
+        match g.degraded {
+            Some(reason) => {
+                degraded += 1;
+                assert_eq!(reason, DegradationReason::WorkerPanic, "item {i}");
+                assert_eq!(g.estimate, 0.5, "item {i}: degraded midpoint estimate");
+                assert_eq!(g.lower, 0.0, "item {i}: vacuous lower bound");
+                assert_eq!(g.upper, 1.0, "item {i}: vacuous upper bound");
+                assert!(!g.converged, "item {i}: degraded results never claim convergence");
+            }
+            None => assert_bit_identical(g, w, &format!("untouched item {i}")),
+        }
+    }
+    assert!(
+        degraded > 0 && degraded < lineages.len() as u64,
+        "seed 3 at p=0.4 must degrade some but not all of 16 items, got {degraded}"
+    );
+    assert_eq!(fault.injected(), degraded, "the injected counter mirrors the degraded set");
+}
+
+/// Injected transient *errors* at the engine boundary (as opposed to
+/// panics) take the same degradation path: sound vacuous interval, no
+/// batch abort, intervals always contain the clean answer.
+#[test]
+fn injected_errors_fail_closed_to_a_sound_interval() {
+    let (space, lineages) = fixture(12);
+    let clean = engine(ConfidenceMethod::DTreeExact)
+        .with_threads(1)
+        .confidence_batch(&lineages, &space, None);
+    let fault =
+        FaultPlan::new(9).on("engine.item", FaultPolicy::ErrorWithProbability { p: 0.5 }).build();
+    let got = engine(ConfidenceMethod::DTreeExact)
+        .with_threads(1)
+        .with_fault(&fault)
+        .confidence_batch(&lineages, &space, None);
+    assert!(fault.injected() > 0, "seed 9 at p=0.5 must fire at least once over 12 items");
+    for (i, (g, w)) in got.results.iter().zip(&clean.results).enumerate() {
+        assert!(
+            g.lower <= w.estimate && w.estimate <= g.upper,
+            "item {i}: interval [{}, {}] must contain the clean answer {}",
+            g.lower,
+            g.upper,
+            w.estimate
+        );
+    }
+}
+
+/// The replay guarantee: the fault decision for an item is a pure function
+/// of `(plan seed, site, item index)`, so the same plan seed degrades the
+/// *identical* set of items with bit-identical results — across fresh runs
+/// and across thread counts, for all five methods.
+#[test]
+fn same_seed_replay_is_bit_identical_across_runs_and_thread_counts() {
+    let (space, lineages) = fixture(12);
+    for method in all_methods() {
+        let runs: Vec<_> = [1usize, 1, 4]
+            .iter()
+            .map(|&threads| {
+                let fault = FaultPlan::new(11)
+                    .on("engine.item", FaultPolicy::PanicWithProbability { p: 0.35 })
+                    .build();
+                engine(method.clone())
+                    .with_threads(threads)
+                    .with_fault(&fault)
+                    .confidence_batch(&lineages, &space, None)
+            })
+            .collect();
+        assert!(
+            runs[0].results.iter().any(|r| r.degraded.is_some()),
+            "{method:?}: seed 11 must degrade at least one item for the replay to be interesting"
+        );
+        for (label, other) in [("second run", &runs[1]), ("4-thread run", &runs[2])] {
+            for (i, (w, g)) in runs[0].results.iter().zip(&other.results).enumerate() {
+                assert_bit_identical(g, w, &format!("{method:?} item {i} on {label}"));
+            }
+        }
+    }
+}
